@@ -1,0 +1,52 @@
+//! Criterion benches for the crypto substrate: hash throughput and DSA
+//! sign/verify across the three embedded group sizes (the key-length
+//! ablation for the paper's "sign & verify" column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate_crypto::{sha1, sha256, DsaKeyPair, DsaParams, HmacSha256};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(d))
+        });
+        group.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| sha1(d))
+        });
+        group.bench_with_input(BenchmarkId::new("hmac-sha256", size), &data, |b, d| {
+            b.iter(|| HmacSha256::mac(b"benchmark-key", d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsa");
+    group.sample_size(20);
+    let message = vec![0x5au8; 512];
+    for (bits, params) in [
+        (256usize, DsaParams::test_group_256()),
+        (512, DsaParams::group_512()),
+        (1024, DsaParams::group_1024()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let keys = DsaKeyPair::generate(&params, &mut rng);
+        let sig = keys.sign(&message, &mut rng);
+        group.bench_function(BenchmarkId::new("sign", bits), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| keys.sign(&message, &mut rng))
+        });
+        group.bench_function(BenchmarkId::new("verify", bits), |b| {
+            b.iter(|| assert!(keys.public().verify(&message, &sig)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_dsa);
+criterion_main!(benches);

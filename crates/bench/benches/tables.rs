@@ -1,0 +1,50 @@
+//! Criterion form of the paper's Tables 1 and 2: plain vs protected
+//! journeys over the four generic-agent configurations.
+//!
+//! The cycle counts are scaled down (10000 → 200) so criterion's repeated
+//! sampling completes in reasonable time; the `paper_tables` binary runs
+//! the full-size configuration once. The *shape* — protected/plain factors
+//! larger for input-heavy agents, smaller for cycle-heavy agents — is
+//! preserved at this scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use refstate_bench::{measure_plain, measure_protected, AgentParams};
+use refstate_crypto::DsaParams;
+
+const SCALED_CONFIGS: [AgentParams; 4] = [
+    AgentParams { cycles: 1, inputs: 1 },
+    AgentParams { cycles: 1, inputs: 100 },
+    AgentParams { cycles: 200, inputs: 1 },
+    AgentParams { cycles: 200, inputs: 100 },
+];
+
+fn bench_table1_plain(c: &mut Criterion) {
+    let dsa = DsaParams::group_512();
+    let mut group = c.benchmark_group("table1_plain");
+    group.sample_size(10);
+    for params in SCALED_CONFIGS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(params.label().replace(' ', "_")),
+            &params,
+            |b, &p| b.iter(|| measure_plain(p, &dsa, 0xACE)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_table2_protected(c: &mut Criterion) {
+    let dsa = DsaParams::group_512();
+    let mut group = c.benchmark_group("table2_protected");
+    group.sample_size(10);
+    for params in SCALED_CONFIGS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(params.label().replace(' ', "_")),
+            &params,
+            |b, &p| b.iter(|| measure_protected(p, &dsa, 0xACF)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_plain, bench_table2_protected);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Criterion benches for the agent VM: raw instruction throughput, the
+//! summation-cycle workload, tracing overhead, and replay cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use refstate_vm::{
+    assemble, run_session, DataState, ExecConfig, NullIo, ReplayIo, ScriptedIo, TraceMode, Value,
+};
+
+fn cycle_program(cycles: i64) -> refstate_vm::Program {
+    let src = format!(
+        r#"
+        push 0
+        store "sum"
+        push 0
+        store "c"
+    cycle_loop:
+        load "c"
+        push {cycles}
+        ge
+        jnz done
+        push 0
+        store "k"
+    inner:
+        load "k"
+        push 1000
+        ge
+        jnz next_cycle
+        load "sum"
+        load "k"
+        add
+        store "sum"
+        load "k"
+        push 1
+        add
+        store "k"
+        jump inner
+    next_cycle:
+        load "c"
+        push 1
+        add
+        store "c"
+        jump cycle_loop
+    done:
+        halt
+    "#
+    );
+    assemble(&src).expect("cycle program assembles")
+}
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_cycles");
+    for cycles in [1i64, 10, 100] {
+        let program = cycle_program(cycles);
+        // ~8 instructions per summed value.
+        group.throughput(Throughput::Elements((cycles * 1000) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(cycles), &program, |b, p| {
+            b.iter(|| {
+                run_session(p, DataState::new(), &mut NullIo, &ExecConfig::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_trace_overhead");
+    let program = cycle_program(10);
+    for (label, mode) in [
+        ("off", TraceMode::Off),
+        ("inputs-only", TraceMode::InputsOnly),
+        ("full", TraceMode::Full),
+    ] {
+        let config = ExecConfig { trace_mode: mode, ..Default::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| run_session(&program, DataState::new(), &mut NullIo, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    // Replay should cost about the same as a live run — this is the whole
+    // premise of the "computation is roughly doubled" analysis.
+    let program = assemble(
+        r#"
+        push 0
+        store "i"
+        push 0
+        store "acc"
+    loop:
+        load "i"
+        push 200
+        ge
+        jnz done
+        input "n"
+        load "acc"
+        add
+        store "acc"
+        load "i"
+        push 1
+        add
+        store "i"
+        jump loop
+    done:
+        halt
+    "#,
+    )
+    .unwrap();
+    let mut io = ScriptedIo::new();
+    for i in 0..200 {
+        io.push_input("n", Value::Int(i));
+    }
+    let original = run_session(&program, DataState::new(), &mut io, &ExecConfig::default()).unwrap();
+
+    let mut group = c.benchmark_group("vm_replay");
+    group.bench_function("live", |b| {
+        b.iter(|| {
+            let mut io = ScriptedIo::new();
+            for i in 0..200 {
+                io.push_input("n", Value::Int(i));
+            }
+            run_session(&program, DataState::new(), &mut io, &ExecConfig::default()).unwrap()
+        })
+    });
+    group.bench_function("replay", |b| {
+        b.iter(|| {
+            let mut io = ReplayIo::new(&original.input_log);
+            run_session(&program, DataState::new(), &mut io, &ExecConfig::default()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles, bench_trace_overhead, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! The §5.2 generic measurement agent and its three-host path.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate_crypto::DsaParams;
+use refstate_platform::{AgentImage, Host, HostSpec};
+use refstate_vm::{DataState, ProgramBuilder, Value};
+
+/// Parameters of the generic agent (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentParams {
+    /// Number of summation cycles per host; one cycle sums 1000 integers.
+    pub cycles: i64,
+    /// Number of 10-byte string inputs consumed per host.
+    pub inputs: i64,
+}
+
+impl AgentParams {
+    /// The paper's row label, e.g. `"100 inputs, 10000 cycles"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} input{}, {} cycle{}",
+            self.inputs,
+            if self.inputs == 1 { "" } else { "s" },
+            self.cycles,
+            if self.cycles == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// Values summed per cycle ("every cycle means an integer summation of
+/// 1000 values").
+pub const VALUES_PER_CYCLE: i64 = 1000;
+
+/// Builds the generic agent.
+///
+/// Per session the agent:
+///
+/// 1. runs `cycles × 1000` integer additions into `sum`,
+/// 2. consumes `inputs` 10-byte string inputs tagged `"elem"`, collecting
+///    them into `collected` (a list), so input handling has a real state
+///    effect,
+/// 3. migrates `h1 → h2 → h3`, halting on `h3`.
+pub fn build_generic_agent(params: AgentParams) -> AgentImage {
+    let mut b = ProgramBuilder::new();
+
+    // --- cycle phase: for c in 0..cycles { for k in 0..1000 { sum += k } }
+    b.push(0i64).store("sum");
+    b.push(0i64).store("c");
+    b.label("cycle_loop");
+    b.load("c").load("cycles").ge().jump_if_true("cycles_done");
+    b.push(0i64).store("k");
+    b.label("inner_loop");
+    b.load("k").push(VALUES_PER_CYCLE).ge().jump_if_true("inner_done");
+    b.load("sum").load("k").add().store("sum");
+    b.load("k").push(1i64).add().store("k");
+    b.jump("inner_loop");
+    b.label("inner_done");
+    b.load("c").push(1i64).add().store("c");
+    b.jump("cycle_loop");
+    b.label("cycles_done");
+
+    // --- input phase: collect `inputs` 10-byte strings.
+    b.list_new().store("collected");
+    b.push(0i64).store("i");
+    b.label("input_loop");
+    b.load("i").load("inputs").ge().jump_if_true("inputs_done");
+    b.load("collected").input("elem").list_push().store("collected");
+    b.load("i").push(1i64).add().store("i");
+    b.jump("input_loop");
+    b.label("inputs_done");
+
+    // --- itinerary: hop counter drives h1 -> h2 -> h3 -> halt.
+    b.load("hop").push(1i64).add().store("hop");
+    b.load("hop").push(1i64).eq().jump_if_true("to_h2");
+    b.load("hop").push(2i64).eq().jump_if_true("to_h3");
+    b.halt();
+    b.label("to_h2");
+    b.push("h2").migrate();
+    b.label("to_h3");
+    b.push("h3").migrate();
+
+    let program = b.build().expect("generic agent assembles");
+    let mut state = DataState::new();
+    state.set("cycles", Value::Int(params.cycles));
+    state.set("inputs", Value::Int(params.inputs));
+    state.set("hop", Value::Int(0));
+    AgentImage::new("generic", program, state)
+}
+
+/// A deterministic 10-byte input element, distinct per position.
+pub fn input_element(host: &str, index: i64) -> Value {
+    // Exactly 10 bytes, as in the paper.
+    let s = format!("{host:.2}-{index:07}");
+    debug_assert_eq!(s.len(), 10, "input elements are 10-byte strings");
+    Value::Str(s)
+}
+
+/// Builds the measurement path: `h1` (trusted) → `h2` (untrusted) →
+/// `h3` (trusted), each provisioned with `inputs` elements.
+pub fn build_three_hosts(params: AgentParams, dsa: &DsaParams, seed: u64) -> Vec<Host> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ["h1", "h2", "h3"]
+        .into_iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let mut spec = HostSpec::new(id);
+            if id != "h2" {
+                spec = spec.trusted();
+            }
+            for k in 0..params.inputs {
+                spec = spec.with_input("elem", input_element(id, k));
+            }
+            let _ = i;
+            Host::new(spec, dsa, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refstate_platform::{run_plain_journey, EventLog};
+    use refstate_vm::ExecConfig;
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(AgentParams { cycles: 1, inputs: 1 }.label(), "1 input, 1 cycle");
+        assert_eq!(
+            AgentParams { cycles: 10000, inputs: 100 }.label(),
+            "100 inputs, 10000 cycles"
+        );
+    }
+
+    #[test]
+    fn input_elements_are_ten_bytes() {
+        for host in ["h1", "h2", "h3"] {
+            for k in [0, 7, 99] {
+                let v = input_element(host, k);
+                assert_eq!(v.as_str().unwrap().len(), 10);
+            }
+        }
+    }
+
+    #[test]
+    fn generic_agent_visits_three_hosts_and_computes() {
+        let params = AgentParams { cycles: 2, inputs: 3 };
+        let agent = build_generic_agent(params);
+        let mut hosts = build_three_hosts(params, &DsaParams::test_group_256(), 42);
+        let log = EventLog::new();
+        let outcome =
+            run_plain_journey(&mut hosts, "h1", agent, &ExecConfig::default(), &log, 10).unwrap();
+        assert_eq!(outcome.path.len(), 3);
+        // sum = cycles' worth of 0+1+...+999 (recomputed each session; the
+        // last session's value survives).
+        assert_eq!(outcome.final_image.state.get_int("sum"), Some(2 * 499_500));
+        // collected holds h3's three inputs (recollected per session).
+        let collected = outcome.final_image.state.get("collected").unwrap();
+        assert_eq!(collected.as_list().unwrap().len(), 3);
+        assert_eq!(outcome.final_image.state.get_int("hop"), Some(3));
+    }
+
+    #[test]
+    fn cycle_work_scales_with_cycles() {
+        let small = build_generic_agent(AgentParams { cycles: 1, inputs: 1 });
+        let big = build_generic_agent(AgentParams { cycles: 3, inputs: 1 });
+        let mut hosts_small = build_three_hosts(
+            AgentParams { cycles: 1, inputs: 1 },
+            &DsaParams::test_group_256(),
+            1,
+        );
+        let mut hosts_big = build_three_hosts(
+            AgentParams { cycles: 3, inputs: 1 },
+            &DsaParams::test_group_256(),
+            1,
+        );
+        let log = EventLog::new();
+        let a = run_plain_journey(&mut hosts_small, "h1", small, &ExecConfig::default(), &log, 10)
+            .unwrap();
+        let b = run_plain_journey(&mut hosts_big, "h1", big, &ExecConfig::default(), &log, 10)
+            .unwrap();
+        let steps_a: u64 = a.records.iter().map(|r| r.outcome.steps).sum();
+        let steps_b: u64 = b.records.iter().map(|r| r.outcome.steps).sum();
+        assert!(steps_b > 2 * steps_a, "3 cycles must run ~3x the instructions of 1");
+    }
+}

@@ -1,0 +1,228 @@
+//! Division with remainder: short division and Knuth Algorithm D.
+
+use crate::uint::Uint;
+
+impl Uint {
+    /// Divides `self` by `divisor`, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero; use [`Uint::checked_divrem`] for a
+    /// fallible variant.
+    ///
+    /// ```
+    /// use refstate_bigint::Uint;
+    /// let (q, r) = Uint::from(17u64).divrem(&Uint::from(5u64));
+    /// assert_eq!((q, r), (Uint::from(3u64), Uint::from(2u64)));
+    /// ```
+    pub fn divrem(&self, divisor: &Uint) -> (Uint, Uint) {
+        self.checked_divrem(divisor)
+            .expect("division by zero Uint; use checked_divrem")
+    }
+
+    /// Divides `self` by `divisor`, returning `None` if `divisor` is zero.
+    pub fn checked_divrem(&self, divisor: &Uint) -> Option<(Uint, Uint)> {
+        if divisor.is_zero() {
+            return None;
+        }
+        if self < divisor {
+            return Some((Uint::zero(), self.clone()));
+        }
+        if divisor.limb_len() == 1 {
+            let (q, r) = self.div_by_limb(divisor.limbs()[0]);
+            return Some((q, Uint::from(r)));
+        }
+        Some(self.div_knuth(divisor))
+    }
+
+    /// Computes `self % modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem(&self, modulus: &Uint) -> Uint {
+        self.divrem(modulus).1
+    }
+
+    /// Short division by a single non-zero limb.
+    fn div_by_limb(&self, d: u64) -> (Uint, u64) {
+        debug_assert!(d != 0);
+        let mut out = vec![0u64; self.limb_len()];
+        let mut rem: u128 = 0;
+        for (i, &limb) in self.limbs().iter().enumerate().rev() {
+            let cur = (rem << 64) | limb as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Uint::from_limbs(out), rem as u64)
+    }
+
+    /// Knuth TAOCP Vol. 2, Algorithm 4.3.1 D, for divisors of two or more
+    /// limbs. Requires `self >= divisor` and `divisor.limb_len() >= 2`.
+    fn div_knuth(&self, divisor: &Uint) -> (Uint, Uint) {
+        let n = divisor.limb_len();
+        let m = self.limb_len() - n;
+        debug_assert!(n >= 2);
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs()[n - 1].leading_zeros() as usize;
+        let vn = divisor.shl_impl(shift);
+        let un_val = self.shl_impl(shift);
+        let v = vn.limbs().to_vec();
+        // u gets one extra high limb (possibly zero) for the algorithm.
+        let mut u = un_val.limbs().to_vec();
+        u.resize(self.limb_len() + 1, 0);
+
+        let mut q = vec![0u64; m + 1];
+        let b: u128 = 1 << 64;
+
+        // D2..D7: loop over quotient digits, most significant first.
+        for j in (0..=m).rev() {
+            // D3: estimate qhat from the top two limbs of the current window.
+            let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = top / v[n - 1] as u128;
+            let mut rhat = top % v[n - 1] as u128;
+            // Correct qhat: at most two adjustments (Knuth Theorem B).
+            while qhat >= b
+                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v[n - 1] as u128;
+                if rhat >= b {
+                    break;
+                }
+            }
+
+            // D4: multiply and subtract u[j..j+n+1] -= qhat * v.
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let prod = qhat * v[i] as u128 + carry;
+                carry = prod >> 64;
+                let sub = (u[j + i] as i128) - (prod as u64 as i128) + borrow;
+                u[j + i] = sub as u64; // wraps mod 2^64 as intended
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            // D5/D6: if we subtracted too much, add one divisor back.
+            if borrow < 0 {
+                qhat -= 1;
+                let mut carry: u128 = 0;
+                for i in 0..n {
+                    let sum = u[j + i] as u128 + v[i] as u128 + carry;
+                    u[j + i] = sum as u64;
+                    carry = sum >> 64;
+                }
+                u[j + n] = (u[j + n] as u128 + carry) as u64;
+            }
+            q[j] = qhat as u64;
+        }
+
+        // D8: denormalize the remainder.
+        let rem = Uint::from_limbs(u[..n].to_vec()).shr_impl(shift);
+        (Uint::from_limbs(q), rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &Uint, b: &Uint) {
+        let (q, r) = a.divrem(b);
+        assert!(r < *b, "remainder {r:?} >= divisor {b:?}");
+        assert_eq!(&(&q * b) + &r, *a, "q*b + r != a for a={a:?} b={b:?}");
+    }
+
+    #[test]
+    fn div_small() {
+        let (q, r) = Uint::from(100u64).divrem(&Uint::from(7u64));
+        assert_eq!(q, Uint::from(14u64));
+        assert_eq!(r, Uint::from(2u64));
+    }
+
+    #[test]
+    fn div_by_larger_is_zero() {
+        let (q, r) = Uint::from(3u64).divrem(&Uint::from(10u64));
+        assert_eq!(q, Uint::zero());
+        assert_eq!(r, Uint::from(3u64));
+    }
+
+    #[test]
+    fn div_by_zero_checked() {
+        assert!(Uint::from(3u64).checked_divrem(&Uint::zero()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Uint::from(3u64).divrem(&Uint::zero());
+    }
+
+    #[test]
+    fn div_exact() {
+        let a = Uint::from_hex("100000000000000000000000000000000").unwrap();
+        let b = Uint::from(1u128 << 64);
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q, Uint::from(1u128 << 64));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn div_matches_u128() {
+        let pairs: [(u128, u128); 6] = [
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (u128::MAX - 1, (1u128 << 64) + 1),
+            (123_456_789_012_345_678_901_234_567_890u128, 987_654_321u128),
+            (1u128 << 127, (1u128 << 64) - 1),
+            (u128::MAX, u128::MAX - 5),
+        ];
+        for (a, b) in pairs {
+            let (q, r) = Uint::from(a).divrem(&Uint::from(b));
+            assert_eq!(q, Uint::from(a / b));
+            assert_eq!(r, Uint::from(a % b));
+        }
+    }
+
+    #[test]
+    fn div_multi_limb_invariant() {
+        // Deterministic pseudo-random pattern without an RNG dependency.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for limbs_a in 1..6usize {
+            for limbs_b in 1..5usize {
+                let a = Uint::from_limbs((0..limbs_a).map(|_| next()).collect());
+                let b = Uint::from_limbs((0..limbs_b).map(|_| next() | 1).collect());
+                if !b.is_zero() {
+                    check(&a, &b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn div_knuth_add_back_case() {
+        // Crafted to exercise the rare D6 "add back" branch: divisor with
+        // high limb pattern that forces qhat overestimation.
+        let a = Uint::from_limbs(vec![0, 0, 0x8000_0000_0000_0000, 0x7fff_ffff_ffff_ffff]);
+        let b = Uint::from_limbs(vec![1, 0, 0x8000_0000_0000_0000]);
+        check(&a, &b);
+        let a2 = Uint::from_limbs(vec![0, u64::MAX, u64::MAX - 1]);
+        let b2 = Uint::from_limbs(vec![u64::MAX, u64::MAX]);
+        check(&a2, &b2);
+    }
+
+    #[test]
+    fn rem_helper() {
+        assert_eq!(Uint::from(17u64).rem(&Uint::from(5u64)), Uint::from(2u64));
+    }
+}

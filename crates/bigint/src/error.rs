@@ -1,0 +1,70 @@
+//! Error types for parsing and conversion.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing or converting a [`crate::Uint`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUintError {
+    kind: ErrorKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrorKind {
+    Empty,
+    InvalidDigit,
+    Overflow,
+}
+
+impl ParseUintError {
+    pub(crate) fn empty() -> Self {
+        ParseUintError { kind: ErrorKind::Empty }
+    }
+
+    pub(crate) fn invalid_digit() -> Self {
+        ParseUintError { kind: ErrorKind::InvalidDigit }
+    }
+
+    pub(crate) fn overflow() -> Self {
+        ParseUintError { kind: ErrorKind::Overflow }
+    }
+}
+
+impl fmt::Display for ParseUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ErrorKind::Empty => f.write_str("cannot parse integer from empty string"),
+            ErrorKind::InvalidDigit => f.write_str("invalid digit found in string"),
+            ErrorKind::Overflow => f.write_str("value too large for the target type"),
+        }
+    }
+}
+
+impl Error for ParseUintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ParseUintError::empty().to_string(),
+            "cannot parse integer from empty string"
+        );
+        assert_eq!(
+            ParseUintError::invalid_digit().to_string(),
+            "invalid digit found in string"
+        );
+        assert_eq!(
+            ParseUintError::overflow().to_string(),
+            "value too large for the target type"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ParseUintError>();
+    }
+}

@@ -1,0 +1,225 @@
+//! Modular arithmetic: `mul_mod`, `pow_mod`, `inv_mod`, `gcd`.
+
+use crate::signed::Int;
+use crate::uint::Uint;
+
+impl Uint {
+    /// Computes `(self * other) mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    ///
+    /// ```
+    /// use refstate_bigint::Uint;
+    /// let r = Uint::from(7u64).mul_mod(&Uint::from(8u64), &Uint::from(10u64));
+    /// assert_eq!(r, Uint::from(6u64));
+    /// ```
+    pub fn mul_mod(&self, other: &Uint, modulus: &Uint) -> Uint {
+        (self * other).rem(modulus)
+    }
+
+    /// Computes `(self + other) mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn add_mod(&self, other: &Uint, modulus: &Uint) -> Uint {
+        (self + other).rem(modulus)
+    }
+
+    /// Computes `(self - other) mod modulus`, wrapping into `[0, modulus)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn sub_mod(&self, other: &Uint, modulus: &Uint) -> Uint {
+        let a = self.rem(modulus);
+        let b = other.rem(modulus);
+        if a >= b {
+            (&a - &b).rem(modulus)
+        } else {
+            &(&a + modulus) - &b
+        }
+    }
+
+    /// Computes `self ^ exponent mod modulus` by left-to-right
+    /// square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    ///
+    /// ```
+    /// use refstate_bigint::Uint;
+    /// let base = Uint::from(4u64);
+    /// let exp = Uint::from(13u64);
+    /// let m = Uint::from(497u64);
+    /// assert_eq!(base.pow_mod(&exp, &m), Uint::from(445u64));
+    /// ```
+    pub fn pow_mod(&self, exponent: &Uint, modulus: &Uint) -> Uint {
+        assert!(!modulus.is_zero(), "pow_mod modulus must be non-zero");
+        if modulus.is_one() {
+            return Uint::zero();
+        }
+        if exponent.is_zero() {
+            return Uint::one();
+        }
+        let base = self.rem(modulus);
+        let mut acc = Uint::one();
+        let bits = exponent.bit_len();
+        for i in (0..bits).rev() {
+            acc = acc.mul_mod(&acc, modulus);
+            if exponent.bit(i) {
+                acc = acc.mul_mod(&base, modulus);
+            }
+        }
+        acc
+    }
+
+    /// Computes the greatest common divisor by the Euclidean algorithm.
+    ///
+    /// `gcd(0, 0)` is defined as `0`.
+    ///
+    /// ```
+    /// use refstate_bigint::Uint;
+    /// assert_eq!(Uint::from(48u64).gcd(&Uint::from(18u64)), Uint::from(6u64));
+    /// ```
+    pub fn gcd(&self, other: &Uint) -> Uint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Computes the multiplicative inverse of `self` modulo `modulus`,
+    /// returning `None` when `gcd(self, modulus) != 1` (no inverse exists)
+    /// or when `modulus < 2`.
+    ///
+    /// ```
+    /// use refstate_bigint::Uint;
+    /// let inv = Uint::from(3u64).inv_mod(&Uint::from(11u64)).unwrap();
+    /// assert_eq!(inv, Uint::from(4u64)); // 3*4 = 12 ≡ 1 (mod 11)
+    /// assert!(Uint::from(4u64).inv_mod(&Uint::from(8u64)).is_none());
+    /// ```
+    pub fn inv_mod(&self, modulus: &Uint) -> Option<Uint> {
+        if modulus < &Uint::from(2u64) {
+            return None;
+        }
+        // Extended Euclid on (modulus, self mod modulus), tracking only the
+        // Bezout coefficient of `self`.
+        let mut r_prev = modulus.clone();
+        let mut r = self.rem(modulus);
+        let mut t_prev = Int::zero();
+        let mut t = Int::one();
+        while !r.is_zero() {
+            let (q, rem) = r_prev.divrem(&r);
+            let t_next = t_prev.sub(&Int::from_uint(q).mul(&t));
+            r_prev = r;
+            r = rem;
+            t_prev = t;
+            t = t_next;
+        }
+        if !r_prev.is_one() {
+            return None;
+        }
+        Some(t_prev.rem_euclid(modulus))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> Uint {
+        Uint::from(v)
+    }
+
+    #[test]
+    fn pow_mod_small() {
+        assert_eq!(u(2).pow_mod(&u(10), &u(1000)), u(24));
+        assert_eq!(u(2).pow_mod(&u(0), &u(1000)), u(1));
+        assert_eq!(u(0).pow_mod(&u(5), &u(7)), u(0));
+        assert_eq!(u(5).pow_mod(&u(1), &u(7)), u(5));
+        assert_eq!(u(5).pow_mod(&u(100), &u(1)), u(0));
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // Fermat's little theorem: a^(p-1) ≡ 1 mod p for prime p, a not
+        // divisible by p.
+        let p = u(1_000_000_007);
+        for a in [2u64, 3, 65537, 999_999_999] {
+            assert_eq!(u(a).pow_mod(&(&p - &Uint::one()), &p), Uint::one());
+        }
+    }
+
+    #[test]
+    fn pow_mod_large() {
+        // 2^128 mod (2^61 - 1): 2^128 = 2^(61*2+6) => 2^6 = 64.
+        let m = &(Uint::from(1u128 << 61)) - &Uint::one();
+        let e = u(128);
+        assert_eq!(u(2).pow_mod(&e, &m), u(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn pow_mod_zero_modulus_panics() {
+        let _ = u(2).pow_mod(&u(2), &Uint::zero());
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(u(48).gcd(&u(18)), u(6));
+        assert_eq!(u(17).gcd(&u(5)), u(1));
+        assert_eq!(u(0).gcd(&u(5)), u(5));
+        assert_eq!(u(5).gcd(&u(0)), u(5));
+        assert_eq!(Uint::zero().gcd(&Uint::zero()), Uint::zero());
+    }
+
+    #[test]
+    fn inv_mod_cases() {
+        assert_eq!(u(3).inv_mod(&u(11)), Some(u(4)));
+        assert_eq!(u(10).inv_mod(&u(17)), Some(u(12))); // 10*12=120=7*17+1
+        assert!(u(4).inv_mod(&u(8)).is_none());
+        assert!(u(0).inv_mod(&u(7)).is_none());
+        assert!(u(3).inv_mod(&u(1)).is_none());
+        assert!(u(3).inv_mod(&Uint::zero()).is_none());
+    }
+
+    #[test]
+    fn inv_mod_verifies() {
+        let m = u(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            let inv = u(a).inv_mod(&m).unwrap();
+            assert_eq!(u(a).mul_mod(&inv, &m), Uint::one());
+        }
+    }
+
+    #[test]
+    fn inv_mod_large_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let p = &Uint::from(1u128 << 127) - &Uint::one();
+        let a = Uint::from(0x1234_5678_9abc_def0u64);
+        let inv = a.inv_mod(&p).unwrap();
+        assert_eq!(a.mul_mod(&inv, &p), Uint::one());
+    }
+
+    #[test]
+    fn sub_mod_wraps() {
+        assert_eq!(u(3).sub_mod(&u(5), &u(7)), u(5));
+        assert_eq!(u(5).sub_mod(&u(3), &u(7)), u(2));
+        assert_eq!(u(5).sub_mod(&u(5), &u(7)), u(0));
+        assert_eq!(u(12).sub_mod(&u(20), &u(7)), u(6)); // 5 - 6 mod 7
+    }
+
+    #[test]
+    fn add_mod_and_mul_mod() {
+        assert_eq!(u(5).add_mod(&u(5), &u(7)), u(3));
+        assert_eq!(u(5).mul_mod(&u(5), &u(7)), u(4));
+    }
+}

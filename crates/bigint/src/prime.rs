@@ -1,0 +1,166 @@
+//! Probabilistic primality testing and prime generation.
+
+use rand::RngCore;
+
+use crate::random::{random_exact_bits, random_in_unit_range};
+use crate::uint::Uint;
+
+/// The primes below 1000, used for cheap trial division before Miller–Rabin.
+pub const SMALL_PRIMES: [u64; 168] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419,
+    421, 431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541,
+    547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653,
+    659, 661, 673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787,
+    797, 809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907, 911, 919,
+    929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997,
+];
+
+/// Tests `n` for primality with trial division followed by `rounds` rounds of
+/// Miller–Rabin with random bases.
+///
+/// A composite passes with probability at most `4^-rounds`; 40 rounds is
+/// standard for cryptographic use.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use refstate_bigint::{is_probable_prime, Uint};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert!(is_probable_prime(&Uint::from(65537u64), 20, &mut rng));
+/// assert!(!is_probable_prime(&Uint::from(65536u64), 20, &mut rng));
+/// ```
+pub fn is_probable_prime(n: &Uint, rounds: u32, rng: &mut dyn RngCore) -> bool {
+    if n < &Uint::from(2u64) {
+        return false;
+    }
+    for &p in SMALL_PRIMES.iter() {
+        let p = Uint::from(p);
+        if n == &p {
+            return true;
+        }
+        if n.rem(&p).is_zero() {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let one = Uint::one();
+    let n_minus_1 = n.checked_sub(&one).expect("n >= 2");
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = &d >> 1;
+        s += 1;
+    }
+
+    'witness: for _ in 0..rounds {
+        let a = random_in_unit_range(rng, &n_minus_1);
+        if a.is_one() {
+            continue;
+        }
+        let mut x = a.pow_mod(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The candidate stream is random odd numbers with the top bit forced, so the
+/// result always has full bit length.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime(bits: usize, rounds: u32, rng: &mut dyn RngCore) -> Uint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = random_exact_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = &candidate + &Uint::one();
+            if candidate.bit_len() != bits {
+                continue; // overflowed to bits+1 (candidate was 2^bits - 1 + 1)
+            }
+        }
+        if is_probable_prime(&candidate, rounds, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_detected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 997, 65537, 1_000_000_007] {
+            assert!(is_probable_prime(&Uint::from(p), 20, &mut rng), "{p}");
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [0u64, 1, 4, 9, 561, 1105, 1729, 65536, 1_000_000_000] {
+            assert!(!is_probable_prime(&Uint::from(c), 20, &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in [561u64, 41041, 825265, 321197185] {
+            assert!(!is_probable_prime(&Uint::from(c), 20, &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_127() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = &Uint::from(1u128 << 127) - &Uint::one();
+        assert!(is_probable_prime(&p, 16, &mut rng));
+    }
+
+    #[test]
+    fn product_of_primes_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Product of two 64-bit primes: definitely composite, no small factors.
+        let p = Uint::from(18446744073709551557u64); // largest 64-bit prime
+        let q = Uint::from(18446744073709551533u64); // second largest
+        assert!(!is_probable_prime(&(&p * &q), 16, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for bits in [8usize, 16, 32, 64] {
+            let p = gen_prime(bits, 16, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_probable_prime(&p, 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_prime_128_bits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = gen_prime(128, 12, &mut rng);
+        assert_eq!(p.bit_len(), 128);
+        assert!(!p.is_even());
+    }
+}

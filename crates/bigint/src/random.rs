@@ -1,0 +1,130 @@
+//! Random [`Uint`] generation helpers.
+
+use rand::RngCore;
+
+use crate::uint::Uint;
+
+/// Generates a uniformly random value with *at most* `bits` bits.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let v = refstate_bigint::random_bits(&mut rng, 128);
+/// assert!(v.bit_len() <= 128);
+/// ```
+pub fn random_bits(rng: &mut dyn RngCore, bits: usize) -> Uint {
+    if bits == 0 {
+        return Uint::zero();
+    }
+    let limbs = bits.div_ceil(64);
+    let mut raw: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+    let top_bits = bits % 64;
+    if top_bits != 0 {
+        let mask = (1u64 << top_bits) - 1;
+        let last = raw.len() - 1;
+        raw[last] &= mask;
+    }
+    Uint::from_limbs(raw)
+}
+
+/// Generates a uniformly random value with *exactly* `bits` bits, i.e. the
+/// top bit is always set.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn random_exact_bits(rng: &mut dyn RngCore, bits: usize) -> Uint {
+    assert!(bits > 0, "cannot generate an exact zero-bit value");
+    let below = random_bits(rng, bits - 1);
+    let top = Uint::one().shl_impl(bits - 1);
+    &top + &below
+}
+
+/// Generates a uniformly random value in `[0, bound)` by rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below(rng: &mut dyn RngCore, bound: &Uint) -> Uint {
+    assert!(!bound.is_zero(), "random_below bound must be positive");
+    let bits = bound.bit_len();
+    loop {
+        let candidate = random_bits(rng, bits);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a uniformly random value in `[1, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound <= 1`.
+pub fn random_in_unit_range(rng: &mut dyn RngCore, bound: &Uint) -> Uint {
+    assert!(bound > &Uint::one(), "range [1, bound) must be non-empty");
+    loop {
+        let candidate = random_below(rng, bound);
+        if !candidate.is_zero() {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for bits in [1usize, 7, 63, 64, 65, 100, 512] {
+            for _ in 0..20 {
+                let v = random_bits(&mut rng, bits);
+                assert!(v.bit_len() <= bits, "bits={bits} got {}", v.bit_len());
+            }
+        }
+        assert!(random_bits(&mut rng, 0).is_zero());
+    }
+
+    #[test]
+    fn random_exact_bits_sets_top_bit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [1usize, 2, 64, 65, 160, 512] {
+            for _ in 0..10 {
+                let v = random_exact_bits(&mut rng, bits);
+                assert_eq!(v.bit_len(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let bound = Uint::from(1000u64);
+        for _ in 0..200 {
+            assert!(random_below(&mut rng, &bound) < bound);
+        }
+        // bound = 1 always yields zero
+        assert!(random_below(&mut rng, &Uint::one()).is_zero());
+    }
+
+    #[test]
+    fn random_in_unit_range_nonzero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bound = Uint::from(3u64);
+        for _ in 0..50 {
+            let v = random_in_unit_range(&mut rng, &bound);
+            assert!(!v.is_zero() && v < bound);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(1234);
+        let mut b = StdRng::seed_from_u64(1234);
+        assert_eq!(random_bits(&mut a, 256), random_bits(&mut b, 256));
+    }
+}

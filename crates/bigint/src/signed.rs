@@ -1,0 +1,127 @@
+//! A minimal signed integer used internally by the extended Euclidean
+//! algorithm. Not exported: the public API of this crate is unsigned.
+
+use std::cmp::Ordering;
+
+use crate::uint::Uint;
+
+/// Sign-magnitude integer. Zero is always `negative: false`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Int {
+    pub(crate) negative: bool,
+    pub(crate) magnitude: Uint,
+}
+
+impl Int {
+    pub(crate) fn zero() -> Self {
+        Int { negative: false, magnitude: Uint::zero() }
+    }
+
+    pub(crate) fn one() -> Self {
+        Int { negative: false, magnitude: Uint::one() }
+    }
+
+    pub(crate) fn from_uint(u: Uint) -> Self {
+        Int { negative: false, magnitude: u }
+    }
+
+    fn normalized(negative: bool, magnitude: Uint) -> Self {
+        if magnitude.is_zero() {
+            Int::zero()
+        } else {
+            Int { negative, magnitude }
+        }
+    }
+
+    pub(crate) fn neg(&self) -> Self {
+        Int::normalized(!self.negative, self.magnitude.clone())
+    }
+
+    pub(crate) fn add(&self, other: &Int) -> Self {
+        match (self.negative, other.negative) {
+            (false, false) | (true, true) => {
+                Int::normalized(self.negative, &self.magnitude + &other.magnitude)
+            }
+            _ => {
+                // Differing signs: subtract the smaller magnitude.
+                match self.magnitude.cmp(&other.magnitude) {
+                    Ordering::Equal => Int::zero(),
+                    Ordering::Greater => Int::normalized(
+                        self.negative,
+                        self.magnitude.checked_sub(&other.magnitude).expect("greater"),
+                    ),
+                    Ordering::Less => Int::normalized(
+                        other.negative,
+                        other.magnitude.checked_sub(&self.magnitude).expect("greater"),
+                    ),
+                }
+            }
+        }
+    }
+
+    pub(crate) fn sub(&self, other: &Int) -> Self {
+        self.add(&other.neg())
+    }
+
+    pub(crate) fn mul(&self, other: &Int) -> Self {
+        Int::normalized(
+            self.negative != other.negative,
+            &self.magnitude * &other.magnitude,
+        )
+    }
+
+    /// Reduces into the range `[0, modulus)`.
+    pub(crate) fn rem_euclid(&self, modulus: &Uint) -> Uint {
+        let m = self.magnitude.rem(modulus);
+        if self.negative && !m.is_zero() {
+            modulus.checked_sub(&m).expect("m < modulus")
+        } else {
+            m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(v: u64) -> Int {
+        Int::from_uint(Uint::from(v))
+    }
+
+    fn neg(v: u64) -> Int {
+        pos(v).neg()
+    }
+
+    #[test]
+    fn add_signs() {
+        assert_eq!(pos(5).add(&pos(3)), pos(8));
+        assert_eq!(pos(5).add(&neg(3)), pos(2));
+        assert_eq!(pos(3).add(&neg(5)), neg(2));
+        assert_eq!(neg(3).add(&neg(5)), neg(8));
+        assert_eq!(pos(5).add(&neg(5)), Int::zero());
+    }
+
+    #[test]
+    fn sub_and_mul() {
+        assert_eq!(pos(5).sub(&pos(8)), neg(3));
+        assert_eq!(neg(5).mul(&neg(3)), pos(15));
+        assert_eq!(neg(5).mul(&pos(3)), neg(15));
+        assert_eq!(pos(0).mul(&neg(3)), Int::zero());
+    }
+
+    #[test]
+    fn zero_never_negative() {
+        assert!(!neg(5).add(&pos(5)).negative);
+        assert!(!pos(0).neg().negative);
+    }
+
+    #[test]
+    fn rem_euclid_wraps_negatives() {
+        let m = Uint::from(7u64);
+        assert_eq!(pos(10).rem_euclid(&m), Uint::from(3u64));
+        assert_eq!(neg(10).rem_euclid(&m), Uint::from(4u64));
+        assert_eq!(neg(7).rem_euclid(&m), Uint::zero());
+        assert_eq!(neg(1).rem_euclid(&m), Uint::from(6u64));
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests for the bigint crate: ring axioms, division
+//! invariants, conversion round-trips, and modular arithmetic laws.
+
+use proptest::prelude::*;
+use refstate_bigint::Uint;
+
+/// Strategy: an arbitrary Uint up to ~256 bits built from raw bytes.
+fn uint() -> impl Strategy<Value = Uint> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|bytes| Uint::from_be_bytes(&bytes))
+}
+
+/// Strategy: a non-zero Uint.
+fn uint_nonzero() -> impl Strategy<Value = Uint> {
+    uint().prop_map(|v| if v.is_zero() { Uint::one() } else { v })
+}
+
+/// Strategy: a Uint >= 2 (usable as a modulus).
+fn modulus() -> impl Strategy<Value = Uint> {
+    uint().prop_map(|v| {
+        if v < Uint::from(2u64) {
+            Uint::from(2u64)
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in uint(), b in uint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in uint(), b in uint(), c in uint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_identity(a in uint()) {
+        prop_assert_eq!(&a + &Uint::zero(), a);
+    }
+
+    #[test]
+    fn mul_commutative(a in uint(), b in uint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associative(a in uint(), b in uint(), c in uint()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in uint(), b in uint(), c in uint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn mul_identity_and_zero(a in uint()) {
+        prop_assert_eq!(&a * &Uint::one(), a.clone());
+        prop_assert_eq!(&a * &Uint::zero(), Uint::zero());
+    }
+
+    #[test]
+    fn sub_inverts_add(a in uint(), b in uint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn checked_sub_consistent_with_ord(a in uint(), b in uint()) {
+        prop_assert_eq!(a.checked_sub(&b).is_some(), a >= b);
+    }
+
+    #[test]
+    fn division_invariant(a in uint(), b in uint_nonzero()) {
+        let (q, r) = a.divrem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn division_by_one(a in uint()) {
+        let (q, r) = a.divrem(&Uint::one());
+        prop_assert_eq!(q, a);
+        prop_assert!(r.is_zero());
+    }
+
+    #[test]
+    fn division_self(a in uint_nonzero()) {
+        let (q, r) = a.divrem(&a);
+        prop_assert_eq!(q, Uint::one());
+        prop_assert!(r.is_zero());
+    }
+
+    #[test]
+    fn shift_round_trip(a in uint(), bits in 0usize..200) {
+        prop_assert_eq!(&(&a << bits) >> bits, a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in uint(), bits in 0usize..63) {
+        prop_assert_eq!(&a << bits, &a * &Uint::from(1u64 << bits));
+    }
+
+    #[test]
+    fn bytes_round_trip(a in uint()) {
+        prop_assert_eq!(Uint::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn hex_round_trip(a in uint()) {
+        prop_assert_eq!(Uint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_round_trip(a in uint()) {
+        prop_assert_eq!(Uint::from_decimal(&a.to_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn u128_agreement_add(a in any::<u64>(), b in any::<u64>()) {
+        let expect = a as u128 + b as u128;
+        prop_assert_eq!(&Uint::from(a) + &Uint::from(b), Uint::from(expect));
+    }
+
+    #[test]
+    fn u128_agreement_mul(a in any::<u64>(), b in any::<u64>()) {
+        let expect = a as u128 * b as u128;
+        prop_assert_eq!(&Uint::from(a) * &Uint::from(b), Uint::from(expect));
+    }
+
+    #[test]
+    fn u128_agreement_div(a in any::<u128>(), b in 1u128..) {
+        let q = Uint::from(a).divrem(&Uint::from(b));
+        prop_assert_eq!(q.0, Uint::from(a / b));
+        prop_assert_eq!(q.1, Uint::from(a % b));
+    }
+
+    #[test]
+    fn mod_reduction_bounded(a in uint(), m in modulus()) {
+        prop_assert!(a.rem(&m) < m);
+    }
+
+    #[test]
+    fn mul_mod_matches_definition(a in uint(), b in uint(), m in modulus()) {
+        prop_assert_eq!(a.mul_mod(&b, &m), (&a * &b).rem(&m));
+    }
+
+    #[test]
+    fn pow_mod_small_exponents(a in uint(), m in modulus()) {
+        prop_assert_eq!(a.pow_mod(&Uint::zero(), &m), if m.is_one() { Uint::zero() } else { Uint::one() });
+        prop_assert_eq!(a.pow_mod(&Uint::one(), &m), a.rem(&m));
+        prop_assert_eq!(a.pow_mod(&Uint::from(2u64), &m), a.mul_mod(&a, &m));
+    }
+
+    #[test]
+    fn pow_mod_adds_exponents(a in uint(), e1 in 0u64..50, e2 in 0u64..50, m in modulus()) {
+        // a^(e1+e2) = a^e1 * a^e2 (mod m)
+        let lhs = a.pow_mod(&Uint::from(e1 + e2), &m);
+        let rhs = a.pow_mod(&Uint::from(e1), &m).mul_mod(&a.pow_mod(&Uint::from(e2), &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in uint_nonzero(), b in uint_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn gcd_commutative(a in uint(), b in uint()) {
+        prop_assert_eq!(a.gcd(&b), b.gcd(&a));
+    }
+
+    #[test]
+    fn inv_mod_is_inverse(a in uint_nonzero(), m in modulus()) {
+        if let Some(inv) = a.inv_mod(&m) {
+            prop_assert_eq!(a.mul_mod(&inv, &m), Uint::one());
+            prop_assert!(inv < m);
+        } else {
+            // No inverse implies non-trivial gcd.
+            prop_assert!(!a.gcd(&m).is_one() || a.rem(&m).is_zero());
+        }
+    }
+
+    #[test]
+    fn sub_mod_is_additive_inverse(a in uint(), b in uint(), m in modulus()) {
+        let d = a.sub_mod(&b, &m);
+        prop_assert_eq!(d.add_mod(&b.rem(&m), &m), a.rem(&m));
+    }
+
+    #[test]
+    fn ordering_total(a in uint(), b in uint()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert!(b > a),
+            Ordering::Greater => prop_assert!(a > b),
+            Ordering::Equal => prop_assert_eq!(&a, &b),
+        }
+    }
+
+    #[test]
+    fn bit_len_consistent(a in uint_nonzero()) {
+        let n = a.bit_len();
+        prop_assert!(a.bit(n - 1));
+        prop_assert!(!a.bit(n));
+        // 2^(n-1) <= a < 2^n
+        prop_assert!(a >= &Uint::one() << (n - 1));
+        prop_assert!(a < &Uint::one() << n);
+    }
+}

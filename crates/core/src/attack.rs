@@ -1,0 +1,189 @@
+//! The attack taxonomy of the paper's Fig. 2, with the reduction arguments
+//! of §2.2 encoded as queryable predicates.
+
+use std::fmt;
+
+/// One of the twelve attack areas against mobile agents (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum AttackArea {
+    /// 1. Spying out code.
+    SpyingOutCode = 1,
+    /// 2. Spying out data.
+    SpyingOutData = 2,
+    /// 3. Spying out control flow.
+    SpyingOutControlFlow = 3,
+    /// 4. Manipulation of code.
+    ManipulationOfCode = 4,
+    /// 5. Manipulation of data.
+    ManipulationOfData = 5,
+    /// 6. Manipulation of control flow.
+    ManipulationOfControlFlow = 6,
+    /// 7. Incorrect execution of code.
+    IncorrectExecution = 7,
+    /// 8. Masquerading of the host.
+    Masquerading = 8,
+    /// 9. Denial of execution.
+    DenialOfExecution = 9,
+    /// 10. Spying out interaction with other agents.
+    SpyingOutInteraction = 10,
+    /// 11. Manipulation of interaction with other agents.
+    ManipulationOfInteraction = 11,
+    /// 12. Returning wrong results of system calls issued by the agent.
+    FalseSystemCallResults = 12,
+}
+
+impl AttackArea {
+    /// All twelve areas in Fig. 2 order.
+    pub const ALL: [AttackArea; 12] = [
+        AttackArea::SpyingOutCode,
+        AttackArea::SpyingOutData,
+        AttackArea::SpyingOutControlFlow,
+        AttackArea::ManipulationOfCode,
+        AttackArea::ManipulationOfData,
+        AttackArea::ManipulationOfControlFlow,
+        AttackArea::IncorrectExecution,
+        AttackArea::Masquerading,
+        AttackArea::DenialOfExecution,
+        AttackArea::SpyingOutInteraction,
+        AttackArea::ManipulationOfInteraction,
+        AttackArea::FalseSystemCallResults,
+    ];
+
+    /// The Fig. 2 number of this area.
+    pub fn number(&self) -> u8 {
+        *self as u8
+    }
+
+    /// The description as listed in Fig. 2.
+    pub fn description(&self) -> &'static str {
+        match self {
+            AttackArea::SpyingOutCode => "spying out code",
+            AttackArea::SpyingOutData => "spying out data",
+            AttackArea::SpyingOutControlFlow => "spying out control flow",
+            AttackArea::ManipulationOfCode => "manipulation of code",
+            AttackArea::ManipulationOfData => "manipulation of data",
+            AttackArea::ManipulationOfControlFlow => "manipulation of control flow",
+            AttackArea::IncorrectExecution => "incorrect execution of code",
+            AttackArea::Masquerading => "masquerading of the host",
+            AttackArea::DenialOfExecution => "denial of execution",
+            AttackArea::SpyingOutInteraction => "spying out interaction with other agents",
+            AttackArea::ManipulationOfInteraction => {
+                "manipulation of interaction with other agents"
+            }
+            AttackArea::FalseSystemCallResults => {
+                "returning wrong results of system calls issued by the agent"
+            }
+        }
+    }
+
+    /// Membership in the "blackbox set" (areas 2 and 4–7): the reduction of
+    /// [Hohl 1998] cited in §2.2 — preventing these prevents the remaining
+    /// preventable attacks.
+    pub fn in_blackbox_set(&self) -> bool {
+        matches!(self.number(), 2 | 4..=7)
+    }
+
+    /// Whether the paper classifies the area as not preventable at all by
+    /// software means (areas 9 and 12).
+    pub fn unpreventable(&self) -> bool {
+        matches!(self, AttackArea::DenialOfExecution | AttackArea::FalseSystemCallResults)
+    }
+
+    /// Whether a *reference-state* mechanism can, in principle, detect
+    /// attacks from this area (§2.3: attacks "that differ in the resulting
+    /// state from a reference state" — modification of data or control
+    /// flow, incorrect execution, and code manipulation insofar as it
+    /// yields a wrong state).
+    pub fn detectable_by_reference_states(&self) -> bool {
+        matches!(
+            self,
+            AttackArea::ManipulationOfCode
+                | AttackArea::ManipulationOfData
+                | AttackArea::ManipulationOfControlFlow
+                | AttackArea::IncorrectExecution
+        )
+    }
+
+    /// Whether the area is a pure *read* attack, which the paper's §4.2
+    /// explicitly places outside the scheme ("these attacks do not leave
+    /// traces in the agent state").
+    pub fn is_read_attack(&self) -> bool {
+        matches!(
+            self,
+            AttackArea::SpyingOutCode
+                | AttackArea::SpyingOutData
+                | AttackArea::SpyingOutControlFlow
+                | AttackArea::SpyingOutInteraction
+        )
+    }
+}
+
+impl fmt::Display for AttackArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}. {}", self.number(), self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_match_fig2_order() {
+        for (i, area) in AttackArea::ALL.iter().enumerate() {
+            assert_eq!(area.number() as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn blackbox_set_is_2_and_4_to_7() {
+        let set: Vec<u8> = AttackArea::ALL
+            .iter()
+            .filter(|a| a.in_blackbox_set())
+            .map(|a| a.number())
+            .collect();
+        assert_eq!(set, vec![2, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn unpreventable_are_9_and_12() {
+        let set: Vec<u8> = AttackArea::ALL
+            .iter()
+            .filter(|a| a.unpreventable())
+            .map(|a| a.number())
+            .collect();
+        assert_eq!(set, vec![9, 12]);
+    }
+
+    #[test]
+    fn reference_states_cover_modification_attacks() {
+        let set: Vec<u8> = AttackArea::ALL
+            .iter()
+            .filter(|a| a.detectable_by_reference_states())
+            .map(|a| a.number())
+            .collect();
+        assert_eq!(set, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn read_attacks_never_detectable() {
+        for area in AttackArea::ALL {
+            if area.is_read_attack() {
+                assert!(
+                    !area.detectable_by_reference_states(),
+                    "{area} is a read attack and must not be claimed detectable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_includes_number_and_text() {
+        assert_eq!(AttackArea::SpyingOutData.to_string(), "2. spying out data");
+        assert_eq!(
+            AttackArea::FalseSystemCallResults.to_string(),
+            "12. returning wrong results of system calls issued by the agent"
+        );
+    }
+}

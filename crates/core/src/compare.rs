@@ -1,0 +1,178 @@
+//! State comparators for re-execution checks.
+//!
+//! The paper (§3.5, "re-execution") notes that a naive state comparison can
+//! produce false alarms: an agent using two threads may assemble a list
+//! whose element *order* depends on scheduling, so "the list cannot [be]
+//! compared simply with the list of another execution as the other list may
+//! contain the same elements, but in different order". The framework
+//! therefore lets the programmer specify the comparison method. This module
+//! provides the common ones.
+
+use std::collections::BTreeSet;
+
+use refstate_vm::{DataState, Value};
+
+/// A method for deciding whether a re-executed state matches the claimed
+/// state.
+pub trait StateCompare {
+    /// Returns `true` when the two states are equivalent under this
+    /// comparator.
+    fn equivalent(&self, claimed: &DataState, reference: &DataState) -> bool;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Byte-for-byte (structural) equality — the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactCompare;
+
+impl StateCompare for ExactCompare {
+    fn equivalent(&self, claimed: &DataState, reference: &DataState) -> bool {
+        claimed == reference
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+/// Equality ignoring a set of volatile variables (e.g. a timestamp the
+/// agent records for bookkeeping but that carries no protected meaning).
+#[derive(Debug, Clone, Default)]
+pub struct IgnoreVars {
+    ignored: BTreeSet<String>,
+}
+
+impl IgnoreVars {
+    /// Creates a comparator ignoring the given variables.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(vars: I) -> Self {
+        IgnoreVars { ignored: vars.into_iter().map(Into::into).collect() }
+    }
+
+    fn strip(&self, state: &DataState) -> DataState {
+        state
+            .iter()
+            .filter(|(k, _)| !self.ignored.contains(*k))
+            .map(|(k, v)| (k.to_owned(), v.clone()))
+            .collect()
+    }
+}
+
+impl StateCompare for IgnoreVars {
+    fn equivalent(&self, claimed: &DataState, reference: &DataState) -> bool {
+        self.strip(claimed) == self.strip(reference)
+    }
+
+    fn name(&self) -> &'static str {
+        "ignore-vars"
+    }
+}
+
+/// Equality treating the named list variables as multisets — the paper's
+/// thread-ordering example.
+#[derive(Debug, Clone, Default)]
+pub struct UnorderedLists {
+    unordered: BTreeSet<String>,
+}
+
+impl UnorderedLists {
+    /// Creates a comparator that sorts the named list variables before
+    /// comparing.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(vars: I) -> Self {
+        UnorderedLists { unordered: vars.into_iter().map(Into::into).collect() }
+    }
+
+    fn normalize(&self, state: &DataState) -> DataState {
+        state
+            .iter()
+            .map(|(k, v)| {
+                let v = match v {
+                    Value::List(items) if self.unordered.contains(k) => {
+                        let mut sorted = items.clone();
+                        sorted.sort();
+                        Value::List(sorted)
+                    }
+                    other => other.clone(),
+                };
+                (k.to_owned(), v)
+            })
+            .collect()
+    }
+}
+
+impl StateCompare for UnorderedLists {
+    fn equivalent(&self, claimed: &DataState, reference: &DataState) -> bool {
+        self.normalize(claimed) == self.normalize(reference)
+    }
+
+    fn name(&self) -> &'static str {
+        "unordered-lists"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(pairs: &[(&str, Value)]) -> DataState {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn exact_compare() {
+        let a = state(&[("x", Value::Int(1))]);
+        let b = state(&[("x", Value::Int(1))]);
+        let c = state(&[("x", Value::Int(2))]);
+        assert!(ExactCompare.equivalent(&a, &b));
+        assert!(!ExactCompare.equivalent(&a, &c));
+        assert_eq!(ExactCompare.name(), "exact");
+    }
+
+    #[test]
+    fn ignore_vars() {
+        let cmp = IgnoreVars::new(["ts"]);
+        let a = state(&[("x", Value::Int(1)), ("ts", Value::Int(100))]);
+        let b = state(&[("x", Value::Int(1)), ("ts", Value::Int(999))]);
+        let c = state(&[("x", Value::Int(2)), ("ts", Value::Int(100))]);
+        assert!(cmp.equivalent(&a, &b));
+        assert!(!cmp.equivalent(&a, &c));
+        // A state missing the ignored var entirely still matches.
+        let d = state(&[("x", Value::Int(1))]);
+        assert!(cmp.equivalent(&a, &d));
+    }
+
+    #[test]
+    fn unordered_lists_match_permutations() {
+        let cmp = UnorderedLists::new(["quotes"]);
+        let a = state(&[(
+            "quotes",
+            Value::List(vec![Value::Int(3), Value::Int(1), Value::Int(2)]),
+        )]);
+        let b = state(&[(
+            "quotes",
+            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+        )]);
+        assert!(cmp.equivalent(&a, &b));
+        // Different multiset still fails.
+        let c = state(&[(
+            "quotes",
+            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(2)]),
+        )]);
+        assert!(!cmp.equivalent(&a, &c));
+    }
+
+    #[test]
+    fn unordered_applies_only_to_named_vars() {
+        let cmp = UnorderedLists::new(["free"]);
+        let a = state(&[(
+            "ordered",
+            Value::List(vec![Value::Int(2), Value::Int(1)]),
+        )]);
+        let b = state(&[(
+            "ordered",
+            Value::List(vec![Value::Int(1), Value::Int(2)]),
+        )]);
+        assert!(!cmp.equivalent(&a, &b), "unlisted lists stay order-sensitive");
+    }
+}

@@ -1,0 +1,743 @@
+//! The generic checking framework: any point in the (moment × data ×
+//! algorithm) design space, driven over a host path.
+//!
+//! This is the paper's §5 framework: the programmer picks a
+//! [`ProtectionConfig`]; hosts invoke the `checkAfterSession` /
+//! `checkAfterTask` callbacks at the configured moment, supply the
+//! requested reference data through [`HostFacilities`], and the configured
+//! [`CheckingAlgorithm`] judges each session. The hardened, signature-
+//! carrying instantiation used for the paper's measurements lives in
+//! [`crate::protocol`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use refstate_platform::{
+    AgentImage, Event, EventLog, Host, HostId, SessionRecord,
+};
+use refstate_vm::{DataState, ExecConfig, Program, SessionEnd, TraceMode, VmError};
+
+use crate::checker::{CheckContext, CheckOutcome, CheckingAlgorithm};
+use crate::moment::CheckMoment;
+use crate::refdata::{HostFacilities, ReferenceData, ReferenceDataKind};
+use crate::route::{RouteRecording, SignedRoute};
+use crate::verdict::{CheckVerdict, FraudEvidence};
+
+/// A programmer-chosen protection level.
+#[derive(Clone)]
+pub struct ProtectionConfig {
+    /// When checks run.
+    pub moment: CheckMoment,
+    /// The checking algorithm (which also declares its data needs).
+    pub algorithm: Arc<dyn CheckingAlgorithm>,
+    /// How the route is recorded.
+    pub route: RouteRecording,
+    /// Skip checking sessions executed by trusted hosts (§5.1: "trusted
+    /// hosts will not attack by definition").
+    pub skip_trusted: bool,
+    /// Execution limits, shared by sessions and checks.
+    pub exec: ExecConfig,
+    /// Hop budget.
+    pub max_hops: usize,
+}
+
+impl ProtectionConfig {
+    /// A config with the given algorithm and the paper-recommended
+    /// defaults: check after every session, skip trusted hosts, signed
+    /// route appending.
+    pub fn new(algorithm: Arc<dyn CheckingAlgorithm>) -> Self {
+        ProtectionConfig {
+            moment: CheckMoment::AfterSession,
+            algorithm,
+            route: RouteRecording::SignedAppend,
+            skip_trusted: true,
+            exec: ExecConfig::default(),
+            max_hops: 64,
+        }
+    }
+
+    /// Sets the checking moment.
+    pub fn moment(mut self, moment: CheckMoment) -> Self {
+        self.moment = moment;
+        self
+    }
+
+    /// Sets the route recording strategy.
+    pub fn route(mut self, route: RouteRecording) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// Also check sessions of trusted hosts.
+    pub fn check_trusted_too(mut self) -> Self {
+        self.skip_trusted = false;
+        self
+    }
+}
+
+impl fmt::Debug for ProtectionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtectionConfig")
+            .field("moment", &self.moment)
+            .field("algorithm", &self.algorithm.name())
+            .field("route", &self.route)
+            .field("skip_trusted", &self.skip_trusted)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An agent bundled with its protection configuration.
+#[derive(Debug, Clone)]
+pub struct ProtectedAgent {
+    /// The agent.
+    pub image: AgentImage,
+    /// The chosen protection level.
+    pub config: ProtectionConfig,
+}
+
+impl ProtectedAgent {
+    /// Bundles an agent with a protection config.
+    pub fn new(image: AgentImage, config: ProtectionConfig) -> Self {
+        ProtectedAgent { image, config }
+    }
+}
+
+/// Errors from a framework journey.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameworkError {
+    /// The agent migrated to an unregistered host.
+    UnknownHost {
+        /// The destination.
+        host: HostId,
+    },
+    /// Hop budget exhausted.
+    TooManyHops {
+        /// The budget.
+        limit: usize,
+    },
+    /// A session failed in the VM.
+    Vm(VmError),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::UnknownHost { host } => write!(f, "unknown migration target {host}"),
+            FrameworkError::TooManyHops { limit } => write!(f, "journey exceeded {limit} hops"),
+            FrameworkError::Vm(e) => write!(f, "session failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameworkError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for FrameworkError {
+    fn from(e: VmError) -> Self {
+        FrameworkError::Vm(e)
+    }
+}
+
+/// The result of a framework-protected journey.
+#[derive(Debug)]
+pub struct FrameworkOutcome {
+    /// The agent's final data state.
+    pub final_state: DataState,
+    /// Hosts visited in order.
+    pub path: Vec<HostId>,
+    /// Every check performed, in order.
+    pub verdicts: Vec<CheckVerdict>,
+    /// Evidence for the first detected fraud, if any. When present the
+    /// journey was aborted at the detection point.
+    pub fraud: Option<FraudEvidence>,
+    /// The signed route (when [`RouteRecording::SignedAppend`] is used).
+    pub route: SignedRoute,
+}
+
+impl FrameworkOutcome {
+    /// Returns `true` when every check passed.
+    pub fn clean(&self) -> bool {
+        self.fraud.is_none() && self.verdicts.iter().all(CheckVerdict::passed)
+    }
+}
+
+/// Replays a session to obtain the reference state for evidence, when the
+/// data permits.
+fn reference_state_for_evidence(
+    program: &Program,
+    data: &ReferenceData,
+    exec: &ExecConfig,
+) -> Option<DataState> {
+    let initial = data.initial_state.as_ref()?;
+    let input = data.input.as_ref()?;
+    let mut replay = refstate_vm::ReplayIo::new(input);
+    refstate_vm::run_session(program, initial.clone(), &mut replay, exec)
+        .ok()
+        .map(|o| o.state)
+}
+
+/// Runs a protected journey under the generic framework.
+///
+/// The agent starts at `start`; after each migration the *receiving* host
+/// performs the `checkAfterSession` callback (when the moment says so) on
+/// the just-finished session; at `halt`, the final host performs
+/// `checkAfterTask` over the retained journey data (when the moment is
+/// [`CheckMoment::AfterTask`]).
+///
+/// On a failed check the journey aborts and the outcome carries
+/// [`FraudEvidence`].
+///
+/// # Errors
+///
+/// See [`FrameworkError`]. A *detected fraud* is not an error — it is the
+/// mechanism working; errors are infrastructure failures.
+pub fn run_framework_journey(
+    hosts: &mut [Host],
+    start: impl Into<HostId>,
+    agent: ProtectedAgent,
+    log: &EventLog,
+) -> Result<FrameworkOutcome, FrameworkError> {
+    let ProtectedAgent { mut image, config } = agent;
+    let mut exec = config.exec.clone();
+    if config.algorithm.required_data().contains(ReferenceDataKind::ExecutionLog) {
+        exec.trace_mode = TraceMode::Full;
+    }
+
+    let mut current = start.into();
+    log.record(Event::AgentCreated { agent: image.id.clone(), home: current.clone() });
+    let mut path = vec![current.clone()];
+    let mut verdicts: Vec<CheckVerdict> = Vec::new();
+    let mut route = SignedRoute::new(image.id.clone());
+    // Retained (executor, initial, record) tuples for AfterTask checking.
+    let mut retained: Vec<(HostId, SessionRecord)> = Vec::new();
+    // The previous session, for AfterSession checking on arrival.
+    let mut previous: Option<(HostId, SessionRecord)> = None;
+
+    let mut hops = 0usize;
+    loop {
+        if hops > config.max_hops {
+            return Err(FrameworkError::TooManyHops { limit: config.max_hops });
+        }
+        hops += 1;
+
+        let host_index = hosts
+            .iter()
+            .position(|h| h.id() == &current)
+            .ok_or_else(|| FrameworkError::UnknownHost { host: current.clone() })?;
+
+        // --- checkAfterSession: first action on arrival (paper Fig. 4) ---
+        if config.moment == CheckMoment::AfterSession {
+            if let Some((executor, record)) = previous.take() {
+                let trusted_executor = hosts
+                    .iter()
+                    .find(|h| h.id() == &executor)
+                    .map(|h| h.is_trusted())
+                    .unwrap_or(false);
+                if !(config.skip_trusted && trusted_executor) {
+                    let facilities = HostFacilities::new(&record);
+                    let data = facilities.provide(&config.algorithm.required_data());
+                    let ctx = CheckContext { program: &image.program, data: &data, exec: exec.clone() };
+                    let outcome = config.algorithm.check(&ctx);
+                    let passed = outcome.passed();
+                    log.record(Event::CheckPerformed {
+                        checker: current.clone(),
+                        checked: executor.clone(),
+                        passed,
+                    });
+                    let seq = (path.len() - 2) as u64;
+                    match outcome {
+                        CheckOutcome::Passed => verdicts.push(CheckVerdict {
+                            checked: executor.clone(),
+                            checker: current.clone(),
+                            seq,
+                            failure: None,
+                        }),
+                        CheckOutcome::Failed(reason) => {
+                            log.record(Event::FraudDetected {
+                                culprit: executor.clone(),
+                                detector: current.clone(),
+                                reason: reason.to_string(),
+                            });
+                            verdicts.push(CheckVerdict {
+                                checked: executor.clone(),
+                                checker: current.clone(),
+                                seq,
+                                failure: Some(reason.clone()),
+                            });
+                            let fraud = FraudEvidence {
+                                culprit: executor.clone(),
+                                detector: current.clone(),
+                                agent: image.id.clone(),
+                                seq,
+                                reason,
+                                initial_state: record.initial_state.clone(),
+                                claimed_state: record.outcome.state.clone(),
+                                reference_state: reference_state_for_evidence(
+                                    &image.program,
+                                    &data,
+                                    &exec,
+                                ),
+                                input: record.outcome.input_log.clone(),
+                                signed_claim: None,
+                            };
+                            return Ok(FrameworkOutcome {
+                                final_state: record.outcome.state,
+                                path,
+                                verdicts,
+                                fraud: Some(fraud),
+                                route,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- execute the session on the current host ---
+        let host = &mut hosts[host_index];
+        let record = host.execute_session(&image, &exec, log)?;
+        if config.route == RouteRecording::SignedAppend {
+            // The host signs its own route entry. We borrow its key via a
+            // small signing detour: hosts sign payloads themselves.
+            append_route_entry(&mut route, host);
+        }
+        image.state = record.outcome.state.clone();
+        let end = record.outcome.end.clone();
+
+        match config.moment {
+            CheckMoment::AfterSession => previous = Some((current.clone(), record)),
+            CheckMoment::AfterTask => retained.push((current.clone(), record)),
+        }
+
+        match end {
+            SessionEnd::Migrate(next) => {
+                let next = HostId::new(next);
+                if !hosts.iter().any(|h| h.id() == &next) {
+                    return Err(FrameworkError::UnknownHost { host: next });
+                }
+                let bytes = refstate_wire::to_wire(&image).len();
+                log.record(Event::Migrated {
+                    from: current.clone(),
+                    to: next.clone(),
+                    agent: image.id.clone(),
+                    bytes,
+                });
+                path.push(next.clone());
+                current = next;
+            }
+            SessionEnd::Halt => break,
+        }
+    }
+
+    // --- checkAfterSession for the final session (the last host's own
+    // session is checked by the owner/home conceptually; here the journey
+    // ends, and the final session was executed by the halting host) ---
+    if config.moment == CheckMoment::AfterSession {
+        if let Some((executor, record)) = previous.take() {
+            // The halting host's session is checked by the owner — modelled
+            // as a final check attributed to the same halting host id.
+            let trusted_executor = hosts
+                .iter()
+                .find(|h| h.id() == &executor)
+                .map(|h| h.is_trusted())
+                .unwrap_or(false);
+            if !(config.skip_trusted && trusted_executor) {
+                run_task_check(
+                    &image.program,
+                    &exec,
+                    &config,
+                    &executor,
+                    &executor,
+                    (path.len() - 1) as u64,
+                    &record,
+                    &image,
+                    log,
+                    &mut verdicts,
+                )?;
+            }
+        }
+    }
+
+    // --- checkAfterTask: evaluate every retained session at the last host ---
+    let mut fraud = None;
+    if config.moment == CheckMoment::AfterTask {
+        let last = current.clone();
+        for (seq, (executor, record)) in retained.iter().enumerate() {
+            let trusted_executor = hosts
+                .iter()
+                .find(|h| h.id() == executor)
+                .map(|h| h.is_trusted())
+                .unwrap_or(false);
+            if config.skip_trusted && trusted_executor {
+                continue;
+            }
+            let facilities = HostFacilities::new(record);
+            let data = facilities.provide(&config.algorithm.required_data());
+            let ctx = CheckContext { program: &image.program, data: &data, exec: exec.clone() };
+            let outcome = config.algorithm.check(&ctx);
+            log.record(Event::CheckPerformed {
+                checker: last.clone(),
+                checked: executor.clone(),
+                passed: outcome.passed(),
+            });
+            match outcome {
+                CheckOutcome::Passed => verdicts.push(CheckVerdict {
+                    checked: executor.clone(),
+                    checker: last.clone(),
+                    seq: seq as u64,
+                    failure: None,
+                }),
+                CheckOutcome::Failed(reason) => {
+                    log.record(Event::FraudDetected {
+                        culprit: executor.clone(),
+                        detector: last.clone(),
+                        reason: reason.to_string(),
+                    });
+                    verdicts.push(CheckVerdict {
+                        checked: executor.clone(),
+                        checker: last.clone(),
+                        seq: seq as u64,
+                        failure: Some(reason.clone()),
+                    });
+                    if fraud.is_none() {
+                        fraud = Some(FraudEvidence {
+                            culprit: executor.clone(),
+                            detector: last.clone(),
+                            agent: image.id.clone(),
+                            seq: seq as u64,
+                            reason,
+                            initial_state: record.initial_state.clone(),
+                            claimed_state: record.outcome.state.clone(),
+                            reference_state: reference_state_for_evidence(
+                                &image.program,
+                                &data,
+                                &exec,
+                            ),
+                            input: record.outcome.input_log.clone(),
+                            signed_claim: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(FrameworkOutcome { final_state: image.state, path, verdicts, fraud, route })
+}
+
+/// Checks one session at task end, returning fraud through the outcome
+/// (helper for the final-session check in AfterSession mode).
+#[allow(clippy::too_many_arguments)]
+fn run_task_check(
+    program: &Program,
+    exec: &ExecConfig,
+    config: &ProtectionConfig,
+    executor: &HostId,
+    checker: &HostId,
+    seq: u64,
+    record: &SessionRecord,
+    _image: &AgentImage,
+    log: &EventLog,
+    verdicts: &mut Vec<CheckVerdict>,
+) -> Result<(), FrameworkError> {
+    let facilities = HostFacilities::new(record);
+    let data = facilities.provide(&config.algorithm.required_data());
+    let ctx = CheckContext { program, data: &data, exec: exec.clone() };
+    let outcome = config.algorithm.check(&ctx);
+    log.record(Event::CheckPerformed {
+        checker: checker.clone(),
+        checked: executor.clone(),
+        passed: outcome.passed(),
+    });
+    verdicts.push(CheckVerdict {
+        checked: executor.clone(),
+        checker: checker.clone(),
+        seq,
+        failure: match outcome {
+            CheckOutcome::Passed => None,
+            CheckOutcome::Failed(reason) => Some(reason),
+        },
+    });
+    Ok(())
+}
+
+fn append_route_entry(route: &mut SignedRoute, host: &mut Host) {
+    // Hosts sign with their own keys through Host::sign; SignedRoute
+    // expects a DsaKeyPair, so route signing goes through a sign-adapter:
+    // the entry payload is built by SignedRoute::append's logic inline.
+    let entry = crate::route::RouteEntry {
+        agent: route_agent(route),
+        seq: route.len() as u64,
+        host: host.id().clone(),
+    };
+    let signed = host.sign(entry);
+    route_push(route, signed);
+}
+
+// SignedRoute intentionally keeps its internals private; these two small
+// helpers live here to avoid widening its public API beyond tests' needs.
+fn route_agent(route: &SignedRoute) -> refstate_platform::AgentId {
+    route.agent_id().expect("route created with an agent id")
+}
+
+fn route_push(route: &mut SignedRoute, entry: refstate_crypto::Signed<crate::route::RouteEntry>) {
+    route.push_signed_entry(entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{ReExecutionChecker, RuleChecker};
+    use crate::rules::{CmpOp, Expr, Pred, RuleSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use refstate_crypto::{DsaParams, KeyDirectory};
+    use refstate_platform::{Attack, HostSpec};
+    use refstate_vm::{assemble, Value};
+
+    /// Agent: visits h2 then h3, summing one input per host into "total".
+    fn sum_agent() -> AgentImage {
+        let program = assemble(
+            r#"
+            input "n"
+            load "total"
+            add
+            store "total"
+            load "hops"
+            push 1
+            add
+            store "hops"
+            load "hops"
+            push 1
+            eq
+            jnz to_h2
+            load "hops"
+            push 2
+            eq
+            jnz to_h3
+            halt
+        to_h2:
+            push "h2"
+            migrate
+        to_h3:
+            push "h3"
+            migrate
+        "#,
+        )
+        .unwrap();
+        let mut state = DataState::new();
+        state.set("total", Value::Int(0));
+        state.set("hops", Value::Int(0));
+        AgentImage::new("summer", program, state)
+    }
+
+    fn hosts_with(middle_attack: Option<Attack>) -> Vec<Host> {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let params = DsaParams::test_group_256();
+        let mut h2 = HostSpec::new("h2").with_input("n", Value::Int(20));
+        if let Some(a) = middle_attack {
+            h2 = h2.malicious(a);
+        }
+        vec![
+            Host::new(HostSpec::new("h1").trusted().with_input("n", Value::Int(10)), &params, &mut rng),
+            Host::new(h2, &params, &mut rng),
+            Host::new(HostSpec::new("h3").trusted().with_input("n", Value::Int(30)), &params, &mut rng),
+        ]
+    }
+
+    fn reexec_config() -> ProtectionConfig {
+        ProtectionConfig::new(Arc::new(ReExecutionChecker::new()))
+    }
+
+    #[test]
+    fn honest_journey_is_clean() {
+        let mut hosts = hosts_with(None);
+        let log = EventLog::new();
+        let outcome = run_framework_journey(
+            &mut hosts,
+            "h1",
+            ProtectedAgent::new(sum_agent(), reexec_config()),
+            &log,
+        )
+        .unwrap();
+        assert!(outcome.clean());
+        assert_eq!(outcome.final_state.get_int("total"), Some(60));
+        assert_eq!(outcome.path.len(), 3);
+        // h2 untrusted: checked by h3. h1/h3 trusted: skipped.
+        assert_eq!(outcome.verdicts.len(), 1);
+        assert_eq!(outcome.verdicts[0].checked.as_str(), "h2");
+        assert_eq!(outcome.verdicts[0].checker.as_str(), "h3");
+    }
+
+    #[test]
+    fn tampering_detected_after_session() {
+        let mut hosts = hosts_with(Some(Attack::TamperVariable {
+            name: "total".into(),
+            value: Value::Int(1),
+        }));
+        let log = EventLog::new();
+        let outcome = run_framework_journey(
+            &mut hosts,
+            "h1",
+            ProtectedAgent::new(sum_agent(), reexec_config()),
+            &log,
+        )
+        .unwrap();
+        assert!(!outcome.clean());
+        let fraud = outcome.fraud.expect("tampering must be detected");
+        assert_eq!(fraud.culprit.as_str(), "h2");
+        assert_eq!(fraud.detector.as_str(), "h3");
+        assert_eq!(fraud.claimed_state.get_int("total"), Some(1));
+        assert_eq!(
+            fraud.reference_state.as_ref().and_then(|s| s.get_int("total")),
+            Some(30),
+            "reference re-execution shows what h2 should have produced"
+        );
+        assert_eq!(log.count_matching(|e| matches!(e, Event::FraudDetected { .. })), 1);
+    }
+
+    #[test]
+    fn skip_execution_detected() {
+        let mut hosts = hosts_with(Some(Attack::SkipExecution));
+        let log = EventLog::new();
+        let outcome = run_framework_journey(
+            &mut hosts,
+            "h1",
+            ProtectedAgent::new(sum_agent(), reexec_config()),
+            &log,
+        )
+        .unwrap();
+        assert!(outcome.fraud.is_some(), "skipping execution changes no state — still caught because the session should have changed it");
+    }
+
+    #[test]
+    fn forged_input_not_detected_matching_paper_limits() {
+        let mut hosts = hosts_with(Some(Attack::ForgeInput {
+            tag: "n".into(),
+            value: Value::Int(-100),
+        }));
+        let log = EventLog::new();
+        let outcome = run_framework_journey(
+            &mut hosts,
+            "h1",
+            ProtectedAgent::new(sum_agent(), reexec_config()),
+            &log,
+        )
+        .unwrap();
+        assert!(
+            outcome.fraud.is_none(),
+            "input forgery is consistent with the forged log — the paper's stated blind spot"
+        );
+        assert_eq!(outcome.final_state.get_int("total"), Some(-60)); // 10 - 100 + 30
+    }
+
+    #[test]
+    fn after_task_checks_all_sessions_at_the_end() {
+        let mut hosts = hosts_with(Some(Attack::TamperVariable {
+            name: "total".into(),
+            value: Value::Int(1),
+        }));
+        let log = EventLog::new();
+        let config = reexec_config().moment(CheckMoment::AfterTask);
+        let outcome = run_framework_journey(
+            &mut hosts,
+            "h1",
+            ProtectedAgent::new(sum_agent(), config),
+            &log,
+        )
+        .unwrap();
+        // The journey ran to completion (the drawback of AfterTask)...
+        assert_eq!(outcome.path.len(), 3);
+        // ...but the fraud is still found afterwards.
+        let fraud = outcome.fraud.expect("tampering found at task end");
+        assert_eq!(fraud.culprit.as_str(), "h2");
+        // Compromised state propagated into later sessions.
+        assert_eq!(outcome.final_state.get_int("total"), Some(31)); // 1 + 30
+    }
+
+    #[test]
+    fn check_trusted_too_checks_everyone() {
+        let mut hosts = hosts_with(None);
+        let log = EventLog::new();
+        let config = reexec_config().check_trusted_too();
+        let outcome = run_framework_journey(
+            &mut hosts,
+            "h1",
+            ProtectedAgent::new(sum_agent(), config),
+            &log,
+        )
+        .unwrap();
+        assert!(outcome.clean());
+        // h1 checked by h2, h2 by h3, h3 by "owner" (final check) = 3.
+        assert_eq!(outcome.verdicts.len(), 3);
+    }
+
+    #[test]
+    fn rules_only_config_misses_what_rules_miss() {
+        // Rule: total never negative. Tampering to a *positive* wrong value
+        // passes the rule — the §4.1 "lower end of the protection scale".
+        let mut hosts = hosts_with(Some(Attack::TamperVariable {
+            name: "total".into(),
+            value: Value::Int(12345),
+        }));
+        let rules = RuleSet::new()
+            .rule("non-negative", Pred::cmp(CmpOp::Ge, Expr::var("total"), Expr::int(0)));
+        let config = ProtectionConfig::new(Arc::new(RuleChecker::new(rules)));
+        let log = EventLog::new();
+        let outcome = run_framework_journey(
+            &mut hosts,
+            "h1",
+            ProtectedAgent::new(sum_agent(), config),
+            &log,
+        )
+        .unwrap();
+        assert!(outcome.fraud.is_none(), "weak rules cannot see this tampering");
+        assert_eq!(outcome.final_state.get_int("total"), Some(12375));
+    }
+
+    #[test]
+    fn signed_route_is_recorded_and_verifies() {
+        let mut hosts = hosts_with(None);
+        let mut dir = KeyDirectory::new();
+        for h in &hosts {
+            dir.register(h.id().as_str(), h.public_key().clone());
+        }
+        let log = EventLog::new();
+        let outcome = run_framework_journey(
+            &mut hosts,
+            "h1",
+            ProtectedAgent::new(sum_agent(), reexec_config()),
+            &log,
+        )
+        .unwrap();
+        assert_eq!(outcome.route.len(), 3);
+        assert!(outcome.route.verify(&dir).is_ok());
+        assert_eq!(
+            outcome.route.hosts(),
+            vec![HostId::new("h1"), HostId::new("h2"), HostId::new("h3")]
+        );
+    }
+
+    #[test]
+    fn unknown_host_is_an_error() {
+        let mut hosts = hosts_with(None);
+        let program = assemble("push \"nowhere\"\nmigrate").unwrap();
+        let agent = AgentImage::new("lost", program, DataState::new());
+        let log = EventLog::new();
+        let err = run_framework_journey(
+            &mut hosts,
+            "h1",
+            ProtectedAgent::new(agent, reexec_config()),
+            &log,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FrameworkError::UnknownHost { .. }));
+    }
+}

@@ -1,0 +1,64 @@
+//! The moment-of-checking axis (§3.5).
+
+use std::fmt;
+
+/// When reference-state checks run.
+///
+/// The paper argues (§3.5) that intervals smaller than a session prove
+/// nothing — a host can run a correct shadow copy purely to produce checking
+/// output — so a session is the finest useful granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CheckMoment {
+    /// Check after every execution session, as the first action on the
+    /// next host (`checkAfterSession` in the paper's framework). Catches
+    /// attackers before the compromised agent does more work.
+    #[default]
+    AfterSession,
+    /// Check once, after the agent has finished its task
+    /// (`checkAfterTask`), typically at the home host. Cheaper, but a
+    /// compromised agent keeps running until the end, and the route plus
+    /// per-session reference data must be retained to identify the
+    /// attacker.
+    AfterTask,
+}
+
+impl CheckMoment {
+    /// Whether this moment requires retaining per-session reference data
+    /// for the whole journey (true for [`CheckMoment::AfterTask`], per
+    /// §3.5: "the used reference data has to be stored for every of the
+    /// execution sessions").
+    pub fn retains_journey_data(&self) -> bool {
+        matches!(self, CheckMoment::AfterTask)
+    }
+}
+
+impl fmt::Display for CheckMoment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckMoment::AfterSession => f.write_str("after every session"),
+            CheckMoment::AfterTask => f.write_str("after the task"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_after_session() {
+        assert_eq!(CheckMoment::default(), CheckMoment::AfterSession);
+    }
+
+    #[test]
+    fn retention_requirement() {
+        assert!(!CheckMoment::AfterSession.retains_journey_data());
+        assert!(CheckMoment::AfterTask.retains_journey_data());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CheckMoment::AfterSession.to_string(), "after every session");
+        assert_eq!(CheckMoment::AfterTask.to_string(), "after the task");
+    }
+}

@@ -1,0 +1,847 @@
+//! The example mechanism (§5.1 / Hohl TR 09/99): every untrusted execution
+//! session is checked *by the next host*, immediately, with signatures and
+//! secure hashes authenticating every claim.
+//!
+//! Protocol sketch, for the migration of agent `A` from host `H_i` to
+//! `H_{i+1}`:
+//!
+//! 1. `H_i` finishes session `i` and builds a [`SessionCertificate`]
+//!    containing the session's initial state, resulting state, recorded
+//!    input, and the claimed next hop; it signs the certificate and sends
+//!    it (with the agent code) to `H_{i+1}`.
+//! 2. `H_{i+1}` verifies the signature, then — unless `H_i` is trusted
+//!    ("trusted hosts will not attack by definition") — **re-executes**
+//!    session `i` from the certificate's initial state with the recorded
+//!    input, comparing resulting state and migration target.
+//! 3. `H_{i+1}` signs an [`InitCommitment`] binding itself to the initial
+//!    state it accepted, and sends it back to `H_i`; together with `H_i`'s
+//!    own signature this dual-signs the hand-off ("initial states have to
+//!    be signed by both the checking host and the checked host"), so
+//!    neither side can later claim a different state was transferred.
+//! 4. On mismatch, `H_{i+1}` assembles [`FraudEvidence`] carrying the
+//!    *complete* states (not just hashes) plus `H_i`'s signed false claim,
+//!    and the journey stops.
+//!
+//! Collaboration of consecutive hosts defeats the scheme (the accomplice
+//! simply skips step 2) — the paper accepts this trade-off for timeliness,
+//! and the driver reproduces it faithfully.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use refstate_crypto::{sha256, Digest, KeyDirectory, Signed};
+use refstate_platform::{
+    AgentImage, AgentId, Event, EventLog, Host, HostId,
+};
+use refstate_vm::{
+    run_session, DataState, ExecConfig, InputLog, ReplayIo, SessionEnd, VmError,
+};
+use refstate_wire::{to_wire, Decode, Encode, Reader, WireError, Writer};
+
+use crate::checker::{state_diff, FailureReason};
+use crate::verdict::{CheckVerdict, FraudEvidence};
+
+/// The signed claim a host makes about one execution session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionCertificate {
+    /// The agent.
+    pub agent: AgentId,
+    /// Session sequence number (0 = first session at the start host).
+    pub seq: u64,
+    /// The host that executed the session.
+    pub executor: HostId,
+    /// The state the session started from — "the system has to transport
+    /// one more agent state plus the input at a host" (§4.1).
+    pub initial_state: DataState,
+    /// The state the executor claims the session produced.
+    pub resulting_state: DataState,
+    /// The complete recorded session input.
+    pub input: InputLog,
+    /// Where the agent goes next (`None` = the agent halted).
+    pub next: Option<HostId>,
+}
+
+impl SessionCertificate {
+    /// Digest of the claimed resulting state.
+    pub fn resulting_digest(&self) -> Digest {
+        sha256(&to_wire(&self.resulting_state))
+    }
+
+    /// Digest of the initial state.
+    pub fn initial_digest(&self) -> Digest {
+        sha256(&to_wire(&self.initial_state))
+    }
+}
+
+impl Encode for SessionCertificate {
+    fn encode(&self, w: &mut Writer) {
+        self.agent.encode(w);
+        w.put_u64(self.seq);
+        self.executor.encode(w);
+        self.initial_state.encode(w);
+        self.resulting_state.encode(w);
+        self.input.encode(w);
+        match &self.next {
+            Some(h) => {
+                w.put_u8(1);
+                h.encode(w);
+            }
+            None => w.put_u8(0),
+        }
+    }
+}
+
+impl Decode for SessionCertificate {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SessionCertificate {
+            agent: AgentId::decode(r)?,
+            seq: r.take_u64()?,
+            executor: HostId::decode(r)?,
+            initial_state: DataState::decode(r)?,
+            resulting_state: DataState::decode(r)?,
+            input: InputLog::decode(r)?,
+            next: match r.take_u8()? {
+                0 => None,
+                1 => Some(HostId::decode(r)?),
+                tag => return Err(WireError::InvalidTag { context: "SessionCertificate.next", tag }),
+            },
+        })
+    }
+}
+
+/// The receiving host's counter-signature over the initial state it
+/// accepted for session `seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitCommitment {
+    /// The agent.
+    pub agent: AgentId,
+    /// The session about to run on the committing host.
+    pub seq: u64,
+    /// The committing (receiving) host.
+    pub receiver: HostId,
+    /// Digest of the accepted initial state.
+    pub initial_digest: Digest,
+}
+
+impl Encode for InitCommitment {
+    fn encode(&self, w: &mut Writer) {
+        self.agent.encode(w);
+        w.put_u64(self.seq);
+        self.receiver.encode(w);
+        self.initial_digest.encode(w);
+    }
+}
+
+impl Decode for InitCommitment {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(InitCommitment {
+            agent: AgentId::decode(r)?,
+            seq: r.take_u64()?,
+            receiver: HostId::decode(r)?,
+            initial_digest: Digest::decode(r)?,
+        })
+    }
+}
+
+/// Configuration of the example protocol.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Execution limits for sessions and re-executions.
+    pub exec: ExecConfig,
+    /// Skip re-executing sessions of trusted hosts (the paper's
+    /// optimization; on by default).
+    pub skip_trusted: bool,
+    /// Hop budget.
+    pub max_hops: usize,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig { exec: ExecConfig::default(), skip_trusted: true, max_hops: 64 }
+    }
+}
+
+/// Timing breakdown of a protected journey, mirroring the cost categories
+/// of the paper's Tables 1 and 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProtocolStats {
+    /// Time spent computing and verifying signatures ("sign & verify").
+    pub sign_verify: Duration,
+    /// Time spent executing agent sessions in the VM ("cycle" work lives
+    /// here for the generic measurement agent).
+    pub execution: Duration,
+    /// Time spent re-executing sessions for checking (the protocol's
+    /// "computation is roughly doubled" cost).
+    pub checking: Duration,
+    /// Wall-clock total from journey start to finish.
+    pub total: Duration,
+    /// Number of signatures created.
+    pub signatures: u32,
+    /// Number of signatures verified.
+    pub verifications: u32,
+    /// Number of sessions re-executed.
+    pub reexecutions: u32,
+}
+
+impl ProtocolStats {
+    /// Everything not attributed to signatures or VM work: protocol
+    /// bookkeeping, hashing, state copying — the paper's "remainder".
+    pub fn remainder(&self) -> Duration {
+        self.total
+            .saturating_sub(self.sign_verify)
+            .saturating_sub(self.execution)
+            .saturating_sub(self.checking)
+    }
+}
+
+/// Errors from the protocol driver (infrastructure failures; a detected
+/// fraud is a *successful* outcome, not an error).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The agent migrated to an unregistered host.
+    UnknownHost {
+        /// The destination.
+        host: HostId,
+    },
+    /// Hop budget exhausted.
+    TooManyHops {
+        /// The budget.
+        limit: usize,
+    },
+    /// A session failed in the VM.
+    Vm(VmError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownHost { host } => write!(f, "unknown migration target {host}"),
+            ProtocolError::TooManyHops { limit } => write!(f, "journey exceeded {limit} hops"),
+            ProtocolError::Vm(e) => write!(f, "session failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for ProtocolError {
+    fn from(e: VmError) -> Self {
+        ProtocolError::Vm(e)
+    }
+}
+
+/// The result of a protocol-protected journey.
+#[derive(Debug)]
+pub struct ProtocolOutcome {
+    /// The agent's final data state (on fraud: the state as claimed by the
+    /// culprit, kept as evidence).
+    pub final_state: DataState,
+    /// Hosts visited in order (on fraud: up to and including the detector).
+    pub path: Vec<HostId>,
+    /// Every check performed.
+    pub verdicts: Vec<CheckVerdict>,
+    /// Evidence for the detected fraud, if any.
+    pub fraud: Option<FraudEvidence<SessionCertificate>>,
+    /// Dual-signing commitments collected along the way.
+    pub commitments: Vec<Signed<InitCommitment>>,
+    /// Timing breakdown.
+    pub stats: ProtocolStats,
+}
+
+impl ProtocolOutcome {
+    /// Returns `true` when no fraud was detected and all checks passed.
+    pub fn clean(&self) -> bool {
+        self.fraud.is_none() && self.verdicts.iter().all(CheckVerdict::passed)
+    }
+}
+
+/// Whether an executor's session gets re-executed by the receiver, honouring
+/// both the trusted-host optimization and collusion between consecutive
+/// hosts.
+fn receiver_checks(
+    config: &ProtocolConfig,
+    executor: &Host,
+    receiver_id: &HostId,
+) -> bool {
+    if config.skip_trusted && executor.is_trusted() {
+        return false;
+    }
+    // Collusion: the executor's accomplice agreed to skip the check.
+    if let Some(refstate_platform::Attack::CollaborateTamper { accomplice, .. }) =
+        executor.behaviour().attack()
+    {
+        if accomplice == receiver_id {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs the example protocol over a host path.
+///
+/// # Errors
+///
+/// See [`ProtocolError`]. Detected fraud is reported in the outcome, not
+/// as an error.
+pub fn run_protected_journey(
+    hosts: &mut [Host],
+    start: impl Into<HostId>,
+    agent: AgentImage,
+    config: &ProtocolConfig,
+    log: &EventLog,
+) -> Result<ProtocolOutcome, ProtocolError> {
+    let journey_start = Instant::now();
+    let mut stats = ProtocolStats::default();
+
+    // The key directory every host consults (the assumed PKI).
+    let mut directory = KeyDirectory::new();
+    for host in hosts.iter() {
+        directory.register(host.id().as_str(), host.public_key().clone());
+    }
+
+    let mut current = start.into();
+    log.record(Event::AgentCreated { agent: agent.id.clone(), home: current.clone() });
+    let mut path = vec![current.clone()];
+    let mut verdicts = Vec::new();
+    let mut commitments = Vec::new();
+
+    let mut image = agent;
+    // The certificate of the previous session, to be checked on arrival.
+    let mut incoming: Option<Signed<SessionCertificate>> = None;
+    let mut seq: u64 = 0;
+
+    loop {
+        if path.len() > config.max_hops {
+            return Err(ProtocolError::TooManyHops { limit: config.max_hops });
+        }
+        let host_index = hosts
+            .iter()
+            .position(|h| h.id() == &current)
+            .ok_or_else(|| ProtocolError::UnknownHost { host: current.clone() })?;
+
+        // --- arrival: verify and (maybe) re-execute the previous session ---
+        if let Some(signed_cert) = incoming.take() {
+            let t = Instant::now();
+            let sig_ok = signed_cert.verify(&directory).is_ok();
+            stats.sign_verify += t.elapsed();
+            stats.verifications += 1;
+
+            let cert = signed_cert.payload().clone();
+            let executor_index = hosts
+                .iter()
+                .position(|h| h.id() == &cert.executor)
+                .ok_or_else(|| ProtocolError::UnknownHost { host: cert.executor.clone() })?;
+
+            let mut failure: Option<FailureReason> = None;
+            let mut reference_state = None;
+
+            if !sig_ok {
+                failure = Some(FailureReason::ProgramRejected {
+                    detail: "session certificate signature invalid".into(),
+                });
+            } else if receiver_checks(config, &hosts[executor_index], &current) {
+                // checkAfterSession: re-execute the previous session.
+                let t = Instant::now();
+                let mut replay = ReplayIo::new(&cert.input);
+                let result =
+                    run_session(&image.program, cert.initial_state.clone(), &mut replay, &config.exec);
+                stats.checking += t.elapsed();
+                stats.reexecutions += 1;
+                match result {
+                    Err(e) => {
+                        failure =
+                            Some(FailureReason::ReplayFailed { error: e.to_string() });
+                    }
+                    Ok(outcome) => {
+                        let reference_next = match &outcome.end {
+                            SessionEnd::Migrate(h) => Some(HostId::new(h.clone())),
+                            SessionEnd::Halt => None,
+                        };
+                        if !replay.fully_consumed() {
+                            failure = Some(FailureReason::ReplayFailed {
+                                error: "recorded input log longer than re-execution consumed"
+                                    .into(),
+                            });
+                        } else if outcome.state != cert.resulting_state {
+                            failure = Some(FailureReason::StateMismatch {
+                                claimed: cert.resulting_digest(),
+                                reference: sha256(&to_wire(&outcome.state)),
+                                diff: state_diff(&cert.resulting_state, &outcome.state),
+                            });
+                        } else if reference_next != cert.next {
+                            failure = Some(FailureReason::EndMismatch {
+                                claimed: cert.next.as_ref().map(|h| h.as_str().to_owned()),
+                                reference: reference_next.map(|h| h.as_str().to_owned()),
+                            });
+                        }
+                        reference_state = Some(outcome.state);
+                    }
+                }
+                log.record(Event::CheckPerformed {
+                    checker: current.clone(),
+                    checked: cert.executor.clone(),
+                    passed: failure.is_none(),
+                });
+            }
+
+            match failure {
+                None => {
+                    verdicts.push(CheckVerdict {
+                        checked: cert.executor.clone(),
+                        checker: current.clone(),
+                        seq: cert.seq,
+                        failure: None,
+                    });
+                    // Dual-signing: commit to the accepted initial state of
+                    // the session about to run here.
+                    let t = Instant::now();
+                    let commitment = InitCommitment {
+                        agent: image.id.clone(),
+                        seq,
+                        receiver: current.clone(),
+                        initial_digest: cert.resulting_digest(),
+                    };
+                    let signed = hosts[host_index].sign(commitment);
+                    stats.sign_verify += t.elapsed();
+                    stats.signatures += 1;
+                    commitments.push(signed);
+                }
+                Some(reason) => {
+                    log.record(Event::FraudDetected {
+                        culprit: cert.executor.clone(),
+                        detector: current.clone(),
+                        reason: reason.to_string(),
+                    });
+                    verdicts.push(CheckVerdict {
+                        checked: cert.executor.clone(),
+                        checker: current.clone(),
+                        seq: cert.seq,
+                        failure: Some(reason.clone()),
+                    });
+                    stats.total = journey_start.elapsed();
+                    let fraud = FraudEvidence {
+                        culprit: cert.executor.clone(),
+                        detector: current.clone(),
+                        agent: image.id.clone(),
+                        seq: cert.seq,
+                        reason,
+                        initial_state: cert.initial_state.clone(),
+                        claimed_state: cert.resulting_state.clone(),
+                        reference_state,
+                        input: cert.input.clone(),
+                        signed_claim: Some(signed_cert),
+                    };
+                    return Ok(ProtocolOutcome {
+                        final_state: cert.resulting_state,
+                        path,
+                        verdicts,
+                        fraud: Some(fraud),
+                        commitments,
+                        stats,
+                    });
+                }
+            }
+        }
+
+        // --- execute this host's session ---
+        let host = &mut hosts[host_index];
+        let t = Instant::now();
+        let record = host.execute_session(&image, &config.exec, log)?;
+        stats.execution += t.elapsed();
+
+        image.state = record.outcome.state.clone();
+        let next = match &record.outcome.end {
+            SessionEnd::Migrate(h) => Some(HostId::new(h.clone())),
+            SessionEnd::Halt => None,
+        };
+
+        // Build and sign this session's certificate.
+        let cert = SessionCertificate {
+            agent: image.id.clone(),
+            seq,
+            executor: current.clone(),
+            initial_state: record.initial_state.clone(),
+            resulting_state: record.outcome.state.clone(),
+            input: record.outcome.input_log.clone(),
+            next: next.clone(),
+        };
+        let t = Instant::now();
+        let signed_cert = hosts[host_index].sign(cert);
+        stats.sign_verify += t.elapsed();
+        stats.signatures += 1;
+
+        match next {
+            Some(next_host) => {
+                if !hosts.iter().any(|h| h.id() == &next_host) {
+                    return Err(ProtocolError::UnknownHost { host: next_host });
+                }
+                let bytes = to_wire(&image).len() + to_wire(signed_cert.payload()).len();
+                log.record(Event::Migrated {
+                    from: current.clone(),
+                    to: next_host.clone(),
+                    agent: image.id.clone(),
+                    bytes,
+                });
+                incoming = Some(signed_cert);
+                path.push(next_host.clone());
+                current = next_host;
+                seq += 1;
+            }
+            None => {
+                // Task complete. The final session is checked by the owner
+                // (modelled as an owner-side verification pass when the
+                // halting host is untrusted).
+                let host_trusted = hosts[host_index].is_trusted();
+                let mut fraud = None;
+                if !(config.skip_trusted && host_trusted) {
+                    let cert = signed_cert.payload().clone();
+                    let t = Instant::now();
+                    let mut replay = ReplayIo::new(&cert.input);
+                    let result = run_session(
+                        &image.program,
+                        cert.initial_state.clone(),
+                        &mut replay,
+                        &config.exec,
+                    );
+                    stats.checking += t.elapsed();
+                    stats.reexecutions += 1;
+                    let (failure, reference_state) = match result {
+                        Err(e) => (
+                            Some(FailureReason::ReplayFailed { error: e.to_string() }),
+                            None,
+                        ),
+                        Ok(o) if o.state != cert.resulting_state => (
+                            Some(FailureReason::StateMismatch {
+                                claimed: cert.resulting_digest(),
+                                reference: sha256(&to_wire(&o.state)),
+                                diff: state_diff(&cert.resulting_state, &o.state),
+                            }),
+                            Some(o.state),
+                        ),
+                        Ok(o) => (None, Some(o.state)),
+                    };
+                    let passed = failure.is_none();
+                    log.record(Event::CheckPerformed {
+                        checker: current.clone(),
+                        checked: current.clone(),
+                        passed,
+                    });
+                    verdicts.push(CheckVerdict {
+                        checked: current.clone(),
+                        checker: HostId::new("owner"),
+                        seq,
+                        failure: failure.clone(),
+                    });
+                    if let Some(reason) = failure {
+                        log.record(Event::FraudDetected {
+                            culprit: current.clone(),
+                            detector: HostId::new("owner"),
+                            reason: reason.to_string(),
+                        });
+                        let cert = signed_cert.payload().clone();
+                        fraud = Some(FraudEvidence {
+                            culprit: current.clone(),
+                            detector: HostId::new("owner"),
+                            agent: image.id.clone(),
+                            seq,
+                            reason,
+                            initial_state: cert.initial_state,
+                            claimed_state: cert.resulting_state,
+                            reference_state,
+                            input: cert.input,
+                            signed_claim: Some(signed_cert),
+                        });
+                    }
+                }
+                stats.total = journey_start.elapsed();
+                return Ok(ProtocolOutcome {
+                    final_state: image.state,
+                    path,
+                    verdicts,
+                    fraud,
+                    commitments,
+                    stats,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use refstate_crypto::DsaParams;
+    use refstate_platform::{Attack, HostSpec};
+    use refstate_vm::{assemble, Value};
+
+    fn sum_agent() -> AgentImage {
+        let program = assemble(
+            r#"
+            input "n"
+            load "total"
+            add
+            store "total"
+            load "hops"
+            push 1
+            add
+            store "hops"
+            load "hops"
+            push 1
+            eq
+            jnz to_h2
+            load "hops"
+            push 2
+            eq
+            jnz to_h3
+            halt
+        to_h2:
+            push "h2"
+            migrate
+        to_h3:
+            push "h3"
+            migrate
+        "#,
+        )
+        .unwrap();
+        let mut state = DataState::new();
+        state.set("total", Value::Int(0));
+        state.set("hops", Value::Int(0));
+        AgentImage::new("summer", program, state)
+    }
+
+    fn build_hosts(h2_attack: Option<Attack>, h3_spec: Option<HostSpec>) -> Vec<Host> {
+        let mut rng = StdRng::seed_from_u64(999);
+        let params = DsaParams::test_group_256();
+        let mut h2 = HostSpec::new("h2").with_input("n", Value::Int(20));
+        if let Some(a) = h2_attack {
+            h2 = h2.malicious(a);
+        }
+        let h3 = h3_spec
+            .unwrap_or_else(|| HostSpec::new("h3").trusted().with_input("n", Value::Int(30)));
+        vec![
+            Host::new(HostSpec::new("h1").trusted().with_input("n", Value::Int(10)), &params, &mut rng),
+            Host::new(h2, &params, &mut rng),
+            Host::new(h3, &params, &mut rng),
+        ]
+    }
+
+    #[test]
+    fn honest_journey_completes_clean() {
+        let mut hosts = build_hosts(None, None);
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hosts,
+            "h1",
+            sum_agent(),
+            &ProtocolConfig::default(), &log)
+        .unwrap();
+        assert!(outcome.clean());
+        assert_eq!(outcome.final_state.get_int("total"), Some(60));
+        assert_eq!(outcome.path.len(), 3);
+        // One re-execution: only h2 is untrusted.
+        assert_eq!(outcome.stats.reexecutions, 1);
+        // Each session signs one certificate; each accepted arrival signs a
+        // commitment.
+        assert_eq!(outcome.stats.signatures as usize, 3 + outcome.commitments.len());
+        assert!(outcome.stats.verifications >= 2);
+    }
+
+    #[test]
+    fn tampering_is_detected_with_full_evidence() {
+        let mut hosts = build_hosts(
+            Some(Attack::TamperVariable { name: "total".into(), value: Value::Int(7) }),
+            None,
+        );
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hosts,
+            "h1",
+            sum_agent(),
+            &ProtocolConfig::default(), &log)
+        .unwrap();
+        let fraud = outcome.fraud.expect("tampering detected");
+        assert_eq!(fraud.culprit.as_str(), "h2");
+        assert_eq!(fraud.detector.as_str(), "h3");
+        // Full states, not hashes.
+        assert_eq!(fraud.claimed_state.get_int("total"), Some(7));
+        assert_eq!(
+            fraud.reference_state.as_ref().and_then(|s| s.get_int("total")),
+            Some(30)
+        );
+        // The culprit's signed false claim is part of the evidence and
+        // still verifies against its public key.
+        let mut dir = KeyDirectory::new();
+        for h in &hosts {
+            dir.register(h.id().as_str(), h.public_key().clone());
+        }
+        let claim = fraud.signed_claim.as_ref().expect("signed claim kept");
+        assert!(claim.verify(&dir).is_ok(), "the false claim is provably the culprit's");
+        assert_eq!(claim.payload().resulting_state.get_int("total"), Some(7));
+    }
+
+    #[test]
+    fn redirected_migration_is_detected() {
+        let mut hosts = build_hosts(
+            Some(Attack::RedirectMigration { to: HostId::new("h1") }),
+            None,
+        );
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hosts,
+            "h1",
+            sum_agent(),
+            &ProtocolConfig::default(), &log)
+        .unwrap();
+        let fraud = outcome.fraud.expect("redirection detected");
+        assert!(matches!(fraud.reason, FailureReason::EndMismatch { .. }));
+    }
+
+    #[test]
+    fn collusion_of_consecutive_hosts_evades_detection() {
+        // h2 tampers; h3 (the accomplice) skips the check — §5.1's stated
+        // limitation.
+        let accomplice = HostSpec::new("h3").with_input("n", Value::Int(30));
+        let mut hosts = build_hosts(
+            Some(Attack::CollaborateTamper {
+                name: "total".into(),
+                value: Value::Int(7),
+                accomplice: HostId::new("h3"),
+            }),
+            Some(accomplice),
+        );
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hosts,
+            "h1",
+            sum_agent(),
+            &ProtocolConfig::default(), &log)
+        .unwrap();
+        assert!(
+            outcome.fraud.is_none(),
+            "collaboration attacks of consecutive hosts cannot be detected"
+        );
+        // The corrupted value survived to the end.
+        assert_eq!(outcome.final_state.get_int("total"), Some(37)); // 7 + 30
+    }
+
+    #[test]
+    fn same_attack_without_collusion_is_caught() {
+        // Identical tampering, but the next host does not cooperate.
+        let mut hosts = build_hosts(
+            Some(Attack::CollaborateTamper {
+                name: "total".into(),
+                value: Value::Int(7),
+                accomplice: HostId::new("someone-else"),
+            }),
+            None,
+        );
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hosts,
+            "h1",
+            sum_agent(),
+            &ProtocolConfig::default(), &log)
+        .unwrap();
+        assert!(outcome.fraud.is_some());
+    }
+
+    #[test]
+    fn trusted_host_optimization_skips_reexecution() {
+        let mut hosts = build_hosts(None, None);
+        let log = EventLog::new();
+        let strict = ProtocolConfig { skip_trusted: false, ..Default::default() };
+        let outcome =
+            run_protected_journey(&mut hosts, "h1", sum_agent(), &strict, &log).unwrap();
+        assert!(outcome.clean());
+        // All three sessions re-executed (h1 by h2, h2 by h3, h3 by owner).
+        assert_eq!(outcome.stats.reexecutions, 3);
+    }
+
+    #[test]
+    fn untrusted_final_host_checked_by_owner() {
+        let h3 = HostSpec::new("h3")
+            .with_input("n", Value::Int(30))
+            .malicious(Attack::TamperVariable { name: "total".into(), value: Value::Int(0) });
+        let mut hosts = build_hosts(None, Some(h3));
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hosts,
+            "h1",
+            sum_agent(),
+            &ProtocolConfig::default(), &log)
+        .unwrap();
+        // The tampering happened on the *last* host; the owner's final
+        // verification flags it (no next host exists to do it).
+        assert!(!outcome.clean());
+        let last = outcome.verdicts.last().unwrap();
+        assert_eq!(last.checker.as_str(), "owner");
+        assert!(!last.passed());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut hosts = build_hosts(None, None);
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hosts,
+            "h1",
+            sum_agent(),
+            &ProtocolConfig::default(), &log)
+        .unwrap();
+        let s = &outcome.stats;
+        assert!(s.total >= s.sign_verify + s.checking);
+        assert!(s.signatures > 0 && s.verifications > 0);
+        assert!(s.remainder() <= s.total);
+    }
+
+    #[test]
+    fn certificate_wire_round_trip() {
+        use refstate_wire::{from_wire, to_wire};
+        let cert = SessionCertificate {
+            agent: AgentId::new("a"),
+            seq: 2,
+            executor: HostId::new("h"),
+            initial_state: [("x".to_string(), Value::Int(1))].into_iter().collect(),
+            resulting_state: [("x".to_string(), Value::Int(2))].into_iter().collect(),
+            input: InputLog::new(),
+            next: Some(HostId::new("h2")),
+        };
+        assert_eq!(from_wire::<SessionCertificate>(&to_wire(&cert)).unwrap(), cert);
+        let halted = SessionCertificate { next: None, ..cert };
+        assert_eq!(from_wire::<SessionCertificate>(&to_wire(&halted)).unwrap(), halted);
+        let commit = InitCommitment {
+            agent: AgentId::new("a"),
+            seq: 1,
+            receiver: HostId::new("h2"),
+            initial_digest: sha256(b"state"),
+        };
+        assert_eq!(from_wire::<InitCommitment>(&to_wire(&commit)).unwrap(), commit);
+    }
+
+    #[test]
+    fn digests_bind_states() {
+        let cert = SessionCertificate {
+            agent: AgentId::new("a"),
+            seq: 0,
+            executor: HostId::new("h"),
+            initial_state: [("x".to_string(), Value::Int(1))].into_iter().collect(),
+            resulting_state: [("x".to_string(), Value::Int(2))].into_iter().collect(),
+            input: InputLog::new(),
+            next: None,
+        };
+        assert_ne!(cert.initial_digest(), cert.resulting_digest());
+        let mut cert2 = cert.clone();
+        cert2.resulting_state.set("x", Value::Int(3));
+        assert_ne!(cert.resulting_digest(), cert2.resulting_digest());
+    }
+}

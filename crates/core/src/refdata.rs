@@ -1,0 +1,325 @@
+//! The reference-data axis: what a checking algorithm may consult.
+//!
+//! The paper's framework declares data needs through marker interfaces
+//! (`InitialStateRequester`, `ResultingStateRequester`, `InputRequester`,
+//! `ExecutionLogRequester`, `ResourceRequester`, Fig. 4) and the host
+//! provides matching getters (`getInitialState()` …, Fig. 5). In Rust the
+//! request side is a value — [`ReferenceDataRequest`] — returned by
+//! [`crate::CheckingAlgorithm::required_data`], and the host side is
+//! [`HostFacilities`], which assembles a [`ReferenceData`] container from a
+//! session record.
+
+use std::fmt;
+
+use refstate_platform::SessionRecord;
+use refstate_vm::{DataState, InputLog, Trace, Value};
+
+/// One kind of reference data (the paper's five requester interfaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReferenceDataKind {
+    /// The agent state at session start (`InitalStateRequester`).
+    InitialState,
+    /// The agent state at session end (`ResultingStateRequester`).
+    ResultingState,
+    /// The complete session input (`InputRequester`).
+    Input,
+    /// The execution log / trace (`ExecutionLogRequester`).
+    ExecutionLog,
+    /// Replicated host resources appended to the agent
+    /// (`ResourceRequester`).
+    Resources,
+}
+
+impl ReferenceDataKind {
+    /// All five kinds.
+    pub const ALL: [ReferenceDataKind; 5] = [
+        ReferenceDataKind::InitialState,
+        ReferenceDataKind::ResultingState,
+        ReferenceDataKind::Input,
+        ReferenceDataKind::ExecutionLog,
+        ReferenceDataKind::Resources,
+    ];
+
+    /// The paper's interface name for this kind.
+    pub fn requester_interface(&self) -> &'static str {
+        match self {
+            ReferenceDataKind::InitialState => "InitalStateRequester",
+            ReferenceDataKind::ResultingState => "ResultingStateRequester",
+            ReferenceDataKind::Input => "InputRequester",
+            ReferenceDataKind::ExecutionLog => "ExecutionLogRequester",
+            ReferenceDataKind::Resources => "ResourceRequester",
+        }
+    }
+
+    /// The paper's host-side getter name for this kind.
+    pub fn host_getter(&self) -> &'static str {
+        match self {
+            ReferenceDataKind::InitialState => "getInitalState",
+            ReferenceDataKind::ResultingState => "getResultingState",
+            ReferenceDataKind::Input => "getInput",
+            ReferenceDataKind::ExecutionLog => "getExecutionLog",
+            ReferenceDataKind::Resources => "getResource",
+        }
+    }
+}
+
+impl fmt::Display for ReferenceDataKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReferenceDataKind::InitialState => "initial state",
+            ReferenceDataKind::ResultingState => "resulting state",
+            ReferenceDataKind::Input => "input",
+            ReferenceDataKind::ExecutionLog => "execution log",
+            ReferenceDataKind::Resources => "resources",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A set of requested reference-data kinds.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_core::{ReferenceDataKind, ReferenceDataRequest};
+///
+/// let req = ReferenceDataRequest::new()
+///     .with(ReferenceDataKind::InitialState)
+///     .with(ReferenceDataKind::Input);
+/// assert!(req.contains(ReferenceDataKind::Input));
+/// assert!(!req.contains(ReferenceDataKind::Resources));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReferenceDataRequest {
+    bits: u8,
+}
+
+impl ReferenceDataRequest {
+    /// The empty request.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The request containing every kind.
+    pub fn all() -> Self {
+        ReferenceDataKind::ALL
+            .iter()
+            .fold(Self::new(), |req, &k| req.with(k))
+    }
+
+    fn bit(kind: ReferenceDataKind) -> u8 {
+        match kind {
+            ReferenceDataKind::InitialState => 1 << 0,
+            ReferenceDataKind::ResultingState => 1 << 1,
+            ReferenceDataKind::Input => 1 << 2,
+            ReferenceDataKind::ExecutionLog => 1 << 3,
+            ReferenceDataKind::Resources => 1 << 4,
+        }
+    }
+
+    /// Adds a kind.
+    pub fn with(mut self, kind: ReferenceDataKind) -> Self {
+        self.bits |= Self::bit(kind);
+        self
+    }
+
+    /// Tests membership.
+    pub fn contains(&self, kind: ReferenceDataKind) -> bool {
+        self.bits & Self::bit(kind) != 0
+    }
+
+    /// Iterates over the requested kinds.
+    pub fn iter(&self) -> impl Iterator<Item = ReferenceDataKind> + '_ {
+        ReferenceDataKind::ALL.into_iter().filter(|&k| self.contains(k))
+    }
+
+    /// Union of two requests.
+    pub fn union(&self, other: &Self) -> Self {
+        ReferenceDataRequest { bits: self.bits | other.bits }
+    }
+
+    /// Number of requested kinds.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Returns `true` if nothing is requested.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+}
+
+/// The reference data actually supplied to a check.
+///
+/// Fields are optional: a check receives only what it requested (and what
+/// the transport carried). [`crate::CheckingAlgorithm`] implementations
+/// report [`crate::FailureReason::MissingData`] when a required piece is
+/// absent.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceData {
+    /// The state the checked session started from.
+    pub initial_state: Option<DataState>,
+    /// The state the checked host claims the session produced.
+    pub resulting_state: Option<DataState>,
+    /// The recorded session input.
+    pub input: Option<InputLog>,
+    /// The recorded execution trace.
+    pub execution_log: Option<Trace>,
+    /// Replicated resources appended to the agent.
+    pub resources: Option<Vec<Value>>,
+    /// Where the checked session claims the agent went next (`None` for a
+    /// halted agent). Carried alongside the classic five kinds so
+    /// re-execution can also validate the migration decision.
+    pub claimed_next: Option<Option<String>>,
+}
+
+impl ReferenceData {
+    /// Which kinds are present.
+    pub fn available(&self) -> ReferenceDataRequest {
+        let mut req = ReferenceDataRequest::new();
+        if self.initial_state.is_some() {
+            req = req.with(ReferenceDataKind::InitialState);
+        }
+        if self.resulting_state.is_some() {
+            req = req.with(ReferenceDataKind::ResultingState);
+        }
+        if self.input.is_some() {
+            req = req.with(ReferenceDataKind::Input);
+        }
+        if self.execution_log.is_some() {
+            req = req.with(ReferenceDataKind::ExecutionLog);
+        }
+        if self.resources.is_some() {
+            req = req.with(ReferenceDataKind::Resources);
+        }
+        req
+    }
+
+    /// The first requested kind that is missing, if any.
+    pub fn first_missing(&self, request: &ReferenceDataRequest) -> Option<ReferenceDataKind> {
+        request.iter().find(|&k| !self.available().contains(k))
+    }
+}
+
+/// The host-side provider: assembles [`ReferenceData`] from a session
+/// record, honouring a request (the Fig. 5 getters).
+#[derive(Debug)]
+pub struct HostFacilities<'a> {
+    record: &'a SessionRecord,
+    resources: Option<&'a [Value]>,
+}
+
+impl<'a> HostFacilities<'a> {
+    /// Wraps a session record.
+    pub fn new(record: &'a SessionRecord) -> Self {
+        HostFacilities { record, resources: None }
+    }
+
+    /// Attaches replicated resources.
+    pub fn with_resources(mut self, resources: &'a [Value]) -> Self {
+        self.resources = Some(resources);
+        self
+    }
+
+    /// `getInitalState()` (paper Fig. 5 — typo preserved in the name map).
+    pub fn initial_state(&self) -> &DataState {
+        &self.record.initial_state
+    }
+
+    /// `getResultingState()`.
+    pub fn resulting_state(&self) -> &DataState {
+        &self.record.outcome.state
+    }
+
+    /// `getInput()`.
+    pub fn input(&self) -> &InputLog {
+        &self.record.outcome.input_log
+    }
+
+    /// `getExecutionLog()`.
+    pub fn execution_log(&self) -> &Trace {
+        &self.record.outcome.trace
+    }
+
+    /// Builds the reference-data container for a request.
+    pub fn provide(&self, request: &ReferenceDataRequest) -> ReferenceData {
+        let claimed_next = match &self.record.outcome.end {
+            refstate_vm::SessionEnd::Migrate(h) => Some(Some(h.clone())),
+            refstate_vm::SessionEnd::Halt => Some(None),
+        };
+        ReferenceData {
+            initial_state: request
+                .contains(ReferenceDataKind::InitialState)
+                .then(|| self.initial_state().clone()),
+            resulting_state: request
+                .contains(ReferenceDataKind::ResultingState)
+                .then(|| self.resulting_state().clone()),
+            input: request.contains(ReferenceDataKind::Input).then(|| self.input().clone()),
+            execution_log: request
+                .contains(ReferenceDataKind::ExecutionLog)
+                .then(|| self.execution_log().clone()),
+            resources: request
+                .contains(ReferenceDataKind::Resources)
+                .then(|| self.resources.map(|r| r.to_vec()).unwrap_or_default()),
+            claimed_next,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_set_operations() {
+        let a = ReferenceDataRequest::new().with(ReferenceDataKind::InitialState);
+        let b = ReferenceDataRequest::new().with(ReferenceDataKind::Input);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(ReferenceDataKind::InitialState));
+        assert!(u.contains(ReferenceDataKind::Input));
+        assert!(!u.contains(ReferenceDataKind::Resources));
+        assert!(ReferenceDataRequest::new().is_empty());
+        assert_eq!(ReferenceDataRequest::all().len(), 5);
+    }
+
+    #[test]
+    fn request_iter_in_declaration_order() {
+        let kinds: Vec<ReferenceDataKind> = ReferenceDataRequest::all().iter().collect();
+        assert_eq!(kinds, ReferenceDataKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn paper_interface_names() {
+        assert_eq!(
+            ReferenceDataKind::InitialState.requester_interface(),
+            "InitalStateRequester"
+        );
+        assert_eq!(ReferenceDataKind::Input.host_getter(), "getInput");
+        assert_eq!(ReferenceDataKind::Resources.host_getter(), "getResource");
+    }
+
+    #[test]
+    fn reference_data_availability() {
+        let mut data = ReferenceData::default();
+        assert!(data.available().is_empty());
+        data.initial_state = Some(DataState::new());
+        data.input = Some(InputLog::new());
+        let avail = data.available();
+        assert!(avail.contains(ReferenceDataKind::InitialState));
+        assert!(avail.contains(ReferenceDataKind::Input));
+        assert!(!avail.contains(ReferenceDataKind::ResultingState));
+
+        let need = ReferenceDataRequest::new()
+            .with(ReferenceDataKind::Input)
+            .with(ReferenceDataKind::ResultingState);
+        assert_eq!(data.first_missing(&need), Some(ReferenceDataKind::ResultingState));
+        let ok = ReferenceDataRequest::new().with(ReferenceDataKind::Input);
+        assert_eq!(data.first_missing(&ok), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ReferenceDataKind::ExecutionLog.to_string(), "execution log");
+    }
+}

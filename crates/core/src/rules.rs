@@ -1,0 +1,457 @@
+//! A non-Turing-complete rule language for state appraisal.
+//!
+//! The paper's "rules" checking algorithm (§3.5) covers "simple (i.e. non
+//! turing complete) rule mechanisms that allow to check e.g. postconditions
+//! in form of first order logic (e.g. `moneySpent + moneyRest =
+//! moneyInitial`)". This module is exactly that: arithmetic/comparison
+//! expression trees over the initial and resulting state, with no loops,
+//! recursion, or unbounded iteration — evaluation cost is linear in the
+//! rule size by construction.
+
+use std::fmt;
+
+use refstate_vm::{DataState, Value};
+
+/// An arithmetic expression over agent states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// A variable of the *resulting* state.
+    Var(String),
+    /// A variable of the *initial* state.
+    InitialVar(String),
+    /// Sum of two int expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two int expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two int expressions.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Length of a list or string expression.
+    Len(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Value::Int(v))
+    }
+
+    /// Convenience: a resulting-state variable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience: an initial-state variable.
+    pub fn initial(name: impl Into<String>) -> Expr {
+        Expr::InitialVar(name.into())
+    }
+
+    /// Evaluates against the two states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError`] for missing variables or type mismatches.
+    pub fn eval(&self, initial: &DataState, resulting: &DataState) -> Result<Value, RuleError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(name) => resulting
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RuleError::UnknownVariable { name: name.clone(), scope: "result" }),
+            Expr::InitialVar(name) => initial
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RuleError::UnknownVariable { name: name.clone(), scope: "initial" }),
+            Expr::Add(a, b) => Self::int_op(a, b, initial, resulting, i64::wrapping_add),
+            Expr::Sub(a, b) => Self::int_op(a, b, initial, resulting, i64::wrapping_sub),
+            Expr::Mul(a, b) => Self::int_op(a, b, initial, resulting, i64::wrapping_mul),
+            Expr::Len(e) => match e.eval(initial, resulting)? {
+                Value::List(items) => Ok(Value::Int(items.len() as i64)),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(RuleError::TypeMismatch {
+                    expected: "list or str",
+                    found: other.type_name(),
+                }),
+            },
+        }
+    }
+
+    fn int_op(
+        a: &Expr,
+        b: &Expr,
+        initial: &DataState,
+        resulting: &DataState,
+        f: impl FnOnce(i64, i64) -> i64,
+    ) -> Result<Value, RuleError> {
+        let av = a.eval(initial, resulting)?;
+        let bv = b.eval(initial, resulting)?;
+        match (av.as_int(), bv.as_int()) {
+            (Some(x), Some(y)) => Ok(Value::Int(f(x, y))),
+            _ => Err(RuleError::TypeMismatch {
+                expected: "int",
+                found: if av.as_int().is_none() { av.type_name() } else { bv.type_name() },
+            }),
+        }
+    }
+}
+
+/// Comparison operators for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (ints and strings).
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A first-order predicate over agent states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// Comparison of two expressions.
+    Cmp(CmpOp, Expr, Expr),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+    /// The resulting state defines this variable.
+    Defined(String),
+    /// Always true (neutral element).
+    True,
+}
+
+impl Pred {
+    /// Convenience constructor for comparisons.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Pred {
+        Pred::Cmp(op, a, b)
+    }
+
+    /// `a && b`.
+    pub fn and(a: Pred, b: Pred) -> Pred {
+        Pred::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a || b`.
+    pub fn or(a: Pred, b: Pred) -> Pred {
+        Pred::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `!a`.
+    pub fn not(a: Pred) -> Pred {
+        Pred::Not(Box::new(a))
+    }
+
+    /// Evaluates against the two states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError`] for missing variables, type mismatches, or
+    /// incomparable values.
+    pub fn eval(&self, initial: &DataState, resulting: &DataState) -> Result<bool, RuleError> {
+        match self {
+            Pred::True => Ok(true),
+            Pred::Defined(name) => Ok(resulting.contains(name)),
+            Pred::Not(p) => Ok(!p.eval(initial, resulting)?),
+            Pred::And(a, b) => Ok(a.eval(initial, resulting)? && b.eval(initial, resulting)?),
+            Pred::Or(a, b) => Ok(a.eval(initial, resulting)? || b.eval(initial, resulting)?),
+            Pred::Cmp(op, ea, eb) => {
+                let a = ea.eval(initial, resulting)?;
+                let b = eb.eval(initial, resulting)?;
+                match op {
+                    CmpOp::Eq => return Ok(a == b),
+                    CmpOp::Ne => return Ok(a != b),
+                    _ => {}
+                }
+                let ord = match (&a, &b) {
+                    (Value::Int(x), Value::Int(y)) => x.cmp(y),
+                    (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                    _ => {
+                        return Err(RuleError::TypeMismatch {
+                            expected: "comparable pair",
+                            found: a.type_name(),
+                        })
+                    }
+                };
+                Ok(match op {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                    CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+}
+
+/// An evaluation error inside a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// A referenced variable does not exist.
+    UnknownVariable {
+        /// The variable name.
+        name: String,
+        /// `"initial"` or `"result"`.
+        scope: &'static str,
+    },
+    /// An operand had the wrong type.
+    TypeMismatch {
+        /// What the operator needed.
+        expected: &'static str,
+        /// What it got.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::UnknownVariable { name, scope } => {
+                write!(f, "unknown {scope}-state variable {name:?}")
+            }
+            RuleError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// A named collection of rules — the reference data "structured as a set of
+/// rules … formulated by the programmer who stated relations between
+/// certain elements of the state" (§3.1).
+///
+/// # Examples
+///
+/// The paper's canonical example, `moneySpent + moneyRest = moneyInitial`:
+///
+/// ```
+/// use refstate_core::{CmpOp, Expr, Pred, RuleSet};
+/// use refstate_vm::{DataState, Value};
+///
+/// let rules = RuleSet::new().rule(
+///     "money-conserved",
+///     Pred::cmp(
+///         CmpOp::Eq,
+///         Expr::Add(Box::new(Expr::var("moneySpent")), Box::new(Expr::var("moneyRest"))),
+///         Expr::initial("money"),
+///     ),
+/// );
+/// let mut initial = DataState::new();
+/// initial.set("money", Value::Int(100));
+/// let mut result = DataState::new();
+/// result.set("moneySpent", Value::Int(30));
+/// result.set("moneyRest", Value::Int(70));
+/// assert!(rules.evaluate(&initial, &result).passed());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<(String, Pred)>,
+}
+
+/// The result of evaluating a rule set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleReport {
+    /// Rules that failed or errored: `(name, explanation)`.
+    pub violations: Vec<(String, String)>,
+    /// Total rules evaluated.
+    pub evaluated: usize,
+}
+
+impl RuleReport {
+    /// Returns `true` if every rule held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl RuleSet {
+    /// An empty rule set (which passes trivially).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named rule.
+    pub fn rule(mut self, name: impl Into<String>, pred: Pred) -> Self {
+        self.rules.push((name.into(), pred));
+        self
+    }
+
+    /// The number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` if no rules are defined.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates every rule; evaluation errors count as violations (a rule
+    /// that cannot be evaluated cannot vouch for the state).
+    pub fn evaluate(&self, initial: &DataState, resulting: &DataState) -> RuleReport {
+        let mut violations = Vec::new();
+        for (name, pred) in &self.rules {
+            match pred.eval(initial, resulting) {
+                Ok(true) => {}
+                Ok(false) => violations.push((name.clone(), "predicate is false".to_owned())),
+                Err(e) => violations.push((name.clone(), e.to_string())),
+            }
+        }
+        RuleReport { violations, evaluated: self.rules.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states() -> (DataState, DataState) {
+        let mut initial = DataState::new();
+        initial.set("money", Value::Int(100));
+        let mut result = DataState::new();
+        result.set("moneySpent", Value::Int(30));
+        result.set("moneyRest", Value::Int(70));
+        result.set("name", Value::Str("alice".into()));
+        result.set("items", Value::List(vec![Value::Int(1), Value::Int(2)]));
+        (initial, result)
+    }
+
+    #[test]
+    fn money_conservation_example() {
+        let (initial, result) = states();
+        let pred = Pred::cmp(
+            CmpOp::Eq,
+            Expr::Add(Box::new(Expr::var("moneySpent")), Box::new(Expr::var("moneyRest"))),
+            Expr::initial("money"),
+        );
+        assert!(pred.eval(&initial, &result).unwrap());
+
+        // A host that steals 10 units breaks the invariant.
+        let mut tampered = result.clone();
+        tampered.set("moneyRest", Value::Int(60));
+        assert!(!pred.eval(&initial, &tampered).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_expressions() {
+        let (initial, result) = states();
+        let e = Expr::Mul(
+            Box::new(Expr::Sub(Box::new(Expr::int(10)), Box::new(Expr::int(4)))),
+            Box::new(Expr::int(7)),
+        );
+        assert_eq!(e.eval(&initial, &result).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn len_on_lists_and_strings() {
+        let (initial, result) = states();
+        assert_eq!(
+            Expr::Len(Box::new(Expr::var("items"))).eval(&initial, &result).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            Expr::Len(Box::new(Expr::var("name"))).eval(&initial, &result).unwrap(),
+            Value::Int(5)
+        );
+        assert!(Expr::Len(Box::new(Expr::int(1))).eval(&initial, &result).is_err());
+    }
+
+    #[test]
+    fn logic_connectives() {
+        let (initial, result) = states();
+        let t = Pred::cmp(CmpOp::Gt, Expr::var("moneyRest"), Expr::int(0));
+        let f = Pred::cmp(CmpOp::Lt, Expr::var("moneyRest"), Expr::int(0));
+        assert!(Pred::and(t.clone(), Pred::not(f.clone())).eval(&initial, &result).unwrap());
+        assert!(Pred::or(f.clone(), t.clone()).eval(&initial, &result).unwrap());
+        assert!(!Pred::and(t, f).eval(&initial, &result).unwrap());
+        assert!(Pred::True.eval(&initial, &result).unwrap());
+    }
+
+    #[test]
+    fn defined_predicate() {
+        let (initial, result) = states();
+        assert!(Pred::Defined("moneyRest".into()).eval(&initial, &result).unwrap());
+        assert!(!Pred::Defined("ghost".into()).eval(&initial, &result).unwrap());
+    }
+
+    #[test]
+    fn string_comparison() {
+        let (initial, result) = states();
+        let p = Pred::cmp(CmpOp::Lt, Expr::var("name"), Expr::Const(Value::Str("bob".into())));
+        assert!(p.eval(&initial, &result).unwrap());
+    }
+
+    #[test]
+    fn errors_reported() {
+        let (initial, result) = states();
+        let missing = Expr::var("ghost").eval(&initial, &result).unwrap_err();
+        assert!(missing.to_string().contains("ghost"));
+        let missing_init = Expr::initial("ghost").eval(&initial, &result).unwrap_err();
+        assert!(missing_init.to_string().contains("initial"));
+        let type_err = Pred::cmp(CmpOp::Lt, Expr::var("items"), Expr::int(1))
+            .eval(&initial, &result)
+            .unwrap_err();
+        assert!(type_err.to_string().contains("type mismatch"));
+    }
+
+    #[test]
+    fn rule_set_reports_violations() {
+        let (initial, result) = states();
+        let rules = RuleSet::new()
+            .rule("ok", Pred::cmp(CmpOp::Gt, Expr::var("moneyRest"), Expr::int(0)))
+            .rule("fails", Pred::cmp(CmpOp::Gt, Expr::var("moneyRest"), Expr::int(1000)))
+            .rule("errors", Pred::cmp(CmpOp::Eq, Expr::var("ghost"), Expr::int(0)));
+        let report = rules.evaluate(&initial, &result);
+        assert!(!report.passed());
+        assert_eq!(report.evaluated, 3);
+        assert_eq!(report.violations.len(), 2);
+        assert_eq!(report.violations[0].0, "fails");
+        assert!(report.violations[1].1.contains("ghost"));
+    }
+
+    #[test]
+    fn empty_rule_set_passes() {
+        let (initial, result) = states();
+        assert!(RuleSet::new().evaluate(&initial, &result).passed());
+        assert!(RuleSet::new().is_empty());
+        assert_eq!(RuleSet::new().rule("r", Pred::True).len(), 1);
+    }
+
+    #[test]
+    fn eq_ne_work_on_any_type() {
+        let (initial, result) = states();
+        let p = Pred::cmp(
+            CmpOp::Eq,
+            Expr::var("items"),
+            Expr::Const(Value::List(vec![Value::Int(1), Value::Int(2)])),
+        );
+        assert!(p.eval(&initial, &result).unwrap());
+        let p = Pred::cmp(CmpOp::Ne, Expr::var("items"), Expr::Const(Value::Bool(true)));
+        assert!(p.eval(&initial, &result).unwrap());
+    }
+}

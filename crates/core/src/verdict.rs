@@ -1,0 +1,146 @@
+//! Verdicts and fraud evidence.
+//!
+//! A distinguishing feature of the paper's example mechanism (§5.1) is that
+//! it "is able to present the complete state of an attacked agent instead
+//! of only hashes of the state, so the owner is able to prove his/her
+//! damage in case of a fraud". [`FraudEvidence`] is that artefact: full
+//! states, the recorded input, and the culprit's own signature over its
+//! false claim.
+
+use std::fmt;
+
+use refstate_crypto::Signed;
+use refstate_platform::{AgentId, HostId};
+use refstate_vm::{DataState, InputLog};
+
+use crate::checker::FailureReason;
+
+/// The outcome of checking one session.
+#[derive(Debug, Clone)]
+pub struct CheckVerdict {
+    /// Which host's session was checked.
+    pub checked: HostId,
+    /// Which host (or the owner) performed the check.
+    pub checker: HostId,
+    /// The session sequence number (0 = first session).
+    pub seq: u64,
+    /// `None` when the check passed; the reason otherwise.
+    pub failure: Option<FailureReason>,
+}
+
+impl CheckVerdict {
+    /// Returns `true` when the check passed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+impl fmt::Display for CheckVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.failure {
+            None => write!(f, "session {} by {} verified by {}", self.seq, self.checked, self.checker),
+            Some(reason) => write!(
+                f,
+                "session {} by {} REJECTED by {}: {reason}",
+                self.seq, self.checked, self.checker
+            ),
+        }
+    }
+}
+
+/// Court-ready evidence of a detected manipulation.
+///
+/// The generic parameter is the signed claim type (the protocol's session
+/// certificate); it is kept whole so a third party can re-verify the
+/// culprit's signature over the false statement.
+#[derive(Debug, Clone)]
+pub struct FraudEvidence<C = ()> {
+    /// The blamed host.
+    pub culprit: HostId,
+    /// Who detected the fraud.
+    pub detector: HostId,
+    /// The affected agent.
+    pub agent: AgentId,
+    /// The session sequence number.
+    pub seq: u64,
+    /// Why the check failed.
+    pub reason: FailureReason,
+    /// The full state the agent entered the session with.
+    pub initial_state: DataState,
+    /// The full state the culprit claimed the session produced.
+    pub claimed_state: DataState,
+    /// The full state a reference execution produces.
+    pub reference_state: Option<DataState>,
+    /// The input the culprit recorded for the session.
+    pub input: InputLog,
+    /// The culprit's signed claim, verifiable by any third party.
+    pub signed_claim: Option<Signed<C>>,
+}
+
+impl<C> fmt::Display for FraudEvidence<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FRAUD: host {} manipulated session {} of agent {} (detected by {})",
+            self.culprit, self.seq, self.agent, self.detector
+        )?;
+        writeln!(f, "  reason:    {}", self.reason)?;
+        writeln!(f, "  initial:   {}", self.initial_state)?;
+        writeln!(f, "  claimed:   {}", self.claimed_state)?;
+        if let Some(reference) = &self.reference_state {
+            writeln!(f, "  reference: {reference}")?;
+        }
+        write!(f, "  inputs:    {} recorded", self.input.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refstate_vm::Value;
+
+    fn evidence() -> FraudEvidence {
+        let initial: DataState = [("x".to_string(), Value::Int(1))].into_iter().collect();
+        let claimed: DataState = [("x".to_string(), Value::Int(999))].into_iter().collect();
+        let reference: DataState = [("x".to_string(), Value::Int(2))].into_iter().collect();
+        FraudEvidence {
+            culprit: HostId::new("evil"),
+            detector: HostId::new("next"),
+            agent: AgentId::new("a-1"),
+            seq: 3,
+            reason: FailureReason::ProgramRejected { detail: "test".into() },
+            initial_state: initial,
+            claimed_state: claimed,
+            reference_state: Some(reference),
+            input: InputLog::new(),
+            signed_claim: None,
+        }
+    }
+
+    #[test]
+    fn verdict_pass_fail() {
+        let ok = CheckVerdict {
+            checked: HostId::new("a"),
+            checker: HostId::new("b"),
+            seq: 0,
+            failure: None,
+        };
+        assert!(ok.passed());
+        assert!(ok.to_string().contains("verified"));
+        let bad = CheckVerdict {
+            failure: Some(FailureReason::ProgramRejected { detail: "x".into() }),
+            ..ok
+        };
+        assert!(!bad.passed());
+        assert!(bad.to_string().contains("REJECTED"));
+    }
+
+    #[test]
+    fn evidence_shows_full_states() {
+        let text = evidence().to_string();
+        assert!(text.contains("evil"));
+        assert!(text.contains("999"), "claimed state must appear in full");
+        assert!(text.contains("x=2"), "reference state must appear in full");
+        assert!(text.contains("x=1"), "initial state must appear in full");
+    }
+}

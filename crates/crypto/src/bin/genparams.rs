@@ -1,0 +1,25 @@
+//! One-off generator for the precomputed DSA groups in `groups.rs`.
+//!
+//! Run with `cargo run -p refstate-crypto --release --bin genparams`.
+//! The output is Rust source pasted into `src/groups.rs`; the seeds are
+//! fixed so the generation is reproducible.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate_crypto::DsaParams;
+
+fn emit(name: &str, p_bits: usize, q_bits: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = DsaParams::generate(p_bits, q_bits, &mut rng);
+    println!("// {name}: {p_bits}-bit p, {q_bits}-bit q (seed {seed})");
+    println!("const {}_P: &str = \"{}\";", name.to_uppercase(), params.p().to_hex());
+    println!("const {}_Q: &str = \"{}\";", name.to_uppercase(), params.q().to_hex());
+    println!("const {}_G: &str = \"{}\";", name.to_uppercase(), params.g().to_hex());
+    println!();
+}
+
+fn main() {
+    emit("group256", 256, 128, 0x5ef5_7a7e_0001);
+    emit("group512", 512, 160, 0x5ef5_7a7e_0002);
+    emit("group1024", 1024, 160, 0x5ef5_7a7e_0003);
+}

@@ -1,0 +1,481 @@
+//! DSA (Digital Signature Algorithm), FIPS 186 style.
+//!
+//! The paper's protocol measurements used DSA with 512-bit keys; this module
+//! implements the classic scheme over subgroups of prime order `q` inside
+//! `Z_p^*`, with SHA-256 as the message hash (truncated to the bit length of
+//! `q` as FIPS 186-4 §4.6 prescribes).
+
+use std::error::Error;
+use std::fmt;
+
+use rand::RngCore;
+use refstate_bigint::{
+    gen_prime, is_probable_prime, random_exact_bits, random_in_unit_range, Uint,
+};
+use refstate_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::sha256::sha256;
+
+/// Miller–Rabin rounds used for parameter generation.
+const MR_ROUNDS: u32 = 40;
+
+/// Errors arising from invalid DSA domain parameters, keys, or signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SignatureError {
+    /// `q` does not divide `p - 1`, or a primality check failed.
+    InvalidParams(&'static str),
+    /// A signature component was outside `[1, q)`.
+    MalformedSignature,
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::InvalidParams(why) => write!(f, "invalid DSA parameters: {why}"),
+            SignatureError::MalformedSignature => f.write_str("malformed DSA signature"),
+        }
+    }
+}
+
+impl Error for SignatureError {}
+
+/// DSA domain parameters `(p, q, g)`.
+///
+/// `p` is the field prime, `q` a prime divisor of `p - 1`, and `g` a
+/// generator of the order-`q` subgroup.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_crypto::DsaParams;
+///
+/// let params = DsaParams::test_group_256();
+/// assert_eq!(params.p().bit_len(), 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsaParams {
+    p: Uint,
+    q: Uint,
+    g: Uint,
+}
+
+impl DsaParams {
+    /// Builds parameters from explicit values, validating the group
+    /// structure (primality of `p` and `q`, `q | p - 1`, `g` of order `q`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::InvalidParams`] when any structural check
+    /// fails.
+    pub fn new(p: Uint, q: Uint, g: Uint, rng: &mut dyn RngCore) -> Result<Self, SignatureError> {
+        if !is_probable_prime(&p, 16, rng) {
+            return Err(SignatureError::InvalidParams("p is not prime"));
+        }
+        if !is_probable_prime(&q, 16, rng) {
+            return Err(SignatureError::InvalidParams("q is not prime"));
+        }
+        let p_minus_1 = &p - &Uint::one();
+        if !p_minus_1.rem(&q).is_zero() {
+            return Err(SignatureError::InvalidParams("q does not divide p-1"));
+        }
+        if g <= Uint::one() || g >= p {
+            return Err(SignatureError::InvalidParams("g out of range"));
+        }
+        if !g.pow_mod(&q, &p).is_one() {
+            return Err(SignatureError::InvalidParams("g does not have order q"));
+        }
+        Ok(DsaParams { p, q, g })
+    }
+
+    /// Builds parameters from trusted, pre-validated constants.
+    ///
+    /// Used for the precomputed groups; panics in debug builds if the
+    /// constants are structurally wrong.
+    pub(crate) fn from_trusted(p: Uint, q: Uint, g: Uint) -> Self {
+        debug_assert!((&p - &Uint::one()).rem(&q).is_zero());
+        debug_assert!(g.pow_mod(&q, &p).is_one());
+        DsaParams { p, q, g }
+    }
+
+    /// Generates fresh parameters with `p_bits`-bit `p` and `q_bits`-bit `q`.
+    ///
+    /// This is how the precomputed groups in
+    /// [`test_group_256`](DsaParams::test_group_256) /
+    /// [`group_512`](DsaParams::group_512) / [`group_1024`](DsaParams::group_1024)
+    /// were produced (see `src/bin/genparams.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_bits + 2 > p_bits` or `q_bits < 2`.
+    pub fn generate(p_bits: usize, q_bits: usize, rng: &mut dyn RngCore) -> Self {
+        assert!(q_bits >= 2 && q_bits + 2 <= p_bits, "invalid DSA size request");
+        loop {
+            let q = gen_prime(q_bits, MR_ROUNDS, rng);
+            // Search for p = q*m + 1 with exactly p_bits bits.
+            for _ in 0..4096 {
+                let mut m = random_exact_bits(rng, p_bits - q_bits);
+                if !m.is_even() {
+                    m = &m + &Uint::one();
+                }
+                let p = &(&q * &m) + &Uint::one();
+                if p.bit_len() != p_bits {
+                    continue;
+                }
+                if is_probable_prime(&p, MR_ROUNDS, rng) {
+                    let g = Self::find_generator(&p, &q, rng);
+                    return DsaParams { p, q, g };
+                }
+            }
+            // Unlucky q; draw a new one.
+        }
+    }
+
+    fn find_generator(p: &Uint, q: &Uint, rng: &mut dyn RngCore) -> Uint {
+        let p_minus_1 = p - &Uint::one();
+        let exp = p_minus_1.divrem(q).0;
+        loop {
+            let h = random_in_unit_range(rng, &p_minus_1);
+            let g = h.pow_mod(&exp, p);
+            if g > Uint::one() {
+                return g;
+            }
+        }
+    }
+
+    /// The field prime `p`.
+    pub fn p(&self) -> &Uint {
+        &self.p
+    }
+
+    /// The subgroup order `q`.
+    pub fn q(&self) -> &Uint {
+        &self.q
+    }
+
+    /// The subgroup generator `g`.
+    pub fn g(&self) -> &Uint {
+        &self.g
+    }
+
+    /// Reduces a message to the integer `z`: the leftmost
+    /// `min(bitlen(q), 256)` bits of its SHA-256 digest (FIPS 186-4 §4.6).
+    pub(crate) fn hash_to_z(&self, message: &[u8]) -> Uint {
+        let digest = sha256(message);
+        let z = Uint::from_be_bytes(digest.as_bytes());
+        let digest_bits = digest.len() * 8;
+        let q_bits = self.q.bit_len();
+        if digest_bits > q_bits {
+            &z >> (digest_bits - q_bits)
+        } else {
+            z
+        }
+    }
+}
+
+impl Encode for DsaParams {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.p.to_be_bytes());
+        w.put_bytes(&self.q.to_be_bytes());
+        w.put_bytes(&self.g.to_be_bytes());
+    }
+}
+
+impl Decode for DsaParams {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let p = Uint::from_be_bytes(r.take_bytes()?);
+        let q = Uint::from_be_bytes(r.take_bytes()?);
+        let g = Uint::from_be_bytes(r.take_bytes()?);
+        // Structural sanity only (cheap); full validation needs an RNG and
+        // is the caller's job for untrusted inputs.
+        if q.is_zero() || g <= Uint::one() || g >= p {
+            return Err(WireError::InvalidValue { context: "DSA params" });
+        }
+        Ok(DsaParams { p, q, g })
+    }
+}
+
+/// A DSA signature `(r, s)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    r: Uint,
+    s: Uint,
+}
+
+impl Signature {
+    /// The `r` component.
+    pub fn r(&self) -> &Uint {
+        &self.r
+    }
+
+    /// The `s` component.
+    pub fn s(&self) -> &Uint {
+        &self.s
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.r.to_be_bytes());
+        w.put_bytes(&self.s.to_be_bytes());
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let rr = Uint::from_be_bytes(r.take_bytes()?);
+        let s = Uint::from_be_bytes(r.take_bytes()?);
+        Ok(Signature { r: rr, s })
+    }
+}
+
+/// A DSA public key: the group parameters plus `y = g^x mod p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsaPublicKey {
+    params: DsaParams,
+    y: Uint,
+}
+
+impl DsaPublicKey {
+    /// The domain parameters.
+    pub fn params(&self) -> &DsaParams {
+        &self.params
+    }
+
+    /// The public value `y`.
+    pub fn y(&self) -> &Uint {
+        &self.y
+    }
+
+    /// Verifies `signature` over `message` (hashed with SHA-256 internally).
+    ///
+    /// Returns `false` for malformed components, never panics on hostile
+    /// input.
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use refstate_crypto::{DsaKeyPair, DsaParams};
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    /// let keys = DsaKeyPair::generate(&DsaParams::test_group_256(), &mut rng);
+    /// let sig = keys.sign(b"msg", &mut rng);
+    /// assert!(keys.public().verify(b"msg", &sig));
+    /// ```
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let q = &self.params.q;
+        let p = &self.params.p;
+        let r = &signature.r;
+        let s = &signature.s;
+        if r.is_zero() || r >= q || s.is_zero() || s >= q {
+            return false;
+        }
+        let w = match s.inv_mod(q) {
+            Some(w) => w,
+            None => return false,
+        };
+        let z = self.params.hash_to_z(message);
+        let u1 = z.mul_mod(&w, q);
+        let u2 = r.mul_mod(&w, q);
+        let v = self
+            .params
+            .g
+            .pow_mod(&u1, p)
+            .mul_mod(&self.y.pow_mod(&u2, p), p)
+            .rem(q);
+        v == *r
+    }
+}
+
+impl Encode for DsaPublicKey {
+    fn encode(&self, w: &mut Writer) {
+        self.params.encode(w);
+        w.put_bytes(&self.y.to_be_bytes());
+    }
+}
+
+impl Decode for DsaPublicKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let params = DsaParams::decode(r)?;
+        let y = Uint::from_be_bytes(r.take_bytes()?);
+        if y <= Uint::one() || y >= params.p {
+            return Err(WireError::InvalidValue { context: "DSA public key" });
+        }
+        Ok(DsaPublicKey { params, y })
+    }
+}
+
+/// A DSA private/public key pair.
+#[derive(Debug, Clone)]
+pub struct DsaKeyPair {
+    x: Uint,
+    public: DsaPublicKey,
+}
+
+impl DsaKeyPair {
+    /// Generates a key pair in the given group.
+    pub fn generate(params: &DsaParams, rng: &mut dyn RngCore) -> Self {
+        let x = random_in_unit_range(rng, &params.q);
+        let y = params.g.pow_mod(&x, &params.p);
+        DsaKeyPair {
+            x,
+            public: DsaPublicKey { params: params.clone(), y },
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &DsaPublicKey {
+        &self.public
+    }
+
+    /// Signs `message` (hashed with SHA-256 internally).
+    ///
+    /// Fresh randomness per signature; the internal loop retries the
+    /// negligible `r == 0` / `s == 0` cases as FIPS 186 requires.
+    pub fn sign(&self, message: &[u8], rng: &mut dyn RngCore) -> Signature {
+        let params = &self.public.params;
+        let p = &params.p;
+        let q = &params.q;
+        let z = params.hash_to_z(message);
+        loop {
+            let k = random_in_unit_range(rng, q);
+            let r = params.g.pow_mod(&k, p).rem(q);
+            if r.is_zero() {
+                continue;
+            }
+            let k_inv = k.inv_mod(q).expect("q prime, 0 < k < q");
+            let xr = self.x.mul_mod(&r, q);
+            let s = k_inv.mul_mod(&z.add_mod(&xr, q), q);
+            if s.is_zero() {
+                continue;
+            }
+            return Signature { r, s };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_params(rng: &mut StdRng) -> DsaParams {
+        DsaParams::generate(128, 48, rng)
+    }
+
+    #[test]
+    fn generate_validates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let params = small_params(&mut rng);
+        assert_eq!(params.p().bit_len(), 128);
+        assert_eq!(params.q().bit_len(), 48);
+        // Must re-validate through the public constructor.
+        let again = DsaParams::new(
+            params.p().clone(),
+            params.q().clone(),
+            params.g().clone(),
+            &mut rng,
+        );
+        assert!(again.is_ok());
+    }
+
+    #[test]
+    fn new_rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let params = small_params(&mut rng);
+        // Composite p.
+        let bad = DsaParams::new(
+            &(params.p() * &Uint::from(2u64)) + &Uint::zero(),
+            params.q().clone(),
+            params.g().clone(),
+            &mut rng,
+        );
+        assert!(matches!(bad, Err(SignatureError::InvalidParams(_))));
+        // g = 1 has trivial order.
+        let bad = DsaParams::new(params.p().clone(), params.q().clone(), Uint::one(), &mut rng);
+        assert!(bad.is_err());
+        // q that does not divide p-1.
+        let bad = DsaParams::new(
+            params.p().clone(),
+            Uint::from(65537u64),
+            params.g().clone(),
+            &mut rng,
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let params = small_params(&mut rng);
+        let keys = DsaKeyPair::generate(&params, &mut rng);
+        for msg in [&b"hello"[..], b"", b"a much longer message spanning blocks....."] {
+            let sig = keys.sign(msg, &mut rng);
+            assert!(keys.public().verify(msg, &sig));
+        }
+    }
+
+    #[test]
+    fn verify_rejects_tampering() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let params = small_params(&mut rng);
+        let keys = DsaKeyPair::generate(&params, &mut rng);
+        let sig = keys.sign(b"payment: $10", &mut rng);
+        assert!(!keys.public().verify(b"payment: $1000", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let params = small_params(&mut rng);
+        let alice = DsaKeyPair::generate(&params, &mut rng);
+        let mallory = DsaKeyPair::generate(&params, &mut rng);
+        let sig = mallory.sign(b"msg", &mut rng);
+        assert!(!alice.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_malformed_components() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let params = small_params(&mut rng);
+        let keys = DsaKeyPair::generate(&params, &mut rng);
+        let sig = keys.sign(b"msg", &mut rng);
+        let zero_r = Signature { r: Uint::zero(), s: sig.s().clone() };
+        assert!(!keys.public().verify(b"msg", &zero_r));
+        let big_s = Signature { r: sig.r().clone(), s: params.q().clone() };
+        assert!(!keys.public().verify(b"msg", &big_s));
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let params = small_params(&mut rng);
+        let keys = DsaKeyPair::generate(&params, &mut rng);
+        let s1 = keys.sign(b"msg", &mut rng);
+        let s2 = keys.sign(b"msg", &mut rng);
+        assert_ne!(s1, s2, "two signatures with fresh k must differ");
+        assert!(keys.public().verify(b"msg", &s1));
+        assert!(keys.public().verify(b"msg", &s2));
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        use refstate_wire::{from_wire, to_wire};
+        let mut rng = StdRng::seed_from_u64(18);
+        let params = small_params(&mut rng);
+        let keys = DsaKeyPair::generate(&params, &mut rng);
+        let sig = keys.sign(b"msg", &mut rng);
+        assert_eq!(from_wire::<Signature>(&to_wire(&sig)).unwrap(), sig);
+        assert_eq!(from_wire::<DsaParams>(&to_wire(&params)).unwrap(), params);
+        let pk = keys.public().clone();
+        assert_eq!(from_wire::<DsaPublicKey>(&to_wire(&pk)).unwrap(), pk);
+    }
+
+    #[test]
+    fn hash_truncation_matches_q_width() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let params = small_params(&mut rng);
+        let z = params.hash_to_z(b"message");
+        assert!(z.bit_len() <= params.q().bit_len());
+    }
+}

@@ -1,0 +1,119 @@
+//! Precomputed DSA groups.
+//!
+//! Prime-pair search is expensive (minutes in debug builds for 1024-bit
+//! moduli), so the three groups the workspace uses are generated once by
+//! `src/bin/genparams.rs` with fixed seeds and embedded here as hex
+//! constants. `DsaParams::from_trusted` re-checks the group structure in
+//! debug builds; `validates_against_generation` below re-derives each group
+//! from its seed.
+
+use std::sync::OnceLock;
+
+use refstate_bigint::Uint;
+
+use crate::dsa::DsaParams;
+
+// group256: 256-bit p, 128-bit q (seed 104408415076353)
+const GROUP256_P: &str = "8208ff409a5e5765c917276c94cd84e2e76c1c982fd5d6c3beb9c35f7066f045";
+const GROUP256_Q: &str = "bf1a23446c6ed7d090ac71c57d4c1f19";
+const GROUP256_G: &str = "a89040af287f35dbe104c0a755e06e49d4cefb4b6565a6e7140dfea15eb070c";
+
+// group512: 512-bit p, 160-bit q (seed 104408415076354)
+const GROUP512_P: &str = "859b6df9c1cabbefab76e4c75ecb2478ff2e8cf36eec6aee3738e717eb7fa12e7afa39a73cb3f0f884a2dbcd669cf0fabea85491373b0fc65e53b6e282f89cf3";
+const GROUP512_Q: &str = "a103bb1bd5075dea1352e7f840461eb4b0b51ccb";
+const GROUP512_G: &str = "f874a61ececcf4aa293b753275ccc1b1aafe33142a83599b8731084d62403e3cd31215026810750a83e4be5347d7f3d5d6fe6493e9f083718eb006db739ff47";
+
+// group1024: 1024-bit p, 160-bit q (seed 104408415076355)
+const GROUP1024_P: &str = "8fadd9969b0fa8d8dc2a397d81793e95417ebc6dd0f6844fbbbe5066efdb5a6f50280e60f7329e89bc880b5a45b807609e82acf2f19d1c8a5f015088a3c2426e2e15a8074fb0facdffe4690230df71085c67cc81bda89457b4b54df9a5f7dade0145bd47c9c3aa9549c4ba6fa2ee2b3c56cc82af87c89f20131c61d975bbe7b5";
+const GROUP1024_Q: &str = "9cdbdf2c4ddece74990b44f5e0126db7ef3fc5e7";
+const GROUP1024_G: &str = "8caf2b18710b5bc44b3cf6062aede352f426fcd7523ab9ba311ef1cf232c25fce82ceefc2479e7039c6a21d1ac6a8e237c827c5014233faa6c5ce930ecd82142aacd27572246c55f7ef64828d7d5315c2fad57d1cbb839a51bc704e97b0fc6b7e698bcfced320d778ca147bd292c5d201718095c5fa884c60e6e66fe384c51f7";
+
+fn parse_group(p: &str, q: &str, g: &str) -> DsaParams {
+    DsaParams::from_trusted(
+        Uint::from_hex(p).expect("embedded constant"),
+        Uint::from_hex(q).expect("embedded constant"),
+        Uint::from_hex(g).expect("embedded constant"),
+    )
+}
+
+impl DsaParams {
+    /// A 256-bit group (128-bit `q`) used by fast unit tests.
+    ///
+    /// ```
+    /// let g = refstate_crypto::DsaParams::test_group_256();
+    /// assert_eq!(g.p().bit_len(), 256);
+    /// assert_eq!(g.q().bit_len(), 128);
+    /// ```
+    pub fn test_group_256() -> DsaParams {
+        static CELL: OnceLock<DsaParams> = OnceLock::new();
+        CELL.get_or_init(|| parse_group(GROUP256_P, GROUP256_Q, GROUP256_G))
+            .clone()
+    }
+
+    /// The paper's measurement configuration: a 512-bit group (160-bit `q`),
+    /// matching the "DSA using a key length of 512 bits" in §5.3.
+    pub fn group_512() -> DsaParams {
+        static CELL: OnceLock<DsaParams> = OnceLock::new();
+        CELL.get_or_init(|| parse_group(GROUP512_P, GROUP512_Q, GROUP512_G))
+            .clone()
+    }
+
+    /// A 1024-bit group (160-bit `q`) for the key-length ablation bench.
+    pub fn group_1024() -> DsaParams {
+        static CELL: OnceLock<DsaParams> = OnceLock::new();
+        CELL.get_or_init(|| parse_group(GROUP1024_P, GROUP1024_Q, GROUP1024_G))
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use refstate_bigint::is_probable_prime;
+
+    fn check_group(params: &DsaParams, p_bits: usize, q_bits: usize) {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(params.p().bit_len(), p_bits);
+        assert_eq!(params.q().bit_len(), q_bits);
+        assert!(is_probable_prime(params.p(), 16, &mut rng));
+        assert!(is_probable_prime(params.q(), 16, &mut rng));
+        let p_minus_1 = params.p() - &Uint::one();
+        assert!(p_minus_1.rem(params.q()).is_zero());
+        assert!(params.g().pow_mod(params.q(), params.p()).is_one());
+    }
+
+    #[test]
+    fn group_256_is_valid() {
+        check_group(&DsaParams::test_group_256(), 256, 128);
+    }
+
+    #[test]
+    fn group_512_is_valid() {
+        check_group(&DsaParams::group_512(), 512, 160);
+    }
+
+    #[test]
+    fn group_1024_is_valid() {
+        check_group(&DsaParams::group_1024(), 1024, 160);
+    }
+
+    #[test]
+    fn groups_are_distinct() {
+        assert_ne!(DsaParams::test_group_256(), DsaParams::group_512());
+        assert_ne!(DsaParams::group_512(), DsaParams::group_1024());
+    }
+
+    #[test]
+    fn sign_verify_with_embedded_groups() {
+        use crate::dsa::DsaKeyPair;
+        let mut rng = StdRng::seed_from_u64(5);
+        for params in [DsaParams::test_group_256(), DsaParams::group_512()] {
+            let keys = DsaKeyPair::generate(&params, &mut rng);
+            let sig = keys.sign(b"embedded group check", &mut rng);
+            assert!(keys.public().verify(b"embedded group check", &sig));
+            assert!(!keys.public().verify(b"other message", &sig));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the crypto crate: signature correctness over random
+//! messages, tamper sensitivity, envelope round-trips, and hash behaviour.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate_crypto::{
+    sha1, sha256, DsaKeyPair, DsaParams, HmacSha256, KeyDirectory, Sha256, Signed,
+};
+use refstate_wire::{from_wire, to_wire};
+
+/// One key pair in a small (fast) group, shared across cases.
+fn keys() -> &'static DsaKeyPair {
+    use std::sync::OnceLock;
+    static KEYS: OnceLock<DsaKeyPair> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xDEAD);
+        DsaKeyPair::generate(&DsaParams::test_group_256(), &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Signatures over arbitrary messages always verify.
+    #[test]
+    fn sign_verify_round_trip(message in proptest::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sig = keys().sign(&message, &mut rng);
+        prop_assert!(keys().public().verify(&message, &sig));
+    }
+
+    /// Any single-bit flip in the message invalidates the signature.
+    #[test]
+    fn bit_flip_breaks_signature(
+        message in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_byte in 0usize..128,
+        flip_bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sig = keys().sign(&message, &mut rng);
+        let mut tampered = message.clone();
+        let idx = flip_byte % tampered.len();
+        tampered[idx] ^= 1 << flip_bit;
+        prop_assert!(!keys().public().verify(&tampered, &sig));
+    }
+
+    /// Signature components round-trip through the wire format.
+    #[test]
+    fn signature_wire_round_trip(message in proptest::collection::vec(any::<u8>(), 0..64), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sig = keys().sign(&message, &mut rng);
+        let back = from_wire::<refstate_crypto::Signature>(&to_wire(&sig)).unwrap();
+        prop_assert_eq!(&back, &sig);
+        prop_assert!(keys().public().verify(&message, &back));
+    }
+
+    /// Signed envelopes verify after a wire round-trip, and tampered
+    /// payloads fail.
+    #[test]
+    fn envelope_integrity(payload in ".{0,64}", seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dir = KeyDirectory::new();
+        dir.register("p", keys().public().clone());
+        let env = Signed::seal(payload.clone(), "p", keys(), &mut rng);
+        let back: Signed<String> = from_wire(&to_wire(&env)).unwrap();
+        prop_assert!(back.verify(&dir).is_ok());
+        let tampered = back.tampered_with(|s| s + "x");
+        prop_assert!(tampered.verify(&dir).is_err());
+    }
+
+    /// SHA-256 incremental hashing equals one-shot for every split point.
+    #[test]
+    fn sha256_incremental_any_split(data in proptest::collection::vec(any::<u8>(), 0..300), split in 0usize..300) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Distinct inputs give distinct digests (collision resistance smoke
+    /// test at property scale).
+    #[test]
+    fn hashes_distinguish(a in proptest::collection::vec(any::<u8>(), 0..64), b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(sha256(&a), sha256(&b));
+        prop_assert_ne!(sha1(&a), sha1(&b));
+    }
+
+    /// HMAC verification accepts the genuine tag and rejects key or
+    /// message changes.
+    #[test]
+    fn hmac_properties(key in proptest::collection::vec(any::<u8>(), 0..80), msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let tag = HmacSha256::mac(&key, &msg);
+        prop_assert!(HmacSha256::verify(&key, &msg, &tag));
+        let mut other_key = key.clone();
+        other_key.push(0x01);
+        prop_assert!(!HmacSha256::verify(&other_key, &msg, &tag));
+        let mut other_msg = msg.clone();
+        other_msg.push(0x01);
+        prop_assert!(!HmacSha256::verify(&key, &other_msg, &tag));
+    }
+
+    /// Two different signers cannot validate each other's signatures.
+    #[test]
+    fn keys_are_not_interchangeable(message in proptest::collection::vec(any::<u8>(), 1..64), seed in 1u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let other = DsaKeyPair::generate(&DsaParams::test_group_256(), &mut rng);
+        let sig = other.sign(&message, &mut rng);
+        prop_assert!(other.public().verify(&message, &sig));
+        prop_assert!(!keys().public().verify(&message, &sig));
+    }
+}

@@ -1,0 +1,35 @@
+//! The four existing reference-state mechanisms the paper analyses (§3),
+//! implemented as baselines against the framework.
+//!
+//! | Module | Paper §3 mechanism | Moment | Reference data | Algorithm |
+//! |--------|--------------------|--------|----------------|-----------|
+//! | [`appraisal`] | State appraisal (Farmer/Guttman/Swarup) | after session (on arrival) | resulting state only | rules |
+//! | [`replication`] | Server replication (Minsky et al.) | after session (parallel) | replicated executions | vote counting |
+//! | [`traces`] | Execution traces (Vigna) | after task, on suspicion | initial state + trace + input | re-execution against signed hashes |
+//! | [`proofs`] | Proof verification (Biehl/Meyer/Wetzel, Yee) | after task | self-contained proof | Merkle spot checks |
+//!
+//! The proof mechanism deserves a caveat: real holographic/PCP proofs are
+//! NP-hard to *construct* (the paper dismisses the approach as impractical
+//! for this reason). The [`proofs`] module substitutes a Merkle-committed
+//! step transcript with Fiat–Shamir random spot checks, which preserves the
+//! *interface* (sublinear verification of an execution leading to the final
+//! state, no reference data needed) and the cost shape (O(k·log n)
+//! verification vs O(n) re-execution), though not PCP soundness against
+//! fully adaptive provers. See DESIGN.md §4 for the substitution record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appraisal;
+pub mod matrix;
+pub mod merkle;
+pub mod proofs;
+pub mod replication;
+pub mod traces;
+
+pub use appraisal::{run_appraised_journey, AppraisalOutcome};
+pub use matrix::{detection_matrix, DetectionCell, MechanismKind, ScenarioSpec};
+pub use merkle::{MerklePath, MerkleTree};
+pub use proofs::{ExecutionProof, ProofError, Prover, StepOpening, Verifier};
+pub use replication::{run_replicated_pipeline, ReplicationOutcome, StageSpec, StageVote};
+pub use traces::{audit_journey, run_traced_journey, AuditReport, TraceCommitment, TracedJourney};

@@ -1,0 +1,250 @@
+//! A Merkle hash tree over execution-step digests.
+//!
+//! Used by the proof-verification mechanism to commit to a full execution
+//! transcript while allowing logarithmic-size openings of individual steps.
+
+use refstate_crypto::{Digest, Sha256};
+
+/// Domain-separation prefixes so leaves can never collide with interior
+/// nodes.
+const LEAF_PREFIX: u8 = 0x00;
+const NODE_PREFIX: u8 = 0x01;
+
+fn hash_leaf(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_PREFIX]);
+    h.update(data);
+    h.finalize()
+}
+
+fn hash_node(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[NODE_PREFIX]);
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finalize()
+}
+
+/// A Merkle tree with duplicated-last-node padding for odd widths.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_mechanisms::MerkleTree;
+///
+/// let leaves: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i]).collect();
+/// let tree = MerkleTree::build(leaves.iter().map(|l| l.as_slice()));
+/// let path = tree.open(3).unwrap();
+/// assert!(path.verify(&leaves[3], tree.root()));
+/// assert!(!path.verify(&leaves[2], tree.root()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// levels[0] = leaf digests, levels.last() = [root].
+    levels: Vec<Vec<Digest>>,
+}
+
+/// An opening: the sibling path from a leaf to the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerklePath {
+    /// The leaf index this path opens.
+    pub index: usize,
+    /// Sibling digests, one per level, bottom-up.
+    pub siblings: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaf payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no leaves are supplied.
+    pub fn build<'a>(leaves: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        let leaf_digests: Vec<Digest> = leaves.into_iter().map(hash_leaf).collect();
+        assert!(!leaf_digests.is_empty(), "Merkle tree needs at least one leaf");
+        let mut levels = vec![leaf_digests];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left);
+                next.push(hash_node(left, right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> &Digest {
+        &self.levels.last().expect("non-empty")[0]
+    }
+
+    /// The number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Returns `true` if the tree has exactly one leaf.
+    pub fn is_empty(&self) -> bool {
+        false // a tree always has at least one leaf; see build()
+    }
+
+    /// Opens leaf `index`, returning its authentication path.
+    pub fn open(&self, index: usize) -> Option<MerklePath> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut siblings = Vec::with_capacity(self.levels.len() - 1);
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_index = if i % 2 == 0 { i + 1 } else { i - 1 };
+            let sibling = level.get(sibling_index).unwrap_or(&level[i]);
+            siblings.push(*sibling);
+            i /= 2;
+        }
+        Some(MerklePath { index, siblings })
+    }
+}
+
+impl MerklePath {
+    /// Verifies that `leaf_payload` is the leaf at `self.index` of the tree
+    /// with the given root.
+    pub fn verify(&self, leaf_payload: &[u8], root: &Digest) -> bool {
+        let mut acc = hash_leaf(leaf_payload);
+        let mut i = self.index;
+        for sibling in &self.siblings {
+            acc = if i % 2 == 0 { hash_node(&acc, sibling) } else { hash_node(sibling, &acc) };
+            i /= 2;
+        }
+        acc == *root
+    }
+}
+
+/// Derives `k` pseudo-random distinct indices below `n` from a seed digest
+/// (Fiat–Shamir style: the prover cannot predict which steps are audited
+/// before committing to the root).
+pub fn challenge_indices(seed: &Digest, context: &[u8], n: usize, k: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut counter: u32 = 0;
+    while out.len() < k.min(n) {
+        let mut h = Sha256::new();
+        h.update(seed.as_bytes());
+        h.update(context);
+        h.update(&counter.to_le_bytes());
+        let digest = h.finalize();
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&digest.as_bytes()[..8]);
+        let idx = (u64::from_le_bytes(raw) % n as u64) as usize;
+        if !out.contains(&idx) {
+            out.push(idx);
+        }
+        counter += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refstate_crypto::sha256;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn every_leaf_opens_and_verifies() {
+        for n in [1usize, 2, 3, 4, 5, 8, 9, 31, 64] {
+            let data = leaves(n);
+            let tree = MerkleTree::build(data.iter().map(|l| l.as_slice()));
+            assert_eq!(tree.len(), n);
+            for (i, leaf) in data.iter().enumerate() {
+                let path = tree.open(i).expect("in range");
+                assert!(path.verify(leaf, tree.root()), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails() {
+        let data = leaves(10);
+        let tree = MerkleTree::build(data.iter().map(|l| l.as_slice()));
+        let path = tree.open(4).unwrap();
+        assert!(!path.verify(&data[5], tree.root()));
+        assert!(!path.verify(b"forged", tree.root()));
+    }
+
+    #[test]
+    fn wrong_index_fails() {
+        let data = leaves(8);
+        let tree = MerkleTree::build(data.iter().map(|l| l.as_slice()));
+        let mut path = tree.open(2).unwrap();
+        path.index = 3;
+        assert!(!path.verify(&data[2], tree.root()));
+    }
+
+    #[test]
+    fn wrong_root_fails() {
+        let data = leaves(8);
+        let tree = MerkleTree::build(data.iter().map(|l| l.as_slice()));
+        let other = MerkleTree::build([b"x".as_slice()]);
+        let path = tree.open(0).unwrap();
+        assert!(!path.verify(&data[0], other.root()));
+    }
+
+    #[test]
+    fn root_is_deterministic_and_content_sensitive() {
+        let a = MerkleTree::build(leaves(5).iter().map(|l| l.as_slice()));
+        let b = MerkleTree::build(leaves(5).iter().map(|l| l.as_slice()));
+        assert_eq!(a.root(), b.root());
+        let mut changed = leaves(5);
+        changed[2][0] ^= 1;
+        let c = MerkleTree::build(changed.iter().map(|l| l.as_slice()));
+        assert_ne!(a.root(), c.root());
+    }
+
+    #[test]
+    fn out_of_range_open_is_none() {
+        let tree = MerkleTree::build(leaves(3).iter().map(|l| l.as_slice()));
+        assert!(tree.open(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_tree_panics() {
+        let _ = MerkleTree::build(std::iter::empty::<&[u8]>());
+    }
+
+    #[test]
+    fn leaf_node_domain_separation() {
+        // A single-leaf tree's root is the leaf hash; an attacker cannot
+        // present an interior node as a leaf because of the prefix bytes.
+        let t = MerkleTree::build([b"data".as_slice()]);
+        assert_eq!(*t.root(), hash_leaf(b"data"));
+        assert_ne!(*t.root(), sha256(b"data"));
+    }
+
+    #[test]
+    fn challenges_deterministic_distinct_in_range() {
+        let seed = sha256(b"root");
+        let a = challenge_indices(&seed, b"ctx", 100, 10);
+        let b = challenge_indices(&seed, b"ctx", 100, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|&i| i < 100));
+        let unique: std::collections::BTreeSet<_> = a.iter().collect();
+        assert_eq!(unique.len(), 10);
+        // Different context → different challenge set (overwhelmingly).
+        let c = challenge_indices(&seed, b"other", 100, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn challenges_clamp_to_n() {
+        let seed = sha256(b"root");
+        let a = challenge_indices(&seed, b"", 3, 10);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,237 @@
+//! Host behaviours: honest execution or a concrete attack.
+//!
+//! The attacks map onto the areas of the paper's Fig. 2 taxonomy that a
+//! reference-state mechanism is (or is deliberately *not*) able to detect.
+//! Each variant documents which area it instantiates and whether the paper
+//! says reference states can catch it.
+
+use std::fmt;
+
+use refstate_vm::Value;
+
+use crate::host::HostId;
+
+/// A concrete malicious-host strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Attack {
+    /// Fig. 2 area 5 (manipulation of data): overwrite a state variable
+    /// after honest execution. **Detectable** — the resulting state differs
+    /// from the reference state.
+    TamperVariable {
+        /// Variable to overwrite.
+        name: String,
+        /// The forged value.
+        value: Value,
+    },
+    /// Fig. 2 area 5: delete a state variable (e.g. drop a competitor's
+    /// offer). **Detectable**.
+    DeleteVariable {
+        /// Variable to remove.
+        name: String,
+    },
+    /// Fig. 2 area 7 (incorrect execution): do not run the agent at all and
+    /// pass its initial state on unchanged. **Detectable** when the session
+    /// should have changed state.
+    SkipExecution,
+    /// Fig. 2 area 7: run the agent but corrupt one integer result by a
+    /// multiplicative factor (a biased computation). **Detectable**.
+    ScaleIntVariable {
+        /// Variable to scale.
+        name: String,
+        /// The multiplier applied to the honest result.
+        factor: i64,
+    },
+    /// Fig. 2 area 6 (manipulation of control flow): force the agent to
+    /// migrate to a host of the attacker's choosing instead of the one the
+    /// agent computed. **Detectable** via re-execution (the reference
+    /// session ends with a different destination).
+    RedirectMigration {
+        /// Where the attacker sends the agent.
+        to: HostId,
+    },
+    /// Input suppression: remove the host-supplied input for a tag before
+    /// the session. The paper classifies this as **undetectable** by
+    /// reference states ("attacks where the party that compiles the input
+    /// modifies or suppresses input").
+    DropInput {
+        /// The input tag to starve.
+        tag: String,
+    },
+    /// Input forgery: replace the genuine input value with a lie. Also
+    /// **undetectable** by plain reference states; the §4.3 extension
+    /// (signed inputs) catches it.
+    ForgeInput {
+        /// The input tag to forge.
+        tag: String,
+        /// The forged value.
+        value: Value,
+    },
+    /// Read attack (Fig. 2 area 2): copy the agent's state for the host's
+    /// own use, executing honestly otherwise. **Undetectable** by design —
+    /// it leaves no trace in the agent state; included so the detection
+    /// matrix can show the mechanism's stated limits.
+    ReadState,
+    /// Collaboration: execute maliciously (tamper `name` like
+    /// [`Attack::TamperVariable`]) while a colluding *next* host promises
+    /// to skip checking. The example protocol **cannot detect** collusion
+    /// between consecutive hosts (§5.1).
+    CollaborateTamper {
+        /// Variable to overwrite.
+        name: String,
+        /// The forged value.
+        value: Value,
+        /// The colluding next host that will vouch for the session.
+        accomplice: HostId,
+    },
+}
+
+impl Attack {
+    /// Returns `true` if the paper's reference-state schemes should detect
+    /// this attack (used by tests asserting the protection bandwidth).
+    pub fn detectable_by_reference_state(&self) -> bool {
+        match self {
+            Attack::TamperVariable { .. }
+            | Attack::DeleteVariable { .. }
+            | Attack::SkipExecution
+            | Attack::ScaleIntVariable { .. }
+            | Attack::RedirectMigration { .. } => true,
+            Attack::DropInput { .. }
+            | Attack::ForgeInput { .. }
+            | Attack::ReadState
+            | Attack::CollaborateTamper { .. } => false,
+        }
+    }
+
+    /// A short machine-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Attack::TamperVariable { .. } => "tamper-variable",
+            Attack::DeleteVariable { .. } => "delete-variable",
+            Attack::SkipExecution => "skip-execution",
+            Attack::ScaleIntVariable { .. } => "scale-int",
+            Attack::RedirectMigration { .. } => "redirect-migration",
+            Attack::DropInput { .. } => "drop-input",
+            Attack::ForgeInput { .. } => "forge-input",
+            Attack::ReadState => "read-state",
+            Attack::CollaborateTamper { .. } => "collaborate-tamper",
+        }
+    }
+}
+
+impl fmt::Display for Attack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attack::TamperVariable { name, value } => write!(f, "tamper {name}={value}"),
+            Attack::DeleteVariable { name } => write!(f, "delete {name}"),
+            Attack::SkipExecution => f.write_str("skip execution"),
+            Attack::ScaleIntVariable { name, factor } => write!(f, "scale {name} by {factor}"),
+            Attack::RedirectMigration { to } => write!(f, "redirect migration to {to}"),
+            Attack::DropInput { tag } => write!(f, "drop input {tag}"),
+            Attack::ForgeInput { tag, value } => write!(f, "forge input {tag}={value}"),
+            Attack::ReadState => f.write_str("read state"),
+            Attack::CollaborateTamper { name, value, accomplice } => {
+                write!(f, "tamper {name}={value} with accomplice {accomplice}")
+            }
+        }
+    }
+}
+
+/// How a host treats the agents it executes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Behaviour {
+    /// Reference behaviour: execute exactly as specified.
+    #[default]
+    Honest,
+    /// Apply the given attack during (or after) the session.
+    Malicious(Attack),
+}
+
+impl Behaviour {
+    /// Returns the attack, if malicious.
+    pub fn attack(&self) -> Option<&Attack> {
+        match self {
+            Behaviour::Honest => None,
+            Behaviour::Malicious(a) => Some(a),
+        }
+    }
+
+    /// Returns `true` for honest behaviour.
+    pub fn is_honest(&self) -> bool {
+        matches!(self, Behaviour::Honest)
+    }
+}
+
+impl fmt::Display for Behaviour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Behaviour::Honest => f.write_str("honest"),
+            Behaviour::Malicious(a) => write!(f, "malicious ({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_attacks() -> Vec<Attack> {
+        vec![
+            Attack::TamperVariable { name: "x".into(), value: Value::Int(0) },
+            Attack::DeleteVariable { name: "x".into() },
+            Attack::SkipExecution,
+            Attack::ScaleIntVariable { name: "x".into(), factor: 2 },
+            Attack::RedirectMigration { to: HostId::new("evil") },
+            Attack::DropInput { tag: "t".into() },
+            Attack::ForgeInput { tag: "t".into(), value: Value::Int(1) },
+            Attack::ReadState,
+            Attack::CollaborateTamper {
+                name: "x".into(),
+                value: Value::Int(0),
+                accomplice: HostId::new("h3"),
+            },
+        ]
+    }
+
+    #[test]
+    fn detectability_matches_paper_claims() {
+        let detectable: Vec<&'static str> = all_attacks()
+            .iter()
+            .filter(|a| a.detectable_by_reference_state())
+            .map(|a| a.label())
+            .collect();
+        assert_eq!(
+            detectable,
+            vec![
+                "tamper-variable",
+                "delete-variable",
+                "skip-execution",
+                "scale-int",
+                "redirect-migration"
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            all_attacks().iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), all_attacks().len());
+    }
+
+    #[test]
+    fn behaviour_accessors() {
+        assert!(Behaviour::Honest.is_honest());
+        assert!(Behaviour::Honest.attack().is_none());
+        let b = Behaviour::Malicious(Attack::SkipExecution);
+        assert!(!b.is_honest());
+        assert_eq!(b.attack(), Some(&Attack::SkipExecution));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Behaviour::Honest.to_string(), "honest");
+        let b = Behaviour::Malicious(Attack::DropInput { tag: "p".into() });
+        assert_eq!(b.to_string(), "malicious (drop input p)");
+    }
+}

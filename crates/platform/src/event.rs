@@ -1,0 +1,228 @@
+//! The platform event log: a timeline of everything observable.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::agent::AgentId;
+use crate::host::HostId;
+
+/// One observable platform event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Event {
+    /// An agent was created at its home host.
+    AgentCreated {
+        /// The agent.
+        agent: AgentId,
+        /// The home host.
+        home: HostId,
+    },
+    /// A host started an execution session.
+    SessionStarted {
+        /// The executing host.
+        host: HostId,
+        /// The agent.
+        agent: AgentId,
+    },
+    /// A host finished an execution session.
+    SessionEnded {
+        /// The executing host.
+        host: HostId,
+        /// The agent.
+        agent: AgentId,
+        /// Instructions executed.
+        steps: u64,
+    },
+    /// An agent (plus protocol baggage) was sent between hosts.
+    Migrated {
+        /// Sender.
+        from: HostId,
+        /// Receiver.
+        to: HostId,
+        /// The agent.
+        agent: AgentId,
+        /// Serialized size of the migration message in bytes.
+        bytes: usize,
+    },
+    /// A host applied an attack.
+    AttackApplied {
+        /// The malicious host.
+        host: HostId,
+        /// A short label of the attack (see `Attack::label`).
+        attack: String,
+    },
+    /// A checking step ran.
+    CheckPerformed {
+        /// The host that checked.
+        checker: HostId,
+        /// The host whose session was checked.
+        checked: HostId,
+        /// Whether the check passed.
+        passed: bool,
+    },
+    /// A fraud was detected and attributed.
+    FraudDetected {
+        /// The host blamed.
+        culprit: HostId,
+        /// The host (or owner) that detected it.
+        detector: HostId,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Free-form annotation from a driver.
+    Note {
+        /// The annotation.
+        text: String,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::AgentCreated { agent, home } => write!(f, "created {agent} at {home}"),
+            Event::SessionStarted { host, agent } => write!(f, "{host}: session start {agent}"),
+            Event::SessionEnded { host, agent, steps } => {
+                write!(f, "{host}: session end {agent} ({steps} steps)")
+            }
+            Event::Migrated { from, to, agent, bytes } => {
+                write!(f, "{from} -> {to}: migrate {agent} ({bytes} bytes)")
+            }
+            Event::AttackApplied { host, attack } => write!(f, "{host}: ATTACK {attack}"),
+            Event::CheckPerformed { checker, checked, passed } => {
+                write!(f, "{checker}: checked {checked}: {}", if *passed { "ok" } else { "FAILED" })
+            }
+            Event::FraudDetected { culprit, detector, reason } => {
+                write!(f, "{detector}: fraud by {culprit}: {reason}")
+            }
+            Event::Note { text } => write!(f, "note: {text}"),
+        }
+    }
+}
+
+/// A shared, thread-safe, append-only event log.
+///
+/// Cloning the log clones a handle to the same underlying timeline, so a
+/// driver and all its hosts can record into one history — including from
+/// the threaded network.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_platform::{Event, EventLog};
+///
+/// let log = EventLog::new();
+/// log.record(Event::Note { text: "hello".into() });
+/// assert_eq!(log.len(), 1);
+/// assert!(log.render().contains("hello"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&self, event: Event) {
+        self.events.lock().push(event);
+    }
+
+    /// The number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Renders the timeline, one event per line.
+    pub fn render(&self) -> String {
+        let events = self.events.lock();
+        let mut out = String::new();
+        for (i, e) in events.iter().enumerate() {
+            out.push_str(&format!("{i:4}  {e}\n"));
+        }
+        out
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count_matching(&self, predicate: impl Fn(&Event) -> bool) -> usize {
+        self.events.lock().iter().filter(|e| predicate(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        log.record(Event::Note { text: "a".into() });
+        log.record(Event::AgentCreated {
+            agent: AgentId::new("ag"),
+            home: HostId::new("h"),
+        });
+        assert_eq!(log.len(), 2);
+        let snap = log.snapshot();
+        assert!(matches!(&snap[0], Event::Note { text } if text == "a"));
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let log = EventLog::new();
+        let handle = log.clone();
+        handle.record(Event::Note { text: "via handle".into() });
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let log = EventLog::new();
+        log.record(Event::Note { text: "x".into() });
+        log.record(Event::AttackApplied { host: HostId::new("m"), attack: "tamper".into() });
+        assert_eq!(log.count_matching(|e| matches!(e, Event::AttackApplied { .. })), 1);
+    }
+
+    #[test]
+    fn render_is_ordered() {
+        let log = EventLog::new();
+        log.record(Event::Note { text: "first".into() });
+        log.record(Event::Note { text: "second".into() });
+        let text = log.render();
+        let first = text.find("first").unwrap();
+        let second = text.find("second").unwrap();
+        assert!(first < second);
+    }
+
+    #[test]
+    fn display_variants() {
+        let e = Event::Migrated {
+            from: HostId::new("a"),
+            to: HostId::new("b"),
+            agent: AgentId::new("ag"),
+            bytes: 128,
+        };
+        assert_eq!(e.to_string(), "a -> b: migrate ag (128 bytes)");
+        let e = Event::CheckPerformed {
+            checker: HostId::new("c"),
+            checked: HostId::new("d"),
+            passed: false,
+        };
+        assert!(e.to_string().contains("FAILED"));
+    }
+}

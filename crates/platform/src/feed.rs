@@ -1,0 +1,178 @@
+//! Per-host input feeds: the data a host supplies to visiting agents.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use refstate_crypto::Signed;
+use refstate_vm::Value;
+
+/// One queued input value, optionally carrying a producer signature.
+///
+/// Plain values model the common case where the *host* relays input and can
+/// therefore lie about it. Signed values model the paper's §4.3 extension:
+/// "input can be used that is signed by the party that produces the input",
+/// which makes input forgery detectable.
+#[derive(Debug, Clone)]
+pub struct FeedItem {
+    /// The value handed to the agent.
+    pub value: Value,
+    /// Producer signature over the value, when the §4.3 extension is used.
+    pub provenance: Option<Signed<Value>>,
+}
+
+impl FeedItem {
+    /// A plain, unsigned input item.
+    pub fn plain(value: Value) -> Self {
+        FeedItem { value, provenance: None }
+    }
+
+    /// An input item with producer provenance.
+    pub fn signed(envelope: Signed<Value>) -> Self {
+        FeedItem { value: envelope.payload().clone(), provenance: Some(envelope) }
+    }
+}
+
+/// The inputs a host will supply to an agent, keyed by input tag, plus
+/// scripted partner messages.
+///
+/// The feed persists across sessions of the same host (an agent visiting
+/// twice continues consuming where it left off), matching how a shop would
+/// keep serving quotes.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_platform::InputFeed;
+/// use refstate_vm::Value;
+///
+/// let mut feed = InputFeed::new();
+/// feed.push("price", Value::Int(100));
+/// feed.push("price", Value::Int(90));
+/// assert_eq!(feed.remaining("price"), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InputFeed {
+    inputs: BTreeMap<String, VecDeque<FeedItem>>,
+    messages: BTreeMap<String, VecDeque<Value>>,
+}
+
+impl InputFeed {
+    /// Creates an empty feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a plain input value for `tag`.
+    pub fn push(&mut self, tag: impl Into<String>, value: Value) -> &mut Self {
+        self.inputs.entry(tag.into()).or_default().push_back(FeedItem::plain(value));
+        self
+    }
+
+    /// Queues a signed input value for `tag` (§4.3 extension).
+    pub fn push_signed(&mut self, tag: impl Into<String>, envelope: Signed<Value>) -> &mut Self {
+        self.inputs.entry(tag.into()).or_default().push_back(FeedItem::signed(envelope));
+        self
+    }
+
+    /// Queues a message from `partner`.
+    pub fn push_message(&mut self, partner: impl Into<String>, value: Value) -> &mut Self {
+        self.messages.entry(partner.into()).or_default().push_back(value);
+        self
+    }
+
+    /// Takes the next input for `tag`.
+    pub fn take(&mut self, tag: &str) -> Option<FeedItem> {
+        self.inputs.get_mut(tag).and_then(VecDeque::pop_front)
+    }
+
+    /// Takes the next message from `partner`.
+    pub fn take_message(&mut self, partner: &str) -> Option<Value> {
+        self.messages.get_mut(partner).and_then(VecDeque::pop_front)
+    }
+
+    /// Number of values still queued for `tag`.
+    pub fn remaining(&self, tag: &str) -> usize {
+        self.inputs.get(tag).map_or(0, VecDeque::len)
+    }
+
+    /// Removes the next queued value for `tag` entirely (the
+    /// [`crate::Attack::DropInput`] attack).
+    pub fn drop_next(&mut self, tag: &str) -> Option<FeedItem> {
+        self.take(tag)
+    }
+
+    /// Replaces every queued value for `tag` with `value`, stripping any
+    /// provenance (the [`crate::Attack::ForgeInput`] attack).
+    pub fn forge_all(&mut self, tag: &str, value: &Value) {
+        if let Some(queue) = self.inputs.get_mut(tag) {
+            for item in queue.iter_mut() {
+                *item = FeedItem::plain(value.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_tag() {
+        let mut feed = InputFeed::new();
+        feed.push("a", Value::Int(1)).push("a", Value::Int(2)).push("b", Value::Int(3));
+        assert_eq!(feed.take("a").unwrap().value, Value::Int(1));
+        assert_eq!(feed.take("b").unwrap().value, Value::Int(3));
+        assert_eq!(feed.take("a").unwrap().value, Value::Int(2));
+        assert!(feed.take("a").is_none());
+        assert!(feed.take("zzz").is_none());
+    }
+
+    #[test]
+    fn messages_separate_from_inputs() {
+        let mut feed = InputFeed::new();
+        feed.push("x", Value::Int(1));
+        feed.push_message("x", Value::Int(2));
+        assert_eq!(feed.take_message("x"), Some(Value::Int(2)));
+        assert_eq!(feed.take("x").unwrap().value, Value::Int(1));
+        assert!(feed.take_message("x").is_none());
+    }
+
+    #[test]
+    fn drop_next_starves_one_value() {
+        let mut feed = InputFeed::new();
+        feed.push("p", Value::Int(1)).push("p", Value::Int(2));
+        feed.drop_next("p");
+        assert_eq!(feed.remaining("p"), 1);
+        assert_eq!(feed.take("p").unwrap().value, Value::Int(2));
+    }
+
+    #[test]
+    fn forge_all_replaces_and_strips_provenance() {
+        use rand::SeedableRng;
+        use refstate_crypto::{DsaKeyPair, DsaParams, Signed};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let keys = DsaKeyPair::generate(&DsaParams::test_group_256(), &mut rng);
+        let env = Signed::seal(Value::Int(100), "producer", &keys, &mut rng);
+
+        let mut feed = InputFeed::new();
+        feed.push_signed("p", env);
+        feed.push("p", Value::Int(100));
+        feed.forge_all("p", &Value::Int(999));
+        let first = feed.take("p").unwrap();
+        assert_eq!(first.value, Value::Int(999));
+        assert!(first.provenance.is_none(), "forgery cannot carry provenance");
+        assert_eq!(feed.take("p").unwrap().value, Value::Int(999));
+    }
+
+    #[test]
+    fn signed_item_keeps_envelope() {
+        use rand::SeedableRng;
+        use refstate_crypto::{DsaKeyPair, DsaParams, Signed};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let keys = DsaKeyPair::generate(&DsaParams::test_group_256(), &mut rng);
+        let env = Signed::seal(Value::Int(7), "shop", &keys, &mut rng);
+        let item = FeedItem::signed(env.clone());
+        assert_eq!(item.value, Value::Int(7));
+        assert_eq!(item.provenance.as_ref().map(|e| e.signer()), Some("shop"));
+    }
+}

@@ -1,0 +1,366 @@
+//! The plain (unprotected) journey driver: follow the agent's migrations
+//! host to host until it halts.
+
+use std::error::Error;
+use std::fmt;
+
+use refstate_vm::{ExecConfig, SessionEnd, VmError};
+
+use crate::agent::AgentImage;
+use crate::event::{Event, EventLog};
+use crate::host::{Host, HostId, SessionRecord};
+
+/// Errors from running a journey.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JourneyError {
+    /// The agent asked to migrate to a host that does not exist.
+    UnknownHost {
+        /// The requested destination.
+        host: HostId,
+    },
+    /// The journey exceeded the hop limit (runaway itinerary).
+    TooManyHops {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A session failed.
+    Vm(VmError),
+}
+
+impl fmt::Display for JourneyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JourneyError::UnknownHost { host } => write!(f, "unknown migration target {host}"),
+            JourneyError::TooManyHops { limit } => write!(f, "journey exceeded {limit} hops"),
+            JourneyError::Vm(e) => write!(f, "session failed: {e}"),
+        }
+    }
+}
+
+impl Error for JourneyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JourneyError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for JourneyError {
+    fn from(e: VmError) -> Self {
+        JourneyError::Vm(e)
+    }
+}
+
+/// The result of a completed journey.
+#[derive(Debug)]
+pub struct JourneyOutcome {
+    /// The agent as it finished (final data state).
+    pub final_image: AgentImage,
+    /// The hosts visited, in order (including the start host).
+    pub path: Vec<HostId>,
+    /// Per-session records, parallel to `path`.
+    pub records: Vec<SessionRecord>,
+}
+
+/// Runs an agent across `hosts` with **no protection at all**: sessions
+/// execute, migrations follow the agent's `migrate` instructions, and
+/// nobody checks anything.
+///
+/// This is the baseline the paper's Table 1 measures (modulo the
+/// whole-agent signature, which the bench harness adds around this).
+///
+/// # Errors
+///
+/// See [`JourneyError`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use refstate_crypto::DsaParams;
+/// use refstate_platform::*;
+/// use refstate_vm::{assemble, DataState, ExecConfig, Value};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let params = DsaParams::test_group_256();
+/// let mut hosts = vec![
+///     Host::new(HostSpec::new("home").with_input("p", Value::Int(10)), &params, &mut rng),
+///     Host::new(HostSpec::new("shop").with_input("p", Value::Int(20)), &params, &mut rng),
+/// ];
+/// let program = assemble(r#"
+///     input "p"
+///     store "first"
+///     push "shop"
+///     migrate
+/// "#)?;
+/// // Session 2 re-runs from the top on "shop"; "first" already exists, so
+/// // the shop's quote overwrites it and the agent halts... this tiny agent
+/// // simply migrates once and halts on arrival.
+/// let program = assemble(r#"
+///     load "done"
+///     jnz finish
+///     input "p"
+///     store "first"
+///     push true
+///     store "done"
+///     push "shop"
+///     migrate
+/// finish:
+///     halt
+/// "#)?;
+/// let mut state = DataState::new();
+/// state.set("done", Value::Bool(false));
+/// let agent = AgentImage::new("a", program, state);
+/// let log = EventLog::new();
+/// let outcome = run_plain_journey(&mut hosts, "home", agent, &ExecConfig::default(), &log, 10)?;
+/// assert_eq!(outcome.path.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_plain_journey(
+    hosts: &mut [Host],
+    start: impl Into<HostId>,
+    mut agent: AgentImage,
+    config: &ExecConfig,
+    log: &EventLog,
+    max_hops: usize,
+) -> Result<JourneyOutcome, JourneyError> {
+    let mut current = start.into();
+    log.record(Event::AgentCreated { agent: agent.id.clone(), home: current.clone() });
+    let mut path = vec![current.clone()];
+    let mut records = Vec::new();
+
+    for _ in 0..max_hops {
+        let host = hosts
+            .iter_mut()
+            .find(|h| h.id() == &current)
+            .ok_or_else(|| JourneyError::UnknownHost { host: current.clone() })?;
+        let record = host.execute_session(&agent, config, log)?;
+        agent.state = record.outcome.state.clone();
+        let end = record.outcome.end.clone();
+        records.push(record);
+        match end {
+            SessionEnd::Halt => {
+                return Ok(JourneyOutcome { final_image: agent, path, records });
+            }
+            SessionEnd::Migrate(next) => {
+                let next = HostId::new(next);
+                if !hosts.iter().any(|h| h.id() == &next) {
+                    return Err(JourneyError::UnknownHost { host: next });
+                }
+                let bytes = refstate_wire::to_wire(&agent).len();
+                log.record(Event::Migrated {
+                    from: current.clone(),
+                    to: next.clone(),
+                    agent: agent.id.clone(),
+                    bytes,
+                });
+                path.push(next.clone());
+                current = next;
+            }
+        }
+    }
+    Err(JourneyError::TooManyHops { limit: max_hops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use refstate_crypto::DsaParams;
+    use refstate_vm::{assemble, DataState, Value};
+
+    use crate::host::HostSpec;
+
+    /// A three-hop agent: collects a quote on each host, then returns the
+    /// minimum. The itinerary lives in agent state.
+    fn quote_agent() -> AgentImage {
+        let program = assemble(
+            r#"
+            ; collect this host's quote
+            input "quote"
+            load "quotes"
+            swap
+            listpush
+            store "quotes"
+            ; done with the itinerary?
+            load "idx"
+            load "hosts"
+            listlen
+            ge
+            jnz summarize
+            ; migrate to hosts[idx]; idx += 1
+            load "hosts"
+            load "idx"
+            listget
+            load "idx"
+            push 1
+            add
+            store "idx"
+            migrate
+        summarize:
+            ; find min quote
+            load "quotes"
+            push 0
+            listget
+            store "best"
+            push 1
+            store "i"
+        minloop:
+            load "i"
+            load "quotes"
+            listlen
+            ge
+            jnz done
+            load "quotes"
+            load "i"
+            listget
+            dup
+            load "best"
+            lt
+            jz skip
+            store "best"
+            jump next
+        skip:
+            pop
+        next:
+            load "i"
+            push 1
+            add
+            store "i"
+            jump minloop
+        done:
+            halt
+        "#,
+        )
+        .unwrap();
+        let mut state = DataState::new();
+        state.set(
+            "hosts",
+            Value::List(vec![Value::Str("h2".into()), Value::Str("h3".into())]),
+        );
+        state.set("idx", Value::Int(0));
+        state.set("quotes", Value::List(vec![]));
+        AgentImage::new("quotes", program, state)
+    }
+
+    fn make_hosts(prices: [i64; 3]) -> Vec<Host> {
+        let mut rng = StdRng::seed_from_u64(77);
+        let params = DsaParams::test_group_256();
+        vec![
+            Host::new(HostSpec::new("h1").trusted().with_input("quote", Value::Int(prices[0])), &params, &mut rng),
+            Host::new(HostSpec::new("h2").with_input("quote", Value::Int(prices[1])), &params, &mut rng),
+            Host::new(HostSpec::new("h3").with_input("quote", Value::Int(prices[2])), &params, &mut rng),
+        ]
+    }
+
+    #[test]
+    fn three_hop_journey_finds_minimum() {
+        let mut hosts = make_hosts([300, 120, 250]);
+        let log = EventLog::new();
+        let outcome = run_plain_journey(
+            &mut hosts,
+            "h1",
+            quote_agent(),
+            &ExecConfig::default(),
+            &log,
+            10,
+        )
+        .unwrap();
+        assert_eq!(outcome.path.len(), 3);
+        assert_eq!(outcome.final_image.state.get_int("best"), Some(120));
+        assert_eq!(outcome.records.len(), 3);
+        assert_eq!(log.count_matching(|e| matches!(e, Event::Migrated { .. })), 2);
+    }
+
+    #[test]
+    fn unknown_host_reported() {
+        let mut hosts = make_hosts([1, 2, 3]);
+        let program = assemble("push \"nowhere\"\nmigrate").unwrap();
+        let agent = AgentImage::new("lost", program, DataState::new());
+        let log = EventLog::new();
+        let err = run_plain_journey(&mut hosts, "h1", agent, &ExecConfig::default(), &log, 10)
+            .unwrap_err();
+        assert!(matches!(err, JourneyError::UnknownHost { .. }));
+    }
+
+    #[test]
+    fn hop_limit_enforced() {
+        let mut hosts = make_hosts([1, 2, 3]);
+        // Ping-pong forever between h2 and h3.
+        let program = assemble(
+            r#"
+            load "at2"
+            jnz go3
+            push true
+            store "at2"
+            push "h2"
+            migrate
+        go3:
+            push false
+            store "at2"
+            push "h3"
+            migrate
+        "#,
+        )
+        .unwrap();
+        let mut state = DataState::new();
+        state.set("at2", Value::Bool(false));
+        let agent = AgentImage::new("pingpong", program, state);
+        let log = EventLog::new();
+        let err = run_plain_journey(&mut hosts, "h1", agent, &ExecConfig::default(), &log, 7)
+            .unwrap_err();
+        assert!(matches!(err, JourneyError::TooManyHops { limit: 7 }));
+    }
+
+    #[test]
+    fn tampering_host_corrupts_final_result() {
+        // The malicious middle host inflates the collected quotes list —
+        // with no protection, the owner receives a wrong "best" price.
+        let mut rng = StdRng::seed_from_u64(78);
+        let params = DsaParams::test_group_256();
+        let mut hosts = vec![
+            Host::new(
+                HostSpec::new("h1").trusted().with_input("quote", Value::Int(300)),
+                &params,
+                &mut rng,
+            ),
+            Host::new(
+                HostSpec::new("h2")
+                    .with_input("quote", Value::Int(120))
+                    .malicious(crate::attack::Attack::TamperVariable {
+                        name: "quotes".into(),
+                        value: Value::List(vec![Value::Int(999), Value::Int(998)]),
+                    }),
+                &params,
+                &mut rng,
+            ),
+            Host::new(HostSpec::new("h3").with_input("quote", Value::Int(250)), &params, &mut rng),
+        ];
+        let log = EventLog::new();
+        let outcome = run_plain_journey(
+            &mut hosts,
+            "h1",
+            quote_agent(),
+            &ExecConfig::default(),
+            &log,
+            10,
+        )
+        .unwrap();
+        // 120 is gone; the attacker skewed the comparison.
+        assert_eq!(outcome.final_image.state.get_int("best"), Some(250));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = JourneyError::UnknownHost { host: HostId::new("x") };
+        assert!(e.to_string().contains('x'));
+        let e = JourneyError::TooManyHops { limit: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = JourneyError::Vm(VmError::FellOffEnd);
+        assert!(e.to_string().contains("session failed"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,44 @@
+//! A simulated mobile-agent platform (the Mole analogue).
+//!
+//! The paper's protocols run on an agent platform: hosts that execute
+//! sessions, a migration mechanism that moves the agent (and the protocols'
+//! baggage) between hosts, input sources on each host, and — crucially for
+//! a *protection* paper — hosts that misbehave. This crate provides all of
+//! that:
+//!
+//! * [`HostId`] / [`HostSpec`] / [`Host`] — host identity, keys, trust
+//!   attribute, and per-host input feeds,
+//! * [`Behaviour`] / [`Attack`] — honest execution or one of the attack
+//!   classes from the paper's Fig. 2 taxonomy that touch agent state or
+//!   session input,
+//! * [`AgentImage`] — the unit of migration (code + data state),
+//! * [`Event`] / [`EventLog`] — a timeline of everything that happened,
+//! * [`HostNode`] / [`SimNetwork`] — a deterministic, single-threaded
+//!   message-passing network for protocol drivers,
+//! * [`ThreadedNetwork`] — the same node interface on real threads with
+//!   crossbeam channels, for stress tests and the threaded benches.
+//!
+//! The paper's measurements ran three hosts "in one address space" —
+//! [`SimNetwork`] reproduces exactly that; [`ThreadedNetwork`] goes one
+//! step further than the original evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod attack;
+mod event;
+mod feed;
+mod host;
+mod journey;
+mod net;
+mod threaded;
+
+pub use agent::{AgentId, AgentImage};
+pub use attack::{Attack, Behaviour};
+pub use event::{Event, EventLog};
+pub use feed::{FeedItem, InputFeed};
+pub use host::{Host, HostId, HostSpec, SessionRecord};
+pub use journey::{run_plain_journey, JourneyError, JourneyOutcome};
+pub use net::{HostNode, NetError, SimNetwork, Step};
+pub use threaded::ThreadedNetwork;

@@ -1,0 +1,230 @@
+//! A threaded network: the same [`HostNode`] interface on real OS threads
+//! with crossbeam channels.
+//!
+//! The paper measured "migration in one address space"; this module goes
+//! one step further and actually runs each host on its own thread, which
+//! the threaded integration tests use to show the protocols are
+//! transport-agnostic.
+
+use std::collections::BTreeMap;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::host::HostId;
+use crate::net::{HostNode, NetError, Step};
+
+enum Envelope<M> {
+    Msg { from: HostId, msg: M },
+    Shutdown,
+}
+
+/// Runs a set of nodes on one thread each until a node reports
+/// [`Step::Finished`], then shuts the others down.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_platform::{HostId, HostNode, NetError, Step, ThreadedNetwork};
+///
+/// struct Relay { id: HostId, next: HostId, hops_left: u32 }
+/// impl HostNode<u32> for Relay {
+///     fn id(&self) -> HostId { self.id.clone() }
+///     fn on_message(&mut self, _from: &HostId, msg: u32) -> Result<Step<u32>, NetError> {
+///         if msg == 0 { Ok(Step::Finished) }
+///         else { Ok(Step::Send(vec![(self.next.clone(), msg - 1)])) }
+///     }
+/// }
+///
+/// let nodes: Vec<Box<dyn HostNode<u32> + Send>> = vec![
+///     Box::new(Relay { id: HostId::new("a"), next: HostId::new("b"), hops_left: 0 }),
+///     Box::new(Relay { id: HostId::new("b"), next: HostId::new("a"), hops_left: 0 }),
+/// ];
+/// let net = ThreadedNetwork::start(nodes);
+/// net.inject(HostId::new("main"), HostId::new("a"), 6u32)?;
+/// net.join(std::time::Duration::from_secs(5))?;
+/// # Ok::<(), NetError>(())
+/// ```
+pub struct ThreadedNetwork<M> {
+    senders: BTreeMap<HostId, Sender<Envelope<M>>>,
+    done_rx: Receiver<Result<(), NetError>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl<M: Send + 'static> ThreadedNetwork<M> {
+    /// Spawns one thread per node and returns the running network.
+    pub fn start(nodes: Vec<Box<dyn HostNode<M> + Send>>) -> Self {
+        let mut senders: BTreeMap<HostId, Sender<Envelope<M>>> = BTreeMap::new();
+        let mut receivers: Vec<(Box<dyn HostNode<M> + Send>, Receiver<Envelope<M>>)> = Vec::new();
+        for node in nodes {
+            let (tx, rx) = unbounded();
+            senders.insert(node.id(), tx);
+            receivers.push((node, rx));
+        }
+        let (done_tx, done_rx) = bounded(1);
+
+        let mut handles = Vec::new();
+        for (mut node, rx) in receivers {
+            let peer_senders = senders.clone();
+            let done = done_tx.clone();
+            let my_id = node.id();
+            handles.push(thread::spawn(move || {
+                while let Ok(envelope) = rx.recv() {
+                    match envelope {
+                        Envelope::Shutdown => break,
+                        Envelope::Msg { from, msg } => match node.on_message(&from, msg) {
+                            Ok(Step::Send(outgoing)) => {
+                                for (dest, m) in outgoing {
+                                    match peer_senders.get(&dest) {
+                                        Some(tx) => {
+                                            // A send failure means shutdown
+                                            // already started; stop quietly.
+                                            if tx
+                                                .send(Envelope::Msg { from: my_id.clone(), msg: m })
+                                                .is_err()
+                                            {
+                                                return;
+                                            }
+                                        }
+                                        None => {
+                                            let _ = done
+                                                .send(Err(NetError::UnknownNode { host: dest }));
+                                            return;
+                                        }
+                                    }
+                                }
+                            }
+                            Ok(Step::Idle) => {}
+                            Ok(Step::Finished) => {
+                                let _ = done.send(Ok(()));
+                            }
+                            Err(e) => {
+                                let _ = done.send(Err(e));
+                                return;
+                            }
+                        },
+                    }
+                }
+            }));
+        }
+
+        ThreadedNetwork { senders, done_rx, handles }
+    }
+
+    /// Injects a message into the running network.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if `to` is not a registered node.
+    pub fn inject(&self, from: HostId, to: HostId, msg: M) -> Result<(), NetError> {
+        let tx = self
+            .senders
+            .get(&to)
+            .ok_or_else(|| NetError::UnknownNode { host: to.clone() })?;
+        tx.send(Envelope::Msg { from, msg })
+            .map_err(|_| NetError::Node { host: to, detail: "node thread exited".into() })
+    }
+
+    /// Waits for a node to finish, then shuts every thread down.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Stalled`] on timeout, or the first node error.
+    pub fn join(self, timeout: Duration) -> Result<(), NetError> {
+        let result = match self.done_rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => Err(NetError::Stalled),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Stalled),
+        };
+        for tx in self.senders.values() {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Relay {
+        id: HostId,
+        next: HostId,
+    }
+
+    impl HostNode<u32> for Relay {
+        fn id(&self) -> HostId {
+            self.id.clone()
+        }
+
+        fn on_message(&mut self, _from: &HostId, msg: u32) -> Result<Step<u32>, NetError> {
+            if msg == 0 {
+                Ok(Step::Finished)
+            } else {
+                Ok(Step::Send(vec![(self.next.clone(), msg - 1)]))
+            }
+        }
+    }
+
+    #[test]
+    fn token_ring_completes() {
+        let nodes: Vec<Box<dyn HostNode<u32> + Send>> = vec![
+            Box::new(Relay { id: HostId::new("a"), next: HostId::new("b") }),
+            Box::new(Relay { id: HostId::new("b"), next: HostId::new("c") }),
+            Box::new(Relay { id: HostId::new("c"), next: HostId::new("a") }),
+        ];
+        let net = ThreadedNetwork::start(nodes);
+        net.inject(HostId::new("main"), HostId::new("a"), 20).unwrap();
+        net.join(Duration::from_secs(10)).unwrap();
+    }
+
+    #[test]
+    fn timeout_reports_stall() {
+        struct Silent(HostId);
+        impl HostNode<u32> for Silent {
+            fn id(&self) -> HostId {
+                self.0.clone()
+            }
+            fn on_message(&mut self, _: &HostId, _: u32) -> Result<Step<u32>, NetError> {
+                Ok(Step::Idle)
+            }
+        }
+        let nodes: Vec<Box<dyn HostNode<u32> + Send>> =
+            vec![Box::new(Silent(HostId::new("s")))];
+        let net = ThreadedNetwork::start(nodes);
+        net.inject(HostId::new("main"), HostId::new("s"), 1).unwrap();
+        let err = net.join(Duration::from_millis(200)).unwrap_err();
+        assert!(matches!(err, NetError::Stalled));
+    }
+
+    #[test]
+    fn inject_to_unknown_node_fails() {
+        let nodes: Vec<Box<dyn HostNode<u32> + Send>> = vec![];
+        let net = ThreadedNetwork::start(nodes);
+        let err = net.inject(HostId::new("main"), HostId::new("ghost"), 1).unwrap_err();
+        assert!(matches!(err, NetError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn node_error_propagates() {
+        struct Failing(HostId);
+        impl HostNode<u32> for Failing {
+            fn id(&self) -> HostId {
+                self.0.clone()
+            }
+            fn on_message(&mut self, _: &HostId, _: u32) -> Result<Step<u32>, NetError> {
+                Err(NetError::Node { host: self.0.clone(), detail: "exploded".into() })
+            }
+        }
+        let nodes: Vec<Box<dyn HostNode<u32> + Send>> =
+            vec![Box::new(Failing(HostId::new("f")))];
+        let net = ThreadedNetwork::start(nodes);
+        net.inject(HostId::new("main"), HostId::new("f"), 1).unwrap();
+        let err = net.join(Duration::from_secs(5)).unwrap_err();
+        assert!(matches!(err, NetError::Node { .. }));
+    }
+}

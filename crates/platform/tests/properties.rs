@@ -1,0 +1,123 @@
+//! Property tests for the platform: feed FIFO discipline, attack
+//! post-conditions, and journey determinism.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate_crypto::DsaParams;
+use refstate_platform::{
+    run_plain_journey, AgentImage, Attack, EventLog, Host, HostSpec, InputFeed,
+};
+use refstate_vm::{assemble, DataState, ExecConfig, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The feed hands values back per tag in exactly insertion order.
+    #[test]
+    fn feed_is_fifo_per_tag(values in proptest::collection::vec((0u8..3, any::<i64>()), 0..40)) {
+        let mut feed = InputFeed::new();
+        for (tag, v) in &values {
+            feed.push(format!("t{tag}"), Value::Int(*v));
+        }
+        for tag in 0u8..3 {
+            let expected: Vec<i64> =
+                values.iter().filter(|(t, _)| *t == tag).map(|(_, v)| *v).collect();
+            let mut actual = Vec::new();
+            while let Some(item) = feed.take(&format!("t{tag}")) {
+                actual.push(item.value.as_int().unwrap());
+            }
+            prop_assert_eq!(actual, expected);
+        }
+    }
+
+    /// drop_next removes exactly one element; forge_all preserves length.
+    #[test]
+    fn feed_attack_postconditions(n in 1usize..20) {
+        let mut feed = InputFeed::new();
+        for i in 0..n {
+            feed.push("x", Value::Int(i as i64));
+        }
+        feed.drop_next("x");
+        prop_assert_eq!(feed.remaining("x"), n - 1);
+        feed.forge_all("x", &Value::Int(-1));
+        prop_assert_eq!(feed.remaining("x"), n - 1);
+        while let Some(item) = feed.take("x") {
+            prop_assert_eq!(item.value, Value::Int(-1));
+            prop_assert!(item.provenance.is_none());
+        }
+    }
+
+    /// A plain journey's final state is a deterministic function of the
+    /// host inputs, regardless of the key-generation seed.
+    #[test]
+    fn journey_deterministic_across_seeds(
+        a in -100i64..100,
+        b in -100i64..100,
+        seed1 in 0u64..500,
+        seed2 in 500u64..1000,
+    ) {
+        let program = assemble(
+            r#"
+            input "n"
+            load "acc"
+            add
+            store "acc"
+            load "done"
+            jnz fin
+            push true
+            store "done"
+            push "h2"
+            migrate
+        fin:
+            halt
+        "#,
+        )
+        .unwrap();
+        let build = |seed: u64| -> Vec<Host> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let params = DsaParams::test_group_256();
+            vec![
+                Host::new(HostSpec::new("h1").with_input("n", Value::Int(a)), &params, &mut rng),
+                Host::new(HostSpec::new("h2").with_input("n", Value::Int(b)), &params, &mut rng),
+            ]
+        };
+        let run = |mut hosts: Vec<Host>| {
+            let mut state = DataState::new();
+            state.set("acc", Value::Int(0));
+            state.set("done", Value::Bool(false));
+            let agent = AgentImage::new("d", program.clone(), state);
+            let log = EventLog::new();
+            run_plain_journey(&mut hosts, "h1", agent, &ExecConfig::default(), &log, 5)
+                .unwrap()
+                .final_image
+                .state
+        };
+        let s1 = run(build(seed1));
+        let s2 = run(build(seed2));
+        prop_assert_eq!(&s1, &s2);
+        prop_assert_eq!(s1.get_int("acc"), Some(a + b));
+    }
+
+    /// A tampering host always leaves the forged value in place, and the
+    /// recorded input log still carries the honest inputs.
+    #[test]
+    fn tamper_leaves_honest_input_log(honest in -100i64..100, forged in -100i64..100) {
+        prop_assume!(honest != forged);
+        let mut rng = StdRng::seed_from_u64(77);
+        let params = DsaParams::test_group_256();
+        let mut host = Host::new(
+            HostSpec::new("m")
+                .with_input("n", Value::Int(honest))
+                .malicious(Attack::TamperVariable { name: "v".into(), value: Value::Int(forged) }),
+            &params,
+            &mut rng,
+        );
+        let program = assemble("input \"n\"\nstore \"v\"\nhalt").unwrap();
+        let agent = AgentImage::new("t", program, DataState::new());
+        let log = EventLog::new();
+        let record = host.execute_session(&agent, &ExecConfig::default(), &log).unwrap();
+        prop_assert_eq!(record.outcome.state.get_int("v"), Some(forged));
+        prop_assert_eq!(record.outcome.input_log.records()[0].value.clone(), Value::Int(honest));
+    }
+}

@@ -1,0 +1,397 @@
+//! A small text assembler for agent programs.
+//!
+//! The dialect is one instruction per line, `;` or `#` comments, `name:`
+//! labels, quoted string operands, and decimal integer literals:
+//!
+//! ```text
+//! ; compare two offers and keep the cheaper one
+//!     input "offer"
+//!     store "best"
+//! loop:
+//!     input "offer"
+//!     dup
+//!     load "best"
+//!     lt
+//!     jz keep
+//!     store "best"
+//!     jump done
+//! keep:
+//!     pop
+//! done:
+//!     halt
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{Instr, SyscallKind};
+use crate::program::Program;
+use crate::value::Value;
+
+/// An assembly error with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// Splits a line into the mnemonic and the raw operand text.
+fn split_mnemonic(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    }
+}
+
+/// Strips a trailing comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+        if c != '\\' {
+            escaped = false;
+        }
+    }
+    line
+}
+
+/// Parses a quoted string literal with `\"`, `\\`, `\n`, `\t` escapes.
+fn parse_string(line_no: usize, text: &str) -> Result<String, AsmError> {
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| err(line_no, format!("expected quoted string, found {text:?}")))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(err(line_no, format!("bad escape sequence \\{other:?}")));
+                }
+            }
+        } else if c == '"' {
+            return Err(err(line_no, "unescaped quote inside string"));
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a `push` operand: integer, boolean, or string.
+fn parse_value(line_no: usize, text: &str) -> Result<Value, AsmError> {
+    if text.starts_with('"') {
+        return Ok(Value::Str(parse_string(line_no, text)?));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(line_no, format!("cannot parse operand {text:?}")))
+}
+
+enum Pending {
+    Done(Instr),
+    Jump(String),
+    JumpIfFalse(String),
+    JumpIfTrue(String),
+    Call(String),
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with a line number for syntax problems, unknown
+/// mnemonics, and undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// let p = refstate_vm::assemble("push 1\nstore \"x\"\nhalt")?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), refstate_vm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut pendings: Vec<(usize, Pending)> = Vec::new();
+    let mut labels: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Labels: `name:` optionally followed by an instruction.
+        while let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+            {
+                break;
+            }
+            if labels.insert(label.to_owned(), pendings.len()).is_some() {
+                return Err(err(line_no, format!("label {label:?} defined twice")));
+            }
+            line = rest[1..].trim();
+            if line.is_empty() {
+                break;
+            }
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, operand) = split_mnemonic(line);
+        let need_no_operand = |instr: Instr| -> Result<Pending, AsmError> {
+            if operand.is_empty() {
+                Ok(Pending::Done(instr))
+            } else {
+                Err(err(line_no, format!("{mnemonic} takes no operand")))
+            }
+        };
+        let need_str = || parse_string(line_no, operand);
+        let need_label = || -> Result<String, AsmError> {
+            if operand.is_empty() {
+                Err(err(line_no, format!("{mnemonic} needs a label operand")))
+            } else {
+                Ok(operand.to_owned())
+            }
+        };
+
+        let pending = match mnemonic {
+            "push" => Pending::Done(Instr::Push(parse_value(line_no, operand)?)),
+            "load" => Pending::Done(Instr::Load(need_str()?)),
+            "store" => Pending::Done(Instr::Store(need_str()?)),
+            "delete" => Pending::Done(Instr::Delete(need_str()?)),
+            "pop" => need_no_operand(Instr::Pop)?,
+            "dup" => need_no_operand(Instr::Dup)?,
+            "swap" => need_no_operand(Instr::Swap)?,
+            "add" => need_no_operand(Instr::Add)?,
+            "sub" => need_no_operand(Instr::Sub)?,
+            "mul" => need_no_operand(Instr::Mul)?,
+            "div" => need_no_operand(Instr::Div)?,
+            "mod" => need_no_operand(Instr::Mod)?,
+            "neg" => need_no_operand(Instr::Neg)?,
+            "eq" => need_no_operand(Instr::Eq)?,
+            "ne" => need_no_operand(Instr::Ne)?,
+            "lt" => need_no_operand(Instr::Lt)?,
+            "le" => need_no_operand(Instr::Le)?,
+            "gt" => need_no_operand(Instr::Gt)?,
+            "ge" => need_no_operand(Instr::Ge)?,
+            "and" => need_no_operand(Instr::And)?,
+            "or" => need_no_operand(Instr::Or)?,
+            "not" => need_no_operand(Instr::Not)?,
+            "concat" => need_no_operand(Instr::Concat)?,
+            "strlen" => need_no_operand(Instr::StrLen)?,
+            "tostr" => need_no_operand(Instr::ToStr)?,
+            "listnew" => need_no_operand(Instr::ListNew)?,
+            "listpush" => need_no_operand(Instr::ListPush)?,
+            "listget" => need_no_operand(Instr::ListGet)?,
+            "listset" => need_no_operand(Instr::ListSet)?,
+            "listlen" => need_no_operand(Instr::ListLen)?,
+            "jump" | "jmp" => Pending::Jump(need_label()?),
+            "jz" | "jif" => Pending::JumpIfFalse(need_label()?),
+            "jnz" | "jit" => Pending::JumpIfTrue(need_label()?),
+            "call" => Pending::Call(need_label()?),
+            "ret" => need_no_operand(Instr::Ret)?,
+            "nop" => need_no_operand(Instr::Nop)?,
+            "input" => Pending::Done(Instr::Input(need_str()?)),
+            "syscall" => match operand {
+                "time" => Pending::Done(Instr::Syscall(SyscallKind::Time)),
+                "random" => Pending::Done(Instr::Syscall(SyscallKind::Random)),
+                other => return Err(err(line_no, format!("unknown syscall {other:?}"))),
+            },
+            "send" => Pending::Done(Instr::Send(need_str()?)),
+            "recv" => Pending::Done(Instr::Recv(need_str()?)),
+            "migrate" => need_no_operand(Instr::Migrate)?,
+            "halt" => need_no_operand(Instr::Halt)?,
+            other => return Err(err(line_no, format!("unknown instruction {other:?}"))),
+        };
+        pendings.push((line_no, pending));
+    }
+
+    let mut instrs = Vec::with_capacity(pendings.len());
+    for (line_no, pending) in pendings {
+        let resolve = |label: &str| -> Result<usize, AsmError> {
+            labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| err(line_no, format!("undefined label {label:?}")))
+        };
+        instrs.push(match pending {
+            Pending::Done(i) => i,
+            Pending::Jump(l) => Instr::Jump(resolve(&l)?),
+            Pending::JumpIfFalse(l) => Instr::JumpIfFalse(resolve(&l)?),
+            Pending::JumpIfTrue(l) => Instr::JumpIfTrue(resolve(&l)?),
+            Pending::Call(l) => Instr::Call(resolve(&l)?),
+        });
+    }
+    // Labels may point one past the last instruction (e.g. `end:` at EOF);
+    // map those to an appended halt so jumps stay valid.
+    let needs_sentinel = labels.values().any(|&t| t == instrs.len());
+    if needs_sentinel {
+        instrs.push(Instr::Halt);
+    }
+    Program::new(instrs).map_err(|e| err(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble("push 1\npush 2\nadd\nstore \"x\"\nhalt").unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.get(0), Some(&Instr::Push(Value::Int(1))));
+        assert_eq!(p.get(3), Some(&Instr::Store("x".into())));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble(
+            r#"
+            ; leading comment
+            push 1   ; trailing comment
+            # hash comment
+
+            halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn comment_chars_inside_strings() {
+        let p = assemble("push \"a;b#c\"\nhalt").unwrap();
+        assert_eq!(p.get(0), Some(&Instr::Push(Value::Str("a;b#c".into()))));
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble(
+            r#"
+            start:
+                push true
+                jnz end
+                jump start
+            end:
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.get(1), Some(&Instr::JumpIfTrue(3)));
+        assert_eq!(p.get(2), Some(&Instr::Jump(0)));
+    }
+
+    #[test]
+    fn label_followed_by_instruction_on_same_line() {
+        let p = assemble("start: push 1\njump start").unwrap();
+        assert_eq!(p.get(1), Some(&Instr::Jump(0)));
+    }
+
+    #[test]
+    fn trailing_label_gets_sentinel_halt() {
+        let p = assemble("push true\njnz end\nnop\nend:").unwrap();
+        assert_eq!(p.get(1), Some(&Instr::JumpIfTrue(3)));
+        assert_eq!(p.get(3), Some(&Instr::Halt));
+    }
+
+    #[test]
+    fn value_literals() {
+        let p = assemble("push -42\npush true\npush false\npush \"s\"\nhalt").unwrap();
+        assert_eq!(p.get(0), Some(&Instr::Push(Value::Int(-42))));
+        assert_eq!(p.get(1), Some(&Instr::Push(Value::Bool(true))));
+        assert_eq!(p.get(2), Some(&Instr::Push(Value::Bool(false))));
+        assert_eq!(p.get(3), Some(&Instr::Push(Value::Str("s".into()))));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let p = assemble(r#"push "a\"b\\c\nd\te""#.to_string().as_str()).unwrap();
+        assert_eq!(
+            p.get(0),
+            Some(&Instr::Push(Value::Str("a\"b\\c\nd\te".into())))
+        );
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let e = assemble("push 1\nbogus\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let e = assemble("jump nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let e = assemble("x:\nnop\nx:\nhalt").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn operand_errors() {
+        assert!(assemble("add 5").is_err());
+        assert!(assemble("push").is_err());
+        assert!(assemble("load x").is_err()); // must be quoted
+        assert!(assemble("syscall bogus").is_err());
+        assert!(assemble("jump").is_err());
+    }
+
+    #[test]
+    fn syscall_variants() {
+        let p = assemble("syscall time\nsyscall random\nhalt").unwrap();
+        assert_eq!(p.get(0), Some(&Instr::Syscall(SyscallKind::Time)));
+        assert_eq!(p.get(1), Some(&Instr::Syscall(SyscallKind::Random)));
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        // Disassembly of simple ops re-assembles to the same program.
+        let src = "push 1\ndup\nadd\nstore \"x\"\nhalt";
+        let p1 = assemble(src).unwrap();
+        let listing: String = p1
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let p2 = assemble(&listing).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,394 @@
+//! The instruction set.
+
+use std::fmt;
+
+use refstate_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::value::Value;
+
+/// Host services an agent can call.
+///
+/// Both are *input-class* effects: their results are nondeterministic from
+/// the agent's point of view and are therefore recorded in the input log —
+/// the paper explicitly lists "results from system calls like random numbers
+/// or the current system time" as session input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallKind {
+    /// The host's current time (milliseconds).
+    Time,
+    /// A host-supplied random number.
+    Random,
+}
+
+impl SyscallKind {
+    /// The assembly-level name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyscallKind::Time => "time",
+            SyscallKind::Random => "random",
+        }
+    }
+}
+
+impl fmt::Display for SyscallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A bytecode instruction.
+///
+/// The machine is a conventional stack machine; the agent-specific
+/// instructions are the effectful ones at the bottom: [`Instr::Input`],
+/// [`Instr::Syscall`], [`Instr::Send`], [`Instr::Recv`] (the session-input
+/// boundary) and [`Instr::Migrate`] / [`Instr::Halt`] (session ends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Instr {
+    // --- stack & variables ---
+    /// Push a constant.
+    Push(Value),
+    /// Push the value of a variable.
+    Load(String),
+    /// Pop into a variable.
+    Store(String),
+    /// Remove a variable from the data state.
+    Delete(String),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the top two stack values.
+    Swap,
+
+    // --- arithmetic (Int × Int → Int, wrapping) ---
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+    /// Remainder.
+    Mod,
+    /// Negation.
+    Neg,
+
+    // --- comparison & logic ---
+    /// Equality on any pair of same-typed values.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than on ints or strings.
+    Lt,
+    /// Less-or-equal on ints or strings.
+    Le,
+    /// Greater-than on ints or strings.
+    Gt,
+    /// Greater-or-equal on ints or strings.
+    Ge,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean negation.
+    Not,
+
+    // --- strings ---
+    /// Concatenate two strings.
+    Concat,
+    /// String length (chars).
+    StrLen,
+    /// Convert any value to its display string.
+    ToStr,
+
+    // --- lists ---
+    /// Push an empty list.
+    ListNew,
+    /// `(list, v)` → list with `v` appended.
+    ListPush,
+    /// `(list, idx)` → element.
+    ListGet,
+    /// `(list, idx, v)` → list with element replaced.
+    ListSet,
+    /// `(list)` → length as Int.
+    ListLen,
+
+    // --- control flow ---
+    /// Unconditional jump to an instruction index.
+    Jump(usize),
+    /// Pop a bool; jump when `false`.
+    JumpIfFalse(usize),
+    /// Pop a bool; jump when `true`.
+    JumpIfTrue(usize),
+    /// Call a subroutine (pushes the return address).
+    Call(usize),
+    /// Return from a subroutine.
+    Ret,
+    /// Do nothing.
+    Nop,
+
+    // --- session effects ---
+    /// Pull the next external input value for a tag (recorded as input).
+    Input(String),
+    /// Call a host service (recorded as input).
+    Syscall(SyscallKind),
+    /// Pop a value and send it to a named partner (output effect;
+    /// suppressed during re-execution).
+    Send(String),
+    /// Receive a value from a named partner (recorded as input).
+    Recv(String),
+    /// Pop a string host name and end the session by migrating there.
+    Migrate,
+    /// End the session; the agent's task is complete.
+    Halt,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Push(v) => write!(f, "push {v}"),
+            Instr::Load(n) => write!(f, "load {n:?}"),
+            Instr::Store(n) => write!(f, "store {n:?}"),
+            Instr::Delete(n) => write!(f, "delete {n:?}"),
+            Instr::Pop => f.write_str("pop"),
+            Instr::Dup => f.write_str("dup"),
+            Instr::Swap => f.write_str("swap"),
+            Instr::Add => f.write_str("add"),
+            Instr::Sub => f.write_str("sub"),
+            Instr::Mul => f.write_str("mul"),
+            Instr::Div => f.write_str("div"),
+            Instr::Mod => f.write_str("mod"),
+            Instr::Neg => f.write_str("neg"),
+            Instr::Eq => f.write_str("eq"),
+            Instr::Ne => f.write_str("ne"),
+            Instr::Lt => f.write_str("lt"),
+            Instr::Le => f.write_str("le"),
+            Instr::Gt => f.write_str("gt"),
+            Instr::Ge => f.write_str("ge"),
+            Instr::And => f.write_str("and"),
+            Instr::Or => f.write_str("or"),
+            Instr::Not => f.write_str("not"),
+            Instr::Concat => f.write_str("concat"),
+            Instr::StrLen => f.write_str("strlen"),
+            Instr::ToStr => f.write_str("tostr"),
+            Instr::ListNew => f.write_str("listnew"),
+            Instr::ListPush => f.write_str("listpush"),
+            Instr::ListGet => f.write_str("listget"),
+            Instr::ListSet => f.write_str("listset"),
+            Instr::ListLen => f.write_str("listlen"),
+            Instr::Jump(t) => write!(f, "jump {t}"),
+            Instr::JumpIfFalse(t) => write!(f, "jz {t}"),
+            Instr::JumpIfTrue(t) => write!(f, "jnz {t}"),
+            Instr::Call(t) => write!(f, "call {t}"),
+            Instr::Ret => f.write_str("ret"),
+            Instr::Nop => f.write_str("nop"),
+            Instr::Input(tag) => write!(f, "input {tag:?}"),
+            Instr::Syscall(k) => write!(f, "syscall {k}"),
+            Instr::Send(p) => write!(f, "send {p:?}"),
+            Instr::Recv(p) => write!(f, "recv {p:?}"),
+            Instr::Migrate => f.write_str("migrate"),
+            Instr::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+macro_rules! instr_tags {
+    ($($tag:literal => $name:ident),* $(,)?) => {
+        impl Instr {
+            fn tag(&self) -> u8 {
+                match self {
+                    Instr::Push(_) => 0,
+                    Instr::Load(_) => 1,
+                    Instr::Store(_) => 2,
+                    Instr::Delete(_) => 3,
+                    Instr::Jump(_) => 30,
+                    Instr::JumpIfFalse(_) => 31,
+                    Instr::JumpIfTrue(_) => 32,
+                    Instr::Call(_) => 33,
+                    Instr::Input(_) => 40,
+                    Instr::Syscall(_) => 41,
+                    Instr::Send(_) => 42,
+                    Instr::Recv(_) => 43,
+                    $(Instr::$name => $tag,)*
+                }
+            }
+        }
+    };
+}
+
+instr_tags! {
+    4 => Pop, 5 => Dup, 6 => Swap,
+    10 => Add, 11 => Sub, 12 => Mul, 13 => Div, 14 => Mod, 15 => Neg,
+    16 => Eq, 17 => Ne, 18 => Lt, 19 => Le, 20 => Gt, 21 => Ge,
+    22 => And, 23 => Or, 24 => Not,
+    25 => Concat, 26 => StrLen, 27 => ToStr,
+    34 => Ret, 35 => Nop,
+    36 => ListNew, 37 => ListPush, 38 => ListGet, 39 => ListSet,
+    44 => Migrate, 45 => Halt, 46 => ListLen,
+}
+
+impl Encode for Instr {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.tag());
+        match self {
+            Instr::Push(v) => v.encode(w),
+            Instr::Load(n) | Instr::Store(n) | Instr::Delete(n) => w.put_str(n),
+            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) | Instr::Call(t) => {
+                w.put_u64(*t as u64)
+            }
+            Instr::Input(s) | Instr::Send(s) | Instr::Recv(s) => w.put_str(s),
+            Instr::Syscall(k) => w.put_u8(match k {
+                SyscallKind::Time => 0,
+                SyscallKind::Random => 1,
+            }),
+            _ => {}
+        }
+    }
+}
+
+impl Decode for Instr {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.take_u8()?;
+        Ok(match tag {
+            0 => Instr::Push(Value::decode(r)?),
+            1 => Instr::Load(r.take_str()?.to_owned()),
+            2 => Instr::Store(r.take_str()?.to_owned()),
+            3 => Instr::Delete(r.take_str()?.to_owned()),
+            4 => Instr::Pop,
+            5 => Instr::Dup,
+            6 => Instr::Swap,
+            10 => Instr::Add,
+            11 => Instr::Sub,
+            12 => Instr::Mul,
+            13 => Instr::Div,
+            14 => Instr::Mod,
+            15 => Instr::Neg,
+            16 => Instr::Eq,
+            17 => Instr::Ne,
+            18 => Instr::Lt,
+            19 => Instr::Le,
+            20 => Instr::Gt,
+            21 => Instr::Ge,
+            22 => Instr::And,
+            23 => Instr::Or,
+            24 => Instr::Not,
+            25 => Instr::Concat,
+            26 => Instr::StrLen,
+            27 => Instr::ToStr,
+            30 => Instr::Jump(r.take_u64()? as usize),
+            31 => Instr::JumpIfFalse(r.take_u64()? as usize),
+            32 => Instr::JumpIfTrue(r.take_u64()? as usize),
+            33 => Instr::Call(r.take_u64()? as usize),
+            34 => Instr::Ret,
+            35 => Instr::Nop,
+            36 => Instr::ListNew,
+            37 => Instr::ListPush,
+            38 => Instr::ListGet,
+            39 => Instr::ListSet,
+            40 => Instr::Input(r.take_str()?.to_owned()),
+            41 => Instr::Syscall(match r.take_u8()? {
+                0 => SyscallKind::Time,
+                1 => SyscallKind::Random,
+                t => return Err(WireError::InvalidTag { context: "SyscallKind", tag: t }),
+            }),
+            42 => Instr::Send(r.take_str()?.to_owned()),
+            43 => Instr::Recv(r.take_str()?.to_owned()),
+            44 => Instr::Migrate,
+            45 => Instr::Halt,
+            46 => Instr::ListLen,
+            t => return Err(WireError::InvalidTag { context: "Instr", tag: t }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refstate_wire::{from_wire, to_wire};
+
+    fn all_instrs() -> Vec<Instr> {
+        vec![
+            Instr::Push(Value::Int(1)),
+            Instr::Load("x".into()),
+            Instr::Store("x".into()),
+            Instr::Delete("x".into()),
+            Instr::Pop,
+            Instr::Dup,
+            Instr::Swap,
+            Instr::Add,
+            Instr::Sub,
+            Instr::Mul,
+            Instr::Div,
+            Instr::Mod,
+            Instr::Neg,
+            Instr::Eq,
+            Instr::Ne,
+            Instr::Lt,
+            Instr::Le,
+            Instr::Gt,
+            Instr::Ge,
+            Instr::And,
+            Instr::Or,
+            Instr::Not,
+            Instr::Concat,
+            Instr::StrLen,
+            Instr::ToStr,
+            Instr::ListNew,
+            Instr::ListPush,
+            Instr::ListGet,
+            Instr::ListSet,
+            Instr::ListLen,
+            Instr::Jump(3),
+            Instr::JumpIfFalse(4),
+            Instr::JumpIfTrue(5),
+            Instr::Call(6),
+            Instr::Ret,
+            Instr::Nop,
+            Instr::Input("price".into()),
+            Instr::Syscall(SyscallKind::Time),
+            Instr::Syscall(SyscallKind::Random),
+            Instr::Send("shop".into()),
+            Instr::Recv("shop".into()),
+            Instr::Migrate,
+            Instr::Halt,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        for instr in all_instrs() {
+            let bytes = to_wire(&instr);
+            assert_eq!(from_wire::<Instr>(&bytes).unwrap(), instr, "{instr}");
+        }
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        use std::collections::BTreeSet;
+        // Two Syscall instructions share one tag (the payload distinguishes
+        // them); every other instruction must have a distinct tag byte.
+        let tags: Vec<u8> = all_instrs()
+            .iter()
+            .filter(|i| !matches!(i, Instr::Syscall(SyscallKind::Random)))
+            .map(|i| i.tag())
+            .collect();
+        let set: BTreeSet<u8> = tags.iter().copied().collect();
+        assert_eq!(set.len(), tags.len(), "duplicate instruction tags");
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        assert_eq!(Instr::Push(Value::Int(5)).to_string(), "push 5");
+        assert_eq!(Instr::Jump(3).to_string(), "jump 3");
+        assert_eq!(Instr::Input("p".into()).to_string(), "input \"p\"");
+        assert_eq!(Instr::Syscall(SyscallKind::Random).to_string(), "syscall random");
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(from_wire::<Instr>(&[200]).is_err());
+        assert!(from_wire::<Instr>(&[41, 9]).is_err()); // bad syscall kind
+    }
+}

@@ -1,0 +1,112 @@
+//! Full machine snapshots, used by the proof-verification mechanism.
+
+use refstate_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::state::DataState;
+use crate::value::Value;
+
+/// The complete execution state of an interpreter at an instruction
+/// boundary: program counter, operand stack, call stack, variables, and
+/// step count.
+///
+/// The proof-verification baseline commits to the sequence of these
+/// snapshots (one per executed step) in a Merkle tree; a verifier then asks
+/// for a random step `i`, re-executes the single instruction from snapshot
+/// `i`, and checks the result against snapshot `i + 1` — without replaying
+/// the whole session.
+///
+/// Snapshots have a canonical wire encoding, so their hashes are
+/// well-defined across hosts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MachineState {
+    /// Program counter.
+    pub pc: u64,
+    /// Operand stack, bottom first.
+    pub stack: Vec<Value>,
+    /// Call stack of return addresses, bottom first.
+    pub call_stack: Vec<u64>,
+    /// The agent's variables.
+    pub state: DataState,
+    /// Number of instructions executed so far this session.
+    pub steps: u64,
+    /// Number of input-class values consumed so far this session (needed
+    /// to resume replay mid-session, e.g. for audited proof steps).
+    pub inputs_consumed: u64,
+}
+
+impl MachineState {
+    /// The machine state at the start of a session (weak migration:
+    /// execution always restarts at instruction 0 with empty stacks).
+    pub fn session_start(state: DataState) -> Self {
+        MachineState {
+            pc: 0,
+            stack: Vec::new(),
+            call_stack: Vec::new(),
+            state,
+            steps: 0,
+            inputs_consumed: 0,
+        }
+    }
+}
+
+impl Encode for MachineState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.pc);
+        self.stack.encode(w);
+        self.call_stack.encode(w);
+        self.state.encode(w);
+        w.put_u64(self.steps);
+        w.put_u64(self.inputs_consumed);
+    }
+}
+
+impl Decode for MachineState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MachineState {
+            pc: r.take_u64()?,
+            stack: Vec::<Value>::decode(r)?,
+            call_stack: Vec::<u64>::decode(r)?,
+            state: DataState::decode(r)?,
+            steps: r.take_u64()?,
+            inputs_consumed: r.take_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refstate_wire::{from_wire, to_wire};
+
+    #[test]
+    fn session_start_is_clean() {
+        let mut s = DataState::new();
+        s.set("x", Value::Int(1));
+        let m = MachineState::session_start(s.clone());
+        assert_eq!(m.pc, 0);
+        assert!(m.stack.is_empty());
+        assert!(m.call_stack.is_empty());
+        assert_eq!(m.state, s);
+        assert_eq!(m.steps, 0);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let m = MachineState {
+            pc: 7,
+            stack: vec![Value::Int(1), Value::Str("s".into())],
+            call_stack: vec![3, 9],
+            state: [("v".to_string(), Value::Bool(true))].into_iter().collect(),
+            steps: 42,
+            inputs_consumed: 3,
+        };
+        assert_eq!(from_wire::<MachineState>(&to_wire(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn encoding_distinguishes_pc() {
+        let a = MachineState { pc: 1, ..Default::default() };
+        let b = MachineState { pc: 2, ..Default::default() };
+        assert_ne!(to_wire(&a), to_wire(&b));
+    }
+}

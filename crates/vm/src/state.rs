@@ -1,0 +1,189 @@
+//! The agent's data state: its variable part.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use refstate_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::value::Value;
+
+/// The variable part of an agent: named values that persist across
+/// migrations.
+///
+/// In the paper's weak-migration model this *is* the agent state that hosts
+/// exchange: the execution state (stack, program counter) is reset at every
+/// migration and anything worth keeping lives here. The map is ordered so
+/// the wire encoding — and therefore every hash and signature over a state —
+/// is canonical.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_vm::{DataState, Value};
+///
+/// let mut s = DataState::new();
+/// s.set("budget", Value::Int(500));
+/// assert_eq!(s.get("budget"), Some(&Value::Int(500)));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DataState {
+    vars: BTreeMap<String, Value>,
+}
+
+impl DataState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        DataState { vars: BTreeMap::new() }
+    }
+
+    /// Returns the value of `name`, if set.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Sets `name` to `value`, returning the previous value.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> Option<Value> {
+        self.vars.insert(name.into(), value)
+    }
+
+    /// Removes `name`, returning its value.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.vars.remove(name)
+    }
+
+    /// Returns `true` if `name` is set.
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    /// The number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if no variables are set.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Convenience accessor for integer variables.
+    pub fn get_int(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_int)
+    }
+
+    /// Convenience accessor for string variables.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+}
+
+impl fmt::Display for DataState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (k, v)) in self.vars.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl FromIterator<(String, Value)> for DataState {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        DataState { vars: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, Value)> for DataState {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        self.vars.extend(iter);
+    }
+}
+
+impl Encode for DataState {
+    fn encode(&self, w: &mut Writer) {
+        self.vars.encode(w);
+    }
+}
+
+impl Decode for DataState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DataState { vars: BTreeMap::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refstate_wire::{from_wire, to_wire};
+
+    #[test]
+    fn basic_operations() {
+        let mut s = DataState::new();
+        assert!(s.is_empty());
+        assert!(s.set("a", Value::Int(1)).is_none());
+        assert_eq!(s.set("a", Value::Int(2)), Some(Value::Int(1)));
+        assert!(s.contains("a"));
+        assert_eq!(s.get_int("a"), Some(2));
+        assert_eq!(s.remove("a"), Some(Value::Int(2)));
+        assert!(!s.contains("a"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let mut s = DataState::new();
+        s.set("n", Value::Int(5));
+        s.set("s", Value::Str("x".into()));
+        assert_eq!(s.get_int("n"), Some(5));
+        assert_eq!(s.get_int("s"), None);
+        assert_eq!(s.get_str("s"), Some("x"));
+        assert_eq!(s.get_str("missing"), None);
+    }
+
+    #[test]
+    fn canonical_encoding_ignores_insertion_order() {
+        let mut a = DataState::new();
+        a.set("x", Value::Int(1));
+        a.set("y", Value::Int(2));
+        let mut b = DataState::new();
+        b.set("y", Value::Int(2));
+        b.set("x", Value::Int(1));
+        assert_eq!(to_wire(&a), to_wire(&b));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let s: DataState = [
+            ("k1".to_string(), Value::Int(-1)),
+            ("k2".to_string(), Value::List(vec![Value::Bool(true)])),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(from_wire::<DataState>(&to_wire(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn display() {
+        let mut s = DataState::new();
+        s.set("b", Value::Int(2));
+        s.set("a", Value::Int(1));
+        assert_eq!(s.to_string(), "{a=1, b=2}");
+        assert_eq!(DataState::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut s = DataState::new();
+        s.extend([("z".to_string(), Value::Int(1)), ("a".to_string(), Value::Int(2))]);
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+}

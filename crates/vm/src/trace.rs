@@ -1,0 +1,229 @@
+//! Execution traces in the style of Vigna's cryptographic traces.
+//!
+//! A trace is a list of pairs `(n, s)` where `n` identifies the executed
+//! statement and `s` — present only for statements that modify agent state
+//! using information from outside the agent — records the injected values
+//! (Fig. 3 of the paper). The paper also discusses a *reduced* trace without
+//! statement identifiers, arguing identifiers prove nothing an attacker
+//! could not fabricate; both forms are supported here, plus `Off` for
+//! untraced execution.
+
+use std::fmt;
+
+use refstate_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::value::Value;
+
+/// How much the interpreter records while executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record nothing.
+    #[default]
+    Off,
+    /// Record only input events (the paper's reduced trace: "a modified
+    /// trace without statement identifiers").
+    InputsOnly,
+    /// Record every executed statement identifier plus input events
+    /// (Vigna's original format).
+    Full,
+}
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEntry {
+    /// Statement `pc` executed (only in [`TraceMode::Full`]).
+    Stmt {
+        /// The statement identifier (program counter).
+        pc: u64,
+    },
+    /// Statement `pc` injected an external value into the agent.
+    InputWrite {
+        /// The statement identifier (program counter).
+        pc: u64,
+        /// A label for the input slot (tag, syscall, or partner).
+        slot: String,
+        /// The injected value.
+        value: Value,
+    },
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEntry::Stmt { pc } => write!(f, "{pc}"),
+            TraceEntry::InputWrite { pc, slot, value } => write!(f, "{pc} {slot}={value}"),
+        }
+    }
+}
+
+impl Encode for TraceEntry {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            TraceEntry::Stmt { pc } => {
+                w.put_u8(0);
+                w.put_u64(*pc);
+            }
+            TraceEntry::InputWrite { pc, slot, value } => {
+                w.put_u8(1);
+                w.put_u64(*pc);
+                w.put_str(slot);
+                value.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for TraceEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            0 => TraceEntry::Stmt { pc: r.take_u64()? },
+            1 => TraceEntry::InputWrite {
+                pc: r.take_u64()?,
+                slot: r.take_str()?.to_owned(),
+                value: Value::decode(r)?,
+            },
+            tag => return Err(WireError::InvalidTag { context: "TraceEntry", tag }),
+        })
+    }
+}
+
+/// A recorded execution trace.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_vm::{Trace, TraceEntry, TraceMode, Value};
+///
+/// let mut t = Trace::new(TraceMode::Full);
+/// t.push(TraceEntry::Stmt { pc: 10 });
+/// t.push(TraceEntry::InputWrite { pc: 13, slot: "k".into(), value: Value::Int(2) });
+/// assert_eq!(t.render(), "10\n13 k=2\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    mode: TraceMode,
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace for the given mode.
+    pub fn new(mode: TraceMode) -> Self {
+        Trace { mode, entries: Vec::new() }
+    }
+
+    /// The recording mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The entries in execution order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the trace as the paper's Fig.-3b-style listing, one entry
+    /// per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drops statement identifiers, converting a full trace to the reduced
+    /// form the paper recommends for performance.
+    pub fn reduced(&self) -> Trace {
+        Trace {
+            mode: TraceMode::InputsOnly,
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| matches!(e, TraceEntry::InputWrite { .. }))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl Encode for Trace {
+    fn encode(&self, w: &mut Writer) {
+        let mode = match self.mode {
+            TraceMode::Off => 0u8,
+            TraceMode::InputsOnly => 1,
+            TraceMode::Full => 2,
+        };
+        w.put_u8(mode);
+        self.entries.encode(w);
+    }
+}
+
+impl Decode for Trace {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mode = match r.take_u8()? {
+            0 => TraceMode::Off,
+            1 => TraceMode::InputsOnly,
+            2 => TraceMode::Full,
+            tag => return Err(WireError::InvalidTag { context: "TraceMode", tag }),
+        };
+        Ok(Trace { mode, entries: Vec::<TraceEntry>::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refstate_wire::{from_wire, to_wire};
+
+    #[test]
+    fn push_and_render() {
+        let mut t = Trace::new(TraceMode::Full);
+        assert!(t.is_empty());
+        t.push(TraceEntry::Stmt { pc: 11 });
+        t.push(TraceEntry::InputWrite { pc: 13, slot: "x".into(), value: Value::Int(5) });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.render(), "11\n13 x=5\n");
+    }
+
+    #[test]
+    fn reduced_drops_stmt_entries() {
+        let mut t = Trace::new(TraceMode::Full);
+        t.push(TraceEntry::Stmt { pc: 1 });
+        t.push(TraceEntry::InputWrite { pc: 2, slot: "a".into(), value: Value::Int(1) });
+        t.push(TraceEntry::Stmt { pc: 3 });
+        let r = t.reduced();
+        assert_eq!(r.mode(), TraceMode::InputsOnly);
+        assert_eq!(r.len(), 1);
+        assert!(matches!(r.entries()[0], TraceEntry::InputWrite { pc: 2, .. }));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut t = Trace::new(TraceMode::InputsOnly);
+        t.push(TraceEntry::InputWrite { pc: 7, slot: "k".into(), value: Value::Bool(true) });
+        assert_eq!(from_wire::<Trace>(&to_wire(&t)).unwrap(), t);
+        let empty = Trace::new(TraceMode::Off);
+        assert_eq!(from_wire::<Trace>(&to_wire(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn wire_rejects_bad_mode() {
+        assert!(from_wire::<Trace>(&[9, 0, 0, 0, 0]).is_err());
+    }
+}

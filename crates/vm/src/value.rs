@@ -1,0 +1,256 @@
+//! Agent values.
+
+use std::fmt;
+
+use refstate_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// A value in the agent's data state or operand stack.
+///
+/// The set mirrors what 2000-era agent systems moved between hosts:
+/// integers, booleans, strings, raw bytes, and nested lists.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_vm::Value;
+///
+/// let v = Value::List(vec![Value::Int(1), Value::Str("x".into())]);
+/// assert_eq!(v.type_name(), "list");
+/// assert_eq!(v.to_string(), "[1, \"x\"]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// A list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// A short lowercase name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Returns the integer if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the list if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Bytes(v) => {
+                f.write_str("0x")?;
+                for b in v {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+            Value::List(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+const TAG_INT: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_BYTES: u8 = 3;
+const TAG_LIST: u8 = 4;
+
+impl Encode for Value {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Value::Int(v) => {
+                w.put_u8(TAG_INT);
+                w.put_i64(*v);
+            }
+            Value::Bool(v) => {
+                w.put_u8(TAG_BOOL);
+                w.put_bool(*v);
+            }
+            Value::Str(v) => {
+                w.put_u8(TAG_STR);
+                w.put_str(v);
+            }
+            Value::Bytes(v) => {
+                w.put_u8(TAG_BYTES);
+                w.put_bytes(v);
+            }
+            Value::List(items) => {
+                w.put_u8(TAG_LIST);
+                items.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Value {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            TAG_INT => Ok(Value::Int(r.take_i64()?)),
+            TAG_BOOL => Ok(Value::Bool(r.take_bool()?)),
+            TAG_STR => Ok(Value::Str(r.take_str()?.to_owned())),
+            TAG_BYTES => Ok(Value::Bytes(r.take_bytes()?.to_vec())),
+            TAG_LIST => Ok(Value::List(Vec::<Value>::decode(r)?)),
+            tag => Err(WireError::InvalidTag { context: "Value", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refstate_wire::{from_wire, to_wire};
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::List(vec![]).as_list(), Some(&[][..]));
+        assert_eq!(Value::Int(5).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Int(0).type_name(), "int");
+        assert_eq!(Value::Bool(false).type_name(), "bool");
+        assert_eq!(Value::Str(String::new()).type_name(), "str");
+        assert_eq!(Value::Bytes(vec![]).type_name(), "bytes");
+        assert_eq!(Value::List(vec![]).type_name(), "list");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Str("a\"b".into()).to_string(), "\"a\\\"b\"");
+        assert_eq!(Value::Bytes(vec![0xde, 0xad]).to_string(), "0xdead");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::List(vec![Value::Bool(false)])]).to_string(),
+            "[1, [false]]"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(vec![1u8]), Value::Bytes(vec![1]));
+        assert_eq!(Value::from(vec![Value::Int(1)]), Value::List(vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let values = [
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Bool(false),
+            Value::Str("héllo".into()),
+            Value::Bytes((0..=255).collect()),
+            Value::List(vec![
+                Value::Int(1),
+                Value::List(vec![Value::Str("nested".into())]),
+            ]),
+        ];
+        for v in values {
+            assert_eq!(from_wire::<Value>(&to_wire(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn wire_rejects_bad_tag() {
+        assert!(from_wire::<Value>(&[99]).is_err());
+    }
+}

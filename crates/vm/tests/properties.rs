@@ -1,0 +1,197 @@
+//! Property tests for the VM: replay determinism (the property the whole
+//! protection scheme rests on), trace/log consistency, snapshot-resume
+//! equivalence, and assembler round-trips.
+
+use proptest::prelude::*;
+use refstate_vm::{
+    assemble, run_session, DataState, ExecConfig, Instr, Interpreter, NullIo, Program,
+    ReplayIo, ScriptedIo, SessionEnd, TraceEntry, TraceMode, Value,
+};
+
+/// Strategy: a random but always-valid straight-line program fragment that
+/// manipulates one accumulator variable and consumes external inputs.
+fn program_spec() -> impl Strategy<Value = (Vec<i64>, Vec<u8>)> {
+    (
+        proptest::collection::vec(-1000i64..1000, 1..20),
+        proptest::collection::vec(0u8..4, 0..30),
+    )
+}
+
+/// Builds a program from an op list: each op consumes the accumulator and
+/// maybe an input.
+fn build_program(ops: &[u8], input_count: usize) -> Program {
+    let mut src = String::from("push 0\nstore \"acc\"\n");
+    let mut inputs_used = 0usize;
+    for op in ops {
+        match op % 4 {
+            0 => src.push_str("load \"acc\"\npush 3\nadd\nstore \"acc\"\n"),
+            1 => src.push_str("load \"acc\"\npush 2\nmul\nstore \"acc\"\n"),
+            2 => src.push_str("load \"acc\"\nneg\nstore \"acc\"\n"),
+            _ => {
+                if inputs_used < input_count {
+                    src.push_str("input \"x\"\nload \"acc\"\nadd\nstore \"acc\"\n");
+                    inputs_used += 1;
+                }
+            }
+        }
+    }
+    src.push_str("syscall random\nstore \"r\"\nhalt\n");
+    assemble(&src).expect("generated program assembles")
+}
+
+proptest! {
+    /// Live run then replay from the recorded input log must agree in every
+    /// observable: resulting state, end, and step count.
+    #[test]
+    fn replay_reproduces_everything((inputs, ops) in program_spec()) {
+        let program = build_program(&ops, inputs.len());
+        let mut io = ScriptedIo::new();
+        for v in &inputs {
+            io.push_input("x", Value::Int(*v));
+        }
+        let live = run_session(&program, DataState::new(), &mut io, &ExecConfig::default()).unwrap();
+
+        let mut replay = ReplayIo::new(&live.input_log);
+        let replayed = run_session(&program, DataState::new(), &mut replay, &ExecConfig::default()).unwrap();
+
+        prop_assert_eq!(&replayed.state, &live.state);
+        prop_assert_eq!(&replayed.end, &live.end);
+        prop_assert_eq!(replayed.steps, live.steps);
+        prop_assert!(replay.fully_consumed());
+    }
+
+    /// Tampering any single input-log value changes the resulting state or
+    /// fails the replay — the recorded input pins the computation.
+    #[test]
+    fn tampered_input_log_is_visible((inputs, ops) in program_spec(), delta in 1i64..100) {
+        let program = build_program(&ops, inputs.len());
+        let mut io = ScriptedIo::new();
+        for v in &inputs {
+            io.push_input("x", Value::Int(*v));
+        }
+        let live = run_session(&program, DataState::new(), &mut io, &ExecConfig::default()).unwrap();
+        prop_assume!(!live.input_log.is_empty());
+
+        // Forge the first tagged input record.
+        let mut records: Vec<_> = live.input_log.records().to_vec();
+        let target = records.iter().position(|r| matches!(r.kind, refstate_vm::InputKind::Tagged(_)));
+        prop_assume!(target.is_some());
+        let target = target.unwrap();
+        if let Value::Int(v) = records[target].value {
+            records[target].value = Value::Int(v + delta);
+        }
+        let forged: refstate_vm::InputLog = records.into_iter().collect();
+
+        let mut replay = ReplayIo::new(&forged);
+        match run_session(&program, DataState::new(), &mut replay, &ExecConfig::default()) {
+            Ok(outcome) => {
+                // The accumulator is a function of the inputs: an altered
+                // input must surface... unless this op sequence never uses
+                // the forged input's value (e.g. a later multiply-by-zero
+                // cannot happen here since ops never zero the acc after an
+                // input-add; the only masking op is `mul` by 2 / neg, both
+                // injective). So the state must differ.
+                prop_assert_ne!(outcome.state, live.state);
+            }
+            Err(_) => {} // also acceptable: the forged log fails to replay
+        }
+    }
+
+    /// Full traces contain exactly one `Stmt` entry per executed step plus
+    /// one `InputWrite` per consumed input.
+    #[test]
+    fn trace_accounting((inputs, ops) in program_spec()) {
+        let program = build_program(&ops, inputs.len());
+        let mut io = ScriptedIo::new();
+        for v in &inputs {
+            io.push_input("x", Value::Int(*v));
+        }
+        let config = ExecConfig { trace_mode: TraceMode::Full, ..Default::default() };
+        let out = run_session(&program, DataState::new(), &mut io, &config).unwrap();
+        let stmts = out.trace.entries().iter().filter(|e| matches!(e, TraceEntry::Stmt { .. })).count();
+        let writes = out.trace.entries().iter().filter(|e| matches!(e, TraceEntry::InputWrite { .. })).count();
+        prop_assert_eq!(stmts as u64, out.steps);
+        prop_assert_eq!(writes, out.input_log.len());
+        // The reduced trace is exactly the input-only projection.
+        prop_assert_eq!(out.trace.reduced().len(), writes);
+    }
+
+    /// Stopping an interpreter at an arbitrary step boundary, capturing the
+    /// machine state, and resuming in a fresh interpreter reaches the same
+    /// final state as running straight through.
+    #[test]
+    fn snapshot_resume_equivalence((inputs, ops) in program_spec(), cut in 0usize..40) {
+        let program = build_program(&ops, inputs.len());
+        let fill = |io: &mut ScriptedIo| {
+            for v in &inputs {
+                io.push_input("x", Value::Int(*v));
+            }
+        };
+
+        // Straight run.
+        let mut io = ScriptedIo::new();
+        fill(&mut io);
+        let straight = run_session(&program, DataState::new(), &mut io, &ExecConfig::default()).unwrap();
+
+        // Split run: execute `cut` steps, snapshot, resume.
+        let mut io = ScriptedIo::new();
+        fill(&mut io);
+        let mut first = Interpreter::new(&program, DataState::new(), ExecConfig::default());
+        let mut ended_early = None;
+        for _ in 0..cut {
+            match first.step(&mut io).unwrap() {
+                Some(end) => { ended_early = Some(end); break; }
+                None => {}
+            }
+        }
+        let end = match ended_early {
+            Some(end) => {
+                prop_assert_eq!(&end, &straight.end);
+                prop_assert_eq!(first.state(), &straight.state);
+                return Ok(());
+            }
+            None => {
+                let snapshot = first.capture();
+                let mut second = Interpreter::resume(&program, snapshot, ExecConfig::default());
+                let end = second.run(&mut io).unwrap();
+                prop_assert_eq!(second.state(), &straight.state);
+                end
+            }
+        };
+        prop_assert_eq!(end, straight.end);
+    }
+
+    /// Wire round-trip for arbitrary generated programs.
+    #[test]
+    fn program_wire_round_trip((inputs, ops) in program_spec()) {
+        let program = build_program(&ops, inputs.len());
+        let bytes = refstate_wire::to_wire(&program);
+        let back: Program = refstate_wire::from_wire(&bytes).unwrap();
+        prop_assert_eq!(back, program);
+    }
+
+    /// Arithmetic on the VM matches Rust's wrapping semantics.
+    #[test]
+    fn vm_arithmetic_matches_rust(a in any::<i64>(), b in any::<i64>()) {
+        let program = Program::new(vec![
+            Instr::Push(Value::Int(a)),
+            Instr::Push(Value::Int(b)),
+            Instr::Add,
+            Instr::Store("sum".into()),
+            Instr::Push(Value::Int(a)),
+            Instr::Push(Value::Int(b)),
+            Instr::Mul,
+            Instr::Store("prod".into()),
+            Instr::Push(Value::Int(a)),
+            Instr::Push(Value::Int(b)),
+            Instr::Sub,
+            Instr::Store("diff".into()),
+            Instr::Halt,
+        ]).unwrap();
+        let out = run_session(&program, DataState::new(), &mut NullIo, &ExecConfig::default()).unwrap();
+        prop_assert_eq!(out.state.get_int("sum"), Some(a.wrapping_add(b)));
+        prop_assert_eq!(out.state.get_int("prod"), Some(a.wrapping_mul(b)));
+        prop_assert_eq!(out.state.get_int("diff"), Some(a.wrapping_sub(b)));
+        prop_assert_eq!(out.end, SessionEnd::Halt);
+    }
+}

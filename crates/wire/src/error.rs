@@ -1,0 +1,91 @@
+//! Decoding errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while decoding canonical wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes needed to continue decoding.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A type or enum tag byte had an unknown value.
+    InvalidTag {
+        /// Context describing which type was being decoded.
+        context: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A string field did not contain valid UTF-8.
+    InvalidUtf8,
+    /// A declared length exceeds the remaining input (corrupt or hostile).
+    LengthOverflow {
+        /// The declared element or byte count.
+        declared: usize,
+    },
+    /// Input bytes remained after the top-level value was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// A value violated a domain constraint (e.g. a bool byte that is
+    /// neither 0 nor 1).
+    InvalidValue {
+        /// Context describing the constraint.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            WireError::InvalidTag { context, tag } => {
+                write!(f, "invalid tag {tag:#04x} while decoding {context}")
+            }
+            WireError::InvalidUtf8 => f.write_str("string field contains invalid UTF-8"),
+            WireError::LengthOverflow { declared } => {
+                write!(f, "declared length {declared} exceeds remaining input")
+            }
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after value")
+            }
+            WireError::InvalidValue { context } => {
+                write!(f, "invalid value while decoding {context}")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::UnexpectedEof { needed: 4, remaining: 1 };
+        assert!(e.to_string().contains("needed 4"));
+        let e = WireError::InvalidTag { context: "Value", tag: 0xff };
+        assert!(e.to_string().contains("Value"));
+        assert!(WireError::InvalidUtf8.to_string().contains("UTF-8"));
+        assert!(WireError::LengthOverflow { declared: 9 }.to_string().contains('9'));
+        assert!(WireError::TrailingBytes { count: 3 }.to_string().contains('3'));
+        assert!(WireError::InvalidValue { context: "bool" }.to_string().contains("bool"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<WireError>();
+    }
+}

@@ -1,0 +1,222 @@
+//! The decoding half: a bounds-checked cursor over input bytes.
+
+use crate::error::WireError;
+
+/// A bounds-checked cursor over a byte slice.
+///
+/// Every accessor returns [`WireError::UnexpectedEof`] instead of panicking
+/// when the input is truncated, so hostile or corrupt messages cannot crash
+/// a host.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_wire::Reader;
+///
+/// let mut r = Reader::new(&[7, 0, 0, 0]);
+/// assert_eq!(r.take_u32()?, 7);
+/// r.finish()?;
+/// # Ok::<(), refstate_wire::WireError>(())
+/// ```
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Returns the number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns `true` if all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Asserts that all input has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] if bytes remain.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes { count: self.remaining() })
+        }
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than `n` remain.
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof { needed: n, remaining: self.remaining() });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Takes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] on truncated input.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take_raw(1)?[0])
+    }
+
+    /// Takes a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] on truncated input.
+    pub fn take_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take_raw(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Takes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] on truncated input.
+    pub fn take_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take_raw(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Takes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] on truncated input.
+    pub fn take_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take_raw(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Takes an `i64` from its two's-complement `u64` image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] on truncated input.
+    pub fn take_i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.take_u64()? as i64)
+    }
+
+    /// Takes a bool encoded as a single `0`/`1` byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::InvalidValue`] for any other byte.
+    pub fn take_bool(&mut self) -> Result<bool, WireError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::InvalidValue { context: "bool" }),
+        }
+    }
+
+    /// Takes a `u32` length prefix, validating it against the remaining
+    /// input so hostile lengths cannot trigger huge allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::LengthOverflow`] if the declared length exceeds
+    /// the remaining byte count.
+    pub fn take_len(&mut self) -> Result<usize, WireError> {
+        let len = self.take_u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::LengthOverflow { declared: len });
+        }
+        Ok(len)
+    }
+
+    /// Takes a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates length and EOF errors.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.take_len()?;
+        self.take_raw(len)
+    }
+
+    /// Takes a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::InvalidUtf8`] if the bytes are not valid UTF-8.
+    pub fn take_str(&mut self) -> Result<&'a str, WireError> {
+        let bytes = self.take_bytes()?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round() {
+        let mut r = Reader::new(&[1, 2, 0, 3, 0, 0, 0]);
+        assert_eq!(r.take_u8().unwrap(), 1);
+        assert_eq!(r.take_u16().unwrap(), 2);
+        assert_eq!(r.take_u32().unwrap(), 3);
+        assert!(r.is_empty());
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = Reader::new(&[1]);
+        assert_eq!(
+            r.take_u32(),
+            Err(WireError::UnexpectedEof { needed: 4, remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = Reader::new(&[1, 2]);
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes { count: 2 }));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // Declares 4 GiB of payload with 2 bytes present.
+        let mut r = Reader::new(&[0xff, 0xff, 0xff, 0xff, 0, 0]);
+        assert!(matches!(r.take_bytes(), Err(WireError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn bool_strictness() {
+        let mut r = Reader::new(&[0, 1, 2]);
+        assert!(!r.take_bool().unwrap());
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_bool(), Err(WireError::InvalidValue { context: "bool" }));
+    }
+
+    #[test]
+    fn utf8_validation() {
+        let mut r = Reader::new(&[2, 0, 0, 0, 0xff, 0xfe]);
+        assert_eq!(r.take_str(), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn i64_round() {
+        let mut r = Reader::new(&[0xff; 8]);
+        assert_eq!(r.take_i64().unwrap(), -1);
+    }
+}

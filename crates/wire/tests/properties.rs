@@ -1,0 +1,87 @@
+//! Property tests: every supported type round-trips, encodings are
+//! deterministic, and corrupt input never panics.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use refstate_wire::{from_wire, to_wire, WireError};
+
+proptest! {
+    #[test]
+    fn u64_round_trip(v in any::<u64>()) {
+        prop_assert_eq!(from_wire::<u64>(&to_wire(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_round_trip(v in any::<i64>()) {
+        prop_assert_eq!(from_wire::<i64>(&to_wire(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn string_round_trip(v in ".*") {
+        prop_assert_eq!(from_wire::<String>(&to_wire(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn vec_round_trip(v in proptest::collection::vec(any::<u64>(), 0..50)) {
+        prop_assert_eq!(from_wire::<Vec<u64>>(&to_wire(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_round_trip(v in proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..8), 0..8)) {
+        prop_assert_eq!(from_wire::<Vec<Vec<u32>>>(&to_wire(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn map_round_trip(v in proptest::collection::btree_map(".{0,8}", any::<i64>(), 0..20)) {
+        prop_assert_eq!(from_wire::<BTreeMap<String, i64>>(&to_wire(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn option_round_trip(v in proptest::option::of(any::<u64>())) {
+        prop_assert_eq!(from_wire::<Option<u64>>(&to_wire(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn tuple_round_trip(a in any::<u32>(), b in ".{0,8}", c in any::<bool>()) {
+        let v = (a, b, c);
+        prop_assert_eq!(from_wire::<(u32, String, bool)>(&to_wire(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(v in proptest::collection::btree_map(".{0,6}", any::<u64>(), 0..12)) {
+        // Rebuild the map in a different insertion order.
+        let mut rebuilt = BTreeMap::new();
+        for (k, val) in v.iter().rev() {
+            rebuilt.insert(k.clone(), *val);
+        }
+        prop_assert_eq!(to_wire(&v), to_wire(&rebuilt));
+    }
+
+    #[test]
+    fn corrupt_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary garbage must return Ok or Err, never panic.
+        let _ = from_wire::<Vec<String>>(&bytes);
+        let _ = from_wire::<BTreeMap<String, u64>>(&bytes);
+        let _ = from_wire::<(u64, String, bool)>(&bytes);
+        let _ = from_wire::<Option<Vec<u64>>>(&bytes);
+    }
+
+    #[test]
+    fn truncation_always_detected(v in proptest::collection::vec(".{1,6}", 1..10)) {
+        let bytes = to_wire(&v);
+        for cut in 0..bytes.len() {
+            let r = from_wire::<Vec<String>>(&bytes[..cut]);
+            prop_assert!(r.is_err(), "prefix of length {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn extension_always_detected(v in proptest::collection::vec(any::<u64>(), 0..10), extra in 1usize..8) {
+        let mut bytes = to_wire(&v);
+        bytes.extend(std::iter::repeat(0u8).take(extra));
+        let r = from_wire::<Vec<u64>>(&bytes);
+        let is_trailing = matches!(r, Err(WireError::TrailingBytes { .. }));
+        prop_assert!(is_trailing);
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart: protect a mobile agent with the paper's session-checking
+//! protocol and watch a tampering host get caught.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use refstate::core::protocol::{run_protected_journey, ProtocolConfig};
+use refstate::crypto::DsaParams;
+use refstate::platform::{AgentImage, Attack, EventLog, Host, HostSpec};
+use refstate::vm::{assemble, DataState, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let params = DsaParams::test_group_256();
+
+    // Three hosts: home and notary are trusted; the shop is not — and it
+    // will tamper with the agent's collected price.
+    let mut hosts = vec![
+        Host::new(
+            HostSpec::new("home").trusted().with_input("offer", Value::Int(400)),
+            &params,
+            &mut rng,
+        ),
+        Host::new(
+            HostSpec::new("shop")
+                .with_input("offer", Value::Int(120))
+                .malicious(Attack::TamperVariable { name: "best".into(), value: Value::Int(999) }),
+            &params,
+            &mut rng,
+        ),
+        Host::new(
+            HostSpec::new("notary").trusted().with_input("offer", Value::Int(250)),
+            &params,
+            &mut rng,
+        ),
+    ];
+
+    // The agent: collect one offer per host, keep the minimum, come home.
+    let program = assemble(
+        r#"
+        input "offer"
+        dup
+        load "best"
+        lt
+        jz keep_old
+        store "best"
+        jump route
+    keep_old:
+        pop
+    route:
+        load "hop"
+        push 1
+        add
+        store "hop"
+        load "hop"
+        push 1
+        eq
+        jnz to_shop
+        load "hop"
+        push 2
+        eq
+        jnz to_notary
+        halt
+    to_shop:
+        push "shop"
+        migrate
+    to_notary:
+        push "notary"
+        migrate
+    "#,
+    )?;
+    let mut state = DataState::new();
+    state.set("best", Value::Int(9_999));
+    state.set("hop", Value::Int(0));
+    let agent = AgentImage::new("bargain-hunter", program, state);
+
+    let log = EventLog::new();
+    let outcome =
+        run_protected_journey(&mut hosts, "home", agent, &ProtocolConfig::default(), &log)?;
+
+    println!("=== event timeline ===");
+    print!("{}", log.render());
+
+    match &outcome.fraud {
+        Some(fraud) => {
+            println!("\n=== fraud evidence ===");
+            println!("{fraud}");
+        }
+        None => {
+            println!("\njourney completed clean; best offer: {:?}",
+                outcome.final_state.get_int("best"));
+        }
+    }
+
+    println!("\nprotocol stats: {} signatures, {} verifications, {} re-executions",
+        outcome.stats.signatures, outcome.stats.verifications, outcome.stats.reexecutions);
+    Ok(())
+}

@@ -1,0 +1,174 @@
+//! Property-based tests over whole journeys: the detection guarantee holds
+//! for arbitrary workload parameters and tamper values, honest journeys are
+//! never flagged, and re-execution is deterministic end to end.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate::core::protocol::{run_protected_journey, ProtocolConfig};
+use refstate::crypto::DsaParams;
+use refstate::platform::{AgentImage, Attack, EventLog, Host, HostSpec};
+use refstate::vm::{assemble, DataState, Value};
+
+/// Builds the three-host summing agent with configurable per-host inputs.
+fn sum_agent() -> AgentImage {
+    let program = assemble(
+        r#"
+        input "n"
+        load "total"
+        add
+        store "total"
+        load "hop"
+        push 1
+        add
+        store "hop"
+        load "hop"
+        push 1
+        eq
+        jnz to_b
+        load "hop"
+        push 2
+        eq
+        jnz to_c
+        halt
+    to_b:
+        push "b"
+        migrate
+    to_c:
+        push "c"
+        migrate
+    "#,
+    )
+    .unwrap();
+    let mut state = DataState::new();
+    state.set("total", Value::Int(0));
+    state.set("hop", Value::Int(0));
+    AgentImage::new("prop", program, state)
+}
+
+fn hosts(inputs: [i64; 3], b_attack: Option<Attack>, seed: u64) -> Vec<Host> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = DsaParams::test_group_256();
+    let mut b = HostSpec::new("b").with_input("n", Value::Int(inputs[1]));
+    if let Some(a) = b_attack {
+        b = b.malicious(a);
+    }
+    vec![
+        Host::new(
+            HostSpec::new("a").trusted().with_input("n", Value::Int(inputs[0])),
+            &params,
+            &mut rng,
+        ),
+        Host::new(b, &params, &mut rng),
+        Host::new(
+            HostSpec::new("c").trusted().with_input("n", Value::Int(inputs[2])),
+            &params,
+            &mut rng,
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Honest journeys are never flagged, for any inputs.
+    #[test]
+    fn honest_journeys_never_flagged(
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        c in -1000i64..1000,
+        seed in 0u64..1000,
+    ) {
+        let mut hs = hosts([a, b, c], None, seed);
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hs, "a", sum_agent(), &ProtocolConfig::default(), &log,
+        ).unwrap();
+        prop_assert!(outcome.clean(), "false positive on honest journey");
+        prop_assert_eq!(outcome.final_state.get_int("total"), Some(a + b + c));
+    }
+
+    /// Any tampering that actually changes the resulting state is caught,
+    /// and the evidence names the right host and the right values.
+    #[test]
+    fn effective_tampering_always_caught(
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        c in -1000i64..1000,
+        forged in -10_000i64..10_000,
+        seed in 0u64..1000,
+    ) {
+        // Skip the degenerate case where the forged value coincides with
+        // the honest one (then there is no attack to see).
+        prop_assume!(forged != a + b);
+        let attack = Attack::TamperVariable { name: "total".into(), value: Value::Int(forged) };
+        let mut hs = hosts([a, b, c], Some(attack), seed);
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hs, "a", sum_agent(), &ProtocolConfig::default(), &log,
+        ).unwrap();
+        let fraud = outcome.fraud.expect("state-visible tampering must be detected");
+        prop_assert_eq!(fraud.culprit.as_str(), "b");
+        prop_assert_eq!(fraud.claimed_state.get_int("total"), Some(forged));
+        prop_assert_eq!(
+            fraud.reference_state.as_ref().and_then(|s| s.get_int("total")),
+            Some(a + b)
+        );
+    }
+
+    /// Tampering that reproduces the honest value exactly is, by the
+    /// paper's definition, not an attack ("only those who indeed result in
+    /// an incorrect state") — and indeed nothing fires.
+    #[test]
+    fn noop_tampering_is_not_an_attack(
+        a in -100i64..100,
+        b in -100i64..100,
+        c in -100i64..100,
+        seed in 0u64..100,
+    ) {
+        let attack = Attack::TamperVariable { name: "total".into(), value: Value::Int(a + b) };
+        let mut hs = hosts([a, b, c], Some(attack), seed);
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hs, "a", sum_agent(), &ProtocolConfig::default(), &log,
+        ).unwrap();
+        prop_assert!(outcome.clean());
+    }
+
+    /// Forged input is never detected (the §4.2 limit), for any forgery.
+    #[test]
+    fn input_forgery_never_caught(
+        a in -100i64..100,
+        b in -100i64..100,
+        c in -100i64..100,
+        forged in -100i64..100,
+        seed in 0u64..100,
+    ) {
+        let attack = Attack::ForgeInput { tag: "n".into(), value: Value::Int(forged) };
+        let mut hs = hosts([a, b, c], Some(attack), seed);
+        let log = EventLog::new();
+        let outcome = run_protected_journey(
+            &mut hs, "a", sum_agent(), &ProtocolConfig::default(), &log,
+        ).unwrap();
+        prop_assert!(outcome.fraud.is_none());
+        prop_assert_eq!(outcome.final_state.get_int("total"), Some(a + forged + c));
+    }
+
+    /// The journey result is a pure function of inputs — independent of
+    /// the key-generation seed.
+    #[test]
+    fn result_independent_of_crypto_seed(
+        a in -100i64..100,
+        b in -100i64..100,
+        c in -100i64..100,
+        seed1 in 0u64..1000,
+        seed2 in 0u64..1000,
+    ) {
+        let log = EventLog::new();
+        let mut h1 = hosts([a, b, c], None, seed1);
+        let o1 = run_protected_journey(&mut h1, "a", sum_agent(), &ProtocolConfig::default(), &log).unwrap();
+        let mut h2 = hosts([a, b, c], None, seed2);
+        let o2 = run_protected_journey(&mut h2, "a", sum_agent(), &ProtocolConfig::default(), &log).unwrap();
+        prop_assert_eq!(o1.final_state, o2.final_state);
+    }
+}

@@ -1,0 +1,260 @@
+//! The session-checking protocol on real threads: each host runs as a
+//! [`HostNode`] on its own OS thread, migration messages flow through
+//! crossbeam channels, and the result matches the single-threaded driver.
+//!
+//! The paper measured everything in one address space; this test shows the
+//! protocol logic is transport-agnostic.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate::core::protocol::SessionCertificate;
+use refstate::crypto::{sha256, DsaParams, KeyDirectory, Signed};
+use refstate::platform::{
+    AgentImage, Attack, EventLog, Host, HostId, HostNode, HostSpec, NetError, SimNetwork, Step,
+    ThreadedNetwork,
+};
+use refstate::vm::{assemble, DataState, ExecConfig, ReplayIo, SessionEnd, Value};
+use refstate::wire::to_wire;
+
+/// The message that travels between protocol nodes: the agent image plus
+/// the previous session's signed certificate.
+struct Baggage {
+    image: AgentImage,
+    cert: Signed<SessionCertificate>,
+}
+
+/// What a node reports to the test harness when the journey ends on it.
+#[derive(Debug)]
+enum Verdict {
+    Clean { final_state: DataState },
+    Fraud { culprit: HostId },
+}
+
+/// One protocol participant running on its own thread.
+struct ProtocolNode {
+    host: Host,
+    directory: KeyDirectory,
+    exec: ExecConfig,
+    log: EventLog,
+    report: mpsc::Sender<Verdict>,
+}
+
+impl ProtocolNode {
+    fn check_incoming(&self, image: &AgentImage, cert: &Signed<SessionCertificate>) -> bool {
+        if cert.verify(&self.directory).is_err() {
+            return false;
+        }
+        let payload = cert.payload();
+        // Trusted-host optimization is deliberately off here: every thread
+        // checks, exercising the full path.
+        let mut replay = ReplayIo::new(&payload.input);
+        match refstate::vm::run_session(
+            &image.program,
+            payload.initial_state.clone(),
+            &mut replay,
+            &self.exec,
+        ) {
+            Ok(outcome) => {
+                let next = match &outcome.end {
+                    SessionEnd::Migrate(h) => Some(HostId::new(h.clone())),
+                    SessionEnd::Halt => None,
+                };
+                outcome.state == payload.resulting_state
+                    && replay.fully_consumed()
+                    && next == payload.next
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn execute_and_forward(&mut self, mut image: AgentImage, seq: u64) -> Step<Baggage> {
+        let record = self
+            .host
+            .execute_session(&image, &self.exec, &self.log)
+            .expect("session runs");
+        image.state = record.outcome.state.clone();
+        let next = match &record.outcome.end {
+            SessionEnd::Migrate(h) => Some(HostId::new(h.clone())),
+            SessionEnd::Halt => None,
+        };
+        let cert = SessionCertificate {
+            agent: image.id.clone(),
+            seq,
+            executor: self.host.id().clone(),
+            initial_state: record.initial_state.clone(),
+            resulting_state: record.outcome.state.clone(),
+            input: record.outcome.input_log.clone(),
+            next: next.clone(),
+        };
+        let signed = self.host.sign(cert);
+        match next {
+            Some(dest) => Step::Send(vec![(dest, Baggage { image, cert: signed })]),
+            None => {
+                let _ = self.report.send(Verdict::Clean { final_state: image.state });
+                Step::Finished
+            }
+        }
+    }
+}
+
+impl HostNode<Baggage> for ProtocolNode {
+    fn id(&self) -> HostId {
+        self.host.id().clone()
+    }
+
+    fn on_message(&mut self, _from: &HostId, msg: Baggage) -> Result<Step<Baggage>, NetError> {
+        let seq = msg.cert.payload().seq + 1;
+        if !self.check_incoming(&msg.image, &msg.cert) {
+            let culprit = msg.cert.payload().executor.clone();
+            let _ = self.report.send(Verdict::Fraud { culprit });
+            return Ok(Step::Finished);
+        }
+        Ok(self.execute_and_forward(msg.image, seq))
+    }
+}
+
+fn tour_agent() -> AgentImage {
+    let program = assemble(
+        r#"
+        input "n"
+        load "total"
+        add
+        store "total"
+        load "hop"
+        push 1
+        add
+        store "hop"
+        load "hop"
+        push 1
+        eq
+        jnz to_b
+        load "hop"
+        push 2
+        eq
+        jnz to_c
+        halt
+    to_b:
+        push "b"
+        migrate
+    to_c:
+        push "c"
+        migrate
+    "#,
+    )
+    .unwrap();
+    let mut state = DataState::new();
+    state.set("total", Value::Int(0));
+    state.set("hop", Value::Int(0));
+    AgentImage::new("threaded", program, state)
+}
+
+/// Builds nodes plus the "launch" certificate for the agent leaving home.
+fn build(
+    attack: Option<Attack>,
+    report: mpsc::Sender<Verdict>,
+    seed: u64,
+) -> (Vec<ProtocolNode>, Baggage) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = DsaParams::test_group_256();
+    let mut b_spec = HostSpec::new("b").with_input("n", Value::Int(20));
+    if let Some(a) = attack {
+        b_spec = b_spec.malicious(a);
+    }
+    let mut hosts = vec![
+        Host::new(HostSpec::new("a").trusted().with_input("n", Value::Int(10)), &params, &mut rng),
+        Host::new(b_spec, &params, &mut rng),
+        Host::new(HostSpec::new("c").trusted().with_input("n", Value::Int(30)), &params, &mut rng),
+    ];
+    let mut directory = KeyDirectory::new();
+    for h in &hosts {
+        directory.register(h.id().as_str(), h.public_key().clone());
+    }
+
+    // Session 0 runs at home before the network exists (the owner's own
+    // machine); its certificate seeds the network run.
+    let exec = ExecConfig::default();
+    let log = EventLog::new();
+    let mut image = tour_agent();
+    let record = hosts[0].execute_session(&image, &exec, &log).expect("home session");
+    image.state = record.outcome.state.clone();
+    let next = match &record.outcome.end {
+        SessionEnd::Migrate(h) => Some(HostId::new(h.clone())),
+        SessionEnd::Halt => None,
+    };
+    let cert = SessionCertificate {
+        agent: image.id.clone(),
+        seq: 0,
+        executor: HostId::new("a"),
+        initial_state: record.initial_state.clone(),
+        resulting_state: record.outcome.state.clone(),
+        input: record.outcome.input_log.clone(),
+        next,
+    };
+    let signed = hosts[0].sign(cert);
+
+    let nodes = hosts
+        .into_iter()
+        .map(|host| ProtocolNode {
+            host,
+            directory: directory.clone(),
+            exec: exec.clone(),
+            log: log.clone(),
+            report: report.clone(),
+        })
+        .collect();
+    (nodes, Baggage { image, cert: signed })
+}
+
+#[test]
+fn threaded_honest_journey_matches_sim() {
+    // Threaded run.
+    let (tx, rx) = mpsc::channel();
+    let (nodes, baggage) = build(None, tx, 42);
+    let boxed: Vec<Box<dyn HostNode<Baggage> + Send>> =
+        nodes.into_iter().map(|n| Box::new(n) as Box<dyn HostNode<Baggage> + Send>).collect();
+    let net = ThreadedNetwork::start(boxed);
+    net.inject(HostId::new("a"), HostId::new("b"), baggage).unwrap();
+    net.join(Duration::from_secs(30)).unwrap();
+    let threaded = match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Verdict::Clean { final_state } => final_state,
+        Verdict::Fraud { culprit } => panic!("unexpected fraud by {culprit}"),
+    };
+    assert_eq!(threaded.get_int("total"), Some(60));
+
+    // Deterministic sim run of the identical nodes.
+    let (tx, rx) = mpsc::channel();
+    let (nodes, baggage) = build(None, tx, 42);
+    let mut sim = SimNetwork::new();
+    for node in nodes {
+        sim.add_node(node);
+    }
+    sim.inject(HostId::new("a"), HostId::new("b"), baggage);
+    sim.run(100).unwrap();
+    let simulated = match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+        Verdict::Clean { final_state } => final_state,
+        Verdict::Fraud { culprit } => panic!("unexpected fraud by {culprit}"),
+    };
+
+    // Same protocol, same hosts, different transport, same bytes.
+    assert_eq!(to_wire(&threaded), to_wire(&simulated));
+    assert_eq!(sha256(&to_wire(&threaded)), sha256(&to_wire(&simulated)));
+}
+
+#[test]
+fn threaded_network_catches_tampering() {
+    let (tx, rx) = mpsc::channel();
+    let attack = Attack::TamperVariable { name: "total".into(), value: Value::Int(0) };
+    let (nodes, baggage) = build(Some(attack), tx, 43);
+    let boxed: Vec<Box<dyn HostNode<Baggage> + Send>> =
+        nodes.into_iter().map(|n| Box::new(n) as Box<dyn HostNode<Baggage> + Send>).collect();
+    let net = ThreadedNetwork::start(boxed);
+    net.inject(HostId::new("a"), HostId::new("b"), baggage).unwrap();
+    net.join(Duration::from_secs(30)).unwrap();
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Verdict::Fraud { culprit } => assert_eq!(culprit.as_str(), "b"),
+        Verdict::Clean { .. } => panic!("tampering must be detected across threads"),
+    }
+}
