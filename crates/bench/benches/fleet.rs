@@ -1,0 +1,55 @@
+//! Fleet throughput: scenarios/second through the scenario engine, per
+//! mechanism and for the full matrix.
+//!
+//! This is the bench trajectory counterpart of the `fleet` CLI's
+//! `journeys_per_sec` metric: small fixed fleets, measured hot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use refstate_fleet::{run_fleet, FleetConfig, FleetMechanism, Preset};
+
+const SCENARIOS: u64 = 64;
+
+fn bench_config(mechanisms: Vec<FleetMechanism>, workers: usize) -> FleetConfig {
+    FleetConfig {
+        scenarios: SCENARIOS,
+        workers,
+        seed: 42,
+        preset: Preset::Mixed,
+        mechanisms,
+        key_pool: 16,
+        ..FleetConfig::default()
+    }
+}
+
+fn bench_per_mechanism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_mechanism");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SCENARIOS));
+    for mechanism in FleetMechanism::ALL {
+        let config = bench_config(vec![mechanism], 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mechanism.name()),
+            &config,
+            |b, config| b.iter(|| run_fleet(config)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_workers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SCENARIOS));
+    for workers in [1usize, 2, 4, 8] {
+        let config = bench_config(vec![FleetMechanism::SessionCheckingProtocol], workers);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &config,
+            |b, config| b.iter(|| run_fleet(config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_mechanism, bench_worker_scaling);
+criterion_main!(benches);

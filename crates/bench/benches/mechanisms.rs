@@ -15,7 +15,10 @@ use refstate_crypto::DsaParams;
 use refstate_platform::{run_plain_journey, AgentId, EventLog};
 use refstate_vm::{assemble, DataState, ExecConfig, NullIo, Program};
 
-const PARAMS: AgentParams = AgentParams { cycles: 20, inputs: 10 };
+const PARAMS: AgentParams = AgentParams {
+    cycles: 20,
+    inputs: 10,
+};
 
 fn bench_journeys(c: &mut Criterion) {
     let dsa = DsaParams::test_group_256();
@@ -27,8 +30,15 @@ fn bench_journeys(c: &mut Criterion) {
         b.iter(|| {
             let mut hosts = build_three_hosts(PARAMS, &dsa, 1);
             let log = EventLog::new();
-            run_plain_journey(&mut hosts, "h1", build_generic_agent(PARAMS), &exec, &log, 10)
-                .unwrap()
+            run_plain_journey(
+                &mut hosts,
+                "h1",
+                build_generic_agent(PARAMS),
+                &exec,
+                &log,
+                10,
+            )
+            .unwrap()
         })
     });
     group.bench_function("framework_reexec", |b| {
@@ -176,5 +186,10 @@ fn bench_replication_width(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_journeys, bench_proof_scaling, bench_replication_width);
+criterion_group!(
+    benches,
+    bench_journeys,
+    bench_proof_scaling,
+    bench_replication_width
+);
 criterion_main!(benches);

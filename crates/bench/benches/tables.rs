@@ -12,10 +12,22 @@ use refstate_bench::{measure_plain, measure_protected, AgentParams};
 use refstate_crypto::DsaParams;
 
 const SCALED_CONFIGS: [AgentParams; 4] = [
-    AgentParams { cycles: 1, inputs: 1 },
-    AgentParams { cycles: 1, inputs: 100 },
-    AgentParams { cycles: 200, inputs: 1 },
-    AgentParams { cycles: 200, inputs: 100 },
+    AgentParams {
+        cycles: 1,
+        inputs: 1,
+    },
+    AgentParams {
+        cycles: 1,
+        inputs: 100,
+    },
+    AgentParams {
+        cycles: 200,
+        inputs: 1,
+    },
+    AgentParams {
+        cycles: 200,
+        inputs: 100,
+    },
 ];
 
 fn bench_table1_plain(c: &mut Criterion) {

@@ -70,7 +70,10 @@ fn bench_trace_overhead(c: &mut Criterion) {
         ("inputs-only", TraceMode::InputsOnly),
         ("full", TraceMode::Full),
     ] {
-        let config = ExecConfig { trace_mode: mode, ..Default::default() };
+        let config = ExecConfig {
+            trace_mode: mode,
+            ..Default::default()
+        };
         group.bench_function(label, |b| {
             b.iter(|| run_session(&program, DataState::new(), &mut NullIo, &config).unwrap())
         });
@@ -110,7 +113,8 @@ fn bench_replay(c: &mut Criterion) {
     for i in 0..200 {
         io.push_input("n", Value::Int(i));
     }
-    let original = run_session(&program, DataState::new(), &mut io, &ExecConfig::default()).unwrap();
+    let original =
+        run_session(&program, DataState::new(), &mut io, &ExecConfig::default()).unwrap();
 
     let mut group = c.benchmark_group("vm_replay");
     group.bench_function("live", |b| {

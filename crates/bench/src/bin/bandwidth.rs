@@ -66,8 +66,15 @@ fn main() {
         timed(|| {
             let mut hosts = build_three_hosts(params, &dsa, 1);
             let log = EventLog::new();
-            run_plain_journey(&mut hosts, "h1", build_generic_agent(params), &exec, &log, 10)
-                .expect("journey");
+            run_plain_journey(
+                &mut hosts,
+                "h1",
+                build_generic_agent(params),
+                &exec,
+                &log,
+                10,
+            )
+            .expect("journey");
         }),
     ));
 
@@ -78,8 +85,14 @@ fn main() {
             let mut hosts = build_three_hosts(params, &dsa, 2);
             let log = EventLog::new();
             let rules = RuleSet::new()
-                .rule("sum-non-negative", Pred::cmp(CmpOp::Ge, Expr::var("sum"), Expr::int(0)))
-                .rule("hop-count", Pred::cmp(CmpOp::Le, Expr::var("hop"), Expr::int(3)));
+                .rule(
+                    "sum-non-negative",
+                    Pred::cmp(CmpOp::Ge, Expr::var("sum"), Expr::int(0)),
+                )
+                .rule(
+                    "hop-count",
+                    Pred::cmp(CmpOp::Le, Expr::var("hop"), Expr::int(3)),
+                );
             let config = ProtectionConfig::new(Arc::new(RuleChecker::new(rules)))
                 .moment(CheckMoment::AfterTask);
             run_framework_journey(
@@ -98,8 +111,10 @@ fn main() {
         timed(|| {
             let mut hosts = build_three_hosts(params, &dsa, 3);
             let log = EventLog::new();
-            let rules = RuleSet::new()
-                .rule("sum-non-negative", Pred::cmp(CmpOp::Ge, Expr::var("sum"), Expr::int(0)));
+            let rules = RuleSet::new().rule(
+                "sum-non-negative",
+                Pred::cmp(CmpOp::Ge, Expr::var("sum"), Expr::int(0)),
+            );
             let config = ProtectionConfig::new(Arc::new(RuleChecker::new(rules)));
             run_framework_journey(
                 &mut hosts,
@@ -157,10 +172,9 @@ fn main() {
             let log = EventLog::new();
             let agent = build_generic_agent(params);
             let program = agent.program.clone();
-            let journey = refstate_mechanisms::run_traced_journey(
-                &mut hosts, "h1", agent, &exec, &log, 10,
-            )
-            .expect("journey");
+            let journey =
+                refstate_mechanisms::run_traced_journey(&mut hosts, "h1", agent, &exec, &log, 10)
+                    .expect("journey");
             let report = refstate_mechanisms::audit_journey(&journey, &program, &dir, &exec, &log);
             assert!(report.clean());
         }),
@@ -204,11 +218,17 @@ fn main() {
 
     // 7. Proof verification: prove once, verify with k spot checks.
     {
-        let agent_params = AgentParams { cycles: cycles.min(50), inputs };
+        let agent_params = AgentParams {
+            cycles: cycles.min(50),
+            inputs,
+        };
         let agent = build_generic_agent(agent_params);
         let mut io = ScriptedIo::new();
         for k in 0..agent_params.inputs {
-            io.push_input("elem", refstate_bench::generic_agent::input_element("px", k));
+            io.push_input(
+                "elem",
+                refstate_bench::generic_agent::input_element("px", k),
+            );
         }
         let mut initial = DataState::new();
         initial.set("cycles", Value::Int(agent_params.cycles));
@@ -230,7 +250,10 @@ fn main() {
             .verify(&agent.program, &proof, &prover, &exec)
             .expect("verify");
         let verify_time = t.elapsed();
-        report.push((format!("proof: prove (n={} steps)", proof.steps), prove_time));
+        report.push((
+            format!("proof: prove (n={} steps)", proof.steps),
+            prove_time,
+        ));
         report.push(("proof: verify (k=16 spot checks)".into(), verify_time));
     }
 

@@ -52,13 +52,14 @@ fn main() {
     };
 
     println!("refstate paper tables — DSA-{dsa_bits}, cycle scale 1/{scale}");
-    println!(
-        "(three hosts in one address space, second host untrusted, as in §5.2)\n"
-    );
+    println!("(three hosts in one address space, second host untrusted, as in §5.2)\n");
 
     let configs: Vec<AgentParams> = refstate_bench::PAPER_CONFIGS
         .iter()
-        .map(|p| AgentParams { cycles: (p.cycles / scale).max(1), inputs: p.inputs })
+        .map(|p| AgentParams {
+            cycles: (p.cycles / scale).max(1),
+            inputs: p.inputs,
+        })
         .collect();
 
     let rows: Vec<TableRow> = configs

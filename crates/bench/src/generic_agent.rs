@@ -51,7 +51,10 @@ pub fn build_generic_agent(params: AgentParams) -> AgentImage {
     b.load("c").load("cycles").ge().jump_if_true("cycles_done");
     b.push(0i64).store("k");
     b.label("inner_loop");
-    b.load("k").push(VALUES_PER_CYCLE).ge().jump_if_true("inner_done");
+    b.load("k")
+        .push(VALUES_PER_CYCLE)
+        .ge()
+        .jump_if_true("inner_done");
     b.load("sum").load("k").add().store("sum");
     b.load("k").push(1i64).add().store("k");
     b.jump("inner_loop");
@@ -65,7 +68,10 @@ pub fn build_generic_agent(params: AgentParams) -> AgentImage {
     b.push(0i64).store("i");
     b.label("input_loop");
     b.load("i").load("inputs").ge().jump_if_true("inputs_done");
-    b.load("collected").input("elem").list_push().store("collected");
+    b.load("collected")
+        .input("elem")
+        .list_push()
+        .store("collected");
     b.load("i").push(1i64).add().store("i");
     b.jump("input_loop");
     b.label("inputs_done");
@@ -125,9 +131,20 @@ mod tests {
 
     #[test]
     fn labels_match_paper_rows() {
-        assert_eq!(AgentParams { cycles: 1, inputs: 1 }.label(), "1 input, 1 cycle");
         assert_eq!(
-            AgentParams { cycles: 10000, inputs: 100 }.label(),
+            AgentParams {
+                cycles: 1,
+                inputs: 1
+            }
+            .label(),
+            "1 input, 1 cycle"
+        );
+        assert_eq!(
+            AgentParams {
+                cycles: 10000,
+                inputs: 100
+            }
+            .label(),
             "100 inputs, 10000 cycles"
         );
     }
@@ -144,7 +161,10 @@ mod tests {
 
     #[test]
     fn generic_agent_visits_three_hosts_and_computes() {
-        let params = AgentParams { cycles: 2, inputs: 3 };
+        let params = AgentParams {
+            cycles: 2,
+            inputs: 3,
+        };
         let agent = build_generic_agent(params);
         let mut hosts = build_three_hosts(params, &DsaParams::test_group_256(), 42);
         let log = EventLog::new();
@@ -162,25 +182,47 @@ mod tests {
 
     #[test]
     fn cycle_work_scales_with_cycles() {
-        let small = build_generic_agent(AgentParams { cycles: 1, inputs: 1 });
-        let big = build_generic_agent(AgentParams { cycles: 3, inputs: 1 });
+        let small = build_generic_agent(AgentParams {
+            cycles: 1,
+            inputs: 1,
+        });
+        let big = build_generic_agent(AgentParams {
+            cycles: 3,
+            inputs: 1,
+        });
         let mut hosts_small = build_three_hosts(
-            AgentParams { cycles: 1, inputs: 1 },
+            AgentParams {
+                cycles: 1,
+                inputs: 1,
+            },
             &DsaParams::test_group_256(),
             1,
         );
         let mut hosts_big = build_three_hosts(
-            AgentParams { cycles: 3, inputs: 1 },
+            AgentParams {
+                cycles: 3,
+                inputs: 1,
+            },
             &DsaParams::test_group_256(),
             1,
         );
         let log = EventLog::new();
-        let a = run_plain_journey(&mut hosts_small, "h1", small, &ExecConfig::default(), &log, 10)
-            .unwrap();
-        let b = run_plain_journey(&mut hosts_big, "h1", big, &ExecConfig::default(), &log, 10)
-            .unwrap();
+        let a = run_plain_journey(
+            &mut hosts_small,
+            "h1",
+            small,
+            &ExecConfig::default(),
+            &log,
+            10,
+        )
+        .unwrap();
+        let b =
+            run_plain_journey(&mut hosts_big, "h1", big, &ExecConfig::default(), &log, 10).unwrap();
         let steps_a: u64 = a.records.iter().map(|r| r.outcome.steps).sum();
         let steps_b: u64 = b.records.iter().map(|r| r.outcome.steps).sum();
-        assert!(steps_b > 2 * steps_a, "3 cycles must run ~3x the instructions of 1");
+        assert!(
+            steps_b > 2 * steps_a,
+            "3 cycles must run ~3x the instructions of 1"
+        );
     }
 }

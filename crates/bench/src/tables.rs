@@ -14,15 +14,30 @@ use crate::generic_agent::{build_generic_agent, build_three_hosts, AgentParams};
 /// runs ~80M instructions per session, far beyond the default runaway
 /// guard.
 fn bench_exec() -> ExecConfig {
-    ExecConfig { step_limit: u64::MAX, ..Default::default() }
+    ExecConfig {
+        step_limit: u64::MAX,
+        ..Default::default()
+    }
 }
 
 /// The four measured configurations, in the paper's row order.
 pub const PAPER_CONFIGS: [AgentParams; 4] = [
-    AgentParams { cycles: 1, inputs: 1 },
-    AgentParams { cycles: 1, inputs: 100 },
-    AgentParams { cycles: 10000, inputs: 1 },
-    AgentParams { cycles: 10000, inputs: 100 },
+    AgentParams {
+        cycles: 1,
+        inputs: 1,
+    },
+    AgentParams {
+        cycles: 1,
+        inputs: 100,
+    },
+    AgentParams {
+        cycles: 10000,
+        inputs: 1,
+    },
+    AgentParams {
+        cycles: 10000,
+        inputs: 100,
+    },
 ];
 
 /// One measurement in the paper's cost decomposition.
@@ -97,13 +112,22 @@ pub fn measure_plain(params: AgentParams, dsa: &DsaParams, seed: u64) -> Measure
             let bytes = to_wire(&image);
             // The signature travels alongside; here we verify the sender's
             // signature over the serialized agent.
-            let host = hosts.iter_mut().find(|h| h.id() == &from).expect("sender exists");
+            let host = hosts
+                .iter_mut()
+                .find(|h| h.id() == &from)
+                .expect("sender exists");
             let envelope = host.sign(bytes);
-            assert!(envelope.verify(&directory).is_ok(), "whole-agent signature verifies");
+            assert!(
+                envelope.verify(&directory).is_ok(),
+                "whole-agent signature verifies"
+            );
             m.sign_verify += t.elapsed();
         }
 
-        let host_index = hosts.iter().position(|h| h.id() == &current).expect("host exists");
+        let host_index = hosts
+            .iter()
+            .position(|h| h.id() == &current)
+            .expect("host exists");
         let t = Instant::now();
         let record: SessionRecord = hosts[host_index]
             .execute_session(&image, &exec, &log)
@@ -130,7 +154,10 @@ pub fn measure_plain(params: AgentParams, dsa: &DsaParams, seed: u64) -> Measure
 pub fn measure_protected(params: AgentParams, dsa: &DsaParams, seed: u64) -> Measurement {
     let mut hosts = build_three_hosts(params, dsa, seed);
     let agent = build_generic_agent(params);
-    let config = ProtocolConfig { exec: bench_exec(), ..Default::default() };
+    let config = ProtocolConfig {
+        exec: bench_exec(),
+        ..Default::default()
+    };
     let log = EventLog::new();
 
     let started = Instant::now();
@@ -217,7 +244,10 @@ mod tests {
     /// Tiny configuration so the test suite stays fast; the shape
     /// assertions mirror the paper's qualitative findings.
     fn tiny() -> AgentParams {
-        AgentParams { cycles: 5, inputs: 5 }
+        AgentParams {
+            cycles: 5,
+            inputs: 5,
+        }
     }
 
     #[test]
@@ -237,13 +267,19 @@ mod tests {
         // "the computation is roughly doubled" — with one untrusted host
         // in three, the protected run re-executes one session: cycle time
         // grows by about a third, and overall grows but stays within ~3x.
-        let params = AgentParams { cycles: 200, inputs: 1 };
+        let params = AgentParams {
+            cycles: 200,
+            inputs: 1,
+        };
         let dsa = DsaParams::test_group_256();
         let plain = measure_plain(params, &dsa, 11);
         let protected = measure_protected(params, &dsa, 11);
         let f = protected.cycle.as_secs_f64() / plain.cycle.as_secs_f64();
         assert!(f > 1.05, "protected must re-execute: factor {f}");
-        assert!(f < 2.5, "only one of three sessions is re-executed: factor {f}");
+        assert!(
+            f < 2.5,
+            "only one of three sessions is re-executed: factor {f}"
+        );
     }
 
     #[test]

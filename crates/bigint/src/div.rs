@@ -83,9 +83,7 @@ impl Uint {
             let mut qhat = top / v[n - 1] as u128;
             let mut rhat = top % v[n - 1] as u128;
             // Correct qhat: at most two adjustments (Knuth Theorem B).
-            while qhat >= b
-                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >= b || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v[n - 1] as u128;
                 if rhat >= b {

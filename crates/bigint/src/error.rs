@@ -18,15 +18,21 @@ enum ErrorKind {
 
 impl ParseUintError {
     pub(crate) fn empty() -> Self {
-        ParseUintError { kind: ErrorKind::Empty }
+        ParseUintError {
+            kind: ErrorKind::Empty,
+        }
     }
 
     pub(crate) fn invalid_digit() -> Self {
-        ParseUintError { kind: ErrorKind::InvalidDigit }
+        ParseUintError {
+            kind: ErrorKind::InvalidDigit,
+        }
     }
 
     pub(crate) fn overflow() -> Self {
-        ParseUintError { kind: ErrorKind::Overflow }
+        ParseUintError {
+            kind: ErrorKind::Overflow,
+        }
     }
 }
 

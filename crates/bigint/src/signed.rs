@@ -14,22 +14,34 @@ pub(crate) struct Int {
 
 impl Int {
     pub(crate) fn zero() -> Self {
-        Int { negative: false, magnitude: Uint::zero() }
+        Int {
+            negative: false,
+            magnitude: Uint::zero(),
+        }
     }
 
     pub(crate) fn one() -> Self {
-        Int { negative: false, magnitude: Uint::one() }
+        Int {
+            negative: false,
+            magnitude: Uint::one(),
+        }
     }
 
     pub(crate) fn from_uint(u: Uint) -> Self {
-        Int { negative: false, magnitude: u }
+        Int {
+            negative: false,
+            magnitude: u,
+        }
     }
 
     fn normalized(negative: bool, magnitude: Uint) -> Self {
         if magnitude.is_zero() {
             Int::zero()
         } else {
-            Int { negative, magnitude }
+            Int {
+                negative,
+                magnitude,
+            }
         }
     }
 
@@ -48,11 +60,16 @@ impl Int {
                     Ordering::Equal => Int::zero(),
                     Ordering::Greater => Int::normalized(
                         self.negative,
-                        self.magnitude.checked_sub(&other.magnitude).expect("greater"),
+                        self.magnitude
+                            .checked_sub(&other.magnitude)
+                            .expect("greater"),
                     ),
                     Ordering::Less => Int::normalized(
                         other.negative,
-                        other.magnitude.checked_sub(&self.magnitude).expect("greater"),
+                        other
+                            .magnitude
+                            .checked_sub(&self.magnitude)
+                            .expect("greater"),
                     ),
                 }
             }

@@ -77,7 +77,7 @@ impl Uint {
     /// assert!(!Uint::from(7u64).is_even());
     /// ```
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns the number of significant bits (`0` for zero).
@@ -100,7 +100,7 @@ impl Uint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / Self::LIMB_BITS;
         let off = i % Self::LIMB_BITS;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Interprets big-endian bytes as an unsigned integer.
@@ -175,8 +175,14 @@ impl Uint {
     /// Returns [`ParseUintError`] if the string is empty or contains a
     /// non-hex character.
     pub fn from_hex(s: &str) -> Result<Self, ParseUintError> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
-        let s: String = s.chars().filter(|c| !c.is_whitespace() && *c != '_').collect();
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
+        let s: String = s
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '_')
+            .collect();
         if s.is_empty() {
             return Err(ParseUintError::empty());
         }
@@ -186,8 +192,8 @@ impl Uint {
         while pos > 0 {
             let start = pos.saturating_sub(16);
             let chunk = std::str::from_utf8(&bytes[start..pos]).expect("ascii hex");
-            let limb = u64::from_str_radix(chunk, 16)
-                .map_err(|_| ParseUintError::invalid_digit())?;
+            let limb =
+                u64::from_str_radix(chunk, 16).map_err(|_| ParseUintError::invalid_digit())?;
             limbs.push(limb);
             pos = start;
         }
@@ -219,7 +225,8 @@ impl Uint {
             let take = (bytes.len() - pos).min(19);
             let chunk = std::str::from_utf8(&bytes[pos..pos + take]).expect("ascii decimal");
             let val: u64 = chunk.parse().map_err(|_| ParseUintError::invalid_digit())?;
-            let scale = 10u64.pow(take as u32 - 1) // avoid overflow for take == 19? 10^18 fits
+            let scale = 10u64
+                .pow(take as u32 - 1) // avoid overflow for take == 19? 10^18 fits
                 .checked_mul(10)
                 .unwrap_or(10_000_000_000_000_000_000);
             acc = &(&acc * &Uint::from(scale)) + &Uint::from(val);
@@ -419,7 +426,13 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let v = Uint::from_hex(s).unwrap();
             assert_eq!(v.to_hex(), s);
         }
@@ -427,12 +440,21 @@ mod tests {
         assert!(Uint::from_hex("xyz").is_err());
         assert_eq!(Uint::from_hex("0x10").unwrap(), Uint::from(16u64));
         assert_eq!(Uint::from_hex("00ff").unwrap(), Uint::from(255u64));
-        assert_eq!(Uint::from_hex("DE AD_be ef").unwrap(), Uint::from(0xdeadbeefu64));
+        assert_eq!(
+            Uint::from_hex("DE AD_be ef").unwrap(),
+            Uint::from(0xdeadbeefu64)
+        );
     }
 
     #[test]
     fn decimal_round_trip() {
-        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             let v = Uint::from_decimal(s).unwrap();
             assert_eq!(v.to_string(), s);
         }

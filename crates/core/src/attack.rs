@@ -87,7 +87,10 @@ impl AttackArea {
     /// Whether the paper classifies the area as not preventable at all by
     /// software means (areas 9 and 12).
     pub fn unpreventable(&self) -> bool {
-        matches!(self, AttackArea::DenialOfExecution | AttackArea::FalseSystemCallResults)
+        matches!(
+            self,
+            AttackArea::DenialOfExecution | AttackArea::FalseSystemCallResults
+        )
     }
 
     /// Whether a *reference-state* mechanism can, in principle, detect

@@ -9,9 +9,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use refstate_crypto::{sha256, Digest};
-use refstate_vm::{
-    run_session, DataState, ExecConfig, Program, ReplayIo, SessionEnd, VmError,
-};
+use refstate_vm::{run_session, DataState, ExecConfig, Program, ReplayIo, SessionEnd, VmError};
 use refstate_wire::to_wire;
 
 use crate::compare::{ExactCompare, StateCompare};
@@ -89,7 +87,11 @@ impl fmt::Display for FailureReason {
                 }
                 Ok(())
             }
-            FailureReason::StateMismatch { claimed, reference, diff } => {
+            FailureReason::StateMismatch {
+                claimed,
+                reference,
+                diff,
+            } => {
                 write!(
                     f,
                     "resulting state {} differs from reference state {} in {} variable(s)",
@@ -151,10 +153,16 @@ pub(crate) fn state_digest(state: &DataState) -> Digest {
 }
 
 /// Renders the variable-level difference between two states.
-pub(crate) fn state_diff(claimed: &DataState, reference: &DataState) -> Vec<(String, String, String)> {
+pub(crate) fn state_diff(
+    claimed: &DataState,
+    reference: &DataState,
+) -> Vec<(String, String, String)> {
     let mut diff = Vec::new();
-    let names: std::collections::BTreeSet<&str> =
-        claimed.iter().map(|(k, _)| k).chain(reference.iter().map(|(k, _)| k)).collect();
+    let names: std::collections::BTreeSet<&str> = claimed
+        .iter()
+        .map(|(k, _)| k)
+        .chain(reference.iter().map(|(k, _)| k))
+        .collect();
     for name in names {
         let c = claimed.get(name);
         let r = reference.get(name);
@@ -201,7 +209,9 @@ impl CheckingAlgorithm for RuleChecker {
         if report.passed() {
             CheckOutcome::Passed
         } else {
-            CheckOutcome::Failed(FailureReason::RuleViolated { violations: report.violations })
+            CheckOutcome::Failed(FailureReason::RuleViolated {
+                violations: report.violations,
+            })
         }
     }
 
@@ -237,13 +247,19 @@ impl Default for ReExecutionChecker {
 impl ReExecutionChecker {
     /// Re-execution with exact state comparison.
     pub fn new() -> Self {
-        ReExecutionChecker { compare: Arc::new(ExactCompare), check_end: true }
+        ReExecutionChecker {
+            compare: Arc::new(ExactCompare),
+            check_end: true,
+        }
     }
 
     /// Re-execution with a custom comparator (the framework's "compare
     /// method … specified by the agent programmer").
     pub fn with_compare(compare: Arc<dyn StateCompare + Send + Sync>) -> Self {
-        ReExecutionChecker { compare, check_end: true }
+        ReExecutionChecker {
+            compare,
+            check_end: true,
+        }
     }
 
     /// Disables the migration-target check.
@@ -273,7 +289,9 @@ impl CheckingAlgorithm for ReExecutionChecker {
         let outcome = match run_session(ctx.program, initial.clone(), &mut replay, &ctx.exec) {
             Ok(outcome) => outcome,
             Err(e) => {
-                return CheckOutcome::Failed(FailureReason::ReplayFailed { error: e.to_string() })
+                return CheckOutcome::Failed(FailureReason::ReplayFailed {
+                    error: e.to_string(),
+                })
             }
         };
         if !replay.fully_consumed() {
@@ -326,7 +344,9 @@ pub struct ProgramChecker {
 
 impl fmt::Debug for ProgramChecker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ProgramChecker").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("ProgramChecker")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -337,7 +357,11 @@ impl ProgramChecker {
         required: ReferenceDataRequest,
         body: impl Fn(&CheckContext<'_>) -> CheckOutcome + Send + Sync + 'static,
     ) -> Self {
-        ProgramChecker { name, required, body: Arc::new(body) }
+        ProgramChecker {
+            name,
+            required,
+            body: Arc::new(body),
+        }
     }
 }
 
@@ -402,7 +426,11 @@ mod tests {
     fn reexecution_passes_honest_session() {
         let (program, data) = session_data(None);
         let checker = ReExecutionChecker::new();
-        let ctx = CheckContext { program: &program, data: &data, exec: ExecConfig::default() };
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
         assert_eq!(checker.check(&ctx), CheckOutcome::Passed);
     }
 
@@ -410,7 +438,11 @@ mod tests {
     fn reexecution_catches_tampered_state() {
         let (program, data) = session_data(Some(("double", Value::Int(9999))));
         let checker = ReExecutionChecker::new();
-        let ctx = CheckContext { program: &program, data: &data, exec: ExecConfig::default() };
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
         let outcome = checker.check(&ctx);
         match outcome {
             CheckOutcome::Failed(FailureReason::StateMismatch { diff, .. }) => {
@@ -428,7 +460,11 @@ mod tests {
         let (program, mut data) = session_data(None);
         data.claimed_next = Some(Some("mallory".into()));
         let checker = ReExecutionChecker::new();
-        let ctx = CheckContext { program: &program, data: &data, exec: ExecConfig::default() };
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
         assert!(matches!(
             checker.check(&ctx),
             CheckOutcome::Failed(FailureReason::EndMismatch { .. })
@@ -450,7 +486,11 @@ mod tests {
         });
         data.input = Some(padded);
         let checker = ReExecutionChecker::new();
-        let ctx = CheckContext { program: &program, data: &data, exec: ExecConfig::default() };
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
         assert!(matches!(
             checker.check(&ctx),
             CheckOutcome::Failed(FailureReason::ReplayFailed { .. })
@@ -462,10 +502,16 @@ mod tests {
         let (program, mut data) = session_data(None);
         data.input = None;
         let checker = ReExecutionChecker::new();
-        let ctx = CheckContext { program: &program, data: &data, exec: ExecConfig::default() };
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
         assert_eq!(
             checker.check(&ctx),
-            CheckOutcome::Failed(FailureReason::MissingData { kind: ReferenceDataKind::Input })
+            CheckOutcome::Failed(FailureReason::MissingData {
+                kind: ReferenceDataKind::Input
+            })
         );
     }
 
@@ -480,7 +526,11 @@ mod tests {
                 Expr::Mul(Box::new(Expr::var("quote")), Box::new(Expr::int(2))),
             ),
         ));
-        let ctx = CheckContext { program: &program, data: &data, exec: ExecConfig::default() };
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
         assert_eq!(good.check(&ctx), CheckOutcome::Passed);
         assert_eq!(good.name(), "rules");
 
@@ -492,7 +542,11 @@ mod tests {
             rs.set("quote", Value::Int(10));
             (p, d)
         };
-        let ctx = CheckContext { program: &program, data: &data, exec: ExecConfig::default() };
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
         assert_eq!(
             good.check(&ctx),
             CheckOutcome::Passed,
@@ -520,11 +574,19 @@ mod tests {
                 }
             },
         );
-        let ctx = CheckContext { program: &program, data: &data, exec: ExecConfig::default() };
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
         assert_eq!(checker.check(&ctx), CheckOutcome::Passed);
 
         let (program, data) = session_data(Some(("quote", Value::Int(-5))));
-        let ctx = CheckContext { program: &program, data: &data, exec: ExecConfig::default() };
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
         assert!(matches!(
             checker.check(&ctx),
             CheckOutcome::Failed(FailureReason::ProgramRejected { .. })
@@ -533,13 +595,18 @@ mod tests {
 
     #[test]
     fn failure_reasons_render() {
-        let r = FailureReason::MissingData { kind: ReferenceDataKind::Input };
+        let r = FailureReason::MissingData {
+            kind: ReferenceDataKind::Input,
+        };
         assert!(r.to_string().contains("input"));
         let r = FailureReason::RuleViolated {
             violations: vec![("money".into(), "predicate is false".into())],
         };
         assert!(r.to_string().contains("money"));
-        let r = FailureReason::EndMismatch { claimed: Some("x".into()), reference: None };
+        let r = FailureReason::EndMismatch {
+            claimed: Some("x".into()),
+            reference: None,
+        };
         assert!(r.to_string().contains("differs"));
     }
 
@@ -549,7 +616,13 @@ mod tests {
         let b: DataState = [("y".to_string(), Value::Int(2))].into_iter().collect();
         let diff = state_diff(&a, &b);
         assert_eq!(diff.len(), 2);
-        assert_eq!(diff[0], ("x".to_string(), "1".to_string(), "<absent>".to_string()));
-        assert_eq!(diff[1], ("y".to_string(), "<absent>".to_string(), "2".to_string()));
+        assert_eq!(
+            diff[0],
+            ("x".to_string(), "1".to_string(), "<absent>".to_string())
+        );
+        assert_eq!(
+            diff[1],
+            ("y".to_string(), "<absent>".to_string(), "2".to_string())
+        );
     }
 }

@@ -47,7 +47,9 @@ pub struct IgnoreVars {
 impl IgnoreVars {
     /// Creates a comparator ignoring the given variables.
     pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(vars: I) -> Self {
-        IgnoreVars { ignored: vars.into_iter().map(Into::into).collect() }
+        IgnoreVars {
+            ignored: vars.into_iter().map(Into::into).collect(),
+        }
     }
 
     fn strip(&self, state: &DataState) -> DataState {
@@ -80,7 +82,9 @@ impl UnorderedLists {
     /// Creates a comparator that sorts the named list variables before
     /// comparing.
     pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(vars: I) -> Self {
-        UnorderedLists { unordered: vars.into_iter().map(Into::into).collect() }
+        UnorderedLists {
+            unordered: vars.into_iter().map(Into::into).collect(),
+        }
     }
 
     fn normalize(&self, state: &DataState) -> DataState {
@@ -116,7 +120,10 @@ mod tests {
     use super::*;
 
     fn state(pairs: &[(&str, Value)]) -> DataState {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -165,14 +172,11 @@ mod tests {
     #[test]
     fn unordered_applies_only_to_named_vars() {
         let cmp = UnorderedLists::new(["free"]);
-        let a = state(&[(
-            "ordered",
-            Value::List(vec![Value::Int(2), Value::Int(1)]),
-        )]);
-        let b = state(&[(
-            "ordered",
-            Value::List(vec![Value::Int(1), Value::Int(2)]),
-        )]);
-        assert!(!cmp.equivalent(&a, &b), "unlisted lists stay order-sensitive");
+        let a = state(&[("ordered", Value::List(vec![Value::Int(2), Value::Int(1)]))]);
+        let b = state(&[("ordered", Value::List(vec![Value::Int(1), Value::Int(2)]))]);
+        assert!(
+            !cmp.equivalent(&a, &b),
+            "unlisted lists stay order-sensitive"
+        );
     }
 }

@@ -12,9 +12,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use refstate_platform::{
-    AgentImage, Event, EventLog, Host, HostId, SessionRecord,
-};
+use refstate_platform::{AgentImage, Event, EventLog, Host, HostId, SessionRecord};
 use refstate_vm::{DataState, ExecConfig, Program, SessionEnd, TraceMode, VmError};
 
 use crate::checker::{CheckContext, CheckOutcome, CheckingAlgorithm};
@@ -206,12 +204,19 @@ pub fn run_framework_journey(
 ) -> Result<FrameworkOutcome, FrameworkError> {
     let ProtectedAgent { mut image, config } = agent;
     let mut exec = config.exec.clone();
-    if config.algorithm.required_data().contains(ReferenceDataKind::ExecutionLog) {
+    if config
+        .algorithm
+        .required_data()
+        .contains(ReferenceDataKind::ExecutionLog)
+    {
         exec.trace_mode = TraceMode::Full;
     }
 
     let mut current = start.into();
-    log.record(Event::AgentCreated { agent: image.id.clone(), home: current.clone() });
+    log.record(Event::AgentCreated {
+        agent: image.id.clone(),
+        home: current.clone(),
+    });
     let mut path = vec![current.clone()];
     let mut verdicts: Vec<CheckVerdict> = Vec::new();
     let mut route = SignedRoute::new(image.id.clone());
@@ -223,14 +228,18 @@ pub fn run_framework_journey(
     let mut hops = 0usize;
     loop {
         if hops > config.max_hops {
-            return Err(FrameworkError::TooManyHops { limit: config.max_hops });
+            return Err(FrameworkError::TooManyHops {
+                limit: config.max_hops,
+            });
         }
         hops += 1;
 
         let host_index = hosts
             .iter()
             .position(|h| h.id() == &current)
-            .ok_or_else(|| FrameworkError::UnknownHost { host: current.clone() })?;
+            .ok_or_else(|| FrameworkError::UnknownHost {
+                host: current.clone(),
+            })?;
 
         // --- checkAfterSession: first action on arrival (paper Fig. 4) ---
         if config.moment == CheckMoment::AfterSession {
@@ -243,7 +252,11 @@ pub fn run_framework_journey(
                 if !(config.skip_trusted && trusted_executor) {
                     let facilities = HostFacilities::new(&record);
                     let data = facilities.provide(&config.algorithm.required_data());
-                    let ctx = CheckContext { program: &image.program, data: &data, exec: exec.clone() };
+                    let ctx = CheckContext {
+                        program: &image.program,
+                        data: &data,
+                        exec: exec.clone(),
+                    };
                     let outcome = config.algorithm.check(&ctx);
                     let passed = outcome.passed();
                     log.record(Event::CheckPerformed {
@@ -339,6 +352,7 @@ pub fn run_framework_journey(
     // --- checkAfterSession for the final session (the last host's own
     // session is checked by the owner/home conceptually; here the journey
     // ends, and the final session was executed by the halting host) ---
+    let mut fraud = None;
     if config.moment == CheckMoment::AfterSession {
         if let Some((executor, record)) = previous.take() {
             // The halting host's session is checked by the owner — modelled
@@ -349,7 +363,7 @@ pub fn run_framework_journey(
                 .map(|h| h.is_trusted())
                 .unwrap_or(false);
             if !(config.skip_trusted && trusted_executor) {
-                run_task_check(
+                fraud = run_task_check(
                     &image.program,
                     &exec,
                     &config,
@@ -366,7 +380,6 @@ pub fn run_framework_journey(
     }
 
     // --- checkAfterTask: evaluate every retained session at the last host ---
-    let mut fraud = None;
     if config.moment == CheckMoment::AfterTask {
         let last = current.clone();
         for (seq, (executor, record)) in retained.iter().enumerate() {
@@ -380,7 +393,11 @@ pub fn run_framework_journey(
             }
             let facilities = HostFacilities::new(record);
             let data = facilities.provide(&config.algorithm.required_data());
-            let ctx = CheckContext { program: &image.program, data: &data, exec: exec.clone() };
+            let ctx = CheckContext {
+                program: &image.program,
+                data: &data,
+                exec: exec.clone(),
+            };
             let outcome = config.algorithm.check(&ctx);
             log.record(Event::CheckPerformed {
                 checker: last.clone(),
@@ -429,11 +446,19 @@ pub fn run_framework_journey(
         }
     }
 
-    Ok(FrameworkOutcome { final_state: image.state, path, verdicts, fraud, route })
+    Ok(FrameworkOutcome {
+        final_state: image.state,
+        path,
+        verdicts,
+        fraud,
+        route,
+    })
 }
 
-/// Checks one session at task end, returning fraud through the outcome
-/// (helper for the final-session check in AfterSession mode).
+/// Checks one session at task end, returning the fraud evidence of a
+/// failed check (helper for the final-session check in AfterSession mode:
+/// an attack on the *last* host of the route must surface as fraud, not
+/// just as a failed verdict).
 #[allow(clippy::too_many_arguments)]
 fn run_task_check(
     program: &Program,
@@ -443,29 +468,52 @@ fn run_task_check(
     checker: &HostId,
     seq: u64,
     record: &SessionRecord,
-    _image: &AgentImage,
+    image: &AgentImage,
     log: &EventLog,
     verdicts: &mut Vec<CheckVerdict>,
-) -> Result<(), FrameworkError> {
+) -> Result<Option<FraudEvidence>, FrameworkError> {
     let facilities = HostFacilities::new(record);
     let data = facilities.provide(&config.algorithm.required_data());
-    let ctx = CheckContext { program, data: &data, exec: exec.clone() };
+    let ctx = CheckContext {
+        program,
+        data: &data,
+        exec: exec.clone(),
+    };
     let outcome = config.algorithm.check(&ctx);
     log.record(Event::CheckPerformed {
         checker: checker.clone(),
         checked: executor.clone(),
         passed: outcome.passed(),
     });
+    let failure = match outcome {
+        CheckOutcome::Passed => None,
+        CheckOutcome::Failed(reason) => Some(reason),
+    };
     verdicts.push(CheckVerdict {
         checked: executor.clone(),
         checker: checker.clone(),
         seq,
-        failure: match outcome {
-            CheckOutcome::Passed => None,
-            CheckOutcome::Failed(reason) => Some(reason),
-        },
+        failure: failure.clone(),
     });
-    Ok(())
+    Ok(failure.map(|reason| {
+        log.record(Event::FraudDetected {
+            culprit: executor.clone(),
+            detector: checker.clone(),
+            reason: reason.to_string(),
+        });
+        FraudEvidence {
+            culprit: executor.clone(),
+            detector: checker.clone(),
+            agent: image.id.clone(),
+            seq,
+            reason,
+            initial_state: record.initial_state.clone(),
+            claimed_state: record.outcome.state.clone(),
+            reference_state: reference_state_for_evidence(program, &data, exec),
+            input: record.outcome.input_log.clone(),
+            signed_claim: None,
+        }
+    }))
 }
 
 fn append_route_entry(route: &mut SignedRoute, host: &mut Host) {
@@ -546,9 +594,21 @@ mod tests {
             h2 = h2.malicious(a);
         }
         vec![
-            Host::new(HostSpec::new("h1").trusted().with_input("n", Value::Int(10)), &params, &mut rng),
+            Host::new(
+                HostSpec::new("h1")
+                    .trusted()
+                    .with_input("n", Value::Int(10)),
+                &params,
+                &mut rng,
+            ),
             Host::new(h2, &params, &mut rng),
-            Host::new(HostSpec::new("h3").trusted().with_input("n", Value::Int(30)), &params, &mut rng),
+            Host::new(
+                HostSpec::new("h3")
+                    .trusted()
+                    .with_input("n", Value::Int(30)),
+                &params,
+                &mut rng,
+            ),
         ]
     }
 
@@ -596,11 +656,17 @@ mod tests {
         assert_eq!(fraud.detector.as_str(), "h3");
         assert_eq!(fraud.claimed_state.get_int("total"), Some(1));
         assert_eq!(
-            fraud.reference_state.as_ref().and_then(|s| s.get_int("total")),
+            fraud
+                .reference_state
+                .as_ref()
+                .and_then(|s| s.get_int("total")),
             Some(30),
             "reference re-execution shows what h2 should have produced"
         );
-        assert_eq!(log.count_matching(|e| matches!(e, Event::FraudDetected { .. })), 1);
+        assert_eq!(
+            log.count_matching(|e| matches!(e, Event::FraudDetected { .. })),
+            1
+        );
     }
 
     #[test]
@@ -687,8 +753,10 @@ mod tests {
             name: "total".into(),
             value: Value::Int(12345),
         }));
-        let rules = RuleSet::new()
-            .rule("non-negative", Pred::cmp(CmpOp::Ge, Expr::var("total"), Expr::int(0)));
+        let rules = RuleSet::new().rule(
+            "non-negative",
+            Pred::cmp(CmpOp::Ge, Expr::var("total"), Expr::int(0)),
+        );
         let config = ProtectionConfig::new(Arc::new(RuleChecker::new(rules)));
         let log = EventLog::new();
         let outcome = run_framework_journey(
@@ -698,7 +766,10 @@ mod tests {
             &log,
         )
         .unwrap();
-        assert!(outcome.fraud.is_none(), "weak rules cannot see this tampering");
+        assert!(
+            outcome.fraud.is_none(),
+            "weak rules cannot see this tampering"
+        );
         assert_eq!(outcome.final_state.get_int("total"), Some(12375));
     }
 

@@ -30,12 +30,8 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use refstate_crypto::{sha256, Digest, KeyDirectory, Signed};
-use refstate_platform::{
-    AgentImage, AgentId, Event, EventLog, Host, HostId,
-};
-use refstate_vm::{
-    run_session, DataState, ExecConfig, InputLog, ReplayIo, SessionEnd, VmError,
-};
+use refstate_platform::{AgentId, AgentImage, Event, EventLog, Host, HostId};
+use refstate_vm::{run_session, DataState, ExecConfig, InputLog, ReplayIo, SessionEnd, VmError};
 use refstate_wire::{to_wire, Decode, Encode, Reader, WireError, Writer};
 
 use crate::checker::{state_diff, FailureReason};
@@ -103,7 +99,12 @@ impl Decode for SessionCertificate {
             next: match r.take_u8()? {
                 0 => None,
                 1 => Some(HostId::decode(r)?),
-                tag => return Err(WireError::InvalidTag { context: "SessionCertificate.next", tag }),
+                tag => {
+                    return Err(WireError::InvalidTag {
+                        context: "SessionCertificate.next",
+                        tag,
+                    })
+                }
             },
         })
     }
@@ -157,7 +158,11 @@ pub struct ProtocolConfig {
 
 impl Default for ProtocolConfig {
     fn default() -> Self {
-        ProtocolConfig { exec: ExecConfig::default(), skip_trusted: true, max_hops: 64 }
+        ProtocolConfig {
+            exec: ExecConfig::default(),
+            skip_trusted: true,
+            max_hops: 64,
+        }
     }
 }
 
@@ -266,11 +271,7 @@ impl ProtocolOutcome {
 /// Whether an executor's session gets re-executed by the receiver, honouring
 /// both the trusted-host optimization and collusion between consecutive
 /// hosts.
-fn receiver_checks(
-    config: &ProtocolConfig,
-    executor: &Host,
-    receiver_id: &HostId,
-) -> bool {
+fn receiver_checks(config: &ProtocolConfig, executor: &Host, receiver_id: &HostId) -> bool {
     if config.skip_trusted && executor.is_trusted() {
         return false;
     }
@@ -283,6 +284,20 @@ fn receiver_checks(
         }
     }
     true
+}
+
+/// Builds the key directory (the assumed PKI) for a host set.
+///
+/// Fleet-scale drivers that run many journeys over host sets with pooled
+/// keys build this once and pass it to
+/// [`run_protected_journey_with_directory`] instead of paying the
+/// registration walk per journey.
+pub fn host_directory(hosts: &[Host]) -> KeyDirectory {
+    let mut directory = KeyDirectory::new();
+    for host in hosts.iter() {
+        directory.register(host.id().as_str(), host.public_key().clone());
+    }
+    directory
 }
 
 /// Runs the example protocol over a host path.
@@ -298,17 +313,38 @@ pub fn run_protected_journey(
     config: &ProtocolConfig,
     log: &EventLog,
 ) -> Result<ProtocolOutcome, ProtocolError> {
+    let directory = host_directory(hosts);
+    run_protected_journey_with_directory(hosts, start, agent, config, log, &directory)
+}
+
+/// [`run_protected_journey`] against a caller-supplied key directory.
+///
+/// The batch-friendly entry point: a scenario engine reusing one
+/// [`ProtocolConfig`] and one PKI across thousands of journeys calls this
+/// directly. The directory must cover every host in `hosts`; missing keys
+/// surface as failed signature verifications (a detected fraud), exactly
+/// as a broken PKI would.
+///
+/// # Errors
+///
+/// See [`ProtocolError`]. Detected fraud is reported in the outcome, not
+/// as an error.
+pub fn run_protected_journey_with_directory(
+    hosts: &mut [Host],
+    start: impl Into<HostId>,
+    agent: AgentImage,
+    config: &ProtocolConfig,
+    log: &EventLog,
+    directory: &KeyDirectory,
+) -> Result<ProtocolOutcome, ProtocolError> {
     let journey_start = Instant::now();
     let mut stats = ProtocolStats::default();
 
-    // The key directory every host consults (the assumed PKI).
-    let mut directory = KeyDirectory::new();
-    for host in hosts.iter() {
-        directory.register(host.id().as_str(), host.public_key().clone());
-    }
-
     let mut current = start.into();
-    log.record(Event::AgentCreated { agent: agent.id.clone(), home: current.clone() });
+    log.record(Event::AgentCreated {
+        agent: agent.id.clone(),
+        home: current.clone(),
+    });
     let mut path = vec![current.clone()];
     let mut verdicts = Vec::new();
     let mut commitments = Vec::new();
@@ -320,17 +356,21 @@ pub fn run_protected_journey(
 
     loop {
         if path.len() > config.max_hops {
-            return Err(ProtocolError::TooManyHops { limit: config.max_hops });
+            return Err(ProtocolError::TooManyHops {
+                limit: config.max_hops,
+            });
         }
         let host_index = hosts
             .iter()
             .position(|h| h.id() == &current)
-            .ok_or_else(|| ProtocolError::UnknownHost { host: current.clone() })?;
+            .ok_or_else(|| ProtocolError::UnknownHost {
+                host: current.clone(),
+            })?;
 
         // --- arrival: verify and (maybe) re-execute the previous session ---
         if let Some(signed_cert) = incoming.take() {
             let t = Instant::now();
-            let sig_ok = signed_cert.verify(&directory).is_ok();
+            let sig_ok = signed_cert.verify(directory).is_ok();
             stats.sign_verify += t.elapsed();
             stats.verifications += 1;
 
@@ -338,7 +378,9 @@ pub fn run_protected_journey(
             let executor_index = hosts
                 .iter()
                 .position(|h| h.id() == &cert.executor)
-                .ok_or_else(|| ProtocolError::UnknownHost { host: cert.executor.clone() })?;
+                .ok_or_else(|| ProtocolError::UnknownHost {
+                    host: cert.executor.clone(),
+                })?;
 
             let mut failure: Option<FailureReason> = None;
             let mut reference_state = None;
@@ -351,14 +393,19 @@ pub fn run_protected_journey(
                 // checkAfterSession: re-execute the previous session.
                 let t = Instant::now();
                 let mut replay = ReplayIo::new(&cert.input);
-                let result =
-                    run_session(&image.program, cert.initial_state.clone(), &mut replay, &config.exec);
+                let result = run_session(
+                    &image.program,
+                    cert.initial_state.clone(),
+                    &mut replay,
+                    &config.exec,
+                );
                 stats.checking += t.elapsed();
                 stats.reexecutions += 1;
                 match result {
                     Err(e) => {
-                        failure =
-                            Some(FailureReason::ReplayFailed { error: e.to_string() });
+                        failure = Some(FailureReason::ReplayFailed {
+                            error: e.to_string(),
+                        });
                     }
                     Ok(outcome) => {
                         let reference_next = match &outcome.end {
@@ -515,7 +562,9 @@ pub fn run_protected_journey(
                     stats.reexecutions += 1;
                     let (failure, reference_state) = match result {
                         Err(e) => (
-                            Some(FailureReason::ReplayFailed { error: e.to_string() }),
+                            Some(FailureReason::ReplayFailed {
+                                error: e.to_string(),
+                            }),
                             None,
                         ),
                         Ok(o) if o.state != cert.resulting_state => (
@@ -626,10 +675,19 @@ mod tests {
         if let Some(a) = h2_attack {
             h2 = h2.malicious(a);
         }
-        let h3 = h3_spec
-            .unwrap_or_else(|| HostSpec::new("h3").trusted().with_input("n", Value::Int(30)));
+        let h3 = h3_spec.unwrap_or_else(|| {
+            HostSpec::new("h3")
+                .trusted()
+                .with_input("n", Value::Int(30))
+        });
         vec![
-            Host::new(HostSpec::new("h1").trusted().with_input("n", Value::Int(10)), &params, &mut rng),
+            Host::new(
+                HostSpec::new("h1")
+                    .trusted()
+                    .with_input("n", Value::Int(10)),
+                &params,
+                &mut rng,
+            ),
             Host::new(h2, &params, &mut rng),
             Host::new(h3, &params, &mut rng),
         ]
@@ -643,7 +701,9 @@ mod tests {
             &mut hosts,
             "h1",
             sum_agent(),
-            &ProtocolConfig::default(), &log)
+            &ProtocolConfig::default(),
+            &log,
+        )
         .unwrap();
         assert!(outcome.clean());
         assert_eq!(outcome.final_state.get_int("total"), Some(60));
@@ -652,14 +712,20 @@ mod tests {
         assert_eq!(outcome.stats.reexecutions, 1);
         // Each session signs one certificate; each accepted arrival signs a
         // commitment.
-        assert_eq!(outcome.stats.signatures as usize, 3 + outcome.commitments.len());
+        assert_eq!(
+            outcome.stats.signatures as usize,
+            3 + outcome.commitments.len()
+        );
         assert!(outcome.stats.verifications >= 2);
     }
 
     #[test]
     fn tampering_is_detected_with_full_evidence() {
         let mut hosts = build_hosts(
-            Some(Attack::TamperVariable { name: "total".into(), value: Value::Int(7) }),
+            Some(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(7),
+            }),
             None,
         );
         let log = EventLog::new();
@@ -667,7 +733,9 @@ mod tests {
             &mut hosts,
             "h1",
             sum_agent(),
-            &ProtocolConfig::default(), &log)
+            &ProtocolConfig::default(),
+            &log,
+        )
         .unwrap();
         let fraud = outcome.fraud.expect("tampering detected");
         assert_eq!(fraud.culprit.as_str(), "h2");
@@ -675,7 +743,10 @@ mod tests {
         // Full states, not hashes.
         assert_eq!(fraud.claimed_state.get_int("total"), Some(7));
         assert_eq!(
-            fraud.reference_state.as_ref().and_then(|s| s.get_int("total")),
+            fraud
+                .reference_state
+                .as_ref()
+                .and_then(|s| s.get_int("total")),
             Some(30)
         );
         // The culprit's signed false claim is part of the evidence and
@@ -685,14 +756,19 @@ mod tests {
             dir.register(h.id().as_str(), h.public_key().clone());
         }
         let claim = fraud.signed_claim.as_ref().expect("signed claim kept");
-        assert!(claim.verify(&dir).is_ok(), "the false claim is provably the culprit's");
+        assert!(
+            claim.verify(&dir).is_ok(),
+            "the false claim is provably the culprit's"
+        );
         assert_eq!(claim.payload().resulting_state.get_int("total"), Some(7));
     }
 
     #[test]
     fn redirected_migration_is_detected() {
         let mut hosts = build_hosts(
-            Some(Attack::RedirectMigration { to: HostId::new("h1") }),
+            Some(Attack::RedirectMigration {
+                to: HostId::new("h1"),
+            }),
             None,
         );
         let log = EventLog::new();
@@ -700,7 +776,9 @@ mod tests {
             &mut hosts,
             "h1",
             sum_agent(),
-            &ProtocolConfig::default(), &log)
+            &ProtocolConfig::default(),
+            &log,
+        )
         .unwrap();
         let fraud = outcome.fraud.expect("redirection detected");
         assert!(matches!(fraud.reason, FailureReason::EndMismatch { .. }));
@@ -724,7 +802,9 @@ mod tests {
             &mut hosts,
             "h1",
             sum_agent(),
-            &ProtocolConfig::default(), &log)
+            &ProtocolConfig::default(),
+            &log,
+        )
         .unwrap();
         assert!(
             outcome.fraud.is_none(),
@@ -750,7 +830,9 @@ mod tests {
             &mut hosts,
             "h1",
             sum_agent(),
-            &ProtocolConfig::default(), &log)
+            &ProtocolConfig::default(),
+            &log,
+        )
         .unwrap();
         assert!(outcome.fraud.is_some());
     }
@@ -759,9 +841,11 @@ mod tests {
     fn trusted_host_optimization_skips_reexecution() {
         let mut hosts = build_hosts(None, None);
         let log = EventLog::new();
-        let strict = ProtocolConfig { skip_trusted: false, ..Default::default() };
-        let outcome =
-            run_protected_journey(&mut hosts, "h1", sum_agent(), &strict, &log).unwrap();
+        let strict = ProtocolConfig {
+            skip_trusted: false,
+            ..Default::default()
+        };
+        let outcome = run_protected_journey(&mut hosts, "h1", sum_agent(), &strict, &log).unwrap();
         assert!(outcome.clean());
         // All three sessions re-executed (h1 by h2, h2 by h3, h3 by owner).
         assert_eq!(outcome.stats.reexecutions, 3);
@@ -771,14 +855,19 @@ mod tests {
     fn untrusted_final_host_checked_by_owner() {
         let h3 = HostSpec::new("h3")
             .with_input("n", Value::Int(30))
-            .malicious(Attack::TamperVariable { name: "total".into(), value: Value::Int(0) });
+            .malicious(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(0),
+            });
         let mut hosts = build_hosts(None, Some(h3));
         let log = EventLog::new();
         let outcome = run_protected_journey(
             &mut hosts,
             "h1",
             sum_agent(),
-            &ProtocolConfig::default(), &log)
+            &ProtocolConfig::default(),
+            &log,
+        )
         .unwrap();
         // The tampering happened on the *last* host; the owner's final
         // verification flags it (no next host exists to do it).
@@ -796,7 +885,9 @@ mod tests {
             &mut hosts,
             "h1",
             sum_agent(),
-            &ProtocolConfig::default(), &log)
+            &ProtocolConfig::default(),
+            &log,
+        )
         .unwrap();
         let s = &outcome.stats;
         assert!(s.total >= s.sign_verify + s.checking);
@@ -816,16 +907,25 @@ mod tests {
             input: InputLog::new(),
             next: Some(HostId::new("h2")),
         };
-        assert_eq!(from_wire::<SessionCertificate>(&to_wire(&cert)).unwrap(), cert);
+        assert_eq!(
+            from_wire::<SessionCertificate>(&to_wire(&cert)).unwrap(),
+            cert
+        );
         let halted = SessionCertificate { next: None, ..cert };
-        assert_eq!(from_wire::<SessionCertificate>(&to_wire(&halted)).unwrap(), halted);
+        assert_eq!(
+            from_wire::<SessionCertificate>(&to_wire(&halted)).unwrap(),
+            halted
+        );
         let commit = InitCommitment {
             agent: AgentId::new("a"),
             seq: 1,
             receiver: HostId::new("h2"),
             initial_digest: sha256(b"state"),
         };
-        assert_eq!(from_wire::<InitCommitment>(&to_wire(&commit)).unwrap(), commit);
+        assert_eq!(
+            from_wire::<InitCommitment>(&to_wire(&commit)).unwrap(),
+            commit
+        );
     }
 
     #[test]

@@ -130,12 +130,16 @@ impl ReferenceDataRequest {
 
     /// Iterates over the requested kinds.
     pub fn iter(&self) -> impl Iterator<Item = ReferenceDataKind> + '_ {
-        ReferenceDataKind::ALL.into_iter().filter(|&k| self.contains(k))
+        ReferenceDataKind::ALL
+            .into_iter()
+            .filter(|&k| self.contains(k))
     }
 
     /// Union of two requests.
     pub fn union(&self, other: &Self) -> Self {
-        ReferenceDataRequest { bits: self.bits | other.bits }
+        ReferenceDataRequest {
+            bits: self.bits | other.bits,
+        }
     }
 
     /// Number of requested kinds.
@@ -212,7 +216,10 @@ pub struct HostFacilities<'a> {
 impl<'a> HostFacilities<'a> {
     /// Wraps a session record.
     pub fn new(record: &'a SessionRecord) -> Self {
-        HostFacilities { record, resources: None }
+        HostFacilities {
+            record,
+            resources: None,
+        }
     }
 
     /// Attaches replicated resources.
@@ -254,7 +261,9 @@ impl<'a> HostFacilities<'a> {
             resulting_state: request
                 .contains(ReferenceDataKind::ResultingState)
                 .then(|| self.resulting_state().clone()),
-            input: request.contains(ReferenceDataKind::Input).then(|| self.input().clone()),
+            input: request
+                .contains(ReferenceDataKind::Input)
+                .then(|| self.input().clone()),
             execution_log: request
                 .contains(ReferenceDataKind::ExecutionLog)
                 .then(|| self.execution_log().clone()),
@@ -313,7 +322,10 @@ mod tests {
         let need = ReferenceDataRequest::new()
             .with(ReferenceDataKind::Input)
             .with(ReferenceDataKind::ResultingState);
-        assert_eq!(data.first_missing(&need), Some(ReferenceDataKind::ResultingState));
+        assert_eq!(
+            data.first_missing(&need),
+            Some(ReferenceDataKind::ResultingState)
+        );
         let ok = ReferenceDataRequest::new().with(ReferenceDataKind::Input);
         assert_eq!(data.first_missing(&ok), None);
     }

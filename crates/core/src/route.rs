@@ -124,7 +124,10 @@ impl fmt::Display for RouteError {
             }
             RouteError::BrokenChain { detail } => write!(f, "route chain broken: {detail}"),
             RouteError::SignerMismatch { seq } => {
-                write!(f, "route entry {seq} signed by a principal other than its host")
+                write!(
+                    f,
+                    "route entry {seq} signed by a principal other than its host"
+                )
             }
         }
     }
@@ -135,7 +138,10 @@ impl std::error::Error for RouteError {}
 impl SignedRoute {
     /// A fresh route for an agent.
     pub fn new(agent: AgentId) -> Self {
-        SignedRoute { agent: Some(agent), entries: Vec::new() }
+        SignedRoute {
+            agent: Some(agent),
+            entries: Vec::new(),
+        }
     }
 
     /// The agent this route belongs to.
@@ -151,14 +157,25 @@ impl SignedRoute {
 
     /// Appends a hop, signed by the visiting host's keys.
     pub fn append(&mut self, host: HostId, keys: &DsaKeyPair, rng: &mut dyn RngCore) {
-        let agent = self.agent.clone().expect("route must be created with an agent id");
-        let entry = RouteEntry { agent, seq: self.entries.len() as u64, host: host.clone() };
-        self.entries.push(Signed::seal(entry, host.as_str(), keys, rng));
+        let agent = self
+            .agent
+            .clone()
+            .expect("route must be created with an agent id");
+        let entry = RouteEntry {
+            agent,
+            seq: self.entries.len() as u64,
+            host: host.clone(),
+        };
+        self.entries
+            .push(Signed::seal(entry, host.as_str(), keys, rng));
     }
 
     /// The recorded hosts in order.
     pub fn hosts(&self) -> Vec<HostId> {
-        self.entries.iter().map(|e| e.payload().host.clone()).collect()
+        self.entries
+            .iter()
+            .map(|e| e.payload().host.clone())
+            .collect()
     }
 
     /// The number of hops recorded.
@@ -196,7 +213,10 @@ impl SignedRoute {
             }
             entry
                 .verify(directory)
-                .map_err(|source| RouteError::BadSignature { seq: i as u64, source })?;
+                .map_err(|source| RouteError::BadSignature {
+                    seq: i as u64,
+                    source,
+                })?;
         }
         Ok(())
     }
@@ -212,8 +232,9 @@ mod tests {
     fn setup() -> (Vec<DsaKeyPair>, KeyDirectory, StdRng) {
         let mut rng = StdRng::seed_from_u64(31);
         let params = DsaParams::test_group_256();
-        let keys: Vec<DsaKeyPair> =
-            (0..3).map(|_| DsaKeyPair::generate(&params, &mut rng)).collect();
+        let keys: Vec<DsaKeyPair> = (0..3)
+            .map(|_| DsaKeyPair::generate(&params, &mut rng))
+            .collect();
         let mut dir = KeyDirectory::new();
         for (i, k) in keys.iter().enumerate() {
             dir.register(format!("h{i}"), k.public().clone());
@@ -241,9 +262,18 @@ mod tests {
         let (keys, dir, mut rng) = setup();
         let mut route = SignedRoute::new(AgentId::new("a"));
         // h1's key signs an entry claiming host h0.
-        let entry = RouteEntry { agent: AgentId::new("a"), seq: 0, host: HostId::new("h0") };
-        route.entries.push(Signed::seal(entry, "h1", &keys[1], &mut rng));
-        assert!(matches!(route.verify(&dir), Err(RouteError::SignerMismatch { seq: 0 })));
+        let entry = RouteEntry {
+            agent: AgentId::new("a"),
+            seq: 0,
+            host: HostId::new("h0"),
+        };
+        route
+            .entries
+            .push(Signed::seal(entry, "h1", &keys[1], &mut rng));
+        assert!(matches!(
+            route.verify(&dir),
+            Err(RouteError::SignerMismatch { seq: 0 })
+        ));
     }
 
     #[test]
@@ -259,7 +289,10 @@ mod tests {
         });
         route.entries[0] = tampered;
         // Chain check fires first on the agent id.
-        assert!(matches!(route.verify(&dir), Err(RouteError::BrokenChain { .. })));
+        assert!(matches!(
+            route.verify(&dir),
+            Err(RouteError::BrokenChain { .. })
+        ));
     }
 
     #[test]
@@ -277,7 +310,10 @@ mod tests {
         // recorded host list by swapping entries, breaking seq order.
         route.entries.swap(0, 1);
         let _ = forged;
-        assert!(matches!(route.verify(&dir), Err(RouteError::BrokenChain { .. })));
+        assert!(matches!(
+            route.verify(&dir),
+            Err(RouteError::BrokenChain { .. })
+        ));
     }
 
     #[test]
@@ -290,23 +326,37 @@ mod tests {
         // name must match signer, so rewrite seq-consistent fields only:
         // here we keep host and seq but this leaves nothing to tamper —
         // so instead re-sign with the wrong key under the right name.
-        let entry = RouteEntry { agent: AgentId::new("a"), seq: 0, host: HostId::new("h0") };
+        let entry = RouteEntry {
+            agent: AgentId::new("a"),
+            seq: 0,
+            host: HostId::new("h0"),
+        };
         route.entries[0] = Signed::seal(entry, "h0", &keys[2], &mut rng);
-        assert!(matches!(route.verify(&dir), Err(RouteError::BadSignature { seq: 0, .. })));
+        assert!(matches!(
+            route.verify(&dir),
+            Err(RouteError::BadSignature { seq: 0, .. })
+        ));
     }
 
     #[test]
     fn recording_modes_display() {
         assert_eq!(RouteRecording::SignedAppend.to_string(), "signed append");
         assert_eq!(RouteRecording::ReportToOwner.to_string(), "report to owner");
-        assert_eq!(RouteRecording::AprioriItinerary.to_string(), "a-priori itinerary");
+        assert_eq!(
+            RouteRecording::AprioriItinerary.to_string(),
+            "a-priori itinerary"
+        );
         assert_eq!(RouteRecording::default(), RouteRecording::SignedAppend);
     }
 
     #[test]
     fn wire_round_trip_entry() {
         use refstate_wire::{from_wire, to_wire};
-        let e = RouteEntry { agent: AgentId::new("a"), seq: 7, host: HostId::new("h") };
+        let e = RouteEntry {
+            agent: AgentId::new("a"),
+            seq: 7,
+            host: HostId::new("h"),
+        };
         assert_eq!(from_wire::<RouteEntry>(&to_wire(&e)).unwrap(), e);
     }
 }

@@ -55,14 +55,24 @@ impl Expr {
     pub fn eval(&self, initial: &DataState, resulting: &DataState) -> Result<Value, RuleError> {
         match self {
             Expr::Const(v) => Ok(v.clone()),
-            Expr::Var(name) => resulting
-                .get(name)
-                .cloned()
-                .ok_or_else(|| RuleError::UnknownVariable { name: name.clone(), scope: "result" }),
-            Expr::InitialVar(name) => initial
-                .get(name)
-                .cloned()
-                .ok_or_else(|| RuleError::UnknownVariable { name: name.clone(), scope: "initial" }),
+            Expr::Var(name) => {
+                resulting
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| RuleError::UnknownVariable {
+                        name: name.clone(),
+                        scope: "result",
+                    })
+            }
+            Expr::InitialVar(name) => {
+                initial
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| RuleError::UnknownVariable {
+                        name: name.clone(),
+                        scope: "initial",
+                    })
+            }
             Expr::Add(a, b) => Self::int_op(a, b, initial, resulting, i64::wrapping_add),
             Expr::Sub(a, b) => Self::int_op(a, b, initial, resulting, i64::wrapping_sub),
             Expr::Mul(a, b) => Self::int_op(a, b, initial, resulting, i64::wrapping_mul),
@@ -90,7 +100,11 @@ impl Expr {
             (Some(x), Some(y)) => Ok(Value::Int(f(x, y))),
             _ => Err(RuleError::TypeMismatch {
                 expected: "int",
-                found: if av.as_int().is_none() { av.type_name() } else { bv.type_name() },
+                found: if av.as_int().is_none() {
+                    av.type_name()
+                } else {
+                    bv.type_name()
+                },
             }),
         }
     }
@@ -160,6 +174,7 @@ impl Pred {
     }
 
     /// `!a`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Pred) -> Pred {
         Pred::Not(Box::new(a))
     }
@@ -322,7 +337,10 @@ impl RuleSet {
                 Err(e) => violations.push((name.clone(), e.to_string())),
             }
         }
-        RuleReport { violations, evaluated: self.rules.len() }
+        RuleReport {
+            violations,
+            evaluated: self.rules.len(),
+        }
     }
 }
 
@@ -346,7 +364,10 @@ mod tests {
         let (initial, result) = states();
         let pred = Pred::cmp(
             CmpOp::Eq,
-            Expr::Add(Box::new(Expr::var("moneySpent")), Box::new(Expr::var("moneyRest"))),
+            Expr::Add(
+                Box::new(Expr::var("moneySpent")),
+                Box::new(Expr::var("moneyRest")),
+            ),
             Expr::initial("money"),
         );
         assert!(pred.eval(&initial, &result).unwrap());
@@ -371,14 +392,20 @@ mod tests {
     fn len_on_lists_and_strings() {
         let (initial, result) = states();
         assert_eq!(
-            Expr::Len(Box::new(Expr::var("items"))).eval(&initial, &result).unwrap(),
+            Expr::Len(Box::new(Expr::var("items")))
+                .eval(&initial, &result)
+                .unwrap(),
             Value::Int(2)
         );
         assert_eq!(
-            Expr::Len(Box::new(Expr::var("name"))).eval(&initial, &result).unwrap(),
+            Expr::Len(Box::new(Expr::var("name")))
+                .eval(&initial, &result)
+                .unwrap(),
             Value::Int(5)
         );
-        assert!(Expr::Len(Box::new(Expr::int(1))).eval(&initial, &result).is_err());
+        assert!(Expr::Len(Box::new(Expr::int(1)))
+            .eval(&initial, &result)
+            .is_err());
     }
 
     #[test]
@@ -386,8 +413,12 @@ mod tests {
         let (initial, result) = states();
         let t = Pred::cmp(CmpOp::Gt, Expr::var("moneyRest"), Expr::int(0));
         let f = Pred::cmp(CmpOp::Lt, Expr::var("moneyRest"), Expr::int(0));
-        assert!(Pred::and(t.clone(), Pred::not(f.clone())).eval(&initial, &result).unwrap());
-        assert!(Pred::or(f.clone(), t.clone()).eval(&initial, &result).unwrap());
+        assert!(Pred::and(t.clone(), Pred::not(f.clone()))
+            .eval(&initial, &result)
+            .unwrap());
+        assert!(Pred::or(f.clone(), t.clone())
+            .eval(&initial, &result)
+            .unwrap());
         assert!(!Pred::and(t, f).eval(&initial, &result).unwrap());
         assert!(Pred::True.eval(&initial, &result).unwrap());
     }
@@ -395,14 +426,22 @@ mod tests {
     #[test]
     fn defined_predicate() {
         let (initial, result) = states();
-        assert!(Pred::Defined("moneyRest".into()).eval(&initial, &result).unwrap());
-        assert!(!Pred::Defined("ghost".into()).eval(&initial, &result).unwrap());
+        assert!(Pred::Defined("moneyRest".into())
+            .eval(&initial, &result)
+            .unwrap());
+        assert!(!Pred::Defined("ghost".into())
+            .eval(&initial, &result)
+            .unwrap());
     }
 
     #[test]
     fn string_comparison() {
         let (initial, result) = states();
-        let p = Pred::cmp(CmpOp::Lt, Expr::var("name"), Expr::Const(Value::Str("bob".into())));
+        let p = Pred::cmp(
+            CmpOp::Lt,
+            Expr::var("name"),
+            Expr::Const(Value::Str("bob".into())),
+        );
         assert!(p.eval(&initial, &result).unwrap());
     }
 
@@ -423,9 +462,18 @@ mod tests {
     fn rule_set_reports_violations() {
         let (initial, result) = states();
         let rules = RuleSet::new()
-            .rule("ok", Pred::cmp(CmpOp::Gt, Expr::var("moneyRest"), Expr::int(0)))
-            .rule("fails", Pred::cmp(CmpOp::Gt, Expr::var("moneyRest"), Expr::int(1000)))
-            .rule("errors", Pred::cmp(CmpOp::Eq, Expr::var("ghost"), Expr::int(0)));
+            .rule(
+                "ok",
+                Pred::cmp(CmpOp::Gt, Expr::var("moneyRest"), Expr::int(0)),
+            )
+            .rule(
+                "fails",
+                Pred::cmp(CmpOp::Gt, Expr::var("moneyRest"), Expr::int(1000)),
+            )
+            .rule(
+                "errors",
+                Pred::cmp(CmpOp::Eq, Expr::var("ghost"), Expr::int(0)),
+            );
         let report = rules.evaluate(&initial, &result);
         assert!(!report.passed());
         assert_eq!(report.evaluated, 3);
@@ -451,7 +499,11 @@ mod tests {
             Expr::Const(Value::List(vec![Value::Int(1), Value::Int(2)])),
         );
         assert!(p.eval(&initial, &result).unwrap());
-        let p = Pred::cmp(CmpOp::Ne, Expr::var("items"), Expr::Const(Value::Bool(true)));
+        let p = Pred::cmp(
+            CmpOp::Ne,
+            Expr::var("items"),
+            Expr::Const(Value::Bool(true)),
+        );
         assert!(p.eval(&initial, &result).unwrap());
     }
 }

@@ -38,7 +38,11 @@ impl CheckVerdict {
 impl fmt::Display for CheckVerdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.failure {
-            None => write!(f, "session {} by {} verified by {}", self.seq, self.checked, self.checker),
+            None => write!(
+                f,
+                "session {} by {} verified by {}",
+                self.seq, self.checked, self.checker
+            ),
             Some(reason) => write!(
                 f,
                 "session {} by {} REJECTED by {}: {reason}",
@@ -108,7 +112,9 @@ mod tests {
             detector: HostId::new("next"),
             agent: AgentId::new("a-1"),
             seq: 3,
-            reason: FailureReason::ProgramRejected { detail: "test".into() },
+            reason: FailureReason::ProgramRejected {
+                detail: "test".into(),
+            },
             initial_state: initial,
             claimed_state: claimed,
             reference_state: Some(reference),

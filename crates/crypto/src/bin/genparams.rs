@@ -12,9 +12,21 @@ fn emit(name: &str, p_bits: usize, q_bits: usize, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let params = DsaParams::generate(p_bits, q_bits, &mut rng);
     println!("// {name}: {p_bits}-bit p, {q_bits}-bit q (seed {seed})");
-    println!("const {}_P: &str = \"{}\";", name.to_uppercase(), params.p().to_hex());
-    println!("const {}_Q: &str = \"{}\";", name.to_uppercase(), params.q().to_hex());
-    println!("const {}_G: &str = \"{}\";", name.to_uppercase(), params.g().to_hex());
+    println!(
+        "const {}_P: &str = \"{}\";",
+        name.to_uppercase(),
+        params.p().to_hex()
+    );
+    println!(
+        "const {}_Q: &str = \"{}\";",
+        name.to_uppercase(),
+        params.q().to_hex()
+    );
+    println!(
+        "const {}_G: &str = \"{}\";",
+        name.to_uppercase(),
+        params.g().to_hex()
+    );
     println!();
 }
 

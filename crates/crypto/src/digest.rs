@@ -34,7 +34,10 @@ impl Digest {
         assert!(bytes.len() <= 32, "digest length exceeds 32 bytes");
         let mut out = [0u8; 32];
         out[..bytes.len()].copy_from_slice(bytes);
-        Digest { len: bytes.len() as u8, bytes: out }
+        Digest {
+            len: bytes.len() as u8,
+            bytes: out,
+        }
     }
 
     /// Returns the digest bytes.
@@ -92,7 +95,9 @@ impl Decode for Digest {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let bytes = r.take_bytes()?;
         if bytes.len() > 32 {
-            return Err(WireError::InvalidValue { context: "digest length" });
+            return Err(WireError::InvalidValue {
+                context: "digest length",
+            });
         }
         Ok(Digest::new(bytes))
     }

@@ -109,7 +109,10 @@ impl DsaParams {
     ///
     /// Panics if `q_bits + 2 > p_bits` or `q_bits < 2`.
     pub fn generate(p_bits: usize, q_bits: usize, rng: &mut dyn RngCore) -> Self {
-        assert!(q_bits >= 2 && q_bits + 2 <= p_bits, "invalid DSA size request");
+        assert!(
+            q_bits >= 2 && q_bits + 2 <= p_bits,
+            "invalid DSA size request"
+        );
         loop {
             let q = gen_prime(q_bits, MR_ROUNDS, rng);
             // Search for p = q*m + 1 with exactly p_bits bits.
@@ -189,7 +192,9 @@ impl Decode for DsaParams {
         // Structural sanity only (cheap); full validation needs an RNG and
         // is the caller's job for untrusted inputs.
         if q.is_zero() || g <= Uint::one() || g >= p {
-            return Err(WireError::InvalidValue { context: "DSA params" });
+            return Err(WireError::InvalidValue {
+                context: "DSA params",
+            });
         }
         Ok(DsaParams { p, q, g })
     }
@@ -298,7 +303,9 @@ impl Decode for DsaPublicKey {
         let params = DsaParams::decode(r)?;
         let y = Uint::from_be_bytes(r.take_bytes()?);
         if y <= Uint::one() || y >= params.p {
-            return Err(WireError::InvalidValue { context: "DSA public key" });
+            return Err(WireError::InvalidValue {
+                context: "DSA public key",
+            });
         }
         Ok(DsaPublicKey { params, y })
     }
@@ -318,7 +325,10 @@ impl DsaKeyPair {
         let y = params.g.pow_mod(&x, &params.p);
         DsaKeyPair {
             x,
-            public: DsaPublicKey { params: params.clone(), y },
+            public: DsaPublicKey {
+                params: params.clone(),
+                y,
+            },
         }
     }
 
@@ -392,7 +402,12 @@ mod tests {
         );
         assert!(matches!(bad, Err(SignatureError::InvalidParams(_))));
         // g = 1 has trivial order.
-        let bad = DsaParams::new(params.p().clone(), params.q().clone(), Uint::one(), &mut rng);
+        let bad = DsaParams::new(
+            params.p().clone(),
+            params.q().clone(),
+            Uint::one(),
+            &mut rng,
+        );
         assert!(bad.is_err());
         // q that does not divide p-1.
         let bad = DsaParams::new(
@@ -409,7 +424,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let params = small_params(&mut rng);
         let keys = DsaKeyPair::generate(&params, &mut rng);
-        for msg in [&b"hello"[..], b"", b"a much longer message spanning blocks....."] {
+        for msg in [
+            &b"hello"[..],
+            b"",
+            b"a much longer message spanning blocks.....",
+        ] {
             let sig = keys.sign(msg, &mut rng);
             assert!(keys.public().verify(msg, &sig));
         }
@@ -440,9 +459,15 @@ mod tests {
         let params = small_params(&mut rng);
         let keys = DsaKeyPair::generate(&params, &mut rng);
         let sig = keys.sign(b"msg", &mut rng);
-        let zero_r = Signature { r: Uint::zero(), s: sig.s().clone() };
+        let zero_r = Signature {
+            r: Uint::zero(),
+            s: sig.s().clone(),
+        };
         assert!(!keys.public().verify(b"msg", &zero_r));
-        let big_s = Signature { r: sig.r().clone(), s: params.q().clone() };
+        let big_s = Signature {
+            r: sig.r().clone(),
+            s: params.q().clone(),
+        };
         assert!(!keys.public().verify(b"msg", &big_s));
     }
 

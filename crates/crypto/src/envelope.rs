@@ -80,7 +80,11 @@ impl<T: Encode> Signed<T> {
     ) -> Self {
         let bytes = to_wire(&payload);
         let signature = keys.sign(&bytes, rng);
-        Signed { payload, signer: signer.into(), signature }
+        Signed {
+            payload,
+            signer: signer.into(),
+            signature,
+        }
     }
 
     /// Verifies the signature against the signer's directory key.
@@ -93,12 +97,16 @@ impl<T: Encode> Signed<T> {
     pub fn verify(&self, directory: &KeyDirectory) -> Result<(), VerifyError> {
         let key = directory
             .lookup(&self.signer)
-            .ok_or_else(|| VerifyError::UnknownSigner { signer: self.signer.clone() })?;
+            .ok_or_else(|| VerifyError::UnknownSigner {
+                signer: self.signer.clone(),
+            })?;
         let bytes = to_wire(&self.payload);
         if key.verify(&bytes, &self.signature) {
             Ok(())
         } else {
-            Err(VerifyError::BadSignature { signer: self.signer.clone() })
+            Err(VerifyError::BadSignature {
+                signer: self.signer.clone(),
+            })
         }
     }
 
@@ -155,7 +163,11 @@ impl<T: Decode> Decode for Signed<T> {
         let payload = T::decode(r)?;
         let signer = r.take_str()?.to_owned();
         let signature = Signature::decode(r)?;
-        Ok(Signed { payload, signer, signature })
+        Ok(Signed {
+            payload,
+            signer,
+            signature,
+        })
     }
 }
 

@@ -42,7 +42,10 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        HmacSha256 { inner, opad_key: opad }
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
     }
 
     /// Absorbs message bytes.
@@ -118,7 +121,10 @@ mod tests {
     fn rfc4231_long_key() {
         // Case 6: 131-byte key (hashed down).
         let key = [0xaau8; 131];
-        let mac = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let mac = HmacSha256::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             mac.to_hex(),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

@@ -33,7 +33,9 @@ pub struct KeyDirectory {
 impl KeyDirectory {
     /// Creates an empty directory.
     pub fn new() -> Self {
-        KeyDirectory { keys: BTreeMap::new() }
+        KeyDirectory {
+            keys: BTreeMap::new(),
+        }
     }
 
     /// Registers (or replaces) the key for `name`, returning any previous

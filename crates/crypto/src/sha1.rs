@@ -38,7 +38,12 @@ impl Default for Sha1 {
 impl Sha1 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha1 { state: H0, buffer: [0; 64], buffer_len: 0, total_len: 0 }
+        Sha1 {
+            state: H0,
+            buffer: [0; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs input bytes.
@@ -155,8 +160,10 @@ mod tests {
                 b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
                 "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
             ),
-            (b"The quick brown fox jumps over the lazy dog",
-                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
         ];
         for (input, expect) in cases {
             assert_eq!(sha1(input).to_hex(), expect);
@@ -170,7 +177,10 @@ mod tests {
         for _ in 0..1000 {
             h.update(&chunk);
         }
-        assert_eq!(h.finalize().to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buffer: [0; 64], buffer_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buffer: [0; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs input bytes.

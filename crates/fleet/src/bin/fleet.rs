@@ -1,0 +1,108 @@
+//! The fleet CLI: generate and run a scenario population, print the
+//! detection table and machine-readable JSON metrics.
+//!
+//! ```text
+//! cargo run --release -p refstate-fleet --bin fleet -- \
+//!     --scenarios 10000 --workers 8 --seed 42 --preset mixed
+//! ```
+//!
+//! Flags:
+//!
+//! * `--scenarios N` — number of generated scenarios (default 1000)
+//! * `--workers N` — worker threads (default: all cores)
+//! * `--seed S` — fleet seed (default 42)
+//! * `--preset P` — `all-honest` | `single-tamperer` | `colluding-pair` |
+//!   `input-forgery` | `long-route` | `mixed` (default `mixed`)
+//! * `--mechanism M` — repeatable; `unprotected` | `appraisal` |
+//!   `framework` | `protocol` | `traces` (default: all five)
+//! * `--json-only` — suppress the human tables, emit only JSON
+//! * `--no-json` — suppress the JSON blob
+
+use refstate_fleet::{run_fleet, FleetConfig, FleetMechanism, Preset};
+
+fn usage(exit: i32) -> ! {
+    eprintln!(
+        "usage: fleet [--scenarios N] [--workers N] [--seed S] [--preset P] \
+         [--mechanism M]... [--json-only|--no-json]\n\
+         presets: {}\n\
+         mechanisms: {}",
+        Preset::ALL.map(|p| p.name()).join(" | "),
+        FleetMechanism::ALL.map(|m| m.name()).join(" | "),
+    );
+    std::process::exit(exit);
+}
+
+fn parse_args() -> (FleetConfig, bool, bool) {
+    let mut config = FleetConfig::default();
+    let mut mechanisms: Vec<FleetMechanism> = Vec::new();
+    let mut json_only = false;
+    let mut no_json = false;
+
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage(2))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenarios" => config.scenarios = value(&mut i).parse().unwrap_or_else(|_| usage(2)),
+            "--workers" => config.workers = value(&mut i).parse().unwrap_or_else(|_| usage(2)),
+            "--seed" => config.seed = value(&mut i).parse().unwrap_or_else(|_| usage(2)),
+            "--preset" => {
+                let name = value(&mut i);
+                config.preset = Preset::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown preset {name:?}");
+                    usage(2)
+                });
+            }
+            "--mechanism" => {
+                let name = value(&mut i);
+                let mechanism = FleetMechanism::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown mechanism {name:?}");
+                    usage(2)
+                });
+                if !mechanisms.contains(&mechanism) {
+                    mechanisms.push(mechanism);
+                }
+            }
+            "--json-only" => json_only = true,
+            "--no-json" => no_json = true,
+            "--help" | "-h" => usage(0),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage(2);
+            }
+        }
+        i += 1;
+    }
+    if !mechanisms.is_empty() {
+        config.mechanisms = mechanisms;
+    }
+    if json_only && no_json {
+        eprintln!("--json-only and --no-json are mutually exclusive");
+        usage(2);
+    }
+    (config, json_only, no_json)
+}
+
+fn main() {
+    let (config, json_only, no_json) = parse_args();
+    let run = run_fleet(&config);
+
+    if !json_only {
+        print!("{}", run.report.render_table());
+        println!();
+        print!("{}", run.timing.render());
+    }
+    if !no_json {
+        if !json_only {
+            println!();
+        }
+        println!(
+            "{{\"report\":{},\"timing\":{}}}",
+            run.report.to_json(),
+            run.timing.to_json()
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! The journey scheduler: a crossbeam-channel worker pool driving
+//! thousands of protected journeys concurrently.
+//!
+//! The idiom mirrors `refstate_platform::ThreadedNetwork`: channels carry
+//! the work, each worker owns its state, and the main thread joins on a
+//! results channel. Three properties make the pool fleet-grade:
+//!
+//! * **per-scenario RNG streams** — every scenario derives its own seed
+//!   from `(fleet seed, scenario id)`, so results do not depend on which
+//!   worker ran it or in what order (worker-count invariance),
+//! * **pooled key material** — DSA key generation dominates host
+//!   construction, so workers draw host keys from a pre-generated pool
+//!   (deterministically indexed by scenario and position) through
+//!   [`Host::with_keys`] instead of generating per journey,
+//! * **deterministic result ordering** — results are collected and sorted
+//!   by scenario id before aggregation, so the [`FleetReport`] is
+//!   byte-identical for a fixed seed.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate_core::protocol::host_directory;
+use refstate_crypto::{DsaKeyPair, DsaParams};
+use refstate_mechanisms::fleet::{
+    run_fleet_journey, FleetAdapterConfig, FleetMechanism, JourneyVerdict,
+};
+use refstate_platform::{EventLog, Host};
+
+use crate::report::{FleetReport, FleetTiming, LatencyPercentiles};
+use crate::scenario::{self, GeneratedScenario, Preset};
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of scenarios to generate and run.
+    pub scenarios: u64,
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+    /// The fleet seed; fixes the entire scenario population.
+    pub seed: u64,
+    /// The scenario family to draw from.
+    pub preset: Preset,
+    /// The mechanisms to run each scenario under.
+    pub mechanisms: Vec<FleetMechanism>,
+    /// Size of the pre-generated DSA key pool hosts draw from.
+    pub key_pool: usize,
+    /// Shared adapter configuration.
+    pub adapter: FleetAdapterConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            scenarios: 1000,
+            workers: 0,
+            seed: 42,
+            preset: Preset::Mixed,
+            mechanisms: FleetMechanism::ALL.to_vec(),
+            key_pool: 64,
+            adapter: FleetAdapterConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The effective worker count (resolves 0 to the machine's
+    /// parallelism).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// One mechanism's verdict on one scenario, scored against the scenario's
+/// actual attacker.
+#[derive(Debug, Clone)]
+pub struct MechanismRun {
+    /// The mechanism that ran.
+    pub mechanism: FleetMechanism,
+    /// The mechanism flagged the run.
+    pub detected: bool,
+    /// Somebody other than the actual attacker was accused.
+    pub false_accusation: bool,
+    /// `Some(true)` when the detection blamed the actual attacker;
+    /// `Some(false)` when it blamed someone else; `None` when nothing was
+    /// detected or the scenario had no attacker.
+    pub correct_culprit: Option<bool>,
+    /// The journey ran to its halt instruction.
+    pub completed: bool,
+    /// The journey died of an infrastructure failure.
+    pub infra_error: bool,
+    /// Wall time of this journey (excluded from the deterministic report).
+    pub latency: Duration,
+}
+
+/// Everything one scenario produced across its mechanism runs.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario id.
+    pub id: u64,
+    /// The concrete scenario family it was drawn as.
+    pub kind: &'static str,
+    /// The attack-class label (`"honest"` when no attacker).
+    pub attack_label: &'static str,
+    /// Route length of the scenario.
+    pub route_len: usize,
+    /// One entry per configured mechanism, in configuration order.
+    pub runs: Vec<MechanismRun>,
+}
+
+/// A completed fleet run.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// The deterministic aggregate (counts and rates).
+    pub report: FleetReport,
+    /// Wall-clock facts (throughput, latency percentiles).
+    pub timing: FleetTiming,
+    /// Raw per-scenario results, ordered by scenario id.
+    pub results: Vec<ScenarioResult>,
+}
+
+/// Scores a verdict against the scenario's actual attacker.
+fn score(
+    mechanism: FleetMechanism,
+    verdict: JourneyVerdict,
+    scenario: &GeneratedScenario,
+    latency: Duration,
+) -> MechanismRun {
+    let attacker = scenario.attacker.as_ref().map(|(host, _)| host);
+    let false_accusation = verdict
+        .accused
+        .iter()
+        .any(|accused| Some(accused) != attacker);
+    let correct_culprit = if verdict.detected {
+        attacker.map(|a| verdict.accused.contains(a))
+    } else {
+        None
+    };
+    MechanismRun {
+        mechanism,
+        detected: verdict.detected,
+        false_accusation,
+        correct_culprit,
+        completed: verdict.completed,
+        infra_error: verdict.infra_error,
+        latency,
+    }
+}
+
+/// Runs every configured mechanism over scenario `id` (fresh hosts per
+/// mechanism — feeds are consumed by execution).
+fn run_scenario(id: u64, config: &FleetConfig, keys: &[DsaKeyPair]) -> ScenarioResult {
+    let scenario = scenario::generate(config.seed, id, config.preset);
+    let mut runs = Vec::with_capacity(config.mechanisms.len());
+    for &mechanism in &config.mechanisms {
+        let mut hosts: Vec<Host> = scenario
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(pos, spec)| {
+                let key =
+                    keys[(id as usize).wrapping_mul(31).wrapping_add(pos) % keys.len()].clone();
+                // pos+1 keeps h0's stream distinct from the generator's
+                // own seed for this scenario (pos 0 would XOR with zero).
+                let session_seed =
+                    scenario::scenario_seed(config.seed, id ^ ((pos as u64 + 1) << 48));
+                Host::with_keys(spec.clone(), key, session_seed)
+            })
+            .collect();
+        let directory = host_directory(&hosts);
+        let log = EventLog::new();
+        let start = Instant::now();
+        let verdict = run_fleet_journey(
+            mechanism,
+            &mut hosts,
+            &scenario.start,
+            scenario.agent.clone(),
+            &config.adapter,
+            Some(&directory),
+            &log,
+        );
+        let latency = start.elapsed();
+        runs.push(score(mechanism, verdict, &scenario, latency));
+    }
+    ScenarioResult {
+        id,
+        kind: scenario.kind.name(),
+        attack_label: scenario.attack_label,
+        route_len: scenario.route_len(),
+        runs,
+    }
+}
+
+/// Runs the whole fleet and aggregates the results.
+///
+/// Deterministic for a fixed `config.seed` (and mechanism/preset
+/// selection): the [`FleetReport`] — including its canonical JSON — is
+/// byte-identical across runs and worker counts. Timing is not.
+pub fn run_fleet(config: &FleetConfig) -> FleetRun {
+    assert!(
+        !config.mechanisms.is_empty(),
+        "configure at least one mechanism"
+    );
+    assert!(config.key_pool > 0, "key pool must be non-empty");
+    let started = Instant::now();
+    let workers = config.effective_workers();
+
+    // One shared DSA group and key pool (generation is the expensive
+    // part; hosts index into the pool deterministically).
+    let params = DsaParams::test_group_256();
+    let mut key_rng = StdRng::seed_from_u64(config.seed ^ 0x5ee3_d00d_cafe_f00d);
+    let keys: Vec<DsaKeyPair> = (0..config.key_pool)
+        .map(|_| DsaKeyPair::generate(&params, &mut key_rng))
+        .collect();
+
+    // The ThreadedNetwork idiom: a pre-filled job queue, cloned receivers,
+    // one results channel back to the collector.
+    let (job_tx, job_rx): (Sender<u64>, Receiver<u64>) = unbounded();
+    let (result_tx, result_rx): (Sender<ScenarioResult>, Receiver<ScenarioResult>) = unbounded();
+    for id in 0..config.scenarios {
+        job_tx.send(id).expect("queue open");
+    }
+    drop(job_tx); // workers drain until empty
+
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let job_rx = job_rx.clone();
+        let result_tx = result_tx.clone();
+        let config = config.clone();
+        let keys = keys.clone();
+        handles.push(thread::spawn(move || {
+            while let Ok(id) = job_rx.recv() {
+                let result = run_scenario(id, &config, &keys);
+                if result_tx.send(result).is_err() {
+                    return; // collector gone; shut down quietly
+                }
+            }
+        }));
+    }
+    drop(result_tx);
+
+    let mut results: Vec<ScenarioResult> = Vec::with_capacity(config.scenarios as usize);
+    while let Ok(result) = result_rx.recv() {
+        results.push(result);
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    // Deterministic ordering regardless of worker interleaving.
+    results.sort_unstable_by_key(|r| r.id);
+
+    let wall = started.elapsed();
+    let report = FleetReport::from_results(
+        config.seed,
+        config.preset.name(),
+        &config.mechanisms,
+        &results,
+    );
+    let journeys = results.iter().map(|r| r.runs.len() as u64).sum::<u64>();
+    let latencies = config
+        .mechanisms
+        .iter()
+        .filter_map(|&mechanism| {
+            let mut lats: Vec<Duration> = results
+                .iter()
+                .flat_map(|r| &r.runs)
+                .filter(|run| run.mechanism == mechanism)
+                .map(|run| run.latency)
+                .collect();
+            LatencyPercentiles::from_latencies(&mut lats).map(|p| (mechanism, p))
+        })
+        .collect();
+    let timing = FleetTiming {
+        workers,
+        wall,
+        scenarios_per_sec: results.len() as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        journeys_per_sec: journeys as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        latencies,
+    };
+
+    FleetRun {
+        report,
+        timing,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(mechanisms: Vec<FleetMechanism>) -> FleetConfig {
+        FleetConfig {
+            scenarios: 40,
+            workers: 4,
+            seed: 7,
+            preset: Preset::Mixed,
+            mechanisms,
+            key_pool: 8,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn results_are_ordered_and_complete() {
+        let run = run_fleet(&small_config(vec![FleetMechanism::SessionCheckingProtocol]));
+        assert_eq!(run.results.len(), 40);
+        assert!(run.results.windows(2).all(|w| w[0].id < w[1].id));
+        assert!(run.results.iter().all(|r| r.runs.len() == 1));
+        assert_eq!(run.report.scenarios, 40);
+    }
+
+    #[test]
+    fn timing_has_percentiles_per_mechanism() {
+        let run = run_fleet(&small_config(vec![
+            FleetMechanism::Unprotected,
+            FleetMechanism::FrameworkReExecution,
+        ]));
+        assert_eq!(run.timing.latencies.len(), 2);
+        assert!(run.timing.journeys_per_sec > 0.0);
+        for (_, p) in &run.timing.latencies {
+            assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.max);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # refstate-fleet — the fleet-scale scenario engine
+//!
+//! The paper's evaluation (and `mechanisms::matrix`) runs a *single*
+//! hand-built three-host journey per mechanism. This crate judges the
+//! mechanisms the way the related work demands — across *populations* of
+//! hosts and attack mixes:
+//!
+//! * [`scenario`] — a seeded generator producing randomized host
+//!   topologies (route length, trust mix, per-host input feeds) and
+//!   attack draws from the `Attack` taxonomy, organized into
+//!   [`Preset`]s (`all-honest`, `single-tamperer`, `colluding-pair`,
+//!   `input-forgery`, `long-route`, `mixed`),
+//! * [`engine`] — a crossbeam-channel worker pool (the
+//!   `ThreadedNetwork` idiom) driving thousands of protected journeys
+//!   concurrently, with per-scenario RNG streams, a pooled DSA key
+//!   directory, and results ordered by scenario id,
+//! * [`report`] — [`FleetReport`]: detection rate, false-accusation
+//!   rate, and culprit-attribution accuracy per mechanism × attack
+//!   class (deterministic, byte-stable JSON), plus [`FleetTiming`]:
+//!   journeys/sec and latency percentiles (deliberately kept out of the
+//!   deterministic surface).
+//!
+//! The `fleet` binary is the CLI face:
+//!
+//! ```text
+//! cargo run --release -p refstate-fleet --bin fleet -- \
+//!     --scenarios 10000 --workers 8 --seed 42 --preset mixed
+//! ```
+//!
+//! # Determinism contract
+//!
+//! For a fixed `(seed, preset, mechanisms)` the engine produces the same
+//! [`FleetReport`] — byte-identical [`FleetReport::to_json`] output —
+//! regardless of worker count, scheduling, or machine. Everything
+//! wall-clock-dependent lives in [`FleetTiming`].
+//!
+//! # Example
+//!
+//! ```
+//! use refstate_fleet::{run_fleet, FleetConfig, FleetMechanism, Preset};
+//!
+//! let config = FleetConfig {
+//!     scenarios: 50,
+//!     workers: 2,
+//!     seed: 7,
+//!     preset: Preset::SingleTamperer,
+//!     mechanisms: vec![FleetMechanism::SessionCheckingProtocol],
+//!     ..FleetConfig::default()
+//! };
+//! let run = run_fleet(&config);
+//! let protocol = &run.report.mechanisms[0];
+//! assert_eq!(protocol.total.journeys, 50);
+//! assert_eq!(protocol.total.detected, 50, "every single-tamperer caught");
+//! assert_eq!(protocol.total.false_accusations, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod json;
+pub mod report;
+pub mod scenario;
+
+pub use engine::{run_fleet, FleetConfig, FleetRun, MechanismRun, ScenarioResult};
+pub use refstate_mechanisms::fleet::{FleetAdapterConfig, FleetMechanism, JourneyVerdict};
+pub use report::{CellStats, FleetReport, FleetTiming, LatencyPercentiles, MechanismReport};
+pub use scenario::{generate, GeneratedScenario, Preset};

@@ -1,0 +1,362 @@
+//! Fleet aggregation: detection/accusation/attribution rates per
+//! mechanism × attack class, plus the (separately kept) timing report.
+//!
+//! [`FleetReport`] holds only counts derived from journey verdicts, so it
+//! is bit-for-bit identical across runs with the same seed regardless of
+//! worker count or machine speed. Wall-clock facts (throughput, latency
+//! percentiles) live in [`FleetTiming`], which is *not* part of the
+//! deterministic surface.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use refstate_mechanisms::fleet::FleetMechanism;
+
+use crate::engine::{MechanismRun, ScenarioResult};
+use crate::json::JsonWriter;
+
+/// Counters for one (mechanism, attack-class) cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Journeys aggregated into this cell.
+    pub journeys: u64,
+    /// Journeys the mechanism flagged.
+    pub detected: u64,
+    /// Journeys where somebody *other than* the actual attacker was
+    /// accused (including any accusation on an honest run).
+    pub false_accusations: u64,
+    /// Detected journeys in which the actual attacker was accused.
+    pub correct_culprit: u64,
+    /// Journeys that ran to their halt instruction.
+    pub completed: u64,
+    /// Journeys that died of an infrastructure failure.
+    pub infra_errors: u64,
+}
+
+impl CellStats {
+    fn absorb(&mut self, run: &MechanismRun) {
+        self.journeys += 1;
+        self.detected += run.detected as u64;
+        self.false_accusations += run.false_accusation as u64;
+        self.correct_culprit += matches!(run.correct_culprit, Some(true)) as u64;
+        self.completed += run.completed as u64;
+        self.infra_errors += run.infra_error as u64;
+    }
+
+    /// Detected fraction of this cell's journeys.
+    pub fn detection_rate(&self) -> f64 {
+        ratio(self.detected, self.journeys)
+    }
+
+    /// False-accusation fraction of this cell's journeys.
+    pub fn false_accusation_rate(&self) -> f64 {
+        ratio(self.false_accusations, self.journeys)
+    }
+
+    /// Among detections, the fraction that blamed the actual attacker.
+    pub fn attribution_accuracy(&self) -> f64 {
+        ratio(self.correct_culprit, self.detected)
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.field_u64("journeys", self.journeys);
+        w.field_u64("detected", self.detected);
+        w.field_u64("false_accusations", self.false_accusations);
+        w.field_u64("correct_culprit", self.correct_culprit);
+        w.field_u64("completed", self.completed);
+        w.field_u64("infra_errors", self.infra_errors);
+        w.field_rate("detection_rate", self.detected, self.journeys);
+        w.field_rate(
+            "false_accusation_rate",
+            self.false_accusations,
+            self.journeys,
+        );
+        w.field_rate("attribution_accuracy", self.correct_culprit, self.detected);
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One mechanism's aggregate over the whole fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MechanismReport {
+    /// The mechanism.
+    pub mechanism: FleetMechanism,
+    /// Totals over every journey this mechanism ran.
+    pub total: CellStats,
+    /// Per-attack-class breakdown, keyed by attack label (`"honest"`
+    /// included).
+    pub per_attack: BTreeMap<&'static str, CellStats>,
+}
+
+/// The deterministic fleet result: counts and rates only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    /// The fleet seed.
+    pub seed: u64,
+    /// The preset the fleet was generated from.
+    pub preset: &'static str,
+    /// Number of generated scenarios.
+    pub scenarios: u64,
+    /// Aggregates per mechanism, in [`FleetMechanism::ALL`] order.
+    pub mechanisms: Vec<MechanismReport>,
+}
+
+impl FleetReport {
+    /// Aggregates scenario results (engine output order) into the report.
+    pub fn from_results(
+        seed: u64,
+        preset: &'static str,
+        mechanisms: &[FleetMechanism],
+        results: &[ScenarioResult],
+    ) -> FleetReport {
+        let mut per_mechanism: BTreeMap<FleetMechanism, MechanismReport> = mechanisms
+            .iter()
+            .map(|&m| {
+                (
+                    m,
+                    MechanismReport {
+                        mechanism: m,
+                        total: CellStats::default(),
+                        per_attack: BTreeMap::new(),
+                    },
+                )
+            })
+            .collect();
+        for result in results {
+            for run in &result.runs {
+                let report = per_mechanism
+                    .get_mut(&run.mechanism)
+                    .expect("engine only runs configured mechanisms");
+                report.total.absorb(run);
+                report
+                    .per_attack
+                    .entry(result.attack_label)
+                    .or_default()
+                    .absorb(run);
+            }
+        }
+        FleetReport {
+            seed,
+            preset,
+            scenarios: results.len() as u64,
+            mechanisms: mechanisms
+                .iter()
+                .map(|m| per_mechanism.remove(m).expect("built above"))
+                .collect(),
+        }
+    }
+
+    /// Renders the human-readable table: one block per mechanism, one row
+    /// per attack class.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} scenarios, preset {}, seed {}",
+            self.scenarios, self.preset, self.seed
+        );
+        for m in &self.mechanisms {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "{:<20} {:>9} {:>9} {:>8} {:>11} {:>11} {:>8} {:>7}",
+                m.mechanism.name(),
+                "journeys",
+                "detected",
+                "det.rate",
+                "false-acc.",
+                "attrib.acc.",
+                "complete",
+                "errors"
+            );
+            let mut rows: Vec<(&str, &CellStats)> =
+                m.per_attack.iter().map(|(k, v)| (*k, v)).collect();
+            rows.push(("TOTAL", &m.total));
+            for (label, cell) in rows {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>9} {:>9} {:>8.3} {:>11} {:>11.3} {:>8} {:>7}",
+                    label,
+                    cell.journeys,
+                    cell.detected,
+                    cell.detection_rate(),
+                    cell.false_accusations,
+                    cell.attribution_accuracy(),
+                    cell.completed,
+                    cell.infra_errors
+                );
+            }
+        }
+        out
+    }
+
+    /// Canonical JSON for the deterministic portion of the fleet result.
+    /// Identical bytes for identical seeds (any worker count).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("seed", self.seed);
+        w.field_str("preset", self.preset);
+        w.field_u64("scenarios", self.scenarios);
+        w.key("mechanisms");
+        w.begin_array();
+        for m in &self.mechanisms {
+            w.begin_object();
+            w.field_str("mechanism", m.mechanism.name());
+            w.key("total");
+            w.begin_object();
+            m.total.write_json(&mut w);
+            w.end_object();
+            w.key("per_attack");
+            w.begin_object();
+            for (label, cell) in &m.per_attack {
+                w.key(label);
+                w.begin_object();
+                cell.write_json(&mut w);
+                w.end_object();
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Latency percentiles for one mechanism (journey wall time).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Slowest observed journey.
+    pub max: Duration,
+}
+
+impl LatencyPercentiles {
+    /// Computes percentiles from raw per-journey latencies.
+    pub fn from_latencies(latencies: &mut [Duration]) -> Option<LatencyPercentiles> {
+        if latencies.is_empty() {
+            return None;
+        }
+        latencies.sort_unstable();
+        let pick = |q: f64| {
+            let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+            latencies[idx]
+        };
+        Some(LatencyPercentiles {
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p99: pick(0.99),
+            max: *latencies.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Wall-clock facts of one fleet run. Not deterministic; kept apart from
+/// [`FleetReport`] on purpose.
+#[derive(Debug, Clone)]
+pub struct FleetTiming {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total wall time of the run.
+    pub wall: Duration,
+    /// Scenarios completed per wall-clock second.
+    pub scenarios_per_sec: f64,
+    /// Journeys (scenario × mechanism) per wall-clock second.
+    pub journeys_per_sec: f64,
+    /// Latency percentiles per mechanism, in run order.
+    pub latencies: Vec<(FleetMechanism, LatencyPercentiles)>,
+}
+
+impl FleetTiming {
+    /// Renders the human-readable timing block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timing: {:.2?} wall on {} workers — {:.0} scenarios/s, {:.0} journeys/s",
+            self.wall, self.workers, self.scenarios_per_sec, self.journeys_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>10} {:>10} {:>10}",
+            "latency", "p50", "p90", "p99", "max"
+        );
+        for (mechanism, p) in &self.latencies {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10.1?} {:>10.1?} {:>10.1?} {:>10.1?}",
+                mechanism.name(),
+                p.p50,
+                p.p90,
+                p.p99,
+                p.max
+            );
+        }
+        out
+    }
+
+    /// JSON for the timing block (machine-readable bench trajectory).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("workers", self.workers as u64);
+        w.field_f64("wall_seconds", self.wall.as_secs_f64());
+        w.field_f64("scenarios_per_sec", self.scenarios_per_sec);
+        w.field_f64("journeys_per_sec", self.journeys_per_sec);
+        w.key("latency_percentiles");
+        w.begin_object();
+        for (mechanism, p) in &self.latencies {
+            w.key(mechanism.name());
+            w.begin_object();
+            w.field_f64("p50_us", p.p50.as_secs_f64() * 1e6);
+            w.field_f64("p90_us", p.p90.as_secs_f64() * 1e6);
+            w.field_f64("p99_us", p.p99.as_secs_f64() * 1e6);
+            w.field_f64("max_us", p.max.as_secs_f64() * 1e6);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut lats: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let p = LatencyPercentiles::from_latencies(&mut lats).unwrap();
+        assert_eq!(p.p50, Duration::from_millis(51));
+        assert_eq!(p.p90, Duration::from_millis(90));
+        assert_eq!(p.p99, Duration::from_millis(99));
+        assert_eq!(p.max, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn percentiles_empty_is_none() {
+        assert!(LatencyPercentiles::from_latencies(&mut []).is_none());
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let cell = CellStats::default();
+        assert_eq!(cell.detection_rate(), 0.0);
+        assert_eq!(cell.attribution_accuracy(), 0.0);
+    }
+}

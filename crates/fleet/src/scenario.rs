@@ -1,0 +1,389 @@
+//! The seeded scenario generator: randomized host topologies and attack
+//! mixes, reproducible from `(fleet seed, scenario id)` alone.
+//!
+//! A scenario is one complete journey setup: a route of generated hosts
+//! (trust mix, per-host input feeds, at most one attacker drawn from the
+//! [`Attack`] taxonomy) plus the agent that walks the route summing one
+//! input per host. Generation is a pure function of the fleet seed, the
+//! scenario id, and the preset — workers can generate scenarios in any
+//! order on any thread and always produce the same fleet.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use refstate_platform::{AgentImage, Attack, HostId, HostSpec};
+use refstate_vm::{assemble, DataState, Value};
+
+/// The scenario families the generator can draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Every host honest; a false-accusation canary.
+    AllHonest,
+    /// Exactly one untrusted host mounts a state/control-flow attack the
+    /// paper classifies as detectable.
+    SingleTamperer,
+    /// A tamperer whose *next* host agreed to skip the check (§5.1's
+    /// stated limitation of the session-checking protocol).
+    ColludingPair,
+    /// Input-level attacks (forge/drop) plus read attacks — the paper's
+    /// stated blind spots (§4.2).
+    InputForgeryHeavy,
+    /// Routes of 12–24 hops with a mixed attack draw; stresses retained
+    /// state and per-hop costs.
+    LongRoute,
+    /// Uniform draw over the five concrete families above.
+    Mixed,
+}
+
+impl Preset {
+    /// Every preset, including [`Preset::Mixed`].
+    pub const ALL: [Preset; 6] = [
+        Preset::AllHonest,
+        Preset::SingleTamperer,
+        Preset::ColludingPair,
+        Preset::InputForgeryHeavy,
+        Preset::LongRoute,
+        Preset::Mixed,
+    ];
+
+    /// Display / CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::AllHonest => "all-honest",
+            Preset::SingleTamperer => "single-tamperer",
+            Preset::ColludingPair => "colluding-pair",
+            Preset::InputForgeryHeavy => "input-forgery",
+            Preset::LongRoute => "long-route",
+            Preset::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a CLI name (see [`Preset::name`]).
+    pub fn parse(s: &str) -> Option<Preset> {
+        Preset::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl std::fmt::Display for Preset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fully generated scenario, ready to instantiate hosts from.
+#[derive(Debug, Clone)]
+pub struct GeneratedScenario {
+    /// The scenario id (position in the fleet).
+    pub id: u64,
+    /// The concrete family this scenario was drawn as (never
+    /// [`Preset::Mixed`]).
+    pub kind: Preset,
+    /// Host specs in route order; `specs[0]` is the trusted home.
+    pub specs: Vec<HostSpec>,
+    /// Where the journey starts (always the home host).
+    pub start: HostId,
+    /// The agent walking the route.
+    pub agent: AgentImage,
+    /// The attacker and its attack, when the scenario has one.
+    pub attacker: Option<(HostId, Attack)>,
+    /// The attack-class label for aggregation (`"honest"` when none).
+    pub attack_label: &'static str,
+}
+
+impl GeneratedScenario {
+    /// Number of hosts on the route.
+    pub fn route_len(&self) -> usize {
+        self.specs.len()
+    }
+}
+
+/// Mixes the fleet seed and scenario id into one 64-bit stream seed
+/// (SplitMix64 finalizer over the pair).
+pub fn scenario_seed(fleet_seed: u64, id: u64) -> u64 {
+    let mut z = fleet_seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds the route-walking agent for an `n`-host journey: on every host
+/// it consumes one `"n"` input, adds it into `total`, advances `hop`, and
+/// either migrates to the next host or halts after the last one.
+///
+/// The shape deliberately matches the paper's measurement agent (and
+/// `mechanisms::matrix`): state attacks on `total` are detectable by any
+/// reference-state mechanism, input attacks are not.
+pub fn build_route_agent(id: u64, n: usize) -> AgentImage {
+    assert!(n >= 2, "a route needs at least two hosts");
+    let mut asm = String::from(
+        "input \"n\"\nload \"total\"\nadd\nstore \"total\"\nload \"hop\"\npush 1\nadd\nstore \"hop\"\n",
+    );
+    for hop in 1..n {
+        asm.push_str(&format!("load \"hop\"\npush {hop}\neq\njnz to_{hop}\n"));
+    }
+    asm.push_str("halt\n");
+    for hop in 1..n {
+        asm.push_str(&format!("to_{hop}:\npush \"h{hop}\"\nmigrate\n"));
+    }
+    let program = assemble(&asm).expect("generated route program assembles");
+    let mut state = DataState::new();
+    state.set("total", Value::Int(0));
+    state.set("hop", Value::Int(0));
+    AgentImage::new(format!("fleet-{id}"), program, state)
+}
+
+/// Draws one detectable state/control-flow attack.
+fn detectable_attack(rng: &mut StdRng) -> Attack {
+    match rng.gen_range(0u8..5) {
+        0 => Attack::TamperVariable {
+            name: "total".into(),
+            // Honest totals are positive sums; a negative forgery is
+            // always an actual change of state.
+            value: Value::Int(-(rng.gen_range(1i64..1_000_000))),
+        },
+        1 => Attack::DeleteVariable {
+            name: "total".into(),
+        },
+        2 => Attack::ScaleIntVariable {
+            name: "total".into(),
+            factor: rng.gen_range(2i64..9),
+        },
+        3 => Attack::SkipExecution,
+        // Redirecting to the home host is never the legitimate next hop
+        // for an attacker at position >= 1.
+        _ => Attack::RedirectMigration {
+            to: HostId::new("h0"),
+        },
+    }
+}
+
+/// Draws one attack outside the reference-state bandwidth (§4.2).
+fn undetectable_attack(rng: &mut StdRng) -> Attack {
+    match rng.gen_range(0u8..4) {
+        0 | 1 => Attack::ForgeInput {
+            tag: "n".into(),
+            value: Value::Int(-(rng.gen_range(1i64..1000))),
+        },
+        2 => Attack::DropInput {
+            // Suppressing an input the agent never reads models the
+            // paper's "party that compiles the input" attack without
+            // starving the session (matches `mechanisms::matrix`).
+            tag: "unused".into(),
+        },
+        _ => Attack::ReadState,
+    }
+}
+
+/// Generates scenario `id` of the fleet.
+pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
+    let mut rng = StdRng::seed_from_u64(scenario_seed(fleet_seed, id));
+
+    let kind = match preset {
+        Preset::Mixed => match rng.gen_range(0u8..5) {
+            0 => Preset::AllHonest,
+            1 => Preset::SingleTamperer,
+            2 => Preset::ColludingPair,
+            3 => Preset::InputForgeryHeavy,
+            _ => Preset::LongRoute,
+        },
+        concrete => concrete,
+    };
+
+    let route_len = match kind {
+        Preset::LongRoute => rng.gen_range(12usize..25),
+        _ => rng.gen_range(3usize..9),
+    };
+
+    // Attacker position: any non-home host. Collusion needs a successor,
+    // so the colluding tamperer never sits on the last host.
+    let (attacker_pos, attack) = match kind {
+        Preset::AllHonest => (None, None),
+        Preset::SingleTamperer => {
+            let pos = rng.gen_range(1usize..route_len);
+            (Some(pos), Some(detectable_attack(&mut rng)))
+        }
+        Preset::ColludingPair => {
+            let pos = rng.gen_range(1usize..route_len - 1);
+            let attack = Attack::CollaborateTamper {
+                name: "total".into(),
+                value: Value::Int(-(rng.gen_range(1i64..1_000_000))),
+                accomplice: HostId::new(format!("h{}", pos + 1)),
+            };
+            (Some(pos), Some(attack))
+        }
+        Preset::InputForgeryHeavy => {
+            let pos = rng.gen_range(1usize..route_len);
+            (Some(pos), Some(undetectable_attack(&mut rng)))
+        }
+        Preset::LongRoute => {
+            // 30% honest, 50% detectable, 20% outside the bandwidth.
+            let roll = rng.gen_range(0u8..10);
+            if roll < 3 {
+                (None, None)
+            } else {
+                let pos = rng.gen_range(1usize..route_len);
+                let attack = if roll < 8 {
+                    detectable_attack(&mut rng)
+                } else {
+                    undetectable_attack(&mut rng)
+                };
+                (Some(pos), Some(attack))
+            }
+        }
+        Preset::Mixed => unreachable!("mixed resolves to a concrete kind above"),
+    };
+
+    let mut specs = Vec::with_capacity(route_len);
+    for pos in 0..route_len {
+        let mut spec = HostSpec::new(format!("h{pos}"));
+        // The home host is trusted by definition; attackers are never
+        // trusted (the paper: "trusted hosts will not attack"); other
+        // hosts are trusted with probability ~0.3.
+        let is_attacker = attacker_pos == Some(pos);
+        if pos == 0 || (!is_attacker && rng.gen_bool(0.3)) {
+            spec = spec.trusted();
+        }
+        // Several copies of the summed input so control-flow attacks that
+        // revisit a host hit the hop budget instead of starving the feed,
+        // plus the never-read "unused" tag DropInput targets.
+        let offer = rng.gen_range(1i64..1000);
+        for _ in 0..3 {
+            spec = spec.with_input("n", Value::Int(offer));
+        }
+        spec = spec.with_input("unused", Value::Int(0));
+        if is_attacker {
+            spec = spec.malicious(attack.clone().expect("attacker position implies attack"));
+        }
+        specs.push(spec);
+    }
+
+    let attacker = attacker_pos.map(|pos| {
+        (
+            HostId::new(format!("h{pos}")),
+            attack.expect("attacker position implies attack"),
+        )
+    });
+    let attack_label = attacker
+        .as_ref()
+        .map(|(_, a)| a.label())
+        .unwrap_or("honest");
+
+    GeneratedScenario {
+        id,
+        kind,
+        start: HostId::new("h0"),
+        agent: build_route_agent(id, route_len),
+        specs,
+        attacker,
+        attack_label,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for id in 0..50 {
+            let a = generate(42, id, Preset::Mixed);
+            let b = generate(42, id, Preset::Mixed);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.attack_label, b.attack_label);
+            assert_eq!(a.route_len(), b.route_len());
+            assert_eq!(a.agent, b.agent);
+            assert_eq!(
+                a.specs.iter().map(|s| s.trusted).collect::<Vec<_>>(),
+                b.specs.iter().map(|s| s.trusted).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let kinds_a: Vec<_> = (0..40)
+            .map(|id| generate(1, id, Preset::Mixed).kind)
+            .collect();
+        let kinds_b: Vec<_> = (0..40)
+            .map(|id| generate(2, id, Preset::Mixed).kind)
+            .collect();
+        assert_ne!(kinds_a, kinds_b);
+    }
+
+    #[test]
+    fn all_honest_has_no_attacker() {
+        for id in 0..50 {
+            let s = generate(7, id, Preset::AllHonest);
+            assert!(s.attacker.is_none());
+            assert_eq!(s.attack_label, "honest");
+            assert!(s.specs.iter().all(|spec| spec.behaviour.is_honest()));
+        }
+    }
+
+    #[test]
+    fn single_tamperer_has_one_untrusted_detectable_attacker() {
+        for id in 0..50 {
+            let s = generate(7, id, Preset::SingleTamperer);
+            let (host, attack) = s.attacker.expect("attacker present");
+            assert!(attack.detectable_by_reference_state(), "{attack:?}");
+            let spec = s
+                .specs
+                .iter()
+                .find(|spec| spec.id == host)
+                .expect("attacker spec exists");
+            assert!(!spec.trusted, "attackers are never trusted");
+            assert_ne!(spec.id, s.start, "the home host never attacks");
+            let malicious = s.specs.iter().filter(|s| !s.behaviour.is_honest()).count();
+            assert_eq!(malicious, 1);
+        }
+    }
+
+    #[test]
+    fn colluding_pair_accomplice_is_successor() {
+        for id in 0..50 {
+            let s = generate(9, id, Preset::ColludingPair);
+            let (host, attack) = s.attacker.clone().expect("attacker present");
+            let Attack::CollaborateTamper { accomplice, .. } = attack else {
+                panic!("colluding preset generates CollaborateTamper");
+            };
+            let pos: usize = host.as_str()[1..].parse().unwrap();
+            assert_eq!(accomplice.as_str(), format!("h{}", pos + 1));
+            assert!(pos + 1 < s.route_len(), "accomplice is on the route");
+        }
+    }
+
+    #[test]
+    fn input_forgery_attacks_are_outside_bandwidth() {
+        for id in 0..50 {
+            let s = generate(11, id, Preset::InputForgeryHeavy);
+            let (_, attack) = s.attacker.expect("attacker present");
+            assert!(!attack.detectable_by_reference_state(), "{attack:?}");
+        }
+    }
+
+    #[test]
+    fn long_routes_are_long() {
+        for id in 0..30 {
+            let s = generate(13, id, Preset::LongRoute);
+            assert!((12..25).contains(&s.route_len()));
+        }
+    }
+
+    #[test]
+    fn mixed_draws_every_family() {
+        let kinds: std::collections::BTreeSet<_> = (0..200)
+            .map(|id| generate(42, id, Preset::Mixed).kind.name())
+            .collect();
+        assert!(
+            kinds.len() >= 4,
+            "mixed covers most families, got {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn route_agent_program_assembles_for_all_lengths() {
+        for n in 2..26 {
+            let agent = build_route_agent(0, n);
+            assert_eq!(agent.state.get_int("total"), Some(0));
+        }
+    }
+}

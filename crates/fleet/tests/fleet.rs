@@ -1,0 +1,182 @@
+//! Integration tests for the fleet engine: the determinism contract, the
+//! false-accusation canary, and detection/attribution guarantees.
+
+use refstate_fleet::{run_fleet, FleetConfig, FleetMechanism, Preset};
+
+fn config(preset: Preset, mechanisms: Vec<FleetMechanism>, workers: usize) -> FleetConfig {
+    FleetConfig {
+        scenarios: 120,
+        workers,
+        seed: 42,
+        preset,
+        mechanisms,
+        key_pool: 16,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_produces_byte_identical_report() {
+    let a = run_fleet(&config(Preset::Mixed, FleetMechanism::ALL.to_vec(), 4));
+    let b = run_fleet(&config(Preset::Mixed, FleetMechanism::ALL.to_vec(), 4));
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.report.to_json(), b.report.to_json());
+}
+
+#[test]
+fn report_is_invariant_under_worker_count() {
+    // Scheduling must not leak into the deterministic surface: one worker
+    // and seven workers see the same fleet.
+    let serial = run_fleet(&config(Preset::Mixed, FleetMechanism::ALL.to_vec(), 1));
+    let parallel = run_fleet(&config(Preset::Mixed, FleetMechanism::ALL.to_vec(), 7));
+    assert_eq!(serial.report.to_json(), parallel.report.to_json());
+}
+
+#[test]
+fn different_seed_produces_different_fleet() {
+    let a = run_fleet(&config(Preset::Mixed, vec![FleetMechanism::Unprotected], 4));
+    let mut other = config(Preset::Mixed, vec![FleetMechanism::Unprotected], 4);
+    other.seed = 43;
+    let b = run_fleet(&other);
+    assert_ne!(a.report.to_json(), b.report.to_json());
+}
+
+#[test]
+fn all_honest_preset_has_zero_accusations() {
+    let run = run_fleet(&config(Preset::AllHonest, FleetMechanism::ALL.to_vec(), 4));
+    for mechanism in &run.report.mechanisms {
+        assert_eq!(
+            mechanism.total.detected, 0,
+            "{} flagged an honest fleet",
+            mechanism.mechanism
+        );
+        assert_eq!(
+            mechanism.total.false_accusations, 0,
+            "{} accused an honest host",
+            mechanism.mechanism
+        );
+        assert_eq!(mechanism.total.journeys, 120);
+        assert_eq!(mechanism.total.completed, 120);
+        assert_eq!(mechanism.total.infra_errors, 0);
+    }
+}
+
+#[test]
+fn single_tamperer_is_always_caught_and_attributed() {
+    // The strong checking mechanisms must catch every detectable
+    // single-tamperer attack and blame exactly the attacker.
+    let run = run_fleet(&config(
+        Preset::SingleTamperer,
+        vec![
+            FleetMechanism::FrameworkReExecution,
+            FleetMechanism::SessionCheckingProtocol,
+        ],
+        4,
+    ));
+    for mechanism in &run.report.mechanisms {
+        assert_eq!(mechanism.total.journeys, 120);
+        assert_eq!(
+            mechanism.total.detected, 120,
+            "{} missed a single-tamperer attack",
+            mechanism.mechanism
+        );
+        assert!(
+            (mechanism.total.detection_rate() - 1.0).abs() < f64::EPSILON,
+            "{} detection rate below 1.0",
+            mechanism.mechanism
+        );
+        assert_eq!(
+            mechanism.total.correct_culprit, 120,
+            "{} blamed the wrong host",
+            mechanism.mechanism
+        );
+        assert_eq!(mechanism.total.false_accusations, 0);
+    }
+}
+
+#[test]
+fn unprotected_baseline_detects_nothing() {
+    let run = run_fleet(&config(
+        Preset::SingleTamperer,
+        vec![FleetMechanism::Unprotected],
+        4,
+    ));
+    assert_eq!(run.report.mechanisms[0].total.detected, 0);
+}
+
+#[test]
+fn input_forgery_stays_outside_the_bandwidth() {
+    // The paper's §4.2 claim at fleet scale: no reference-state mechanism
+    // flags input forgery/suppression or read attacks.
+    let run = run_fleet(&config(
+        Preset::InputForgeryHeavy,
+        vec![
+            FleetMechanism::FrameworkReExecution,
+            FleetMechanism::SessionCheckingProtocol,
+            FleetMechanism::ExecutionTraces,
+        ],
+        4,
+    ));
+    for mechanism in &run.report.mechanisms {
+        assert_eq!(
+            mechanism.total.detected, 0,
+            "{} impossibly detected an input-level attack",
+            mechanism.mechanism
+        );
+    }
+}
+
+#[test]
+fn collusion_beats_the_protocol_but_not_the_framework() {
+    // §5.1's stated limitation, reproduced across a whole population:
+    // consecutive-host collusion blinds the session-checking protocol;
+    // the generic framework driver (no collusion modelling) still checks.
+    let run = run_fleet(&config(
+        Preset::ColludingPair,
+        vec![
+            FleetMechanism::SessionCheckingProtocol,
+            FleetMechanism::FrameworkReExecution,
+        ],
+        4,
+    ));
+    let protocol = &run.report.mechanisms[0];
+    let framework = &run.report.mechanisms[1];
+    assert_eq!(
+        protocol.total.detected, 0,
+        "the accomplice skips the check (§5.1)"
+    );
+    assert_eq!(framework.total.detected, 120);
+}
+
+#[test]
+fn per_attack_breakdown_covers_generated_labels() {
+    let run = run_fleet(&config(
+        Preset::Mixed,
+        vec![FleetMechanism::SessionCheckingProtocol],
+        4,
+    ));
+    let per_attack = &run.report.mechanisms[0].per_attack;
+    let total: u64 = per_attack.values().map(|c| c.journeys).sum();
+    assert_eq!(
+        total, 120,
+        "every journey lands in exactly one attack class"
+    );
+    assert!(per_attack.contains_key("honest"));
+    assert!(
+        per_attack.len() >= 4,
+        "mixed fleet spans attack classes, got {:?}",
+        per_attack.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn report_json_is_well_formed_enough_to_round_trip_counts() {
+    let run = run_fleet(&config(Preset::Mixed, vec![FleetMechanism::Unprotected], 2));
+    let json = run.report.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(json.contains("\"seed\":42"));
+    assert!(json.contains("\"scenarios\":120"));
+    assert!(json.contains("\"mechanism\":\"unprotected\""));
+}

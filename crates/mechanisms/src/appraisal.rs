@@ -15,9 +15,7 @@
 
 use refstate_core::rules::RuleSet;
 use refstate_core::verdict::CheckVerdict;
-use refstate_platform::{
-    AgentImage, Event, EventLog, Host, HostId,
-};
+use refstate_platform::{AgentImage, Event, EventLog, Host, HostId};
 use refstate_vm::{DataState, ExecConfig, SessionEnd, VmError};
 
 /// The outcome of a state-appraised journey.
@@ -53,6 +51,7 @@ impl AppraisalOutcome {
 ///
 /// Returns [`VmError`] for infrastructure failures (the appraisal result is
 /// reported in the outcome, not as an error).
+#[allow(clippy::too_many_arguments)]
 pub fn run_appraised_journey(
     hosts: &mut [Host],
     start: impl Into<HostId>,
@@ -66,7 +65,10 @@ pub fn run_appraised_journey(
     let mut image = agent;
     let creation_state = image.state.clone();
     let mut current: HostId = start.into();
-    log.record(Event::AgentCreated { agent: image.id.clone(), home: current.clone() });
+    log.record(Event::AgentCreated {
+        agent: image.id.clone(),
+        home: current.clone(),
+    });
     let mut path = vec![current.clone()];
     let mut verdicts = Vec::new();
     let mut previous: Option<HostId> = None;
@@ -111,10 +113,14 @@ pub fn run_appraised_journey(
         }
 
         // --- execute ---
-        let host = hosts
-            .iter_mut()
-            .find(|h| h.id() == &current)
-            .ok_or(VmError::InputUnavailable { pc: 0, what: format!("host:{current}") })?;
+        let host =
+            hosts
+                .iter_mut()
+                .find(|h| h.id() == &current)
+                .ok_or(VmError::InputUnavailable {
+                    pc: 0,
+                    what: format!("host:{current}"),
+                })?;
         let record = host.execute_session(&image, exec, log)?;
         image.state = record.outcome.state.clone();
         match &record.outcome.end {
@@ -140,7 +146,9 @@ pub fn run_appraised_journey(
             }
         }
     }
-    Err(VmError::StepLimitExceeded { limit: max_hops as u64 })
+    Err(VmError::StepLimitExceeded {
+        limit: max_hops as u64,
+    })
 }
 
 #[cfg(test)]
@@ -215,9 +223,21 @@ mod tests {
             b = b.malicious(a);
         }
         vec![
-            Host::new(HostSpec::new("a").trusted().with_input("cost", Value::Int(10)), &params, &mut rng),
+            Host::new(
+                HostSpec::new("a")
+                    .trusted()
+                    .with_input("cost", Value::Int(10)),
+                &params,
+                &mut rng,
+            ),
             Host::new(b, &params, &mut rng),
-            Host::new(HostSpec::new("c").trusted().with_input("cost", Value::Int(5)), &params, &mut rng),
+            Host::new(
+                HostSpec::new("c")
+                    .trusted()
+                    .with_input("cost", Value::Int(5)),
+                &params,
+                &mut rng,
+            ),
         ]
     }
 
@@ -307,7 +327,10 @@ mod tests {
             10,
         )
         .unwrap();
-        assert!(missed.clean(), "rules that don't mention a variable cannot protect it");
+        assert!(
+            missed.clean(),
+            "rules that don't mention a variable cannot protect it"
+        );
         assert_eq!(missed.path.len(), 3);
         assert_eq!(missed.final_state.get_int("planted"), Some(1));
     }

@@ -1,0 +1,435 @@
+//! Fleet adapters: one uniform entry point per mechanism, over *arbitrary*
+//! generated host sets.
+//!
+//! [`crate::matrix`] drives each mechanism over one hand-built three-host
+//! scenario. A fleet-scale engine instead generates thousands of host
+//! topologies and needs every mechanism behind the same narrow interface:
+//! take a host set and an agent, run one protected journey, report *what
+//! was detected and who was accused*. That interface is
+//! [`run_fleet_journey`] and its [`JourneyVerdict`].
+//!
+//! Verdict semantics are identical across mechanisms so aggregate rates
+//! are comparable:
+//!
+//! * `detected` — the mechanism flagged the run,
+//! * `accused` — the hosts the mechanism blamed (empty when undetected;
+//!   fleet reports score these against the scenario's actual attacker to
+//!   measure culprit-attribution accuracy and false accusations),
+//! * `completed` — the journey ran to its halt instruction (mechanisms
+//!   that check per session abort at the detection point; traces detect
+//!   only after completion),
+//! * `infra_error` — the journey died of an infrastructure failure (e.g.
+//!   input exhaustion after a control-flow attack); counted separately so
+//!   detection rates are not silently inflated or deflated.
+
+use std::sync::Arc;
+
+use refstate_core::framework::{run_framework_journey, ProtectedAgent, ProtectionConfig};
+use refstate_core::protocol::{
+    host_directory, run_protected_journey_with_directory, ProtocolConfig,
+};
+use refstate_core::rules::{CmpOp, Expr, Pred, RuleSet};
+use refstate_core::ReExecutionChecker;
+use refstate_crypto::KeyDirectory;
+use refstate_platform::{run_plain_journey, AgentImage, EventLog, Host, HostId};
+use refstate_vm::ExecConfig;
+
+use crate::appraisal::run_appraised_journey;
+use crate::traces::{audit_journey, run_traced_journey};
+
+/// The mechanisms a fleet engine can drive through the uniform adapter.
+///
+/// [`crate::matrix::MechanismKind::ServerReplication`] is deliberately
+/// absent: replication changes the *topology* (replica stages), not just
+/// the checking discipline, so it does not fit the shared
+/// one-journey-over-one-route interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FleetMechanism {
+    /// No protection (baseline row; never detects).
+    Unprotected,
+    /// State appraisal against a rule set (§3.1).
+    StateAppraisal,
+    /// The generic framework with re-execution checking.
+    FrameworkReExecution,
+    /// The paper's §5.1 session-checking protocol (signatures included).
+    SessionCheckingProtocol,
+    /// Vigna traces with an owner audit after the journey (§3.3).
+    ExecutionTraces,
+}
+
+impl FleetMechanism {
+    /// Every adapter-driveable mechanism.
+    pub const ALL: [FleetMechanism; 5] = [
+        FleetMechanism::Unprotected,
+        FleetMechanism::StateAppraisal,
+        FleetMechanism::FrameworkReExecution,
+        FleetMechanism::SessionCheckingProtocol,
+        FleetMechanism::ExecutionTraces,
+    ];
+
+    /// Display / CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetMechanism::Unprotected => "unprotected",
+            FleetMechanism::StateAppraisal => "appraisal",
+            FleetMechanism::FrameworkReExecution => "framework",
+            FleetMechanism::SessionCheckingProtocol => "protocol",
+            FleetMechanism::ExecutionTraces => "traces",
+        }
+    }
+
+    /// Parses a CLI name (see [`FleetMechanism::name`]).
+    pub fn parse(s: &str) -> Option<FleetMechanism> {
+        FleetMechanism::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl std::fmt::Display for FleetMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shared per-fleet configuration for the adapters.
+#[derive(Debug, Clone)]
+pub struct FleetAdapterConfig {
+    /// Execution limits for sessions and checks (applied uniformly: the
+    /// protocol adapter overrides its [`ProtocolConfig::exec`] and
+    /// `max_hops` with these shared values so every mechanism runs under
+    /// identical limits).
+    pub exec: ExecConfig,
+    /// Config for [`FleetMechanism::SessionCheckingProtocol`] (its `exec`
+    /// and `max_hops` are superseded by the shared fields above).
+    pub protocol: ProtocolConfig,
+    /// Rule set for [`FleetMechanism::StateAppraisal`]. The default
+    /// expresses what a programmer of the fleet's route agent plausibly
+    /// writes (`total` defined and non-negative) — rule-preserving
+    /// attacks pass it, matching the §4.1 "lower end of the scale".
+    pub rules: RuleSet,
+    /// Hop budget for the unchecked drivers.
+    pub max_hops: usize,
+}
+
+impl Default for FleetAdapterConfig {
+    fn default() -> Self {
+        FleetAdapterConfig {
+            exec: ExecConfig::default(),
+            protocol: ProtocolConfig::default(),
+            rules: RuleSet::new()
+                .rule("total-defined", Pred::Defined("total".into()))
+                .rule(
+                    "total-non-negative",
+                    Pred::cmp(CmpOp::Ge, Expr::var("total"), Expr::int(0)),
+                ),
+            max_hops: 64,
+        }
+    }
+}
+
+/// The uniform result of one mechanism over one journey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JourneyVerdict {
+    /// The mechanism flagged the run.
+    pub detected: bool,
+    /// The hosts the mechanism blamed (empty when nothing was detected).
+    pub accused: Vec<HostId>,
+    /// The journey ran to its halt instruction.
+    pub completed: bool,
+    /// The journey died of an infrastructure failure.
+    pub infra_error: bool,
+}
+
+impl JourneyVerdict {
+    fn clean(completed: bool) -> Self {
+        JourneyVerdict {
+            detected: false,
+            accused: Vec::new(),
+            completed,
+            infra_error: !completed,
+        }
+    }
+
+    fn accusing(accused: Vec<HostId>, completed: bool) -> Self {
+        JourneyVerdict {
+            detected: true,
+            accused,
+            completed,
+            infra_error: false,
+        }
+    }
+}
+
+/// Runs one journey of `agent` over `hosts` under `mechanism`.
+///
+/// `directory` is the PKI for the signature-carrying mechanisms; pass the
+/// one built by [`host_directory`] when reusing keys across journeys, or
+/// `None` to have it built on the fly.
+pub fn run_fleet_journey(
+    mechanism: FleetMechanism,
+    hosts: &mut [Host],
+    start: &HostId,
+    agent: AgentImage,
+    config: &FleetAdapterConfig,
+    directory: Option<&KeyDirectory>,
+    log: &EventLog,
+) -> JourneyVerdict {
+    match mechanism {
+        FleetMechanism::Unprotected => {
+            let outcome = run_plain_journey(
+                hosts,
+                start.clone(),
+                agent,
+                &config.exec,
+                log,
+                config.max_hops,
+            );
+            JourneyVerdict::clean(outcome.is_ok())
+        }
+        // Appraisal is arrival-only by construction (the paper: checking is
+        // "the first step of executing an agent arrived at a host"), so an
+        // attack on the *final* host has no next arrival and goes unseen.
+        // That is the mechanism's measured bandwidth, not a harness gap —
+        // fleet reports deliberately surface it as a sub-1.0 rate where
+        // the framework/protocol (which model an owner-side final check)
+        // score 1.0.
+        FleetMechanism::StateAppraisal => {
+            match run_appraised_journey(
+                hosts,
+                start.clone(),
+                agent,
+                &config.rules,
+                &[],
+                &config.exec,
+                log,
+                config.max_hops,
+            ) {
+                Ok(outcome) => match outcome.rejection {
+                    Some((culprit, _detector)) => JourneyVerdict::accusing(vec![culprit], false),
+                    None => JourneyVerdict::clean(true),
+                },
+                Err(_) => JourneyVerdict::clean(false),
+            }
+        }
+        FleetMechanism::FrameworkReExecution => {
+            let protection = ProtectionConfig::new(Arc::new(ReExecutionChecker::new()));
+            match run_framework_journey(
+                hosts,
+                start.clone(),
+                ProtectedAgent::new(agent, protection),
+                log,
+            ) {
+                Ok(outcome) => match outcome.fraud {
+                    Some(fraud) => {
+                        // The final-session check attributes the checker to
+                        // the executor itself: the journey reached its halt
+                        // before the owner-side check flagged it.
+                        let completed = fraud.detector == fraud.culprit;
+                        JourneyVerdict::accusing(vec![fraud.culprit], completed)
+                    }
+                    None => JourneyVerdict::clean(true),
+                },
+                Err(_) => JourneyVerdict::clean(false),
+            }
+        }
+        FleetMechanism::SessionCheckingProtocol => {
+            let built;
+            let directory = match directory {
+                Some(d) => d,
+                None => {
+                    built = host_directory(hosts);
+                    &built
+                }
+            };
+            let protocol = ProtocolConfig {
+                exec: config.exec.clone(),
+                max_hops: config.max_hops,
+                ..config.protocol.clone()
+            };
+            match run_protected_journey_with_directory(
+                hosts,
+                start.clone(),
+                agent,
+                &protocol,
+                log,
+                directory,
+            ) {
+                Ok(outcome) => match outcome.fraud {
+                    Some(fraud) => {
+                        // A fraud detected by the owner's post-halt check
+                        // means the journey itself ran to completion.
+                        let completed = fraud.detector.as_str() == "owner";
+                        JourneyVerdict::accusing(vec![fraud.culprit], completed)
+                    }
+                    None => JourneyVerdict::clean(true),
+                },
+                Err(_) => JourneyVerdict::clean(false),
+            }
+        }
+        FleetMechanism::ExecutionTraces => {
+            let built;
+            let directory = match directory {
+                Some(d) => d,
+                None => {
+                    built = host_directory(hosts);
+                    &built
+                }
+            };
+            let program = agent.program.clone();
+            match run_traced_journey(
+                hosts,
+                start.clone(),
+                agent,
+                &config.exec,
+                log,
+                config.max_hops,
+            ) {
+                Ok(journey) => {
+                    let report = audit_journey(&journey, &program, directory, &config.exec, log);
+                    match report.culprit {
+                        Some(culprit) => JourneyVerdict::accusing(vec![culprit], true),
+                        None => JourneyVerdict::clean(true),
+                    }
+                }
+                Err(_) => JourneyVerdict::clean(false),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use refstate_crypto::DsaParams;
+    use refstate_platform::{Attack, HostSpec};
+    use refstate_vm::{assemble, DataState, Value};
+
+    fn three_host_agent() -> AgentImage {
+        let program = assemble(
+            r#"
+            input "n"
+            load "total"
+            add
+            store "total"
+            load "hop"
+            push 1
+            add
+            store "hop"
+            load "hop"
+            push 1
+            eq
+            jnz to_b
+            load "hop"
+            push 2
+            eq
+            jnz to_c
+            halt
+        to_b:
+            push "b"
+            migrate
+        to_c:
+            push "c"
+            migrate
+        "#,
+        )
+        .unwrap();
+        let mut state = DataState::new();
+        state.set("total", Value::Int(0));
+        state.set("hop", Value::Int(0));
+        AgentImage::new("adapter-test", program, state)
+    }
+
+    fn hosts(middle_attack: Option<Attack>) -> Vec<Host> {
+        let mut rng = StdRng::seed_from_u64(77);
+        let params = DsaParams::test_group_256();
+        let mut b = HostSpec::new("b").with_input("n", Value::Int(20));
+        if let Some(a) = middle_attack {
+            b = b.malicious(a);
+        }
+        Host::build_all(
+            vec![
+                HostSpec::new("a").trusted().with_input("n", Value::Int(10)),
+                b,
+                HostSpec::new("c").trusted().with_input("n", Value::Int(30)),
+            ],
+            &params,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn every_mechanism_passes_honest_run() {
+        for mechanism in FleetMechanism::ALL {
+            let mut hs = hosts(None);
+            let verdict = run_fleet_journey(
+                mechanism,
+                &mut hs,
+                &HostId::new("a"),
+                three_host_agent(),
+                &FleetAdapterConfig::default(),
+                None,
+                &EventLog::new(),
+            );
+            assert!(!verdict.detected, "{mechanism} false-positived");
+            assert!(verdict.accused.is_empty());
+            assert!(verdict.completed, "{mechanism} did not complete");
+        }
+    }
+
+    #[test]
+    fn checking_mechanisms_catch_and_attribute_tampering() {
+        for mechanism in [
+            FleetMechanism::FrameworkReExecution,
+            FleetMechanism::SessionCheckingProtocol,
+            FleetMechanism::ExecutionTraces,
+        ] {
+            let mut hs = hosts(Some(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(-9),
+            }));
+            let verdict = run_fleet_journey(
+                mechanism,
+                &mut hs,
+                &HostId::new("a"),
+                three_host_agent(),
+                &FleetAdapterConfig::default(),
+                None,
+                &EventLog::new(),
+            );
+            assert!(verdict.detected, "{mechanism} missed the tampering");
+            assert_eq!(
+                verdict.accused,
+                vec![HostId::new("b")],
+                "{mechanism} blamed wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn unprotected_never_detects() {
+        let mut hs = hosts(Some(Attack::TamperVariable {
+            name: "total".into(),
+            value: Value::Int(-9),
+        }));
+        let verdict = run_fleet_journey(
+            FleetMechanism::Unprotected,
+            &mut hs,
+            &HostId::new("a"),
+            three_host_agent(),
+            &FleetAdapterConfig::default(),
+            None,
+            &EventLog::new(),
+        );
+        assert!(!verdict.detected);
+        assert!(verdict.completed);
+    }
+
+    #[test]
+    fn mechanism_names_round_trip() {
+        for m in FleetMechanism::ALL {
+            assert_eq!(FleetMechanism::parse(m.name()), Some(m));
+        }
+        assert_eq!(FleetMechanism::parse("nope"), None);
+    }
+}

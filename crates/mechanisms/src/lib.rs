@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod appraisal;
+pub mod fleet;
 pub mod matrix;
 pub mod merkle;
 pub mod proofs;
@@ -28,6 +29,7 @@ pub mod replication;
 pub mod traces;
 
 pub use appraisal::{run_appraised_journey, AppraisalOutcome};
+pub use fleet::{run_fleet_journey, FleetAdapterConfig, FleetMechanism, JourneyVerdict};
 pub use matrix::{detection_matrix, DetectionCell, MechanismKind, ScenarioSpec};
 pub use merkle::{MerklePath, MerkleTree};
 pub use proofs::{ExecutionProof, ProofError, Prover, StepOpening, Verifier};

@@ -91,20 +91,32 @@ pub struct ScenarioSpec {
 /// The standard attack scenarios.
 pub fn standard_scenarios() -> Vec<ScenarioSpec> {
     vec![
-        ScenarioSpec { label: "honest", attack: None, expected_detectable: false },
+        ScenarioSpec {
+            label: "honest",
+            attack: None,
+            expected_detectable: false,
+        },
         ScenarioSpec {
             label: "tamper-variable",
-            attack: Some(Attack::TamperVariable { name: "total".into(), value: Value::Int(7) }),
+            attack: Some(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(7),
+            }),
             expected_detectable: true,
         },
         ScenarioSpec {
             label: "delete-variable",
-            attack: Some(Attack::DeleteVariable { name: "total".into() }),
+            attack: Some(Attack::DeleteVariable {
+                name: "total".into(),
+            }),
             expected_detectable: true,
         },
         ScenarioSpec {
             label: "scale-int",
-            attack: Some(Attack::ScaleIntVariable { name: "total".into(), factor: 3 }),
+            attack: Some(Attack::ScaleIntVariable {
+                name: "total".into(),
+                factor: 3,
+            }),
             expected_detectable: true,
         },
         ScenarioSpec {
@@ -117,17 +129,24 @@ pub fn standard_scenarios() -> Vec<ScenarioSpec> {
             // Send the agent back to "a" instead of onward to "c": a real
             // detour (redirecting to the legitimate next hop would be a
             // no-op, not an attack).
-            attack: Some(Attack::RedirectMigration { to: HostId::new("a") }),
+            attack: Some(Attack::RedirectMigration {
+                to: HostId::new("a"),
+            }),
             expected_detectable: true,
         },
         ScenarioSpec {
             label: "forge-input",
-            attack: Some(Attack::ForgeInput { tag: "n".into(), value: Value::Int(-9) }),
+            attack: Some(Attack::ForgeInput {
+                tag: "n".into(),
+                value: Value::Int(-9),
+            }),
             expected_detectable: false,
         },
         ScenarioSpec {
             label: "drop-input",
-            attack: Some(Attack::DropInput { tag: "unused".into() }),
+            attack: Some(Attack::DropInput {
+                tag: "unused".into(),
+            }),
             expected_detectable: false,
         },
         ScenarioSpec {
@@ -199,14 +218,24 @@ fn matrix_agent() -> AgentImage {
 fn matrix_hosts(attack: Option<Attack>, seed: u64) -> Vec<Host> {
     let mut rng = StdRng::seed_from_u64(seed);
     let params = DsaParams::test_group_256();
-    let mut b = HostSpec::new("b").with_input("n", Value::Int(20)).with_input("unused", Value::Int(0));
+    let mut b = HostSpec::new("b")
+        .with_input("n", Value::Int(20))
+        .with_input("unused", Value::Int(0));
     if let Some(a) = attack {
         b = b.malicious(a);
     }
     vec![
-        Host::new(HostSpec::new("a").trusted().with_input("n", Value::Int(10)), &params, &mut rng),
+        Host::new(
+            HostSpec::new("a").trusted().with_input("n", Value::Int(10)),
+            &params,
+            &mut rng,
+        ),
         Host::new(b, &params, &mut rng),
-        Host::new(HostSpec::new("c").trusted().with_input("n", Value::Int(30)), &params, &mut rng),
+        Host::new(
+            HostSpec::new("c").trusted().with_input("n", Value::Int(30)),
+            &params,
+            &mut rng,
+        ),
     ]
 }
 
@@ -227,7 +256,10 @@ pub fn run_cell(mechanism: MechanismKind, scenario: &ScenarioSpec) -> DetectionC
             // writes: total defined and non-negative, hop counter in range.
             let rules = RuleSet::new()
                 .rule("total-defined", Pred::Defined("total".into()))
-                .rule("total-non-negative", Pred::cmp(CmpOp::Ge, Expr::var("total"), Expr::int(0)))
+                .rule(
+                    "total-non-negative",
+                    Pred::cmp(CmpOp::Ge, Expr::var("total"), Expr::int(0)),
+                )
                 .rule(
                     "hops-in-range",
                     Pred::cmp(CmpOp::Le, Expr::var("hops"), Expr::int(3)),
@@ -240,8 +272,7 @@ pub fn run_cell(mechanism: MechanismKind, scenario: &ScenarioSpec) -> DetectionC
         MechanismKind::FrameworkReExecution => {
             let mut hosts = matrix_hosts(scenario.attack.clone(), 3);
             let config = ProtectionConfig::new(Arc::new(ReExecutionChecker::new()));
-            match run_framework_journey(&mut hosts, "a", ProtectedAgent::new(agent, config), &log)
-            {
+            match run_framework_journey(&mut hosts, "a", ProtectedAgent::new(agent, config), &log) {
                 Ok(outcome) => {
                     let detected = outcome.fraud.is_some();
                     (detected, !detected)
@@ -293,8 +324,16 @@ pub fn run_cell(mechanism: MechanismKind, scenario: &ScenarioSpec) -> DetectionC
                     &mut rng,
                 ),
                 Host::new(b, &params, &mut rng),
-                Host::new(HostSpec::new("b1").with_input("n", Value::Int(20)), &params, &mut rng),
-                Host::new(HostSpec::new("b2").with_input("n", Value::Int(20)), &params, &mut rng),
+                Host::new(
+                    HostSpec::new("b1").with_input("n", Value::Int(20)),
+                    &params,
+                    &mut rng,
+                ),
+                Host::new(
+                    HostSpec::new("b2").with_input("n", Value::Int(20)),
+                    &params,
+                    &mut rng,
+                ),
                 Host::new(
                     HostSpec::new("c").trusted().with_input("n", Value::Int(30)),
                     &params,
@@ -312,7 +351,12 @@ pub fn run_cell(mechanism: MechanismKind, scenario: &ScenarioSpec) -> DetectionC
             }
         }
     };
-    DetectionCell { mechanism, scenario: scenario.label, detected, completed }
+    DetectionCell {
+        mechanism,
+        scenario: scenario.label,
+        detected,
+        completed,
+    }
 }
 
 /// Runs the full matrix.
@@ -445,7 +489,10 @@ mod tests {
     #[test]
     fn full_matrix_has_all_cells() {
         let cells = detection_matrix();
-        assert_eq!(cells.len(), MechanismKind::ALL.len() * standard_scenarios().len());
+        assert_eq!(
+            cells.len(),
+            MechanismKind::ALL.len() * standard_scenarios().len()
+        );
         let rendered = render_matrix(&cells);
         assert!(rendered.contains("session checking"));
         assert!(rendered.contains("DETECTED"));

@@ -61,7 +61,10 @@ impl MerkleTree {
     /// Panics if no leaves are supplied.
     pub fn build<'a>(leaves: impl IntoIterator<Item = &'a [u8]>) -> Self {
         let leaf_digests: Vec<Digest> = leaves.into_iter().map(hash_leaf).collect();
-        assert!(!leaf_digests.is_empty(), "Merkle tree needs at least one leaf");
+        assert!(
+            !leaf_digests.is_empty(),
+            "Merkle tree needs at least one leaf"
+        );
         let mut levels = vec![leaf_digests];
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
@@ -99,7 +102,7 @@ impl MerkleTree {
         let mut siblings = Vec::with_capacity(self.levels.len() - 1);
         let mut i = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling_index = if i % 2 == 0 { i + 1 } else { i - 1 };
+            let sibling_index = if i.is_multiple_of(2) { i + 1 } else { i - 1 };
             let sibling = level.get(sibling_index).unwrap_or(&level[i]);
             siblings.push(*sibling);
             i /= 2;
@@ -115,7 +118,11 @@ impl MerklePath {
         let mut acc = hash_leaf(leaf_payload);
         let mut i = self.index;
         for sibling in &self.siblings {
-            acc = if i % 2 == 0 { hash_node(&acc, sibling) } else { hash_node(sibling, &acc) };
+            acc = if i.is_multiple_of(2) {
+                hash_node(&acc, sibling)
+            } else {
+                hash_node(sibling, &acc)
+            };
             i /= 2;
         }
         acc == *root

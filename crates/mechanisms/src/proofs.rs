@@ -29,8 +29,8 @@ use std::fmt;
 use refstate_crypto::{sha256, Digest};
 use refstate_platform::AgentId;
 use refstate_vm::{
-    DataState, ExecConfig, InputLog, Interpreter, MachineState, Program, SessionEnd,
-    SessionIo, SyscallKind, Value, VmError,
+    DataState, ExecConfig, InputLog, Interpreter, MachineState, Program, SessionEnd, SessionIo,
+    SyscallKind, Value, VmError,
 };
 use refstate_wire::to_wire;
 
@@ -174,7 +174,12 @@ impl Prover {
             input: outcome.input_log,
             initial_digest: sha256(&to_wire(&initial)),
         };
-        Ok(Prover { snapshots, tree, proof, end })
+        Ok(Prover {
+            snapshots,
+            tree,
+            proof,
+            end,
+        })
     }
 
     /// The published proof.
@@ -197,8 +202,8 @@ impl Prover {
         if index + 1 >= self.snapshots.len() {
             return Err(ProofError::IndexOutOfRange { index });
         }
-        let before: MachineState = refstate_wire::from_wire(&self.snapshots[index])
-            .expect("own snapshot re-decodes");
+        let before: MachineState =
+            refstate_wire::from_wire(&self.snapshots[index]).expect("own snapshot re-decodes");
         Ok(StepOpening {
             index,
             before,
@@ -258,11 +263,17 @@ impl MidSessionIo<'_> {
             .log
             .records()
             .get(self.consumed_before + self.used)
-            .ok_or_else(|| VmError::InputUnavailable { pc, what: what.to_owned() })?;
+            .ok_or_else(|| VmError::InputUnavailable {
+                pc,
+                what: what.to_owned(),
+            })?;
         if record.pc != pc as u64 {
             return Err(VmError::ReplayMismatch {
                 pc,
-                detail: format!("input log records pc {}, audited step is at pc {pc}", record.pc),
+                detail: format!(
+                    "input log records pc {}, audited step is at pc {pc}",
+                    record.pc
+                ),
             });
         }
         self.used += 1;
@@ -320,7 +331,16 @@ impl Verifier {
             .into_iter()
             .map(|i| prover.open_step(i))
             .collect();
-        self.verify_transcript(program, proof, &first, &first_path, &last, &last_path, &openings?, exec)
+        self.verify_transcript(
+            program,
+            proof,
+            &first,
+            &first_path,
+            &last,
+            &last_path,
+            &openings?,
+            exec,
+        )
     }
 
     /// Verifies boundary openings plus audited steps.
@@ -356,7 +376,9 @@ impl Verifier {
         }
         // ...and the last snapshot carries the claimed final state.
         if !last_path.verify(last, &proof.root) || last_path.index != proof.steps as usize {
-            return Err(ProofError::PathInvalid { index: proof.steps as usize });
+            return Err(ProofError::PathInvalid {
+                index: proof.steps as usize,
+            });
         }
         let last_state: MachineState =
             refstate_wire::from_wire(last).map_err(|_| ProofError::WrongEnd)?;
@@ -370,9 +392,7 @@ impl Verifier {
             .pc
             .checked_sub(1)
             .and_then(|pc| program.get(pc as usize))
-            .is_some_and(|i| {
-                matches!(i, refstate_vm::Instr::Halt | refstate_vm::Instr::Migrate)
-            });
+            .is_some_and(|i| matches!(i, refstate_vm::Instr::Halt | refstate_vm::Instr::Migrate));
         if proof.steps == 0 || !terminal {
             return Err(ProofError::WrongEnd);
         }
@@ -387,7 +407,9 @@ impl Verifier {
                 return Err(ProofError::PathInvalid { index: i });
             }
             if opening.after_path.index != i + 1
-                || !opening.after_path.verify(&opening.after_encoded, &proof.root)
+                || !opening
+                    .after_path
+                    .verify(&opening.after_encoded, &proof.root)
             {
                 return Err(ProofError::PathInvalid { index: i + 1 });
             }
@@ -403,7 +425,10 @@ impl Verifier {
             match interp.step(&mut io) {
                 Ok(_) => {}
                 Err(e) => {
-                    return Err(ProofError::StepFailed { index: i, error: e.to_string() })
+                    return Err(ProofError::StepFailed {
+                        index: i,
+                        error: e.to_string(),
+                    })
                 }
             }
             let after = interp.capture();
@@ -463,7 +488,9 @@ mod tests {
         let proof = prover.proof().clone();
         assert_eq!(proof.final_state.get_int("sum"), Some(190));
         let verifier = Verifier::new(8);
-        verifier.verify(&program, &proof, &prover, &ExecConfig::default()).unwrap();
+        verifier
+            .verify(&program, &proof, &prover, &ExecConfig::default())
+            .unwrap();
     }
 
     #[test]
@@ -481,7 +508,9 @@ mod tests {
         let mut proof = prover.proof().clone();
         proof.final_state.set("sum", Value::Int(999_999));
         let verifier = Verifier::new(8);
-        let err = verifier.verify(&program, &proof, &prover, &ExecConfig::default()).unwrap_err();
+        let err = verifier
+            .verify(&program, &proof, &prover, &ExecConfig::default())
+            .unwrap_err();
         assert_eq!(err, ProofError::WrongEnd);
     }
 
@@ -500,7 +529,9 @@ mod tests {
         let mut proof = prover.proof().clone();
         proof.initial_digest = sha256(b"some other state");
         let verifier = Verifier::new(4);
-        let err = verifier.verify(&program, &proof, &prover, &ExecConfig::default()).unwrap_err();
+        let err = verifier
+            .verify(&program, &proof, &prover, &ExecConfig::default())
+            .unwrap_err();
         assert_eq!(err, ProofError::WrongStart);
     }
 
@@ -561,7 +592,10 @@ mod tests {
         let tree = MerkleTree::build(snapshots.iter().map(|s| s.as_slice()));
         let forged_prover = Prover {
             snapshots,
-            proof: ExecutionProof { root: *tree.root(), ..honest.proof().clone() },
+            proof: ExecutionProof {
+                root: *tree.root(),
+                ..honest.proof().clone()
+            },
             tree,
             end: honest.end().clone(),
         };
@@ -569,8 +603,9 @@ mod tests {
         // Audit every step: the broken transition (mid-1 → mid or mid →
         // mid+1) must be caught.
         let n = proof.steps as usize;
-        let openings: Vec<StepOpening> =
-            (0..n).map(|i| forged_prover.open_step(i).unwrap()).collect();
+        let openings: Vec<StepOpening> = (0..n)
+            .map(|i| forged_prover.open_step(i).unwrap())
+            .collect();
         let (first, fp, last, lp) = forged_prover.open_boundaries();
         let err = Verifier::new(n)
             .verify_transcript(
@@ -600,7 +635,8 @@ mod tests {
         )
         .unwrap();
         let mut io = ScriptedIo::new();
-        io.push_input("a", Value::Int(3)).push_input("a", Value::Int(4));
+        io.push_input("a", Value::Int(3))
+            .push_input("a", Value::Int(4));
         let prover = Prover::execute(
             AgentId::new("a"),
             &program,
@@ -613,8 +649,7 @@ mod tests {
         assert_eq!(proof.final_state.get_int("sum"), Some(7));
         // Audit every step, including the input-consuming ones.
         let n = proof.steps as usize;
-        let openings: Vec<StepOpening> =
-            (0..n).map(|i| prover.open_step(i).unwrap()).collect();
+        let openings: Vec<StepOpening> = (0..n).map(|i| prover.open_step(i).unwrap()).collect();
         let (first, fp, last, lp) = prover.open_boundaries();
         Verifier::new(n)
             .verify_transcript(

@@ -24,7 +24,9 @@ pub struct StageSpec {
 impl StageSpec {
     /// A stage over the given replicas.
     pub fn new<I: IntoIterator<Item = H>, H: Into<HostId>>(replicas: I) -> Self {
-        StageSpec { replicas: replicas.into_iter().map(Into::into).collect() }
+        StageSpec {
+            replicas: replicas.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
@@ -137,7 +139,9 @@ pub fn run_replicated_pipeline(
             let host = hosts
                 .iter_mut()
                 .find(|h| h.id() == replica_id)
-                .ok_or_else(|| ReplicationError::UnknownHost { host: replica_id.clone() })?;
+                .ok_or_else(|| ReplicationError::UnknownHost {
+                    host: replica_id.clone(),
+                })?;
             let image = AgentImage::new(agent.id.clone(), agent.program.clone(), state.clone());
             let record = host.execute_session(&image, exec, log)?;
             // The vote covers the resulting state *and* the continuation
@@ -176,7 +180,12 @@ pub fn run_replicated_pipeline(
                 reason: "replica vote diverged from majority".into(),
             });
         }
-        let vote = StageVote { stage: stage_index, tally, winner, dissenters };
+        let vote = StageVote {
+            stage: stage_index,
+            tally,
+            winner,
+            dissenters,
+        };
         let has_majority = vote.has_majority();
         votes.push(vote);
 
@@ -184,12 +193,20 @@ pub fn run_replicated_pipeline(
             Some(w) => state = states.remove(&w).expect("winner digest present"),
             None => {
                 debug_assert!(!has_majority);
-                return Ok(ReplicationOutcome { final_state: None, votes, suspects });
+                return Ok(ReplicationOutcome {
+                    final_state: None,
+                    votes,
+                    suspects,
+                });
             }
         }
     }
 
-    Ok(ReplicationOutcome { final_state: Some(state), votes, suspects })
+    Ok(ReplicationOutcome {
+        final_state: Some(state),
+        votes,
+        suspects,
+    })
 }
 
 #[cfg(test)]
@@ -231,11 +248,11 @@ mod tests {
         let params = DsaParams::test_group_256();
         let mut hosts = Vec::new();
         let mut specs = Vec::new();
-        for s in 0..stages {
+        for (s, &offer) in offers.iter().enumerate().take(stages) {
             let mut ids = Vec::new();
             for r in 0..replicas {
                 let id = format!("s{s}r{r}");
-                let mut spec = HostSpec::new(id.as_str()).with_input("offer", Value::Int(offers[s]));
+                let mut spec = HostSpec::new(id.as_str()).with_input("offer", Value::Int(offer));
                 if bad.contains(&(s, r)) {
                     spec = spec.malicious(Attack::TamperVariable {
                         name: "total".into(),
@@ -254,9 +271,14 @@ mod tests {
     fn all_honest_reaches_unanimous_result() {
         let (mut hosts, stages) = build(3, 3, &[10, 20, 30], &[]);
         let log = EventLog::new();
-        let outcome =
-            run_replicated_pipeline(&mut hosts, &stages, stage_agent(), &ExecConfig::default(), &log)
-                .unwrap();
+        let outcome = run_replicated_pipeline(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+        )
+        .unwrap();
         assert!(outcome.unanimous());
         assert_eq!(outcome.final_state.unwrap().get_int("total"), Some(60));
     }
@@ -265,9 +287,14 @@ mod tests {
     fn single_malicious_replica_is_outvoted_and_identified() {
         let (mut hosts, stages) = build(3, 3, &[10, 20, 30], &[(1, 2)]);
         let log = EventLog::new();
-        let outcome =
-            run_replicated_pipeline(&mut hosts, &stages, stage_agent(), &ExecConfig::default(), &log)
-                .unwrap();
+        let outcome = run_replicated_pipeline(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+        )
+        .unwrap();
         assert_eq!(outcome.final_state.unwrap().get_int("total"), Some(60));
         assert_eq!(outcome.suspects, vec![HostId::new("s1r2")]);
         assert!(!outcome.votes[1].has_majority() || outcome.votes[1].dissenters.len() == 1);
@@ -280,9 +307,14 @@ mod tests {
         // found as long as the condition holds" (§3.2).
         let (mut hosts, stages) = build(3, 3, &[10, 20, 30], &[(0, 0), (2, 1)]);
         let log = EventLog::new();
-        let outcome =
-            run_replicated_pipeline(&mut hosts, &stages, stage_agent(), &ExecConfig::default(), &log)
-                .unwrap();
+        let outcome = run_replicated_pipeline(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+        )
+        .unwrap();
         assert_eq!(outcome.final_state.unwrap().get_int("total"), Some(60));
         assert_eq!(outcome.suspects.len(), 2);
     }
@@ -293,12 +325,21 @@ mod tests {
         // the n/2 bound is tight.
         let (mut hosts, stages) = build(2, 3, &[10, 20], &[(0, 0), (0, 1)]);
         let log = EventLog::new();
-        let outcome =
-            run_replicated_pipeline(&mut hosts, &stages, stage_agent(), &ExecConfig::default(), &log)
-                .unwrap();
+        let outcome = run_replicated_pipeline(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+        )
+        .unwrap();
         // The attackers' identical forged state wins stage 0.
         let final_state = outcome.final_state.expect("majority (of attackers) exists");
-        assert_eq!(final_state.get_int("total"), Some(19), "-1 forged, then +20 honestly");
+        assert_eq!(
+            final_state.get_int("total"),
+            Some(19),
+            "-1 forged, then +20 honestly"
+        );
         // The honest replica is the one flagged as dissenting!
         assert_eq!(outcome.suspects, vec![HostId::new("s0r2")]);
     }
@@ -313,23 +354,34 @@ mod tests {
             Host::new(
                 HostSpec::new("x0")
                     .with_input("offer", Value::Int(5))
-                    .malicious(Attack::TamperVariable { name: "total".into(), value: Value::Int(-1) }),
+                    .malicious(Attack::TamperVariable {
+                        name: "total".into(),
+                        value: Value::Int(-1),
+                    }),
                 &params,
                 &mut rng,
             ),
             Host::new(
                 HostSpec::new("x1")
                     .with_input("offer", Value::Int(5))
-                    .malicious(Attack::TamperVariable { name: "total".into(), value: Value::Int(-2) }),
+                    .malicious(Attack::TamperVariable {
+                        name: "total".into(),
+                        value: Value::Int(-2),
+                    }),
                 &params,
                 &mut rng,
             ),
         ];
         let stages = vec![StageSpec::new(["x0", "x1"])];
         let log = EventLog::new();
-        let outcome =
-            run_replicated_pipeline(&mut hosts, &stages, stage_agent(), &ExecConfig::default(), &log)
-                .unwrap();
+        let outcome = run_replicated_pipeline(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+        )
+        .unwrap();
         assert!(outcome.final_state.is_none());
         assert!(!outcome.votes[0].has_majority());
     }
@@ -357,21 +409,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9_000);
         let params = DsaParams::test_group_256();
         let mut hosts = vec![
-            Host::new(HostSpec::new("y0").with_input("offer", Value::Int(5)), &params, &mut rng),
-            Host::new(HostSpec::new("y1").with_input("offer", Value::Int(5)), &params, &mut rng),
+            Host::new(
+                HostSpec::new("y0").with_input("offer", Value::Int(5)),
+                &params,
+                &mut rng,
+            ),
+            Host::new(
+                HostSpec::new("y1").with_input("offer", Value::Int(5)),
+                &params,
+                &mut rng,
+            ),
             Host::new(
                 HostSpec::new("y2")
                     .with_input("offer", Value::Int(5))
-                    .malicious(Attack::RedirectMigration { to: HostId::new("evil") }),
+                    .malicious(Attack::RedirectMigration {
+                        to: HostId::new("evil"),
+                    }),
                 &params,
                 &mut rng,
             ),
         ];
         let stages = vec![StageSpec::new(["y0", "y1", "y2"])];
         let log = EventLog::new();
-        let outcome =
-            run_replicated_pipeline(&mut hosts, &stages, stage_agent(), &ExecConfig::default(), &log)
-                .unwrap();
+        let outcome = run_replicated_pipeline(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+        )
+        .unwrap();
         assert_eq!(outcome.suspects, vec![HostId::new("y2")]);
     }
 }

@@ -18,10 +18,10 @@
 use std::fmt;
 
 use refstate_crypto::{sha256, Digest, KeyDirectory, Signed};
-use refstate_platform::{AgentImage, AgentId, Event, EventLog, Host, HostId};
+use refstate_platform::{AgentId, AgentImage, Event, EventLog, Host, HostId};
 use refstate_vm::{
-    run_session, DataState, ExecConfig, InputLog, Program, ReplayIo, SessionEnd, Trace,
-    TraceMode, VmError,
+    run_session, DataState, ExecConfig, InputLog, Program, ReplayIo, SessionEnd, Trace, TraceMode,
+    VmError,
 };
 use refstate_wire::{to_wire, Decode, Encode, Reader, WireError, Writer};
 
@@ -78,7 +78,12 @@ impl Decode for TraceCommitment {
             next: match r.take_u8()? {
                 0 => None,
                 1 => Some(HostId::decode(r)?),
-                tag => return Err(WireError::InvalidTag { context: "TraceCommitment.next", tag }),
+                tag => {
+                    return Err(WireError::InvalidTag {
+                        context: "TraceCommitment.next",
+                        tag,
+                    })
+                }
             },
         })
     }
@@ -188,7 +193,10 @@ pub fn run_traced_journey(
 ) -> Result<TracedJourney, TraceError> {
     let mut image = agent;
     let mut current: HostId = start.into();
-    log.record(Event::AgentCreated { agent: image.id.clone(), home: current.clone() });
+    log.record(Event::AgentCreated {
+        agent: image.id.clone(),
+        home: current.clone(),
+    });
     let mut path = vec![current.clone()];
     let mut commitments = Vec::new();
     let mut stores = Vec::new();
@@ -199,7 +207,9 @@ pub fn run_traced_journey(
         let host = hosts
             .iter_mut()
             .find(|h| h.id() == &current)
-            .ok_or_else(|| TraceError::UnknownHost { host: current.clone() })?;
+            .ok_or_else(|| TraceError::UnknownHost {
+                host: current.clone(),
+            })?;
         let record = match host.execute_session(&image, &exec, log) {
             Ok(record) => record,
             Err(e) => {
@@ -290,8 +300,8 @@ pub fn audit_journey(
         let commitment = signed.payload();
         let executor = commitment.executor.clone();
         let fail = |reason: FailureReason,
-                        verdicts: &mut Vec<CheckVerdict>,
-                        evidence: Option<(Digest, Digest)>| {
+                    verdicts: &mut Vec<CheckVerdict>,
+                    evidence: Option<(Digest, Digest)>| {
             log.record(Event::FraudDetected {
                 culprit: executor.clone(),
                 detector: owner.clone(),
@@ -303,13 +313,19 @@ pub fn audit_journey(
                 seq: commitment.seq,
                 failure: Some(reason),
             });
-            AuditReport { culprit: Some(executor.clone()), verdicts: std::mem::take(verdicts), digest_evidence: evidence }
+            AuditReport {
+                culprit: Some(executor.clone()),
+                verdicts: std::mem::take(verdicts),
+                digest_evidence: evidence,
+            }
         };
 
         // 1. The commitment signature must verify.
         if signed.verify(directory).is_err() {
             return fail(
-                FailureReason::ProgramRejected { detail: "commitment signature invalid".into() },
+                FailureReason::ProgramRejected {
+                    detail: "commitment signature invalid".into(),
+                },
                 &mut verdicts,
                 None,
             );
@@ -375,7 +391,9 @@ pub fn audit_journey(
             }
             Err(e) => {
                 return fail(
-                    FailureReason::ReplayFailed { error: e.to_string() },
+                    FailureReason::ReplayFailed {
+                        error: e.to_string(),
+                    },
                     &mut verdicts,
                     None,
                 )
@@ -384,8 +402,7 @@ pub fn audit_journey(
         if reference_next != commitment.next {
             return fail(
                 FailureReason::ProgramRejected {
-                    detail: "committed next hop differs from re-executed migration decision"
-                        .into(),
+                    detail: "committed next hop differs from re-executed migration decision".into(),
                 },
                 &mut verdicts,
                 None,
@@ -418,7 +435,11 @@ pub fn audit_journey(
         expected_initial = Some(commitment.resulting_digest);
     }
 
-    AuditReport { culprit: None, verdicts, digest_evidence: None }
+    AuditReport {
+        culprit: None,
+        verdicts,
+        digest_evidence: None,
+    }
 }
 
 #[cfg(test)]
@@ -473,9 +494,17 @@ mod tests {
             b = b.malicious(a);
         }
         let hosts = vec![
-            Host::new(HostSpec::new("a").trusted().with_input("n", Value::Int(10)), &params, &mut rng),
+            Host::new(
+                HostSpec::new("a").trusted().with_input("n", Value::Int(10)),
+                &params,
+                &mut rng,
+            ),
             Host::new(b, &params, &mut rng),
-            Host::new(HostSpec::new("c").trusted().with_input("n", Value::Int(30)), &params, &mut rng),
+            Host::new(
+                HostSpec::new("c").trusted().with_input("n", Value::Int(30)),
+                &params,
+                &mut rng,
+            ),
         ];
         let mut dir = KeyDirectory::new();
         for h in &hosts {
@@ -584,8 +613,7 @@ mod tests {
         // Replace session 1's stored initial state AND its commitment with
         // a self-consistent forgery that does not chain to session 0.
         let host_b = hosts.iter_mut().find(|h| h.id().as_str() == "b").unwrap();
-        let forged_state: DataState =
-            [("total".to_string(), Value::Int(1))].into_iter().collect();
+        let forged_state: DataState = [("total".to_string(), Value::Int(1))].into_iter().collect();
         let forged = TraceCommitment {
             agent: AgentId::new("summer"),
             seq: 1,

@@ -75,7 +75,11 @@ pub struct AgentImage {
 impl AgentImage {
     /// Creates an agent image.
     pub fn new(id: impl Into<AgentId>, program: Program, state: DataState) -> Self {
-        AgentImage { id: id.into(), program, state }
+        AgentImage {
+            id: id.into(),
+            program,
+            state,
+        }
     }
 
     /// Hash of the (canonical encoding of the) agent code.

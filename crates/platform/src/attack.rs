@@ -130,7 +130,11 @@ impl fmt::Display for Attack {
             Attack::DropInput { tag } => write!(f, "drop input {tag}"),
             Attack::ForgeInput { tag, value } => write!(f, "forge input {tag}={value}"),
             Attack::ReadState => f.write_str("read state"),
-            Attack::CollaborateTamper { name, value, accomplice } => {
+            Attack::CollaborateTamper {
+                name,
+                value,
+                accomplice,
+            } => {
                 write!(f, "tamper {name}={value} with accomplice {accomplice}")
             }
         }
@@ -177,13 +181,24 @@ mod tests {
 
     fn all_attacks() -> Vec<Attack> {
         vec![
-            Attack::TamperVariable { name: "x".into(), value: Value::Int(0) },
+            Attack::TamperVariable {
+                name: "x".into(),
+                value: Value::Int(0),
+            },
             Attack::DeleteVariable { name: "x".into() },
             Attack::SkipExecution,
-            Attack::ScaleIntVariable { name: "x".into(), factor: 2 },
-            Attack::RedirectMigration { to: HostId::new("evil") },
+            Attack::ScaleIntVariable {
+                name: "x".into(),
+                factor: 2,
+            },
+            Attack::RedirectMigration {
+                to: HostId::new("evil"),
+            },
             Attack::DropInput { tag: "t".into() },
-            Attack::ForgeInput { tag: "t".into(), value: Value::Int(1) },
+            Attack::ForgeInput {
+                tag: "t".into(),
+                value: Value::Int(1),
+            },
             Attack::ReadState,
             Attack::CollaborateTamper {
                 name: "x".into(),

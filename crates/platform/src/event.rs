@@ -86,14 +86,31 @@ impl fmt::Display for Event {
             Event::SessionEnded { host, agent, steps } => {
                 write!(f, "{host}: session end {agent} ({steps} steps)")
             }
-            Event::Migrated { from, to, agent, bytes } => {
+            Event::Migrated {
+                from,
+                to,
+                agent,
+                bytes,
+            } => {
                 write!(f, "{from} -> {to}: migrate {agent} ({bytes} bytes)")
             }
             Event::AttackApplied { host, attack } => write!(f, "{host}: ATTACK {attack}"),
-            Event::CheckPerformed { checker, checked, passed } => {
-                write!(f, "{checker}: checked {checked}: {}", if *passed { "ok" } else { "FAILED" })
+            Event::CheckPerformed {
+                checker,
+                checked,
+                passed,
+            } => {
+                write!(
+                    f,
+                    "{checker}: checked {checked}: {}",
+                    if *passed { "ok" } else { "FAILED" }
+                )
             }
-            Event::FraudDetected { culprit, detector, reason } => {
+            Event::FraudDetected {
+                culprit,
+                detector,
+                reason,
+            } => {
                 write!(f, "{detector}: fraud by {culprit}: {reason}")
             }
             Event::Note { text } => write!(f, "note: {text}"),
@@ -186,7 +203,9 @@ mod tests {
     fn clones_share_the_timeline() {
         let log = EventLog::new();
         let handle = log.clone();
-        handle.record(Event::Note { text: "via handle".into() });
+        handle.record(Event::Note {
+            text: "via handle".into(),
+        });
         assert_eq!(log.len(), 1);
     }
 
@@ -194,15 +213,25 @@ mod tests {
     fn count_matching_filters() {
         let log = EventLog::new();
         log.record(Event::Note { text: "x".into() });
-        log.record(Event::AttackApplied { host: HostId::new("m"), attack: "tamper".into() });
-        assert_eq!(log.count_matching(|e| matches!(e, Event::AttackApplied { .. })), 1);
+        log.record(Event::AttackApplied {
+            host: HostId::new("m"),
+            attack: "tamper".into(),
+        });
+        assert_eq!(
+            log.count_matching(|e| matches!(e, Event::AttackApplied { .. })),
+            1
+        );
     }
 
     #[test]
     fn render_is_ordered() {
         let log = EventLog::new();
-        log.record(Event::Note { text: "first".into() });
-        log.record(Event::Note { text: "second".into() });
+        log.record(Event::Note {
+            text: "first".into(),
+        });
+        log.record(Event::Note {
+            text: "second".into(),
+        });
         let text = log.render();
         let first = text.find("first").unwrap();
         let second = text.find("second").unwrap();

@@ -23,12 +23,18 @@ pub struct FeedItem {
 impl FeedItem {
     /// A plain, unsigned input item.
     pub fn plain(value: Value) -> Self {
-        FeedItem { value, provenance: None }
+        FeedItem {
+            value,
+            provenance: None,
+        }
     }
 
     /// An input item with producer provenance.
     pub fn signed(envelope: Signed<Value>) -> Self {
-        FeedItem { value: envelope.payload().clone(), provenance: Some(envelope) }
+        FeedItem {
+            value: envelope.payload().clone(),
+            provenance: Some(envelope),
+        }
     }
 }
 
@@ -64,19 +70,28 @@ impl InputFeed {
 
     /// Queues a plain input value for `tag`.
     pub fn push(&mut self, tag: impl Into<String>, value: Value) -> &mut Self {
-        self.inputs.entry(tag.into()).or_default().push_back(FeedItem::plain(value));
+        self.inputs
+            .entry(tag.into())
+            .or_default()
+            .push_back(FeedItem::plain(value));
         self
     }
 
     /// Queues a signed input value for `tag` (§4.3 extension).
     pub fn push_signed(&mut self, tag: impl Into<String>, envelope: Signed<Value>) -> &mut Self {
-        self.inputs.entry(tag.into()).or_default().push_back(FeedItem::signed(envelope));
+        self.inputs
+            .entry(tag.into())
+            .or_default()
+            .push_back(FeedItem::signed(envelope));
         self
     }
 
     /// Queues a message from `partner`.
     pub fn push_message(&mut self, partner: impl Into<String>, value: Value) -> &mut Self {
-        self.messages.entry(partner.into()).or_default().push_back(value);
+        self.messages
+            .entry(partner.into())
+            .or_default()
+            .push_back(value);
         self
     }
 
@@ -119,7 +134,9 @@ mod tests {
     #[test]
     fn fifo_per_tag() {
         let mut feed = InputFeed::new();
-        feed.push("a", Value::Int(1)).push("a", Value::Int(2)).push("b", Value::Int(3));
+        feed.push("a", Value::Int(1))
+            .push("a", Value::Int(2))
+            .push("b", Value::Int(3));
         assert_eq!(feed.take("a").unwrap().value, Value::Int(1));
         assert_eq!(feed.take("b").unwrap().value, Value::Int(3));
         assert_eq!(feed.take("a").unwrap().value, Value::Int(2));
@@ -160,7 +177,10 @@ mod tests {
         feed.forge_all("p", &Value::Int(999));
         let first = feed.take("p").unwrap();
         assert_eq!(first.value, Value::Int(999));
-        assert!(first.provenance.is_none(), "forgery cannot carry provenance");
+        assert!(
+            first.provenance.is_none(),
+            "forgery cannot carry provenance"
+        );
         assert_eq!(feed.take("p").unwrap().value, Value::Int(999));
     }
 

@@ -166,7 +166,36 @@ impl Host {
     pub fn new(spec: HostSpec, params: &DsaParams, rng: &mut dyn RngCore) -> Self {
         let keys = DsaKeyPair::generate(params, rng);
         let host_seed = rng.next_u64();
-        Host { spec, keys, rng: StdRng::seed_from_u64(host_seed), clock: 0 }
+        Host::with_keys(spec, keys, host_seed)
+    }
+
+    /// Creates a host from pre-generated key material and an explicit
+    /// session-RNG seed.
+    ///
+    /// This is the batch-friendly constructor fleet-scale drivers use:
+    /// key generation (a modular exponentiation) dominates `Host::new`, so
+    /// a scenario engine spinning up thousands of short-lived host sets
+    /// draws keys from a pre-generated pool instead. The resulting `Host`
+    /// owns all of its data and is `Send`, so host sets can be built on
+    /// one thread and executed on another.
+    pub fn with_keys(spec: HostSpec, keys: DsaKeyPair, session_seed: u64) -> Self {
+        Host {
+            spec,
+            keys,
+            rng: StdRng::seed_from_u64(session_seed),
+            clock: 0,
+        }
+    }
+
+    /// Builds a full host set from specs with fresh keys, in spec order.
+    ///
+    /// Deterministic for a given `rng` state; convenience for drivers and
+    /// tests that construct whole journeys from a route description.
+    pub fn build_all(specs: Vec<HostSpec>, params: &DsaParams, rng: &mut dyn RngCore) -> Vec<Host> {
+        specs
+            .into_iter()
+            .map(|spec| Host::new(spec, params, rng))
+            .collect()
     }
 
     /// The host's identity.
@@ -218,7 +247,10 @@ impl Host {
         config: &ExecConfig,
         log: &EventLog,
     ) -> Result<SessionRecord, VmError> {
-        log.record(Event::SessionStarted { host: self.spec.id.clone(), agent: image.id.clone() });
+        log.record(Event::SessionStarted {
+            host: self.spec.id.clone(),
+            agent: image.id.clone(),
+        });
 
         // Input-level attacks act on the feed before the session runs.
         match self.spec.behaviour.attack() {
@@ -258,7 +290,9 @@ impl Host {
             }
             Some(Attack::ScaleIntVariable { name, factor }) => {
                 if let Some(v) = outcome.state.get_int(name) {
-                    outcome.state.set(name.clone(), Value::Int(v.wrapping_mul(*factor)));
+                    outcome
+                        .state
+                        .set(name.clone(), Value::Int(v.wrapping_mul(*factor)));
                 }
                 self.note_attack(log);
             }
@@ -290,7 +324,12 @@ impl Host {
             steps: outcome.steps,
         });
 
-        Ok(SessionRecord { initial_state, outcome, provenance, elapsed })
+        Ok(SessionRecord {
+            initial_state,
+            outcome,
+            provenance,
+            elapsed,
+        })
     }
 
     fn note_attack(&self, log: &EventLog) {
@@ -316,7 +355,10 @@ impl SessionIo for FeedIo<'_> {
         let item = self
             .feed
             .take(tag)
-            .ok_or_else(|| VmError::InputUnavailable { pc, what: format!("input:{tag}") })?;
+            .ok_or_else(|| VmError::InputUnavailable {
+                pc,
+                what: format!("input:{tag}"),
+            })?;
         self.provenance.push(item.provenance);
         Ok(item.value)
     }
@@ -339,7 +381,10 @@ impl SessionIo for FeedIo<'_> {
         let value = self
             .feed
             .take_message(partner)
-            .ok_or_else(|| VmError::InputUnavailable { pc, what: format!("recv:{partner}") })?;
+            .ok_or_else(|| VmError::InputUnavailable {
+                pc,
+                what: format!("recv:{partner}"),
+            })?;
         self.provenance.push(None);
         Ok(value)
     }
@@ -354,6 +399,12 @@ impl SessionIo for FeedIo<'_> {
 mod tests {
     use super::*;
     use refstate_vm::assemble;
+
+    /// Fleet schedulers move freshly built hosts onto worker threads.
+    #[allow(dead_code)]
+    fn hosts_are_send(host: Host) -> impl Send {
+        host
+    }
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(1000)
@@ -381,29 +432,43 @@ mod tests {
         let spec = HostSpec::new("shop").with_input("price", Value::Int(120));
         let mut host = make_host(spec);
         let log = EventLog::new();
-        let record =
-            host.execute_session(&shopping_agent(), &ExecConfig::default(), &log).unwrap();
+        let record = host
+            .execute_session(&shopping_agent(), &ExecConfig::default(), &log)
+            .unwrap();
         assert_eq!(record.outcome.state.get_int("quote"), Some(120));
         assert_eq!(record.outcome.input_log.len(), 1);
         assert_eq!(record.provenance.len(), 1);
-        assert_eq!(log.count_matching(|e| matches!(e, Event::SessionEnded { .. })), 1);
-        assert_eq!(log.count_matching(|e| matches!(e, Event::AttackApplied { .. })), 0);
+        assert_eq!(
+            log.count_matching(|e| matches!(e, Event::SessionEnded { .. })),
+            1
+        );
+        assert_eq!(
+            log.count_matching(|e| matches!(e, Event::AttackApplied { .. })),
+            0
+        );
     }
 
     #[test]
     fn tamper_variable_changes_state() {
         let spec = HostSpec::new("evil")
             .with_input("price", Value::Int(120))
-            .malicious(Attack::TamperVariable { name: "quote".into(), value: Value::Int(999) });
+            .malicious(Attack::TamperVariable {
+                name: "quote".into(),
+                value: Value::Int(999),
+            });
         let mut host = make_host(spec);
         let log = EventLog::new();
-        let record =
-            host.execute_session(&shopping_agent(), &ExecConfig::default(), &log).unwrap();
+        let record = host
+            .execute_session(&shopping_agent(), &ExecConfig::default(), &log)
+            .unwrap();
         assert_eq!(record.outcome.state.get_int("quote"), Some(999));
         // But the input log still shows the honest input: re-execution will
         // expose the lie.
         assert_eq!(record.outcome.input_log.records()[0].value, Value::Int(120));
-        assert_eq!(log.count_matching(|e| matches!(e, Event::AttackApplied { .. })), 1);
+        assert_eq!(
+            log.count_matching(|e| matches!(e, Event::AttackApplied { .. })),
+            1
+        );
     }
 
     #[test]
@@ -414,7 +479,9 @@ mod tests {
         let mut host = make_host(spec);
         let log = EventLog::new();
         let agent = shopping_agent();
-        let record = host.execute_session(&agent, &ExecConfig::default(), &log).unwrap();
+        let record = host
+            .execute_session(&agent, &ExecConfig::default(), &log)
+            .unwrap();
         assert_eq!(record.outcome.state, agent.state);
         assert!(record.outcome.input_log.is_empty());
         assert_eq!(record.outcome.steps, 0);
@@ -424,11 +491,15 @@ mod tests {
     fn forge_input_is_consistent_with_forged_log() {
         let spec = HostSpec::new("liar")
             .with_input("price", Value::Int(120))
-            .malicious(Attack::ForgeInput { tag: "price".into(), value: Value::Int(10) });
+            .malicious(Attack::ForgeInput {
+                tag: "price".into(),
+                value: Value::Int(10),
+            });
         let mut host = make_host(spec);
         let log = EventLog::new();
-        let record =
-            host.execute_session(&shopping_agent(), &ExecConfig::default(), &log).unwrap();
+        let record = host
+            .execute_session(&shopping_agent(), &ExecConfig::default(), &log)
+            .unwrap();
         // The forged input propagates into both the state and the log —
         // exactly why the paper says re-execution cannot catch it.
         assert_eq!(record.outcome.state.get_int("quote"), Some(10));
@@ -439,12 +510,18 @@ mod tests {
     fn redirect_migration_changes_destination() {
         let spec = HostSpec::new("redirector")
             .with_input("price", Value::Int(120))
-            .malicious(Attack::RedirectMigration { to: HostId::new("mallory") });
+            .malicious(Attack::RedirectMigration {
+                to: HostId::new("mallory"),
+            });
         let mut host = make_host(spec);
         let log = EventLog::new();
-        let record =
-            host.execute_session(&shopping_agent(), &ExecConfig::default(), &log).unwrap();
-        assert_eq!(record.outcome.end, refstate_vm::SessionEnd::Migrate("mallory".into()));
+        let record = host
+            .execute_session(&shopping_agent(), &ExecConfig::default(), &log)
+            .unwrap();
+        assert_eq!(
+            record.outcome.end,
+            refstate_vm::SessionEnd::Migrate("mallory".into())
+        );
     }
 
     #[test]
@@ -472,8 +549,12 @@ mod tests {
         let mut host = make_host(spec);
         let log = EventLog::new();
         let agent = shopping_agent();
-        let r1 = host.execute_session(&agent, &ExecConfig::default(), &log).unwrap();
-        let r2 = host.execute_session(&agent, &ExecConfig::default(), &log).unwrap();
+        let r1 = host
+            .execute_session(&agent, &ExecConfig::default(), &log)
+            .unwrap();
+        let r2 = host
+            .execute_session(&agent, &ExecConfig::default(), &log)
+            .unwrap();
         assert_eq!(r1.outcome.state.get_int("quote"), Some(1));
         assert_eq!(r2.outcome.state.get_int("quote"), Some(2));
     }
@@ -505,8 +586,12 @@ mod tests {
         let log = EventLog::new();
         let mut h1 = make_host(HostSpec::new("h1"));
         let mut h2 = make_host(HostSpec::new("h2"));
-        let r1 = h1.execute_session(&agent, &ExecConfig::default(), &log).unwrap();
-        let r2 = h2.execute_session(&agent, &ExecConfig::default(), &log).unwrap();
+        let r1 = h1
+            .execute_session(&agent, &ExecConfig::default(), &log)
+            .unwrap();
+        let r2 = h2
+            .execute_session(&agent, &ExecConfig::default(), &log)
+            .unwrap();
         // Fresh hosts with fresh clocks produce the same first value.
         assert_eq!(r1.outcome.state.get("r"), r2.outcome.state.get("r"));
     }

@@ -127,7 +127,10 @@ pub fn run_plain_journey(
     max_hops: usize,
 ) -> Result<JourneyOutcome, JourneyError> {
     let mut current = start.into();
-    log.record(Event::AgentCreated { agent: agent.id.clone(), home: current.clone() });
+    log.record(Event::AgentCreated {
+        agent: agent.id.clone(),
+        home: current.clone(),
+    });
     let mut path = vec![current.clone()];
     let mut records = Vec::new();
 
@@ -135,14 +138,20 @@ pub fn run_plain_journey(
         let host = hosts
             .iter_mut()
             .find(|h| h.id() == &current)
-            .ok_or_else(|| JourneyError::UnknownHost { host: current.clone() })?;
+            .ok_or_else(|| JourneyError::UnknownHost {
+                host: current.clone(),
+            })?;
         let record = host.execute_session(&agent, config, log)?;
         agent.state = record.outcome.state.clone();
         let end = record.outcome.end.clone();
         records.push(record);
         match end {
             SessionEnd::Halt => {
-                return Ok(JourneyOutcome { final_image: agent, path, records });
+                return Ok(JourneyOutcome {
+                    final_image: agent,
+                    path,
+                    records,
+                });
             }
             SessionEnd::Migrate(next) => {
                 let next = HostId::new(next);
@@ -250,9 +259,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         let params = DsaParams::test_group_256();
         vec![
-            Host::new(HostSpec::new("h1").trusted().with_input("quote", Value::Int(prices[0])), &params, &mut rng),
-            Host::new(HostSpec::new("h2").with_input("quote", Value::Int(prices[1])), &params, &mut rng),
-            Host::new(HostSpec::new("h3").with_input("quote", Value::Int(prices[2])), &params, &mut rng),
+            Host::new(
+                HostSpec::new("h1")
+                    .trusted()
+                    .with_input("quote", Value::Int(prices[0])),
+                &params,
+                &mut rng,
+            ),
+            Host::new(
+                HostSpec::new("h2").with_input("quote", Value::Int(prices[1])),
+                &params,
+                &mut rng,
+            ),
+            Host::new(
+                HostSpec::new("h3").with_input("quote", Value::Int(prices[2])),
+                &params,
+                &mut rng,
+            ),
         ]
     }
 
@@ -272,7 +295,10 @@ mod tests {
         assert_eq!(outcome.path.len(), 3);
         assert_eq!(outcome.final_image.state.get_int("best"), Some(120));
         assert_eq!(outcome.records.len(), 3);
-        assert_eq!(log.count_matching(|e| matches!(e, Event::Migrated { .. })), 2);
+        assert_eq!(
+            log.count_matching(|e| matches!(e, Event::Migrated { .. })),
+            2
+        );
     }
 
     #[test]
@@ -323,7 +349,9 @@ mod tests {
         let params = DsaParams::test_group_256();
         let mut hosts = vec![
             Host::new(
-                HostSpec::new("h1").trusted().with_input("quote", Value::Int(300)),
+                HostSpec::new("h1")
+                    .trusted()
+                    .with_input("quote", Value::Int(300)),
                 &params,
                 &mut rng,
             ),
@@ -337,7 +365,11 @@ mod tests {
                 &params,
                 &mut rng,
             ),
-            Host::new(HostSpec::new("h3").with_input("quote", Value::Int(250)), &params, &mut rng),
+            Host::new(
+                HostSpec::new("h3").with_input("quote", Value::Int(250)),
+                &params,
+                &mut rng,
+            ),
         ];
         let log = EventLog::new();
         let outcome = run_plain_journey(
@@ -355,7 +387,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = JourneyError::UnknownHost { host: HostId::new("x") };
+        let e = JourneyError::UnknownHost {
+            host: HostId::new("x"),
+        };
         assert!(e.to_string().contains('x'));
         let e = JourneyError::TooManyHops { limit: 3 };
         assert!(e.to_string().contains('3'));

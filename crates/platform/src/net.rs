@@ -126,7 +126,10 @@ impl<M> Default for SimNetwork<M> {
 impl<M> SimNetwork<M> {
     /// Creates an empty network.
     pub fn new() -> Self {
-        SimNetwork { nodes: BTreeMap::new(), queue: VecDeque::new() }
+        SimNetwork {
+            nodes: BTreeMap::new(),
+            queue: VecDeque::new(),
+        }
     }
 
     /// Registers a node under its own id.
@@ -207,8 +210,18 @@ mod tests {
     #[test]
     fn ring_until_finished() {
         let mut net = SimNetwork::new();
-        net.add_node(Counter { id: HostId::new("a"), seen: 0, finish_at: 10, next: Some(HostId::new("b")) });
-        net.add_node(Counter { id: HostId::new("b"), seen: 0, finish_at: 10, next: Some(HostId::new("a")) });
+        net.add_node(Counter {
+            id: HostId::new("a"),
+            seen: 0,
+            finish_at: 10,
+            next: Some(HostId::new("b")),
+        });
+        net.add_node(Counter {
+            id: HostId::new("b"),
+            seen: 0,
+            finish_at: 10,
+            next: Some(HostId::new("a")),
+        });
         net.inject(HostId::new("x"), HostId::new("a"), 0);
         let report = net.run(100).unwrap();
         assert_eq!(report.delivered, 11);
@@ -217,7 +230,12 @@ mod tests {
     #[test]
     fn stall_detected() {
         let mut net = SimNetwork::new();
-        net.add_node(Counter { id: HostId::new("a"), seen: 0, finish_at: 10, next: None });
+        net.add_node(Counter {
+            id: HostId::new("a"),
+            seen: 0,
+            finish_at: 10,
+            next: None,
+        });
         net.inject(HostId::new("x"), HostId::new("a"), 0);
         assert!(matches!(net.run(100), Err(NetError::Stalled)));
     }
@@ -225,10 +243,23 @@ mod tests {
     #[test]
     fn budget_enforced() {
         let mut net = SimNetwork::new();
-        net.add_node(Counter { id: HostId::new("a"), seen: 0, finish_at: u32::MAX, next: Some(HostId::new("b")) });
-        net.add_node(Counter { id: HostId::new("b"), seen: 0, finish_at: u32::MAX, next: Some(HostId::new("a")) });
+        net.add_node(Counter {
+            id: HostId::new("a"),
+            seen: 0,
+            finish_at: u32::MAX,
+            next: Some(HostId::new("b")),
+        });
+        net.add_node(Counter {
+            id: HostId::new("b"),
+            seen: 0,
+            finish_at: u32::MAX,
+            next: Some(HostId::new("a")),
+        });
         net.inject(HostId::new("x"), HostId::new("a"), 0);
-        assert!(matches!(net.run(10), Err(NetError::MessageBudgetExceeded { budget: 10 })));
+        assert!(matches!(
+            net.run(10),
+            Err(NetError::MessageBudgetExceeded { budget: 10 })
+        ));
     }
 
     #[test]
@@ -259,7 +290,10 @@ mod tests {
             }
         }
         let mut net = SimNetwork::new();
-        net.add_node(Recorder { id: HostId::new("r"), log: vec![] });
+        net.add_node(Recorder {
+            id: HostId::new("r"),
+            log: vec![],
+        });
         for v in [7, 8, 9] {
             net.inject(HostId::new("x"), HostId::new("r"), v);
         }
@@ -271,10 +305,19 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(NetError::Stalled.to_string().contains("drained"));
-        assert!(NetError::UnknownNode { host: HostId::new("g") }.to_string().contains('g'));
-        assert!(NetError::MessageBudgetExceeded { budget: 5 }.to_string().contains('5'));
-        assert!(NetError::Node { host: HostId::new("n"), detail: "boom".into() }
+        assert!(NetError::UnknownNode {
+            host: HostId::new("g")
+        }
+        .to_string()
+        .contains('g'));
+        assert!(NetError::MessageBudgetExceeded { budget: 5 }
             .to_string()
-            .contains("boom"));
+            .contains('5'));
+        assert!(NetError::Node {
+            host: HostId::new("n"),
+            detail: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
     }
 }

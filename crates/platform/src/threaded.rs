@@ -20,6 +20,9 @@ enum Envelope<M> {
     Shutdown,
 }
 
+/// A node paired with the inbox its thread drains.
+type NodeWithInbox<M> = (Box<dyn HostNode<M> + Send>, Receiver<Envelope<M>>);
+
 /// Runs a set of nodes on one thread each until a node reports
 /// [`Step::Finished`], then shuts the others down.
 ///
@@ -28,7 +31,7 @@ enum Envelope<M> {
 /// ```
 /// use refstate_platform::{HostId, HostNode, NetError, Step, ThreadedNetwork};
 ///
-/// struct Relay { id: HostId, next: HostId, hops_left: u32 }
+/// struct Relay { id: HostId, next: HostId }
 /// impl HostNode<u32> for Relay {
 ///     fn id(&self) -> HostId { self.id.clone() }
 ///     fn on_message(&mut self, _from: &HostId, msg: u32) -> Result<Step<u32>, NetError> {
@@ -38,8 +41,8 @@ enum Envelope<M> {
 /// }
 ///
 /// let nodes: Vec<Box<dyn HostNode<u32> + Send>> = vec![
-///     Box::new(Relay { id: HostId::new("a"), next: HostId::new("b"), hops_left: 0 }),
-///     Box::new(Relay { id: HostId::new("b"), next: HostId::new("a"), hops_left: 0 }),
+///     Box::new(Relay { id: HostId::new("a"), next: HostId::new("b") }),
+///     Box::new(Relay { id: HostId::new("b"), next: HostId::new("a") }),
 /// ];
 /// let net = ThreadedNetwork::start(nodes);
 /// net.inject(HostId::new("main"), HostId::new("a"), 6u32)?;
@@ -56,7 +59,7 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
     /// Spawns one thread per node and returns the running network.
     pub fn start(nodes: Vec<Box<dyn HostNode<M> + Send>>) -> Self {
         let mut senders: BTreeMap<HostId, Sender<Envelope<M>>> = BTreeMap::new();
-        let mut receivers: Vec<(Box<dyn HostNode<M> + Send>, Receiver<Envelope<M>>)> = Vec::new();
+        let mut receivers: Vec<NodeWithInbox<M>> = Vec::new();
         for node in nodes {
             let (tx, rx) = unbounded();
             senders.insert(node.id(), tx);
@@ -81,7 +84,10 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
                                             // A send failure means shutdown
                                             // already started; stop quietly.
                                             if tx
-                                                .send(Envelope::Msg { from: my_id.clone(), msg: m })
+                                                .send(Envelope::Msg {
+                                                    from: my_id.clone(),
+                                                    msg: m,
+                                                })
                                                 .is_err()
                                             {
                                                 return;
@@ -109,7 +115,11 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
             }));
         }
 
-        ThreadedNetwork { senders, done_rx, handles }
+        ThreadedNetwork {
+            senders,
+            done_rx,
+            handles,
+        }
     }
 
     /// Injects a message into the running network.
@@ -123,7 +133,10 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
             .get(&to)
             .ok_or_else(|| NetError::UnknownNode { host: to.clone() })?;
         tx.send(Envelope::Msg { from, msg })
-            .map_err(|_| NetError::Node { host: to, detail: "node thread exited".into() })
+            .map_err(|_| NetError::Node {
+                host: to,
+                detail: "node thread exited".into(),
+            })
     }
 
     /// Waits for a node to finish, then shuts every thread down.
@@ -173,12 +186,22 @@ mod tests {
     #[test]
     fn token_ring_completes() {
         let nodes: Vec<Box<dyn HostNode<u32> + Send>> = vec![
-            Box::new(Relay { id: HostId::new("a"), next: HostId::new("b") }),
-            Box::new(Relay { id: HostId::new("b"), next: HostId::new("c") }),
-            Box::new(Relay { id: HostId::new("c"), next: HostId::new("a") }),
+            Box::new(Relay {
+                id: HostId::new("a"),
+                next: HostId::new("b"),
+            }),
+            Box::new(Relay {
+                id: HostId::new("b"),
+                next: HostId::new("c"),
+            }),
+            Box::new(Relay {
+                id: HostId::new("c"),
+                next: HostId::new("a"),
+            }),
         ];
         let net = ThreadedNetwork::start(nodes);
-        net.inject(HostId::new("main"), HostId::new("a"), 20).unwrap();
+        net.inject(HostId::new("main"), HostId::new("a"), 20)
+            .unwrap();
         net.join(Duration::from_secs(10)).unwrap();
     }
 
@@ -193,10 +216,10 @@ mod tests {
                 Ok(Step::Idle)
             }
         }
-        let nodes: Vec<Box<dyn HostNode<u32> + Send>> =
-            vec![Box::new(Silent(HostId::new("s")))];
+        let nodes: Vec<Box<dyn HostNode<u32> + Send>> = vec![Box::new(Silent(HostId::new("s")))];
         let net = ThreadedNetwork::start(nodes);
-        net.inject(HostId::new("main"), HostId::new("s"), 1).unwrap();
+        net.inject(HostId::new("main"), HostId::new("s"), 1)
+            .unwrap();
         let err = net.join(Duration::from_millis(200)).unwrap_err();
         assert!(matches!(err, NetError::Stalled));
     }
@@ -205,7 +228,9 @@ mod tests {
     fn inject_to_unknown_node_fails() {
         let nodes: Vec<Box<dyn HostNode<u32> + Send>> = vec![];
         let net = ThreadedNetwork::start(nodes);
-        let err = net.inject(HostId::new("main"), HostId::new("ghost"), 1).unwrap_err();
+        let err = net
+            .inject(HostId::new("main"), HostId::new("ghost"), 1)
+            .unwrap_err();
         assert!(matches!(err, NetError::UnknownNode { .. }));
     }
 
@@ -217,13 +242,16 @@ mod tests {
                 self.0.clone()
             }
             fn on_message(&mut self, _: &HostId, _: u32) -> Result<Step<u32>, NetError> {
-                Err(NetError::Node { host: self.0.clone(), detail: "exploded".into() })
+                Err(NetError::Node {
+                    host: self.0.clone(),
+                    detail: "exploded".into(),
+                })
             }
         }
-        let nodes: Vec<Box<dyn HostNode<u32> + Send>> =
-            vec![Box::new(Failing(HostId::new("f")))];
+        let nodes: Vec<Box<dyn HostNode<u32> + Send>> = vec![Box::new(Failing(HostId::new("f")))];
         let net = ThreadedNetwork::start(nodes);
-        net.inject(HostId::new("main"), HostId::new("f"), 1).unwrap();
+        net.inject(HostId::new("main"), HostId::new("f"), 1)
+            .unwrap();
         let err = net.join(Duration::from_secs(5)).unwrap_err();
         assert!(matches!(err, NetError::Node { .. }));
     }

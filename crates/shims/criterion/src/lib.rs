@@ -1,0 +1,255 @@
+//! Vendored shim for the subset of `criterion` this workspace's benches
+//! use. It is a *timing stub*: each benchmark is warmed up, run long
+//! enough for a stable mean, and reported as a single line — no
+//! statistics, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by time.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the per-iteration workload so reports can show a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (mirror of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a display label for bench ids.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration workload descriptor for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, choosing an iteration count that runs for roughly
+    /// 100 ms (min 10 iterations).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up / calibration pass.
+        let t = Instant::now();
+        black_box(routine());
+        let once = t.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(10, 1_000_000) as u64;
+
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = t.elapsed();
+        self.iterations = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{label:<48} (no iterations recorded)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.0} elem/s", n as f64 / per_iter)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<48} {:>12}/iter  ({} iters){rate}",
+        format_duration(per_iter),
+        bencher.iterations
+    );
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Collects benchmark functions into one runner (mirror of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (mirror of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::new("x", 1), &41u32, |b, &v| {
+            b.iter(|| v + 1);
+        });
+        group.finish();
+    }
+}

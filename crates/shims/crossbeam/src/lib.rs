@@ -1,0 +1,187 @@
+//! Vendored shim for the `crossbeam::channel` subset used by this
+//! workspace: multi-producer multi-consumer channels with `recv_timeout`.
+//!
+//! Built over `std::sync::mpsc`; the receiver side is shared behind a
+//! mutex so it can be cloned across worker threads (crossbeam channels are
+//! MPMC, `std::sync::mpsc` is MPSC). Blocking receives never hold the
+//! mutex while waiting — they poll `try_recv` in short slices — so one
+//! blocked receiver cannot starve its clones or freeze another clone's
+//! `recv_timeout`. The cost is up to ~200 µs of wake-up latency per
+//! message, irrelevant for the signalling patterns here. Capacity bounds
+//! are advisory: [`channel::bounded`] returns an unbounded queue, which
+//! only ever makes senders *less* blocking than real crossbeam.
+
+#![forbid(unsafe_code)]
+
+/// Channel types (mirror of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// How long a blocked receiver sleeps between `try_recv` polls.
+    const POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of a channel. Cloneable (multi-producer).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of a channel. Cloneable (multi-consumer): clones
+    /// share one underlying queue, so each message is delivered to exactly
+    /// one receiver.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+
+        /// Blocks until a message arrives or all senders are gone.
+        ///
+        /// Implemented as a poll loop so the shared queue lock is never
+        /// held while waiting (see the module docs).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            loop {
+                match self.try_recv() {
+                    Ok(value) => return Ok(value),
+                    Err(TryRecvError::Disconnected) => return Err(RecvError),
+                    Err(TryRecvError::Empty) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+        }
+
+        /// Blocks until a message arrives, the timeout expires, or all
+        /// senders are gone. Never holds the queue lock while waiting.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            loop {
+                match self.try_recv() {
+                    Ok(value) => return Ok(value),
+                    Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                    Err(TryRecvError::Empty) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        std::thread::sleep(POLL_INTERVAL.min(deadline - now));
+                    }
+                }
+            }
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner().try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// Creates a "bounded" channel. The bound is advisory in this shim —
+    /// the queue never blocks senders.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(41u32).unwrap();
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv().unwrap(), 41);
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<u8>(1);
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn disconnected_when_senders_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_share_one_queue() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut seen = Vec::new();
+        let a = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.try_recv() {
+                got.push(v);
+            }
+            got
+        });
+        while let Ok(v) = rx2.try_recv() {
+            seen.push(v);
+        }
+        seen.extend(a.join().unwrap());
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_clone_does_not_freeze_siblings() {
+        // One clone parked in recv() must not starve another clone's
+        // recv_timeout() while senders are still alive.
+        let (tx, rx) = unbounded::<u8>();
+        let rx2 = rx.clone();
+        let parked = std::thread::spawn(move || rx.recv());
+        let err = rx2
+            .recv_timeout(Duration::from_millis(50))
+            .expect_err("queue is empty, timeout must fire");
+        assert!(matches!(err, RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(parked.join().unwrap().unwrap(), 9);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || tx.send(7u64).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,220 @@
+//! Vendored shim for the subset of `proptest` this workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*` / `prop_assume!`,
+//! [`any`](arbitrary::any), integer-range / tuple / string-pattern
+//! strategies, `collection::{vec, btree_map}`, `option::of`, and
+//! `prop_map`.
+//!
+//! Differences from the real crate: no shrinking, no failure persistence,
+//! and string strategies support only the simple-pattern subset the tests
+//! use (`.` or a `[...]` class followed by `*`, `+`, or `{a,b}`). Each
+//! test function draws its cases from a generator seeded from the test's
+//! name, so runs are deterministic.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests. See the crate docs for the
+/// supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).max(16);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { let _ = $body; Ok(()) })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {}/{} failed: {}",
+                                accepted + 1,
+                                config.cases,
+                                msg
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    accepted >= config.cases.min(1),
+                    "proptest: every generated case was rejected by prop_assume!"
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(left == right)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!(left != right)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l != r, $($fmt)*);
+    }};
+}
+
+/// Discards the current case (drawing a fresh one) when the precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 10usize..20, b in -5i64..5) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+        }
+
+        #[test]
+        fn any_and_tuples((x, y) in (any::<u8>(), any::<i64>())) {
+            let _ = (x, y);
+            prop_assert_eq!(x as u64 as u8, x);
+            prop_assert_ne!(y as i128 - 1, y as i128);
+        }
+
+        #[test]
+        fn prop_map_applies(v in doubled()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(any::<u32>(), 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn btree_map_generates(m in crate::collection::btree_map(".{1,4}", any::<u8>(), 0..6)) {
+            prop_assert!(m.len() < 6);
+        }
+
+        #[test]
+        fn option_of_generates(o in crate::option::of(any::<u16>())) {
+            let _ = o;
+        }
+
+        #[test]
+        fn string_patterns(s in ".{2,5}") {
+            prop_assert!((2..=5).contains(&s.chars().count()), "len {} of {:?}", s.len(), s);
+        }
+
+        #[test]
+        fn assume_rejects_cases(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_form_parses(v in 0u8..10) {
+            prop_assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn determinism_same_test_name_same_stream() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        let s = 0u64..u64::MAX;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

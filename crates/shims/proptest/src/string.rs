@@ -1,0 +1,182 @@
+//! String-pattern strategies: `impl Strategy for &str`.
+//!
+//! The real proptest compiles the string as a full regex; this shim
+//! supports the subset the workspace's tests actually write — a single
+//! atom (`.` or a `[...]` character class) followed by an optional
+//! quantifier (`*`, `+`, or `{a,b}`) — and falls back to treating the
+//! pattern as a literal when it contains no metacharacters.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable char (ASCII-weighted, occasionally wider).
+    AnyChar,
+    /// `[...]` — one of an explicit set.
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn draw(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::AnyChar => match rng.below(8) {
+                0 => char::from_u32(0x00A0 + rng.below(0x500) as u32).unwrap_or('¤'),
+                _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+            },
+            Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Pattern {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char]) -> Option<(Atom, usize)> {
+    // chars[0] == '['; find the closing bracket and expand ranges.
+    let close = chars.iter().position(|&c| c == ']')?;
+    let body = &chars[1..close];
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    set.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    if set.is_empty() {
+        return None;
+    }
+    Some((Atom::Class(set), close + 1))
+}
+
+fn parse(pattern: &str) -> Option<Pattern> {
+    let chars: Vec<char> = pattern.chars().collect();
+    if chars.is_empty() {
+        return Some(Pattern {
+            atom: Atom::AnyChar,
+            min: 0,
+            max: 0,
+        });
+    }
+    let (atom, consumed) = match chars[0] {
+        '.' => (Atom::AnyChar, 1),
+        '[' => parse_class(&chars)?,
+        _ => return None,
+    };
+    let rest: String = chars[consumed..].iter().collect();
+    let (min, max) = match rest.as_str() {
+        "" => (1, 1),
+        "*" => (0, 32),
+        "+" => (1, 32),
+        spec if spec.starts_with('{') && spec.ends_with('}') => {
+            let body = &spec[1..spec.len() - 1];
+            match body.split_once(',') {
+                Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                None => {
+                    let n = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        }
+        _ => return None,
+    };
+    Some(Pattern { atom, min, max })
+}
+
+/// Characters with no regex meaning — patterns made only of these are
+/// treated as literals.
+fn is_literal(pattern: &str) -> bool {
+    !pattern.chars().any(|c| {
+        matches!(
+            c,
+            '.' | '[' | ']' | '*' | '+' | '{' | '}' | '?' | '(' | ')' | '|' | '\\' | '^' | '$'
+        )
+    })
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some(p) = parse(self) {
+            let len = if p.max > p.min {
+                p.min + rng.below((p.max - p.min + 1) as u64) as usize
+            } else {
+                p.min
+            };
+            return (0..len).map(|_| p.atom.draw(rng)).collect();
+        }
+        if is_literal(self) {
+            return (*self).to_owned();
+        }
+        panic!(
+            "proptest shim: unsupported string pattern {self:?} \
+             (supported: literal, or `.`/`[...]` with `*`, `+`, `{{a,b}}`)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string-tests")
+    }
+
+    #[test]
+    fn dot_star_varies_length() {
+        let mut r = rng();
+        let lens: Vec<usize> = (0..64)
+            .map(|_| ".*".generate(&mut r).chars().count())
+            .collect();
+        assert!(lens.contains(&0) || lens.iter().any(|&l| l > 0));
+        assert!(lens.iter().all(|&l| l <= 32));
+    }
+
+    #[test]
+    fn bounded_repeat_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..256 {
+            let s = ".{1,6}".generate(&mut r);
+            let n = s.chars().count();
+            assert!((1..=6).contains(&n), "bad length {n}");
+        }
+    }
+
+    #[test]
+    fn class_draws_from_set() {
+        let mut r = rng();
+        for _ in 0..128 {
+            let s = "[a-c]{2,4}".generate(&mut r);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_passes_through() {
+        let mut r = rng();
+        assert_eq!("hello world".generate(&mut r), "hello world");
+    }
+
+    #[test]
+    fn exact_repeat() {
+        let mut r = rng();
+        let s = ".{8}".generate(&mut r);
+        assert_eq!(s.chars().count(), 8);
+    }
+}

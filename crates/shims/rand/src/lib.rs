@@ -1,0 +1,234 @@
+//! Vendored shim for the subset of `rand` 0.8 used by this workspace.
+//!
+//! Provides [`RngCore`], [`SeedableRng`], the range-sampling [`Rng`]
+//! extension trait, and [`rngs::StdRng`] — a xoshiro256++ generator seeded
+//! through SplitMix64. Deterministic for a fixed seed, `Send + Sync`-safe
+//! by value, and dependency-free. The value stream differs from the real
+//! `StdRng` (ChaCha12); everything in this repository that relies on
+//! seeded determinism only relies on *self*-consistency.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The core of a random number generator (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience sampling methods layered over [`RngCore`] (mirror of
+/// `rand::Rng`, restricted to the integer ranges this workspace samples).
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open). Panics on empty ranges.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 high bits give a uniform double in [0, 1).
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types uniformly sampleable from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[range.start, range.end)`.
+    fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                // Debiased multiply-shift (Lemire); span is far below 2^63
+                // in all uses, so a simple rejection loop is cheap.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return range.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return (range.start as i128 + (v % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+/// Named generators (mirror of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{RngCore, SeedableRng};
+    /// let mut a = rand::rngs::StdRng::seed_from_u64(7);
+    /// let mut b = rand::rngs::StdRng::seed_from_u64(7);
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn dyn_rng_core_usable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dynr: &mut dyn RngCore = &mut rng;
+        let _ = dynr.next_u64();
+        let mut buf = [0u8; 4];
+        dynr.fill_bytes(&mut buf);
+    }
+}

@@ -46,7 +46,10 @@ impl fmt::Display for AsmError {
 impl Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Splits a line into the mnemonic and the raw operand text.
@@ -155,7 +158,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             let (label, rest) = line.split_at(colon);
             let label = label.trim();
             if label.is_empty()
-                || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                || !label
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
             {
                 break;
             }

@@ -101,15 +101,25 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::StackUnderflow { pc } => write!(f, "stack underflow at pc {pc}"),
-            VmError::TypeMismatch { pc, expected, found } => {
-                write!(f, "type mismatch at pc {pc}: expected {expected}, found {found}")
+            VmError::TypeMismatch {
+                pc,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch at pc {pc}: expected {expected}, found {found}"
+                )
             }
             VmError::DivisionByZero { pc } => write!(f, "division by zero at pc {pc}"),
             VmError::UnknownVariable { pc, name } => {
                 write!(f, "unknown variable {name:?} at pc {pc}")
             }
             VmError::IndexOutOfBounds { pc, index, len } => {
-                write!(f, "index {index} out of bounds for list of length {len} at pc {pc}")
+                write!(
+                    f,
+                    "index {index} out of bounds for list of length {len} at pc {pc}"
+                )
             }
             VmError::PcOutOfRange { target, len } => {
                 write!(f, "jump target {target} outside program of length {len}")
@@ -146,7 +156,11 @@ mod tests {
 
     #[test]
     fn display_mentions_location() {
-        let e = VmError::TypeMismatch { pc: 7, expected: "int", found: "str" };
+        let e = VmError::TypeMismatch {
+            pc: 7,
+            expected: "int",
+            found: "str",
+        };
         let s = e.to_string();
         assert!(s.contains("pc 7") && s.contains("int") && s.contains("str"));
     }

@@ -291,14 +291,24 @@ impl Decode for Instr {
             41 => Instr::Syscall(match r.take_u8()? {
                 0 => SyscallKind::Time,
                 1 => SyscallKind::Random,
-                t => return Err(WireError::InvalidTag { context: "SyscallKind", tag: t }),
+                t => {
+                    return Err(WireError::InvalidTag {
+                        context: "SyscallKind",
+                        tag: t,
+                    })
+                }
             }),
             42 => Instr::Send(r.take_str()?.to_owned()),
             43 => Instr::Recv(r.take_str()?.to_owned()),
             44 => Instr::Migrate,
             45 => Instr::Halt,
             46 => Instr::ListLen,
-            t => return Err(WireError::InvalidTag { context: "Instr", tag: t }),
+            t => {
+                return Err(WireError::InvalidTag {
+                    context: "Instr",
+                    tag: t,
+                })
+            }
         })
     }
 }
@@ -383,7 +393,10 @@ mod tests {
         assert_eq!(Instr::Push(Value::Int(5)).to_string(), "push 5");
         assert_eq!(Instr::Jump(3).to_string(), "jump 3");
         assert_eq!(Instr::Input("p".into()).to_string(), "input \"p\"");
-        assert_eq!(Instr::Syscall(SyscallKind::Random).to_string(), "syscall random");
+        assert_eq!(
+            Instr::Syscall(SyscallKind::Random).to_string(),
+            "syscall random"
+        );
     }
 
     #[test]

@@ -21,14 +21,20 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { step_limit: 10_000_000, trace_mode: TraceMode::Off }
+        ExecConfig {
+            step_limit: 10_000_000,
+            trace_mode: TraceMode::Off,
+        }
     }
 }
 
 impl ExecConfig {
     /// A config with full Vigna-style tracing enabled.
     pub fn traced() -> Self {
-        ExecConfig { trace_mode: TraceMode::Full, ..Self::default() }
+        ExecConfig {
+            trace_mode: TraceMode::Full,
+            ..Self::default()
+        }
     }
 }
 
@@ -202,7 +208,9 @@ impl<'p> Interpreter<'p> {
     }
 
     fn pop(&mut self) -> Result<Value, VmError> {
-        self.stack.pop().ok_or(VmError::StackUnderflow { pc: self.pc })
+        self.stack
+            .pop()
+            .ok_or(VmError::StackUnderflow { pc: self.pc })
     }
 
     fn pop_int(&mut self) -> Result<i64, VmError> {
@@ -275,16 +283,27 @@ impl<'p> Interpreter<'p> {
     fn record_input(&mut self, kind: InputKind, value: &Value) {
         self.inputs_consumed += 1;
         let pc = self.pc as u64;
-        self.input_log.record(InputRecord { pc, kind: kind.clone(), value: value.clone() });
+        self.input_log.record(InputRecord {
+            pc,
+            kind: kind.clone(),
+            value: value.clone(),
+        });
         if !matches!(self.trace.mode(), TraceMode::Off) {
             let slot = kind.to_string();
-            self.trace.push(TraceEntry::InputWrite { pc, slot, value: value.clone() });
+            self.trace.push(TraceEntry::InputWrite {
+                pc,
+                slot,
+                value: value.clone(),
+            });
         }
     }
 
     fn jump_to(&mut self, target: usize) -> Result<(), VmError> {
         if target > self.program.len() {
-            return Err(VmError::PcOutOfRange { target, len: self.program.len() });
+            return Err(VmError::PcOutOfRange {
+                target,
+                len: self.program.len(),
+            });
         }
         self.pc = target;
         Ok(())
@@ -301,9 +320,15 @@ impl<'p> Interpreter<'p> {
     /// an error.
     pub fn step(&mut self, io: &mut dyn SessionIo) -> Result<Option<SessionEnd>, VmError> {
         if self.steps >= self.config.step_limit {
-            return Err(VmError::StepLimitExceeded { limit: self.config.step_limit });
+            return Err(VmError::StepLimitExceeded {
+                limit: self.config.step_limit,
+            });
         }
-        let instr = self.program.get(self.pc).ok_or(VmError::FellOffEnd)?.clone();
+        let instr = self
+            .program
+            .get(self.pc)
+            .ok_or(VmError::FellOffEnd)?
+            .clone();
         self.steps += 1;
         if matches!(self.trace.mode(), TraceMode::Full) {
             self.trace.push(TraceEntry::Stmt { pc: self.pc as u64 });
@@ -316,7 +341,10 @@ impl<'p> Interpreter<'p> {
                     .state
                     .get(&name)
                     .cloned()
-                    .ok_or_else(|| VmError::UnknownVariable { pc: self.pc, name: name.clone() })?;
+                    .ok_or_else(|| VmError::UnknownVariable {
+                        pc: self.pc,
+                        name: name.clone(),
+                    })?;
                 self.stack.push(v);
             }
             Instr::Store(name) => {
@@ -577,7 +605,13 @@ mod tests {
     #[test]
     fn type_errors_are_reported() {
         let err = run("push true\npush 1\nadd\nhalt", &mut NullIo).unwrap_err();
-        assert!(matches!(err, VmError::TypeMismatch { expected: "int", .. }));
+        assert!(matches!(
+            err,
+            VmError::TypeMismatch {
+                expected: "int",
+                ..
+            }
+        ));
         let err = run("push 1\npush true\nlt\nhalt", &mut NullIo).unwrap_err();
         assert!(matches!(err, VmError::TypeMismatch { .. }));
     }
@@ -720,7 +754,10 @@ mod tests {
     #[test]
     fn step_limit() {
         let program = assemble("loop:\njump loop").unwrap();
-        let config = ExecConfig { step_limit: 100, ..Default::default() };
+        let config = ExecConfig {
+            step_limit: 100,
+            ..Default::default()
+        };
         let err = run_session(&program, DataState::new(), &mut NullIo, &config).unwrap_err();
         assert_eq!(err, VmError::StepLimitExceeded { limit: 100 });
     }
@@ -754,11 +791,14 @@ mod tests {
         let mut io = ScriptedIo::new();
         io.push_input("price", Value::Int(10));
         io.push_message("shop", Value::Str("hi".into()));
-        let out =
-            run_session(&program, DataState::new(), &mut io, &ExecConfig::traced()).unwrap();
+        let out = run_session(&program, DataState::new(), &mut io, &ExecConfig::traced()).unwrap();
         assert_eq!(out.input_log.len(), 3);
-        let kinds: Vec<String> =
-            out.input_log.records().iter().map(|r| r.kind.to_string()).collect();
+        let kinds: Vec<String> = out
+            .input_log
+            .records()
+            .iter()
+            .map(|r| r.kind.to_string())
+            .collect();
         assert_eq!(kinds, vec!["input:price", "syscall:random", "recv:shop"]);
         // Full trace includes both Stmt and InputWrite entries.
         let input_writes = out
@@ -796,13 +836,24 @@ mod tests {
         )
         .unwrap();
         let mut live = ScriptedIo::new();
-        live.push_input("a", Value::Int(5)).push_input("a", Value::Int(6));
-        let original =
-            run_session(&program, DataState::new(), &mut live, &ExecConfig::default()).unwrap();
+        live.push_input("a", Value::Int(5))
+            .push_input("a", Value::Int(6));
+        let original = run_session(
+            &program,
+            DataState::new(),
+            &mut live,
+            &ExecConfig::default(),
+        )
+        .unwrap();
 
         let mut replay = ReplayIo::new(&original.input_log);
-        let rerun =
-            run_session(&program, DataState::new(), &mut replay, &ExecConfig::default()).unwrap();
+        let rerun = run_session(
+            &program,
+            DataState::new(),
+            &mut replay,
+            &ExecConfig::default(),
+        )
+        .unwrap();
         assert_eq!(rerun.state, original.state);
         assert!(replay.fully_consumed());
     }
@@ -826,11 +877,12 @@ mod tests {
         "#,
         )
         .unwrap();
-        let mut state: DataState = [("visits".to_string(), Value::Int(0))].into_iter().collect();
+        let mut state: DataState = [("visits".to_string(), Value::Int(0))]
+            .into_iter()
+            .collect();
         let mut hops = 0;
         loop {
-            let out =
-                run_session(&program, state, &mut NullIo, &ExecConfig::default()).unwrap();
+            let out = run_session(&program, state, &mut NullIo, &ExecConfig::default()).unwrap();
             state = out.state;
             match out.end {
                 SessionEnd::Migrate(_) => hops += 1,

@@ -91,7 +91,10 @@ impl ScriptedIo {
 
     /// Queues a message from `partner` for `recv <partner>`.
     pub fn push_message(&mut self, partner: impl Into<String>, value: Value) -> &mut Self {
-        self.messages.entry(partner.into()).or_default().push_back(value);
+        self.messages
+            .entry(partner.into())
+            .or_default()
+            .push_back(value);
         self
     }
 
@@ -112,7 +115,10 @@ impl SessionIo for ScriptedIo {
         self.inputs
             .get_mut(tag)
             .and_then(VecDeque::pop_front)
-            .ok_or_else(|| VmError::InputUnavailable { pc, what: format!("input:{tag}") })
+            .ok_or_else(|| VmError::InputUnavailable {
+                pc,
+                what: format!("input:{tag}"),
+            })
     }
 
     fn syscall(&mut self, _pc: usize, kind: SyscallKind) -> Result<Value, VmError> {
@@ -136,7 +142,10 @@ impl SessionIo for ScriptedIo {
         self.messages
             .get_mut(partner)
             .and_then(VecDeque::pop_front)
-            .ok_or_else(|| VmError::InputUnavailable { pc, what: format!("recv:{partner}") })
+            .ok_or_else(|| VmError::InputUnavailable {
+                pc,
+                what: format!("recv:{partner}"),
+            })
     }
 
     fn send(&mut self, _pc: usize, partner: &str, value: Value) -> Result<(), VmError> {
@@ -175,9 +184,13 @@ impl ReplayIo {
     }
 
     fn next_value(&mut self, pc: usize, expected: InputKind) -> Result<Value, VmError> {
-        let (kind, value) = self.records.get(self.next).ok_or_else(|| {
-            VmError::InputUnavailable { pc, what: format!("replay:{expected}") }
-        })?;
+        let (kind, value) =
+            self.records
+                .get(self.next)
+                .ok_or_else(|| VmError::InputUnavailable {
+                    pc,
+                    what: format!("replay:{expected}"),
+                })?;
         if *kind != expected {
             return Err(VmError::ReplayMismatch {
                 pc,
@@ -226,19 +239,31 @@ pub struct NullIo;
 
 impl SessionIo for NullIo {
     fn input(&mut self, pc: usize, tag: &str) -> Result<Value, VmError> {
-        Err(VmError::InputUnavailable { pc, what: format!("input:{tag}") })
+        Err(VmError::InputUnavailable {
+            pc,
+            what: format!("input:{tag}"),
+        })
     }
 
     fn syscall(&mut self, pc: usize, kind: SyscallKind) -> Result<Value, VmError> {
-        Err(VmError::InputUnavailable { pc, what: format!("syscall:{kind}") })
+        Err(VmError::InputUnavailable {
+            pc,
+            what: format!("syscall:{kind}"),
+        })
     }
 
     fn recv(&mut self, pc: usize, partner: &str) -> Result<Value, VmError> {
-        Err(VmError::InputUnavailable { pc, what: format!("recv:{partner}") })
+        Err(VmError::InputUnavailable {
+            pc,
+            what: format!("recv:{partner}"),
+        })
     }
 
     fn send(&mut self, pc: usize, partner: &str, _value: Value) -> Result<(), VmError> {
-        Err(VmError::InputUnavailable { pc, what: format!("send:{partner}") })
+        Err(VmError::InputUnavailable {
+            pc,
+            what: format!("send:{partner}"),
+        })
     }
 }
 
@@ -291,7 +316,11 @@ mod tests {
     #[test]
     fn replay_feeds_in_order_and_checks_kinds() {
         let log: InputLog = [
-            InputRecord { pc: 0, kind: InputKind::Tagged("p".into()), value: Value::Int(1) },
+            InputRecord {
+                pc: 0,
+                kind: InputKind::Tagged("p".into()),
+                value: Value::Int(1),
+            },
             InputRecord {
                 pc: 1,
                 kind: InputKind::Syscall(SyscallKind::Time),

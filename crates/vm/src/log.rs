@@ -52,7 +52,12 @@ impl Decode for InputKind {
             1 => InputKind::Syscall(SyscallKind::Time),
             2 => InputKind::Syscall(SyscallKind::Random),
             3 => InputKind::Message(r.take_str()?.to_owned()),
-            tag => return Err(WireError::InvalidTag { context: "InputKind", tag }),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    context: "InputKind",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -99,7 +104,9 @@ pub struct InputLog {
 impl InputLog {
     /// Creates an empty log.
     pub fn new() -> Self {
-        InputLog { records: Vec::new() }
+        InputLog {
+            records: Vec::new(),
+        }
     }
 
     /// Appends a record.
@@ -125,7 +132,9 @@ impl InputLog {
 
 impl FromIterator<InputRecord> for InputLog {
     fn from_iter<I: IntoIterator<Item = InputRecord>>(iter: I) -> Self {
-        InputLog { records: iter.into_iter().collect() }
+        InputLog {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -137,7 +146,9 @@ impl Encode for InputLog {
 
 impl Decode for InputLog {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(InputLog { records: Vec::<InputRecord>::decode(r)? })
+        Ok(InputLog {
+            records: Vec::<InputRecord>::decode(r)?,
+        })
     }
 }
 
@@ -182,7 +193,11 @@ mod tests {
 
     fn sample_log() -> InputLog {
         [
-            InputRecord { pc: 0, kind: InputKind::Tagged("price".into()), value: Value::Int(10) },
+            InputRecord {
+                pc: 0,
+                kind: InputKind::Tagged("price".into()),
+                value: Value::Int(10),
+            },
             InputRecord {
                 pc: 3,
                 kind: InputKind::Syscall(SyscallKind::Random),
@@ -227,13 +242,20 @@ mod tests {
     #[test]
     fn kind_display() {
         assert_eq!(InputKind::Tagged("p".into()).to_string(), "input:p");
-        assert_eq!(InputKind::Syscall(SyscallKind::Time).to_string(), "syscall:time");
+        assert_eq!(
+            InputKind::Syscall(SyscallKind::Time).to_string(),
+            "syscall:time"
+        );
         assert_eq!(InputKind::Message("m".into()).to_string(), "recv:m");
     }
 
     #[test]
     fn output_record_round_trip() {
-        let rec = OutputRecord { pc: 5, partner: "bank".into(), value: Value::Int(100) };
+        let rec = OutputRecord {
+            pc: 5,
+            partner: "bank".into(),
+            value: Value::Int(100),
+        };
         assert_eq!(from_wire::<OutputRecord>(&to_wire(&rec)).unwrap(), rec);
     }
 

@@ -105,8 +105,14 @@ mod tests {
 
     #[test]
     fn encoding_distinguishes_pc() {
-        let a = MachineState { pc: 1, ..Default::default() };
-        let b = MachineState { pc: 2, ..Default::default() };
+        let a = MachineState {
+            pc: 1,
+            ..Default::default()
+        };
+        let b = MachineState {
+            pc: 2,
+            ..Default::default()
+        };
         assert_ne!(to_wire(&a), to_wire(&b));
     }
 }

@@ -99,7 +99,9 @@ impl Encode for Program {
 impl Decode for Program {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let instrs = Vec::<Instr>::decode(r)?;
-        Program::new(instrs).map_err(|_| WireError::InvalidValue { context: "Program jump target" })
+        Program::new(instrs).map_err(|_| WireError::InvalidValue {
+            context: "Program jump target",
+        })
     }
 }
 
@@ -319,10 +321,13 @@ impl ProgramBuilder {
     pub fn build(&mut self) -> Result<Program, crate::VmError> {
         let mut instrs = std::mem::take(&mut self.instrs);
         for (at, label) in self.fixups.drain(..) {
-            let target = *self.labels.get(&label).ok_or(crate::VmError::PcOutOfRange {
-                target: usize::MAX,
-                len: instrs.len(),
-            })?;
+            let target = *self
+                .labels
+                .get(&label)
+                .ok_or(crate::VmError::PcOutOfRange {
+                    target: usize::MAX,
+                    len: instrs.len(),
+                })?;
             match &mut instrs[at] {
                 Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) | Instr::Call(t) => {
                     *t = target

@@ -34,7 +34,9 @@ pub struct DataState {
 impl DataState {
     /// Creates an empty state.
     pub fn new() -> Self {
-        DataState { vars: BTreeMap::new() }
+        DataState {
+            vars: BTreeMap::new(),
+        }
     }
 
     /// Returns the value of `name`, if set.
@@ -98,7 +100,9 @@ impl fmt::Display for DataState {
 
 impl FromIterator<(String, Value)> for DataState {
     fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
-        DataState { vars: iter.into_iter().collect() }
+        DataState {
+            vars: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -116,7 +120,9 @@ impl Encode for DataState {
 
 impl Decode for DataState {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(DataState { vars: BTreeMap::decode(r)? })
+        Ok(DataState {
+            vars: BTreeMap::decode(r)?,
+        })
     }
 }
 
@@ -182,7 +188,10 @@ mod tests {
     #[test]
     fn extend_and_iter() {
         let mut s = DataState::new();
-        s.extend([("z".to_string(), Value::Int(1)), ("a".to_string(), Value::Int(2))]);
+        s.extend([
+            ("z".to_string(), Value::Int(1)),
+            ("a".to_string(), Value::Int(2)),
+        ]);
         let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a", "z"]);
     }

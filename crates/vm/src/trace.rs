@@ -82,7 +82,12 @@ impl Decode for TraceEntry {
                 slot: r.take_str()?.to_owned(),
                 value: Value::decode(r)?,
             },
-            tag => return Err(WireError::InvalidTag { context: "TraceEntry", tag }),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    context: "TraceEntry",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -108,7 +113,10 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace for the given mode.
     pub fn new(mode: TraceMode) -> Self {
-        Trace { mode, entries: Vec::new() }
+        Trace {
+            mode,
+            entries: Vec::new(),
+        }
     }
 
     /// The recording mode.
@@ -180,9 +188,17 @@ impl Decode for Trace {
             0 => TraceMode::Off,
             1 => TraceMode::InputsOnly,
             2 => TraceMode::Full,
-            tag => return Err(WireError::InvalidTag { context: "TraceMode", tag }),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    context: "TraceMode",
+                    tag,
+                })
+            }
         };
-        Ok(Trace { mode, entries: Vec::<TraceEntry>::decode(r)? })
+        Ok(Trace {
+            mode,
+            entries: Vec::<TraceEntry>::decode(r)?,
+        })
     }
 }
 
@@ -196,7 +212,11 @@ mod tests {
         let mut t = Trace::new(TraceMode::Full);
         assert!(t.is_empty());
         t.push(TraceEntry::Stmt { pc: 11 });
-        t.push(TraceEntry::InputWrite { pc: 13, slot: "x".into(), value: Value::Int(5) });
+        t.push(TraceEntry::InputWrite {
+            pc: 13,
+            slot: "x".into(),
+            value: Value::Int(5),
+        });
         assert_eq!(t.len(), 2);
         assert_eq!(t.render(), "11\n13 x=5\n");
     }
@@ -205,18 +225,29 @@ mod tests {
     fn reduced_drops_stmt_entries() {
         let mut t = Trace::new(TraceMode::Full);
         t.push(TraceEntry::Stmt { pc: 1 });
-        t.push(TraceEntry::InputWrite { pc: 2, slot: "a".into(), value: Value::Int(1) });
+        t.push(TraceEntry::InputWrite {
+            pc: 2,
+            slot: "a".into(),
+            value: Value::Int(1),
+        });
         t.push(TraceEntry::Stmt { pc: 3 });
         let r = t.reduced();
         assert_eq!(r.mode(), TraceMode::InputsOnly);
         assert_eq!(r.len(), 1);
-        assert!(matches!(r.entries()[0], TraceEntry::InputWrite { pc: 2, .. }));
+        assert!(matches!(
+            r.entries()[0],
+            TraceEntry::InputWrite { pc: 2, .. }
+        ));
     }
 
     #[test]
     fn wire_round_trip() {
         let mut t = Trace::new(TraceMode::InputsOnly);
-        t.push(TraceEntry::InputWrite { pc: 7, slot: "k".into(), value: Value::Bool(true) });
+        t.push(TraceEntry::InputWrite {
+            pc: 7,
+            slot: "k".into(),
+            value: Value::Bool(true),
+        });
         assert_eq!(from_wire::<Trace>(&to_wire(&t)).unwrap(), t);
         let empty = Trace::new(TraceMode::Off);
         assert_eq!(from_wire::<Trace>(&to_wire(&empty)).unwrap(), empty);

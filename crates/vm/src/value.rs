@@ -181,7 +181,10 @@ impl Decode for Value {
             TAG_STR => Ok(Value::Str(r.take_str()?.to_owned())),
             TAG_BYTES => Ok(Value::Bytes(r.take_bytes()?.to_vec())),
             TAG_LIST => Ok(Value::List(Vec::<Value>::decode(r)?)),
-            tag => Err(WireError::InvalidTag { context: "Value", tag }),
+            tag => Err(WireError::InvalidTag {
+                context: "Value",
+                tag,
+            }),
         }
     }
 }
@@ -228,7 +231,10 @@ mod tests {
         assert_eq!(Value::from(true), Value::Bool(true));
         assert_eq!(Value::from("s"), Value::Str("s".into()));
         assert_eq!(Value::from(vec![1u8]), Value::Bytes(vec![1]));
-        assert_eq!(Value::from(vec![Value::Int(1)]), Value::List(vec![Value::Int(1)]));
+        assert_eq!(
+            Value::from(vec![Value::Int(1)]),
+            Value::List(vec![Value::Int(1)])
+        );
     }
 
     #[test]

@@ -73,14 +73,26 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = WireError::UnexpectedEof { needed: 4, remaining: 1 };
+        let e = WireError::UnexpectedEof {
+            needed: 4,
+            remaining: 1,
+        };
         assert!(e.to_string().contains("needed 4"));
-        let e = WireError::InvalidTag { context: "Value", tag: 0xff };
+        let e = WireError::InvalidTag {
+            context: "Value",
+            tag: 0xff,
+        };
         assert!(e.to_string().contains("Value"));
         assert!(WireError::InvalidUtf8.to_string().contains("UTF-8"));
-        assert!(WireError::LengthOverflow { declared: 9 }.to_string().contains('9'));
-        assert!(WireError::TrailingBytes { count: 3 }.to_string().contains('3'));
-        assert!(WireError::InvalidValue { context: "bool" }.to_string().contains("bool"));
+        assert!(WireError::LengthOverflow { declared: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(WireError::TrailingBytes { count: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(WireError::InvalidValue { context: "bool" }
+            .to_string()
+            .contains("bool"));
     }
 
     #[test]

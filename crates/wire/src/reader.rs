@@ -49,7 +49,9 @@ impl<'a> Reader<'a> {
         if self.is_empty() {
             Ok(())
         } else {
-            Err(WireError::TrailingBytes { count: self.remaining() })
+            Err(WireError::TrailingBytes {
+                count: self.remaining(),
+            })
         }
     }
 
@@ -60,7 +62,10 @@ impl<'a> Reader<'a> {
     /// Returns [`WireError::UnexpectedEof`] if fewer than `n` remain.
     pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return Err(WireError::UnexpectedEof { needed: n, remaining: self.remaining() });
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let out = &self.data[self.pos..self.pos + n];
         self.pos += n;
@@ -103,7 +108,9 @@ impl<'a> Reader<'a> {
     /// Returns [`WireError::UnexpectedEof`] on truncated input.
     pub fn take_u64(&mut self) -> Result<u64, WireError> {
         let b = self.take_raw(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Takes an `i64` from its two's-complement `u64` image.
@@ -183,7 +190,10 @@ mod tests {
         let mut r = Reader::new(&[1]);
         assert_eq!(
             r.take_u32(),
-            Err(WireError::UnexpectedEof { needed: 4, remaining: 1 })
+            Err(WireError::UnexpectedEof {
+                needed: 4,
+                remaining: 1
+            })
         );
     }
 
@@ -197,7 +207,10 @@ mod tests {
     fn hostile_length_rejected() {
         // Declares 4 GiB of payload with 2 bytes present.
         let mut r = Reader::new(&[0xff, 0xff, 0xff, 0xff, 0, 0]);
-        assert!(matches!(r.take_bytes(), Err(WireError::LengthOverflow { .. })));
+        assert!(matches!(
+            r.take_bytes(),
+            Err(WireError::LengthOverflow { .. })
+        ));
     }
 
     #[test]
@@ -205,7 +218,10 @@ mod tests {
         let mut r = Reader::new(&[0, 1, 2]);
         assert!(!r.take_bool().unwrap());
         assert!(r.take_bool().unwrap());
-        assert_eq!(r.take_bool(), Err(WireError::InvalidValue { context: "bool" }));
+        assert_eq!(
+            r.take_bool(),
+            Err(WireError::InvalidValue { context: "bool" })
+        );
     }
 
     #[test]

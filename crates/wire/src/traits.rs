@@ -171,7 +171,10 @@ impl<T: Decode> Decode for Option<T> {
         match r.take_u8()? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
-            tag => Err(WireError::InvalidTag { context: "Option", tag }),
+            tag => Err(WireError::InvalidTag {
+                context: "Option",
+                tag,
+            }),
         }
     }
 }
@@ -230,7 +233,9 @@ impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
             pairs.push((k, v));
         }
         if !pairs.windows(2).all(|w| w[0].0 < w[1].0) {
-            return Err(WireError::InvalidValue { context: "map key order" });
+            return Err(WireError::InvalidValue {
+                context: "map key order",
+            });
         }
         Ok(pairs.into_iter().collect())
     }
@@ -269,7 +274,10 @@ mod tests {
         let pair = (1u32, "a".to_string());
         assert_eq!(from_wire::<(u32, String)>(&to_wire(&pair)).unwrap(), pair);
         let triple = (1u8, 2u16, 3u32);
-        assert_eq!(from_wire::<(u8, u16, u32)>(&to_wire(&triple)).unwrap(), triple);
+        assert_eq!(
+            from_wire::<(u8, u16, u32)>(&to_wire(&triple)).unwrap(),
+            triple
+        );
     }
 
     #[test]
@@ -295,7 +303,12 @@ mod tests {
         w.put_str("a");
         w.put_u64(2);
         let err = from_wire::<BTreeMap<String, u64>>(&w.into_inner()).unwrap_err();
-        assert_eq!(err, WireError::InvalidValue { context: "map key order" });
+        assert_eq!(
+            err,
+            WireError::InvalidValue {
+                context: "map key order"
+            }
+        );
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! The encoding half: an append-only byte sink with primitive helpers.
 
-use bytes::{BufMut, BytesMut};
-
 /// An append-only byte buffer with little-endian primitive helpers.
 ///
 /// All multi-byte integers are written little-endian; lengths are `u32`.
@@ -18,23 +16,25 @@ use bytes::{BufMut, BytesMut};
 /// ```
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Writer { buf: BytesMut::new() }
+        Writer { buf: Vec::new() }
     }
 
     /// Creates a writer with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: BytesMut::with_capacity(cap) }
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Consumes the writer and returns the encoded bytes.
     pub fn into_inner(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Returns the number of bytes written so far.
@@ -49,22 +49,22 @@ impl Writer {
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a `u16` little-endian.
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u32` little-endian.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u64` little-endian.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends an `i64` as its two's-complement `u64` image.
@@ -79,7 +79,7 @@ impl Writer {
 
     /// Appends raw bytes without a length prefix.
     pub fn put_raw(&mut self, bytes: &[u8]) {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Appends a `u32` length prefix followed by the bytes.
@@ -90,7 +90,7 @@ impl Writer {
     /// agent states this workspace produces).
     pub fn put_bytes(&mut self, bytes: &[u8]) {
         self.put_len(bytes.len());
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Appends a length-prefixed UTF-8 string.
@@ -121,7 +121,9 @@ mod tests {
         w.put_u64(0x0708090a0b0c0d0e);
         assert_eq!(
             w.into_inner(),
-            vec![0x02, 0x01, 0x06, 0x05, 0x04, 0x03, 0x0e, 0x0d, 0x0c, 0x0b, 0x0a, 0x09, 0x08, 0x07]
+            vec![
+                0x02, 0x01, 0x06, 0x05, 0x04, 0x03, 0x0e, 0x0d, 0x0c, 0x0b, 0x0a, 0x09, 0x08, 0x07
+            ]
         );
     }
 
@@ -137,7 +139,10 @@ mod tests {
         let mut w = Writer::new();
         w.put_bytes(&[9, 8]);
         w.put_str("ab");
-        assert_eq!(w.into_inner(), vec![2, 0, 0, 0, 9, 8, 2, 0, 0, 0, b'a', b'b']);
+        assert_eq!(
+            w.into_inner(),
+            vec![2, 0, 0, 0, 9, 8, 2, 0, 0, 0, b'a', b'b']
+        );
     }
 
     #[test]

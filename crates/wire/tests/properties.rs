@@ -79,7 +79,7 @@ proptest! {
     #[test]
     fn extension_always_detected(v in proptest::collection::vec(any::<u64>(), 0..10), extra in 1usize..8) {
         let mut bytes = to_wire(&v);
-        bytes.extend(std::iter::repeat(0u8).take(extra));
+        bytes.extend(std::iter::repeat_n(0u8, extra));
         let r = from_wire::<Vec<u64>>(&bytes);
         let is_trailing = matches!(r, Err(WireError::TrailingBytes { .. }));
         prop_assert!(is_trailing);

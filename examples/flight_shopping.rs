@@ -21,9 +21,7 @@
 use rand::SeedableRng;
 use refstate::core::protocol::{run_protected_journey, ProtocolConfig};
 use refstate::crypto::{DsaKeyPair, DsaParams, KeyDirectory, Signed};
-use refstate::platform::{
-    run_plain_journey, AgentImage, Attack, EventLog, Host, HostSpec,
-};
+use refstate::platform::{run_plain_journey, AgentImage, Attack, EventLog, Host, HostSpec};
 use refstate::vm::{assemble, DataState, ExecConfig, Value};
 
 /// The shopping agent: collect a quote per airline into a list, then pick
@@ -106,8 +104,18 @@ fn build_hosts(
         b = b.malicious(attack);
     }
     vec![
-        Host::new(HostSpec::new("home").trusted().with_input("fare", Value::Int(410)), params, rng),
-        Host::new(HostSpec::new("airline-a").with_input("fare", Value::Int(180)), params, rng),
+        Host::new(
+            HostSpec::new("home")
+                .trusted()
+                .with_input("fare", Value::Int(410)),
+            params,
+            rng,
+        ),
+        Host::new(
+            HostSpec::new("airline-a").with_input("fare", Value::Int(180)),
+            params,
+            rng,
+        ),
         Host::new(b, params, rng),
     ]
 }
@@ -154,10 +162,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  fraud detected!");
             println!("    culprit:  {}", fraud.culprit);
             println!("    detector: {}", fraud.detector);
-            println!("    claimed quotes:   {}", fraud.claimed_state.get("quotes").unwrap());
+            println!(
+                "    claimed quotes:   {}",
+                fraud.claimed_state.get("quotes").unwrap()
+            );
             println!(
                 "    reference quotes: {}",
-                fraud.reference_state.as_ref().unwrap().get("quotes").unwrap()
+                fraud
+                    .reference_state
+                    .as_ref()
+                    .unwrap()
+                    .get("quotes")
+                    .unwrap()
             );
             println!("    the culprit's signed certificate is attached as court evidence\n");
         }
@@ -167,7 +183,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     println!("scenario 3: PROTECTED — airline-b lies about its own fare instead");
     let mut hosts = build_hosts(
-        Some(Attack::ForgeInput { tag: "fare".into(), value: Value::Int(90) }),
+        Some(Attack::ForgeInput {
+            tag: "fare".into(),
+            value: Value::Int(90),
+        }),
         &params,
         &mut rng,
     );
@@ -193,16 +212,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let company_keys = DsaKeyPair::generate(&params, &mut rng);
     let mut directory = KeyDirectory::new();
     directory.register("airline-b-company", company_keys.public().clone());
-    let published_fare = Signed::seal(Value::Int(240), "airline-b-company", &company_keys, &mut rng);
+    let published_fare = Signed::seal(
+        Value::Int(240),
+        "airline-b-company",
+        &company_keys,
+        &mut rng,
+    );
 
     // The host serves a forged fare (90) but cannot produce a company
     // signature for it; the agent-side provenance check exposes the lie.
     let forged = Value::Int(90);
     let provenance: Option<Signed<Value>> = None; // the host has none for 90
     let claimed_ok = match &provenance {
-        Some(envelope) => {
-            envelope.verify(&directory).is_ok() && envelope.payload() == &forged
-        }
+        Some(envelope) => envelope.verify(&directory).is_ok() && envelope.payload() == &forged,
         None => false,
     };
     println!(

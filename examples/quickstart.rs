@@ -19,19 +19,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // will tamper with the agent's collected price.
     let mut hosts = vec![
         Host::new(
-            HostSpec::new("home").trusted().with_input("offer", Value::Int(400)),
+            HostSpec::new("home")
+                .trusted()
+                .with_input("offer", Value::Int(400)),
             &params,
             &mut rng,
         ),
         Host::new(
             HostSpec::new("shop")
                 .with_input("offer", Value::Int(120))
-                .malicious(Attack::TamperVariable { name: "best".into(), value: Value::Int(999) }),
+                .malicious(Attack::TamperVariable {
+                    name: "best".into(),
+                    value: Value::Int(999),
+                }),
             &params,
             &mut rng,
         ),
         Host::new(
-            HostSpec::new("notary").trusted().with_input("offer", Value::Int(250)),
+            HostSpec::new("notary")
+                .trusted()
+                .with_input("offer", Value::Int(250)),
             &params,
             &mut rng,
         ),
@@ -89,12 +96,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{fraud}");
         }
         None => {
-            println!("\njourney completed clean; best offer: {:?}",
-                outcome.final_state.get_int("best"));
+            println!(
+                "\njourney completed clean; best offer: {:?}",
+                outcome.final_state.get_int("best")
+            );
         }
     }
 
-    println!("\nprotocol stats: {} signatures, {} verifications, {} re-executions",
-        outcome.stats.signatures, outcome.stats.verifications, outcome.stats.reexecutions);
+    println!(
+        "\nprotocol stats: {} signatures, {} verifications, {} re-executions",
+        outcome.stats.signatures, outcome.stats.verifications, outcome.stats.reexecutions
+    );
     Ok(())
 }

@@ -59,22 +59,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let log = EventLog::new();
-    let outcome = run_replicated_pipeline(&mut hosts, &stages, agent, &ExecConfig::default(), &log)?;
+    let outcome =
+        run_replicated_pipeline(&mut hosts, &stages, agent, &ExecConfig::default(), &log)?;
 
     println!("per-stage votes:");
     for vote in &outcome.votes {
         println!("  stage {}:", vote.stage);
         for (digest, voters) in &vote.tally {
             let names: Vec<&str> = voters.iter().map(|h| h.as_str()).collect();
-            let marker = if Some(*digest) == vote.winner { "WINNER" } else { "minority" };
+            let marker = if Some(*digest) == vote.winner {
+                "WINNER"
+            } else {
+                "minority"
+            };
             println!("    state#{} <- {:?} [{marker}]", digest.short(), names);
         }
     }
 
     match outcome.final_state {
         Some(state) => {
-            println!("\nvoted final state: sum = {:?} over {:?} stages",
-                state.get_int("sum"), state.get_int("n"));
+            println!(
+                "\nvoted final state: sum = {:?} over {:?} stages",
+                state.get_int("sum"),
+                state.get_int("n")
+            );
             println!("expected 100 + 102 + 98 = 300 — the forgery never made it through");
         }
         None => println!("\nno majority — too many corrupt replicas"),
@@ -82,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if !outcome.suspects.is_empty() {
         println!(
             "replicas flagged for diverging from the majority: {:?}",
-            outcome.suspects.iter().map(|h| h.as_str()).collect::<Vec<_>>()
+            outcome
+                .suspects
+                .iter()
+                .map(|h| h.as_str())
+                .collect::<Vec<_>>()
         );
     }
     Ok(())

@@ -19,19 +19,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // under-reports by tampering the running total.
     let mut hosts = vec![
         Host::new(
-            HostSpec::new("branch-1").trusted().with_input("revenue", Value::Int(1000)),
+            HostSpec::new("branch-1")
+                .trusted()
+                .with_input("revenue", Value::Int(1000)),
             &params,
             &mut rng,
         ),
         Host::new(
             HostSpec::new("branch-2")
                 .with_input("revenue", Value::Int(2500))
-                .malicious(Attack::TamperVariable { name: "total".into(), value: Value::Int(1500) }),
+                .malicious(Attack::TamperVariable {
+                    name: "total".into(),
+                    value: Value::Int(1500),
+                }),
             &params,
             &mut rng,
         ),
         Host::new(
-            HostSpec::new("hq").trusted().with_input("revenue", Value::Int(800)),
+            HostSpec::new("hq")
+                .trusted()
+                .with_input("revenue", Value::Int(800)),
             &params,
             &mut rng,
         ),
@@ -74,10 +81,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let agent = AgentImage::new("auditor", program.clone(), state);
 
     let log = EventLog::new();
-    let journey = run_traced_journey(&mut hosts, "branch-1", agent, &ExecConfig::default(), &log, 10)?;
+    let journey = run_traced_journey(
+        &mut hosts,
+        "branch-1",
+        agent,
+        &ExecConfig::default(),
+        &log,
+        10,
+    )?;
 
-    println!("journey complete: visited {:?}", journey.path.iter().map(|h| h.as_str()).collect::<Vec<_>>());
-    println!("reported grand total: {:?}", journey.final_state.get_int("total"));
+    println!(
+        "journey complete: visited {:?}",
+        journey.path.iter().map(|h| h.as_str()).collect::<Vec<_>>()
+    );
+    println!(
+        "reported grand total: {:?}",
+        journey.final_state.get_int("total")
+    );
     println!("(expected 1000 + 2500 + 800 = 4300 — something is off)\n");
 
     println!("per-session commitments received by the owner:");

@@ -18,6 +18,9 @@
 //!   moments, reference data, checking algorithms, the §5.1 protocol,
 //! * [`mechanisms`] — state appraisal, server replication, execution
 //!   traces, and (simulated) proof verification,
+//! * [`fleet`] — the fleet-scale scenario engine: seeded generation of
+//!   thousands of host topologies and attack mixes, a multi-threaded
+//!   journey scheduler, and detection/throughput reporting,
 //! * [`crypto`] — SHA-1/SHA-256/HMAC/DSA and signed envelopes,
 //! * [`wire`] — the canonical binary encoding everything is hashed and
 //!   signed through,
@@ -107,6 +110,7 @@
 pub use refstate_bigint as bigint;
 pub use refstate_core as core;
 pub use refstate_crypto as crypto;
+pub use refstate_fleet as fleet;
 pub use refstate_mechanisms as mechanisms;
 pub use refstate_platform as platform;
 pub use refstate_vm as vm;

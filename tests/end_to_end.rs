@@ -91,7 +91,12 @@ fn five_hop_honest_tour_under_protocol() {
     .unwrap();
     assert!(outcome.clean());
     assert_eq!(outcome.path.len(), 4);
-    let quotes = outcome.final_state.get("quotes").unwrap().as_list().unwrap();
+    let quotes = outcome
+        .final_state
+        .get("quotes")
+        .unwrap()
+        .as_list()
+        .unwrap();
     assert_eq!(quotes.len(), 4);
     // Three untrusted shops each get their previous session checked; the
     // final shop session is checked by the owner.
@@ -115,14 +120,19 @@ fn protocol_catches_middle_shop_anywhere() {
             &log,
         )
         .unwrap();
-        let fraud = outcome.fraud.unwrap_or_else(|| panic!("{culprit} not caught"));
+        let fraud = outcome
+            .fraud
+            .unwrap_or_else(|| panic!("{culprit} not caught"));
         assert_eq!(fraud.culprit.as_str(), culprit);
     }
 }
 
 #[test]
 fn protocol_fraud_evidence_is_third_party_verifiable() {
-    let attack = Attack::ScaleIntVariable { name: "hop".into(), factor: 2 };
+    let attack = Attack::ScaleIntVariable {
+        name: "hop".into(),
+        factor: 2,
+    };
     let mut hosts = tour_hosts(&[("shop-2", attack)], 3);
     let mut dir = KeyDirectory::new();
     for h in &hosts {
@@ -167,14 +177,16 @@ fn framework_unordered_list_comparator_tolerates_permutations() {
         &log,
     )
     .unwrap();
-    assert!(outcome.fraud.is_some(), "exact compare flags the permutation");
+    assert!(
+        outcome.fraud.is_some(),
+        "exact compare flags the permutation"
+    );
 
     // Unordered comparison on "quotes": tolerated.
     let mut hosts = tour_hosts(&[("shop-1", attack)], 4);
     let log = EventLog::new();
     let comparator = Arc::new(UnorderedLists::new(["quotes"]));
-    let config =
-        ProtectionConfig::new(Arc::new(ReExecutionChecker::with_compare(comparator)));
+    let config = ProtectionConfig::new(Arc::new(ReExecutionChecker::with_compare(comparator)));
     let outcome = run_framework_journey(
         &mut hosts,
         "home",
@@ -190,12 +202,14 @@ fn framework_unordered_list_comparator_tolerates_permutations() {
 
 #[test]
 fn after_task_rules_are_cheap_but_late() {
-    let attack = Attack::DeleteVariable { name: "quotes".into() };
+    let attack = Attack::DeleteVariable {
+        name: "quotes".into(),
+    };
     let mut hosts = tour_hosts(&[("shop-1", attack)], 5);
     let log = EventLog::new();
     let rules = RuleSet::new().rule("quotes-exist", Pred::Defined("quotes".into()));
-    let config = ProtectionConfig::new(Arc::new(RuleChecker::new(rules)))
-        .moment(CheckMoment::AfterTask);
+    let config =
+        ProtectionConfig::new(Arc::new(RuleChecker::new(rules))).moment(CheckMoment::AfterTask);
     let err_or_outcome = run_framework_journey(
         &mut hosts,
         "home",
@@ -224,7 +238,10 @@ fn provenance_extension_exposes_forged_inputs() {
         refstate::crypto::Signed::seal(Value::Int(240), "quote-notary", &producer, &mut rng);
     spec.feed.push_signed("quote", genuine);
     let mut shop = Host::new(
-        spec.malicious(Attack::ForgeInput { tag: "quote".into(), value: Value::Int(90) }),
+        spec.malicious(Attack::ForgeInput {
+            tag: "quote".into(),
+            value: Value::Int(90),
+        }),
         &params,
         &mut rng,
     );
@@ -232,7 +249,9 @@ fn provenance_extension_exposes_forged_inputs() {
     let program = assemble("input \"quote\"\nstore \"q\"\nhalt").unwrap();
     let agent = AgentImage::new("buyer", program, DataState::new());
     let log = EventLog::new();
-    let record = shop.execute_session(&agent, &ExecConfig::default(), &log).unwrap();
+    let record = shop
+        .execute_session(&agent, &ExecConfig::default(), &log)
+        .unwrap();
 
     // The re-execution check is blind: log and state agree.
     assert_eq!(record.outcome.state.get_int("q"), Some(90));
@@ -310,9 +329,11 @@ fn event_log_tells_the_whole_story() {
 fn skip_trusted_false_checks_every_session() {
     let mut hosts = tour_hosts(&[], 9);
     let log = EventLog::new();
-    let config = ProtocolConfig { skip_trusted: false, ..Default::default() };
-    let outcome =
-        run_protected_journey(&mut hosts, "home", tour_agent(), &config, &log).unwrap();
+    let config = ProtocolConfig {
+        skip_trusted: false,
+        ..Default::default()
+    };
+    let outcome = run_protected_journey(&mut hosts, "home", tour_agent(), &config, &log).unwrap();
     assert!(outcome.clean());
     // All four sessions re-executed.
     assert_eq!(outcome.stats.reexecutions, 4);
@@ -386,7 +407,10 @@ fn collusion_detected_only_when_checker_is_honest() {
         &log,
     )
     .unwrap();
-    assert!(outcome.fraud.is_none(), "consecutive-host collusion wins (§5.1)");
+    assert!(
+        outcome.fraud.is_none(),
+        "consecutive-host collusion wins (§5.1)"
+    );
 
     // Same tampering, accomplice elsewhere: shop-2 checks honestly.
     let lone = Attack::CollaborateTamper {

@@ -55,13 +55,17 @@ fn hosts(inputs: [i64; 3], b_attack: Option<Attack>, seed: u64) -> Vec<Host> {
     }
     vec![
         Host::new(
-            HostSpec::new("a").trusted().with_input("n", Value::Int(inputs[0])),
+            HostSpec::new("a")
+                .trusted()
+                .with_input("n", Value::Int(inputs[0])),
             &params,
             &mut rng,
         ),
         Host::new(b, &params, &mut rng),
         Host::new(
-            HostSpec::new("c").trusted().with_input("n", Value::Int(inputs[2])),
+            HostSpec::new("c")
+                .trusted()
+                .with_input("n", Value::Int(inputs[2])),
             &params,
             &mut rng,
         ),

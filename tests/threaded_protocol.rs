@@ -91,9 +91,17 @@ impl ProtocolNode {
         };
         let signed = self.host.sign(cert);
         match next {
-            Some(dest) => Step::Send(vec![(dest, Baggage { image, cert: signed })]),
+            Some(dest) => Step::Send(vec![(
+                dest,
+                Baggage {
+                    image,
+                    cert: signed,
+                },
+            )]),
             None => {
-                let _ = self.report.send(Verdict::Clean { final_state: image.state });
+                let _ = self.report.send(Verdict::Clean {
+                    final_state: image.state,
+                });
                 Step::Finished
             }
         }
@@ -164,9 +172,17 @@ fn build(
         b_spec = b_spec.malicious(a);
     }
     let mut hosts = vec![
-        Host::new(HostSpec::new("a").trusted().with_input("n", Value::Int(10)), &params, &mut rng),
+        Host::new(
+            HostSpec::new("a").trusted().with_input("n", Value::Int(10)),
+            &params,
+            &mut rng,
+        ),
         Host::new(b_spec, &params, &mut rng),
-        Host::new(HostSpec::new("c").trusted().with_input("n", Value::Int(30)), &params, &mut rng),
+        Host::new(
+            HostSpec::new("c").trusted().with_input("n", Value::Int(30)),
+            &params,
+            &mut rng,
+        ),
     ];
     let mut directory = KeyDirectory::new();
     for h in &hosts {
@@ -178,7 +194,9 @@ fn build(
     let exec = ExecConfig::default();
     let log = EventLog::new();
     let mut image = tour_agent();
-    let record = hosts[0].execute_session(&image, &exec, &log).expect("home session");
+    let record = hosts[0]
+        .execute_session(&image, &exec, &log)
+        .expect("home session");
     image.state = record.outcome.state.clone();
     let next = match &record.outcome.end {
         SessionEnd::Migrate(h) => Some(HostId::new(h.clone())),
@@ -205,7 +223,13 @@ fn build(
             report: report.clone(),
         })
         .collect();
-    (nodes, Baggage { image, cert: signed })
+    (
+        nodes,
+        Baggage {
+            image,
+            cert: signed,
+        },
+    )
 }
 
 #[test]
@@ -213,10 +237,13 @@ fn threaded_honest_journey_matches_sim() {
     // Threaded run.
     let (tx, rx) = mpsc::channel();
     let (nodes, baggage) = build(None, tx, 42);
-    let boxed: Vec<Box<dyn HostNode<Baggage> + Send>> =
-        nodes.into_iter().map(|n| Box::new(n) as Box<dyn HostNode<Baggage> + Send>).collect();
+    let boxed: Vec<Box<dyn HostNode<Baggage> + Send>> = nodes
+        .into_iter()
+        .map(|n| Box::new(n) as Box<dyn HostNode<Baggage> + Send>)
+        .collect();
     let net = ThreadedNetwork::start(boxed);
-    net.inject(HostId::new("a"), HostId::new("b"), baggage).unwrap();
+    net.inject(HostId::new("a"), HostId::new("b"), baggage)
+        .unwrap();
     net.join(Duration::from_secs(30)).unwrap();
     let threaded = match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
         Verdict::Clean { final_state } => final_state,
@@ -246,12 +273,18 @@ fn threaded_honest_journey_matches_sim() {
 #[test]
 fn threaded_network_catches_tampering() {
     let (tx, rx) = mpsc::channel();
-    let attack = Attack::TamperVariable { name: "total".into(), value: Value::Int(0) };
+    let attack = Attack::TamperVariable {
+        name: "total".into(),
+        value: Value::Int(0),
+    };
     let (nodes, baggage) = build(Some(attack), tx, 43);
-    let boxed: Vec<Box<dyn HostNode<Baggage> + Send>> =
-        nodes.into_iter().map(|n| Box::new(n) as Box<dyn HostNode<Baggage> + Send>).collect();
+    let boxed: Vec<Box<dyn HostNode<Baggage> + Send>> = nodes
+        .into_iter()
+        .map(|n| Box::new(n) as Box<dyn HostNode<Baggage> + Send>)
+        .collect();
     let net = ThreadedNetwork::start(boxed);
-    net.inject(HostId::new("a"), HostId::new("b"), baggage).unwrap();
+    net.inject(HostId::new("a"), HostId::new("b"), baggage)
+        .unwrap();
     net.join(Duration::from_secs(30)).unwrap();
     match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
         Verdict::Fraud { culprit } => assert_eq!(culprit.as_str(), "b"),
