@@ -3,18 +3,32 @@
 //!
 //! This is the bench trajectory counterpart of the `fleet` CLI's
 //! `journeys_per_sec` metric: small fixed fleets, measured hot.
+//!
+//! Besides the criterion groups, the bench emits a machine-readable
+//! `BENCH_fleet.json` (journeys/sec plus p50/p99 latency per mechanism,
+//! for both the mixed and the replicated preset) so future PRs have a
+//! perf trajectory to diff against. Set `BENCH_FLEET_OUT` to change the
+//! output path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use refstate_fleet::{run_fleet, FleetConfig, FleetMechanism, Preset};
+use std::sync::Arc;
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use refstate_fleet::{
+    run_fleet, FleetConfig, FleetRun, MechanismRegistry, Preset, ProtectionMechanism,
+};
 
 const SCENARIOS: u64 = 64;
 
-fn bench_config(mechanisms: Vec<FleetMechanism>, workers: usize) -> FleetConfig {
+fn bench_config(
+    mechanisms: Vec<Arc<dyn ProtectionMechanism>>,
+    preset: Preset,
+    workers: usize,
+) -> FleetConfig {
     FleetConfig {
         scenarios: SCENARIOS,
         workers,
         seed: 42,
-        preset: Preset::Mixed,
+        preset,
         mechanisms,
         key_pool: 16,
         ..FleetConfig::default()
@@ -22,11 +36,18 @@ fn bench_config(mechanisms: Vec<FleetMechanism>, workers: usize) -> FleetConfig 
 }
 
 fn bench_per_mechanism(c: &mut Criterion) {
+    let registry = MechanismRegistry::builtin();
     let mut group = c.benchmark_group("fleet_mechanism");
     group.sample_size(10);
     group.throughput(Throughput::Elements(SCENARIOS));
-    for mechanism in FleetMechanism::ALL {
-        let config = bench_config(vec![mechanism], 4);
+    for mechanism in registry.iter() {
+        // Every mechanism benches on a preset its topology can run.
+        let preset = if mechanism.profile().compatible_with_stages(false) {
+            Preset::Mixed
+        } else {
+            Preset::Replicated
+        };
+        let config = bench_config(vec![mechanism.clone()], preset, 4);
         group.bench_with_input(
             BenchmarkId::from_parameter(mechanism.name()),
             &config,
@@ -37,11 +58,13 @@ fn bench_per_mechanism(c: &mut Criterion) {
 }
 
 fn bench_worker_scaling(c: &mut Criterion) {
+    let registry = MechanismRegistry::builtin();
+    let protocol = registry.get("protocol").expect("built in");
     let mut group = c.benchmark_group("fleet_workers");
     group.sample_size(10);
     group.throughput(Throughput::Elements(SCENARIOS));
     for workers in [1usize, 2, 4, 8] {
-        let config = bench_config(vec![FleetMechanism::SessionCheckingProtocol], workers);
+        let config = bench_config(vec![protocol.clone()], Preset::Mixed, workers);
         group.bench_with_input(
             BenchmarkId::from_parameter(workers),
             &config,
@@ -51,5 +74,44 @@ fn bench_worker_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// One calibrated fleet run per preset, serialized as the perf
+/// trajectory: journeys/sec and per-mechanism latency percentiles.
+fn emit_bench_json() {
+    fn run_block(preset: Preset) -> (String, FleetRun) {
+        let config = FleetConfig {
+            scenarios: 256,
+            workers: 4,
+            seed: 42,
+            preset,
+            key_pool: 32,
+            ..FleetConfig::default()
+        };
+        let run = run_fleet(&config);
+        (
+            format!("\"{}\":{}", preset.name(), run.timing.to_json()),
+            run,
+        )
+    }
+
+    let (mixed, _) = run_block(Preset::Mixed);
+    let (replicated, _) = run_block(Preset::Replicated);
+    let json =
+        format!("{{\"bench\":\"fleet\",\"scenarios\":256,\"seed\":42,{mixed},{replicated}}}");
+
+    // Default next to the workspace root (cargo bench runs with the
+    // package directory as CWD), so the trajectory file has one home.
+    let path = std::env::var("BENCH_FLEET_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json").to_owned()
+    });
+    match std::fs::write(&path, format!("{json}\n")) {
+        Ok(()) => println!("wrote perf trajectory to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_per_mechanism, bench_worker_scaling);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_bench_json();
+}

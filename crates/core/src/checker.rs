@@ -177,6 +177,24 @@ pub(crate) fn state_diff(
     diff
 }
 
+/// Judges many sessions with one algorithm in a single call — the bulk
+/// counterpart of [`CheckingAlgorithm::check`] for owner-side
+/// `checkAfterTask` verification, where the whole journey's retained
+/// reference data is checked at once (one context per session, in journey
+/// order).
+///
+/// Today the sessions are checked sequentially; the entry point exists so
+/// batch-friendly drivers (the fleet engine, the deferred-verification
+/// protocol path) have one seam to hand a journey's worth of checks to,
+/// and so future work can parallelize or share re-execution state across
+/// the batch without touching callers.
+pub fn check_sessions(
+    algorithm: &dyn CheckingAlgorithm,
+    contexts: &[CheckContext<'_>],
+) -> Vec<CheckOutcome> {
+    contexts.iter().map(|ctx| algorithm.check(ctx)).collect()
+}
+
 /// The "rules" algorithm: evaluate a [`RuleSet`] over initial and resulting
 /// state. Cheap, but blind to anything the rules don't express (§3.1's
 /// price-shopping example is untestable by rules alone).
@@ -591,6 +609,30 @@ mod tests {
             checker.check(&ctx),
             CheckOutcome::Failed(FailureReason::ProgramRejected { .. })
         ));
+    }
+
+    #[test]
+    fn check_sessions_judges_each_context() {
+        let (honest_program, honest_data) = session_data(None);
+        let (tampered_program, tampered_data) = session_data(Some(("double", Value::Int(9999))));
+        assert_eq!(honest_program, tampered_program);
+        let checker = ReExecutionChecker::new();
+        let contexts = [
+            CheckContext {
+                program: &honest_program,
+                data: &honest_data,
+                exec: ExecConfig::default(),
+            },
+            CheckContext {
+                program: &tampered_program,
+                data: &tampered_data,
+                exec: ExecConfig::default(),
+            },
+        ];
+        let outcomes = check_sessions(&checker, &contexts);
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].passed());
+        assert!(!outcomes[1].passed());
     }
 
     #[test]

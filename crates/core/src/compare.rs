@@ -2,7 +2,7 @@
 //!
 //! The paper (§3.5, "re-execution") notes that a naive state comparison can
 //! produce false alarms: an agent using two threads may assemble a list
-//! whose element *order* depends on scheduling, so "the list cannot [be]
+//! whose element *order* depends on scheduling, so "the list cannot \[be\]
 //! compared simply with the list of another execution as the other list may
 //! contain the same elements, but in different order". The framework
 //! therefore lets the programmer specify the comparison method. This module

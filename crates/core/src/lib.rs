@@ -104,7 +104,7 @@ pub mod verdict;
 
 pub use attack::AttackArea;
 pub use checker::{
-    CheckContext, CheckOutcome, CheckingAlgorithm, FailureReason, ProgramChecker,
+    check_sessions, CheckContext, CheckOutcome, CheckingAlgorithm, FailureReason, ProgramChecker,
     ReExecutionChecker, RuleChecker,
 };
 pub use compare::{ExactCompare, IgnoreVars, StateCompare, UnorderedLists};

@@ -29,10 +29,10 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use refstate_crypto::{sha256, Digest, KeyDirectory, Signed};
+use refstate_crypto::{sha256, Digest, KeyDirectory, Signed, VerificationQueue};
 use refstate_platform::{AgentId, AgentImage, Event, EventLog, Host, HostId};
 use refstate_vm::{run_session, DataState, ExecConfig, InputLog, ReplayIo, SessionEnd, VmError};
-use refstate_wire::{to_wire, Decode, Encode, Reader, WireError, Writer};
+use refstate_wire::{from_wire, to_wire, Decode, Encode, Reader, WireError, Writer};
 
 use crate::checker::{state_diff, FailureReason};
 use crate::verdict::{CheckVerdict, FraudEvidence};
@@ -337,10 +337,118 @@ pub fn run_protected_journey_with_directory(
     log: &EventLog,
     directory: &KeyDirectory,
 ) -> Result<ProtocolOutcome, ProtocolError> {
+    run_journey_inner(hosts, start.into(), agent, config, log, directory, None)
+}
+
+/// [`run_protected_journey_with_directory`] with *deferred* signature
+/// verification: every per-hop certificate check is pushed onto `queue`
+/// instead of being verified on arrival, and the whole queue is settled in
+/// one [`refstate_crypto::verify_batch`] pass when the journey ends.
+///
+/// This is the batch-verify entry point fleet-scale drivers use: the DSA
+/// verifications that dominate the protected-journey p50 collapse from two
+/// modexps per hop into one fused double exponentiation per hop, all run
+/// back-to-back at journey end. The trade-off is timeliness of the
+/// *authenticity* check only — re-execution checks still run per hop, so
+/// state tampering is detected exactly as in the eager variant; a forged
+/// signature is detected by the owner at journey end instead of by the
+/// next host.
+///
+/// The queue is drained before returning. A deferred signature that fails
+/// the batch check surfaces as owner-detected [`FraudEvidence`] (unless an
+/// earlier per-hop check already detected a fraud, which takes precedence).
+///
+/// # Errors
+///
+/// See [`ProtocolError`]. Detected fraud is reported in the outcome, not
+/// as an error.
+pub fn run_protected_journey_batched(
+    hosts: &mut [Host],
+    start: impl Into<HostId>,
+    agent: AgentImage,
+    config: &ProtocolConfig,
+    log: &EventLog,
+    directory: &KeyDirectory,
+    queue: &mut VerificationQueue,
+) -> Result<ProtocolOutcome, ProtocolError> {
+    let mut outcome = run_journey_inner(
+        hosts,
+        start.into(),
+        agent,
+        config,
+        log,
+        directory,
+        Some(queue),
+    )?;
+
+    let t = Instant::now();
+    let verdicts = queue.flush(directory);
+    let flush = t.elapsed();
+    outcome.stats.sign_verify += flush;
+    outcome.stats.total += flush;
+    outcome.stats.verifications += verdicts.len() as u32;
+
+    if let Some((bad, _)) = verdicts.iter().find(|(_, ok)| !ok) {
+        let owner = HostId::new("owner");
+        let culprit = HostId::new(bad.signer.clone());
+        let reason = FailureReason::ProgramRejected {
+            detail: "session certificate signature invalid (deferred batch verification)".into(),
+        };
+        log.record(Event::FraudDetected {
+            culprit: culprit.clone(),
+            detector: owner.clone(),
+            reason: reason.to_string(),
+        });
+        // The deferred message bytes are the certificate's canonical
+        // encoding; recover it so the evidence carries the full states.
+        let cert = from_wire::<SessionCertificate>(&bad.message).ok();
+        let seq = cert.as_ref().map(|c| c.seq).unwrap_or(0);
+        outcome.verdicts.push(CheckVerdict {
+            checked: culprit.clone(),
+            checker: owner.clone(),
+            seq,
+            failure: Some(reason.clone()),
+        });
+        if outcome.fraud.is_none() {
+            outcome.fraud = Some(FraudEvidence {
+                culprit,
+                detector: owner,
+                agent: cert
+                    .as_ref()
+                    .map(|c| c.agent.clone())
+                    .unwrap_or_else(|| AgentId::new("unknown")),
+                seq,
+                reason,
+                initial_state: cert
+                    .as_ref()
+                    .map(|c| c.initial_state.clone())
+                    .unwrap_or_default(),
+                claimed_state: cert
+                    .as_ref()
+                    .map(|c| c.resulting_state.clone())
+                    .unwrap_or_default(),
+                reference_state: None,
+                input: cert.map(|c| c.input).unwrap_or_default(),
+                signed_claim: None,
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+fn run_journey_inner(
+    hosts: &mut [Host],
+    start: HostId,
+    agent: AgentImage,
+    config: &ProtocolConfig,
+    log: &EventLog,
+    directory: &KeyDirectory,
+    mut queue: Option<&mut VerificationQueue>,
+) -> Result<ProtocolOutcome, ProtocolError> {
     let journey_start = Instant::now();
     let mut stats = ProtocolStats::default();
 
-    let mut current = start.into();
+    let mut current = start;
     log.record(Event::AgentCreated {
         agent: agent.id.clone(),
         home: current.clone(),
@@ -369,10 +477,21 @@ pub fn run_protected_journey_with_directory(
 
         // --- arrival: verify and (maybe) re-execute the previous session ---
         if let Some(signed_cert) = incoming.take() {
-            let t = Instant::now();
-            let sig_ok = signed_cert.verify(directory).is_ok();
-            stats.sign_verify += t.elapsed();
-            stats.verifications += 1;
+            let sig_ok = match queue.as_deref_mut() {
+                // Deferred mode: authenticity settles in one batch at
+                // journey end; accept the certificate provisionally.
+                Some(queue) => {
+                    queue.defer_signed(&signed_cert);
+                    true
+                }
+                None => {
+                    let t = Instant::now();
+                    let ok = signed_cert.verify(directory).is_ok();
+                    stats.sign_verify += t.elapsed();
+                    stats.verifications += 1;
+                    ok
+                }
+            };
 
             let cert = signed_cert.payload().clone();
             let executor_index = hosts
@@ -893,6 +1012,93 @@ mod tests {
         assert!(s.total >= s.sign_verify + s.checking);
         assert!(s.signatures > 0 && s.verifications > 0);
         assert!(s.remainder() <= s.total);
+    }
+
+    #[test]
+    fn batched_journey_matches_eager_journey() {
+        let run = |batched: bool, attack: Option<Attack>| {
+            let mut hosts = build_hosts(attack, None);
+            let log = EventLog::new();
+            let directory = host_directory(&hosts);
+            if batched {
+                let mut queue = VerificationQueue::new();
+                let outcome = run_protected_journey_batched(
+                    &mut hosts,
+                    "h1",
+                    sum_agent(),
+                    &ProtocolConfig::default(),
+                    &log,
+                    &directory,
+                    &mut queue,
+                )
+                .unwrap();
+                assert!(queue.is_empty(), "flush drains the queue");
+                outcome
+            } else {
+                run_protected_journey(
+                    &mut hosts,
+                    "h1",
+                    sum_agent(),
+                    &ProtocolConfig::default(),
+                    &log,
+                )
+                .unwrap()
+            }
+        };
+
+        // Honest: identical result, same number of verifications.
+        let eager = run(false, None);
+        let batched = run(true, None);
+        assert!(batched.clean());
+        assert_eq!(batched.final_state, eager.final_state);
+        assert_eq!(batched.path, eager.path);
+        assert_eq!(batched.stats.verifications, eager.stats.verifications);
+
+        // Tampering: the per-hop re-execution check still catches it with
+        // the same culprit/detector — deferral moves only the
+        // authenticity check.
+        let attack = || {
+            Some(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(7),
+            })
+        };
+        let eager = run(false, attack());
+        let batched = run(true, attack());
+        let ef = eager.fraud.expect("eager detects");
+        let bf = batched.fraud.expect("batched detects");
+        assert_eq!(bf.culprit, ef.culprit);
+        assert_eq!(bf.detector, ef.detector);
+    }
+
+    #[test]
+    fn batched_journey_flags_unverifiable_signer_at_flush() {
+        let mut hosts = build_hosts(None, None);
+        let log = EventLog::new();
+        // A broken PKI: h2's key never registered. Eager mode would abort
+        // at h3's arrival check; deferred mode completes the journey and
+        // the owner's batch flush raises the fraud.
+        let mut directory = KeyDirectory::new();
+        for h in hosts.iter().filter(|h| h.id().as_str() != "h2") {
+            directory.register(h.id().as_str(), h.public_key().clone());
+        }
+        let mut queue = VerificationQueue::new();
+        let outcome = run_protected_journey_batched(
+            &mut hosts,
+            "h1",
+            sum_agent(),
+            &ProtocolConfig::default(),
+            &log,
+            &directory,
+            &mut queue,
+        )
+        .unwrap();
+        let fraud = outcome.fraud.expect("unverifiable certificate flagged");
+        assert_eq!(fraud.culprit.as_str(), "h2");
+        assert_eq!(fraud.detector.as_str(), "owner");
+        // The evidence recovered the full claimed states from the
+        // deferred certificate bytes.
+        assert_eq!(fraud.claimed_state.get_int("total"), Some(30));
     }
 
     #[test]

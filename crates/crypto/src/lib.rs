@@ -14,7 +14,10 @@
 //!   groups, all precomputed by `src/bin/genparams.rs`,
 //! * [`Signed`] — a signed envelope over any wire-encodable payload,
 //! * [`KeyDirectory`] — the public-key registry hosts use to verify each
-//!   other's statements.
+//!   other's statements,
+//! * [`VerificationQueue`] / [`verify_batch`] — deferred signature checks
+//!   settled in one batch of fused double exponentiations (the protocol's
+//!   journey-end verification path).
 //!
 //! # Security note
 //!
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod digest;
 mod dsa;
 mod envelope;
@@ -48,8 +52,11 @@ mod keydir;
 mod sha1;
 mod sha256;
 
+pub use batch::{DeferredSignature, VerificationQueue};
 pub use digest::Digest;
-pub use dsa::{DsaKeyPair, DsaParams, DsaPublicKey, Signature, SignatureError};
+pub use dsa::{
+    verify_batch, BatchEntry, DsaKeyPair, DsaParams, DsaPublicKey, Signature, SignatureError,
+};
 pub use envelope::{Signed, VerifyError};
 pub use hmac::HmacSha256;
 pub use keydir::KeyDirectory;

@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use refstate_crypto::{
-    sha1, sha256, DsaKeyPair, DsaParams, HmacSha256, KeyDirectory, Sha256, Signed,
+    sha1, sha256, verify_batch, BatchEntry, DsaKeyPair, DsaParams, HmacSha256, KeyDirectory,
+    Sha256, Signed,
 };
 use refstate_wire::{from_wire, to_wire};
 
@@ -111,5 +112,54 @@ proptest! {
         let sig = other.sign(&message, &mut rng);
         prop_assert!(other.public().verify(&message, &sig));
         prop_assert!(!keys().public().verify(&message, &sig));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `verify_batch` agrees with per-signature `verify` over a batch of
+    /// 100 random signatures, a random subset of which is corrupted (in
+    /// message, signature bytes, or key attribution).
+    #[test]
+    fn batch_verify_equals_per_signature_verify(
+        seed in any::<u64>(),
+        corrupt_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let signer = keys();
+        let stranger = DsaKeyPair::generate(&DsaParams::test_group_256(), &mut rng);
+        let mut messages: Vec<Vec<u8>> = Vec::with_capacity(100);
+        let mut sigs = Vec::with_capacity(100);
+        for (i, corrupt) in corrupt_mask.iter().enumerate() {
+            let message = format!("batch message {i} of seed {seed}").into_bytes();
+            let sig = if *corrupt && i % 2 == 0 {
+                // Corruption A: signature by the wrong key.
+                stranger.sign(&message, &mut rng)
+            } else if *corrupt {
+                // Corruption B: signature over a different message.
+                signer.sign(b"something else entirely", &mut rng)
+            } else {
+                signer.sign(&message, &mut rng)
+            };
+            messages.push(message);
+            sigs.push(sig);
+        }
+        let entries: Vec<BatchEntry<'_>> = messages
+            .iter()
+            .zip(&sigs)
+            .map(|(message, signature)| BatchEntry {
+                key: signer.public(),
+                message,
+                signature,
+            })
+            .collect();
+        let batch = verify_batch(&entries);
+        let singles: Vec<bool> = messages
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| signer.public().verify(m, s))
+            .collect();
+        prop_assert_eq!(batch, singles);
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p refstate-fleet --bin fleet -- \
-//!     --scenarios 10000 --workers 8 --seed 42 --preset mixed
+//!     --scenarios 10000 --workers 8 --seed 42 --preset replicated \
+//!     --mechanisms protocol,traces,replication
 //! ```
 //!
 //! Flags:
@@ -11,30 +12,36 @@
 //! * `--scenarios N` — number of generated scenarios (default 1000)
 //! * `--workers N` — worker threads (default: all cores)
 //! * `--seed S` — fleet seed (default 42)
-//! * `--preset P` — `all-honest` | `single-tamperer` | `colluding-pair` |
-//!   `input-forgery` | `long-route` | `mixed` (default `mixed`)
-//! * `--mechanism M` — repeatable; `unprotected` | `appraisal` |
-//!   `framework` | `protocol` | `traces` (default: all five)
+//! * `--preset P` — scenario family (see `--help` for the list; default
+//!   `mixed`; `replicated` generates the staged topologies that drive
+//!   the `replication` mechanism)
+//! * `--mechanisms LIST` — comma-separated mechanism filter, resolved
+//!   through the registry (default: every registered mechanism)
+//! * `--mechanism M` — single-mechanism form of the same filter;
+//!   repeatable
 //! * `--json-only` — suppress the human tables, emit only JSON
 //! * `--no-json` — suppress the JSON blob
 
-use refstate_fleet::{run_fleet, FleetConfig, FleetMechanism, Preset};
+use refstate_fleet::{run_fleet, FleetConfig, MechanismRegistry, Preset, ProtectionMechanism};
+use std::sync::Arc;
 
-fn usage(exit: i32) -> ! {
+fn usage(registry: &MechanismRegistry, exit: i32) -> ! {
     eprintln!(
         "usage: fleet [--scenarios N] [--workers N] [--seed S] [--preset P] \
-         [--mechanism M]... [--json-only|--no-json]\n\
+         [--mechanisms LIST] [--mechanism M]... [--json-only|--no-json]\n\
          presets: {}\n\
-         mechanisms: {}",
+         mechanisms (registry):",
         Preset::ALL.map(|p| p.name()).join(" | "),
-        FleetMechanism::ALL.map(|m| m.name()).join(" | "),
     );
+    for mechanism in registry.iter() {
+        eprintln!("  {:<14} {}", mechanism.name(), mechanism.description());
+    }
     std::process::exit(exit);
 }
 
-fn parse_args() -> (FleetConfig, bool, bool) {
+fn parse_args(registry: &MechanismRegistry) -> (FleetConfig, bool, bool) {
     let mut config = FleetConfig::default();
-    let mut mechanisms: Vec<FleetMechanism> = Vec::new();
+    let mut mechanisms: Vec<Arc<dyn ProtectionMechanism>> = Vec::new();
     let mut json_only = false;
     let mut no_json = false;
 
@@ -42,36 +49,57 @@ fn parse_args() -> (FleetConfig, bool, bool) {
     let mut i = 1;
     let value = |i: &mut usize| -> String {
         *i += 1;
-        args.get(*i).cloned().unwrap_or_else(|| usage(2))
+        args.get(*i).cloned().unwrap_or_else(|| usage(registry, 2))
+    };
+    let add = |list: &mut Vec<Arc<dyn ProtectionMechanism>>,
+               mechanism: Arc<dyn ProtectionMechanism>| {
+        if !list.iter().any(|m| m.name() == mechanism.name()) {
+            list.push(mechanism);
+        }
     };
     while i < args.len() {
         match args[i].as_str() {
-            "--scenarios" => config.scenarios = value(&mut i).parse().unwrap_or_else(|_| usage(2)),
-            "--workers" => config.workers = value(&mut i).parse().unwrap_or_else(|_| usage(2)),
-            "--seed" => config.seed = value(&mut i).parse().unwrap_or_else(|_| usage(2)),
+            "--scenarios" => {
+                config.scenarios = value(&mut i).parse().unwrap_or_else(|_| usage(registry, 2))
+            }
+            "--workers" => {
+                config.workers = value(&mut i).parse().unwrap_or_else(|_| usage(registry, 2))
+            }
+            "--seed" => config.seed = value(&mut i).parse().unwrap_or_else(|_| usage(registry, 2)),
             "--preset" => {
                 let name = value(&mut i);
                 config.preset = Preset::parse(&name).unwrap_or_else(|| {
                     eprintln!("unknown preset {name:?}");
-                    usage(2)
+                    usage(registry, 2)
                 });
+            }
+            "--mechanisms" => {
+                let list = value(&mut i);
+                let parsed = registry.parse_list(&list).unwrap_or_else(|err| {
+                    eprintln!("{err}");
+                    usage(registry, 2)
+                });
+                for mechanism in parsed {
+                    add(&mut mechanisms, mechanism);
+                }
             }
             "--mechanism" => {
                 let name = value(&mut i);
-                let mechanism = FleetMechanism::parse(&name).unwrap_or_else(|| {
-                    eprintln!("unknown mechanism {name:?}");
-                    usage(2)
+                // Same resolution (and error message) as --mechanisms.
+                let parsed = registry.parse_list(&name).unwrap_or_else(|err| {
+                    eprintln!("{err}");
+                    usage(registry, 2)
                 });
-                if !mechanisms.contains(&mechanism) {
-                    mechanisms.push(mechanism);
+                for mechanism in parsed {
+                    add(&mut mechanisms, mechanism);
                 }
             }
             "--json-only" => json_only = true,
             "--no-json" => no_json = true,
-            "--help" | "-h" => usage(0),
+            "--help" | "-h" => usage(registry, 0),
             other => {
                 eprintln!("unknown flag {other:?}");
-                usage(2);
+                usage(registry, 2);
             }
         }
         i += 1;
@@ -81,13 +109,14 @@ fn parse_args() -> (FleetConfig, bool, bool) {
     }
     if json_only && no_json {
         eprintln!("--json-only and --no-json are mutually exclusive");
-        usage(2);
+        usage(registry, 2);
     }
     (config, json_only, no_json)
 }
 
 fn main() {
-    let (config, json_only, no_json) = parse_args();
+    let registry = MechanismRegistry::builtin();
+    let (config, json_only, no_json) = parse_args(&registry);
     let run = run_fleet(&config);
 
     if !json_only {

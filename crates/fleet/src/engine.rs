@@ -15,7 +15,19 @@
 //! * **deterministic result ordering** — results are collected and sorted
 //!   by scenario id before aggregation, so the [`FleetReport`] is
 //!   byte-identical for a fixed seed.
+//!
+//! Mechanism dispatch goes exclusively through the
+//! [`refstate_mechanisms::api`] surface: the engine resolves
+//! [`ProtectionMechanism`]s from a [`MechanismRegistry`] (or takes them
+//! directly in [`FleetConfig::mechanisms`]), checks each profile's
+//! topology against the generated scenario, and hands compatible
+//! mechanisms a [`JourneyCtx`]. A mechanism whose profile is incompatible
+//! with a scenario (e.g. `replication` on a stage-less linear route) is
+//! skipped and surfaces as `n/a` in the report rather than a fake 0.00
+//! rate.
 
+use std::fmt;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -24,8 +36,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use refstate_core::protocol::host_directory;
 use refstate_crypto::{DsaKeyPair, DsaParams};
-use refstate_mechanisms::fleet::{
-    run_fleet_journey, FleetAdapterConfig, FleetMechanism, JourneyVerdict,
+use refstate_mechanisms::api::{
+    JourneyCtx, JourneyVerdict, MechanismConfig, MechanismRegistry, ProtectionMechanism,
 };
 use refstate_platform::{EventLog, Host};
 
@@ -33,7 +45,7 @@ use crate::report::{FleetReport, FleetTiming, LatencyPercentiles};
 use crate::scenario::{self, GeneratedScenario, Preset};
 
 /// Configuration of one fleet run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FleetConfig {
     /// Number of scenarios to generate and run.
     pub scenarios: u64,
@@ -43,12 +55,13 @@ pub struct FleetConfig {
     pub seed: u64,
     /// The scenario family to draw from.
     pub preset: Preset,
-    /// The mechanisms to run each scenario under.
-    pub mechanisms: Vec<FleetMechanism>,
+    /// The mechanisms to run each scenario under (resolve them from a
+    /// [`MechanismRegistry`]; defaults to every built-in mechanism).
+    pub mechanisms: Vec<Arc<dyn ProtectionMechanism>>,
     /// Size of the pre-generated DSA key pool hosts draw from.
     pub key_pool: usize,
-    /// Shared adapter configuration.
-    pub adapter: FleetAdapterConfig,
+    /// Shared mechanism configuration.
+    pub adapter: MechanismConfig,
 }
 
 impl Default for FleetConfig {
@@ -58,10 +71,26 @@ impl Default for FleetConfig {
             workers: 0,
             seed: 42,
             preset: Preset::Mixed,
-            mechanisms: FleetMechanism::ALL.to_vec(),
+            mechanisms: MechanismRegistry::builtin().all(),
             key_pool: 64,
-            adapter: FleetAdapterConfig::default(),
+            adapter: MechanismConfig::default(),
         }
+    }
+}
+
+impl fmt::Debug for FleetConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetConfig")
+            .field("scenarios", &self.scenarios)
+            .field("workers", &self.workers)
+            .field("seed", &self.seed)
+            .field("preset", &self.preset)
+            .field(
+                "mechanisms",
+                &self.mechanisms.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
+            .field("key_pool", &self.key_pool)
+            .finish_non_exhaustive()
     }
 }
 
@@ -77,14 +106,19 @@ impl FleetConfig {
                 .unwrap_or(4)
         }
     }
+
+    /// The configured mechanism names, in run order.
+    pub fn mechanism_names(&self) -> Vec<&'static str> {
+        self.mechanisms.iter().map(|m| m.name()).collect()
+    }
 }
 
 /// One mechanism's verdict on one scenario, scored against the scenario's
 /// actual attacker.
 #[derive(Debug, Clone)]
 pub struct MechanismRun {
-    /// The mechanism that ran.
-    pub mechanism: FleetMechanism,
+    /// The mechanism's registry name.
+    pub mechanism: &'static str,
     /// The mechanism flagged the run.
     pub detected: bool,
     /// Somebody other than the actual attacker was accused.
@@ -110,9 +144,11 @@ pub struct ScenarioResult {
     pub kind: &'static str,
     /// The attack-class label (`"honest"` when no attacker).
     pub attack_label: &'static str,
-    /// Route length of the scenario.
+    /// Route length of the scenario (primary path).
     pub route_len: usize,
-    /// One entry per configured mechanism, in configuration order.
+    /// One entry per *compatible* configured mechanism, in configuration
+    /// order (topology-incompatible mechanisms are absent — they surface
+    /// as `n/a` in the report).
     pub runs: Vec<MechanismRun>,
 }
 
@@ -129,7 +165,7 @@ pub struct FleetRun {
 
 /// Scores a verdict against the scenario's actual attacker.
 fn score(
-    mechanism: FleetMechanism,
+    mechanism: &'static str,
     verdict: JourneyVerdict,
     scenario: &GeneratedScenario,
     latency: Duration,
@@ -155,12 +191,16 @@ fn score(
     }
 }
 
-/// Runs every configured mechanism over scenario `id` (fresh hosts per
-/// mechanism — feeds are consumed by execution).
+/// Runs every compatible configured mechanism over scenario `id` (fresh
+/// hosts per mechanism — feeds are consumed by execution).
 fn run_scenario(id: u64, config: &FleetConfig, keys: &[DsaKeyPair]) -> ScenarioResult {
     let scenario = scenario::generate(config.seed, id, config.preset);
+    let has_stages = scenario.stages.is_some();
     let mut runs = Vec::with_capacity(config.mechanisms.len());
-    for &mechanism in &config.mechanisms {
+    for mechanism in &config.mechanisms {
+        if !mechanism.profile().compatible_with_stages(has_stages) {
+            continue;
+        }
         let mut hosts: Vec<Host> = scenario
             .specs
             .iter()
@@ -178,17 +218,23 @@ fn run_scenario(id: u64, config: &FleetConfig, keys: &[DsaKeyPair]) -> ScenarioR
         let directory = host_directory(&hosts);
         let log = EventLog::new();
         let start = Instant::now();
-        let verdict = run_fleet_journey(
-            mechanism,
+        // The ctx's own RNG stream: scenario-derived, scheduling-free.
+        let ctx_seed = scenario::scenario_seed(config.seed, id ^ (1u64 << 63));
+        let mut ctx = JourneyCtx::new(
             &mut hosts,
-            &scenario.start,
+            scenario.route.clone(),
             scenario.agent.clone(),
+            &directory,
             &config.adapter,
-            Some(&directory),
             &log,
+            ctx_seed,
         );
+        if let Some(stages) = &scenario.stages {
+            ctx = ctx.with_stages(stages.clone());
+        }
+        let verdict = mechanism.run(&mut ctx);
         let latency = start.elapsed();
-        runs.push(score(mechanism, verdict, &scenario, latency));
+        runs.push(score(mechanism.name(), verdict, &scenario, latency));
     }
     ScenarioResult {
         id,
@@ -258,15 +304,10 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
     results.sort_unstable_by_key(|r| r.id);
 
     let wall = started.elapsed();
-    let report = FleetReport::from_results(
-        config.seed,
-        config.preset.name(),
-        &config.mechanisms,
-        &results,
-    );
+    let names = config.mechanism_names();
+    let report = FleetReport::from_results(config.seed, config.preset.name(), &names, &results);
     let journeys = results.iter().map(|r| r.runs.len() as u64).sum::<u64>();
-    let latencies = config
-        .mechanisms
+    let latencies = names
         .iter()
         .filter_map(|&mechanism| {
             let mut lats: Vec<Duration> = results
@@ -297,13 +338,21 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
 mod tests {
     use super::*;
 
-    fn small_config(mechanisms: Vec<FleetMechanism>) -> FleetConfig {
+    fn mechanisms(names: &[&str]) -> Vec<Arc<dyn ProtectionMechanism>> {
+        let registry = MechanismRegistry::builtin();
+        names
+            .iter()
+            .map(|name| registry.get(name).expect("known mechanism"))
+            .collect()
+    }
+
+    fn small_config(names: &[&str]) -> FleetConfig {
         FleetConfig {
             scenarios: 40,
             workers: 4,
             seed: 7,
             preset: Preset::Mixed,
-            mechanisms,
+            mechanisms: mechanisms(names),
             key_pool: 8,
             ..FleetConfig::default()
         }
@@ -311,7 +360,7 @@ mod tests {
 
     #[test]
     fn results_are_ordered_and_complete() {
-        let run = run_fleet(&small_config(vec![FleetMechanism::SessionCheckingProtocol]));
+        let run = run_fleet(&small_config(&["protocol"]));
         assert_eq!(run.results.len(), 40);
         assert!(run.results.windows(2).all(|w| w[0].id < w[1].id));
         assert!(run.results.iter().all(|r| r.runs.len() == 1));
@@ -320,14 +369,25 @@ mod tests {
 
     #[test]
     fn timing_has_percentiles_per_mechanism() {
-        let run = run_fleet(&small_config(vec![
-            FleetMechanism::Unprotected,
-            FleetMechanism::FrameworkReExecution,
-        ]));
+        let run = run_fleet(&small_config(&["unprotected", "framework"]));
         assert_eq!(run.timing.latencies.len(), 2);
         assert!(run.timing.journeys_per_sec > 0.0);
         for (_, p) in &run.timing.latencies {
             assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.max);
         }
+    }
+
+    #[test]
+    fn incompatible_mechanisms_are_skipped_not_zeroed() {
+        // Replication cannot run a linear mixed fleet: zero journeys (an
+        // n/a report row), never a fake detection count.
+        let run = run_fleet(&small_config(&["replication", "unprotected"]));
+        assert!(run.results.iter().all(|r| r.runs.len() == 1));
+        let replication = &run.report.mechanisms[0];
+        assert_eq!(replication.name, "replication");
+        assert_eq!(replication.total.journeys, 0);
+        assert_eq!(run.report.mechanisms[1].total.journeys, 40);
+        // No latency percentile row for a mechanism that never ran.
+        assert_eq!(run.timing.latencies.len(), 1);
     }
 }

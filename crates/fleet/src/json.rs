@@ -104,6 +104,32 @@ impl JsonWriter {
         self.field_f64(key, rate);
     }
 
+    /// `"key": <num/den>` as a fixed-format rate, or `null` when `den` is
+    /// 0 — an *undefined* measurement (e.g. the attribution accuracy of a
+    /// mechanism that detected nothing, or any rate of a mechanism that
+    /// ran no journeys), as opposed to a measured zero.
+    pub fn field_rate_or_null(&mut self, key: &str, num: u64, den: u64) {
+        if den == 0 {
+            self.field_null(key);
+        } else {
+            self.field_f64(key, num as f64 / den as f64);
+        }
+    }
+
+    /// `"key": null`.
+    pub fn field_null(&mut self, key: &str) {
+        self.key(key);
+        self.start_entry();
+        self.out.push_str("null");
+    }
+
+    /// `"key": true|false`.
+    pub fn field_bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.start_entry();
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
     /// Returns the serialized JSON.
     pub fn finish(self) -> String {
         debug_assert!(self.has_entries.is_empty(), "unclosed JSON container");
@@ -155,6 +181,20 @@ mod tests {
         assert_eq!(
             w.finish(),
             r#"{"a":1,"b":"x\"y","c":[{"r":0.500000},{"r":0.250000}],"d":{}}"#
+        );
+    }
+
+    #[test]
+    fn null_and_bool_fields() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_rate_or_null("undefined", 0, 0);
+        w.field_rate_or_null("half", 1, 2);
+        w.field_bool("ran", false);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"undefined":null,"half":0.500000,"ran":false}"#
         );
     }
 

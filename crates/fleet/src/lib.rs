@@ -1,7 +1,7 @@
 //! # refstate-fleet — the fleet-scale scenario engine
 //!
-//! The paper's evaluation (and `mechanisms::matrix`) runs a *single*
-//! hand-built three-host journey per mechanism. This crate judges the
+//! The paper's evaluation (and `refstate-mechanisms::matrix`) runs a
+//! *single* hand-built journey per mechanism. This crate judges the
 //! mechanisms the way the related work demands — across *populations* of
 //! hosts and attack mixes:
 //!
@@ -9,22 +9,28 @@
 //!   topologies (route length, trust mix, per-host input feeds) and
 //!   attack draws from the `Attack` taxonomy, organized into
 //!   [`Preset`]s (`all-honest`, `single-tamperer`, `colluding-pair`,
-//!   `input-forgery`, `long-route`, `mixed`),
+//!   `input-forgery`, `long-route`, `replicated`, `mixed`) — the
+//!   `replicated` family generates staged replica topologies so the
+//!   topology-changing `replication` mechanism is fleet-drivable,
 //! * [`engine`] — a crossbeam-channel worker pool (the
 //!   `ThreadedNetwork` idiom) driving thousands of protected journeys
 //!   concurrently, with per-scenario RNG streams, a pooled DSA key
-//!   directory, and results ordered by scenario id,
+//!   directory, and results ordered by scenario id; every mechanism is
+//!   dispatched through the [`MechanismRegistry`] — no engine code names
+//!   a concrete mechanism,
 //! * [`report`] — [`FleetReport`]: detection rate, false-accusation
 //!   rate, and culprit-attribution accuracy per mechanism × attack
-//!   class (deterministic, byte-stable JSON), plus [`FleetTiming`]:
-//!   journeys/sec and latency percentiles (deliberately kept out of the
-//!   deterministic surface).
+//!   class (deterministic, byte-stable JSON; a mechanism that ran no
+//!   journeys reports `n/a`/`null`, never a fake 0.00), plus
+//!   [`FleetTiming`]: journeys/sec and latency percentiles
+//!   (deliberately kept out of the deterministic surface).
 //!
 //! The `fleet` binary is the CLI face:
 //!
 //! ```text
 //! cargo run --release -p refstate-fleet --bin fleet -- \
-//!     --scenarios 10000 --workers 8 --seed 42 --preset mixed
+//!     --scenarios 10000 --workers 8 --seed 42 --preset replicated \
+//!     --mechanisms protocol,traces,replication
 //! ```
 //!
 //! # Determinism contract
@@ -37,14 +43,15 @@
 //! # Example
 //!
 //! ```
-//! use refstate_fleet::{run_fleet, FleetConfig, FleetMechanism, Preset};
+//! use refstate_fleet::{run_fleet, FleetConfig, MechanismRegistry, Preset};
 //!
+//! let registry = MechanismRegistry::builtin();
 //! let config = FleetConfig {
 //!     scenarios: 50,
 //!     workers: 2,
 //!     seed: 7,
 //!     preset: Preset::SingleTamperer,
-//!     mechanisms: vec![FleetMechanism::SessionCheckingProtocol],
+//!     mechanisms: vec![registry.get("protocol").expect("built in")],
 //!     ..FleetConfig::default()
 //! };
 //! let run = run_fleet(&config);
@@ -63,6 +70,9 @@ pub mod report;
 pub mod scenario;
 
 pub use engine::{run_fleet, FleetConfig, FleetRun, MechanismRun, ScenarioResult};
-pub use refstate_mechanisms::fleet::{FleetAdapterConfig, FleetMechanism, JourneyVerdict};
+pub use refstate_mechanisms::api::{
+    JourneyCtx, JourneyVerdict, MechanismConfig, MechanismProfile, MechanismRegistry,
+    ProtectionMechanism, RouteTopology, UnknownMechanism,
+};
 pub use report::{CellStats, FleetReport, FleetTiming, LatencyPercentiles, MechanismReport};
 pub use scenario::{generate, GeneratedScenario, Preset};

@@ -6,12 +6,17 @@
 //! worker count or machine speed. Wall-clock facts (throughput, latency
 //! percentiles) live in [`FleetTiming`], which is *not* part of the
 //! deterministic surface.
+//!
+//! Mechanisms are identified by their registry name. A configured
+//! mechanism that ran **zero** journeys — filtered out by topology (e.g.
+//! `replication` on a linear preset) — renders as `n/a`, and its JSON
+//! rates are `null`: an absent measurement, never a fake `0.00` detection
+//! rate. The same holds for attribution accuracy when nothing was
+//! detected.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
-
-use refstate_mechanisms::fleet::FleetMechanism;
 
 use crate::engine::{MechanismRun, ScenarioResult};
 use crate::json::JsonWriter;
@@ -66,13 +71,24 @@ impl CellStats {
         w.field_u64("correct_culprit", self.correct_culprit);
         w.field_u64("completed", self.completed);
         w.field_u64("infra_errors", self.infra_errors);
-        w.field_rate("detection_rate", self.detected, self.journeys);
-        w.field_rate(
+        // Zero-denominator rates are undefined measurements, not zeros.
+        w.field_rate_or_null("detection_rate", self.detected, self.journeys);
+        w.field_rate_or_null(
             "false_accusation_rate",
             self.false_accusations,
             self.journeys,
         );
-        w.field_rate("attribution_accuracy", self.correct_culprit, self.detected);
+        w.field_rate_or_null("attribution_accuracy", self.correct_culprit, self.detected);
+    }
+}
+
+/// Renders `num/den` with three decimals, or `n/a` when the denominator
+/// is zero (the rate is undefined, not zero).
+fn fmt_rate(num: u64, den: u64) -> String {
+    if den == 0 {
+        "n/a".to_owned()
+    } else {
+        format!("{:.3}", num as f64 / den as f64)
     }
 }
 
@@ -87,13 +103,21 @@ fn ratio(num: u64, den: u64) -> f64 {
 /// One mechanism's aggregate over the whole fleet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MechanismReport {
-    /// The mechanism.
-    pub mechanism: FleetMechanism,
+    /// The mechanism's registry name.
+    pub name: &'static str,
     /// Totals over every journey this mechanism ran.
     pub total: CellStats,
     /// Per-attack-class breakdown, keyed by attack label (`"honest"`
     /// included).
     pub per_attack: BTreeMap<&'static str, CellStats>,
+}
+
+impl MechanismReport {
+    /// Returns `true` when the mechanism ran no journeys (filtered out or
+    /// topology-incompatible with the preset) — render as `n/a`.
+    pub fn not_run(&self) -> bool {
+        self.total.journeys == 0
+    }
 }
 
 /// The deterministic fleet result: counts and rates only.
@@ -105,25 +129,28 @@ pub struct FleetReport {
     pub preset: &'static str,
     /// Number of generated scenarios.
     pub scenarios: u64,
-    /// Aggregates per mechanism, in [`FleetMechanism::ALL`] order.
+    /// Aggregates per mechanism, in configuration order.
     pub mechanisms: Vec<MechanismReport>,
 }
 
 impl FleetReport {
     /// Aggregates scenario results (engine output order) into the report.
+    /// Every configured mechanism gets a report entry — mechanisms with
+    /// no runs (topology-incompatible with the preset) keep zero counts
+    /// and render as `n/a`.
     pub fn from_results(
         seed: u64,
         preset: &'static str,
-        mechanisms: &[FleetMechanism],
+        mechanisms: &[&'static str],
         results: &[ScenarioResult],
     ) -> FleetReport {
-        let mut per_mechanism: BTreeMap<FleetMechanism, MechanismReport> = mechanisms
+        let mut per_mechanism: BTreeMap<&'static str, MechanismReport> = mechanisms
             .iter()
-            .map(|&m| {
+            .map(|&name| {
                 (
-                    m,
+                    name,
                     MechanismReport {
-                        mechanism: m,
+                        name,
                         total: CellStats::default(),
                         per_attack: BTreeMap::new(),
                     },
@@ -149,13 +176,13 @@ impl FleetReport {
             scenarios: results.len() as u64,
             mechanisms: mechanisms
                 .iter()
-                .map(|m| per_mechanism.remove(m).expect("built above"))
+                .map(|&name| per_mechanism.remove(name).expect("built above"))
                 .collect(),
         }
     }
 
     /// Renders the human-readable table: one block per mechanism, one row
-    /// per attack class.
+    /// per attack class. Mechanisms with no journeys render as `n/a`.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -165,10 +192,19 @@ impl FleetReport {
         );
         for m in &self.mechanisms {
             let _ = writeln!(out);
+            if m.not_run() {
+                let _ = writeln!(
+                    out,
+                    "{:<20} n/a — ran no journeys under this preset \
+                     (topology-incompatible or filtered out)",
+                    m.name
+                );
+                continue;
+            }
             let _ = writeln!(
                 out,
                 "{:<20} {:>9} {:>9} {:>8} {:>11} {:>11} {:>8} {:>7}",
-                m.mechanism.name(),
+                m.name,
                 "journeys",
                 "detected",
                 "det.rate",
@@ -183,13 +219,13 @@ impl FleetReport {
             for (label, cell) in rows {
                 let _ = writeln!(
                     out,
-                    "{:<20} {:>9} {:>9} {:>8.3} {:>11} {:>11.3} {:>8} {:>7}",
+                    "{:<20} {:>9} {:>9} {:>8} {:>11} {:>11} {:>8} {:>7}",
                     label,
                     cell.journeys,
                     cell.detected,
-                    cell.detection_rate(),
+                    fmt_rate(cell.detected, cell.journeys),
                     cell.false_accusations,
-                    cell.attribution_accuracy(),
+                    fmt_rate(cell.correct_culprit, cell.detected),
                     cell.completed,
                     cell.infra_errors
                 );
@@ -210,7 +246,8 @@ impl FleetReport {
         w.begin_array();
         for m in &self.mechanisms {
             w.begin_object();
-            w.field_str("mechanism", m.mechanism.name());
+            w.field_str("mechanism", m.name);
+            w.field_bool("ran", !m.not_run());
             w.key("total");
             w.begin_object();
             m.total.write_json(&mut w);
@@ -277,8 +314,9 @@ pub struct FleetTiming {
     pub scenarios_per_sec: f64,
     /// Journeys (scenario × mechanism) per wall-clock second.
     pub journeys_per_sec: f64,
-    /// Latency percentiles per mechanism, in run order.
-    pub latencies: Vec<(FleetMechanism, LatencyPercentiles)>,
+    /// Latency percentiles per mechanism name, in run order (mechanisms
+    /// that ran no journeys have no entry).
+    pub latencies: Vec<(&'static str, LatencyPercentiles)>,
 }
 
 impl FleetTiming {
@@ -299,11 +337,7 @@ impl FleetTiming {
             let _ = writeln!(
                 out,
                 "{:<20} {:>10.1?} {:>10.1?} {:>10.1?} {:>10.1?}",
-                mechanism.name(),
-                p.p50,
-                p.p90,
-                p.p99,
-                p.max
+                mechanism, p.p50, p.p90, p.p99, p.max
             );
         }
         out
@@ -320,7 +354,7 @@ impl FleetTiming {
         w.key("latency_percentiles");
         w.begin_object();
         for (mechanism, p) in &self.latencies {
-            w.key(mechanism.name());
+            w.key(mechanism);
             w.begin_object();
             w.field_f64("p50_us", p.p50.as_secs_f64() * 1e6);
             w.field_f64("p90_us", p.p90.as_secs_f64() * 1e6);
@@ -358,5 +392,21 @@ mod tests {
         let cell = CellStats::default();
         assert_eq!(cell.detection_rate(), 0.0);
         assert_eq!(cell.attribution_accuracy(), 0.0);
+        assert_eq!(fmt_rate(0, 0), "n/a");
+        assert_eq!(fmt_rate(1, 2), "0.500");
+    }
+
+    #[test]
+    fn mechanism_with_no_journeys_renders_na_not_zero() {
+        let report = FleetReport::from_results(1, "all-honest", &["replication"], &[]);
+        assert!(report.mechanisms[0].not_run());
+        let table = report.render_table();
+        assert!(table.contains("replication"));
+        assert!(table.contains("n/a"));
+        assert!(!table.contains("0.000"), "no fake 0.00 rates:\n{table}");
+        let json = report.to_json();
+        assert!(json.contains("\"ran\":false"));
+        assert!(json.contains("\"detection_rate\":null"));
+        assert!(json.contains("\"attribution_accuracy\":null"));
     }
 }

@@ -10,6 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use refstate_mechanisms::replication::StageSpec;
 use refstate_platform::{AgentImage, Attack, HostId, HostSpec};
 use refstate_vm::{assemble, DataState, Value};
 
@@ -30,18 +31,28 @@ pub enum Preset {
     /// Routes of 12–24 hops with a mixed attack draw; stresses retained
     /// state and per-hop costs.
     LongRoute,
-    /// Uniform draw over the five concrete families above.
+    /// Replicated-stage topologies (§3.2): every middle stage runs on
+    /// three identically provisioned replicas and the attacker hides in
+    /// one of them. The only family that provides [`StageSpec`]s, so
+    /// `replication` can be scored; linear mechanisms walk the primary
+    /// path (`h0 → h1 → …`) and see the attacker only when it sits on
+    /// that path.
+    Replicated,
+    /// Uniform draw over the five *linear* families above (replicated
+    /// stages change the topology, so [`Preset::Replicated`] stays a
+    /// dedicated family to keep mixed-rate comparisons like-for-like).
     Mixed,
 }
 
 impl Preset {
     /// Every preset, including [`Preset::Mixed`].
-    pub const ALL: [Preset; 6] = [
+    pub const ALL: [Preset; 7] = [
         Preset::AllHonest,
         Preset::SingleTamperer,
         Preset::ColludingPair,
         Preset::InputForgeryHeavy,
         Preset::LongRoute,
+        Preset::Replicated,
         Preset::Mixed,
     ];
 
@@ -53,6 +64,7 @@ impl Preset {
             Preset::ColludingPair => "colluding-pair",
             Preset::InputForgeryHeavy => "input-forgery",
             Preset::LongRoute => "long-route",
+            Preset::Replicated => "replicated",
             Preset::Mixed => "mixed",
         }
     }
@@ -77,10 +89,15 @@ pub struct GeneratedScenario {
     /// The concrete family this scenario was drawn as (never
     /// [`Preset::Mixed`]).
     pub kind: Preset,
-    /// Host specs in route order; `specs[0]` is the trusted home.
+    /// Host specs (replicas included); the first spec is the trusted home.
     pub specs: Vec<HostSpec>,
     /// Where the journey starts (always the home host).
     pub start: HostId,
+    /// The primary linear route (`h0 → h1 → …`); for replicated
+    /// scenarios this is the path through each stage's first replica.
+    pub route: Vec<HostId>,
+    /// Replica stages, present only for [`Preset::Replicated`] scenarios.
+    pub stages: Option<Vec<StageSpec>>,
     /// The agent walking the route.
     pub agent: AgentImage,
     /// The attacker and its attack, when the scenario has one.
@@ -90,8 +107,13 @@ pub struct GeneratedScenario {
 }
 
 impl GeneratedScenario {
-    /// Number of hosts on the route.
+    /// Number of hops on the primary route.
     pub fn route_len(&self) -> usize {
+        self.route.len()
+    }
+
+    /// Total number of hosts, replicas included.
+    pub fn host_count(&self) -> usize {
         self.specs.len()
     }
 }
@@ -188,6 +210,10 @@ pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
         concrete => concrete,
     };
 
+    if kind == Preset::Replicated {
+        return generate_replicated(id, &mut rng);
+    }
+
     let route_len = match kind {
         Preset::LongRoute => rng.gen_range(12usize..25),
         _ => rng.gen_range(3usize..9),
@@ -229,7 +255,9 @@ pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
                 (Some(pos), Some(attack))
             }
         }
-        Preset::Mixed => unreachable!("mixed resolves to a concrete kind above"),
+        Preset::Replicated | Preset::Mixed => {
+            unreachable!("replicated and mixed are handled above")
+        }
     };
 
     let mut specs = Vec::with_capacity(route_len);
@@ -271,7 +299,95 @@ pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
         id,
         kind,
         start: HostId::new("h0"),
+        route: (0..route_len)
+            .map(|p| HostId::new(format!("h{p}")))
+            .collect(),
+        stages: None,
         agent: build_route_agent(id, route_len),
+        specs,
+        attacker,
+        attack_label,
+    }
+}
+
+/// Generates one [`Preset::Replicated`] scenario: 3–6 stages, every
+/// middle stage on three identically provisioned replicas (the paper's
+/// replicated-resources deployment burden), single trusted home and
+/// single final stage. At most one attacker, hidden in a random replica
+/// of a random middle stage — on the primary path one time in three, so
+/// linear mechanisms see only a fraction of the attacks `replication`
+/// catches.
+fn generate_replicated(id: u64, rng: &mut StdRng) -> GeneratedScenario {
+    const REPLICAS: usize = 3;
+    let stage_count = rng.gen_range(3usize..7);
+
+    // 20% honest, 60% detectable state/control-flow attack, 20% outside
+    // the reference-state bandwidth (where replication's replicated
+    // resources still catch input forgery).
+    let roll = rng.gen_range(0u8..10);
+    let (attacker_stage, attacker_replica, attack) = if roll < 2 {
+        (None, 0usize, None)
+    } else {
+        let stage = rng.gen_range(1usize..stage_count - 1);
+        let replica = rng.gen_range(0usize..REPLICAS);
+        let attack = if roll < 8 {
+            detectable_attack(rng)
+        } else {
+            undetectable_attack(rng)
+        };
+        (Some(stage), replica, Some(attack))
+    };
+
+    let mut specs = Vec::new();
+    let mut stages = Vec::with_capacity(stage_count);
+    let mut route = Vec::with_capacity(stage_count);
+    let mut attacker = None;
+    for stage in 0..stage_count {
+        let replicated = stage != 0 && stage != stage_count - 1;
+        let replicas = if replicated { REPLICAS } else { 1 };
+        // Replicas of a stage offer identical resources — the honest
+        // majority's votes must agree byte-for-byte.
+        let offer = rng.gen_range(1i64..1000);
+        let mut ids = Vec::with_capacity(replicas);
+        for replica in 0..replicas {
+            let host = if replica == 0 {
+                format!("h{stage}")
+            } else {
+                format!("h{stage}r{replica}")
+            };
+            let is_attacker = attacker_stage == Some(stage) && attacker_replica == replica;
+            let mut spec = HostSpec::new(host.as_str());
+            if stage == 0 || (!is_attacker && rng.gen_bool(0.3)) {
+                spec = spec.trusted();
+            }
+            for _ in 0..3 {
+                spec = spec.with_input("n", Value::Int(offer));
+            }
+            spec = spec.with_input("unused", Value::Int(0));
+            if is_attacker {
+                let attack = attack.clone().expect("attacker position implies attack");
+                spec = spec.malicious(attack.clone());
+                attacker = Some((HostId::new(host.as_str()), attack));
+            }
+            specs.push(spec);
+            ids.push(host);
+        }
+        route.push(HostId::new(format!("h{stage}")));
+        stages.push(StageSpec::new(ids));
+    }
+
+    let attack_label = attacker
+        .as_ref()
+        .map(|(_, a)| a.label())
+        .unwrap_or("honest");
+
+    GeneratedScenario {
+        id,
+        kind: Preset::Replicated,
+        start: HostId::new("h0"),
+        agent: build_route_agent(id, stage_count),
+        route,
+        stages: Some(stages),
         specs,
         attacker,
         attack_label,
@@ -377,6 +493,49 @@ mod tests {
             kinds.len() >= 4,
             "mixed covers most families, got {kinds:?}"
         );
+    }
+
+    #[test]
+    fn replicated_scenarios_have_staged_replicas() {
+        let mut attackers_off_primary_path = 0;
+        for id in 0..60 {
+            let s = generate(17, id, Preset::Replicated);
+            assert_eq!(s.kind, Preset::Replicated);
+            let stages = s.stages.as_ref().expect("replicated topology");
+            assert_eq!(stages.len(), s.route_len());
+            assert_eq!(stages.first().unwrap().replicas.len(), 1);
+            assert_eq!(stages.last().unwrap().replicas.len(), 1);
+            for stage in &stages[1..stages.len() - 1] {
+                assert_eq!(stage.replicas.len(), 3, "middle stages are replicated");
+            }
+            // The primary route is each stage's first replica.
+            for (hop, stage) in s.route.iter().zip(stages) {
+                assert_eq!(hop, &stage.replicas[0]);
+            }
+            // The attacker (if any) sits in a replicated middle stage.
+            if let Some((host, _)) = &s.attacker {
+                let stage = stages
+                    .iter()
+                    .find(|st| st.replicas.contains(host))
+                    .expect("attacker is on a stage");
+                assert_eq!(stage.replicas.len(), 3);
+                if !s.route.contains(host) {
+                    attackers_off_primary_path += 1;
+                }
+            }
+        }
+        assert!(
+            attackers_off_primary_path > 0,
+            "some attackers hide off the primary path"
+        );
+    }
+
+    #[test]
+    fn linear_presets_and_mixed_have_no_stages() {
+        for id in 0..80 {
+            assert!(generate(42, id, Preset::Mixed).stages.is_none());
+            assert!(generate(42, id, Preset::SingleTamperer).stages.is_none());
+        }
     }
 
     #[test]

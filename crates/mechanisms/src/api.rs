@@ -1,0 +1,499 @@
+//! The first-class mechanism API: one pluggable trait, one registry, one
+//! journey context.
+//!
+//! The paper's thesis is that state appraisal, replication, traces,
+//! proofs, and the reference-state framework are *instances of one
+//! abstraction* — a check moment × reference data × checking algorithm.
+//! This module makes that abstraction a Rust API:
+//!
+//! * [`ProtectionMechanism`] — the trait every mechanism implements: a
+//!   registry [`name`](ProtectionMechanism::name), a
+//!   [`MechanismProfile`] declaring what the mechanism needs (check
+//!   moment, reference data, route topology, signatures), and one
+//!   [`run`](ProtectionMechanism::run) entry point over a
+//!   [`JourneyCtx`],
+//! * [`MechanismRegistry`] — the single dispatch table the fleet engine,
+//!   detection matrix, CLI, and benches all resolve mechanisms through
+//!   (by name; new mechanisms plug in without touching any engine),
+//! * [`JourneyCtx`] — everything one journey owns: the hosts, the
+//!   planned route (and replica [`StageSpec`]s when the topology is
+//!   replicated), the PKI [`KeyDirectory`], a deterministic RNG stream,
+//!   and a [`VerificationQueue`] so signature checks can defer into one
+//!   batch at journey end,
+//! * [`JourneyVerdict`] — the uniform result every mechanism reports, so
+//!   aggregate detection/attribution rates are comparable across
+//!   mechanisms.
+//!
+//! The six built-in mechanisms live in [`crate::fleet`];
+//! [`MechanismRegistry::builtin`] registers them all.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate_core::protocol::ProtocolConfig;
+use refstate_core::rules::{CmpOp, Expr, Pred, RuleSet};
+use refstate_core::{CheckMoment, ReferenceDataRequest};
+use refstate_crypto::{KeyDirectory, VerificationQueue};
+use refstate_platform::{AgentImage, EventLog, Host, HostId};
+use refstate_vm::ExecConfig;
+
+use crate::replication::StageSpec;
+
+/// The route shape a mechanism can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteTopology {
+    /// One agent walks one linear route, a session per host.
+    Linear,
+    /// Every stage executes on a set of replica hosts in parallel
+    /// (§3.2's server replication); requires the scenario to provide
+    /// [`StageSpec`]s.
+    ReplicatedStages,
+}
+
+impl fmt::Display for RouteTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteTopology::Linear => f.write_str("linear route"),
+            RouteTopology::ReplicatedStages => f.write_str("replicated stages"),
+        }
+    }
+}
+
+/// What a mechanism declares about itself: the paper's taxonomy axes plus
+/// the execution-shape facts an engine needs for dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MechanismProfile {
+    /// When checks run (`None` for the unprotected baseline, which never
+    /// checks).
+    pub moment: Option<CheckMoment>,
+    /// The reference data the mechanism consumes (§3.5's requester
+    /// interfaces).
+    pub reference_data: ReferenceDataRequest,
+    /// The route shape the mechanism needs.
+    pub topology: RouteTopology,
+    /// Whether the mechanism signs/verifies statements (and therefore
+    /// needs the PKI directory and can profit from the deferred
+    /// [`VerificationQueue`]).
+    pub uses_signatures: bool,
+}
+
+impl MechanismProfile {
+    /// Whether this mechanism can run a scenario: topology-changing
+    /// mechanisms need replica stages; linear mechanisms always have a
+    /// (primary) route to walk.
+    pub fn compatible_with_stages(&self, scenario_has_stages: bool) -> bool {
+        match self.topology {
+            RouteTopology::Linear => true,
+            RouteTopology::ReplicatedStages => scenario_has_stages,
+        }
+    }
+}
+
+/// Shared per-journey configuration every mechanism runs under, so
+/// aggregate rates compare like with like.
+#[derive(Debug, Clone)]
+pub struct MechanismConfig {
+    /// Execution limits for sessions and checks, applied uniformly (the
+    /// protocol mechanism overrides its [`ProtocolConfig::exec`] and
+    /// `max_hops` with these shared values).
+    pub exec: ExecConfig,
+    /// Config for the session-checking protocol (its `exec` and
+    /// `max_hops` are superseded by the shared fields above).
+    pub protocol: ProtocolConfig,
+    /// Rule set for state appraisal. The default expresses what a
+    /// programmer of the route agent plausibly writes (`total` defined
+    /// and non-negative) — rule-preserving attacks pass it, matching the
+    /// §4.1 "lower end of the scale".
+    pub rules: RuleSet,
+    /// Hop budget for the unchecked drivers.
+    pub max_hops: usize,
+    /// Defer per-hop signature checks into the journey's
+    /// [`VerificationQueue`] and settle them in one batch at journey end
+    /// (see `refstate_core::protocol::run_protected_journey_batched`).
+    /// On by default: it does not change verdicts for any attack in the
+    /// taxonomy (none forge signatures) and removes the per-hop
+    /// verification from the latency path.
+    pub defer_signatures: bool,
+}
+
+impl Default for MechanismConfig {
+    fn default() -> Self {
+        MechanismConfig {
+            exec: ExecConfig::default(),
+            protocol: ProtocolConfig::default(),
+            rules: RuleSet::new()
+                .rule("total-defined", Pred::Defined("total".into()))
+                .rule(
+                    "total-non-negative",
+                    Pred::cmp(CmpOp::Ge, Expr::var("total"), Expr::int(0)),
+                ),
+            max_hops: 64,
+            defer_signatures: true,
+        }
+    }
+}
+
+/// Everything one journey owns while a mechanism drives it.
+///
+/// An engine builds one context per (scenario, mechanism) pair — hosts
+/// are consumed by execution — and hands it to
+/// [`ProtectionMechanism::run`]. The context carries:
+///
+/// * the instantiated `hosts` and the planned linear `route` (the primary
+///   path; `route[0]` is the trusted home),
+/// * optional replica `stages` when the scenario's topology is
+///   replicated,
+/// * the PKI `directory` covering every host,
+/// * a deterministic per-journey RNG stream (`rng`) so any mechanism
+///   randomness is independent of scheduling,
+/// * a [`VerificationQueue`] for deferring signature checks into one
+///   journey-end batch.
+pub struct JourneyCtx<'a> {
+    /// The instantiated hosts (replicas included, for staged scenarios).
+    pub hosts: &'a mut [Host],
+    /// The planned linear route; `route[0]` is the start host.
+    pub route: Vec<HostId>,
+    /// Replica stages, when the scenario provides a replicated topology.
+    pub stages: Option<Vec<StageSpec>>,
+    /// The agent to protect (mechanisms clone it; drivers consume the
+    /// image).
+    pub agent: AgentImage,
+    /// The PKI covering every host in `hosts`.
+    pub directory: &'a KeyDirectory,
+    /// Shared mechanism configuration.
+    pub config: &'a MechanismConfig,
+    /// The event log to record into.
+    pub log: &'a EventLog,
+    /// This journey's own RNG stream.
+    pub rng: StdRng,
+    /// Deferred signature checks, settled in one batch at journey end.
+    pub queue: VerificationQueue,
+}
+
+impl<'a> JourneyCtx<'a> {
+    /// Builds a linear-route context. `seed` fixes the context's RNG
+    /// stream; derive it from the scenario so results are
+    /// scheduling-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is empty.
+    pub fn new(
+        hosts: &'a mut [Host],
+        route: Vec<HostId>,
+        agent: AgentImage,
+        directory: &'a KeyDirectory,
+        config: &'a MechanismConfig,
+        log: &'a EventLog,
+        seed: u64,
+    ) -> Self {
+        assert!(!route.is_empty(), "a journey needs a route");
+        JourneyCtx {
+            hosts,
+            route,
+            stages: None,
+            agent,
+            directory,
+            config,
+            log,
+            rng: StdRng::seed_from_u64(seed),
+            queue: VerificationQueue::new(),
+        }
+    }
+
+    /// Attaches replica stages (replicated-topology scenarios).
+    pub fn with_stages(mut self, stages: Vec<StageSpec>) -> Self {
+        self.stages = Some(stages);
+        self
+    }
+
+    /// The start host (`route[0]`).
+    pub fn start(&self) -> &HostId {
+        &self.route[0]
+    }
+}
+
+impl fmt::Debug for JourneyCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JourneyCtx")
+            .field("route", &self.route)
+            .field("stages", &self.stages.as_ref().map(Vec::len))
+            .field("agent", &self.agent.id)
+            .field("deferred", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The uniform result of one mechanism over one journey.
+///
+/// Verdict semantics are identical across mechanisms so aggregate rates
+/// are comparable:
+///
+/// * `detected` — the mechanism flagged the run,
+/// * `accused` — the hosts the mechanism blamed (empty when undetected;
+///   fleet reports score these against the scenario's actual attacker to
+///   measure culprit-attribution accuracy and false accusations),
+/// * `completed` — the journey ran to its halt instruction (mechanisms
+///   that check per session abort at the detection point; traces detect
+///   only after completion),
+/// * `infra_error` — the journey died of an infrastructure failure (e.g.
+///   input exhaustion after a control-flow attack); counted separately so
+///   detection rates are not silently inflated or deflated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JourneyVerdict {
+    /// The mechanism flagged the run.
+    pub detected: bool,
+    /// The hosts the mechanism blamed (empty when nothing was detected).
+    pub accused: Vec<HostId>,
+    /// The journey ran to its halt instruction.
+    pub completed: bool,
+    /// The journey died of an infrastructure failure.
+    pub infra_error: bool,
+}
+
+impl JourneyVerdict {
+    /// An undetected run; `completed = false` counts as an
+    /// infrastructure failure.
+    pub fn clean(completed: bool) -> Self {
+        JourneyVerdict {
+            detected: false,
+            accused: Vec::new(),
+            completed,
+            infra_error: !completed,
+        }
+    }
+
+    /// A detection blaming `accused`.
+    pub fn accusing(accused: Vec<HostId>, completed: bool) -> Self {
+        JourneyVerdict {
+            detected: true,
+            accused,
+            completed,
+            infra_error: false,
+        }
+    }
+}
+
+/// One pluggable protection mechanism: the paper's
+/// moment × reference-data × algorithm abstraction as a trait.
+///
+/// Implementations run one protected journey over a [`JourneyCtx`] and
+/// report a [`JourneyVerdict`]. Everything that drives mechanisms — the
+/// fleet engine, the detection matrix, the CLI, benches — dispatches
+/// through a [`MechanismRegistry`] of these, so a new mechanism is one
+/// `impl` plus one [`MechanismRegistry::register`] call.
+pub trait ProtectionMechanism: Send + Sync {
+    /// The registry/CLI/report name (stable, lowercase, no spaces).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for help texts and docs.
+    fn description(&self) -> &'static str;
+
+    /// What the mechanism needs (taxonomy axes + execution shape).
+    fn profile(&self) -> MechanismProfile;
+
+    /// Runs one journey and reports the uniform verdict.
+    ///
+    /// Callers must only hand over contexts the profile is compatible
+    /// with (see [`MechanismProfile::compatible_with_stages`]); a
+    /// replicated-stage mechanism given a stage-less context reports an
+    /// infrastructure error rather than panicking.
+    fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict;
+}
+
+/// The error [`MechanismRegistry::parse_list`] returns for an unknown
+/// name: carries the valid names so CLIs can print them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMechanism {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every name the registry knows.
+    pub known: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownMechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown mechanism {:?} (valid: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownMechanism {}
+
+/// The dispatch table: mechanisms by name, in registration order.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_mechanisms::api::MechanismRegistry;
+///
+/// let registry = MechanismRegistry::builtin();
+/// let protocol = registry.get("protocol").expect("built in");
+/// assert_eq!(protocol.name(), "protocol");
+/// let picked = registry.parse_list("unprotected,traces").unwrap();
+/// assert_eq!(picked.len(), 2);
+/// assert!(registry.parse_list("no-such-thing").is_err());
+/// ```
+#[derive(Clone, Default)]
+pub struct MechanismRegistry {
+    entries: Vec<Arc<dyn ProtectionMechanism>>,
+}
+
+impl MechanismRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        MechanismRegistry::default()
+    }
+
+    /// The registry of the six built-in mechanisms, in canonical report
+    /// order.
+    pub fn builtin() -> Self {
+        let mut registry = MechanismRegistry::empty();
+        registry.register(Arc::new(crate::fleet::Unprotected));
+        registry.register(Arc::new(crate::fleet::StateAppraisal));
+        registry.register(Arc::new(crate::fleet::FrameworkReExecution));
+        registry.register(Arc::new(crate::fleet::SessionCheckingProtocol));
+        registry.register(Arc::new(crate::fleet::ExecutionTraces));
+        registry.register(Arc::new(crate::fleet::ReplicatedStages));
+        registry
+    }
+
+    /// Registers a mechanism. A mechanism with the same name replaces the
+    /// existing entry (in place, keeping its position).
+    pub fn register(&mut self, mechanism: Arc<dyn ProtectionMechanism>) {
+        match self
+            .entries
+            .iter_mut()
+            .find(|m| m.name() == mechanism.name())
+        {
+            Some(slot) => *slot = mechanism,
+            None => self.entries.push(mechanism),
+        }
+    }
+
+    /// Resolves a mechanism by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn ProtectionMechanism>> {
+        self.entries.iter().find(|m| m.name() == name).cloned()
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|m| m.name()).collect()
+    }
+
+    /// Every registered mechanism, in registration order.
+    pub fn all(&self) -> Vec<Arc<dyn ProtectionMechanism>> {
+        self.entries.clone()
+    }
+
+    /// Iterates the registered mechanisms in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn ProtectionMechanism>> {
+        self.entries.iter()
+    }
+
+    /// Number of registered mechanisms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses a comma-separated mechanism list (duplicates collapse,
+    /// order preserved).
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownMechanism`] for the first unresolvable name, carrying the
+    /// valid names for the error message.
+    pub fn parse_list(
+        &self,
+        list: &str,
+    ) -> Result<Vec<Arc<dyn ProtectionMechanism>>, UnknownMechanism> {
+        let mut picked: Vec<Arc<dyn ProtectionMechanism>> = Vec::new();
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let mechanism = self.get(name).ok_or_else(|| UnknownMechanism {
+                name: name.to_owned(),
+                known: self.names(),
+            })?;
+            if !picked.iter().any(|m| m.name() == mechanism.name()) {
+                picked.push(mechanism);
+            }
+        }
+        Ok(picked)
+    }
+}
+
+impl fmt::Debug for MechanismRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MechanismRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_mechanism_round_trips_by_name() {
+        let registry = MechanismRegistry::builtin();
+        assert_eq!(registry.len(), 6);
+        for mechanism in registry.iter() {
+            let resolved = registry
+                .get(mechanism.name())
+                .unwrap_or_else(|| panic!("{} resolves", mechanism.name()));
+            assert_eq!(resolved.name(), mechanism.name());
+            assert_eq!(resolved.profile(), mechanism.profile());
+            assert!(!mechanism.description().is_empty());
+        }
+        assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn parse_list_resolves_dedups_and_errors() {
+        let registry = MechanismRegistry::builtin();
+        let picked = registry
+            .parse_list("protocol, traces ,protocol")
+            .expect("valid list");
+        assert_eq!(
+            picked.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            vec!["protocol", "traces"]
+        );
+        let err = match registry.parse_list("protocol,wat") {
+            Err(err) => err,
+            Ok(_) => panic!("unknown name must not parse"),
+        };
+        assert_eq!(err.name, "wat");
+        assert!(err.known.contains(&"replication"));
+        assert!(err.to_string().contains("replication"));
+    }
+
+    #[test]
+    fn register_replaces_by_name_in_place() {
+        let mut registry = MechanismRegistry::builtin();
+        let before = registry.names();
+        registry.register(Arc::new(crate::fleet::Unprotected));
+        assert_eq!(registry.names(), before, "same name keeps its slot");
+    }
+
+    #[test]
+    fn topology_compatibility() {
+        let registry = MechanismRegistry::builtin();
+        let replication = registry.get("replication").unwrap();
+        assert!(!replication.profile().compatible_with_stages(false));
+        assert!(replication.profile().compatible_with_stages(true));
+        let protocol = registry.get("protocol").unwrap();
+        assert!(protocol.profile().compatible_with_stages(false));
+        assert!(protocol.profile().compatible_with_stages(true));
+    }
+}

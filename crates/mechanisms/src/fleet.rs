@@ -1,297 +1,348 @@
-//! Fleet adapters: one uniform entry point per mechanism, over *arbitrary*
-//! generated host sets.
+//! The six built-in [`ProtectionMechanism`] implementations, drivable
+//! over *arbitrary* generated host sets through the uniform
+//! [`crate::api`] surface.
 //!
-//! [`crate::matrix`] drives each mechanism over one hand-built three-host
-//! scenario. A fleet-scale engine instead generates thousands of host
-//! topologies and needs every mechanism behind the same narrow interface:
-//! take a host set and an agent, run one protected journey, report *what
-//! was detected and who was accused*. That interface is
-//! [`run_fleet_journey`] and its [`JourneyVerdict`].
+//! Each mechanism is a unit struct wrapping one of the workspace's
+//! journey drivers; [`crate::api::MechanismRegistry::builtin`] registers
+//! them all. Fleet engines, the detection matrix, CLIs, and benches never
+//! name these types directly — they resolve mechanisms from the registry
+//! and dispatch through the trait, so adding a mechanism means adding an
+//! `impl` here (or in downstream code) and registering it, not editing an
+//! engine.
 //!
-//! Verdict semantics are identical across mechanisms so aggregate rates
-//! are comparable:
-//!
-//! * `detected` — the mechanism flagged the run,
-//! * `accused` — the hosts the mechanism blamed (empty when undetected;
-//!   fleet reports score these against the scenario's actual attacker to
-//!   measure culprit-attribution accuracy and false accusations),
-//! * `completed` — the journey ran to its halt instruction (mechanisms
-//!   that check per session abort at the detection point; traces detect
-//!   only after completion),
-//! * `infra_error` — the journey died of an infrastructure failure (e.g.
-//!   input exhaustion after a control-flow attack); counted separately so
-//!   detection rates are not silently inflated or deflated.
+//! Verdict semantics are documented on [`JourneyVerdict`]; the notes on
+//! each impl record where a mechanism's measured bandwidth deliberately
+//! differs from the others (the paper's §4 analysis, reproduced as rate
+//! differences in fleet reports).
 
 use std::sync::Arc;
 
 use refstate_core::framework::{run_framework_journey, ProtectedAgent, ProtectionConfig};
 use refstate_core::protocol::{
-    host_directory, run_protected_journey_with_directory, ProtocolConfig,
+    run_protected_journey_batched, run_protected_journey_with_directory, ProtocolConfig,
 };
-use refstate_core::rules::{CmpOp, Expr, Pred, RuleSet};
-use refstate_core::ReExecutionChecker;
-use refstate_crypto::KeyDirectory;
-use refstate_platform::{run_plain_journey, AgentImage, EventLog, Host, HostId};
-use refstate_vm::ExecConfig;
+use refstate_core::{CheckMoment, ReExecutionChecker, ReferenceDataKind, ReferenceDataRequest};
+use refstate_platform::run_plain_journey;
 
-use crate::appraisal::run_appraised_journey;
+use crate::api::{
+    JourneyCtx, JourneyVerdict, MechanismProfile, ProtectionMechanism, RouteTopology,
+};
+use crate::replication::run_replicated_pipeline;
 use crate::traces::{audit_journey, run_traced_journey};
 
-/// The mechanisms a fleet engine can drive through the uniform adapter.
+/// No protection at all: the baseline row every report needs. Never
+/// detects, never accuses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unprotected;
+
+impl ProtectionMechanism for Unprotected {
+    fn name(&self) -> &'static str {
+        "unprotected"
+    }
+
+    fn description(&self) -> &'static str {
+        "no protection; baseline row, never detects"
+    }
+
+    fn profile(&self) -> MechanismProfile {
+        MechanismProfile {
+            moment: None,
+            reference_data: ReferenceDataRequest::new(),
+            topology: RouteTopology::Linear,
+            uses_signatures: false,
+        }
+    }
+
+    fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict {
+        let outcome = run_plain_journey(
+            ctx.hosts,
+            ctx.start().clone(),
+            ctx.agent.clone(),
+            &ctx.config.exec,
+            ctx.log,
+            ctx.config.max_hops,
+        );
+        JourneyVerdict::clean(outcome.is_ok())
+    }
+}
+
+/// State appraisal against a rule set (§3.1, Farmer/Guttman/Swarup).
 ///
-/// [`crate::matrix::MechanismKind::ServerReplication`] is deliberately
-/// absent: replication changes the *topology* (replica stages), not just
-/// the checking discipline, so it does not fit the shared
-/// one-journey-over-one-route interface.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum FleetMechanism {
-    /// No protection (baseline row; never detects).
-    Unprotected,
-    /// State appraisal against a rule set (§3.1).
-    StateAppraisal,
-    /// The generic framework with re-execution checking.
-    FrameworkReExecution,
-    /// The paper's §5.1 session-checking protocol (signatures included).
-    SessionCheckingProtocol,
-    /// Vigna traces with an owner audit after the journey (§3.3).
-    ExecutionTraces,
-}
+/// Appraisal is arrival-only by construction (the paper: checking is "the
+/// first step of executing an agent arrived at a host"), so an attack on
+/// the *final* host has no next arrival and goes unseen. That is the
+/// mechanism's measured bandwidth, not a harness gap — fleet reports
+/// deliberately surface it as a sub-1.0 rate where the framework/protocol
+/// (which model an owner-side final check) score 1.0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StateAppraisal;
 
-impl FleetMechanism {
-    /// Every adapter-driveable mechanism.
-    pub const ALL: [FleetMechanism; 5] = [
-        FleetMechanism::Unprotected,
-        FleetMechanism::StateAppraisal,
-        FleetMechanism::FrameworkReExecution,
-        FleetMechanism::SessionCheckingProtocol,
-        FleetMechanism::ExecutionTraces,
-    ];
+impl ProtectionMechanism for StateAppraisal {
+    fn name(&self) -> &'static str {
+        "appraisal"
+    }
 
-    /// Display / CLI name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            FleetMechanism::Unprotected => "unprotected",
-            FleetMechanism::StateAppraisal => "appraisal",
-            FleetMechanism::FrameworkReExecution => "framework",
-            FleetMechanism::SessionCheckingProtocol => "protocol",
-            FleetMechanism::ExecutionTraces => "traces",
+    fn description(&self) -> &'static str {
+        "state appraisal against a rule set on every arrival (§3.1)"
+    }
+
+    fn profile(&self) -> MechanismProfile {
+        MechanismProfile {
+            moment: Some(CheckMoment::AfterSession),
+            reference_data: ReferenceDataRequest::new()
+                .with(ReferenceDataKind::InitialState)
+                .with(ReferenceDataKind::ResultingState),
+            topology: RouteTopology::Linear,
+            uses_signatures: false,
         }
     }
 
-    /// Parses a CLI name (see [`FleetMechanism::name`]).
-    pub fn parse(s: &str) -> Option<FleetMechanism> {
-        FleetMechanism::ALL.into_iter().find(|m| m.name() == s)
-    }
-}
-
-impl std::fmt::Display for FleetMechanism {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Shared per-fleet configuration for the adapters.
-#[derive(Debug, Clone)]
-pub struct FleetAdapterConfig {
-    /// Execution limits for sessions and checks (applied uniformly: the
-    /// protocol adapter overrides its [`ProtocolConfig::exec`] and
-    /// `max_hops` with these shared values so every mechanism runs under
-    /// identical limits).
-    pub exec: ExecConfig,
-    /// Config for [`FleetMechanism::SessionCheckingProtocol`] (its `exec`
-    /// and `max_hops` are superseded by the shared fields above).
-    pub protocol: ProtocolConfig,
-    /// Rule set for [`FleetMechanism::StateAppraisal`]. The default
-    /// expresses what a programmer of the fleet's route agent plausibly
-    /// writes (`total` defined and non-negative) — rule-preserving
-    /// attacks pass it, matching the §4.1 "lower end of the scale".
-    pub rules: RuleSet,
-    /// Hop budget for the unchecked drivers.
-    pub max_hops: usize,
-}
-
-impl Default for FleetAdapterConfig {
-    fn default() -> Self {
-        FleetAdapterConfig {
-            exec: ExecConfig::default(),
-            protocol: ProtocolConfig::default(),
-            rules: RuleSet::new()
-                .rule("total-defined", Pred::Defined("total".into()))
-                .rule(
-                    "total-non-negative",
-                    Pred::cmp(CmpOp::Ge, Expr::var("total"), Expr::int(0)),
-                ),
-            max_hops: 64,
+    fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict {
+        match crate::appraisal::run_appraised_journey(
+            ctx.hosts,
+            ctx.start().clone(),
+            ctx.agent.clone(),
+            &ctx.config.rules,
+            &[],
+            &ctx.config.exec,
+            ctx.log,
+            ctx.config.max_hops,
+        ) {
+            Ok(outcome) => match outcome.rejection {
+                Some((culprit, _detector)) => JourneyVerdict::accusing(vec![culprit], false),
+                None => JourneyVerdict::clean(true),
+            },
+            Err(_) => JourneyVerdict::clean(false),
         }
     }
 }
 
-/// The uniform result of one mechanism over one journey.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JourneyVerdict {
-    /// The mechanism flagged the run.
-    pub detected: bool,
-    /// The hosts the mechanism blamed (empty when nothing was detected).
-    pub accused: Vec<HostId>,
-    /// The journey ran to its halt instruction.
-    pub completed: bool,
-    /// The journey died of an infrastructure failure.
-    pub infra_error: bool,
-}
+/// The generic reference-state framework with re-execution checking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrameworkReExecution;
 
-impl JourneyVerdict {
-    fn clean(completed: bool) -> Self {
-        JourneyVerdict {
-            detected: false,
-            accused: Vec::new(),
-            completed,
-            infra_error: !completed,
+impl ProtectionMechanism for FrameworkReExecution {
+    fn name(&self) -> &'static str {
+        "framework"
+    }
+
+    fn description(&self) -> &'static str {
+        "the generic framework driver with re-execution checking"
+    }
+
+    fn profile(&self) -> MechanismProfile {
+        MechanismProfile {
+            moment: Some(CheckMoment::AfterSession),
+            reference_data: ReferenceDataRequest::new()
+                .with(ReferenceDataKind::InitialState)
+                .with(ReferenceDataKind::ResultingState)
+                .with(ReferenceDataKind::Input),
+            topology: RouteTopology::Linear,
+            uses_signatures: false,
         }
     }
 
-    fn accusing(accused: Vec<HostId>, completed: bool) -> Self {
-        JourneyVerdict {
-            detected: true,
-            accused,
-            completed,
-            infra_error: false,
-        }
-    }
-}
-
-/// Runs one journey of `agent` over `hosts` under `mechanism`.
-///
-/// `directory` is the PKI for the signature-carrying mechanisms; pass the
-/// one built by [`host_directory`] when reusing keys across journeys, or
-/// `None` to have it built on the fly.
-pub fn run_fleet_journey(
-    mechanism: FleetMechanism,
-    hosts: &mut [Host],
-    start: &HostId,
-    agent: AgentImage,
-    config: &FleetAdapterConfig,
-    directory: Option<&KeyDirectory>,
-    log: &EventLog,
-) -> JourneyVerdict {
-    match mechanism {
-        FleetMechanism::Unprotected => {
-            let outcome = run_plain_journey(
-                hosts,
-                start.clone(),
-                agent,
-                &config.exec,
-                log,
-                config.max_hops,
-            );
-            JourneyVerdict::clean(outcome.is_ok())
-        }
-        // Appraisal is arrival-only by construction (the paper: checking is
-        // "the first step of executing an agent arrived at a host"), so an
-        // attack on the *final* host has no next arrival and goes unseen.
-        // That is the mechanism's measured bandwidth, not a harness gap —
-        // fleet reports deliberately surface it as a sub-1.0 rate where
-        // the framework/protocol (which model an owner-side final check)
-        // score 1.0.
-        FleetMechanism::StateAppraisal => {
-            match run_appraised_journey(
-                hosts,
-                start.clone(),
-                agent,
-                &config.rules,
-                &[],
-                &config.exec,
-                log,
-                config.max_hops,
-            ) {
-                Ok(outcome) => match outcome.rejection {
-                    Some((culprit, _detector)) => JourneyVerdict::accusing(vec![culprit], false),
-                    None => JourneyVerdict::clean(true),
-                },
-                Err(_) => JourneyVerdict::clean(false),
-            }
-        }
-        FleetMechanism::FrameworkReExecution => {
-            let protection = ProtectionConfig::new(Arc::new(ReExecutionChecker::new()));
-            match run_framework_journey(
-                hosts,
-                start.clone(),
-                ProtectedAgent::new(agent, protection),
-                log,
-            ) {
-                Ok(outcome) => match outcome.fraud {
-                    Some(fraud) => {
-                        // The final-session check attributes the checker to
-                        // the executor itself: the journey reached its halt
-                        // before the owner-side check flagged it.
-                        let completed = fraud.detector == fraud.culprit;
-                        JourneyVerdict::accusing(vec![fraud.culprit], completed)
-                    }
-                    None => JourneyVerdict::clean(true),
-                },
-                Err(_) => JourneyVerdict::clean(false),
-            }
-        }
-        FleetMechanism::SessionCheckingProtocol => {
-            let built;
-            let directory = match directory {
-                Some(d) => d,
-                None => {
-                    built = host_directory(hosts);
-                    &built
+    fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict {
+        let protection = ProtectionConfig::new(Arc::new(ReExecutionChecker::new()));
+        match run_framework_journey(
+            ctx.hosts,
+            ctx.start().clone(),
+            ProtectedAgent::new(ctx.agent.clone(), protection),
+            ctx.log,
+        ) {
+            Ok(outcome) => match outcome.fraud {
+                Some(fraud) => {
+                    // The final-session check attributes the checker to
+                    // the executor itself: the journey reached its halt
+                    // before the owner-side check flagged it.
+                    let completed = fraud.detector == fraud.culprit;
+                    JourneyVerdict::accusing(vec![fraud.culprit], completed)
                 }
-            };
-            let protocol = ProtocolConfig {
-                exec: config.exec.clone(),
-                max_hops: config.max_hops,
-                ..config.protocol.clone()
-            };
-            match run_protected_journey_with_directory(
-                hosts,
-                start.clone(),
-                agent,
+                None => JourneyVerdict::clean(true),
+            },
+            Err(_) => JourneyVerdict::clean(false),
+        }
+    }
+}
+
+/// The paper's §5.1 session-checking protocol (signatures included).
+///
+/// When [`crate::api::MechanismConfig::defer_signatures`] is set (the
+/// default), the
+/// per-hop certificate verifications are deferred into the context's
+/// [`crate::api::JourneyCtx::queue`] and settled in one batch at journey
+/// end — the DSA-dominated part of the journey p50 collapses into one
+/// fused double-exponentiation pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionCheckingProtocol;
+
+impl ProtectionMechanism for SessionCheckingProtocol {
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+
+    fn description(&self) -> &'static str {
+        "the §5.1 session-checking protocol with signed certificates"
+    }
+
+    fn profile(&self) -> MechanismProfile {
+        MechanismProfile {
+            moment: Some(CheckMoment::AfterSession),
+            reference_data: ReferenceDataRequest::new()
+                .with(ReferenceDataKind::InitialState)
+                .with(ReferenceDataKind::ResultingState)
+                .with(ReferenceDataKind::Input),
+            topology: RouteTopology::Linear,
+            uses_signatures: true,
+        }
+    }
+
+    fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict {
+        let protocol = ProtocolConfig {
+            exec: ctx.config.exec.clone(),
+            max_hops: ctx.config.max_hops,
+            ..ctx.config.protocol.clone()
+        };
+        let result = if ctx.config.defer_signatures {
+            run_protected_journey_batched(
+                ctx.hosts,
+                ctx.start().clone(),
+                ctx.agent.clone(),
                 &protocol,
-                log,
-                directory,
-            ) {
-                Ok(outcome) => match outcome.fraud {
-                    Some(fraud) => {
-                        // A fraud detected by the owner's post-halt check
-                        // means the journey itself ran to completion.
-                        let completed = fraud.detector.as_str() == "owner";
-                        JourneyVerdict::accusing(vec![fraud.culprit], completed)
-                    }
-                    None => JourneyVerdict::clean(true),
-                },
-                Err(_) => JourneyVerdict::clean(false),
-            }
+                ctx.log,
+                ctx.directory,
+                &mut ctx.queue,
+            )
+        } else {
+            run_protected_journey_with_directory(
+                ctx.hosts,
+                ctx.start().clone(),
+                ctx.agent.clone(),
+                &protocol,
+                ctx.log,
+                ctx.directory,
+            )
+        };
+        match result {
+            Ok(outcome) => match outcome.fraud {
+                Some(fraud) => {
+                    // A fraud detected by the owner's post-halt check
+                    // means the journey itself ran to completion.
+                    let completed = fraud.detector.as_str() == "owner";
+                    JourneyVerdict::accusing(vec![fraud.culprit], completed)
+                }
+                None => JourneyVerdict::clean(true),
+            },
+            Err(_) => JourneyVerdict::clean(false),
         }
-        FleetMechanism::ExecutionTraces => {
-            let built;
-            let directory = match directory {
-                Some(d) => d,
-                None => {
-                    built = host_directory(hosts);
-                    &built
+    }
+}
+
+/// Vigna traces with an owner audit after the journey (§3.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutionTraces;
+
+impl ProtectionMechanism for ExecutionTraces {
+    fn name(&self) -> &'static str {
+        "traces"
+    }
+
+    fn description(&self) -> &'static str {
+        "Vigna execution traces with an owner audit after the task (§3.3)"
+    }
+
+    fn profile(&self) -> MechanismProfile {
+        MechanismProfile {
+            moment: Some(CheckMoment::AfterTask),
+            reference_data: ReferenceDataRequest::new()
+                .with(ReferenceDataKind::InitialState)
+                .with(ReferenceDataKind::Input)
+                .with(ReferenceDataKind::ExecutionLog),
+            topology: RouteTopology::Linear,
+            uses_signatures: true,
+        }
+    }
+
+    fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict {
+        let program = ctx.agent.program.clone();
+        match run_traced_journey(
+            ctx.hosts,
+            ctx.start().clone(),
+            ctx.agent.clone(),
+            &ctx.config.exec,
+            ctx.log,
+            ctx.config.max_hops,
+        ) {
+            Ok(journey) => {
+                let report =
+                    audit_journey(&journey, &program, ctx.directory, &ctx.config.exec, ctx.log);
+                match report.culprit {
+                    Some(culprit) => JourneyVerdict::accusing(vec![culprit], true),
+                    None => JourneyVerdict::clean(true),
                 }
-            };
-            let program = agent.program.clone();
-            match run_traced_journey(
-                hosts,
-                start.clone(),
-                agent,
-                &config.exec,
-                log,
-                config.max_hops,
-            ) {
-                Ok(journey) => {
-                    let report = audit_journey(&journey, &program, directory, &config.exec, log);
-                    match report.culprit {
-                        Some(culprit) => JourneyVerdict::accusing(vec![culprit], true),
-                        None => JourneyVerdict::clean(true),
-                    }
-                }
-                Err(_) => JourneyVerdict::clean(false),
             }
+            Err(_) => JourneyVerdict::clean(false),
+        }
+    }
+}
+
+/// Server replication (§3.2, Minsky et al.): every stage executes on a
+/// set of replicas whose voted majority seeds the next stage.
+///
+/// The only built-in mechanism whose profile declares
+/// [`RouteTopology::ReplicatedStages`] — it changes the *topology*, not
+/// just the checking discipline, so it runs only scenarios that provide
+/// [`crate::replication::StageSpec`]s (the fleet's `replicated` preset,
+/// the matrix's standard staged scenario). Dissenting replicas are the
+/// accused; a stage without a majority ends the journey undetected but
+/// uncompleted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplicatedStages;
+
+impl ProtectionMechanism for ReplicatedStages {
+    fn name(&self) -> &'static str {
+        "replication"
+    }
+
+    fn description(&self) -> &'static str {
+        "server replication: staged replica execution with majority voting (§3.2)"
+    }
+
+    fn profile(&self) -> MechanismProfile {
+        MechanismProfile {
+            moment: Some(CheckMoment::AfterSession),
+            reference_data: ReferenceDataRequest::new()
+                .with(ReferenceDataKind::ResultingState)
+                .with(ReferenceDataKind::Resources),
+            topology: RouteTopology::ReplicatedStages,
+            uses_signatures: false,
+        }
+    }
+
+    fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict {
+        let Some(stages) = ctx.stages.clone() else {
+            // Engines check the profile first; a stage-less context is an
+            // infrastructure failure, not a panic.
+            return JourneyVerdict::clean(false);
+        };
+        match run_replicated_pipeline(
+            ctx.hosts,
+            &stages,
+            ctx.agent.clone(),
+            &ctx.config.exec,
+            ctx.log,
+        ) {
+            Ok(outcome) => {
+                let completed = outcome.final_state.is_some();
+                if outcome.suspects.is_empty() {
+                    // No majority and no dissenters is a degenerate stage;
+                    // count it as an infrastructure failure.
+                    JourneyVerdict::clean(completed)
+                } else {
+                    JourneyVerdict::accusing(outcome.suspects, completed)
+                }
+            }
+            Err(_) => JourneyVerdict::clean(false),
         }
     }
 }
@@ -299,10 +350,13 @@ pub fn run_fleet_journey(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::{MechanismConfig, MechanismRegistry};
+    use crate::replication::StageSpec;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use refstate_core::protocol::host_directory;
     use refstate_crypto::DsaParams;
-    use refstate_platform::{Attack, HostSpec};
+    use refstate_platform::{AgentImage, Attack, EventLog, Host, HostId, HostSpec};
     use refstate_vm::{assemble, DataState, Value};
 
     fn three_host_agent() -> AgentImage {
@@ -340,6 +394,8 @@ mod tests {
         AgentImage::new("adapter-test", program, state)
     }
 
+    /// Three-host route a → b → c with replicas b1/b2 so the replicated
+    /// mechanism can run the same scenario.
     fn hosts(middle_attack: Option<Attack>) -> Vec<Host> {
         let mut rng = StdRng::seed_from_u64(77);
         let params = DsaParams::test_group_256();
@@ -351,6 +407,8 @@ mod tests {
             vec![
                 HostSpec::new("a").trusted().with_input("n", Value::Int(10)),
                 b,
+                HostSpec::new("b1").with_input("n", Value::Int(20)),
+                HostSpec::new("b2").with_input("n", Value::Int(20)),
                 HostSpec::new("c").trusted().with_input("n", Value::Int(30)),
             ],
             &params,
@@ -358,78 +416,121 @@ mod tests {
         )
     }
 
+    fn run(mechanism: &dyn ProtectionMechanism, attack: Option<Attack>) -> JourneyVerdict {
+        let mut hs = hosts(attack);
+        let directory = host_directory(&hs);
+        let config = MechanismConfig::default();
+        let log = EventLog::new();
+        let route = vec![HostId::new("a"), HostId::new("b"), HostId::new("c")];
+        let mut ctx = JourneyCtx::new(
+            &mut hs,
+            route,
+            three_host_agent(),
+            &directory,
+            &config,
+            &log,
+            9,
+        )
+        .with_stages(vec![
+            StageSpec::new(["a"]),
+            StageSpec::new(["b", "b1", "b2"]),
+            StageSpec::new(["c"]),
+        ]);
+        mechanism.run(&mut ctx)
+    }
+
     #[test]
     fn every_mechanism_passes_honest_run() {
-        for mechanism in FleetMechanism::ALL {
-            let mut hs = hosts(None);
-            let verdict = run_fleet_journey(
-                mechanism,
-                &mut hs,
-                &HostId::new("a"),
-                three_host_agent(),
-                &FleetAdapterConfig::default(),
-                None,
-                &EventLog::new(),
-            );
-            assert!(!verdict.detected, "{mechanism} false-positived");
+        for mechanism in MechanismRegistry::builtin().iter() {
+            let verdict = run(mechanism.as_ref(), None);
+            assert!(!verdict.detected, "{} false-positived", mechanism.name());
             assert!(verdict.accused.is_empty());
-            assert!(verdict.completed, "{mechanism} did not complete");
+            assert!(verdict.completed, "{} did not complete", mechanism.name());
         }
     }
 
     #[test]
     fn checking_mechanisms_catch_and_attribute_tampering() {
-        for mechanism in [
-            FleetMechanism::FrameworkReExecution,
-            FleetMechanism::SessionCheckingProtocol,
-            FleetMechanism::ExecutionTraces,
-        ] {
-            let mut hs = hosts(Some(Attack::TamperVariable {
-                name: "total".into(),
-                value: Value::Int(-9),
-            }));
-            let verdict = run_fleet_journey(
-                mechanism,
-                &mut hs,
-                &HostId::new("a"),
-                three_host_agent(),
-                &FleetAdapterConfig::default(),
-                None,
-                &EventLog::new(),
+        let registry = MechanismRegistry::builtin();
+        for name in ["framework", "protocol", "traces", "replication"] {
+            let mechanism = registry.get(name).expect("built in");
+            let verdict = run(
+                mechanism.as_ref(),
+                Some(Attack::TamperVariable {
+                    name: "total".into(),
+                    value: Value::Int(-9),
+                }),
             );
-            assert!(verdict.detected, "{mechanism} missed the tampering");
+            assert!(verdict.detected, "{name} missed the tampering");
             assert_eq!(
                 verdict.accused,
                 vec![HostId::new("b")],
-                "{mechanism} blamed wrong"
+                "{name} blamed wrong"
             );
         }
     }
 
     #[test]
     fn unprotected_never_detects() {
-        let mut hs = hosts(Some(Attack::TamperVariable {
-            name: "total".into(),
-            value: Value::Int(-9),
-        }));
-        let verdict = run_fleet_journey(
-            FleetMechanism::Unprotected,
-            &mut hs,
-            &HostId::new("a"),
-            three_host_agent(),
-            &FleetAdapterConfig::default(),
-            None,
-            &EventLog::new(),
+        let verdict = run(
+            &Unprotected,
+            Some(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(-9),
+            }),
         );
         assert!(!verdict.detected);
         assert!(verdict.completed);
     }
 
     #[test]
-    fn mechanism_names_round_trip() {
-        for m in FleetMechanism::ALL {
-            assert_eq!(FleetMechanism::parse(m.name()), Some(m));
+    fn protocol_deferred_and_eager_verdicts_agree() {
+        for defer in [false, true] {
+            let mut hs = hosts(Some(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(-9),
+            }));
+            let directory = host_directory(&hs);
+            let config = MechanismConfig {
+                defer_signatures: defer,
+                ..MechanismConfig::default()
+            };
+            let log = EventLog::new();
+            let route = vec![HostId::new("a"), HostId::new("b"), HostId::new("c")];
+            let mut ctx = JourneyCtx::new(
+                &mut hs,
+                route,
+                three_host_agent(),
+                &directory,
+                &config,
+                &log,
+                9,
+            );
+            let verdict = SessionCheckingProtocol.run(&mut ctx);
+            assert!(verdict.detected, "defer={defer}");
+            assert_eq!(verdict.accused, vec![HostId::new("b")]);
+            assert!(ctx.queue.is_empty(), "the batched run drains its queue");
         }
-        assert_eq!(FleetMechanism::parse("nope"), None);
+    }
+
+    #[test]
+    fn replication_without_stages_is_an_infra_error_not_a_panic() {
+        let mut hs = hosts(None);
+        let directory = host_directory(&hs);
+        let config = MechanismConfig::default();
+        let log = EventLog::new();
+        let route = vec![HostId::new("a"), HostId::new("b"), HostId::new("c")];
+        let mut ctx = JourneyCtx::new(
+            &mut hs,
+            route,
+            three_host_agent(),
+            &directory,
+            &config,
+            &log,
+            9,
+        );
+        let verdict = ReplicatedStages.run(&mut ctx);
+        assert!(!verdict.detected);
+        assert!(verdict.infra_error);
     }
 }

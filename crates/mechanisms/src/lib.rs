@@ -1,12 +1,30 @@
-//! The four existing reference-state mechanisms the paper analyses (§3),
-//! implemented as baselines against the framework.
+//! Protection mechanisms behind one pluggable API.
 //!
-//! | Module | Paper §3 mechanism | Moment | Reference data | Algorithm |
-//! |--------|--------------------|--------|----------------|-----------|
-//! | [`appraisal`] | State appraisal (Farmer/Guttman/Swarup) | after session (on arrival) | resulting state only | rules |
-//! | [`replication`] | Server replication (Minsky et al.) | after session (parallel) | replicated executions | vote counting |
-//! | [`traces`] | Execution traces (Vigna) | after task, on suspicion | initial state + trace + input | re-execution against signed hashes |
-//! | [`proofs`] | Proof verification (Biehl/Meyer/Wetzel, Yee) | after task | self-contained proof | Merkle spot checks |
+//! The paper's §3 surveys the existing mechanisms and argues they are all
+//! instances of one abstraction: a **check moment** × **reference data**
+//! × **checking algorithm** (plus, for replication, a route topology).
+//! This crate implements the mechanisms *and* the abstraction:
+//!
+//! * [`api`] — the [`ProtectionMechanism`] trait, the
+//!   [`MechanismProfile`] each implementation declares, the
+//!   [`JourneyCtx`] it runs over (hosts, route, PKI, RNG stream, and a
+//!   deferred-signature [`VerificationQueue`](refstate_crypto::VerificationQueue)),
+//!   and the [`MechanismRegistry`] every driver dispatches through;
+//! * [`fleet`] — the six built-in implementations.
+//!
+//! | Registry name | Paper §3 mechanism | Moment | Reference data | Topology | Signatures |
+//! |---------------|--------------------|--------|----------------|----------|------------|
+//! | `unprotected` | — (baseline) | never | none | linear | no |
+//! | `appraisal` | State appraisal (Farmer/Guttman/Swarup) | after session (on arrival) | initial + resulting state | linear | no |
+//! | `framework` | The generic framework, re-execution checking | after session | initial + resulting state + input | linear | no |
+//! | `protocol` | §5.1 session checking | after session | initial + resulting state + input | linear | yes (deferrable) |
+//! | `traces` | Execution traces (Vigna) | after task, on suspicion | initial state + trace + input | linear | yes |
+//! | `replication` | Server replication (Minsky et al.) | after session (parallel) | resulting state + replicated resources | replicated stages | no |
+//!
+//! The per-mechanism modules ([`appraisal`], [`replication`], [`traces`],
+//! [`proofs`]) keep the full-fidelity drivers and their evidence types;
+//! the [`matrix`] runs every registered mechanism against the standard
+//! attack scenarios.
 //!
 //! The proof mechanism deserves a caveat: real holographic/PCP proofs are
 //! NP-hard to *construct* (the paper dismisses the approach as impractical
@@ -16,10 +34,48 @@
 //! state, no reference data needed) and the cost shape (O(k·log n)
 //! verification vs O(n) re-execution), though not PCP soundness against
 //! fully adaptive provers. See DESIGN.md §4 for the substitution record.
+//!
+//! # Adding a mechanism
+//!
+//! Implement [`ProtectionMechanism`] (name, profile, `run` over a
+//! [`JourneyCtx`]) and register it:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use refstate_core::ReferenceDataRequest;
+//! use refstate_mechanisms::api::{
+//!     JourneyCtx, JourneyVerdict, MechanismProfile, MechanismRegistry,
+//!     ProtectionMechanism, RouteTopology,
+//! };
+//!
+//! struct AlwaysClean;
+//!
+//! impl ProtectionMechanism for AlwaysClean {
+//!     fn name(&self) -> &'static str { "always-clean" }
+//!     fn description(&self) -> &'static str { "demo mechanism" }
+//!     fn profile(&self) -> MechanismProfile {
+//!         MechanismProfile {
+//!             moment: None,
+//!             reference_data: ReferenceDataRequest::new(),
+//!             topology: RouteTopology::Linear,
+//!             uses_signatures: false,
+//!         }
+//!     }
+//!     fn run(&self, _ctx: &mut JourneyCtx<'_>) -> JourneyVerdict {
+//!         JourneyVerdict::clean(true)
+//!     }
+//! }
+//!
+//! let mut registry = MechanismRegistry::builtin();
+//! registry.register(Arc::new(AlwaysClean));
+//! assert!(registry.get("always-clean").is_some());
+//! // The fleet engine, matrix, and CLI now drive it like any built-in.
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod appraisal;
 pub mod fleet;
 pub mod matrix;
@@ -28,9 +84,12 @@ pub mod proofs;
 pub mod replication;
 pub mod traces;
 
+pub use api::{
+    JourneyCtx, JourneyVerdict, MechanismConfig, MechanismProfile, MechanismRegistry,
+    ProtectionMechanism, RouteTopology, UnknownMechanism,
+};
 pub use appraisal::{run_appraised_journey, AppraisalOutcome};
-pub use fleet::{run_fleet_journey, FleetAdapterConfig, FleetMechanism, JourneyVerdict};
-pub use matrix::{detection_matrix, DetectionCell, MechanismKind, ScenarioSpec};
+pub use matrix::{detection_matrix, DetectionCell, ScenarioSpec};
 pub use merkle::{MerklePath, MerkleTree};
 pub use proofs::{ExecutionProof, ProofError, Prover, StepOpening, Verifier};
 pub use replication::{run_replicated_pipeline, ReplicationOutcome, StageSpec, StageVote};

@@ -1,81 +1,32 @@
 //! The detection matrix: which mechanism catches which attack.
 //!
 //! This is the empirical counterpart of the paper's §4 "protection
-//! bandwidth" analysis: a standard three-host scenario (trusted home,
-//! untrusted shop, trusted return) runs once per (mechanism × attack) cell
-//! and reports whether the attack was detected. The expected shape:
+//! bandwidth" analysis: a standard staged scenario (trusted home,
+//! untrusted shop with two honest replicas, trusted return) runs once per
+//! (mechanism × attack) cell and reports whether the attack was detected.
+//! Every cell dispatches through the [`crate::api::MechanismRegistry`] —
+//! the matrix has no mechanism knowledge of its own, so a newly
+//! registered mechanism shows up as a row for free.
+//!
+//! The expected shape:
 //!
 //! * state-visible attacks (tamper/delete/scale/skip/redirect) are caught
 //!   by every reference-state mechanism with enough data,
 //! * weak rules miss whatever the rules don't express,
 //! * input attacks and read attacks are caught by nobody (the paper's
-//!   §4.2), except signed-input extensions (not part of the matrix),
+//!   §4.2), except replication's replicated resources,
 //! * consecutive-host collusion defeats the session-checking protocol but
 //!   not replication.
 
-use std::fmt;
-use std::sync::Arc;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use refstate_core::framework::{run_framework_journey, ProtectedAgent, ProtectionConfig};
-use refstate_core::protocol::{run_protected_journey, ProtocolConfig};
-use refstate_core::rules::{CmpOp, Expr, Pred, RuleSet};
-use refstate_core::ReExecutionChecker;
-use refstate_crypto::{DsaParams, KeyDirectory};
+use refstate_core::protocol::host_directory;
+use refstate_crypto::DsaParams;
 use refstate_platform::{AgentImage, Attack, EventLog, Host, HostId, HostSpec};
-use refstate_vm::{assemble, DataState, ExecConfig, Value};
+use refstate_vm::{assemble, DataState, Value};
 
-use crate::appraisal::run_appraised_journey;
-use crate::replication::{run_replicated_pipeline, StageSpec};
-use crate::traces::{audit_journey, run_traced_journey};
-
-/// The mechanisms the matrix exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MechanismKind {
-    /// No protection at all (sanity row: detects nothing).
-    Unprotected,
-    /// State appraisal with a simple rule set (§3.1).
-    StateAppraisal,
-    /// The framework with re-execution checking (generic driver).
-    FrameworkReExecution,
-    /// The paper's §5.1 session-checking protocol.
-    SessionCheckingProtocol,
-    /// Vigna traces + owner audit (§3.3).
-    ExecutionTraces,
-    /// Server replication with 3 replicas of the untrusted stage (§3.2).
-    ServerReplication,
-}
-
-impl MechanismKind {
-    /// All matrix rows.
-    pub const ALL: [MechanismKind; 6] = [
-        MechanismKind::Unprotected,
-        MechanismKind::StateAppraisal,
-        MechanismKind::FrameworkReExecution,
-        MechanismKind::SessionCheckingProtocol,
-        MechanismKind::ExecutionTraces,
-        MechanismKind::ServerReplication,
-    ];
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            MechanismKind::Unprotected => "unprotected",
-            MechanismKind::StateAppraisal => "state appraisal",
-            MechanismKind::FrameworkReExecution => "framework/re-exec",
-            MechanismKind::SessionCheckingProtocol => "session checking",
-            MechanismKind::ExecutionTraces => "traces+audit",
-            MechanismKind::ServerReplication => "replication(3)",
-        }
-    }
-}
-
-impl fmt::Display for MechanismKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+use crate::api::{JourneyCtx, MechanismConfig, MechanismRegistry, ProtectionMechanism};
+use crate::replication::StageSpec;
 
 /// A scenario: the attack the untrusted middle host mounts (or none).
 #[derive(Debug, Clone)]
@@ -89,6 +40,14 @@ pub struct ScenarioSpec {
 }
 
 /// The standard attack scenarios.
+///
+/// Tamper forgeries are *negative* values, aligned with the fleet
+/// generator: honest totals are positive sums, so a negative forgery is
+/// always a real state change **and** violates the default appraisal
+/// rule set. (Earlier revisions forged positive values, which slipped
+/// past appraisal's `total-non-negative` rule — the appraisal row now
+/// reflects the rules' bandwidth on tamper/collude cells too; see
+/// `appraisal_catches_rule_violating_tampering`.)
 pub fn standard_scenarios() -> Vec<ScenarioSpec> {
     vec![
         ScenarioSpec {
@@ -100,7 +59,7 @@ pub fn standard_scenarios() -> Vec<ScenarioSpec> {
             label: "tamper-variable",
             attack: Some(Attack::TamperVariable {
                 name: "total".into(),
-                value: Value::Int(7),
+                value: Value::Int(-7),
             }),
             expected_detectable: true,
         },
@@ -158,7 +117,7 @@ pub fn standard_scenarios() -> Vec<ScenarioSpec> {
             label: "collude-next",
             attack: Some(Attack::CollaborateTamper {
                 name: "total".into(),
-                value: Value::Int(7),
+                value: Value::Int(-7),
                 accomplice: HostId::new("c"),
             }),
             expected_detectable: false, // for the session protocol
@@ -169,8 +128,8 @@ pub fn standard_scenarios() -> Vec<ScenarioSpec> {
 /// One matrix cell.
 #[derive(Debug, Clone)]
 pub struct DetectionCell {
-    /// The mechanism (row).
-    pub mechanism: MechanismKind,
+    /// The mechanism's registry name (row).
+    pub mechanism: &'static str,
     /// The scenario label (column).
     pub scenario: &'static str,
     /// Whether the mechanism flagged the run.
@@ -179,7 +138,7 @@ pub struct DetectionCell {
     pub completed: bool,
 }
 
-/// The three-host measurement agent: adds one input per host into `total`.
+/// The three-hop measurement agent: adds one input per host into `total`.
 fn matrix_agent() -> AgentImage {
     let program = assemble(
         r#"
@@ -215,8 +174,11 @@ fn matrix_agent() -> AgentImage {
     AgentImage::new("matrix", program, state)
 }
 
-fn matrix_hosts(attack: Option<Attack>, seed: u64) -> Vec<Host> {
-    let mut rng = StdRng::seed_from_u64(seed);
+/// The standard host set: linear route a → b → c, plus honest replicas
+/// b1/b2 of the untrusted middle stage so the replicated topology can run
+/// the *same* scenario. Linear mechanisms never visit the replicas.
+fn matrix_hosts(attack: Option<Attack>) -> Vec<Host> {
+    let mut rng = StdRng::seed_from_u64(1);
     let params = DsaParams::test_group_256();
     let mut b = HostSpec::new("b")
         .with_input("n", Value::Int(20))
@@ -224,165 +186,84 @@ fn matrix_hosts(attack: Option<Attack>, seed: u64) -> Vec<Host> {
     if let Some(a) = attack {
         b = b.malicious(a);
     }
-    vec![
-        Host::new(
+    Host::build_all(
+        vec![
             HostSpec::new("a").trusted().with_input("n", Value::Int(10)),
-            &params,
-            &mut rng,
-        ),
-        Host::new(b, &params, &mut rng),
-        Host::new(
+            b,
+            HostSpec::new("b1")
+                .with_input("n", Value::Int(20))
+                .with_input("unused", Value::Int(0)),
+            HostSpec::new("b2")
+                .with_input("n", Value::Int(20))
+                .with_input("unused", Value::Int(0)),
             HostSpec::new("c").trusted().with_input("n", Value::Int(30)),
-            &params,
-            &mut rng,
-        ),
-    ]
+        ],
+        &params,
+        &mut rng,
+    )
 }
 
-/// Runs one cell.
-pub fn run_cell(mechanism: MechanismKind, scenario: &ScenarioSpec) -> DetectionCell {
-    let exec = ExecConfig::default();
+/// Runs one cell through the uniform mechanism API.
+pub fn run_cell(mechanism: &dyn ProtectionMechanism, scenario: &ScenarioSpec) -> DetectionCell {
+    let mut hosts = matrix_hosts(scenario.attack.clone());
+    let directory = host_directory(&hosts);
+    let config = MechanismConfig::default();
     let log = EventLog::new();
-    let agent = matrix_agent();
-    let (detected, completed) = match mechanism {
-        MechanismKind::Unprotected => {
-            let mut hosts = matrix_hosts(scenario.attack.clone(), 1);
-            let r = refstate_platform::run_plain_journey(&mut hosts, "a", agent, &exec, &log, 10);
-            (false, r.is_ok())
-        }
-        MechanismKind::StateAppraisal => {
-            let mut hosts = matrix_hosts(scenario.attack.clone(), 2);
-            // The appraisal rules express what a programmer plausibly
-            // writes: total defined and non-negative, hop counter in range.
-            let rules = RuleSet::new()
-                .rule("total-defined", Pred::Defined("total".into()))
-                .rule(
-                    "total-non-negative",
-                    Pred::cmp(CmpOp::Ge, Expr::var("total"), Expr::int(0)),
-                )
-                .rule(
-                    "hops-in-range",
-                    Pred::cmp(CmpOp::Le, Expr::var("hops"), Expr::int(3)),
-                );
-            match run_appraised_journey(&mut hosts, "a", agent, &rules, &[], &exec, &log, 10) {
-                Ok(outcome) => (!outcome.clean(), outcome.clean()),
-                Err(_) => (false, false),
-            }
-        }
-        MechanismKind::FrameworkReExecution => {
-            let mut hosts = matrix_hosts(scenario.attack.clone(), 3);
-            let config = ProtectionConfig::new(Arc::new(ReExecutionChecker::new()));
-            match run_framework_journey(&mut hosts, "a", ProtectedAgent::new(agent, config), &log) {
-                Ok(outcome) => {
-                    let detected = outcome.fraud.is_some();
-                    (detected, !detected)
-                }
-                Err(_) => (false, false),
-            }
-        }
-        MechanismKind::SessionCheckingProtocol => {
-            let mut hosts = matrix_hosts(scenario.attack.clone(), 4);
-            match run_protected_journey(&mut hosts, "a", agent, &ProtocolConfig::default(), &log) {
-                Ok(outcome) => {
-                    let detected = outcome.fraud.is_some();
-                    (detected, !detected)
-                }
-                Err(_) => (false, false),
-            }
-        }
-        MechanismKind::ExecutionTraces => {
-            let mut hosts = matrix_hosts(scenario.attack.clone(), 5);
-            let mut dir = KeyDirectory::new();
-            for h in &hosts {
-                dir.register(h.id().as_str(), h.public_key().clone());
-            }
-            let program = agent.program.clone();
-            match run_traced_journey(&mut hosts, "a", agent, &exec, &log, 10) {
-                Ok(journey) => {
-                    let report = audit_journey(&journey, &program, &dir, &exec, &log);
-                    (!report.clean(), true)
-                }
-                Err(_) => (false, false),
-            }
-        }
-        MechanismKind::ServerReplication => {
-            // Replicate only the untrusted middle stage; first and last
-            // stages are single trusted hosts. The middle attack host is
-            // replica b, outvoted by b1/b2.
-            let mut rng = StdRng::seed_from_u64(6);
-            let params = DsaParams::test_group_256();
-            let mut b = HostSpec::new("b")
-                .with_input("n", Value::Int(20))
-                .with_input("unused", Value::Int(0));
-            if let Some(a) = scenario.attack.clone() {
-                b = b.malicious(a);
-            }
-            let mut hosts = vec![
-                Host::new(
-                    HostSpec::new("a").trusted().with_input("n", Value::Int(10)),
-                    &params,
-                    &mut rng,
-                ),
-                Host::new(b, &params, &mut rng),
-                Host::new(
-                    HostSpec::new("b1").with_input("n", Value::Int(20)),
-                    &params,
-                    &mut rng,
-                ),
-                Host::new(
-                    HostSpec::new("b2").with_input("n", Value::Int(20)),
-                    &params,
-                    &mut rng,
-                ),
-                Host::new(
-                    HostSpec::new("c").trusted().with_input("n", Value::Int(30)),
-                    &params,
-                    &mut rng,
-                ),
-            ];
-            let stages = vec![
-                StageSpec::new(["a"]),
-                StageSpec::new(["b", "b1", "b2"]),
-                StageSpec::new(["c"]),
-            ];
-            match run_replicated_pipeline(&mut hosts, &stages, agent, &exec, &log) {
-                Ok(outcome) => (!outcome.suspects.is_empty(), outcome.final_state.is_some()),
-                Err(_) => (false, false),
-            }
-        }
-    };
+    let route = vec![HostId::new("a"), HostId::new("b"), HostId::new("c")];
+    let mut ctx = JourneyCtx::new(
+        &mut hosts,
+        route,
+        matrix_agent(),
+        &directory,
+        &config,
+        &log,
+        2,
+    )
+    .with_stages(vec![
+        StageSpec::new(["a"]),
+        StageSpec::new(["b", "b1", "b2"]),
+        StageSpec::new(["c"]),
+    ]);
+    let verdict = mechanism.run(&mut ctx);
     DetectionCell {
-        mechanism,
+        mechanism: mechanism.name(),
         scenario: scenario.label,
-        detected,
-        completed,
+        detected: verdict.detected,
+        completed: verdict.completed,
     }
 }
 
-/// Runs the full matrix.
+/// Runs the full matrix over every registered mechanism.
 pub fn detection_matrix() -> Vec<DetectionCell> {
+    let registry = MechanismRegistry::builtin();
     let scenarios = standard_scenarios();
-    MechanismKind::ALL
+    registry
         .iter()
-        .flat_map(|m| scenarios.iter().map(move |s| run_cell(*m, s)))
+        .flat_map(|m| scenarios.iter().map(|s| run_cell(m.as_ref(), s)))
         .collect()
 }
 
-/// Renders the matrix as an ASCII table.
+/// Renders the matrix as an ASCII table (rows in registry order).
 pub fn render_matrix(cells: &[DetectionCell]) -> String {
     let scenarios = standard_scenarios();
+    let mut rows: Vec<&'static str> = Vec::new();
+    for cell in cells {
+        if !rows.contains(&cell.mechanism) {
+            rows.push(cell.mechanism);
+        }
+    }
     let mut out = String::new();
     out.push_str(&format!("{:<20}", "mechanism \\ attack"));
     for s in &scenarios {
         out.push_str(&format!(" {:>18}", s.label));
     }
     out.push('\n');
-    for m in MechanismKind::ALL {
-        out.push_str(&format!("{:<20}", m.name()));
+    for mechanism in rows {
+        out.push_str(&format!("{mechanism:<20}"));
         for s in &scenarios {
             let cell = cells
                 .iter()
-                .find(|c| c.mechanism == m && c.scenario == s.label)
+                .find(|c| c.mechanism == mechanism && c.scenario == s.label)
                 .expect("matrix complete");
             out.push_str(&format!(
                 " {:>18}",
@@ -398,17 +279,19 @@ pub fn render_matrix(cells: &[DetectionCell]) -> String {
 mod tests {
     use super::*;
 
-    fn cell(m: MechanismKind, label: &str) -> DetectionCell {
+    fn cell(mechanism: &str, label: &str) -> DetectionCell {
+        let registry = MechanismRegistry::builtin();
+        let mechanism = registry.get(mechanism).expect("known mechanism");
         let scenario = standard_scenarios()
             .into_iter()
             .find(|s| s.label == label)
             .expect("known scenario");
-        run_cell(m, &scenario)
+        run_cell(mechanism.as_ref(), &scenario)
     }
 
     #[test]
     fn honest_runs_never_flagged() {
-        for m in MechanismKind::ALL {
+        for m in MechanismRegistry::builtin().names() {
             let c = cell(m, "honest");
             assert!(!c.detected, "{m} false-positived an honest run");
         }
@@ -417,19 +300,14 @@ mod tests {
     #[test]
     fn unprotected_detects_nothing() {
         for s in standard_scenarios() {
-            let c = run_cell(MechanismKind::Unprotected, &s);
+            let c = cell("unprotected", s.label);
             assert!(!c.detected);
         }
     }
 
     #[test]
     fn strong_mechanisms_catch_state_attacks() {
-        for m in [
-            MechanismKind::FrameworkReExecution,
-            MechanismKind::SessionCheckingProtocol,
-            MechanismKind::ExecutionTraces,
-            MechanismKind::ServerReplication,
-        ] {
+        for m in ["framework", "protocol", "traces", "replication"] {
             for label in [
                 "tamper-variable",
                 "delete-variable",
@@ -445,11 +323,11 @@ mod tests {
 
     #[test]
     fn nobody_catches_input_or_read_attacks() {
-        for m in MechanismKind::ALL {
+        for m in MechanismRegistry::builtin().names() {
             for label in ["forge-input", "drop-input", "read-state"] {
                 // Replication DOES catch forged input: replicas with honest
                 // feeds outvote the forgery (replicated resources!).
-                if m == MechanismKind::ServerReplication && label == "forge-input" {
+                if m == "replication" && label == "forge-input" {
                     continue;
                 }
                 let c = cell(m, label);
@@ -460,41 +338,52 @@ mod tests {
 
     #[test]
     fn replication_catches_forged_input_thanks_to_replicated_resources() {
-        let c = cell(MechanismKind::ServerReplication, "forge-input");
+        let c = cell("replication", "forge-input");
         assert!(c.detected, "honest replicas outvote the forged input");
     }
 
     #[test]
     fn collusion_beats_session_checking_but_not_replication() {
-        let c = cell(MechanismKind::SessionCheckingProtocol, "collude-next");
+        let c = cell("protocol", "collude-next");
         assert!(!c.detected, "the accomplice skips the check (§5.1)");
-        let c = cell(MechanismKind::ServerReplication, "collude-next");
+        let c = cell("replication", "collude-next");
         assert!(c.detected, "the colluders are not in the same voting stage");
         // The generic framework driver has no collusion modelling — the
         // check runs regardless, so the tampering is caught.
-        let c = cell(MechanismKind::FrameworkReExecution, "collude-next");
+        let c = cell("framework", "collude-next");
         assert!(c.detected);
     }
 
     #[test]
     fn appraisal_misses_rule_preserving_attacks() {
         // scale by 3 keeps total >= 0: invisible to the rule set.
-        let c = cell(MechanismKind::StateAppraisal, "scale-int");
+        let c = cell("appraisal", "scale-int");
         assert!(!c.detected);
         // Deleting "total" violates the Defined rule: caught.
-        let c = cell(MechanismKind::StateAppraisal, "delete-variable");
+        let c = cell("appraisal", "delete-variable");
         assert!(c.detected);
+    }
+
+    #[test]
+    fn appraisal_catches_rule_violating_tampering() {
+        // The standard tamper forgery is negative (see
+        // `standard_scenarios`), so it violates `total-non-negative` and
+        // the appraisal row shows its rule bandwidth on these cells too.
+        let c = cell("appraisal", "tamper-variable");
+        assert!(c.detected);
+        let c = cell("appraisal", "collude-next");
+        assert!(c.detected, "rules run on arrival regardless of collusion");
     }
 
     #[test]
     fn full_matrix_has_all_cells() {
         let cells = detection_matrix();
-        assert_eq!(
-            cells.len(),
-            MechanismKind::ALL.len() * standard_scenarios().len()
-        );
+        let registry = MechanismRegistry::builtin();
+        assert_eq!(cells.len(), registry.len() * standard_scenarios().len());
         let rendered = render_matrix(&cells);
-        assert!(rendered.contains("session checking"));
+        for name in registry.names() {
+            assert!(rendered.contains(name), "row for {name}");
+        }
         assert!(rendered.contains("DETECTED"));
     }
 }

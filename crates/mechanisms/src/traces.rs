@@ -320,7 +320,9 @@ pub fn audit_journey(
             }
         };
 
-        // 1. The commitment signature must verify.
+        // 1. The commitment signature must verify. Checked lazily (one
+        //    fused double exponentiation via `Signed::verify`) so a
+        //    failing session keeps the audit's early exit.
         if signed.verify(directory).is_err() {
             return fail(
                 FailureReason::ProgramRejected {
