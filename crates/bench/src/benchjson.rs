@@ -1,0 +1,437 @@
+//! A minimal JSON reader and the schemas of the committed `BENCH_*.json`
+//! perf-trajectory files.
+//!
+//! The workspace has no serde (offline build, vendored shims only), but
+//! CI must be able to prove that the benchmark artifacts at the repo root
+//! still parse and still carry the fields the README's trajectory tables
+//! and future PRs diff against — a hand-edited or half-written file
+//! should fail the build, not rot silently. This module implements the
+//! few hundred lines that buys: a strict recursive-descent JSON parser
+//! ([`parse`]) and one schema predicate per artifact
+//! ([`check_bigint_schema`], [`check_fleet_schema`]), driven by the
+//! `check_bench_json` binary in CI.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, which covers the bench fields).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is not preserved (keys are sorted).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on objects; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// A parse or schema failure, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+fn err(pos: usize, what: &str) -> JsonError {
+    JsonError(format!("at byte {pos}: {what}"))
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected '{}'", ch as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, &format!("expected '{word}'")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err(start, &format!("invalid number {text:?}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let start = *pos;
+    // Accumulate raw bytes and decode as UTF-8 once at the closing quote,
+    // so multi-byte characters survive intact; escapes append their
+    // characters' UTF-8 encodings.
+    let mut out: Vec<u8> = Vec::new();
+    let push_char = |out: &mut Vec<u8>, c: char| {
+        let mut buf = [0u8; 4];
+        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+    };
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| err(start, "string is not valid UTF-8"));
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "non-ascii \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        // Surrogates are not paired; the bench files never
+                        // contain them.
+                        push_char(&mut out, char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn require_num(value: &Json, path: &str, key: &str) -> Result<f64, JsonError> {
+    value
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| JsonError(format!("{path}.{key}: missing or not a number")))
+}
+
+fn require_positive(value: &Json, path: &str, key: &str) -> Result<f64, JsonError> {
+    let n = require_num(value, path, key)?;
+    if n > 0.0 {
+        Ok(n)
+    } else {
+        Err(JsonError(format!(
+            "{path}.{key}: must be positive, got {n}"
+        )))
+    }
+}
+
+/// Validates the `BENCH_bigint.json` schema: `bench == "bigint"`, a
+/// non-empty `cases` array whose entries carry the three per-path timings
+/// (positive ns/op) plus `group` and `op` labels.
+pub fn check_bigint_schema(doc: &Json) -> Result<(), JsonError> {
+    if doc.get("bench").and_then(Json::as_str) != Some("bigint") {
+        return Err(JsonError("bench: expected \"bigint\"".into()));
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError("cases: missing or not an array".into()))?;
+    if cases.is_empty() {
+        return Err(JsonError("cases: must not be empty".into()));
+    }
+    for (i, case) in cases.iter().enumerate() {
+        let path = format!("cases[{i}]");
+        for key in ["group", "op"] {
+            if case.get(key).and_then(Json::as_str).is_none() {
+                return Err(JsonError(format!("{path}.{key}: missing or not a string")));
+            }
+        }
+        for key in ["schoolbook_ns", "montgomery_ns", "fixed_base_ns"] {
+            require_positive(case, &path, key)?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates the `BENCH_fleet.json` schema: `bench == "fleet"`, positive
+/// `scenarios`/`seed`, and for each of the `mixed` and `replicated`
+/// blocks a positive `journeys_per_sec` plus a non-empty
+/// `latency_percentiles` map whose entries carry `p50_us`/`p90_us`/
+/// `p99_us`/`max_us`.
+pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
+    if doc.get("bench").and_then(Json::as_str) != Some("fleet") {
+        return Err(JsonError("bench: expected \"fleet\"".into()));
+    }
+    require_positive(doc, "$", "scenarios")?;
+    require_num(doc, "$", "seed")?;
+    for block_name in ["mixed", "replicated"] {
+        let block = doc
+            .get(block_name)
+            .ok_or_else(|| JsonError(format!("{block_name}: missing block")))?;
+        require_positive(block, block_name, "workers")?;
+        require_positive(block, block_name, "wall_seconds")?;
+        require_positive(block, block_name, "scenarios_per_sec")?;
+        require_positive(block, block_name, "journeys_per_sec")?;
+        let latencies = block
+            .get("latency_percentiles")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| {
+                JsonError(format!(
+                    "{block_name}.latency_percentiles: missing or not an object"
+                ))
+            })?;
+        if latencies.is_empty() {
+            return Err(JsonError(format!(
+                "{block_name}.latency_percentiles: must not be empty"
+            )));
+        }
+        for (mechanism, stats) in latencies {
+            let path = format!("{block_name}.latency_percentiles.{mechanism}");
+            for key in ["p50_us", "p90_us", "p99_us", "max_us"] {
+                require_positive(stats, &path, key)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(parse("-3.5e2").unwrap(), Json::Num(-350.0));
+        assert_eq!(parse("\"hi\\n\"").unwrap(), Json::Str("hi\n".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        let arr = doc.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert_eq!(arr[1].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "{\"a\":}"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_escape_round_trips() {
+        assert_eq!(parse(r#""\u0041""#).unwrap(), Json::Str("A".into()));
+        assert_eq!(parse(r#""\u00b5s""#).unwrap(), Json::Str("µs".into()));
+    }
+
+    #[test]
+    fn multi_byte_utf8_survives() {
+        assert_eq!(
+            parse("\"µs → fast\"").unwrap(),
+            Json::Str("µs → fast".into())
+        );
+    }
+
+    #[test]
+    fn bigint_schema_accepts_valid_and_rejects_broken() {
+        let good = r#"{"bench":"bigint","cases":[
+            {"group":"512","op":"pow_mod","schoolbook_ns":100.0,
+             "montgomery_ns":30.0,"fixed_base_ns":10.0}]}"#;
+        assert!(check_bigint_schema(&parse(good).unwrap()).is_ok());
+
+        let wrong_name = r#"{"bench":"fleet","cases":[]}"#;
+        assert!(check_bigint_schema(&parse(wrong_name).unwrap()).is_err());
+        let empty = r#"{"bench":"bigint","cases":[]}"#;
+        assert!(check_bigint_schema(&parse(empty).unwrap()).is_err());
+        let negative = r#"{"bench":"bigint","cases":[
+            {"group":"512","op":"pow_mod","schoolbook_ns":-1,
+             "montgomery_ns":30.0,"fixed_base_ns":10.0}]}"#;
+        assert!(check_bigint_schema(&parse(negative).unwrap()).is_err());
+    }
+
+    #[test]
+    fn fleet_schema_accepts_the_committed_shape() {
+        let good = r#"{"bench":"fleet","scenarios":256,"seed":42,
+            "mixed":{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
+                "journeys_per_sec":50.0,"latency_percentiles":{
+                    "protocol":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}},
+            "replicated":{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
+                "journeys_per_sec":50.0,"latency_percentiles":{
+                    "protocol":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}}}"#;
+        assert!(check_fleet_schema(&parse(good).unwrap()).is_ok());
+
+        let missing_block = r#"{"bench":"fleet","scenarios":256,"seed":42,
+            "mixed":{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
+                "journeys_per_sec":50.0,"latency_percentiles":{
+                    "protocol":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}}}"#;
+        assert!(check_fleet_schema(&parse(missing_block).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! CI gate for the committed perf-trajectory artifacts.
+//!
+//! Reads `BENCH_fleet.json` and `BENCH_bigint.json` from the workspace
+//! root (or the paths given as arguments, in that order), parses them
+//! with the in-repo JSON reader, and validates their schemas — so a perf
+//! artifact that stops being regenerable, or gets hand-edited into an
+//! unparseable state, fails the build instead of rotting silently.
+//!
+//! ```text
+//! cargo run -p refstate-bench --bin check_bench_json
+//! cargo run -p refstate-bench --bin check_bench_json -- fleet.json bigint.json
+//! ```
+
+use std::process::ExitCode;
+
+use refstate_bench::benchjson::{check_bigint_schema, check_fleet_schema, parse, Json, JsonError};
+
+fn workspace_file(name: &str) -> String {
+    format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_one(path: &str, schema: impl Fn(&Json) -> Result<(), JsonError>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: parse error {e}"))?;
+    schema(&doc).map_err(|e| format!("{path}: schema violation: {e}"))?;
+    println!("ok: {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fleet = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| workspace_file("BENCH_fleet.json"));
+    let bigint = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| workspace_file("BENCH_bigint.json"));
+
+    let mut failed = false;
+    for result in [
+        check_one(&fleet, check_fleet_schema),
+        check_one(&bigint, check_bigint_schema),
+    ] {
+        if let Err(message) = result {
+            eprintln!("FAIL: {message}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

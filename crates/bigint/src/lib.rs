@@ -10,12 +10,17 @@
 //!   multiplication and Knuth Algorithm D division,
 //! * modular arithmetic ([`Uint::pow_mod`], [`Uint::inv_mod`],
 //!   [`Uint::mul_mod`]),
+//! * a Montgomery reduction context ([`Montgomery`]) with sliding-window
+//!   exponentiation, and a fixed-base precomputed-table exponentiator
+//!   ([`FixedBase`]) for bases that recur across many exponentiations,
 //! * probabilistic primality testing and prime generation
 //!   ([`is_probable_prime`], [`gen_prime`]).
 //!
-//! The implementation favours clarity and testability over raw speed: all
-//! operations are portable Rust (no assembly, no SIMD) but comfortably fast
-//! enough for the 512-bit DSA groups the paper's measurements use.
+//! All operations are portable Rust (no assembly, no SIMD). The schoolbook
+//! [`Uint`] operations favour clarity and serve as the reference oracle;
+//! the [`Montgomery`]/[`FixedBase`] layer is the performance path the DSA
+//! hot loops run on, property-tested to agree with the schoolbook results
+//! on every input.
 //!
 //! # Examples
 //!
@@ -36,12 +41,16 @@ mod arith;
 mod div;
 mod error;
 mod modular;
+mod montgomery;
 mod prime;
 mod random;
 mod signed;
 mod uint;
+mod window;
 
 pub use error::ParseUintError;
+pub use montgomery::{MontInt, Montgomery};
 pub use prime::{gen_prime, is_probable_prime, SMALL_PRIMES};
 pub use random::{random_below, random_bits, random_exact_bits, random_in_unit_range};
 pub use uint::Uint;
+pub use window::FixedBase;

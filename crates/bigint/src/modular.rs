@@ -1,10 +1,30 @@
 //! Modular arithmetic: `mul_mod`, `pow_mod`, `inv_mod`, `gcd`.
+//!
+//! These are the *schoolbook* operations: every reduction is a full
+//! multi-precision division (Knuth Algorithm D), which makes them simple,
+//! obviously correct, and modulus-agnostic — they accept any non-zero
+//! modulus, even or odd, and operands of any size. They double as the
+//! reference oracle the property tests compare the fast paths against.
+//!
+//! When many operations share one **odd** modulus, build a
+//! [`Montgomery`](crate::Montgomery) context instead (division-free REDC
+//! reduction, sliding-window exponentiation); when additionally the *base*
+//! is fixed across exponentiations, layer a
+//! [`FixedBase`](crate::FixedBase) table on top. Both agree with the
+//! operations here on every input, by proptest.
 
 use crate::signed::Int;
 use crate::uint::Uint;
 
 impl Uint {
-    /// Computes `(self * other) mod modulus`.
+    /// Computes `(self * other) mod modulus` by full multiplication
+    /// followed by one Algorithm D reduction.
+    ///
+    /// Operands need not be reduced; the result always is. Cost is
+    /// `O(a·b)` limb products plus an `O((a+b)·m)` division — for repeated
+    /// multiplications modulo one odd modulus,
+    /// [`Montgomery::mul_mod`](crate::Montgomery::mul_mod) amortizes
+    /// better.
     ///
     /// # Panics
     ///
@@ -43,8 +63,20 @@ impl Uint {
         }
     }
 
-    /// Computes `self ^ exponent mod modulus` by left-to-right
-    /// square-and-multiply.
+    /// Computes `self ^ exponent mod modulus` by left-to-right binary
+    /// square-and-multiply: one squaring per exponent bit plus one
+    /// multiplication per *set* bit, every product reduced by a full
+    /// division.
+    ///
+    /// This is the schoolbook reference. For odd moduli,
+    /// [`Montgomery::pow_mod`](crate::Montgomery::pow_mod) computes the
+    /// same function several times faster (division-free inner loop,
+    /// sliding window), and [`FixedBase`](crate::FixedBase) drops the
+    /// squarings entirely when the base recurs; both are property-tested
+    /// to agree with this method.
+    ///
+    /// Edge cases follow the usual conventions: `x^0 mod m = 1` for any
+    /// `x` (including 0), and any power modulo 1 is 0.
     ///
     /// # Panics
     ///

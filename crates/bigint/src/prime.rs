@@ -2,6 +2,7 @@
 
 use rand::RngCore;
 
+use crate::montgomery::Montgomery;
 use crate::random::{random_exact_bits, random_in_unit_range};
 use crate::uint::Uint;
 
@@ -22,7 +23,10 @@ pub const SMALL_PRIMES: [u64; 168] = [
 /// Miller–Rabin with random bases.
 ///
 /// A composite passes with probability at most `4^-rounds`; 40 rounds is
-/// standard for cryptographic use.
+/// standard for cryptographic use. Every candidate that survives trial
+/// division is odd, so the witness exponentiations run through one shared
+/// [`Montgomery`] context — the whole round stays in the Montgomery
+/// domain, division-free.
 ///
 /// ```
 /// use rand::SeedableRng;
@@ -55,18 +59,24 @@ pub fn is_probable_prime(n: &Uint, rounds: u32, rng: &mut dyn RngCore) -> bool {
         s += 1;
     }
 
+    // Trial division caught every even candidate (and n == 2), so n is
+    // odd here and the context always exists.
+    let ctx = Montgomery::new(n).expect("candidates surviving trial division are odd and > 2");
+    let one_m = ctx.one_mont();
+    let n_minus_1_m = ctx.to_mont(&n_minus_1);
+
     'witness: for _ in 0..rounds {
         let a = random_in_unit_range(rng, &n_minus_1);
         if a.is_one() {
             continue;
         }
-        let mut x = a.pow_mod(&d, n);
-        if x.is_one() || x == n_minus_1 {
+        let mut x = ctx.mont_pow(&ctx.to_mont(&a), &d);
+        if x == one_m || x == n_minus_1_m {
             continue;
         }
         for _ in 0..s - 1 {
-            x = x.mul_mod(&x, n);
-            if x == n_minus_1 {
+            x = ctx.mont_mul(&x, &x);
+            if x == n_minus_1_m {
                 continue 'witness;
             }
         }

@@ -1,0 +1,238 @@
+//! Fixed-base exponentiation: a precomputed radix-`2^w` digit table for
+//! one base that recurs across many exponentiations.
+//!
+//! A generic modular exponentiation squares its way along the exponent —
+//! `bits` squarings plus a multiply every few bits. When the *base* is
+//! fixed (a group generator `g`, a public key `y`) the squarings can be
+//! precomputed once: write the exponent in base `2^w` digits
+//! `e = Σ eᵢ·2^(w·i)` and store `base^(j·2^(w·i))` for every digit
+//! position `i` and digit value `j`. An exponentiation is then just one
+//! Montgomery multiplication per **non-zero digit** — for a 160-bit
+//! exponent and `w = 4`, at most 40 multiplications where the generic
+//! ladder pays ~160 squarings plus ~40 multiplications.
+//!
+//! The table lives in the Montgomery domain of a shared [`Montgomery`]
+//! context, so several tables over the same modulus (a generator table and
+//! per-key tables) compose: `g^u1 · y^u2 mod p` is two table walks and a
+//! single [`Montgomery::mont_mul`], never leaving the domain.
+//!
+//! # Invariants
+//!
+//! * The table is sized for exponents up to `max_exp_bits`; larger
+//!   exponents transparently fall back to the context's generic
+//!   sliding-window ladder ([`Montgomery::mont_pow`]) — correct, just not
+//!   table-accelerated.
+//! * Memory: `ceil(max_exp_bits / w) · (2^w - 1)` Montgomery residues of
+//!   modulus width (≈ 38 KiB for a 1024-bit modulus, 160-bit exponents,
+//!   `w = 4`).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use refstate_bigint::{FixedBase, Montgomery, Uint};
+//!
+//! let p = Uint::from(1_000_000_007u64);
+//! let ctx = Arc::new(Montgomery::new(&p).unwrap());
+//! let g = Uint::from(5u64);
+//! let table = FixedBase::new(ctx, &g, 64);
+//! let e = Uint::from(0xfeed_beefu64);
+//! assert_eq!(table.pow_mod(&e), g.pow_mod(&e, &p));
+//! ```
+
+use std::sync::Arc;
+
+use crate::montgomery::{MontInt, Montgomery};
+use crate::uint::Uint;
+
+/// Default digit width: 16-entry rows, one multiplication per 4 exponent
+/// bits. The sweet spot for the 160-bit DSA exponents this workspace
+/// signs and verifies with (table build cost amortizes within ~15
+/// exponentiations).
+const DEFAULT_WINDOW: usize = 4;
+
+/// A precomputed fixed-base exponentiator over one [`Montgomery`] context:
+/// write the exponent in radix-`2^w` digits and pay one Montgomery
+/// multiplication per non-zero digit — no squarings (algorithm and cost
+/// model at the top of this file).
+#[derive(Debug, Clone)]
+pub struct FixedBase {
+    mont: Arc<Montgomery>,
+    /// The base in Montgomery form (fallback path for oversized exponents).
+    base: MontInt,
+    /// Digit width `w` in bits (1..=8).
+    window: usize,
+    /// Number of digit positions covered by the table.
+    digits: usize,
+    /// Row-major: entry `i·(2^w - 1) + (j - 1)` is `base^(j·2^(w·i))` in
+    /// Montgomery form, `j` in `1..2^w`.
+    table: Vec<MontInt>,
+}
+
+impl FixedBase {
+    /// Precomputes a table for `base` modulo the context's modulus,
+    /// covering exponents of up to `max_exp_bits` bits, with the default
+    /// digit width.
+    pub fn new(mont: Arc<Montgomery>, base: &Uint, max_exp_bits: usize) -> Self {
+        Self::with_window(mont, base, max_exp_bits, DEFAULT_WINDOW)
+    }
+
+    /// [`FixedBase::new`] with an explicit digit width `window` (clamped
+    /// to `1..=8`).
+    pub fn with_window(
+        mont: Arc<Montgomery>,
+        base: &Uint,
+        max_exp_bits: usize,
+        window: usize,
+    ) -> Self {
+        let window = window.clamp(1, 8);
+        let digits = max_exp_bits.div_ceil(window).max(1);
+        let row = (1usize << window) - 1;
+        let base_mont = mont.to_mont(base);
+
+        let mut table = Vec::with_capacity(digits * row);
+        // `position` walks base^(2^(w·i)); each row holds its powers 1..2^w.
+        let mut position = base_mont.clone();
+        for _ in 0..digits {
+            let mut power = position.clone();
+            table.push(power.clone());
+            for _ in 2..=row {
+                power = mont.mont_mul(&power, &position);
+                table.push(power.clone());
+            }
+            // base^(2^(w·(i+1))) = base^((2^w - 1)·2^(w·i)) · base^(2^(w·i)).
+            position = mont.mont_mul(&power, &position);
+        }
+        FixedBase {
+            mont,
+            base: base_mont,
+            window,
+            digits,
+            table,
+        }
+    }
+
+    /// The context whose domain the table's entries live in.
+    pub fn context(&self) -> &Arc<Montgomery> {
+        &self.mont
+    }
+
+    /// Raises the fixed base to `exponent`, returning the result in the
+    /// Montgomery domain (one multiplication per non-zero digit).
+    ///
+    /// Stays in the domain so callers can fuse several fixed-base results
+    /// (`g^u1 · y^u2`) with [`Montgomery::mont_mul`] before converting out
+    /// once.
+    pub fn pow(&self, exponent: &Uint) -> MontInt {
+        let bits = exponent.bit_len();
+        if bits > self.digits * self.window {
+            // Oversized exponent: correct generic fallback.
+            return self.mont.mont_pow(&self.base, exponent);
+        }
+        let row = (1usize << self.window) - 1;
+        let mut acc = self.mont.one_mont();
+        let used_digits = bits.div_ceil(self.window);
+        for i in 0..used_digits {
+            let mut digit = 0usize;
+            for b in (0..self.window).rev() {
+                digit = (digit << 1) | exponent.bit(i * self.window + b) as usize;
+            }
+            if digit != 0 {
+                acc = self.mont.mont_mul(&acc, &self.table[i * row + digit - 1]);
+            }
+        }
+        acc
+    }
+
+    /// Raises the fixed base to `exponent`, returning an ordinary integer
+    /// in `[0, modulus)`.
+    ///
+    /// Agrees with the schoolbook `base.pow_mod(exponent, modulus)` for
+    /// every exponent (property-tested).
+    pub fn pow_mod(&self, exponent: &Uint) -> Uint {
+        self.mont.from_mont(&self.pow(exponent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: u64) -> Arc<Montgomery> {
+        Arc::new(Montgomery::new(&Uint::from(n)).unwrap())
+    }
+
+    #[test]
+    fn matches_schoolbook_across_exponents() {
+        let m = ctx(1_000_000_007);
+        let g = Uint::from(5u64);
+        let table = FixedBase::new(m, &g, 64);
+        for e in [0u64, 1, 2, 15, 16, 17, 255, 1 << 40, u64::MAX] {
+            let e = Uint::from(e);
+            assert_eq!(
+                table.pow_mod(&e),
+                g.pow_mod(&e, &Uint::from(1_000_000_007u64)),
+                "exponent {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_window_widths_agree() {
+        let n = Uint::from(99991u64);
+        let g = Uint::from(7u64);
+        let e = Uint::from(0x1234_5678_9abcu64);
+        let reference = g.pow_mod(&e, &n);
+        for w in 1..=8 {
+            let m = Arc::new(Montgomery::new(&n).unwrap());
+            let table = FixedBase::with_window(m, &g, 48, w);
+            assert_eq!(table.pow_mod(&e), reference, "window {w}");
+        }
+    }
+
+    #[test]
+    fn oversized_exponent_falls_back() {
+        let m = ctx(1_000_000_007);
+        let g = Uint::from(3u64);
+        // Table sized for 16-bit exponents; drive a 64-bit one through it.
+        let table = FixedBase::new(m, &g, 16);
+        let e = Uint::from(u64::MAX);
+        assert_eq!(
+            table.pow_mod(&e),
+            g.pow_mod(&e, &Uint::from(1_000_000_007u64))
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_one() {
+        let m = ctx(497);
+        let table = FixedBase::new(m, &Uint::from(4u64), 16);
+        assert_eq!(table.pow_mod(&Uint::zero()), Uint::one());
+    }
+
+    #[test]
+    fn fused_double_exponentiation_in_domain() {
+        // g^x · h^y through two tables and one mont_mul.
+        let n = Uint::from(1_000_000_007u64);
+        let m = Arc::new(Montgomery::new(&n).unwrap());
+        let (g, h) = (Uint::from(5u64), Uint::from(11u64));
+        let gt = FixedBase::new(m.clone(), &g, 64);
+        let ht = FixedBase::new(m.clone(), &h, 64);
+        let (x, y) = (Uint::from(123_456u64), Uint::from(654_321u64));
+        let fused = m.from_mont(&m.mont_mul(&gt.pow(&x), &ht.pow(&y)));
+        let split = g.pow_mod(&x, &n).mul_mod(&h.pow_mod(&y, &n), &n);
+        assert_eq!(fused, split);
+    }
+
+    #[test]
+    fn reducible_base_is_reduced() {
+        let m = ctx(497);
+        let big_base = Uint::from(497u64 * 3 + 4);
+        let table = FixedBase::new(m, &big_base, 16);
+        let e = Uint::from(13u64);
+        assert_eq!(
+            table.pow_mod(&e),
+            Uint::from(4u64).pow_mod(&e, &Uint::from(497u64))
+        );
+    }
+}

@@ -1,8 +1,12 @@
 //! Property-based tests for the bigint crate: ring axioms, division
-//! invariants, conversion round-trips, and modular arithmetic laws.
+//! invariants, conversion round-trips, modular arithmetic laws, and the
+//! equivalence of the Montgomery / fixed-base fast paths with the
+//! schoolbook reference operations.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
-use refstate_bigint::Uint;
+use refstate_bigint::{FixedBase, Montgomery, Uint};
 
 /// Strategy: an arbitrary Uint up to ~256 bits built from raw bytes.
 fn uint() -> impl Strategy<Value = Uint> {
@@ -209,5 +213,74 @@ proptest! {
         // 2^(n-1) <= a < 2^n
         prop_assert!(a >= &Uint::one() << (n - 1));
         prop_assert!(a < &Uint::one() << n);
+    }
+}
+
+/// Strategy: a Uint of up to 1024 bits (exactly 128 raw bytes drawn, so
+/// values concentrate near full width).
+fn uint_1024() -> impl Strategy<Value = Uint> {
+    proptest::collection::vec(any::<u8>(), 128).prop_map(|bytes| Uint::from_be_bytes(&bytes))
+}
+
+/// Strategy: an odd modulus of up to 1024 bits, at least 3.
+fn odd_modulus_1024() -> impl Strategy<Value = Uint> {
+    uint_1024().prop_map(|v| {
+        let v = if v < Uint::from(3u64) {
+            Uint::from(3u64)
+        } else {
+            v
+        };
+        if v.is_even() {
+            &v + &Uint::one()
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    // 1024-bit operands make every case a full-width workout; a handful
+    // of cases per property keeps the (deliberately slow) schoolbook
+    // oracle affordable in debug builds.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Montgomery `mul_mod` agrees with the schoolbook `Uint::mul_mod`
+    /// on random 1024-bit operands and odd moduli.
+    #[test]
+    fn montgomery_mul_matches_schoolbook(a in uint_1024(), b in uint_1024(), m in odd_modulus_1024()) {
+        let ctx = Montgomery::new(&m).expect("modulus is odd and >= 3");
+        prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul_mod(&b, &m));
+    }
+
+    /// Montgomery sliding-window `pow_mod` agrees with the schoolbook
+    /// `Uint::pow_mod` on random 1024-bit bases, exponents, and moduli.
+    #[test]
+    fn montgomery_pow_matches_schoolbook(base in uint_1024(), exp in uint_1024(), m in odd_modulus_1024()) {
+        let ctx = Montgomery::new(&m).expect("modulus is odd and >= 3");
+        prop_assert_eq!(ctx.pow_mod(&base, &exp), base.pow_mod(&exp, &m));
+    }
+
+    /// Fixed-base table exponentiation agrees with the schoolbook
+    /// `Uint::pow_mod` on random 1024-bit operands, both inside the
+    /// table's sized range and through the oversized-exponent fallback.
+    #[test]
+    fn fixed_base_matches_schoolbook(base in uint_1024(), exp in uint_1024(), m in odd_modulus_1024()) {
+        let ctx = Arc::new(Montgomery::new(&m).expect("modulus is odd and >= 3"));
+        let table = FixedBase::new(Arc::clone(&ctx), &base, 1024);
+        prop_assert_eq!(table.pow_mod(&exp), base.pow_mod(&exp, &m));
+        // A table sized below the exponent exercises the fallback ladder.
+        let small = FixedBase::new(ctx, &base, 64);
+        prop_assert_eq!(small.pow_mod(&exp), base.pow_mod(&exp, &m));
+    }
+
+    /// Montgomery round-trip: to_mont/from_mont is the identity on
+    /// reduced values, and mont_mul composes like mul_mod.
+    #[test]
+    fn montgomery_domain_round_trip(a in uint_1024(), b in uint_1024(), m in odd_modulus_1024()) {
+        let ctx = Montgomery::new(&m).expect("modulus is odd and >= 3");
+        let ar = a.rem(&m);
+        prop_assert_eq!(ctx.from_mont(&ctx.to_mont(&ar)), ar);
+        let fused = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        prop_assert_eq!(fused, a.mul_mod(&b, &m));
     }
 }

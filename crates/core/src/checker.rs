@@ -183,11 +183,12 @@ pub(crate) fn state_diff(
 /// reference data is checked at once (one context per session, in journey
 /// order).
 ///
-/// Today the sessions are checked sequentially; the entry point exists so
-/// batch-friendly drivers (the fleet engine, the deferred-verification
-/// protocol path) have one seam to hand a journey's worth of checks to,
-/// and so future work can parallelize or share re-execution state across
-/// the batch without touching callers.
+/// This is the seam the protocol driver's owner-side check runs through
+/// (`refstate-core::protocol`'s final-session verification funnels its
+/// [`CheckContext`] here rather than replaying inline), so every
+/// owner-side bulk verification shares one entry point. Today the
+/// sessions are checked sequentially; future work can parallelize or
+/// share re-execution state across the batch without touching callers.
 pub fn check_sessions(
     algorithm: &dyn CheckingAlgorithm,
     contexts: &[CheckContext<'_>],

@@ -34,7 +34,10 @@ use refstate_platform::{AgentId, AgentImage, Event, EventLog, Host, HostId};
 use refstate_vm::{run_session, DataState, ExecConfig, InputLog, ReplayIo, SessionEnd, VmError};
 use refstate_wire::{from_wire, to_wire, Decode, Encode, Reader, WireError, Writer};
 
-use crate::checker::{state_diff, FailureReason};
+use crate::checker::{
+    check_sessions, state_diff, CheckContext, CheckOutcome, FailureReason, ReExecutionChecker,
+};
+use crate::refdata::ReferenceData;
 use crate::verdict::{CheckVerdict, FraudEvidence};
 
 /// The signed claim a host makes about one execution session.
@@ -664,38 +667,67 @@ fn run_journey_inner(
             None => {
                 // Task complete. The final session is checked by the owner
                 // (modelled as an owner-side verification pass when the
-                // halting host is untrusted).
+                // halting host is untrusted), routed through the
+                // [`check_sessions`] bulk seam — the single entry point
+                // every owner-side `checkAfterTask` verification funnels
+                // into, so batching/parallelism work lands in one place.
                 let host_trusted = hosts[host_index].is_trusted();
                 let mut fraud = None;
                 if !(config.skip_trusted && host_trusted) {
+                    // One certificate copy is unavoidable: the evidence
+                    // must keep `signed_cert` intact as the signed claim.
+                    // That copy's states and input then *move* into the
+                    // reference data (no further copies); the rare
+                    // failure path takes them back out below for the
+                    // evidence.
                     let cert = signed_cert.payload().clone();
                     let t = Instant::now();
-                    let mut replay = ReplayIo::new(&cert.input);
-                    let result = run_session(
-                        &image.program,
-                        cert.initial_state.clone(),
-                        &mut replay,
-                        &config.exec,
-                    );
+                    let mut data = ReferenceData {
+                        initial_state: Some(cert.initial_state),
+                        resulting_state: Some(cert.resulting_state),
+                        input: Some(cert.input),
+                        execution_log: None,
+                        resources: None,
+                        // State-only final check: the halt itself was the
+                        // observed session end, so there is no separate
+                        // migration claim to cross-check.
+                        claimed_next: None,
+                    };
+                    let contexts = [CheckContext {
+                        program: &image.program,
+                        data: &data,
+                        exec: config.exec.clone(),
+                    }];
+                    let outcome = check_sessions(&ReExecutionChecker::new(), &contexts)
+                        .pop()
+                        .expect("one context in, one outcome out");
+                    let failure = match outcome {
+                        CheckOutcome::Passed => None,
+                        CheckOutcome::Failed(reason) => Some(reason),
+                    };
+                    // Fraud evidence carries the *complete* reference
+                    // state; the checker reports digests only, so the
+                    // (rare) failure path re-derives it with one extra,
+                    // counted replay.
+                    let mut evidence = None;
+                    if failure.is_some() {
+                        let initial_state = data.initial_state.take().expect("moved in above");
+                        let claimed_state = data.resulting_state.take().expect("moved in above");
+                        let input = data.input.take().expect("moved in above");
+                        let mut replay = ReplayIo::new(&input);
+                        let reference_state = run_session(
+                            &image.program,
+                            initial_state.clone(),
+                            &mut replay,
+                            &config.exec,
+                        )
+                        .ok()
+                        .map(|o| o.state);
+                        stats.reexecutions += 1;
+                        evidence = Some((initial_state, claimed_state, input, reference_state));
+                    }
                     stats.checking += t.elapsed();
                     stats.reexecutions += 1;
-                    let (failure, reference_state) = match result {
-                        Err(e) => (
-                            Some(FailureReason::ReplayFailed {
-                                error: e.to_string(),
-                            }),
-                            None,
-                        ),
-                        Ok(o) if o.state != cert.resulting_state => (
-                            Some(FailureReason::StateMismatch {
-                                claimed: cert.resulting_digest(),
-                                reference: sha256(&to_wire(&o.state)),
-                                diff: state_diff(&cert.resulting_state, &o.state),
-                            }),
-                            Some(o.state),
-                        ),
-                        Ok(o) => (None, Some(o.state)),
-                    };
                     let passed = failure.is_none();
                     log.record(Event::CheckPerformed {
                         checker: current.clone(),
@@ -714,17 +746,18 @@ fn run_journey_inner(
                             detector: HostId::new("owner"),
                             reason: reason.to_string(),
                         });
-                        let cert = signed_cert.payload().clone();
+                        let (initial_state, claimed_state, input, reference_state) =
+                            evidence.expect("built whenever the check failed");
                         fraud = Some(FraudEvidence {
                             culprit: current.clone(),
                             detector: HostId::new("owner"),
                             agent: image.id.clone(),
                             seq,
                             reason,
-                            initial_state: cert.initial_state,
-                            claimed_state: cert.resulting_state,
+                            initial_state,
+                            claimed_state,
                             reference_state,
-                            input: cert.input,
+                            input,
                             signed_claim: Some(signed_cert),
                         });
                     }

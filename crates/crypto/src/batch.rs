@@ -6,11 +6,14 @@
 //! the protected-journey p50. A [`VerificationQueue`] trades timeliness
 //! for throughput: hops defer their signature checks and the journey
 //! settles the whole queue in one [`flush`](VerificationQueue::flush)
-//! through [`crate::verify_batch`], where every check runs as a single
-//! fused double exponentiation. Re-execution checks still run per hop —
-//! only the *authenticity* checks move to the end, so a forged certificate
-//! is caught at journey end instead of at the next hop (the deferred
-//! variant's documented trade-off).
+//! through [`crate::verify_batch`], where every check is two fixed-base
+//! table walks plus one Montgomery multiplication
+//! ([`crate::DsaPublicKey::verify_fused`]) — the repeated signers in a
+//! journey's queue hit the same cached `y`-tables back to back.
+//! Re-execution checks still run per hop — only the *authenticity* checks
+//! move to the end, so a forged certificate is caught at journey end
+//! instead of at the next hop (the deferred variant's documented
+//! trade-off).
 
 use refstate_wire::{to_wire, Encode};
 

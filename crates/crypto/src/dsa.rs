@@ -4,13 +4,36 @@
 //! implements the classic scheme over subgroups of prime order `q` inside
 //! `Z_p^*`, with SHA-256 as the message hash (truncated to the bit length of
 //! `q` as FIPS 186-4 §4.6 prescribes).
+//!
+//! # The acceleration layer
+//!
+//! Every DSA hot operation is an exponentiation modulo the same odd prime
+//! `p`, and the bases recur: signing computes `g^k`, key generation
+//! `g^x`, verification `g^u1 · y^u2`. [`DsaParams`] therefore lazily owns
+//! a [`Montgomery`] context for `p` plus a [`FixedBase`] table for `g`,
+//! and [`DsaPublicKey`] caches a [`FixedBase`] table for its `y`; both
+//! caches are `Arc`-shared across clones, so a key registered in a
+//! [`crate::KeyDirectory`] (or pooled by the fleet engine) builds its
+//! table once and every holder benefits. The fused verification path
+//! ([`DsaPublicKey::verify_fused`], and [`verify_batch`] on top of it)
+//! collapses to **two table walks and one Montgomery multiplication**.
+//!
+//! [`DsaPublicKey::verify`] deliberately stays on the schoolbook
+//! two-modexp path: it is the reference oracle the equivalence tests pin
+//! the fast paths against. All signing/verifying entry points the
+//! protocols use ([`DsaKeyPair::sign`], [`crate::Signed`],
+//! [`verify_batch`]) run on the accelerated path; parameters whose `p`
+//! cannot host a Montgomery context (an even `p` arriving over the wire)
+//! transparently fall back to schoolbook arithmetic.
 
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use rand::RngCore;
 use refstate_bigint::{
-    gen_prime, is_probable_prime, random_exact_bits, random_in_unit_range, Uint,
+    gen_prime, is_probable_prime, random_exact_bits, random_in_unit_range, FixedBase, Montgomery,
+    Uint,
 };
 use refstate_wire::{Decode, Encode, Reader, WireError, Writer};
 
@@ -18,6 +41,15 @@ use crate::sha256::sha256;
 
 /// Miller–Rabin rounds used for parameter generation.
 const MR_ROUNDS: u32 = 40;
+
+/// The lazily-built per-group acceleration state: a Montgomery context
+/// for `p` and a fixed-base table for the generator `g` (sized for
+/// exponents up to `|q|` bits — every DSA exponent is reduced mod `q`).
+#[derive(Debug)]
+pub(crate) struct GroupAccel {
+    pub(crate) mont: Arc<Montgomery>,
+    pub(crate) g_table: FixedBase,
+}
 
 /// Errors arising from invalid DSA domain parameters, keys, or signatures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,14 +85,87 @@ impl Error for SignatureError {}
 /// let params = DsaParams::test_group_256();
 /// assert_eq!(params.p().bit_len(), 256);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct DsaParams {
     p: Uint,
     q: Uint,
     g: Uint,
+    /// Lazily-built Montgomery context + `g`-table, `Arc`-shared across
+    /// clones (the precomputed groups hand every caller the same cache).
+    /// `None` inside the cell records that `p` cannot host a Montgomery
+    /// context (even `p` from an unvalidated wire decode) — schoolbook
+    /// fallback.
+    accel: Arc<OnceLock<Option<GroupAccel>>>,
 }
 
+impl fmt::Debug for DsaParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsaParams")
+            .field("p", &self.p)
+            .field("q", &self.q)
+            .field("g", &self.g)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for DsaParams {
+    fn eq(&self, other: &Self) -> bool {
+        // The accel cache is derived state; identity is (p, q, g).
+        self.p == other.p && self.q == other.q && self.g == other.g
+    }
+}
+
+impl Eq for DsaParams {}
+
+/// Upper bound on the exponent width the fixed-base tables are sized
+/// for. Real DSA subgroup orders are ≤ a few hundred bits; the cap only
+/// bites on *unvalidated* wire-decoded parameters, where an adversarial
+/// multi-kilobit `q` would otherwise make the first verification
+/// allocate a table proportional to `|q| · |p|` (a memory-amplification
+/// DoS the constant-memory schoolbook path never had). Exponents wider
+/// than the table transparently fall back to the generic Montgomery
+/// ladder, so correctness is unaffected.
+const MAX_TABLE_EXP_BITS: usize = 4096;
+
 impl DsaParams {
+    /// Wraps validated components with an empty acceleration cache.
+    fn assemble(p: Uint, q: Uint, g: Uint) -> Self {
+        DsaParams {
+            p,
+            q,
+            g,
+            accel: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// How many exponent bits the group's fixed-base tables cover: the
+    /// subgroup order's width, capped by [`MAX_TABLE_EXP_BITS`].
+    fn table_exp_bits(&self) -> usize {
+        self.q.bit_len().min(MAX_TABLE_EXP_BITS)
+    }
+
+    /// The per-group acceleration state, built on first use; `None` when
+    /// `p` is even (REDC impossible — fall back to schoolbook).
+    pub(crate) fn accel(&self) -> Option<&GroupAccel> {
+        self.accel
+            .get_or_init(|| {
+                let mont = Arc::new(Montgomery::new(&self.p)?);
+                let g_table = FixedBase::new(Arc::clone(&mont), &self.g, self.table_exp_bits());
+                Some(GroupAccel { mont, g_table })
+            })
+            .as_ref()
+    }
+
+    /// Computes `g ^ exponent mod p` on the fastest available path: the
+    /// fixed-base `g`-table when the group hosts one, schoolbook
+    /// otherwise. This is the exponentiation under every signature and
+    /// key generation.
+    pub fn pow_g(&self, exponent: &Uint) -> Uint {
+        match self.accel() {
+            Some(accel) => accel.g_table.pow_mod(exponent),
+            None => self.g.pow_mod(exponent, &self.p),
+        }
+    }
     /// Builds parameters from explicit values, validating the group
     /// structure (primality of `p` and `q`, `q | p - 1`, `g` of order `q`).
     ///
@@ -85,7 +190,7 @@ impl DsaParams {
         if !g.pow_mod(&q, &p).is_one() {
             return Err(SignatureError::InvalidParams("g does not have order q"));
         }
-        Ok(DsaParams { p, q, g })
+        Ok(DsaParams::assemble(p, q, g))
     }
 
     /// Builds parameters from trusted, pre-validated constants.
@@ -95,7 +200,7 @@ impl DsaParams {
     pub(crate) fn from_trusted(p: Uint, q: Uint, g: Uint) -> Self {
         debug_assert!((&p - &Uint::one()).rem(&q).is_zero());
         debug_assert!(g.pow_mod(&q, &p).is_one());
-        DsaParams { p, q, g }
+        DsaParams::assemble(p, q, g)
     }
 
     /// Generates fresh parameters with `p_bits`-bit `p` and `q_bits`-bit `q`.
@@ -127,7 +232,7 @@ impl DsaParams {
                 }
                 if is_probable_prime(&p, MR_ROUNDS, rng) {
                     let g = Self::find_generator(&p, &q, rng);
-                    return DsaParams { p, q, g };
+                    return DsaParams::assemble(p, q, g);
                 }
             }
             // Unlucky q; draw a new one.
@@ -137,9 +242,12 @@ impl DsaParams {
     fn find_generator(p: &Uint, q: &Uint, rng: &mut dyn RngCore) -> Uint {
         let p_minus_1 = p - &Uint::one();
         let exp = p_minus_1.divrem(q).0;
+        // `p` is prime (hence odd) here; the cofactor exponent is large,
+        // so the division-free ladder pays off even for one shot.
+        let mont = Montgomery::new(p).expect("p is an odd prime");
         loop {
             let h = random_in_unit_range(rng, &p_minus_1);
-            let g = h.pow_mod(&exp, p);
+            let g = mont.pow_mod(&h, &exp);
             if g > Uint::one() {
                 return g;
             }
@@ -196,7 +304,7 @@ impl Decode for DsaParams {
                 context: "DSA params",
             });
         }
-        Ok(DsaParams { p, q, g })
+        Ok(DsaParams::assemble(p, q, g))
     }
 }
 
@@ -235,13 +343,44 @@ impl Decode for Signature {
 }
 
 /// A DSA public key: the group parameters plus `y = g^x mod p`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct DsaPublicKey {
     params: DsaParams,
     y: Uint,
+    /// Lazily-built fixed-base table for `y`, `Arc`-shared across clones:
+    /// a key held by a [`crate::KeyDirectory`] (or a fleet key pool)
+    /// builds it once and every clone verifies through it.
+    y_table: Arc<OnceLock<Option<FixedBase>>>,
 }
 
+impl fmt::Debug for DsaPublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsaPublicKey")
+            .field("params", &self.params)
+            .field("y", &self.y)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for DsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The y-table is derived state; identity is (params, y).
+        self.params == other.params && self.y == other.y
+    }
+}
+
+impl Eq for DsaPublicKey {}
+
 impl DsaPublicKey {
+    /// Wraps components with an empty table cache.
+    fn assemble(params: DsaParams, y: Uint) -> Self {
+        DsaPublicKey {
+            params,
+            y,
+            y_table: Arc::new(OnceLock::new()),
+        }
+    }
+
     /// The domain parameters.
     pub fn params(&self) -> &DsaParams {
         &self.params
@@ -252,10 +391,43 @@ impl DsaPublicKey {
         &self.y
     }
 
+    /// The group accel plus this key's `y`-table, built on first use;
+    /// `None` when the group cannot host a Montgomery context.
+    fn y_accel(&self) -> Option<(&GroupAccel, &FixedBase)> {
+        let accel = self.params.accel()?;
+        let table = self
+            .y_table
+            .get_or_init(|| {
+                Some(FixedBase::new(
+                    Arc::clone(&accel.mont),
+                    &self.y,
+                    self.params.table_exp_bits(),
+                ))
+            })
+            .as_ref()?;
+        Some((accel, table))
+    }
+
+    /// Forces construction of the Montgomery context and both fixed-base
+    /// tables (`g` and `y`) now instead of on the first verification.
+    ///
+    /// Long-lived key holders — [`crate::KeyDirectory::warm`], the fleet
+    /// engine's pooled keys — call this once up front so first-use table
+    /// builds never land inside a measured journey.
+    pub fn precompute(&self) {
+        let _ = self.y_accel();
+    }
+
     /// Verifies `signature` over `message` (hashed with SHA-256 internally).
     ///
     /// Returns `false` for malformed components, never panics on hostile
     /// input.
+    ///
+    /// This is the *schoolbook reference* path: two independent
+    /// square-and-multiply exponentiations, no Montgomery arithmetic, no
+    /// tables. The accelerated [`DsaPublicKey::verify_fused`] is pinned to
+    /// agree with it by unit and property tests; everything hot goes
+    /// through the fused path.
     ///
     /// ```
     /// use rand::SeedableRng;
@@ -290,13 +462,18 @@ impl DsaPublicKey {
         v == *r
     }
 
-    /// [`DsaPublicKey::verify`] with the two exponentiations fused into one
-    /// Shamir double exponentiation (`g^u1 · y^u2 mod p` in a single
-    /// square-and-multiply pass over `max(|u1|, |u2|)` bits).
+    /// [`DsaPublicKey::verify`] on the accelerated path: `g^u1` and
+    /// `y^u2` come out of the group's and the key's precomputed
+    /// [`FixedBase`] tables as Montgomery residues, fused by a single
+    /// [`Montgomery`] multiplication — two table walks (one
+    /// multiplication per non-zero exponent digit, **no squarings**) per
+    /// verification.
     ///
     /// Identical accept/reject behaviour to [`DsaPublicKey::verify`] —
-    /// the batch property tests pin this — at roughly 60% of its cost.
-    /// [`verify_batch`] is built on this entry point.
+    /// the batch property tests pin this. [`verify_batch`] is built on
+    /// this entry point. Groups that cannot host a Montgomery context
+    /// fall back to one Shamir double exponentiation (`g^u1 · y^u2` in a
+    /// shared square-and-multiply ladder).
     pub fn verify_fused(&self, message: &[u8], signature: &Signature) -> bool {
         let q = &self.params.q;
         let p = &self.params.p;
@@ -312,7 +489,14 @@ impl DsaPublicKey {
         let z = self.params.hash_to_z(message);
         let u1 = z.mul_mod(&w, q);
         let u2 = r.mul_mod(&w, q);
-        let v = double_pow_mod(&self.params.g, &u1, &self.y, &u2, p).rem(q);
+        let v = match self.y_accel() {
+            Some((accel, y_table)) => {
+                let gm = accel.g_table.pow(&u1);
+                let ym = y_table.pow(&u2);
+                accel.mont.from_mont(&accel.mont.mont_mul(&gm, &ym)).rem(q)
+            }
+            None => double_pow_mod(&self.params.g, &u1, &self.y, &u2, p).rem(q),
+        };
         v == *r
     }
 }
@@ -354,10 +538,11 @@ pub struct BatchEntry<'a> {
 /// Each entry is judged exactly as [`DsaPublicKey::verify`] would judge it
 /// — no small-exponent aggregation tricks, which standard DSA rules out
 /// because `r` only retains `g^k mod p mod q` — but every check runs
-/// through the fused double exponentiation
-/// ([`DsaPublicKey::verify_fused`]), so a deferred queue flushed here costs
-/// one modexp-equivalent per signature instead of two. This is the batch
-/// half of the protocol's deferred-verification path (see
+/// through the table-accelerated path ([`DsaPublicKey::verify_fused`]):
+/// two fixed-base table walks plus one Montgomery multiplication per
+/// signature, with each key's `y`-table built once and shared across the
+/// batch (and across every clone of the key). This is the batch half of
+/// the protocol's deferred-verification path (see
 /// `refstate-core::protocol`).
 ///
 /// # Examples
@@ -399,7 +584,7 @@ impl Decode for DsaPublicKey {
                 context: "DSA public key",
             });
         }
-        Ok(DsaPublicKey { params, y })
+        Ok(DsaPublicKey::assemble(params, y))
     }
 }
 
@@ -411,16 +596,14 @@ pub struct DsaKeyPair {
 }
 
 impl DsaKeyPair {
-    /// Generates a key pair in the given group.
+    /// Generates a key pair in the given group (`y = g^x` through the
+    /// group's fixed-base table).
     pub fn generate(params: &DsaParams, rng: &mut dyn RngCore) -> Self {
         let x = random_in_unit_range(rng, &params.q);
-        let y = params.g.pow_mod(&x, &params.p);
+        let y = params.pow_g(&x);
         DsaKeyPair {
             x,
-            public: DsaPublicKey {
-                params: params.clone(),
-                y,
-            },
+            public: DsaPublicKey::assemble(params.clone(), y),
         }
     }
 
@@ -432,15 +615,18 @@ impl DsaKeyPair {
     /// Signs `message` (hashed with SHA-256 internally).
     ///
     /// Fresh randomness per signature; the internal loop retries the
-    /// negligible `r == 0` / `s == 0` cases as FIPS 186 requires.
+    /// negligible `r == 0` / `s == 0` cases as FIPS 186 requires. The
+    /// per-signature exponentiation `g^k mod p` runs through the group's
+    /// fixed-base table ([`DsaParams::pow_g`]) — one Montgomery
+    /// multiplication per non-zero 4-bit digit of `k` instead of a full
+    /// square-and-multiply ladder.
     pub fn sign(&self, message: &[u8], rng: &mut dyn RngCore) -> Signature {
         let params = &self.public.params;
-        let p = &params.p;
         let q = &params.q;
         let z = params.hash_to_z(message);
         loop {
             let k = random_in_unit_range(rng, q);
-            let r = params.g.pow_mod(&k, p).rem(q);
+            let r = params.pow_g(&k).rem(q);
             if r.is_zero() {
                 continue;
             }

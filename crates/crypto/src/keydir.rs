@@ -12,6 +12,13 @@ use crate::dsa::DsaPublicKey;
 /// without simulating certificate chains (which the paper also assumes
 /// away).
 ///
+/// Every stored key carries its own lazily-built fixed-base
+/// exponentiation table (see [`DsaPublicKey::precompute`]), shared with
+/// all clones of that key. A directory that will verify many signatures —
+/// the owner-side batch flush, a fleet engine's PKI — can force all
+/// tables up front with [`KeyDirectory::warm`] so no journey pays a
+/// first-use table build.
+///
 /// # Examples
 ///
 /// ```
@@ -47,6 +54,19 @@ impl KeyDirectory {
     /// Looks up the key for `name`.
     pub fn lookup(&self, name: &str) -> Option<&DsaPublicKey> {
         self.keys.get(name)
+    }
+
+    /// Builds the verification tables (Montgomery context, `g`- and
+    /// `y`-tables) of every registered key now, instead of on each key's
+    /// first verification.
+    ///
+    /// Idempotent and cheap to repeat: keys whose tables exist (their own
+    /// or via a clone elsewhere — pooled fleet keys share caches) are
+    /// skipped by the underlying `OnceLock`.
+    pub fn warm(&self) {
+        for (_, key) in self.iter() {
+            key.precompute();
+        }
     }
 
     /// Returns the number of registered principals.

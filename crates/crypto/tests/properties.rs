@@ -113,6 +113,61 @@ proptest! {
         prop_assert!(other.public().verify(&message, &sig));
         prop_assert!(!keys().public().verify(&message, &sig));
     }
+
+    /// The table-accelerated `verify_fused` (fixed-base walks + one
+    /// Montgomery multiplication) returns exactly what the schoolbook
+    /// two-modexp `verify` returns — for genuine, tampered, and
+    /// cross-signed messages alike.
+    #[test]
+    fn fused_verify_agrees_with_reference_verify(
+        message in proptest::collection::vec(any::<u8>(), 0..256),
+        tamper in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sig = keys().sign(&message, &mut rng);
+        let mut checked = message.clone();
+        if tamper {
+            checked.push(0x58);
+        }
+        let public = keys().public();
+        prop_assert_eq!(
+            public.verify_fused(&checked, &sig),
+            public.verify(&checked, &sig)
+        );
+        if !tamper {
+            prop_assert!(public.verify_fused(&checked, &sig));
+        }
+    }
+
+    /// Signing runs `g^k` through the group's fixed-base table; the table
+    /// must agree with the schoolbook generator exponentiation on random
+    /// exponents — this is the DSA sign/verify round-trip reduced to its
+    /// underlying claim.
+    #[test]
+    fn pow_g_agrees_with_schoolbook(seed in any::<u64>()) {
+        use refstate_bigint::{random_in_unit_range, Uint};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DsaParams::test_group_256();
+        let e = random_in_unit_range(&mut rng, params.q());
+        prop_assert_eq!(params.pow_g(&e), params.g().pow_mod(&e, params.p()));
+        // Boundary exponents.
+        prop_assert_eq!(params.pow_g(&Uint::zero()), Uint::one());
+        prop_assert_eq!(params.pow_g(&Uint::one()), params.g().clone());
+    }
+
+    /// Sign/verify round-trips survive a wire round-trip of the *public
+    /// key* — the decoded key rebuilds its acceleration tables from
+    /// scratch and must accept the same signatures.
+    #[test]
+    fn decoded_key_round_trips_signatures(message in proptest::collection::vec(any::<u8>(), 0..128), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sig = keys().sign(&message, &mut rng);
+        let decoded: refstate_crypto::DsaPublicKey =
+            from_wire(&to_wire(keys().public())).unwrap();
+        prop_assert!(decoded.verify_fused(&message, &sig));
+        prop_assert!(decoded.verify(&message, &sig));
+    }
 }
 
 proptest! {

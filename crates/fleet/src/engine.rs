@@ -266,6 +266,12 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
     let keys: Vec<DsaKeyPair> = (0..config.key_pool)
         .map(|_| DsaKeyPair::generate(&params, &mut key_rng))
         .collect();
+    // Build every pooled key's fixed-base verification table up front:
+    // the worker threads' clones share the caches, so no journey pays a
+    // first-use table build inside its measured latency.
+    for key in &keys {
+        key.public().precompute();
+    }
 
     // The ThreadedNetwork idiom: a pre-filled job queue, cloned receivers,
     // one results channel back to the collector.
