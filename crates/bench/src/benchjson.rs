@@ -316,9 +316,10 @@ pub fn check_bigint_schema(doc: &Json) -> Result<(), JsonError> {
 
 /// Validates the `BENCH_fleet.json` schema: `bench == "fleet"`, positive
 /// `scenarios`/`seed`, and for each of the `mixed` and `replicated`
-/// blocks a positive `journeys_per_sec` plus a non-empty
-/// `latency_percentiles` map whose entries carry `p50_us`/`p90_us`/
-/// `p99_us`/`max_us`.
+/// blocks a positive `journeys_per_sec`, the verification-pipeline
+/// fields (`check_workers`, a `replay` block with hit/miss/replay counts
+/// and a `hit_rate` in `[0, 1]`), plus a non-empty `latency_percentiles`
+/// map whose entries carry `p50_us`/`p90_us`/`p99_us`/`max_us`.
 pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
     if doc.get("bench").and_then(Json::as_str) != Some("fleet") {
         return Err(JsonError("bench: expected \"fleet\"".into()));
@@ -333,6 +334,31 @@ pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
         require_positive(block, block_name, "wall_seconds")?;
         require_positive(block, block_name, "scenarios_per_sec")?;
         require_positive(block, block_name, "journeys_per_sec")?;
+        // `0` is a legal check-worker setting (one per core).
+        let check_workers = require_num(block, block_name, "check_workers")?;
+        if check_workers < 0.0 {
+            return Err(JsonError(format!(
+                "{block_name}.check_workers: must be non-negative, got {check_workers}"
+            )));
+        }
+        let replay = block
+            .get("replay")
+            .ok_or_else(|| JsonError(format!("{block_name}.replay: missing block")))?;
+        let replay_path = format!("{block_name}.replay");
+        for key in ["hits", "misses", "replays"] {
+            let n = require_num(replay, &replay_path, key)?;
+            if n < 0.0 {
+                return Err(JsonError(format!(
+                    "{replay_path}.{key}: must be non-negative, got {n}"
+                )));
+            }
+        }
+        let hit_rate = require_num(replay, &replay_path, "hit_rate")?;
+        if !(0.0..=1.0).contains(&hit_rate) {
+            return Err(JsonError(format!(
+                "{replay_path}.hit_rate: must be within [0, 1], got {hit_rate}"
+            )));
+        }
         let latencies = block
             .get("latency_percentiles")
             .and_then(Json::as_obj)
@@ -417,21 +443,49 @@ mod tests {
         assert!(check_bigint_schema(&parse(negative).unwrap()).is_err());
     }
 
+    /// A valid fleet block with the replay/check-worker fields; the
+    /// `hit_rate` is injectable so tests can push it out of range.
+    fn fleet_block(hit_rate: &str) -> String {
+        format!(
+            r#"{{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
+                "journeys_per_sec":50.0,"check_workers":1,
+                "replay":{{"cache_enabled":true,"hits":10,"misses":5,
+                    "replays":5,"hit_rate":{hit_rate}}},
+                "latency_percentiles":{{
+                    "protocol":{{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}}}}}"#
+        )
+    }
+
     #[test]
     fn fleet_schema_accepts_the_committed_shape() {
-        let good = r#"{"bench":"fleet","scenarios":256,"seed":42,
-            "mixed":{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
-                "journeys_per_sec":50.0,"latency_percentiles":{
-                    "protocol":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}},
-            "replicated":{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
-                "journeys_per_sec":50.0,"latency_percentiles":{
-                    "protocol":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}}}"#;
-        assert!(check_fleet_schema(&parse(good).unwrap()).is_ok());
+        let block = fleet_block("0.667");
+        let good = format!(
+            r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{block},"replicated":{block}}}"#
+        );
+        assert!(check_fleet_schema(&parse(&good).unwrap()).is_ok());
 
-        let missing_block = r#"{"bench":"fleet","scenarios":256,"seed":42,
-            "mixed":{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
-                "journeys_per_sec":50.0,"latency_percentiles":{
-                    "protocol":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}}}"#;
-        assert!(check_fleet_schema(&parse(missing_block).unwrap()).is_err());
+        let missing_block =
+            format!(r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{block}}}"#);
+        assert!(check_fleet_schema(&parse(&missing_block).unwrap()).is_err());
+    }
+
+    #[test]
+    fn fleet_schema_requires_the_pipeline_fields() {
+        // A pre-pipeline block (no check_workers/replay) must be rejected:
+        // the trajectory file has to carry the cache facts going forward.
+        let stale = r#"{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
+            "journeys_per_sec":50.0,"latency_percentiles":{
+                "protocol":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}}"#;
+        let doc = format!(
+            r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{stale},"replicated":{stale}}}"#
+        );
+        assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
+
+        // An out-of-range hit rate is a schema violation, not a number.
+        let bad_rate = fleet_block("1.5");
+        let doc = format!(
+            r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{bad_rate},"replicated":{bad_rate}}}"#
+        );
+        assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
     }
 }

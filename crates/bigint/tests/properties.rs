@@ -244,6 +244,20 @@ proptest! {
     // oracle affordable in debug builds.
     #![proptest_config(ProptestConfig::with_cases(8))]
 
+    /// The binary (division-free) modular inverse actually inverts on
+    /// random 1024-bit operands and odd moduli, and reports `None`
+    /// exactly when no inverse exists.
+    #[test]
+    fn inv_mod_inverts_at_1024_bits(a in uint_1024(), m in odd_modulus_1024()) {
+        match a.inv_mod(&m) {
+            Some(inv) => {
+                prop_assert!(inv < m);
+                prop_assert_eq!(a.mul_mod(&inv, &m), Uint::one());
+            }
+            None => prop_assert_ne!(a.gcd(&m), Uint::one()),
+        }
+    }
+
     /// Montgomery `mul_mod` agrees with the schoolbook `Uint::mul_mod`
     /// on random 1024-bit operands and odd moduli.
     #[test]
@@ -282,5 +296,36 @@ proptest! {
         prop_assert_eq!(ctx.from_mont(&ctx.to_mont(&ar)), ar);
         let fused = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
         prop_assert_eq!(fused, a.mul_mod(&b, &m));
+    }
+}
+
+/// Strategy: a Uint of exactly `bytes` random bytes (top byte forced
+/// non-zero so the operand really has the intended width).
+fn uint_exact(bytes: usize) -> impl Strategy<Value = Uint> {
+    proptest::collection::vec(any::<u8>(), bytes).prop_map(|mut v| {
+        if let Some(first) = v.first_mut() {
+            *first |= 0x80;
+        }
+        Uint::from_be_bytes(&v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Karatsuba dispatch (`*` at >= 32 limbs) agrees with the pinned
+    /// schoolbook oracle on full-width 2048-bit operands.
+    #[test]
+    fn karatsuba_matches_schoolbook_2048(a in uint_exact(256), b in uint_exact(256)) {
+        prop_assert_eq!(&a * &b, a.schoolbook_mul(&b));
+    }
+
+    /// Same at 4096 bits (two recursion levels), including the uneven
+    /// split where one operand is half the other's width.
+    #[test]
+    fn karatsuba_matches_schoolbook_4096(a in uint_exact(512), b in uint_exact(512), c in uint_exact(256)) {
+        prop_assert_eq!(&a * &b, a.schoolbook_mul(&b));
+        prop_assert_eq!(&a * &c, a.schoolbook_mul(&c));
+        prop_assert_eq!(&c * &b, c.schoolbook_mul(&b));
     }
 }

@@ -9,10 +9,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use refstate_crypto::{sha256, Digest};
-use refstate_vm::{run_session, DataState, ExecConfig, Program, ReplayIo, SessionEnd, VmError};
+use refstate_vm::{DataState, ExecConfig, Program};
 use refstate_wire::to_wire;
 
 use crate::compare::{ExactCompare, StateCompare};
+use crate::pipeline::VerificationPipeline;
 use crate::refdata::{ReferenceData, ReferenceDataKind, ReferenceDataRequest};
 use crate::rules::RuleSet;
 
@@ -183,17 +184,62 @@ pub(crate) fn state_diff(
 /// reference data is checked at once (one context per session, in journey
 /// order).
 ///
-/// This is the seam the protocol driver's owner-side check runs through
-/// (`refstate-core::protocol`'s final-session verification funnels its
-/// [`CheckContext`] here rather than replaying inline), so every
-/// owner-side bulk verification shares one entry point. Today the
-/// sessions are checked sequentially; future work can parallelize or
-/// share re-execution state across the batch without touching callers.
+/// This is the seam the protocol driver's owner-side check and the
+/// framework's `checkAfterTask` pass run through, so every owner-side
+/// bulk verification shares one entry point. Resolves the worker count
+/// automatically; see [`check_sessions_with`] for an explicit one.
 pub fn check_sessions(
     algorithm: &dyn CheckingAlgorithm,
     contexts: &[CheckContext<'_>],
 ) -> Vec<CheckOutcome> {
-    contexts.iter().map(|ctx| algorithm.check(ctx)).collect()
+    check_sessions_with(algorithm, contexts, 0)
+}
+
+/// [`check_sessions`] with an explicit worker count (`0` = one worker per
+/// available core, capped at the batch size).
+///
+/// Contexts are distributed over a scoped worker pool (the fleet
+/// scheduler idiom: a shared cursor, workers drain until empty) and the
+/// outcomes are returned **in input order regardless of worker count** —
+/// scheduling must never leak into a verification verdict sequence.
+/// Batches of one, or one worker, run inline with no thread overhead.
+pub fn check_sessions_with(
+    algorithm: &dyn CheckingAlgorithm,
+    contexts: &[CheckContext<'_>],
+    workers: usize,
+) -> Vec<CheckOutcome> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(contexts.len());
+    if workers <= 1 || contexts.len() <= 1 {
+        return contexts.iter().map(|ctx| algorithm.check(ctx)).collect();
+    }
+
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Vec::with_capacity(contexts.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(ctx) = contexts.get(index) else {
+                    return;
+                };
+                let outcome = algorithm.check(ctx);
+                results
+                    .lock()
+                    .expect("no panics hold the results lock")
+                    .push((index, outcome));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("workers joined");
+    results.sort_unstable_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, outcome)| outcome).collect()
 }
 
 /// The "rules" algorithm: evaluate a [`RuleSet`] over initial and resulting
@@ -242,10 +288,21 @@ impl CheckingAlgorithm for RuleChecker {
 /// The "re-execution" algorithm: run the agent again from the initial state
 /// with the recorded input, suppress outputs, and compare the resulting
 /// state with a configurable comparator (§3.5).
+///
+/// Every check funnels through the [`VerificationPipeline`]: replays run
+/// the compiled VM fast path, and a checker built
+/// [`with_pipeline`](ReExecutionChecker::with_pipeline) shares that
+/// pipeline's replay cache, so duplicate re-executions across hops and
+/// mechanisms collapse into digest lookups. The default checker carries a
+/// private uncached pipeline.
 pub struct ReExecutionChecker {
     compare: Arc<dyn StateCompare + Send + Sync>,
     /// Also require the claimed migration target to match (defaults on).
     check_end: bool,
+    /// `true` while the comparator is the default [`ExactCompare`] — the
+    /// only comparator digest comparison is sound for.
+    exact: bool,
+    pipeline: Arc<VerificationPipeline>,
 }
 
 impl fmt::Debug for ReExecutionChecker {
@@ -253,6 +310,7 @@ impl fmt::Debug for ReExecutionChecker {
         f.debug_struct("ReExecutionChecker")
             .field("compare", &self.compare.name())
             .field("check_end", &self.check_end)
+            .field("cached", &self.pipeline.is_cached())
             .finish()
     }
 }
@@ -269,16 +327,31 @@ impl ReExecutionChecker {
         ReExecutionChecker {
             compare: Arc::new(ExactCompare),
             check_end: true,
+            exact: true,
+            pipeline: Arc::new(VerificationPipeline::uncached()),
         }
     }
 
     /// Re-execution with a custom comparator (the framework's "compare
     /// method … specified by the agent programmer").
+    ///
+    /// Custom comparators judge the full reference *state*, so their
+    /// checks take the pipeline's uncached full-replay path; only the
+    /// default exact comparison is answerable from the digest cache.
     pub fn with_compare(compare: Arc<dyn StateCompare + Send + Sync>) -> Self {
         ReExecutionChecker {
             compare,
             check_end: true,
+            exact: false,
+            pipeline: Arc::new(VerificationPipeline::uncached()),
         }
+    }
+
+    /// Routes this checker's replays through a shared pipeline (and its
+    /// replay cache, when one is attached).
+    pub fn with_pipeline(mut self, pipeline: Arc<VerificationPipeline>) -> Self {
+        self.pipeline = pipeline;
+        self
     }
 
     /// Disables the migration-target check.
@@ -304,25 +377,39 @@ impl CheckingAlgorithm for ReExecutionChecker {
         let claimed = ctx.data.resulting_state.as_ref().expect("checked above");
         let input = ctx.data.input.as_ref().expect("checked above");
 
-        let mut replay = ReplayIo::new(input);
-        let outcome = match run_session(ctx.program, initial.clone(), &mut replay, &ctx.exec) {
-            Ok(outcome) => outcome,
-            Err(e) => {
-                return CheckOutcome::Failed(FailureReason::ReplayFailed {
-                    error: e.to_string(),
-                })
-            }
-        };
-        if !replay.fully_consumed() {
-            // The host recorded more input than the program consumes — a
-            // padded log is itself a lie about the session.
-            return CheckOutcome::Failed(FailureReason::ReplayFailed {
-                error: VmError::ReplayMismatch {
-                    pc: 0,
-                    detail: "recorded input log longer than the re-execution consumed".into(),
+        if self.exact {
+            // The memoizable fast path: digest comparison through the
+            // shared pipeline.
+            let claimed_next = if self.check_end {
+                ctx.data.claimed_next.as_ref()
+            } else {
+                None
+            };
+            return self.pipeline.verify_session(
+                ctx.program,
+                initial,
+                claimed,
+                input,
+                claimed_next,
+                &ctx.exec,
+            );
+        }
+
+        // Custom comparator: the full reference state is required.
+        let (outcome, fully_consumed) =
+            match self
+                .pipeline
+                .replay_full(ctx.program, initial, input, &ctx.exec)
+            {
+                Ok(result) => result,
+                Err(e) => {
+                    return CheckOutcome::Failed(FailureReason::ReplayFailed {
+                        error: e.to_string(),
+                    })
                 }
-                .to_string(),
-            });
+            };
+        if !fully_consumed {
+            return crate::pipeline::padded_log_failure();
         }
         if !self.compare.equivalent(claimed, &outcome.state) {
             return CheckOutcome::Failed(FailureReason::StateMismatch {
@@ -331,19 +418,13 @@ impl CheckingAlgorithm for ReExecutionChecker {
                 diff: state_diff(claimed, &outcome.state),
             });
         }
-        if self.check_end {
-            if let Some(claimed_next) = &ctx.data.claimed_next {
-                let reference_next = match &outcome.end {
-                    SessionEnd::Migrate(h) => Some(h.clone()),
-                    SessionEnd::Halt => None,
-                };
-                if claimed_next != &reference_next {
-                    return CheckOutcome::Failed(FailureReason::EndMismatch {
-                        claimed: claimed_next.clone(),
-                        reference: reference_next,
-                    });
-                }
-            }
+        let claimed_next = if self.check_end {
+            ctx.data.claimed_next.as_ref()
+        } else {
+            None
+        };
+        if let Some(failure) = crate::pipeline::end_mismatch(claimed_next, &outcome.end) {
+            return failure;
         }
         CheckOutcome::Passed
     }
@@ -405,7 +486,7 @@ impl CheckingAlgorithm for ProgramChecker {
 mod tests {
     use super::*;
     use crate::rules::{CmpOp, Expr, Pred};
-    use refstate_vm::{assemble, ScriptedIo, Value};
+    use refstate_vm::{assemble, run_session, ScriptedIo, Value};
 
     /// Runs the shopping program honestly and returns (program, data).
     fn session_data(tamper: Option<(&str, Value)>) -> (Program, ReferenceData) {
@@ -610,6 +691,63 @@ mod tests {
             checker.check(&ctx),
             CheckOutcome::Failed(FailureReason::ProgramRejected { .. })
         ));
+    }
+
+    #[test]
+    fn check_sessions_outcomes_are_input_ordered_for_any_worker_count() {
+        // A batch with a deterministic honest/tampered pattern: outcome
+        // order must match context order for every worker count.
+        let sessions: Vec<(Program, ReferenceData)> = (0..13)
+            .map(|i| {
+                if i % 3 == 0 {
+                    session_data(Some(("double", Value::Int(-1000 - i))))
+                } else {
+                    session_data(None)
+                }
+            })
+            .collect();
+        let contexts: Vec<CheckContext<'_>> = sessions
+            .iter()
+            .map(|(program, data)| CheckContext {
+                program,
+                data,
+                exec: ExecConfig::default(),
+            })
+            .collect();
+        let checker = ReExecutionChecker::new();
+        let baseline = check_sessions_with(&checker, &contexts, 1);
+        assert_eq!(baseline.len(), contexts.len());
+        for (i, outcome) in baseline.iter().enumerate() {
+            assert_eq!(outcome.passed(), i % 3 != 0, "context {i}");
+        }
+        for workers in [0, 2, 3, 5, 8, 32] {
+            assert_eq!(
+                check_sessions_with(&checker, &contexts, workers),
+                baseline,
+                "worker count {workers} changed the outcome order"
+            );
+        }
+    }
+
+    #[test]
+    fn checkers_sharing_a_cached_pipeline_dedup_replays() {
+        use crate::pipeline::{ReplayCache, VerificationPipeline};
+        let (program, data) = session_data(None);
+        let pipeline = Arc::new(VerificationPipeline::with_cache(Arc::new(
+            ReplayCache::new(),
+        )));
+        let a = ReExecutionChecker::new().with_pipeline(pipeline.clone());
+        let b = ReExecutionChecker::new().with_pipeline(pipeline.clone());
+        let ctx = CheckContext {
+            program: &program,
+            data: &data,
+            exec: ExecConfig::default(),
+        };
+        assert!(a.check(&ctx).passed());
+        assert!(b.check(&ctx).passed());
+        let stats = pipeline.snapshot();
+        assert_eq!(stats.replays, 1, "the second checker hit the cache");
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]

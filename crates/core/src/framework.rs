@@ -15,7 +15,7 @@ use std::sync::Arc;
 use refstate_platform::{AgentImage, Event, EventLog, Host, HostId, SessionRecord};
 use refstate_vm::{DataState, ExecConfig, Program, SessionEnd, TraceMode, VmError};
 
-use crate::checker::{CheckContext, CheckOutcome, CheckingAlgorithm};
+use crate::checker::{check_sessions_with, CheckContext, CheckOutcome, CheckingAlgorithm};
 use crate::moment::CheckMoment;
 use crate::refdata::{HostFacilities, ReferenceData, ReferenceDataKind};
 use crate::route::{RouteRecording, SignedRoute};
@@ -37,6 +37,10 @@ pub struct ProtectionConfig {
     pub exec: ExecConfig,
     /// Hop budget.
     pub max_hops: usize,
+    /// Worker threads for the `checkAfterTask` bulk verification pass
+    /// (`0` = one per available core). Outcomes are order-stable for any
+    /// value; see [`crate::checker::check_sessions_with`].
+    pub check_workers: usize,
 }
 
 impl ProtectionConfig {
@@ -51,12 +55,19 @@ impl ProtectionConfig {
             skip_trusted: true,
             exec: ExecConfig::default(),
             max_hops: 64,
+            check_workers: 0,
         }
     }
 
     /// Sets the checking moment.
     pub fn moment(mut self, moment: CheckMoment) -> Self {
         self.moment = moment;
+        self
+    }
+
+    /// Sets the worker count for the `checkAfterTask` bulk pass.
+    pub fn check_workers(mut self, workers: usize) -> Self {
+        self.check_workers = workers;
         self
     }
 
@@ -168,6 +179,11 @@ impl FrameworkOutcome {
 
 /// Replays a session to obtain the reference state for evidence, when the
 /// data permits.
+///
+/// The rare fraud-evidence path of the generic driver: it runs through a
+/// throwaway uncached [`crate::pipeline::VerificationPipeline`] (the
+/// compiled fast path; the per-hop *checks* themselves go through the
+/// algorithm's own — possibly cached — pipeline).
 fn reference_state_for_evidence(
     program: &Program,
     data: &ReferenceData,
@@ -175,10 +191,7 @@ fn reference_state_for_evidence(
 ) -> Option<DataState> {
     let initial = data.initial_state.as_ref()?;
     let input = data.input.as_ref()?;
-    let mut replay = refstate_vm::ReplayIo::new(input);
-    refstate_vm::run_session(program, initial.clone(), &mut replay, exec)
-        .ok()
-        .map(|o| o.state)
+    crate::pipeline::VerificationPipeline::uncached().reference_state(program, initial, input, exec)
 }
 
 /// Runs a protected journey under the generic framework.
@@ -379,26 +392,44 @@ pub fn run_framework_journey(
         }
     }
 
-    // --- checkAfterTask: evaluate every retained session at the last host ---
+    // --- checkAfterTask: evaluate every retained session at the last host,
+    // in one bulk pass through the `check_sessions` seam (the owner-side
+    // batch is the natural parallelism unit; outcomes stay in journey
+    // order for any worker count) ---
     if config.moment == CheckMoment::AfterTask {
         let last = current.clone();
-        for (seq, (executor, record)) in retained.iter().enumerate() {
-            let trusted_executor = hosts
-                .iter()
-                .find(|h| h.id() == executor)
-                .map(|h| h.is_trusted())
-                .unwrap_or(false);
-            if config.skip_trusted && trusted_executor {
-                continue;
-            }
-            let facilities = HostFacilities::new(record);
-            let data = facilities.provide(&config.algorithm.required_data());
-            let ctx = CheckContext {
+        let checked: Vec<(usize, &HostId, &SessionRecord)> = retained
+            .iter()
+            .enumerate()
+            .filter(|(_, (executor, _))| {
+                let trusted_executor = hosts
+                    .iter()
+                    .find(|h| h.id() == executor)
+                    .map(|h| h.is_trusted())
+                    .unwrap_or(false);
+                !(config.skip_trusted && trusted_executor)
+            })
+            .map(|(seq, (executor, record))| (seq, executor, record))
+            .collect();
+        let datas: Vec<ReferenceData> = checked
+            .iter()
+            .map(|(_, _, record)| {
+                HostFacilities::new(record).provide(&config.algorithm.required_data())
+            })
+            .collect();
+        let contexts: Vec<CheckContext<'_>> = datas
+            .iter()
+            .map(|data| CheckContext {
                 program: &image.program,
-                data: &data,
+                data,
                 exec: exec.clone(),
-            };
-            let outcome = config.algorithm.check(&ctx);
+            })
+            .collect();
+        let outcomes =
+            check_sessions_with(config.algorithm.as_ref(), &contexts, config.check_workers);
+        for (((seq, executor, record), data), outcome) in
+            checked.into_iter().zip(&datas).zip(outcomes)
+        {
             log.record(Event::CheckPerformed {
                 checker: last.clone(),
                 checked: executor.clone(),
@@ -434,7 +465,7 @@ pub fn run_framework_journey(
                             claimed_state: record.outcome.state.clone(),
                             reference_state: reference_state_for_evidence(
                                 &image.program,
-                                &data,
+                                data,
                                 &exec,
                             ),
                             input: record.outcome.input_log.clone(),
@@ -726,6 +757,45 @@ mod tests {
         assert_eq!(fraud.culprit.as_str(), "h2");
         // Compromised state propagated into later sessions.
         assert_eq!(outcome.final_state.get_int("total"), Some(31)); // 1 + 30
+    }
+
+    #[test]
+    fn after_task_bulk_check_is_worker_invariant() {
+        // The checkAfterTask pass runs through the parallel
+        // `check_sessions` seam; worker count must not change the verdict
+        // sequence.
+        let run = |workers: usize| {
+            let mut hosts = hosts_with(Some(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(1),
+            }));
+            let log = EventLog::new();
+            let config = reexec_config()
+                .moment(CheckMoment::AfterTask)
+                .check_trusted_too()
+                .check_workers(workers);
+            run_framework_journey(
+                &mut hosts,
+                "h1",
+                ProtectedAgent::new(sum_agent(), config),
+                &log,
+            )
+            .unwrap()
+        };
+        let baseline = run(1);
+        for workers in [0, 2, 4, 8] {
+            let outcome = run(workers);
+            assert_eq!(outcome.verdicts.len(), baseline.verdicts.len());
+            for (a, b) in outcome.verdicts.iter().zip(&baseline.verdicts) {
+                assert_eq!(a.checked, b.checked, "workers={workers}");
+                assert_eq!(a.seq, b.seq, "workers={workers}");
+                assert_eq!(a.passed(), b.passed(), "workers={workers}");
+            }
+            assert_eq!(
+                outcome.fraud.as_ref().map(|f| f.culprit.clone()),
+                baseline.fraud.as_ref().map(|f| f.culprit.clone()),
+            );
+        }
     }
 
     #[test]

@@ -96,6 +96,7 @@ pub mod checker;
 pub mod compare;
 pub mod framework;
 pub mod moment;
+pub mod pipeline;
 pub mod protocol;
 pub mod refdata;
 pub mod route;
@@ -104,12 +105,13 @@ pub mod verdict;
 
 pub use attack::AttackArea;
 pub use checker::{
-    check_sessions, CheckContext, CheckOutcome, CheckingAlgorithm, FailureReason, ProgramChecker,
-    ReExecutionChecker, RuleChecker,
+    check_sessions, check_sessions_with, CheckContext, CheckOutcome, CheckingAlgorithm,
+    FailureReason, ProgramChecker, ReExecutionChecker, RuleChecker,
 };
 pub use compare::{ExactCompare, IgnoreVars, StateCompare, UnorderedLists};
 pub use framework::{ProtectedAgent, ProtectionConfig};
 pub use moment::CheckMoment;
+pub use pipeline::{PipelineStatsSnapshot, ReplayCache, ReplaySummary, VerificationPipeline};
 pub use refdata::{HostFacilities, ReferenceData, ReferenceDataKind, ReferenceDataRequest};
 pub use route::{RouteEntry, RouteRecording, SignedRoute};
 pub use rules::{CmpOp, Expr, Pred, RuleSet};

@@ -1,0 +1,713 @@
+//! The unified verification pipeline: one entry point for every
+//! reference-state re-execution, with a shared, sharded replay cache.
+//!
+//! The paper's core loop — recompute a reference state from a recorded
+//! input log and compare (Sec. 4) — was, before this module, written four
+//! times: in [`crate::checker::ReExecutionChecker`], in
+//! [`crate::protocol`]'s per-hop arrival check, in the owner-side final
+//! check, and in the traces mechanism's audit. Each re-ran the same
+//! `(program, start state, input log)` triple from scratch, and a fleet
+//! driver running several mechanisms over one scenario re-ran *identical*
+//! triples once per mechanism.
+//!
+//! [`VerificationPipeline`] collapses those call sites into one:
+//!
+//! * sessions are identified by program × start state × input log
+//!   (the VM-level [`refstate_vm::SessionFingerprint`] for logs and
+//!   labels; the cache key itself uses SHA-256 digests — see below),
+//! * re-execution goes through the VM's pre-compiled fast path
+//!   ([`refstate_vm::run_compiled_session`] over
+//!   [`CompiledProgram::cached`]),
+//! * results land in an `Arc`-shared, sharded [`ReplayCache`], so
+//!   duplicate re-executions across hops, replicas, and mechanisms
+//!   become lock-striped cache hits,
+//! * every replay is counted in [`PipelineStats`], so fleet reports can
+//!   prove the dedup (replays strictly below journeys × hops).
+//!
+//! Cache entries hold the *digest* of the reference state (plus the
+//! session end and log-consumption flag), not the state itself: passing
+//! checks compare digests, and the rare failing check re-derives the full
+//! reference state once for diffing and fraud evidence.
+//!
+//! **Key collision resistance.** A cached verdict substitutes for a
+//! replay, so the key must be as strong as the comparison it replaces:
+//! the initial-state and input-log components — the data a malicious
+//! host supplies — are SHA-256 digests, never the fast non-cryptographic
+//! fingerprint (a host able to alias an already-verified honest session
+//! could otherwise ride its cached verdict). The program component is
+//! the compiled form's content hash, sound because every caller replays
+//! its *own* trusted copy of the agent code.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use refstate_crypto::{sha256, Digest};
+use refstate_vm::{
+    run_compiled_session, CompiledProgram, DataState, ExecConfig, InputLog, Program, ReplayIo,
+    SessionEnd, SessionFingerprint, SessionOutcome, VmError,
+};
+use refstate_wire::to_wire;
+
+use crate::checker::{state_diff, CheckOutcome, FailureReason};
+
+/// What one replayed session reduced to: enough to judge any *passing*
+/// check without keeping the state, and enough context to re-derive the
+/// state on the rare failing one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplaySummary {
+    /// The re-execution completed.
+    Ok {
+        /// SHA-256 of the reference state's canonical encoding.
+        state_digest: Digest,
+        /// How the reference execution ended.
+        end: SessionEnd,
+        /// Whether the replay consumed the entire recorded input log
+        /// (`false` = padded log; callers decide whether that is a
+        /// failure — the checker says yes, the Vigna audit historically
+        /// ignores it).
+        log_consumed: bool,
+    },
+    /// The re-execution itself failed (tampered log, broken code),
+    /// rendered.
+    Failed(String),
+}
+
+/// Number of lock-striped shards in a [`ReplayCache`].
+const SHARDS: usize = 16;
+
+/// Entries retained per shard before the shard is cleared wholesale (the
+/// same bound-by-reset policy as the VM's compile table): at most
+/// `SHARDS × SHARD_CAP` memoized sessions (~64k summaries, a few MB)
+/// live at once, so a long-running service cannot grow without bound.
+/// Clearing costs only future hit-rate, never correctness — the memo is
+/// a pure function of its key.
+const SHARD_CAP: usize = 4096;
+
+/// The memo key of one replay. The initial state and input log are
+/// **attacker-suppliable** (they arrive in certificates and stored
+/// traces), so their components are SHA-256 digests — a host must not be
+/// able to craft a session that aliases an already-verified honest entry
+/// and ride its cached verdict. The program component stays the compiled
+/// form's content hash: every call site replays the *verifier's own*
+/// copy of the agent code, never code an adversary chose. The step limit
+/// participates because a replay that exhausts a small limit is not
+/// evidence about a larger one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    code_hash: u128,
+    initial: Digest,
+    input: Digest,
+    step_limit: u64,
+}
+
+/// The `Arc`-shared memo of reference-state recomputations, sharded to
+/// keep fleet workers off each other's locks.
+pub struct ReplayCache {
+    shards: Vec<Mutex<HashMap<CacheKey, ReplaySummary>>>,
+}
+
+impl Default for ReplayCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplayCache {
+    /// An empty cache with the default shard count.
+    pub fn new() -> Self {
+        ReplayCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, ReplaySummary>> {
+        // The key components are already content hashes; fold the first
+        // digest byte into a shard index directly.
+        let mix = key.code_hash as usize ^ key.initial.as_bytes()[0] as usize;
+        &self.shards[mix % self.shards.len()]
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<ReplaySummary> {
+        self.shard(key).lock().get(key).cloned()
+    }
+
+    fn insert(&self, key: CacheKey, value: ReplaySummary) {
+        let mut shard = self.shard(&key).lock();
+        if shard.len() >= SHARD_CAP {
+            shard.clear();
+        }
+        shard.insert(key, value);
+    }
+
+    /// Number of memoized sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Returns `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for ReplayCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplayCache")
+            .field("entries", &self.len())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// Monotone counters of one pipeline's work. Shared across every clone of
+/// the pipeline handle, so a fleet run reads one aggregate at the end.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    replays: AtomicU64,
+}
+
+/// A point-in-time copy of [`PipelineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStatsSnapshot {
+    /// [`VerificationPipeline::replay`] calls answered from the cache.
+    pub hits: u64,
+    /// [`VerificationPipeline::replay`] calls that required a real
+    /// replay (cache miss, or the cache disabled). Full replays
+    /// ([`VerificationPipeline::replay_full`]) perform no lookup and do
+    /// not count here, so `hit_rate` reflects cache traffic alone.
+    pub misses: u64,
+    /// All VM re-executions performed: the misses plus the full replays
+    /// (custom comparators, evidence re-derivations).
+    pub replays: u64,
+}
+
+impl PipelineStatsSnapshot {
+    /// Fraction of lookups answered from the cache (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The one verification pipeline every re-execution-based check funnels
+/// through.
+///
+/// Cheap to share: drivers hold it as `Arc<VerificationPipeline>` and
+/// hand clones to checkers, protocol configs, and journey contexts. An
+/// *uncached* pipeline still uses the compiled fast path and counts its
+/// replays — it simply memoizes nothing.
+pub struct VerificationPipeline {
+    cache: Option<Arc<ReplayCache>>,
+    stats: PipelineStats,
+}
+
+impl fmt::Debug for VerificationPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerificationPipeline")
+            .field("cached", &self.cache.is_some())
+            .field("stats", &self.snapshot())
+            .finish()
+    }
+}
+
+impl Default for VerificationPipeline {
+    fn default() -> Self {
+        Self::uncached()
+    }
+}
+
+impl VerificationPipeline {
+    /// A pipeline without a replay cache: compiled fast path and replay
+    /// counting only. The default everywhere a driver does not opt into
+    /// sharing.
+    pub fn uncached() -> Self {
+        VerificationPipeline {
+            cache: None,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// A pipeline memoizing into `cache` (share the `Arc` across drivers
+    /// to dedup their re-executions).
+    pub fn with_cache(cache: Arc<ReplayCache>) -> Self {
+        VerificationPipeline {
+            cache: Some(cache),
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Whether a replay cache is attached.
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The counters so far.
+    pub fn snapshot(&self) -> PipelineStatsSnapshot {
+        PipelineStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            replays: self.stats.replays.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replays one session (memoized): the reference-state digest, the
+    /// session end, and whether the log was fully consumed.
+    ///
+    /// This is the hot path of every check. Replays run the compiled VM
+    /// loop with outputs suppressed and tracing off; when a cache is
+    /// attached, the SHA-256-backed cache key keys the memo and labels
+    /// the replay's step-limit errors (an uncached pipeline skips the key
+    /// entirely — there is no cache to poison and no key to compute).
+    pub fn replay(
+        &self,
+        program: &Program,
+        initial: &DataState,
+        input: &InputLog,
+        exec: &ExecConfig,
+    ) -> ReplaySummary {
+        let compiled = CompiledProgram::cached(program);
+        let key = self.cache.as_ref().map(|cache| {
+            let key = CacheKey {
+                code_hash: compiled.code_hash(),
+                initial: sha256(&to_wire(initial)),
+                input: sha256(&to_wire(input)),
+                step_limit: exec.step_limit,
+            };
+            (cache, key)
+        });
+        if let Some((cache, key)) = &key {
+            if let Some(hit) = cache.get(key) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        // Cached replays carry the VM-level session fingerprint as their
+        // step-limit label (computed on misses only — it exists so a
+        // poisoned or runaway cache entry is attributable in fleet logs).
+        let label = key.as_ref().map(|_| {
+            SessionFingerprint::with_program_hash(compiled.code_hash(), initial, input).label()
+        });
+        let summary = match self.run_replay(&compiled, initial, input, exec, label) {
+            Ok((outcome, log_consumed)) => ReplaySummary::Ok {
+                state_digest: sha256(&to_wire(&outcome.state)),
+                end: outcome.end,
+                log_consumed,
+            },
+            Err(e) => ReplaySummary::Failed(e.to_string()),
+        };
+        if let Some((cache, key)) = key {
+            cache.insert(key, summary.clone());
+        }
+        summary
+    }
+
+    /// Replays one session uncached and returns the full outcome — the
+    /// slow entry point for custom state comparators and for fraud
+    /// evidence, which need the reference *state*, not its digest.
+    ///
+    /// Performs no cache lookup, so it moves only the `replays` counter
+    /// (never `misses` — the snapshot's hit rate reflects cache traffic
+    /// alone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the replay's [`VmError`].
+    pub fn replay_full(
+        &self,
+        program: &Program,
+        initial: &DataState,
+        input: &InputLog,
+        exec: &ExecConfig,
+    ) -> Result<(SessionOutcome, bool), VmError> {
+        let compiled = CompiledProgram::cached(program);
+        self.run_replay(&compiled, initial, input, exec, None)
+    }
+
+    /// Re-derives the full reference state of a session (for diffing and
+    /// fraud evidence); `None` when the replay fails.
+    pub fn reference_state(
+        &self,
+        program: &Program,
+        initial: &DataState,
+        input: &InputLog,
+        exec: &ExecConfig,
+    ) -> Option<DataState> {
+        self.replay_full(program, initial, input, exec)
+            .ok()
+            .map(|(outcome, _)| outcome.state)
+    }
+
+    fn run_replay(
+        &self,
+        compiled: &CompiledProgram,
+        initial: &DataState,
+        input: &InputLog,
+        exec: &ExecConfig,
+        session_label: Option<String>,
+    ) -> Result<(SessionOutcome, bool), VmError> {
+        self.stats.replays.fetch_add(1, Ordering::Relaxed);
+        let mut replay = ReplayIo::new(input);
+        let exec = ExecConfig {
+            trace_mode: refstate_vm::TraceMode::Off,
+            session_label,
+            ..exec.clone()
+        };
+        let outcome = run_compiled_session(compiled, initial.clone(), &mut replay, &exec)?;
+        Ok((outcome, replay.fully_consumed()))
+    }
+
+    /// The full exact-comparison session check: replay (memoized),
+    /// compare the claimed resulting state by digest, optionally compare
+    /// the claimed session end, and on any mismatch re-derive the full
+    /// reference state once for the variable-level diff.
+    ///
+    /// `claimed_next` follows the checker convention: `None` skips the
+    /// end check; `Some(None)` claims a halt; `Some(Some(host))` claims a
+    /// migration.
+    pub fn verify_session(
+        &self,
+        program: &Program,
+        initial: &DataState,
+        claimed: &DataState,
+        input: &InputLog,
+        claimed_next: Option<&Option<String>>,
+        exec: &ExecConfig,
+    ) -> CheckOutcome {
+        self.verify_session_with_reference(program, initial, claimed, input, claimed_next, exec)
+            .0
+    }
+
+    /// [`VerificationPipeline::verify_session`] that also hands back the
+    /// full reference state when a failed check already materialized one
+    /// (state mismatches and, on the uncached arm, every judged replay) —
+    /// so fraud-evidence builders do not replay the session a second
+    /// time. `None` on a pass, and for failures where no reference state
+    /// exists (failed replays, padded logs).
+    pub fn verify_session_with_reference(
+        &self,
+        program: &Program,
+        initial: &DataState,
+        claimed: &DataState,
+        input: &InputLog,
+        claimed_next: Option<&Option<String>>,
+        exec: &ExecConfig,
+    ) -> (CheckOutcome, Option<DataState>) {
+        if self.cache.is_none() {
+            // No memo to consult or feed: replay once and compare the
+            // states directly — no fingerprinting, no hashing unless a
+            // mismatch needs its digests for the failure report.
+            return self.verify_session_direct(
+                program,
+                initial,
+                claimed,
+                input,
+                claimed_next,
+                exec,
+            );
+        }
+        let (state_digest, end, log_consumed) = match self.replay(program, initial, input, exec) {
+            ReplaySummary::Failed(error) => {
+                return (
+                    CheckOutcome::Failed(FailureReason::ReplayFailed { error }),
+                    None,
+                )
+            }
+            ReplaySummary::Ok {
+                state_digest,
+                end,
+                log_consumed,
+            } => (state_digest, end, log_consumed),
+        };
+        if !log_consumed {
+            return (padded_log_failure(), None);
+        }
+        let claimed_digest = sha256(&to_wire(claimed));
+        if claimed_digest != state_digest {
+            // Rare path: re-derive the reference state once — it serves
+            // both the variable-level diff and the caller's evidence.
+            let reference = self.reference_state(program, initial, input, exec);
+            let diff = reference
+                .as_ref()
+                .map(|reference| state_diff(claimed, reference))
+                .unwrap_or_default();
+            return (
+                CheckOutcome::Failed(FailureReason::StateMismatch {
+                    claimed: claimed_digest,
+                    reference: state_digest,
+                    diff,
+                }),
+                reference,
+            );
+        }
+        if let Some(failure) = end_mismatch(claimed_next, &end) {
+            // The end diverged but the state matched; the claimed state
+            // *is* the reference state.
+            return (failure, Some(claimed.clone()));
+        }
+        (CheckOutcome::Passed, None)
+    }
+
+    /// The uncached arm of the session check: identical verdicts,
+    /// computed from one full replay and direct state comparison; the
+    /// replayed state doubles as the returned reference on failure.
+    fn verify_session_direct(
+        &self,
+        program: &Program,
+        initial: &DataState,
+        claimed: &DataState,
+        input: &InputLog,
+        claimed_next: Option<&Option<String>>,
+        exec: &ExecConfig,
+    ) -> (CheckOutcome, Option<DataState>) {
+        let (outcome, log_consumed) = match self.replay_full(program, initial, input, exec) {
+            Ok(result) => result,
+            Err(e) => {
+                return (
+                    CheckOutcome::Failed(FailureReason::ReplayFailed {
+                        error: e.to_string(),
+                    }),
+                    None,
+                )
+            }
+        };
+        if !log_consumed {
+            return (padded_log_failure(), None);
+        }
+        if claimed != &outcome.state {
+            return (
+                CheckOutcome::Failed(FailureReason::StateMismatch {
+                    claimed: sha256(&to_wire(claimed)),
+                    reference: sha256(&to_wire(&outcome.state)),
+                    diff: state_diff(claimed, &outcome.state),
+                }),
+                Some(outcome.state),
+            );
+        }
+        if let Some(failure) = end_mismatch(claimed_next, &outcome.end) {
+            return (failure, Some(outcome.state));
+        }
+        (CheckOutcome::Passed, None)
+    }
+}
+
+/// The one place the padded-log policy lives: a log longer than the
+/// program consumes is itself a lie about the session. Shared by both
+/// `verify_session` arms and the custom-comparator checker path.
+pub(crate) fn padded_log_failure() -> CheckOutcome {
+    CheckOutcome::Failed(FailureReason::ReplayFailed {
+        error: VmError::ReplayMismatch {
+            pc: 0,
+            detail: "recorded input log longer than the re-execution consumed".into(),
+        }
+        .to_string(),
+    })
+}
+
+/// The one place the end-check convention lives: `None` skips the check;
+/// `Some(None)` claims a halt; `Some(Some(host))` claims a migration.
+pub(crate) fn end_mismatch(
+    claimed_next: Option<&Option<String>>,
+    reference_end: &SessionEnd,
+) -> Option<CheckOutcome> {
+    let claimed_next = claimed_next?;
+    let reference_next = match reference_end {
+        SessionEnd::Migrate(h) => Some(h.clone()),
+        SessionEnd::Halt => None,
+    };
+    if claimed_next != &reference_next {
+        return Some(CheckOutcome::Failed(FailureReason::EndMismatch {
+            claimed: claimed_next.clone(),
+            reference: reference_next,
+        }));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refstate_vm::{assemble, run_session, ScriptedIo, Value};
+
+    /// One honest session of the doubling agent: (program, initial,
+    /// input log, resulting state).
+    fn session() -> (Program, DataState, InputLog, DataState) {
+        let program = assemble(
+            r#"
+            input "price"
+            store "quote"
+            load "quote"
+            push 2
+            mul
+            store "double"
+            halt
+        "#,
+        )
+        .unwrap();
+        let mut io = ScriptedIo::new();
+        io.push_input("price", Value::Int(50));
+        let initial = DataState::new();
+        let outcome =
+            run_session(&program, initial.clone(), &mut io, &ExecConfig::default()).unwrap();
+        (program, initial, outcome.input_log, outcome.state)
+    }
+
+    #[test]
+    fn cached_replays_hit_after_first_miss() {
+        let (program, initial, input, _resulting) = session();
+        let cache = Arc::new(ReplayCache::new());
+        let pipeline = VerificationPipeline::with_cache(cache.clone());
+        let exec = ExecConfig::default();
+        let first = pipeline.replay(&program, &initial, &input, &exec);
+        let second = pipeline.replay(&program, &initial, &input, &exec);
+        assert_eq!(first, second);
+        let stats = pipeline.snapshot();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.replays, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn uncached_pipeline_replays_every_time() {
+        let (program, initial, input, _resulting) = session();
+        let pipeline = VerificationPipeline::uncached();
+        assert!(!pipeline.is_cached());
+        let exec = ExecConfig::default();
+        pipeline.replay(&program, &initial, &input, &exec);
+        pipeline.replay(&program, &initial, &input, &exec);
+        let stats = pipeline.snapshot();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.replays, 2);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_is_shared_across_pipeline_handles() {
+        let (program, initial, input, _resulting) = session();
+        let cache = Arc::new(ReplayCache::new());
+        let a = VerificationPipeline::with_cache(cache.clone());
+        let b = VerificationPipeline::with_cache(cache);
+        let exec = ExecConfig::default();
+        a.replay(&program, &initial, &input, &exec);
+        b.replay(&program, &initial, &input, &exec);
+        assert_eq!(a.snapshot().replays, 1, "a replayed");
+        assert_eq!(b.snapshot().replays, 0, "b hit a's entry");
+        assert_eq!(b.snapshot().hits, 1);
+    }
+
+    #[test]
+    fn verify_session_passes_honest_and_diffs_tampered() {
+        let (program, initial, input, resulting) = session();
+        let pipeline = VerificationPipeline::with_cache(Arc::new(ReplayCache::new()));
+        let exec = ExecConfig::default();
+        assert_eq!(
+            pipeline.verify_session(&program, &initial, &resulting, &input, Some(&None), &exec),
+            CheckOutcome::Passed
+        );
+        let mut tampered = resulting.clone();
+        tampered.set("double", Value::Int(9999));
+        match pipeline.verify_session(&program, &initial, &tampered, &input, Some(&None), &exec) {
+            CheckOutcome::Failed(FailureReason::StateMismatch { diff, .. }) => {
+                assert_eq!(diff, vec![("double".into(), "9999".into(), "100".into())]);
+            }
+            other => panic!("expected StateMismatch, got {other:?}"),
+        }
+        // Wrong claimed end: state matches, end does not.
+        match pipeline.verify_session(
+            &program,
+            &initial,
+            &resulting,
+            &input,
+            Some(&Some("mallory".into())),
+            &exec,
+        ) {
+            CheckOutcome::Failed(FailureReason::EndMismatch { claimed, reference }) => {
+                assert_eq!(claimed, Some("mallory".into()));
+                assert_eq!(reference, None);
+            }
+            other => panic!("expected EndMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_session_flags_padded_log() {
+        use refstate_vm::{InputKind, InputRecord};
+        let (program, initial, input, resulting) = session();
+        let padded: InputLog = input
+            .records()
+            .iter()
+            .cloned()
+            .chain([InputRecord {
+                pc: 99,
+                kind: InputKind::Tagged("price".into()),
+                value: Value::Int(1),
+            }])
+            .collect();
+        let pipeline = VerificationPipeline::uncached();
+        assert!(matches!(
+            pipeline.verify_session(
+                &program,
+                &initial,
+                &resulting,
+                &padded,
+                None,
+                &ExecConfig::default()
+            ),
+            CheckOutcome::Failed(FailureReason::ReplayFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn step_limit_replays_carry_the_fingerprint_label() {
+        let program = assemble("loop:\njump loop").unwrap();
+        // The label exists to diagnose cache poisoning, so it rides along
+        // exactly when a cache is attached.
+        let pipeline = VerificationPipeline::with_cache(Arc::new(ReplayCache::new()));
+        let exec = ExecConfig {
+            step_limit: 16,
+            ..Default::default()
+        };
+        let summary = pipeline.replay(&program, &DataState::new(), &InputLog::new(), &exec);
+        match summary {
+            ReplaySummary::Failed(error) => {
+                assert!(
+                    error.contains("session fp-"),
+                    "step-limit error names the session: {error}"
+                );
+            }
+            other => panic!("expected a failed replay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_is_part_of_the_cache_key() {
+        let (program, initial, input, _resulting) = session();
+        let pipeline = VerificationPipeline::with_cache(Arc::new(ReplayCache::new()));
+        let tight = ExecConfig {
+            step_limit: 2,
+            ..Default::default()
+        };
+        let roomy = ExecConfig::default();
+        assert!(matches!(
+            pipeline.replay(&program, &initial, &input, &tight),
+            ReplaySummary::Failed(_)
+        ));
+        assert!(matches!(
+            pipeline.replay(&program, &initial, &input, &roomy),
+            ReplaySummary::Ok { .. }
+        ));
+        assert_eq!(pipeline.snapshot().replays, 2, "limits do not alias");
+    }
+}

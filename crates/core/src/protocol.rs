@@ -27,16 +27,18 @@
 //! and the driver reproduces it faithfully.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use refstate_crypto::{sha256, Digest, KeyDirectory, Signed, VerificationQueue};
 use refstate_platform::{AgentId, AgentImage, Event, EventLog, Host, HostId};
-use refstate_vm::{run_session, DataState, ExecConfig, InputLog, ReplayIo, SessionEnd, VmError};
+use refstate_vm::{DataState, ExecConfig, InputLog, SessionEnd, VmError};
 use refstate_wire::{from_wire, to_wire, Decode, Encode, Reader, WireError, Writer};
 
 use crate::checker::{
-    check_sessions, state_diff, CheckContext, CheckOutcome, FailureReason, ReExecutionChecker,
+    check_sessions, CheckContext, CheckOutcome, FailureReason, ReExecutionChecker,
 };
+use crate::pipeline::VerificationPipeline;
 use crate::refdata::ReferenceData;
 use crate::verdict::{CheckVerdict, FraudEvidence};
 
@@ -157,6 +159,11 @@ pub struct ProtocolConfig {
     pub skip_trusted: bool,
     /// Hop budget.
     pub max_hops: usize,
+    /// The verification pipeline every re-execution of this journey runs
+    /// through. Defaults to a private uncached pipeline; fleet drivers
+    /// install an `Arc`-shared cached one so duplicate re-executions
+    /// across journeys and mechanisms collapse into cache hits.
+    pub pipeline: Arc<VerificationPipeline>,
 }
 
 impl Default for ProtocolConfig {
@@ -165,6 +172,7 @@ impl Default for ProtocolConfig {
             exec: ExecConfig::default(),
             skip_trusted: true,
             max_hops: 64,
+            pipeline: Arc::new(VerificationPipeline::uncached()),
         }
     }
 }
@@ -187,7 +195,11 @@ pub struct ProtocolStats {
     pub signatures: u32,
     /// Number of signatures verified.
     pub verifications: u32,
-    /// Number of sessions re-executed.
+    /// Number of re-execution *checks* performed. With a shared replay
+    /// cache on [`ProtocolConfig::pipeline`], a check may be answered
+    /// from the cache without a fresh VM replay — actual replay counts
+    /// live in the pipeline's
+    /// [`snapshot`](crate::pipeline::VerificationPipeline::snapshot).
     pub reexecutions: u32,
 }
 
@@ -512,48 +524,29 @@ fn run_journey_inner(
                     detail: "session certificate signature invalid".into(),
                 });
             } else if receiver_checks(config, &hosts[executor_index], &current) {
-                // checkAfterSession: re-execute the previous session.
+                // checkAfterSession: re-execute the previous session —
+                // through the shared verification pipeline, so an
+                // identical re-execution performed by any other driver
+                // (or the owner's audit later) is a cache hit.
                 let t = Instant::now();
-                let mut replay = ReplayIo::new(&cert.input);
-                let result = run_session(
+                let claimed_next = cert.next.as_ref().map(|h| h.as_str().to_owned());
+                let (outcome, reference) = config.pipeline.verify_session_with_reference(
                     &image.program,
-                    cert.initial_state.clone(),
-                    &mut replay,
+                    &cert.initial_state,
+                    &cert.resulting_state,
+                    &cert.input,
+                    Some(&claimed_next),
                     &config.exec,
                 );
+                if let CheckOutcome::Failed(reason) = outcome {
+                    failure = Some(reason);
+                    // Fraud evidence carries the complete reference state;
+                    // the check hands back the one it materialized while
+                    // diffing, so the failure path costs no extra replay.
+                    reference_state = reference;
+                }
                 stats.checking += t.elapsed();
                 stats.reexecutions += 1;
-                match result {
-                    Err(e) => {
-                        failure = Some(FailureReason::ReplayFailed {
-                            error: e.to_string(),
-                        });
-                    }
-                    Ok(outcome) => {
-                        let reference_next = match &outcome.end {
-                            SessionEnd::Migrate(h) => Some(HostId::new(h.clone())),
-                            SessionEnd::Halt => None,
-                        };
-                        if !replay.fully_consumed() {
-                            failure = Some(FailureReason::ReplayFailed {
-                                error: "recorded input log longer than re-execution consumed"
-                                    .into(),
-                            });
-                        } else if outcome.state != cert.resulting_state {
-                            failure = Some(FailureReason::StateMismatch {
-                                claimed: cert.resulting_digest(),
-                                reference: sha256(&to_wire(&outcome.state)),
-                                diff: state_diff(&cert.resulting_state, &outcome.state),
-                            });
-                        } else if reference_next != cert.next {
-                            failure = Some(FailureReason::EndMismatch {
-                                claimed: cert.next.as_ref().map(|h| h.as_str().to_owned()),
-                                reference: reference_next.map(|h| h.as_str().to_owned()),
-                            });
-                        }
-                        reference_state = Some(outcome.state);
-                    }
-                }
                 log.record(Event::CheckPerformed {
                     checker: current.clone(),
                     checked: cert.executor.clone(),
@@ -698,7 +691,8 @@ fn run_journey_inner(
                         data: &data,
                         exec: config.exec.clone(),
                     }];
-                    let outcome = check_sessions(&ReExecutionChecker::new(), &contexts)
+                    let checker = ReExecutionChecker::new().with_pipeline(config.pipeline.clone());
+                    let outcome = check_sessions(&checker, &contexts)
                         .pop()
                         .expect("one context in, one outcome out");
                     let failure = match outcome {
@@ -714,15 +708,12 @@ fn run_journey_inner(
                         let initial_state = data.initial_state.take().expect("moved in above");
                         let claimed_state = data.resulting_state.take().expect("moved in above");
                         let input = data.input.take().expect("moved in above");
-                        let mut replay = ReplayIo::new(&input);
-                        let reference_state = run_session(
+                        let reference_state = config.pipeline.reference_state(
                             &image.program,
-                            initial_state.clone(),
-                            &mut replay,
+                            &initial_state,
+                            &input,
                             &config.exec,
-                        )
-                        .ok()
-                        .map(|o| o.state);
+                        );
                         stats.reexecutions += 1;
                         evidence = Some((initial_state, claimed_state, input, reference_state));
                     }

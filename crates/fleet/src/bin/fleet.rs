@@ -19,6 +19,14 @@
 //!   through the registry (default: every registered mechanism)
 //! * `--mechanism M` — single-mechanism form of the same filter;
 //!   repeatable
+//! * `--replay-cache` / `--no-replay-cache` — share (default) or disable
+//!   the run-wide replay cache that dedups re-executions across journeys
+//!   and mechanisms; the deterministic report is byte-identical either
+//!   way (the determinism guard `replay_cache_does_not_change_the_report`
+//!   pins it)
+//! * `--check-workers N` — worker threads for owner-side bulk
+//!   `check_sessions` passes inside each journey (default 1; `0` = one
+//!   per core)
 //! * `--json-only` — suppress the human tables, emit only JSON
 //! * `--no-json` — suppress the JSON blob
 
@@ -28,7 +36,9 @@ use std::sync::Arc;
 fn usage(registry: &MechanismRegistry, exit: i32) -> ! {
     eprintln!(
         "usage: fleet [--scenarios N] [--workers N] [--seed S] [--preset P] \
-         [--mechanisms LIST] [--mechanism M]... [--json-only|--no-json]\n\
+         [--mechanisms LIST] [--mechanism M]... \
+         [--replay-cache|--no-replay-cache] [--check-workers N] \
+         [--json-only|--no-json]\n\
          presets: {}\n\
          mechanisms (registry):",
         Preset::ALL.map(|p| p.name()).join(" | "),
@@ -93,6 +103,12 @@ fn parse_args(registry: &MechanismRegistry) -> (FleetConfig, bool, bool) {
                 for mechanism in parsed {
                     add(&mut mechanisms, mechanism);
                 }
+            }
+            "--replay-cache" => config.replay_cache = true,
+            "--no-replay-cache" => config.replay_cache = false,
+            "--check-workers" => {
+                config.adapter.check_workers =
+                    value(&mut i).parse().unwrap_or_else(|_| usage(registry, 2))
             }
             "--json-only" => json_only = true,
             "--no-json" => no_json = true,

@@ -35,6 +35,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use refstate_core::protocol::host_directory;
+use refstate_core::{ReplayCache, VerificationPipeline};
 use refstate_crypto::{DsaKeyPair, DsaParams};
 use refstate_mechanisms::api::{
     JourneyCtx, JourneyVerdict, MechanismConfig, MechanismRegistry, ProtectionMechanism,
@@ -62,6 +63,16 @@ pub struct FleetConfig {
     pub key_pool: usize,
     /// Shared mechanism configuration.
     pub adapter: MechanismConfig,
+    /// Share one [`ReplayCache`] across every journey, mechanism, and
+    /// worker of the run (on by default), so duplicate re-executions of
+    /// the same session collapse into cache hits. Off reproduces the
+    /// replay-per-check behaviour; the [`FleetReport`] is byte-identical
+    /// either way (pinned by a test — the cache is a memo, not a
+    /// semantic).
+    ///
+    /// The owner-side check-worker knob lives on
+    /// [`MechanismConfig::check_workers`] (`adapter.check_workers`).
+    pub replay_cache: bool,
 }
 
 impl Default for FleetConfig {
@@ -74,6 +85,7 @@ impl Default for FleetConfig {
             mechanisms: MechanismRegistry::builtin().all(),
             key_pool: 64,
             adapter: MechanismConfig::default(),
+            replay_cache: true,
         }
     }
 }
@@ -193,7 +205,12 @@ fn score(
 
 /// Runs every compatible configured mechanism over scenario `id` (fresh
 /// hosts per mechanism — feeds are consumed by execution).
-fn run_scenario(id: u64, config: &FleetConfig, keys: &[DsaKeyPair]) -> ScenarioResult {
+fn run_scenario(
+    id: u64,
+    config: &FleetConfig,
+    keys: &[DsaKeyPair],
+    pipeline: &Arc<VerificationPipeline>,
+) -> ScenarioResult {
     let scenario = scenario::generate(config.seed, id, config.preset);
     let has_stages = scenario.stages.is_some();
     let mut runs = Vec::with_capacity(config.mechanisms.len());
@@ -228,7 +245,8 @@ fn run_scenario(id: u64, config: &FleetConfig, keys: &[DsaKeyPair]) -> ScenarioR
             &config.adapter,
             &log,
             ctx_seed,
-        );
+        )
+        .with_pipeline(pipeline.clone());
         if let Some(stages) = &scenario.stages {
             ctx = ctx.with_stages(stages.clone());
         }
@@ -259,6 +277,15 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
     let started = Instant::now();
     let workers = config.effective_workers();
 
+    // One verification pipeline for the whole run: every journey's
+    // re-execution funnels through it, and with the cache on, duplicate
+    // sessions across hops, replicas, and mechanisms replay once.
+    let pipeline = Arc::new(if config.replay_cache {
+        VerificationPipeline::with_cache(Arc::new(ReplayCache::new()))
+    } else {
+        VerificationPipeline::uncached()
+    });
+
     // One shared DSA group and key pool (generation is the expensive
     // part; hosts index into the pool deterministically).
     let params = DsaParams::test_group_256();
@@ -288,9 +315,10 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
         let result_tx = result_tx.clone();
         let config = config.clone();
         let keys = keys.clone();
+        let pipeline = pipeline.clone();
         handles.push(thread::spawn(move || {
             while let Ok(id) = job_rx.recv() {
-                let result = run_scenario(id, &config, &keys);
+                let result = run_scenario(id, &config, &keys, &pipeline);
                 if result_tx.send(result).is_err() {
                     return; // collector gone; shut down quietly
                 }
@@ -331,6 +359,9 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
         scenarios_per_sec: results.len() as f64 / wall.as_secs_f64().max(f64::EPSILON),
         journeys_per_sec: journeys as f64 / wall.as_secs_f64().max(f64::EPSILON),
         latencies,
+        check_workers: config.adapter.check_workers,
+        replay_cache: config.replay_cache,
+        replay: pipeline.snapshot(),
     };
 
     FleetRun {

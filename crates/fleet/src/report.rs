@@ -18,6 +18,8 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use refstate_core::PipelineStatsSnapshot;
+
 use crate::engine::{MechanismRun, ScenarioResult};
 use crate::json::JsonWriter;
 
@@ -317,6 +319,14 @@ pub struct FleetTiming {
     /// Latency percentiles per mechanism name, in run order (mechanisms
     /// that ran no journeys have no entry).
     pub latencies: Vec<(&'static str, LatencyPercentiles)>,
+    /// Worker threads for owner-side bulk `check_sessions` passes inside
+    /// each journey.
+    pub check_workers: usize,
+    /// Whether the run shared a replay cache across journeys.
+    pub replay_cache: bool,
+    /// The verification pipeline's counters: cache hits/misses and actual
+    /// VM replays performed across the whole run.
+    pub replay: PipelineStatsSnapshot,
 }
 
 impl FleetTiming {
@@ -327,6 +337,16 @@ impl FleetTiming {
             out,
             "timing: {:.2?} wall on {} workers — {:.0} scenarios/s, {:.0} journeys/s",
             self.wall, self.workers, self.scenarios_per_sec, self.journeys_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "replay cache: {} — {} hits / {} misses ({:.1}% hit rate), {} replays; check workers: {}",
+            if self.replay_cache { "on" } else { "off" },
+            self.replay.hits,
+            self.replay.misses,
+            self.replay.hit_rate() * 100.0,
+            self.replay.replays,
+            self.check_workers,
         );
         let _ = writeln!(
             out,
@@ -351,6 +371,15 @@ impl FleetTiming {
         w.field_f64("wall_seconds", self.wall.as_secs_f64());
         w.field_f64("scenarios_per_sec", self.scenarios_per_sec);
         w.field_f64("journeys_per_sec", self.journeys_per_sec);
+        w.field_u64("check_workers", self.check_workers as u64);
+        w.key("replay");
+        w.begin_object();
+        w.field_bool("cache_enabled", self.replay_cache);
+        w.field_u64("hits", self.replay.hits);
+        w.field_u64("misses", self.replay.misses);
+        w.field_u64("replays", self.replay.replays);
+        w.field_f64("hit_rate", self.replay.hit_rate());
+        w.end_object();
         w.key("latency_percentiles");
         w.begin_object();
         for (mechanism, p) in &self.latencies {

@@ -34,7 +34,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use refstate_core::protocol::ProtocolConfig;
 use refstate_core::rules::{CmpOp, Expr, Pred, RuleSet};
-use refstate_core::{CheckMoment, ReferenceDataRequest};
+use refstate_core::{CheckMoment, ReferenceDataRequest, VerificationPipeline};
 use refstate_crypto::{KeyDirectory, VerificationQueue};
 use refstate_platform::{AgentImage, EventLog, Host, HostId};
 use refstate_vm::ExecConfig;
@@ -116,6 +116,13 @@ pub struct MechanismConfig {
     /// taxonomy (none forge signatures) and removes the per-hop
     /// verification from the latency path.
     pub defer_signatures: bool,
+    /// Worker threads for owner-side bulk `check_sessions` passes (`0` =
+    /// one per available core); plumbed into
+    /// `refstate_core::framework::ProtectionConfig::check_workers`.
+    /// Verdict order is worker-invariant. Defaults to 1: fleet engines
+    /// already saturate the cores with journey workers, so nested check
+    /// parallelism is opt-in.
+    pub check_workers: usize,
 }
 
 impl Default for MechanismConfig {
@@ -131,6 +138,7 @@ impl Default for MechanismConfig {
                 ),
             max_hops: 64,
             defer_signatures: true,
+            check_workers: 1,
         }
     }
 }
@@ -170,6 +178,9 @@ pub struct JourneyCtx<'a> {
     pub rng: StdRng,
     /// Deferred signature checks, settled in one batch at journey end.
     pub queue: VerificationQueue,
+    /// The verification pipeline (and replay cache, when the engine
+    /// shares one) every re-execution of this journey funnels through.
+    pub pipeline: Arc<VerificationPipeline>,
 }
 
 impl<'a> JourneyCtx<'a> {
@@ -200,12 +211,20 @@ impl<'a> JourneyCtx<'a> {
             log,
             rng: StdRng::seed_from_u64(seed),
             queue: VerificationQueue::new(),
+            pipeline: Arc::new(VerificationPipeline::uncached()),
         }
     }
 
     /// Attaches replica stages (replicated-topology scenarios).
     pub fn with_stages(mut self, stages: Vec<StageSpec>) -> Self {
         self.stages = Some(stages);
+        self
+    }
+
+    /// Attaches a shared verification pipeline (fleet engines pass one
+    /// handle to every journey so replay dedup spans the whole run).
+    pub fn with_pipeline(mut self, pipeline: Arc<VerificationPipeline>) -> Self {
+        self.pipeline = pipeline;
         self
     }
 

@@ -148,6 +148,7 @@ pub fn run_appraised_journey(
     }
     Err(VmError::StepLimitExceeded {
         limit: max_hops as u64,
+        session: None,
     })
 }
 

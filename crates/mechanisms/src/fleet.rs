@@ -27,8 +27,8 @@ use refstate_platform::run_plain_journey;
 use crate::api::{
     JourneyCtx, JourneyVerdict, MechanismProfile, ProtectionMechanism, RouteTopology,
 };
-use crate::replication::run_replicated_pipeline;
-use crate::traces::{audit_journey, run_traced_journey};
+use crate::replication::run_replicated_pipeline_checked;
+use crate::traces::{audit_journey_with_pipeline, run_traced_journey};
 
 /// No protection at all: the baseline row every report needs. Never
 /// detects, never accuses.
@@ -143,7 +143,9 @@ impl ProtectionMechanism for FrameworkReExecution {
     }
 
     fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict {
-        let protection = ProtectionConfig::new(Arc::new(ReExecutionChecker::new()));
+        let checker = ReExecutionChecker::new().with_pipeline(ctx.pipeline.clone());
+        let protection =
+            ProtectionConfig::new(Arc::new(checker)).check_workers(ctx.config.check_workers);
         match run_framework_journey(
             ctx.hosts,
             ctx.start().clone(),
@@ -201,6 +203,7 @@ impl ProtectionMechanism for SessionCheckingProtocol {
         let protocol = ProtocolConfig {
             exec: ctx.config.exec.clone(),
             max_hops: ctx.config.max_hops,
+            pipeline: ctx.pipeline.clone(),
             ..ctx.config.protocol.clone()
         };
         let result = if ctx.config.defer_signatures {
@@ -274,8 +277,14 @@ impl ProtectionMechanism for ExecutionTraces {
             ctx.config.max_hops,
         ) {
             Ok(journey) => {
-                let report =
-                    audit_journey(&journey, &program, ctx.directory, &ctx.config.exec, ctx.log);
+                let report = audit_journey_with_pipeline(
+                    &journey,
+                    &program,
+                    ctx.directory,
+                    &ctx.config.exec,
+                    ctx.log,
+                    &ctx.pipeline,
+                );
                 match report.culprit {
                     Some(culprit) => JourneyVerdict::accusing(vec![culprit], true),
                     None => JourneyVerdict::clean(true),
@@ -325,12 +334,13 @@ impl ProtectionMechanism for ReplicatedStages {
             // infrastructure failure, not a panic.
             return JourneyVerdict::clean(false);
         };
-        match run_replicated_pipeline(
+        match run_replicated_pipeline_checked(
             ctx.hosts,
             &stages,
             ctx.agent.clone(),
             &ctx.config.exec,
             ctx.log,
+            &ctx.pipeline,
         ) {
             Ok(outcome) => {
                 let completed = outcome.final_state.is_some();

@@ -9,9 +9,10 @@
 
 use std::collections::BTreeMap;
 
+use refstate_core::{ReplaySummary, VerificationPipeline};
 use refstate_crypto::{sha256, Digest};
 use refstate_platform::{AgentImage, Event, EventLog, Host, HostId};
-use refstate_vm::{DataState, ExecConfig, SessionEnd, VmError};
+use refstate_vm::{DataState, ExecConfig, InputLog, SessionEnd, VmError};
 use refstate_wire::to_wire;
 
 /// One stage: the replica hosts that execute it in parallel.
@@ -59,6 +60,16 @@ pub struct ReplicationOutcome {
     pub votes: Vec<StageVote>,
     /// All hosts that ever dissented from a majority.
     pub suspects: Vec<HostId>,
+    /// Suspects whose dissent is *confirmed tampering*: re-executing the
+    /// replica's own recorded session input through the verification
+    /// pipeline produced a state or continuation decision different from
+    /// the one it claimed, so the replica lied about its computation (a
+    /// suspect absent here diverged consistently with its own log — e.g.
+    /// forged input, which replicated resources expose but re-execution
+    /// cannot, §4.2). Populated only by
+    /// [`run_replicated_pipeline_checked`]; the vote — and therefore
+    /// `suspects` — is unaffected.
+    pub confirmed_tampering: Vec<HostId>,
 }
 
 impl ReplicationOutcome {
@@ -127,13 +138,52 @@ pub fn run_replicated_pipeline(
     exec: &ExecConfig,
     log: &EventLog,
 ) -> Result<ReplicationOutcome, ReplicationError> {
+    run_replicated_inner(hosts, stages, agent, exec, log, None)
+}
+
+/// [`run_replicated_pipeline`] with dissent *confirmation* through the
+/// shared verification pipeline.
+///
+/// Voting is unchanged (same majorities, same suspects); additionally,
+/// every dissenting replica's session is re-executed from its own
+/// recorded input log, and replicas whose claimed state diverges from
+/// that reference state are reported in
+/// [`ReplicationOutcome::confirmed_tampering`] — reference-state-grade
+/// evidence on top of the vote. Honest replicas of a stage share one
+/// session fingerprint, so with a cached pipeline the confirmation costs
+/// at most one replay per divergent stage.
+pub fn run_replicated_pipeline_checked(
+    hosts: &mut [Host],
+    stages: &[StageSpec],
+    agent: AgentImage,
+    exec: &ExecConfig,
+    log: &EventLog,
+    pipeline: &VerificationPipeline,
+) -> Result<ReplicationOutcome, ReplicationError> {
+    run_replicated_inner(hosts, stages, agent, exec, log, Some(pipeline))
+}
+
+fn run_replicated_inner(
+    hosts: &mut [Host],
+    stages: &[StageSpec],
+    agent: AgentImage,
+    exec: &ExecConfig,
+    log: &EventLog,
+    pipeline: Option<&VerificationPipeline>,
+) -> Result<ReplicationOutcome, ReplicationError> {
     let mut state = agent.state.clone();
     let mut votes = Vec::with_capacity(stages.len());
     let mut suspects: Vec<HostId> = Vec::new();
+    let mut confirmed_tampering: Vec<HostId> = Vec::new();
 
     for (stage_index, stage) in stages.iter().enumerate() {
         let mut tally: BTreeMap<Digest, Vec<HostId>> = BTreeMap::new();
         let mut states: BTreeMap<Digest, DataState> = BTreeMap::new();
+        // Per replica: the recorded input (moved, not cloned) and the
+        // claimed session end, kept for the pipeline confirmation of
+        // dissenters. The honest-majority path pays nothing beyond these
+        // moves.
+        let mut claims: Vec<(HostId, InputLog, SessionEnd)> = Vec::new();
 
         for replica_id in &stage.replicas {
             let host = hosts
@@ -155,6 +205,13 @@ pub fn run_replicated_pipeline(
             let digest = sha256(&vote_bytes);
             tally.entry(digest).or_default().push(replica_id.clone());
             states.insert(digest, record.outcome.state.clone());
+            if pipeline.is_some() {
+                claims.push((
+                    replica_id.clone(),
+                    record.outcome.input_log,
+                    record.outcome.end,
+                ));
+            }
         }
 
         let quorum = stage.replicas.len() / 2 + 1;
@@ -180,6 +237,38 @@ pub fn run_replicated_pipeline(
                 reason: "replica vote diverged from majority".into(),
             });
         }
+        if let Some(pipeline) = pipeline {
+            // Confirm each dissenter against its own log: a replica whose
+            // claimed state *or claimed continuation decision* differs
+            // from the reference re-execution lied about its computation,
+            // not (only) about its resources. Dissent is the rare case,
+            // so all hashing happens here, not on the honest-majority
+            // path. (`state` still holds this stage's initial state — the
+            // winner is adopted below.)
+            for (replica, input, claimed_end) in &claims {
+                if !dissenters.contains(replica) {
+                    continue;
+                }
+                let claimed_digest = tally
+                    .iter()
+                    .find(|(_, voters)| voters.contains(replica))
+                    .and_then(|(digest, _)| states.get(digest))
+                    .map(|claimed| sha256(&to_wire(claimed)));
+                let diverged = match pipeline.replay(&agent.program, &state, input, exec) {
+                    ReplaySummary::Ok {
+                        state_digest, end, ..
+                    } => {
+                        claimed_digest.is_none_or(|claimed| claimed != state_digest)
+                            || &end != claimed_end
+                    }
+                    // A log the session cannot even replay is a lie too.
+                    ReplaySummary::Failed(_) => true,
+                };
+                if diverged && !confirmed_tampering.contains(replica) {
+                    confirmed_tampering.push(replica.clone());
+                }
+            }
+        }
         let vote = StageVote {
             stage: stage_index,
             tally,
@@ -197,6 +286,7 @@ pub fn run_replicated_pipeline(
                     final_state: None,
                     votes,
                     suspects,
+                    confirmed_tampering,
                 });
             }
         }
@@ -206,6 +296,7 @@ pub fn run_replicated_pipeline(
         final_state: Some(state),
         votes,
         suspects,
+        confirmed_tampering,
     })
 }
 
@@ -384,6 +475,115 @@ mod tests {
         .unwrap();
         assert!(outcome.final_state.is_none());
         assert!(!outcome.votes[0].has_majority());
+    }
+
+    #[test]
+    fn checked_pipeline_confirms_state_tampering_but_not_input_forgery() {
+        use refstate_core::ReplayCache;
+        use std::sync::Arc;
+        // Stage 1 replica 2 tampers with its state: the vote flags it AND
+        // the pipeline confirms the lie from its own log.
+        let (mut hosts, stages) = build(3, 3, &[10, 20, 30], &[(1, 2)]);
+        let log = EventLog::new();
+        let pipeline = VerificationPipeline::with_cache(Arc::new(ReplayCache::new()));
+        let outcome = run_replicated_pipeline_checked(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+            &pipeline,
+        )
+        .unwrap();
+        assert_eq!(outcome.suspects, vec![HostId::new("s1r2")]);
+        assert_eq!(outcome.confirmed_tampering, vec![HostId::new("s1r2")]);
+        assert!(pipeline.snapshot().replays >= 1);
+
+        // An input-forging replica diverges *consistently* with its own
+        // log: the vote still flags it, but re-execution cannot confirm a
+        // computation lie — the paper's §4.2 bandwidth, visible here only
+        // because the replicated resources disagree.
+        let mut rng = StdRng::seed_from_u64(10_000);
+        let params = DsaParams::test_group_256();
+        let mut hosts: Vec<Host> = (0..3)
+            .map(|i| {
+                let mut spec = HostSpec::new(format!("f{i}")).with_input("offer", Value::Int(5));
+                if i == 2 {
+                    spec = spec.malicious(Attack::ForgeInput {
+                        tag: "offer".into(),
+                        value: Value::Int(-50),
+                    });
+                }
+                Host::new(spec, &params, &mut rng)
+            })
+            .collect();
+        let stages = vec![StageSpec::new(["f0", "f1", "f2"])];
+        let log = EventLog::new();
+        let outcome = run_replicated_pipeline_checked(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+            &pipeline,
+        )
+        .unwrap();
+        assert_eq!(outcome.suspects, vec![HostId::new("f2")]);
+        assert!(
+            outcome.confirmed_tampering.is_empty(),
+            "input forgery is consistent with the forged log"
+        );
+    }
+
+    #[test]
+    fn checked_pipeline_confirms_migration_hijack() {
+        // A replica that computes the honest state but lies about the
+        // continuation decision: its own log replays to the honest end,
+        // so the hijack is a provable computation lie, not a resource
+        // divergence.
+        let mut rng = StdRng::seed_from_u64(11_000);
+        let params = DsaParams::test_group_256();
+        let mut hosts: Vec<Host> = (0..3)
+            .map(|i| {
+                let mut spec = HostSpec::new(format!("r{i}")).with_input("offer", Value::Int(5));
+                if i == 2 {
+                    spec = spec.malicious(Attack::RedirectMigration {
+                        to: HostId::new("evil"),
+                    });
+                }
+                Host::new(spec, &params, &mut rng)
+            })
+            .collect();
+        let stages = vec![StageSpec::new(["r0", "r1", "r2"])];
+        let log = EventLog::new();
+        let pipeline = VerificationPipeline::uncached();
+        let outcome = run_replicated_pipeline_checked(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+            &pipeline,
+        )
+        .unwrap();
+        assert_eq!(outcome.suspects, vec![HostId::new("r2")]);
+        assert_eq!(outcome.confirmed_tampering, vec![HostId::new("r2")]);
+    }
+
+    #[test]
+    fn unchecked_pipeline_reports_no_confirmations() {
+        let (mut hosts, stages) = build(2, 3, &[10, 20], &[(1, 0)]);
+        let log = EventLog::new();
+        let outcome = run_replicated_pipeline(
+            &mut hosts,
+            &stages,
+            stage_agent(),
+            &ExecConfig::default(),
+            &log,
+        )
+        .unwrap();
+        assert_eq!(outcome.suspects.len(), 1);
+        assert!(outcome.confirmed_tampering.is_empty());
     }
 
     #[test]

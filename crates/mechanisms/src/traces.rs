@@ -20,13 +20,12 @@ use std::fmt;
 use refstate_crypto::{sha256, Digest, KeyDirectory, Signed};
 use refstate_platform::{AgentId, AgentImage, Event, EventLog, Host, HostId};
 use refstate_vm::{
-    run_session, DataState, ExecConfig, InputLog, Program, ReplayIo, SessionEnd, Trace, TraceMode,
-    VmError,
+    DataState, ExecConfig, InputLog, Program, SessionEnd, Trace, TraceMode, VmError,
 };
 use refstate_wire::{to_wire, Decode, Encode, Reader, WireError, Writer};
 
 use refstate_core::verdict::CheckVerdict;
-use refstate_core::FailureReason;
+use refstate_core::{FailureReason, ReplaySummary, VerificationPipeline};
 
 /// The signed hashes a host forwards after its session (Vigna's protocol
 /// message).
@@ -282,15 +281,41 @@ pub fn run_traced_journey(
 /// The owner-side audit: verify commitments, fetch traces, re-execute, and
 /// identify the first cheating host.
 ///
-/// The audit walks the sessions in order and stops at the first
-/// inconsistency (later sessions ran on a corrupted state and cannot be
-/// judged fairly).
+/// Re-executions run through a private, uncached
+/// [`VerificationPipeline`]; fleet drivers that share a replay cache use
+/// [`audit_journey_with_pipeline`], where a session already re-executed by
+/// another mechanism's check is a cache hit.
 pub fn audit_journey(
     journey: &TracedJourney,
     program: &Program,
     directory: &KeyDirectory,
     exec: &ExecConfig,
     log: &EventLog,
+) -> AuditReport {
+    audit_journey_with_pipeline(
+        journey,
+        program,
+        directory,
+        exec,
+        log,
+        &VerificationPipeline::uncached(),
+    )
+}
+
+/// [`audit_journey`] over a caller-supplied [`VerificationPipeline`].
+///
+/// The audit walks the sessions in order and stops at the first
+/// inconsistency (later sessions ran on a corrupted state and cannot be
+/// judged fairly). The re-execution of step 4 is answered by the
+/// pipeline's digest memo when any driver already replayed the same
+/// session.
+pub fn audit_journey_with_pipeline(
+    journey: &TracedJourney,
+    program: &Program,
+    directory: &KeyDirectory,
+    exec: &ExecConfig,
+    log: &EventLog,
+    pipeline: &VerificationPipeline,
 ) -> AuditReport {
     let owner = HostId::new("owner");
     let mut verdicts = Vec::new();
@@ -380,25 +405,23 @@ pub fn audit_journey(
         }
         // 4. Re-execute with the recorded inputs; the resulting state hash
         //    must equal the signed resulting hash, and the migration
-        //    decision must match the committed next hop.
-        let mut replay = ReplayIo::new(&store.input);
-        let reexec = run_session(program, store.initial_state.clone(), &mut replay, exec);
-        let (reference_digest, reference_next) = match reexec {
-            Ok(outcome) => {
-                let next = match &outcome.end {
-                    SessionEnd::Migrate(h) => Some(HostId::new(h.clone())),
+        //    decision must match the committed next hop. (Vigna's audit
+        //    judges the committed hashes only, so a padded input log is
+        //    left to the digest comparison — `log_consumed` is
+        //    deliberately not a failure here.)
+        let summary = pipeline.replay(program, &store.initial_state, &store.input, exec);
+        let (reference_digest, reference_next) = match summary {
+            ReplaySummary::Ok {
+                state_digest, end, ..
+            } => {
+                let next = match end {
+                    SessionEnd::Migrate(h) => Some(HostId::new(h)),
                     SessionEnd::Halt => None,
                 };
-                (sha256(&to_wire(&outcome.state)), next)
+                (state_digest, next)
             }
-            Err(e) => {
-                return fail(
-                    FailureReason::ReplayFailed {
-                        error: e.to_string(),
-                    },
-                    &mut verdicts,
-                    None,
-                )
+            ReplaySummary::Failed(error) => {
+                return fail(FailureReason::ReplayFailed { error }, &mut verdicts, None)
             }
         };
         if reference_next != commitment.next {

@@ -7,7 +7,8 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use refstate_crypto::{DsaKeyPair, DsaParams, DsaPublicKey, Signed};
 use refstate_vm::{
-    run_session, DataState, ExecConfig, SessionIo, SessionOutcome, SyscallKind, Value, VmError,
+    run_compiled_session, CompiledProgram, DataState, ExecConfig, SessionIo, SessionOutcome,
+    SyscallKind, Value, VmError,
 };
 use refstate_wire::Encode;
 
@@ -274,7 +275,11 @@ impl Host {
             sent: Vec::new(),
         };
         let initial_state = image.state.clone();
-        let mut outcome = run_session(&image.program, initial_state.clone(), &mut io, config)?;
+        // Live execution runs the compiled fast path; the process-wide
+        // compile cache means a program is decoded once per content, not
+        // once per step or session, across hops, replicas, and journeys.
+        let compiled = CompiledProgram::cached(&image.program);
+        let mut outcome = run_compiled_session(&compiled, initial_state.clone(), &mut io, config)?;
         let provenance = io.provenance;
         let elapsed = start.elapsed();
 

@@ -17,6 +17,12 @@ pub struct ExecConfig {
     pub step_limit: u64,
     /// What to record in the execution trace.
     pub trace_mode: TraceMode,
+    /// A label naming the session being (re-)executed, carried into
+    /// [`VmError::StepLimitExceeded`] so runaway replays are attributable
+    /// in fleet logs. Replay drivers set it to the session's
+    /// [`crate::SessionFingerprint::label`]; live sessions usually leave
+    /// it `None`.
+    pub session_label: Option<String>,
 }
 
 impl Default for ExecConfig {
@@ -24,6 +30,7 @@ impl Default for ExecConfig {
         ExecConfig {
             step_limit: 10_000_000,
             trace_mode: TraceMode::Off,
+            session_label: None,
         }
     }
 }
@@ -322,6 +329,7 @@ impl<'p> Interpreter<'p> {
         if self.steps >= self.config.step_limit {
             return Err(VmError::StepLimitExceeded {
                 limit: self.config.step_limit,
+                session: self.config.session_label.clone(),
             });
         }
         let instr = self
@@ -759,7 +767,13 @@ mod tests {
             ..Default::default()
         };
         let err = run_session(&program, DataState::new(), &mut NullIo, &config).unwrap_err();
-        assert_eq!(err, VmError::StepLimitExceeded { limit: 100 });
+        assert_eq!(
+            err,
+            VmError::StepLimitExceeded {
+                limit: 100,
+                session: None
+            }
+        );
     }
 
     #[test]

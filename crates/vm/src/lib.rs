@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod asm;
+mod compiled;
 mod error;
 mod instr;
 mod interp;
@@ -65,11 +66,12 @@ mod trace;
 mod value;
 
 pub use asm::{assemble, AsmError};
+pub use compiled::{run_compiled_session, CompiledProgram, COMPILE_CACHE_CAP};
 pub use error::VmError;
 pub use instr::{Instr, SyscallKind};
 pub use interp::{run_session, ExecConfig, Interpreter, SessionEnd, SessionOutcome};
 pub use io::{NullIo, ReplayIo, ScriptedIo, SessionIo};
-pub use log::{InputKind, InputLog, InputRecord, OutputRecord};
+pub use log::{InputKind, InputLog, InputRecord, OutputRecord, SessionFingerprint};
 pub use machine::MachineState;
 pub use program::{Program, ProgramBuilder};
 pub use state::DataState;

@@ -2,9 +2,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use refstate_wire::{Decode, Encode, Reader, WireError, Writer};
 
+use crate::compiled::CompiledProgram;
 use crate::instr::Instr;
 use crate::value::Value;
 
@@ -28,9 +30,33 @@ use crate::value::Value;
 /// assert_eq!(p.len(), 3);
 /// # Ok::<(), refstate_vm::VmError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Program {
-    instrs: Vec<Instr>,
+    /// The validated instruction stream. `Arc`-shared: agent images are
+    /// cloned per hop, per replica, and per mechanism, and none of those
+    /// copies may re-copy the code.
+    instrs: Arc<[Instr]>,
+    /// The lazily compiled fast-path form, shared across clones (the
+    /// PR-3 `DsaParams` accel idiom): an agent image cloned per hop,
+    /// mechanism, or replica compiles once. Derived data — excluded from
+    /// equality, debug, and the wire encoding.
+    compiled: Arc<OnceLock<Arc<CompiledProgram>>>,
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.instrs == other.instrs
+    }
+}
+
+impl Eq for Program {}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("instrs", &self.instrs)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Program {
@@ -51,7 +77,22 @@ impl Program {
                 }
             }
         }
-        Ok(Program { instrs })
+        Ok(Program {
+            instrs: instrs.into(),
+            compiled: Arc::new(OnceLock::new()),
+        })
+    }
+
+    /// The shared compiled form of this program, compiling on first use.
+    ///
+    /// Clones of a `Program` share the result through one cell, so the
+    /// hot drivers (host execution, replay verification) pay the
+    /// compilation — and the content-hash lookup behind it — once per
+    /// program lineage, not once per session.
+    pub fn compiled(&self) -> Arc<CompiledProgram> {
+        self.compiled
+            .get_or_init(|| crate::compiled::cached_by_content(self))
+            .clone()
     }
 
     /// The instruction at `pc`.

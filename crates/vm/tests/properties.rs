@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use refstate_vm::{
-    assemble, run_session, DataState, ExecConfig, Instr, Interpreter, NullIo, Program, ReplayIo,
-    ScriptedIo, SessionEnd, TraceEntry, TraceMode, Value,
+    assemble, run_compiled_session, run_session, CompiledProgram, DataState, ExecConfig, Instr,
+    Interpreter, NullIo, Program, ReplayIo, ScriptedIo, SessionEnd, TraceEntry, TraceMode, Value,
 };
 
 /// Strategy: a random but always-valid straight-line program fragment that
@@ -92,6 +92,33 @@ proptest! {
             // input-add; the only masking op is `mul` by 2 / neg, both
             // injective). So the state must differ.
             prop_assert_ne!(outcome.state, live.state);
+        }
+    }
+
+    /// The compiled flat-dispatch loop is observationally identical to the
+    /// pinned step interpreter: same state, end, input log, outputs,
+    /// trace, and step count on random programs, under every trace mode.
+    #[test]
+    fn compiled_loop_matches_interpreter((inputs, ops) in program_spec()) {
+        let program = build_program(&ops, inputs.len());
+        let compiled = CompiledProgram::compile(&program);
+        for trace_mode in [TraceMode::Off, TraceMode::InputsOnly, TraceMode::Full] {
+            let config = ExecConfig { trace_mode, ..Default::default() };
+            let scripted = || {
+                let mut io = ScriptedIo::new();
+                for v in &inputs {
+                    io.push_input("x", Value::Int(*v));
+                }
+                io
+            };
+            let reference = run_session(&program, DataState::new(), &mut scripted(), &config).unwrap();
+            let fast = run_compiled_session(&compiled, DataState::new(), &mut scripted(), &config).unwrap();
+            prop_assert_eq!(&fast.state, &reference.state);
+            prop_assert_eq!(&fast.end, &reference.end);
+            prop_assert_eq!(&fast.input_log, &reference.input_log);
+            prop_assert_eq!(&fast.outputs, &reference.outputs);
+            prop_assert_eq!(&fast.trace, &reference.trace);
+            prop_assert_eq!(fast.steps, reference.steps);
         }
     }
 
