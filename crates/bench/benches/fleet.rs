@@ -6,9 +6,9 @@
 //!
 //! Besides the criterion groups, the bench emits a machine-readable
 //! `BENCH_fleet.json` (journeys/sec plus p50/p99 latency per mechanism,
-//! for both the mixed and the replicated preset) so future PRs have a
-//! perf trajectory to diff against. Set `BENCH_FLEET_OUT` to change the
-//! output path.
+//! for the mixed, replicated, chained, and encapsulated presets) so
+//! future PRs have a perf trajectory to diff against. Set
+//! `BENCH_FLEET_OUT` to change the output path.
 
 use std::sync::Arc;
 
@@ -95,8 +95,11 @@ fn emit_bench_json() {
 
     let (mixed, _) = run_block(Preset::Mixed);
     let (replicated, _) = run_block(Preset::Replicated);
-    let json =
-        format!("{{\"bench\":\"fleet\",\"scenarios\":256,\"seed\":42,{mixed},{replicated}}}");
+    let (chained, _) = run_block(Preset::Chained);
+    let (encapsulated, _) = run_block(Preset::Encapsulated);
+    let json = format!(
+        "{{\"bench\":\"fleet\",\"scenarios\":256,\"seed\":42,{mixed},{replicated},{chained},{encapsulated}}}"
+    );
 
     // Default next to the workspace root (cargo bench runs with the
     // package directory as CWD), so the trajectory file has one home.

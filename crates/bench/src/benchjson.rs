@@ -315,18 +315,21 @@ pub fn check_bigint_schema(doc: &Json) -> Result<(), JsonError> {
 }
 
 /// Validates the `BENCH_fleet.json` schema: `bench == "fleet"`, positive
-/// `scenarios`/`seed`, and for each of the `mixed` and `replicated`
-/// blocks a positive `journeys_per_sec`, the verification-pipeline
-/// fields (`check_workers`, a `replay` block with hit/miss/replay counts
-/// and a `hit_rate` in `[0, 1]`), plus a non-empty `latency_percentiles`
-/// map whose entries carry `p50_us`/`p90_us`/`p99_us`/`max_us`.
+/// `scenarios`/`seed`, and for each of the `mixed`, `replicated`,
+/// `chained`, and `encapsulated` blocks a positive `journeys_per_sec`,
+/// the verification-pipeline fields (`check_workers`, a `replay` block
+/// with hit/miss/replay counts and a `hit_rate` in `[0, 1]`), plus a
+/// non-empty `latency_percentiles` map whose entries carry
+/// `p50_us`/`p90_us`/`p99_us`/`max_us`. The chained-family blocks must
+/// additionally carry latency rows for the `chained` and `encapsulated`
+/// mechanisms — the rows this artifact exists to track.
 pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
     if doc.get("bench").and_then(Json::as_str) != Some("fleet") {
         return Err(JsonError("bench: expected \"fleet\"".into()));
     }
     require_positive(doc, "$", "scenarios")?;
     require_num(doc, "$", "seed")?;
-    for block_name in ["mixed", "replicated"] {
+    for block_name in ["mixed", "replicated", "chained", "encapsulated"] {
         let block = doc
             .get(block_name)
             .ok_or_else(|| JsonError(format!("{block_name}: missing block")))?;
@@ -376,6 +379,15 @@ pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
             let path = format!("{block_name}.latency_percentiles.{mechanism}");
             for key in ["p50_us", "p90_us", "p99_us", "max_us"] {
                 require_positive(stats, &path, key)?;
+            }
+        }
+        if matches!(block_name, "chained" | "encapsulated") {
+            for mechanism in ["chained", "encapsulated"] {
+                if !latencies.contains_key(mechanism) {
+                    return Err(JsonError(format!(
+                        "{block_name}.latency_percentiles: missing the {mechanism} row"
+                    )));
+                }
             }
         }
     }
@@ -444,29 +456,63 @@ mod tests {
     }
 
     /// A valid fleet block with the replay/check-worker fields; the
-    /// `hit_rate` is injectable so tests can push it out of range.
-    fn fleet_block(hit_rate: &str) -> String {
+    /// `hit_rate` is injectable so tests can push it out of range, and
+    /// the latency map is injectable so the chained-family row checks
+    /// can be exercised.
+    fn fleet_block_with(hit_rate: &str, latencies: &str) -> String {
         format!(
             r#"{{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
                 "journeys_per_sec":50.0,"check_workers":1,
                 "replay":{{"cache_enabled":true,"hits":10,"misses":5,
                     "replays":5,"hit_rate":{hit_rate}}},
-                "latency_percentiles":{{
-                    "protocol":{{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}}}}}"#
+                "latency_percentiles":{{{latencies}}}}}"#
+        )
+    }
+
+    const PROTOCOL_ROW: &str =
+        r#""protocol":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}"#;
+    const CHAINED_ROWS: &str = r#""chained":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0},
+        "encapsulated":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}"#;
+
+    fn fleet_block(hit_rate: &str) -> String {
+        fleet_block_with(hit_rate, PROTOCOL_ROW)
+    }
+
+    fn fleet_doc(classic: &str, chained_family: &str) -> String {
+        format!(
+            r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{classic},
+                "replicated":{classic},"chained":{chained_family},
+                "encapsulated":{chained_family}}}"#
         )
     }
 
     #[test]
     fn fleet_schema_accepts_the_committed_shape() {
-        let block = fleet_block("0.667");
-        let good = format!(
-            r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{block},"replicated":{block}}}"#
+        let good = fleet_doc(
+            &fleet_block("0.667"),
+            &fleet_block_with("0.5", CHAINED_ROWS),
         );
         assert!(check_fleet_schema(&parse(&good).unwrap()).is_ok());
 
-        let missing_block =
-            format!(r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{block}}}"#);
-        assert!(check_fleet_schema(&parse(&missing_block).unwrap()).is_err());
+        // Every preset block is required — including the chained pair.
+        let block = fleet_block("0.667");
+        for missing in [
+            format!(r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{block}}}"#),
+            format!(
+                r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{block},"replicated":{block}}}"#
+            ),
+        ] {
+            assert!(check_fleet_schema(&parse(&missing).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn fleet_schema_requires_chained_family_rows() {
+        // A chained-preset block that lost its chained/encapsulated
+        // latency rows is a schema violation: the rows are the point.
+        let doc = fleet_doc(&fleet_block("0.667"), &fleet_block("0.5"));
+        let err = check_fleet_schema(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("missing the chained row"), "{err}");
     }
 
     #[test]
@@ -476,16 +522,11 @@ mod tests {
         let stale = r#"{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
             "journeys_per_sec":50.0,"latency_percentiles":{
                 "protocol":{"p50_us":1.0,"p90_us":2.0,"p99_us":3.0,"max_us":4.0}}}"#;
-        let doc = format!(
-            r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{stale},"replicated":{stale}}}"#
-        );
+        let doc = fleet_doc(stale, &fleet_block_with("0.5", CHAINED_ROWS));
         assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
 
         // An out-of-range hit rate is a schema violation, not a number.
-        let bad_rate = fleet_block("1.5");
-        let doc = format!(
-            r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{bad_rate},"replicated":{bad_rate}}}"#
-        );
+        let doc = fleet_doc(&fleet_block("1.5"), &fleet_block_with("0.5", CHAINED_ROWS));
         assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
     }
 }

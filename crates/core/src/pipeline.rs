@@ -78,12 +78,11 @@ pub enum ReplaySummary {
 /// Number of lock-striped shards in a [`ReplayCache`].
 const SHARDS: usize = 16;
 
-/// Entries retained per shard before the shard is cleared wholesale (the
-/// same bound-by-reset policy as the VM's compile table): at most
-/// `SHARDS × SHARD_CAP` memoized sessions (~64k summaries, a few MB)
-/// live at once, so a long-running service cannot grow without bound.
-/// Clearing costs only future hit-rate, never correctness — the memo is
-/// a pure function of its key.
+/// Entries retained per shard before least-recently-used eviction kicks
+/// in: at most `SHARDS × SHARD_CAP` memoized sessions (~64k summaries, a
+/// few MB) live at once, so a long-running service cannot grow without
+/// bound. Eviction costs only future hit-rate, never correctness — the
+/// memo is a pure function of its key.
 const SHARD_CAP: usize = 4096;
 
 /// The memo key of one replay. The initial state and input log are
@@ -103,10 +102,32 @@ struct CacheKey {
     step_limit: u64,
 }
 
+/// One lock-striped shard: the memo map plus a monotone use counter for
+/// LRU eviction.
+#[derive(Default)]
+struct Shard {
+    /// Each entry carries the tick of its last touch (insert or hit).
+    entries: HashMap<CacheKey, (ReplaySummary, u64)>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
 /// The `Arc`-shared memo of reference-state recomputations, sharded to
-/// keep fleet workers off each other's locks.
+/// keep fleet workers off each other's locks and **LRU-bounded** per
+/// shard: once a shard reaches its capacity, inserting a new session
+/// evicts the least-recently-used one (an `O(shard capacity)` scan —
+/// trivial next to the replay the insert just paid for). A long-lived
+/// service therefore keeps its hottest sessions memoized instead of
+/// periodically losing everything to a wholesale clear.
 pub struct ReplayCache {
-    shards: Vec<Mutex<HashMap<CacheKey, ReplaySummary>>>,
+    shards: Vec<Mutex<Shard>>,
+    shard_cap: usize,
 }
 
 impl Default for ReplayCache {
@@ -116,14 +137,28 @@ impl Default for ReplayCache {
 }
 
 impl ReplayCache {
-    /// An empty cache with the default shard count.
+    /// An empty cache with the default shard count and capacity
+    /// (`SHARDS × SHARD_CAP` entries).
     pub fn new() -> Self {
+        Self::with_capacity(SHARDS * SHARD_CAP)
+    }
+
+    /// An empty cache bounded to roughly `capacity` entries total
+    /// (rounded up to a multiple of the shard count; at least one entry
+    /// per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
         ReplayCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap: capacity.div_ceil(SHARDS).max(1),
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, ReplaySummary>> {
+    /// The hard bound on memoized sessions.
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * self.shards.len()
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
         // The key components are already content hashes; fold the first
         // digest byte into a shard index directly.
         let mix = key.code_hash as usize ^ key.initial.as_bytes()[0] as usize;
@@ -131,20 +166,33 @@ impl ReplayCache {
     }
 
     fn get(&self, key: &CacheKey) -> Option<ReplaySummary> {
-        self.shard(key).lock().get(key).cloned()
+        let mut shard = self.shard(key).lock();
+        let tick = shard.touch();
+        let (summary, last_used) = shard.entries.get_mut(key)?;
+        *last_used = tick;
+        Some(summary.clone())
     }
 
     fn insert(&self, key: CacheKey, value: ReplaySummary) {
         let mut shard = self.shard(&key).lock();
-        if shard.len() >= SHARD_CAP {
-            shard.clear();
+        let tick = shard.touch();
+        if shard.entries.len() >= self.shard_cap && !shard.entries.contains_key(&key) {
+            // Evict the least-recently-used entry to stay within bound.
+            if let Some(victim) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.entries.remove(&victim);
+            }
         }
-        shard.insert(key, value);
+        shard.entries.insert(key, (value, tick));
     }
 
     /// Number of memoized sessions across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// Returns `true` when nothing is memoized.
@@ -157,6 +205,7 @@ impl fmt::Debug for ReplayCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ReplayCache")
             .field("entries", &self.len())
+            .field("capacity", &self.capacity())
             .field("shards", &self.shards.len())
             .finish()
     }
@@ -605,6 +654,125 @@ mod tests {
         assert_eq!(a.snapshot().replays, 1, "a replayed");
         assert_eq!(b.snapshot().replays, 0, "b hit a's entry");
         assert_eq!(b.snapshot().hits, 1);
+    }
+
+    /// Builds `count` distinct cacheable sessions of the same program
+    /// (the initial state varies, so every session keys differently).
+    fn distinct_sessions(count: usize) -> (Program, Vec<DataState>, InputLog) {
+        let program = assemble(
+            r#"
+            input "price"
+            store "quote"
+            halt
+        "#,
+        )
+        .unwrap();
+        let mut io = ScriptedIo::new();
+        io.push_input("price", Value::Int(50));
+        let outcome =
+            run_session(&program, DataState::new(), &mut io, &ExecConfig::default()).unwrap();
+        let initials = (0..count)
+            .map(|i| {
+                let mut state = DataState::new();
+                state.set("salt", Value::Int(i as i64));
+                state
+            })
+            .collect();
+        (program, initials, outcome.input_log)
+    }
+
+    #[test]
+    fn replay_cache_is_lru_bounded() {
+        let (program, initials, input) = distinct_sessions(64);
+        let cache = Arc::new(ReplayCache::with_capacity(16));
+        assert_eq!(cache.capacity(), 16);
+        let pipeline = VerificationPipeline::with_cache(cache.clone());
+        let exec = ExecConfig::default();
+        for initial in &initials {
+            pipeline.replay(&program, initial, &input, &exec);
+        }
+        // The bound holds no matter how many distinct sessions flowed
+        // through; the closed ROADMAP item ("unbounded within a run").
+        assert!(
+            cache.len() <= cache.capacity(),
+            "cache grew past its bound: {} > {}",
+            cache.len(),
+            cache.capacity()
+        );
+        assert_eq!(pipeline.snapshot().misses, 64);
+
+        // The most recent session is never the LRU victim: still a hit.
+        let before = pipeline.snapshot().hits;
+        pipeline.replay(&program, initials.last().unwrap(), &input, &exec);
+        assert_eq!(pipeline.snapshot().hits, before + 1);
+
+        // Re-replaying the full population hits for exactly the retained
+        // entries and misses for the evicted ones — the stats (and
+        // therefore the reported hit rate) stay consistent with the
+        // bound.
+        let cached = cache.len() as u64;
+        let stats_before = pipeline.snapshot();
+        for initial in &initials {
+            pipeline.replay(&program, initial, &input, &exec);
+        }
+        let stats = pipeline.snapshot();
+        // LRU churn during the sweep can evict entries the sweep itself
+        // revisits later, so retained-entry hits are an upper bound.
+        assert!(stats.hits - stats_before.hits <= cached);
+        assert!(stats.misses > stats_before.misses);
+        let total = stats.hits + stats.misses;
+        assert!((stats.hit_rate() - stats.hits as f64 / total as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_cache_eviction_prefers_stale_entries() {
+        // Shard assignment is a pure function of the key, so probe for
+        // sessions that share session 0's shard: with one entry per
+        // shard, inserting a same-shard session evicts session 0 (its
+        // re-replay misses).
+        let (program, initials, input) = distinct_sessions(256);
+        let exec = ExecConfig::default();
+        let probe = VerificationPipeline::with_cache(Arc::new(ReplayCache::with_capacity(16)));
+        let mut colliders: Vec<&DataState> = Vec::new();
+        for initial in &initials[1..] {
+            probe.replay(&program, &initials[0], &input, &exec); // (re)load s0
+            let hits = probe.snapshot().hits;
+            probe.replay(&program, initial, &input, &exec); // candidate
+            probe.replay(&program, &initials[0], &input, &exec);
+            if probe.snapshot().hits == hits {
+                colliders.push(initial); // s0 was evicted: same shard
+                if colliders.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let [a, b] = colliders[..] else {
+            panic!("256 sessions over 16 shards must collide twice");
+        };
+
+        // Now give the shard room for two: the least-recently-used entry
+        // is the victim, and a touch refreshes recency.
+        let cache = Arc::new(ReplayCache::with_capacity(32));
+        let pipeline = VerificationPipeline::with_cache(cache);
+        pipeline.replay(&program, &initials[0], &input, &exec); // s0
+        pipeline.replay(&program, a, &input, &exec); // shard now full
+        pipeline.replay(&program, &initials[0], &input, &exec); // touch s0
+        assert_eq!(pipeline.snapshot().hits, 1);
+        pipeline.replay(&program, b, &input, &exec); // overflow: evicts a
+        let hits = pipeline.snapshot().hits;
+        pipeline.replay(&program, &initials[0], &input, &exec);
+        assert_eq!(
+            pipeline.snapshot().hits,
+            hits + 1,
+            "the touched entry survives"
+        );
+        let misses = pipeline.snapshot().misses;
+        pipeline.replay(&program, a, &input, &exec);
+        assert_eq!(
+            pipeline.snapshot().misses,
+            misses + 1,
+            "the stale entry was the LRU victim"
+        );
     }
 
     #[test]

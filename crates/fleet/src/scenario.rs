@@ -38,21 +38,39 @@ pub enum Preset {
     /// path (`h0 → h1 → …`) and see the attacker only when it sits on
     /// that path.
     Replicated,
-    /// Uniform draw over the five *linear* families above (replicated
-    /// stages change the topology, so [`Preset::Replicated`] stays a
-    /// dedicated family to keep mixed-rate comparisons like-for-like).
+    /// Chain-manipulation attacks (truncate-tail, swap-two-hops,
+    /// replace-partial-result) plus colluding-predecessor forgeries and
+    /// a slice of computation lies — the family that scores the
+    /// chained-integrity mechanisms against the re-execution ones in one
+    /// report: `chained`/`encapsulated` catch the chain manipulation the
+    /// reference-state mechanisms are blind to, and miss the computation
+    /// lies they catch.
+    Chained,
+    /// The chained family on long routes (6–14 hops) with a slice of
+    /// input forgeries instead of computation lies: stresses per-arrival
+    /// chain checks, owner-side signature batches, and late attacker
+    /// placements (the final host can only be caught by the owner).
+    Encapsulated,
+    /// Uniform draw over the seven *linear* families above — the five
+    /// classics plus the two chained families, so one mixed report
+    /// scores every linear mechanism on and off its home turf
+    /// (replicated stages change the topology, so
+    /// [`Preset::Replicated`] stays a dedicated family to keep
+    /// mixed-rate comparisons like-for-like).
     Mixed,
 }
 
 impl Preset {
     /// Every preset, including [`Preset::Mixed`].
-    pub const ALL: [Preset; 7] = [
+    pub const ALL: [Preset; 9] = [
         Preset::AllHonest,
         Preset::SingleTamperer,
         Preset::ColludingPair,
         Preset::InputForgeryHeavy,
         Preset::LongRoute,
         Preset::Replicated,
+        Preset::Chained,
+        Preset::Encapsulated,
         Preset::Mixed,
     ];
 
@@ -65,6 +83,8 @@ impl Preset {
             Preset::InputForgeryHeavy => "input-forgery",
             Preset::LongRoute => "long-route",
             Preset::Replicated => "replicated",
+            Preset::Chained => "chained",
+            Preset::Encapsulated => "encapsulated",
             Preset::Mixed => "mixed",
         }
     }
@@ -178,6 +198,19 @@ fn detectable_attack(rng: &mut StdRng) -> Attack {
     }
 }
 
+/// Draws one chain-manipulation attack the chained-integrity family
+/// detects (the attacker at `pos` has `pos` predecessor entries to
+/// manipulate; callers guarantee `pos >= 2` so every draw has teeth).
+fn chain_attack(rng: &mut StdRng, pos: usize) -> Attack {
+    match rng.gen_range(0u8..3) {
+        0 => Attack::TruncateChainTail {
+            drop: rng.gen_range(1usize..pos.max(2)),
+        },
+        1 => Attack::SwapChainEntries,
+        _ => Attack::ReplacePartialResult,
+    }
+}
+
 /// Draws one attack outside the reference-state bandwidth (§4.2).
 fn undetectable_attack(rng: &mut StdRng) -> Attack {
     match rng.gen_range(0u8..4) {
@@ -200,18 +233,23 @@ pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
     let mut rng = StdRng::seed_from_u64(scenario_seed(fleet_seed, id));
 
     let kind = match preset {
-        Preset::Mixed => match rng.gen_range(0u8..5) {
+        Preset::Mixed => match rng.gen_range(0u8..7) {
             0 => Preset::AllHonest,
             1 => Preset::SingleTamperer,
             2 => Preset::ColludingPair,
             3 => Preset::InputForgeryHeavy,
-            _ => Preset::LongRoute,
+            4 => Preset::LongRoute,
+            5 => Preset::Chained,
+            _ => Preset::Encapsulated,
         },
         concrete => concrete,
     };
 
     if kind == Preset::Replicated {
         return generate_replicated(id, &mut rng);
+    }
+    if kind == Preset::Chained || kind == Preset::Encapsulated {
+        return generate_chained(id, &mut rng, kind);
     }
 
     let route_len = match kind {
@@ -255,8 +293,8 @@ pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
                 (Some(pos), Some(attack))
             }
         }
-        Preset::Replicated | Preset::Mixed => {
-            unreachable!("replicated and mixed are handled above")
+        Preset::Replicated | Preset::Chained | Preset::Encapsulated | Preset::Mixed => {
+            unreachable!("replicated, chained, and mixed are handled above")
         }
     };
 
@@ -388,6 +426,100 @@ fn generate_replicated(id: u64, rng: &mut StdRng) -> GeneratedScenario {
         agent: build_route_agent(id, stage_count),
         route,
         stages: Some(stages),
+        specs,
+        attacker,
+        attack_label,
+    }
+}
+
+/// Generates one chained-integrity scenario ([`Preset::Chained`] /
+/// [`Preset::Encapsulated`]): a linear route with one attacker at
+/// position ≥ 2 (chain manipulation needs recorded predecessors). The
+/// attack mix is mostly chain manipulation, with the family's two blind
+/// spots sampled so fleet reports show the structural contrast:
+///
+/// * `chained` — 20% honest, 55% chain manipulation, 10%
+///   colluding-predecessor forgery, 15% computation lies (which only the
+///   re-execution mechanisms catch),
+/// * `encapsulated` — longer routes (6–14 hops), 15% honest, 60% chain
+///   manipulation, 10% collusion, 15% input forgery (which nothing
+///   linear catches).
+fn generate_chained(id: u64, rng: &mut StdRng, kind: Preset) -> GeneratedScenario {
+    let route_len = match kind {
+        Preset::Encapsulated => rng.gen_range(6usize..15),
+        _ => rng.gen_range(4usize..9),
+    };
+    let roll = rng.gen_range(0u8..20);
+    let pos = rng.gen_range(2usize..route_len);
+    let (attacker_pos, attack) = match kind {
+        Preset::Encapsulated => match roll {
+            0..=2 => (None, None),
+            3..=14 => (Some(pos), Some(chain_attack(rng, pos))),
+            15..=16 => (
+                Some(pos),
+                Some(Attack::ForgeChainEntry {
+                    accomplice: HostId::new(format!("h{}", pos - 1)),
+                }),
+            ),
+            _ => (Some(pos), Some(undetectable_attack(rng))),
+        },
+        _ => match roll {
+            0..=3 => (None, None),
+            4..=14 => (Some(pos), Some(chain_attack(rng, pos))),
+            15..=16 => (
+                Some(pos),
+                Some(Attack::ForgeChainEntry {
+                    accomplice: HostId::new(format!("h{}", pos - 1)),
+                }),
+            ),
+            _ => (Some(pos), Some(detectable_attack(rng))),
+        },
+    };
+    // A colluding predecessor leaks its key: it must not be trusted.
+    let accomplice_pos = match &attack {
+        Some(Attack::ForgeChainEntry { .. }) => attacker_pos.map(|p| p - 1),
+        _ => None,
+    };
+
+    let mut specs = Vec::with_capacity(route_len);
+    for pos in 0..route_len {
+        let mut spec = HostSpec::new(format!("h{pos}"));
+        let is_attacker = attacker_pos == Some(pos);
+        let is_accomplice = accomplice_pos == Some(pos);
+        if pos == 0 || (!is_attacker && !is_accomplice && rng.gen_bool(0.3)) {
+            spec = spec.trusted();
+        }
+        let offer = rng.gen_range(1i64..1000);
+        for _ in 0..3 {
+            spec = spec.with_input("n", Value::Int(offer));
+        }
+        spec = spec.with_input("unused", Value::Int(0));
+        if is_attacker {
+            spec = spec.malicious(attack.clone().expect("attacker position implies attack"));
+        }
+        specs.push(spec);
+    }
+
+    let attacker = attacker_pos.map(|pos| {
+        (
+            HostId::new(format!("h{pos}")),
+            attack.expect("attacker position implies attack"),
+        )
+    });
+    let attack_label = attacker
+        .as_ref()
+        .map(|(_, a)| a.label())
+        .unwrap_or("honest");
+
+    GeneratedScenario {
+        id,
+        kind,
+        start: HostId::new("h0"),
+        route: (0..route_len)
+            .map(|p| HostId::new(format!("h{p}")))
+            .collect(),
+        stages: None,
+        agent: build_route_agent(id, route_len),
         specs,
         attacker,
         attack_label,
@@ -528,6 +660,58 @@ mod tests {
             attackers_off_primary_path > 0,
             "some attackers hide off the primary path"
         );
+    }
+
+    #[test]
+    fn chained_presets_place_attackers_with_predecessors() {
+        for preset in [Preset::Chained, Preset::Encapsulated] {
+            let mut chain_attacks = 0;
+            let mut blind_spots = 0;
+            for id in 0..80 {
+                let s = generate(23, id, preset);
+                assert_eq!(s.kind, preset);
+                assert!(s.stages.is_none());
+                let Some((host, attack)) = &s.attacker else {
+                    continue;
+                };
+                let pos: usize = host.as_str()[1..].parse().unwrap();
+                if attack.targets_result_chain() {
+                    assert!(
+                        pos >= 2,
+                        "chain attacks need recorded predecessors, got pos {pos}"
+                    );
+                }
+                if let Attack::TruncateChainTail { drop } = attack {
+                    assert!((1..pos).contains(drop) || *drop == 1, "{attack:?} at {pos}");
+                }
+                if let Attack::ForgeChainEntry { accomplice } = attack {
+                    assert_eq!(accomplice.as_str(), format!("h{}", pos - 1));
+                    let spec = s.specs.iter().find(|sp| &sp.id == accomplice).unwrap();
+                    assert!(!spec.trusted, "a key-leaking accomplice is never trusted");
+                }
+                if attack.detectable_by_chained_integrity() {
+                    chain_attacks += 1;
+                } else {
+                    blind_spots += 1;
+                }
+            }
+            assert!(chain_attacks > 20, "{preset}: chain attacks dominate");
+            assert!(
+                blind_spots > 5,
+                "{preset}: the family's blind spots are sampled too"
+            );
+        }
+    }
+
+    #[test]
+    fn encapsulated_routes_are_longer_than_chained() {
+        let avg = |preset: Preset| -> f64 {
+            (0..60)
+                .map(|id| generate(5, id, preset).route_len() as f64)
+                .sum::<f64>()
+                / 60.0
+        };
+        assert!(avg(Preset::Encapsulated) > avg(Preset::Chained) + 2.0);
     }
 
     #[test]

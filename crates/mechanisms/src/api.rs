@@ -24,7 +24,8 @@
 //!   aggregate detection/attribution rates are comparable across
 //!   mechanisms.
 //!
-//! The six built-in mechanisms live in [`crate::fleet`];
+//! The six paper mechanisms live in [`crate::fleet`] and the
+//! chained-integrity family in [`crate::chained`];
 //! [`MechanismRegistry::builtin`] registers them all.
 
 use std::fmt;
@@ -251,9 +252,11 @@ impl fmt::Debug for JourneyCtx<'_> {
 /// are comparable:
 ///
 /// * `detected` — the mechanism flagged the run,
-/// * `accused` — the hosts the mechanism blamed (empty when undetected;
-///   fleet reports score these against the scenario's actual attacker to
-///   measure culprit-attribution accuracy and false accusations),
+/// * `accused` — the hosts the mechanism blamed (empty when undetected,
+///   or when the mechanism detects without attribution — see
+///   [`JourneyVerdict::detected_unattributed`]; fleet reports score these
+///   against the scenario's actual attacker to measure
+///   culprit-attribution accuracy and false accusations),
 /// * `completed` — the journey ran to its halt instruction (mechanisms
 ///   that check per session abort at the detection point; traces detect
 ///   only after completion),
@@ -289,6 +292,20 @@ impl JourneyVerdict {
         JourneyVerdict {
             detected: true,
             accused,
+            completed,
+            infra_error: false,
+        }
+    }
+
+    /// A detection that cannot be pinned on a host: the mechanism can
+    /// prove manipulation happened without identifying the manipulator
+    /// (chained MACs — any host downstream of the broken entry could
+    /// have done it). Scores as a detection with zero attribution and no
+    /// false accusation.
+    pub fn detected_unattributed(completed: bool) -> Self {
+        JourneyVerdict {
+            detected: true,
+            accused: Vec::new(),
             completed,
             infra_error: false,
         }
@@ -370,8 +387,8 @@ impl MechanismRegistry {
         MechanismRegistry::default()
     }
 
-    /// The registry of the six built-in mechanisms, in canonical report
-    /// order.
+    /// The registry of the eight built-in mechanisms (the paper's six
+    /// plus the chained-integrity family), in canonical report order.
     pub fn builtin() -> Self {
         let mut registry = MechanismRegistry::empty();
         registry.register(Arc::new(crate::fleet::Unprotected));
@@ -380,6 +397,8 @@ impl MechanismRegistry {
         registry.register(Arc::new(crate::fleet::SessionCheckingProtocol));
         registry.register(Arc::new(crate::fleet::ExecutionTraces));
         registry.register(Arc::new(crate::fleet::ReplicatedStages));
+        registry.register(Arc::new(crate::chained::ChainedMac));
+        registry.register(Arc::new(crate::chained::EncapsulatedResults));
         registry
     }
 
@@ -466,7 +485,7 @@ mod tests {
     #[test]
     fn every_builtin_mechanism_round_trips_by_name() {
         let registry = MechanismRegistry::builtin();
-        assert_eq!(registry.len(), 6);
+        assert_eq!(registry.len(), 8);
         for mechanism in registry.iter() {
             let resolved = registry
                 .get(mechanism.name())

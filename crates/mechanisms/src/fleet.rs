@@ -1,6 +1,7 @@
-//! The six built-in [`ProtectionMechanism`] implementations, drivable
-//! over *arbitrary* generated host sets through the uniform
-//! [`crate::api`] surface.
+//! The six paper-surveyed [`ProtectionMechanism`] implementations,
+//! drivable over *arbitrary* generated host sets through the uniform
+//! [`crate::api`] surface (the chained-integrity pair lives in
+//! [`crate::chained`]).
 //!
 //! Each mechanism is a unit struct wrapping one of the workspace's
 //! journey drivers; [`crate::api::MechanismRegistry::builtin`] registers

@@ -10,16 +10,22 @@
 //!   [`JourneyCtx`] it runs over (hosts, route, PKI, RNG stream, and a
 //!   deferred-signature [`VerificationQueue`](refstate_crypto::VerificationQueue)),
 //!   and the [`MechanismRegistry`] every driver dispatches through;
-//! * [`fleet`] — the six built-in implementations.
+//! * [`fleet`] — the six implementations surveyed by the paper;
+//! * [`chained`] — the chained-integrity family from the related work
+//!   (Karjoth-style chained MACs, signed partial result encapsulation),
+//!   which protects the *recorded* partial results against truncation,
+//!   reordering, and substitution without any re-execution.
 //!
-//! | Registry name | Paper §3 mechanism | Moment | Reference data | Topology | Signatures |
-//! |---------------|--------------------|--------|----------------|----------|------------|
+//! | Registry name | Mechanism | Moment | Reference data | Topology | Signatures |
+//! |---------------|-----------|--------|----------------|----------|------------|
 //! | `unprotected` | — (baseline) | never | none | linear | no |
 //! | `appraisal` | State appraisal (Farmer/Guttman/Swarup) | after session (on arrival) | initial + resulting state | linear | no |
 //! | `framework` | The generic framework, re-execution checking | after session | initial + resulting state + input | linear | no |
 //! | `protocol` | §5.1 session checking | after session | initial + resulting state + input | linear | yes (deferrable) |
 //! | `traces` | Execution traces (Vigna) | after task, on suspicion | initial state + trace + input | linear | yes |
 //! | `replication` | Server replication (Minsky et al.) | after session (parallel) | resulting state + replicated resources | replicated stages | no |
+//! | `chained` | Chained MACs (Karjoth et al.) | after task | resulting state (recorded chain) | linear | no (HMAC) |
+//! | `encapsulated` | Signed result encapsulation (Rodríguez–Sobrado) | after session (on arrival) + owner batch | resulting state (recorded chain) | linear | yes (deferrable) |
 //!
 //! The per-mechanism modules ([`appraisal`], [`replication`], [`traces`],
 //! [`proofs`]) keep the full-fidelity drivers and their evidence types;
@@ -77,6 +83,7 @@
 
 pub mod api;
 pub mod appraisal;
+pub mod chained;
 pub mod fleet;
 pub mod matrix;
 pub mod merkle;
@@ -89,6 +96,10 @@ pub use api::{
     ProtectionMechanism, RouteTopology, UnknownMechanism,
 };
 pub use appraisal::{run_appraised_journey, AppraisalOutcome};
+pub use chained::{
+    run_encapsulated_journey, run_mac_chained_journey, verify_mac_chain, ChainFraud, ChainLink,
+    ChainSecret, ChainVerdict, ChainedMac, EncapsulatedResults, Encapsulation,
+};
 pub use matrix::{detection_matrix, DetectionCell, ScenarioSpec};
 pub use merkle::{MerklePath, MerkleTree};
 pub use proofs::{ExecutionProof, ProofError, Prover, StepOpening, Verifier};

@@ -122,6 +122,29 @@ pub fn standard_scenarios() -> Vec<ScenarioSpec> {
             }),
             expected_detectable: false, // for the session protocol
         },
+        // Chain-manipulation attacks: outside the reference-state
+        // bandwidth entirely (the chain does not exist under those
+        // mechanisms), caught only by the chained-integrity family.
+        // `swap-two-hops` is omitted here — it needs two recorded
+        // predecessors and the standard scenario's attacker has one; the
+        // fleet presets and the adversarial battery cover it.
+        ScenarioSpec {
+            label: "truncate-tail",
+            attack: Some(Attack::TruncateChainTail { drop: 1 }),
+            expected_detectable: false,
+        },
+        ScenarioSpec {
+            label: "replace-partial-result",
+            attack: Some(Attack::ReplacePartialResult),
+            expected_detectable: false,
+        },
+        ScenarioSpec {
+            label: "collude-predecessor",
+            attack: Some(Attack::ForgeChainEntry {
+                accomplice: HostId::new("a"),
+            }),
+            expected_detectable: false,
+        },
     ]
 }
 
@@ -318,6 +341,51 @@ mod tests {
                 let c = cell(m, label);
                 assert!(c.detected, "{m} missed {label}");
             }
+        }
+    }
+
+    #[test]
+    fn chained_family_catches_chain_manipulation_everyone_else_is_blind() {
+        for label in ["truncate-tail", "replace-partial-result"] {
+            for m in MechanismRegistry::builtin().names() {
+                let c = cell(m, label);
+                if m == "chained" || m == "encapsulated" {
+                    assert!(c.detected, "{m} missed {label}");
+                } else {
+                    assert!(!c.detected, "{m} impossibly detected {label}");
+                }
+            }
+        }
+        // The owner-only MAC chain completes the journey before the
+        // after-task verification fires; the publicly verifiable
+        // encapsulations abort at the next arrival.
+        assert!(cell("chained", "truncate-tail").completed);
+        assert!(!cell("encapsulated", "truncate-tail").completed);
+    }
+
+    #[test]
+    fn chained_family_misses_computation_lies_reexecution_catches() {
+        // The structural contrast in both directions, cell by cell.
+        for label in ["tamper-variable", "scale-int", "skip-execution"] {
+            for m in ["chained", "encapsulated"] {
+                let c = cell(m, label);
+                assert!(!c.detected, "{m} cannot see the {label} computation lie");
+            }
+            assert!(
+                cell("framework", label).detected,
+                "re-execution sees {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn colluding_predecessor_evades_the_chained_family() {
+        for m in ["chained", "encapsulated"] {
+            let c = cell(m, "collude-predecessor");
+            assert!(
+                !c.detected,
+                "{m} cannot beat a shared chain key (§5.1 analogue)"
+            );
         }
     }
 

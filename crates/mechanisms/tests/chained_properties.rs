@@ -1,0 +1,155 @@
+//! Chain-level adversarial properties for the chained-integrity family:
+//! random chains × random manipulation placements, verified without any
+//! hosts or VM — the pure cryptographic core of [`verify_mac_chain`].
+//!
+//! The battery pins both directions of the family's bandwidth:
+//! truncation, reordering, and substitution are detected at every
+//! placement; a forgery made *with* the victim's key (the colluding
+//! predecessor) passes.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate_crypto::sha256;
+use refstate_mechanisms::chained::{verify_mac_chain, ChainLink, ChainSecret};
+use refstate_platform::{AgentId, HostId};
+
+/// Builds an honest `n`-link chain under `secret`: route `h0 … h{n-1}`,
+/// per-hop result digests derived from `salt`.
+fn honest_chain(secret: &ChainSecret, agent: &AgentId, n: usize, salt: u64) -> Vec<ChainLink> {
+    let anchor = secret.anchor(agent);
+    let mut links: Vec<ChainLink> = Vec::with_capacity(n);
+    for i in 0..n {
+        let next = (i + 1 < n).then(|| HostId::new(format!("h{}", i + 1)));
+        let mut link = ChainLink {
+            seq: i as u64,
+            executor: HostId::new(format!("h{i}")),
+            result_digest: sha256(format!("result-{salt}-{i}").as_bytes()),
+            next,
+            mac: anchor,
+        };
+        let prev = links.last().map(|l| l.mac).unwrap_or(anchor);
+        link.mac = ChainLink::chain_mac(secret, &prev, &link);
+        links.push(link);
+    }
+    links
+}
+
+fn final_digest(links: &[ChainLink]) -> refstate_crypto::Digest {
+    links.last().expect("non-empty chain").result_digest
+}
+
+proptest! {
+    /// The honest chain always verifies, for every length and secret.
+    #[test]
+    fn honest_chains_verify_clean(seed in any::<u64>(), n in 1usize..12) {
+        let secret = ChainSecret::from_rng(&mut StdRng::seed_from_u64(seed));
+        let agent = AgentId::new("prop");
+        let links = honest_chain(&secret, &agent, n, seed);
+        let verdict = verify_mac_chain(
+            &links, &secret, &agent, &HostId::new("h0"), &final_digest(&links),
+        );
+        prop_assert!(!verdict.tampered(), "honest chain flagged: {:?}", verdict);
+    }
+
+    /// Truncating any non-empty tail is detected (the surviving last
+    /// link's next-hop commitment dangles), at every placement.
+    #[test]
+    fn truncation_is_always_detected(seed in any::<u64>(), n in 2usize..12, cut in 1usize..11) {
+        let secret = ChainSecret::from_rng(&mut StdRng::seed_from_u64(seed));
+        let agent = AgentId::new("prop");
+        let links = honest_chain(&secret, &agent, n, seed);
+        let cut = cut.min(n - 1);
+        let truncated = &links[..n - cut];
+        let verdict = verify_mac_chain(
+            truncated, &secret, &agent, &HostId::new("h0"),
+            &final_digest(truncated),
+        );
+        prop_assert!(verdict.tampered(), "dropped {} tail links undetected", cut);
+    }
+
+    /// Swapping any two distinct slots is detected, at every placement.
+    #[test]
+    fn reordering_is_always_detected(seed in any::<u64>(), n in 2usize..12, a in 0usize..11, b in 0usize..11) {
+        let secret = ChainSecret::from_rng(&mut StdRng::seed_from_u64(seed));
+        let agent = AgentId::new("prop");
+        let mut links = honest_chain(&secret, &agent, n, seed);
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        links.swap(a, b);
+        let verdict = verify_mac_chain(
+            &links, &secret, &agent, &HostId::new("h0"), &final_digest(&links),
+        );
+        prop_assert!(verdict.tampered(), "swap({}, {}) of {} undetected", a, b, n);
+    }
+
+    /// Substituting any slot's recorded partial result is detected: the
+    /// victim's MAC no longer covers the entry.
+    #[test]
+    fn substitution_is_always_detected(seed in any::<u64>(), n in 1usize..12, victim in 0usize..11) {
+        let secret = ChainSecret::from_rng(&mut StdRng::seed_from_u64(seed));
+        let agent = AgentId::new("prop");
+        let mut links = honest_chain(&secret, &agent, n, seed);
+        let victim = victim % n;
+        links[victim].result_digest = sha256(format!("forged-{seed}").as_bytes());
+        let verdict = verify_mac_chain(
+            &links, &secret, &agent, &HostId::new("h0"), &final_digest(&links),
+        );
+        prop_assert!(verdict.tampered(), "substitution at {} of {} undetected", victim, n);
+    }
+
+    /// An adversary who rebuilds the whole suffix with a *guessed*
+    /// secret still fails: the MACs key on the owner's secret.
+    #[test]
+    fn rekeyed_suffix_is_always_detected(seed in any::<u64>(), n in 2usize..10, from in 0usize..9) {
+        let secret = ChainSecret::from_rng(&mut StdRng::seed_from_u64(seed));
+        let wrong = ChainSecret::from_rng(&mut StdRng::seed_from_u64(seed ^ 0xdead_beef));
+        let agent = AgentId::new("prop");
+        let mut links = honest_chain(&secret, &agent, n, seed);
+        let from = from % n;
+        // Rewrite slot `from` and recompute every MAC from there on with
+        // the guessed secret — internally consistent, wrongly keyed.
+        links[from].result_digest = sha256(b"forged");
+        for i in from..n {
+            let prev = if i == 0 {
+                wrong.anchor(&agent)
+            } else {
+                links[i - 1].mac
+            };
+            links[i].mac = ChainLink::chain_mac(&wrong, &prev, &links[i]);
+        }
+        let verdict = verify_mac_chain(
+            &links, &secret, &agent, &HostId::new("h0"), &final_digest(&links),
+        );
+        prop_assert!(verdict.tampered(), "rekeyed suffix from {} undetected", from);
+    }
+
+    /// The blindness, pinned as a passing assertion: a forgery computed
+    /// with the victim's *real* key (the colluding predecessor leaked
+    /// it) re-chains validly and passes verification at every placement.
+    #[test]
+    fn keyed_collusion_forgery_always_passes(seed in any::<u64>(), n in 2usize..10, victim in 0usize..9) {
+        let secret = ChainSecret::from_rng(&mut StdRng::seed_from_u64(seed));
+        let agent = AgentId::new("prop");
+        let mut links = honest_chain(&secret, &agent, n, seed);
+        let victim = victim % n;
+        links[victim].result_digest = sha256(b"forged-with-real-key");
+        // The colluders hold the real keys for the rewritten suffix.
+        for i in victim..n {
+            let prev = if i == 0 {
+                secret.anchor(&agent)
+            } else {
+                links[i - 1].mac
+            };
+            links[i].mac = ChainLink::chain_mac(&secret, &prev, &links[i]);
+        }
+        let verdict = verify_mac_chain(
+            &links, &secret, &agent, &HostId::new("h0"), &final_digest(&links),
+        );
+        prop_assert!(
+            !verdict.tampered(),
+            "a forgery under the real keys is outside the design bandwidth, got {:?}",
+            verdict
+        );
+    }
+}

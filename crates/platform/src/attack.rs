@@ -84,6 +84,39 @@ pub enum Attack {
         /// The colluding next host that will vouch for the session.
         accomplice: HostId,
     },
+    /// Chain truncation (Karjoth's "stemming" attack): drop the most
+    /// recent `drop` entries of the per-hop result chain the agent
+    /// carries — e.g. erase a competitor's offer. Acts on the
+    /// chained-integrity protocol data, not the agent state: hosts
+    /// executing under a mechanism that carries no chain run honestly.
+    /// **Undetectable** by reference states; **detectable** by chained
+    /// integrity (the surviving entries' next-hop commitments break).
+    TruncateChainTail {
+        /// How many tail entries to drop (clamped to the chain length).
+        drop: usize,
+    },
+    /// Chain reordering: swap the two most recent entries of the carried
+    /// result chain (a no-op when fewer than two predecessors recorded).
+    /// **Undetectable** by reference states; **detectable** by chained
+    /// integrity (sequence numbers and chain bindings break).
+    SwapChainEntries,
+    /// Partial-result substitution: overwrite the most recent
+    /// predecessor's recorded partial result in the carried chain with a
+    /// forgery. **Undetectable** by reference states; **detectable** by
+    /// chained integrity (the victim's MAC/signature no longer covers the
+    /// entry).
+    ReplacePartialResult,
+    /// Colluding-predecessor forgery: the immediate predecessor shared
+    /// its chain key, so the attacker rewrites the predecessor's chain
+    /// entry *validly* (fresh MAC/signature under the predecessor's key)
+    /// and re-chains its own entry on top. **Undetectable** by both
+    /// reference states and chained integrity — the chained family's
+    /// structural analogue of the §5.1 consecutive-host collusion.
+    ForgeChainEntry {
+        /// The colluding immediate predecessor whose key the attacker
+        /// borrows.
+        accomplice: HostId,
+    },
 }
 
 impl Attack {
@@ -99,8 +132,41 @@ impl Attack {
             Attack::DropInput { .. }
             | Attack::ForgeInput { .. }
             | Attack::ReadState
-            | Attack::CollaborateTamper { .. } => false,
+            | Attack::CollaborateTamper { .. }
+            | Attack::TruncateChainTail { .. }
+            | Attack::SwapChainEntries
+            | Attack::ReplacePartialResult
+            | Attack::ForgeChainEntry { .. } => false,
         }
+    }
+
+    /// Returns `true` if chained-integrity mechanisms (hop-chained
+    /// MACs / signed partial-result encapsulation) should detect this
+    /// attack. The complement of [`Attack::detectable_by_reference_state`]
+    /// on the chain attacks: chained integrity detects manipulation of
+    /// *recorded* partial results without re-execution, but is blind to
+    /// computation lies (a host MACs/signs its own lie consistently) and
+    /// to a predecessor that colludes by sharing its chain key.
+    pub fn detectable_by_chained_integrity(&self) -> bool {
+        matches!(
+            self,
+            Attack::TruncateChainTail { .. }
+                | Attack::SwapChainEntries
+                | Attack::ReplacePartialResult
+        )
+    }
+
+    /// Returns `true` for attacks that act on the per-hop result chain
+    /// some mechanisms make the agent carry (applied by the chained
+    /// journey drivers; a no-op for every other mechanism).
+    pub fn targets_result_chain(&self) -> bool {
+        matches!(
+            self,
+            Attack::TruncateChainTail { .. }
+                | Attack::SwapChainEntries
+                | Attack::ReplacePartialResult
+                | Attack::ForgeChainEntry { .. }
+        )
     }
 
     /// A short machine-readable label for reports.
@@ -115,6 +181,10 @@ impl Attack {
             Attack::ForgeInput { .. } => "forge-input",
             Attack::ReadState => "read-state",
             Attack::CollaborateTamper { .. } => "collaborate-tamper",
+            Attack::TruncateChainTail { .. } => "truncate-tail",
+            Attack::SwapChainEntries => "swap-two-hops",
+            Attack::ReplacePartialResult => "replace-partial-result",
+            Attack::ForgeChainEntry { .. } => "collude-predecessor",
         }
     }
 }
@@ -136,6 +206,17 @@ impl fmt::Display for Attack {
                 accomplice,
             } => {
                 write!(f, "tamper {name}={value} with accomplice {accomplice}")
+            }
+            Attack::TruncateChainTail { drop } => {
+                write!(f, "truncate result chain by {drop} tail entries")
+            }
+            Attack::SwapChainEntries => f.write_str("swap two result-chain entries"),
+            Attack::ReplacePartialResult => f.write_str("replace a recorded partial result"),
+            Attack::ForgeChainEntry { accomplice } => {
+                write!(
+                    f,
+                    "forge chain entry with colluding predecessor {accomplice}"
+                )
             }
         }
     }
@@ -205,6 +286,12 @@ mod tests {
                 value: Value::Int(0),
                 accomplice: HostId::new("h3"),
             },
+            Attack::TruncateChainTail { drop: 1 },
+            Attack::SwapChainEntries,
+            Attack::ReplacePartialResult,
+            Attack::ForgeChainEntry {
+                accomplice: HostId::new("h2"),
+            },
         ]
     }
 
@@ -225,6 +312,32 @@ mod tests {
                 "redirect-migration"
             ]
         );
+    }
+
+    #[test]
+    fn chained_integrity_bandwidth_matches_design() {
+        let detectable: Vec<&'static str> = all_attacks()
+            .iter()
+            .filter(|a| a.detectable_by_chained_integrity())
+            .map(|a| a.label())
+            .collect();
+        assert_eq!(
+            detectable,
+            vec!["truncate-tail", "swap-two-hops", "replace-partial-result"]
+        );
+        // Every chain attack targets the carried chain; collusion does too
+        // but evades detection (the structural blind spot).
+        for attack in all_attacks() {
+            if attack.detectable_by_chained_integrity() {
+                assert!(attack.targets_result_chain());
+                assert!(!attack.detectable_by_reference_state(), "{attack:?}");
+            }
+        }
+        let collude = Attack::ForgeChainEntry {
+            accomplice: HostId::new("h2"),
+        };
+        assert!(collude.targets_result_chain());
+        assert!(!collude.detectable_by_chained_integrity());
     }
 
     #[test]

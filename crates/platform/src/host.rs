@@ -320,6 +320,14 @@ impl Host {
                 // Honest execution; the theft is invisible in the outcome.
                 self.note_attack(log);
             }
+            // Chain attacks act on the result chain some mechanisms make
+            // the agent carry, not on the session outcome: the chained
+            // journey drivers apply (and log) them at the chain layer;
+            // under every other mechanism the host executes honestly.
+            Some(Attack::TruncateChainTail { .. })
+            | Some(Attack::SwapChainEntries)
+            | Some(Attack::ReplacePartialResult)
+            | Some(Attack::ForgeChainEntry { .. }) => {}
             Some(Attack::DropInput { .. }) | Some(Attack::ForgeInput { .. }) | None => {}
         }
 

@@ -17,9 +17,18 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        // The real default is 256; 32 keeps the from-scratch-crypto test
-        // suites fast in debug builds while still exercising variety.
-        ProptestConfig { cases: 32 }
+        // The real crate honours the PROPTEST_CASES environment variable;
+        // so does the shim, so CI can run boosted adversarial batteries
+        // without code changes. The baseline default is 32 (the real
+        // crate's 256 is too slow for the from-scratch-crypto suites in
+        // debug builds) — tests that pass an explicit
+        // `ProptestConfig::with_cases(n)` are unaffected either way.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&cases| cases > 0)
+            .unwrap_or(32);
+        ProptestConfig { cases }
     }
 }
 
@@ -72,5 +81,25 @@ impl TestRng {
                 return v % bound;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cases_honour_proptest_cases_env() {
+        // Only this test touches the variable in-process; the proptest!
+        // suites read it once per test function and a transiently
+        // different count is harmless, so set/restore suffices.
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::default().cases, 7);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::default().cases, 32);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::default().cases, 32);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::default().cases, 32);
     }
 }
