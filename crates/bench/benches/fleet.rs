@@ -5,10 +5,11 @@
 //! `journeys_per_sec` metric: small fixed fleets, measured hot.
 //!
 //! Besides the criterion groups, the bench emits a machine-readable
-//! `BENCH_fleet.json` (journeys/sec plus p50/p99 latency per mechanism,
-//! for the mixed, replicated, chained, and encapsulated presets) so
-//! future PRs have a perf trajectory to diff against. Set
-//! `BENCH_FLEET_OUT` to change the output path.
+//! `BENCH_fleet.json` (journeys/sec plus p50/p99 latency and the
+//! telemetry per-stage breakdown per mechanism, for the mixed,
+//! replicated, chained, and encapsulated presets, plus the measured
+//! off-vs-full telemetry overhead) so future PRs have a perf trajectory
+//! to diff against. Set `BENCH_FLEET_OUT` to change the output path.
 
 use std::sync::Arc;
 
@@ -16,6 +17,7 @@ use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use refstate_fleet::{
     run_fleet, FleetConfig, FleetRun, MechanismRegistry, Preset, ProtectionMechanism,
 };
+use refstate_telemetry as telemetry;
 
 const SCENARIOS: u64 = 64;
 
@@ -75,30 +77,68 @@ fn bench_worker_scaling(c: &mut Criterion) {
 }
 
 /// One calibrated fleet run per preset, serialized as the perf
-/// trajectory: journeys/sec and per-mechanism latency percentiles.
+/// trajectory: journeys/sec, per-mechanism latency percentiles, and the
+/// telemetry per-stage breakdown — plus the measured cost of running
+/// with `--telemetry full` versus `off`.
 fn emit_bench_json() {
-    fn run_block(preset: Preset) -> (String, FleetRun) {
-        let config = FleetConfig {
+    fn trajectory_config(preset: Preset) -> FleetConfig {
+        FleetConfig {
             scenarios: 256,
             workers: 4,
             seed: 42,
             preset,
             key_pool: 32,
             ..FleetConfig::default()
-        };
-        let run = run_fleet(&config);
+        }
+    }
+
+    fn run_block(preset: Preset) -> (String, FleetRun) {
+        let run = run_fleet(&trajectory_config(preset));
+        // Clear this run's trace timeline so successive blocks never push
+        // the collector toward its drop cap.
+        let _ = telemetry::drain_trace();
         (
             format!("\"{}\":{}", preset.name(), run.timing.to_json()),
             run,
         )
     }
 
+    /// Best journeys/s for one run at `level` — the comparison takes the
+    /// max over interleaved rounds, not the mean, so the off-vs-full
+    /// comparison measures the telemetry cost rather than scheduler noise.
+    fn one_run_journeys_per_sec(level: telemetry::TelemetryLevel) -> f64 {
+        telemetry::set_level(level);
+        let run = run_fleet(&trajectory_config(Preset::Mixed));
+        let _ = telemetry::drain_trace();
+        telemetry::set_level(telemetry::TelemetryLevel::Off);
+        run.timing.journeys_per_sec
+    }
+
+    // Warm-up + overhead measurement: the same mixed fleet with telemetry
+    // off and at full, interleaved round by round.
+    let mut off: f64 = 0.0;
+    let mut full: f64 = 0.0;
+    for _ in 0..5 {
+        off = off.max(one_run_journeys_per_sec(telemetry::TelemetryLevel::Off));
+        full = full.max(one_run_journeys_per_sec(telemetry::TelemetryLevel::Full));
+    }
+    let overhead_pct = (1.0 - full / off) * 100.0;
+    let overhead = format!(
+        "\"telemetry_overhead\":{{\"off_journeys_per_sec\":{off:.6},\
+         \"full_journeys_per_sec\":{full:.6},\"overhead_pct\":{overhead_pct:.6}}}"
+    );
+
+    // The trajectory blocks themselves run at full telemetry so the
+    // per-stage breakdown (cache hit vs replay vs signature verify) is
+    // populated; the deterministic report is level-independent.
+    telemetry::set_level(telemetry::TelemetryLevel::Full);
     let (mixed, _) = run_block(Preset::Mixed);
     let (replicated, _) = run_block(Preset::Replicated);
     let (chained, _) = run_block(Preset::Chained);
     let (encapsulated, _) = run_block(Preset::Encapsulated);
+    telemetry::set_level(telemetry::TelemetryLevel::Off);
     let json = format!(
-        "{{\"bench\":\"fleet\",\"scenarios\":256,\"seed\":42,{mixed},{replicated},{chained},{encapsulated}}}"
+        "{{\"bench\":\"fleet\",\"scenarios\":256,\"seed\":42,{overhead},{mixed},{replicated},{chained},{encapsulated}}}"
     );
 
     // Default next to the workspace root (cargo bench runs with the

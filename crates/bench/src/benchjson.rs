@@ -314,21 +314,91 @@ pub fn check_bigint_schema(doc: &Json) -> Result<(), JsonError> {
     Ok(())
 }
 
+fn require_non_negative(value: &Json, path: &str, key: &str) -> Result<f64, JsonError> {
+    let n = require_num(value, path, key)?;
+    if n >= 0.0 {
+        Ok(n)
+    } else {
+        Err(JsonError(format!(
+            "{path}.{key}: must be non-negative, got {n}"
+        )))
+    }
+}
+
+/// The per-mechanism verification stages a `stage_breakdown` row carries.
+const STAGE_KEYS: [&str; 3] = ["cache_hit", "replay", "sig_verify"];
+
+/// The mechanisms whose stage breakdown the trajectory file exists to
+/// track: the re-execution family (cache hit vs replay split) plus the
+/// signature-heavy encapsulation chain.
+const STAGE_MECHANISMS: [&str; 3] = ["protocol", "traces", "encapsulated"];
+
+fn check_stage_breakdown(block: &Json, block_name: &str, telemetry: &str) -> Result<(), JsonError> {
+    let stages = block
+        .get("stage_breakdown")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| {
+            JsonError(format!(
+                "{block_name}.stage_breakdown: missing or not an object"
+            ))
+        })?;
+    for (mechanism, row) in stages {
+        let row_path = format!("{block_name}.stage_breakdown.{mechanism}");
+        for stage in STAGE_KEYS {
+            let stats = row
+                .get(stage)
+                .ok_or_else(|| JsonError(format!("{row_path}.{stage}: missing stage")))?;
+            let path = format!("{row_path}.{stage}");
+            require_non_negative(stats, &path, "count")?;
+            for key in ["total_us", "p50_us", "p99_us"] {
+                require_non_negative(stats, &path, key)?;
+            }
+        }
+    }
+    if telemetry != "off" {
+        for mechanism in STAGE_MECHANISMS {
+            if !stages.contains_key(mechanism) {
+                return Err(JsonError(format!(
+                    "{block_name}.stage_breakdown: missing the {mechanism} row \
+                     (required when the block ran with telemetry on)"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validates the `BENCH_fleet.json` schema: `bench == "fleet"`, positive
 /// `scenarios`/`seed`, and for each of the `mixed`, `replicated`,
 /// `chained`, and `encapsulated` blocks a positive `journeys_per_sec`,
 /// the verification-pipeline fields (`check_workers`, a `replay` block
-/// with hit/miss/replay counts and a `hit_rate` in `[0, 1]`), plus a
-/// non-empty `latency_percentiles` map whose entries carry
-/// `p50_us`/`p90_us`/`p99_us`/`max_us`. The chained-family blocks must
-/// additionally carry latency rows for the `chained` and `encapsulated`
-/// mechanisms — the rows this artifact exists to track.
+/// with hit/miss/replay/eviction/occupancy counts and a `hit_rate` in
+/// `[0, 1]`), a `telemetry` level, a `stage_breakdown` block (whose
+/// `protocol`/`traces`/`encapsulated` rows are mandatory when the block
+/// ran with telemetry on), plus a non-empty `latency_percentiles` map
+/// whose entries carry `p50_us`/`p90_us`/`p99_us`/`max_us`. The
+/// chained-family blocks must additionally carry latency rows for the
+/// `chained` and `encapsulated` mechanisms — the rows this artifact
+/// exists to track. Finally the `telemetry_overhead` block must show
+/// `--telemetry full` costing at most 5% journeys/s versus `off`.
 pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
     if doc.get("bench").and_then(Json::as_str) != Some("fleet") {
         return Err(JsonError("bench: expected \"fleet\"".into()));
     }
     require_positive(doc, "$", "scenarios")?;
     require_num(doc, "$", "seed")?;
+    let overhead = doc
+        .get("telemetry_overhead")
+        .ok_or_else(|| JsonError("telemetry_overhead: missing block".into()))?;
+    require_positive(overhead, "telemetry_overhead", "off_journeys_per_sec")?;
+    require_positive(overhead, "telemetry_overhead", "full_journeys_per_sec")?;
+    let overhead_pct = require_num(overhead, "telemetry_overhead", "overhead_pct")?;
+    if overhead_pct > 5.0 {
+        return Err(JsonError(format!(
+            "telemetry_overhead.overhead_pct: full telemetry must cost at most \
+             5% journeys/s, got {overhead_pct}"
+        )));
+    }
     for block_name in ["mixed", "replicated", "chained", "encapsulated"] {
         let block = doc
             .get(block_name)
@@ -344,17 +414,29 @@ pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
                 "{block_name}.check_workers: must be non-negative, got {check_workers}"
             )));
         }
+        let telemetry = block
+            .get("telemetry")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError(format!("{block_name}.telemetry: missing or not a string")))?;
+        if !matches!(telemetry, "off" | "counters" | "full") {
+            return Err(JsonError(format!(
+                "{block_name}.telemetry: expected off|counters|full, got {telemetry:?}"
+            )));
+        }
+        check_stage_breakdown(block, block_name, telemetry)?;
         let replay = block
             .get("replay")
             .ok_or_else(|| JsonError(format!("{block_name}.replay: missing block")))?;
         let replay_path = format!("{block_name}.replay");
-        for key in ["hits", "misses", "replays"] {
-            let n = require_num(replay, &replay_path, key)?;
-            if n < 0.0 {
-                return Err(JsonError(format!(
-                    "{replay_path}.{key}: must be non-negative, got {n}"
-                )));
-            }
+        for key in [
+            "hits",
+            "misses",
+            "replays",
+            "evictions",
+            "occupancy",
+            "capacity",
+        ] {
+            require_non_negative(replay, &replay_path, key)?;
         }
         let hit_rate = require_num(replay, &replay_path, "hit_rate")?;
         if !(0.0..=1.0).contains(&hit_rate) {
@@ -388,6 +470,116 @@ pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
                         "{block_name}.latency_percentiles: missing the {mechanism} row"
                     )));
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a Chrome `trace_event` JSON document as emitted by the
+/// fleet CLI's `--trace-out` (the array form `chrome://tracing` and
+/// Perfetto load): every element must be an event object with a `name`,
+/// numeric `pid`/`tid`/`ts`, and either a complete span (`"ph":"X"` with
+/// a non-negative `dur`) or a thread-scoped instant (`"ph":"i"` with
+/// `"s":"t"`); `args` must be an object carrying the telemetry `scope`.
+pub fn check_chrome_trace(doc: &Json) -> Result<(), JsonError> {
+    let events = doc
+        .as_arr()
+        .ok_or_else(|| JsonError("chrome trace: document must be an array".into()))?;
+    for (i, event) in events.iter().enumerate() {
+        let path = format!("trace[{i}]");
+        if event.get("name").and_then(Json::as_str).is_none() {
+            return Err(JsonError(format!("{path}.name: missing or not a string")));
+        }
+        if event.get("cat").and_then(Json::as_str).is_none() {
+            return Err(JsonError(format!("{path}.cat: missing or not a string")));
+        }
+        for key in ["pid", "tid", "ts"] {
+            require_non_negative(event, &path, key)?;
+        }
+        match event.get("ph").and_then(Json::as_str) {
+            Some("X") => {
+                require_non_negative(event, &path, "dur")?;
+            }
+            Some("i") => {
+                if event.get("s").and_then(Json::as_str) != Some("t") {
+                    return Err(JsonError(format!(
+                        "{path}.s: instant events must be thread-scoped (\"t\")"
+                    )));
+                }
+            }
+            other => {
+                return Err(JsonError(format!(
+                    "{path}.ph: expected \"X\" or \"i\", got {other:?}"
+                )));
+            }
+        }
+        let args = event
+            .get("args")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| JsonError(format!("{path}.args: missing or not an object")))?;
+        if !args.contains_key("scope") {
+            return Err(JsonError(format!("{path}.args.scope: missing")));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a metrics JSONL stream as emitted by the fleet CLI's
+/// `--metrics-out`: every line is one self-contained JSON object, either
+/// a counter (`value`) or a histogram (`count`/`sum`/`min`/`max`,
+/// `p50`/`p90`/`p99`, and a sparse `buckets` array of
+/// `[bucket_lower_bound, count]` pairs whose counts sum to `count`).
+pub fn check_metrics_jsonl(text: &str) -> Result<(), JsonError> {
+    for (i, line) in text.lines().enumerate() {
+        let path = format!("metrics line {}", i + 1);
+        let doc = parse(line).map_err(|e| JsonError(format!("{path}: parse error {e}")))?;
+        if doc.get("scope").and_then(Json::as_str).is_none() {
+            return Err(JsonError(format!("{path}: scope missing or not a string")));
+        }
+        if doc.get("name").and_then(Json::as_str).is_none() {
+            return Err(JsonError(format!("{path}: name missing or not a string")));
+        }
+        require_non_negative(&doc, &path, "index")?;
+        match doc.get("type").and_then(Json::as_str) {
+            Some("counter") => {
+                require_non_negative(&doc, &path, "value")?;
+            }
+            Some("histogram") => {
+                let count = require_non_negative(&doc, &path, "count")?;
+                for key in ["sum", "min", "max", "p50", "p90", "p99"] {
+                    require_non_negative(&doc, &path, key)?;
+                }
+                let buckets = doc
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| JsonError(format!("{path}: buckets missing or not an array")))?;
+                let mut total = 0.0;
+                for (j, bucket) in buckets.iter().enumerate() {
+                    let pair = bucket.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        JsonError(format!(
+                            "{path}: buckets[{j}] must be a [lower, count] pair"
+                        ))
+                    })?;
+                    for (k, n) in pair.iter().enumerate() {
+                        if n.as_num().is_none_or(|n| n < 0.0) {
+                            return Err(JsonError(format!(
+                                "{path}: buckets[{j}][{k}] must be a non-negative number"
+                            )));
+                        }
+                    }
+                    total += pair[1].as_num().expect("checked above");
+                }
+                if total != count {
+                    return Err(JsonError(format!(
+                        "{path}: bucket counts sum to {total}, histogram count is {count}"
+                    )));
+                }
+            }
+            other => {
+                return Err(JsonError(format!(
+                    "{path}: type expected \"counter\" or \"histogram\", got {other:?}"
+                )));
             }
         }
     }
@@ -455,18 +647,39 @@ mod tests {
         assert!(check_bigint_schema(&parse(negative).unwrap()).is_err());
     }
 
-    /// A valid fleet block with the replay/check-worker fields; the
-    /// `hit_rate` is injectable so tests can push it out of range, and
-    /// the latency map is injectable so the chained-family row checks
-    /// can be exercised.
-    fn fleet_block_with(hit_rate: &str, latencies: &str) -> String {
+    /// One stage_breakdown row with all three stages present.
+    fn stage_row(mechanism: &str) -> String {
+        let stage = r#"{"count":4,"total_us":10.0,"p50_us":2.0,"p99_us":5.0}"#;
+        format!(r#""{mechanism}":{{"cache_hit":{stage},"replay":{stage},"sig_verify":{stage}}}"#)
+    }
+
+    fn full_stage_breakdown() -> String {
+        format!(
+            "{},{},{}",
+            stage_row("protocol"),
+            stage_row("traces"),
+            stage_row("encapsulated")
+        )
+    }
+
+    /// A valid fleet block with the replay/check-worker/telemetry fields;
+    /// the `hit_rate`, latency map, telemetry level, and stage breakdown
+    /// are injectable so tests can break each one independently.
+    fn fleet_block_full(hit_rate: &str, latencies: &str, telemetry: &str, stages: &str) -> String {
         format!(
             r#"{{"workers":4,"wall_seconds":1.0,"scenarios_per_sec":10.0,
                 "journeys_per_sec":50.0,"check_workers":1,
+                "telemetry":"{telemetry}",
                 "replay":{{"cache_enabled":true,"hits":10,"misses":5,
-                    "replays":5,"hit_rate":{hit_rate}}},
+                    "replays":5,"hit_rate":{hit_rate},"evictions":0,
+                    "occupancy":5,"capacity":65536}},
+                "stage_breakdown":{{{stages}}},
                 "latency_percentiles":{{{latencies}}}}}"#
         )
+    }
+
+    fn fleet_block_with(hit_rate: &str, latencies: &str) -> String {
+        fleet_block_full(hit_rate, latencies, "full", &full_stage_breakdown())
     }
 
     const PROTOCOL_ROW: &str =
@@ -480,7 +693,10 @@ mod tests {
 
     fn fleet_doc(classic: &str, chained_family: &str) -> String {
         format!(
-            r#"{{"bench":"fleet","scenarios":256,"seed":42,"mixed":{classic},
+            r#"{{"bench":"fleet","scenarios":256,"seed":42,
+                "telemetry_overhead":{{"off_journeys_per_sec":100.0,
+                    "full_journeys_per_sec":98.0,"overhead_pct":2.0}},
+                "mixed":{classic},
                 "replicated":{classic},"chained":{chained_family},
                 "encapsulated":{chained_family}}}"#
         )
@@ -528,5 +744,126 @@ mod tests {
         // An out-of-range hit rate is a schema violation, not a number.
         let doc = fleet_doc(&fleet_block("1.5"), &fleet_block_with("0.5", CHAINED_ROWS));
         assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
+    }
+
+    #[test]
+    fn fleet_schema_requires_stage_breakdown_rows_when_telemetry_on() {
+        // A block that ran with telemetry on but lost its protocol stage
+        // row is a violation: the breakdown is the point of the block.
+        let partial = format!("{},{}", stage_row("traces"), stage_row("encapsulated"));
+        let broken = fleet_block_full("0.5", PROTOCOL_ROW, "full", &partial);
+        let doc = fleet_doc(&broken, &fleet_block_with("0.5", CHAINED_ROWS));
+        let err = check_fleet_schema(&parse(&doc).unwrap()).unwrap_err();
+        assert!(
+            err.to_string().contains("missing the protocol row"),
+            "{err}"
+        );
+
+        // With telemetry off an empty breakdown is fine...
+        let off = fleet_block_full("0.5", PROTOCOL_ROW, "off", "");
+        let doc = fleet_doc(&off, &fleet_block_with("0.5", CHAINED_ROWS));
+        assert!(check_fleet_schema(&parse(&doc).unwrap()).is_ok());
+
+        // ...but an unknown level, or a row missing a stage, is not.
+        let bogus = fleet_block_full("0.5", PROTOCOL_ROW, "loud", "");
+        let doc = fleet_doc(&bogus, &fleet_block_with("0.5", CHAINED_ROWS));
+        assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
+        let one_stage =
+            r#""protocol":{"cache_hit":{"count":1,"total_us":1.0,"p50_us":1.0,"p99_us":1.0}}"#;
+        let broken = fleet_block_full("0.5", PROTOCOL_ROW, "off", one_stage);
+        let doc = fleet_doc(&broken, &fleet_block_with("0.5", CHAINED_ROWS));
+        assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
+    }
+
+    #[test]
+    fn fleet_schema_bounds_telemetry_overhead() {
+        let block = fleet_block("0.5");
+        let chained = fleet_block_with("0.5", CHAINED_ROWS);
+        // Overhead above the 5% budget fails the artifact.
+        let doc = format!(
+            r#"{{"bench":"fleet","scenarios":256,"seed":42,
+                "telemetry_overhead":{{"off_journeys_per_sec":100.0,
+                    "full_journeys_per_sec":80.0,"overhead_pct":20.0}},
+                "mixed":{block},"replicated":{block},
+                "chained":{chained},"encapsulated":{chained}}}"#
+        );
+        let err = check_fleet_schema(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("at most"), "{err}");
+        // A missing overhead block fails too.
+        let doc = format!(
+            r#"{{"bench":"fleet","scenarios":256,"seed":42,
+                "mixed":{block},"replicated":{block},
+                "chained":{chained},"encapsulated":{chained}}}"#
+        );
+        assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_accepts_spans_and_instants() {
+        let good = r#"[
+            {"name":"verify.replay","cat":"pipeline","pid":1,"tid":2,
+             "ts":1.5,"ph":"X","dur":42.0,"args":{"scope":"protocol"}},
+            {"name":"platform.migrated","cat":"platform","pid":1,"tid":1,
+             "ts":2.0,"ph":"i","s":"t","args":{"scope":"","from":"h0"}}]"#;
+        assert!(check_chrome_trace(&parse(good).unwrap()).is_ok());
+        assert!(check_chrome_trace(&parse("[]").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn chrome_trace_rejects_malformed_events() {
+        // Not an array.
+        assert!(check_chrome_trace(&parse("{}").unwrap()).is_err());
+        for bad in [
+            // Span without a duration.
+            r#"[{"name":"x","cat":"c","pid":1,"tid":1,"ts":0,"ph":"X","args":{"scope":""}}]"#,
+            // Instant without thread scoping.
+            r#"[{"name":"x","cat":"c","pid":1,"tid":1,"ts":0,"ph":"i","args":{"scope":""}}]"#,
+            // Unknown phase.
+            r#"[{"name":"x","cat":"c","pid":1,"tid":1,"ts":0,"ph":"B","args":{"scope":""}}]"#,
+            // Args without the telemetry scope.
+            r#"[{"name":"x","cat":"c","pid":1,"tid":1,"ts":0,"ph":"X","dur":1.0,"args":{}}]"#,
+            // Missing name.
+            r#"[{"cat":"c","pid":1,"tid":1,"ts":0,"ph":"X","dur":1.0,"args":{"scope":""}}]"#,
+        ] {
+            assert!(check_chrome_trace(&parse(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn metrics_jsonl_accepts_counters_and_histograms() {
+        let good = concat!(
+            r#"{"type":"counter","scope":"","name":"pipeline.cache_hit","index":0,"value":12}"#,
+            "\n",
+            r#"{"type":"histogram","scope":"protocol","name":"verify.replay","index":0,"#,
+            r#""count":3,"sum":600,"min":100,"max":300,"p50":200,"p90":300,"p99":300,"#,
+            r#""buckets":[[96,2],[288,1]]}"#,
+            "\n",
+        );
+        assert!(check_metrics_jsonl(good).is_ok());
+        assert!(check_metrics_jsonl("").is_ok());
+    }
+
+    #[test]
+    fn metrics_jsonl_rejects_malformed_lines() {
+        for bad in [
+            // Unterminated JSON.
+            r#"{"type":"counter","scope":"","name":"x","index":0,"value":1"#,
+            // Unknown type.
+            r#"{"type":"gauge","scope":"","name":"x","index":0,"value":1}"#,
+            // Counter without a value.
+            r#"{"type":"counter","scope":"","name":"x","index":0}"#,
+            // Histogram whose bucket counts disagree with its count.
+            concat!(
+                r#"{"type":"histogram","scope":"","name":"x","index":0,"count":5,"#,
+                r#""sum":1,"min":1,"max":1,"p50":1,"p90":1,"p99":1,"buckets":[[0,1]]}"#
+            ),
+            // Malformed bucket pair.
+            concat!(
+                r#"{"type":"histogram","scope":"","name":"x","index":0,"count":1,"#,
+                r#""sum":1,"min":1,"max":1,"p50":1,"p90":1,"p99":1,"buckets":[[0]]}"#
+            ),
+        ] {
+            assert!(check_metrics_jsonl(bad).is_err(), "{bad}");
+        }
     }
 }

@@ -111,7 +111,9 @@ pub use checker::{
 pub use compare::{ExactCompare, IgnoreVars, StateCompare, UnorderedLists};
 pub use framework::{ProtectedAgent, ProtectionConfig};
 pub use moment::CheckMoment;
-pub use pipeline::{PipelineStatsSnapshot, ReplayCache, ReplaySummary, VerificationPipeline};
+pub use pipeline::{
+    PipelineStatsSnapshot, ReplayCache, ReplaySummary, ShardStats, VerificationPipeline,
+};
 pub use refdata::{HostFacilities, ReferenceData, ReferenceDataKind, ReferenceDataRequest};
 pub use route::{RouteEntry, RouteRecording, SignedRoute};
 pub use rules::{CmpOp, Expr, Pred, RuleSet};

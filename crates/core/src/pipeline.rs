@@ -45,6 +45,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use refstate_crypto::{sha256, Digest};
+use refstate_telemetry as telemetry;
 use refstate_vm::{
     run_compiled_session, CompiledProgram, DataState, ExecConfig, InputLog, Program, ReplayIo,
     SessionEnd, SessionFingerprint, SessionOutcome, VmError,
@@ -109,6 +110,8 @@ struct Shard {
     /// Each entry carries the tick of its last touch (insert or hit).
     entries: HashMap<CacheKey, (ReplaySummary, u64)>,
     tick: u64,
+    /// Entries removed by the LRU bound since creation.
+    evictions: u64,
 }
 
 impl Shard {
@@ -185,6 +188,8 @@ impl ReplayCache {
                 .map(|(k, _)| *k)
             {
                 shard.entries.remove(&victim);
+                shard.evictions += 1;
+                telemetry::count("pipeline.cache_evict", 1);
             }
         }
         shard.entries.insert(key, (value, tick));
@@ -199,6 +204,37 @@ impl ReplayCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Total entries removed by the LRU bound since creation.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().evictions).sum()
+    }
+
+    /// Per-shard occupancy and eviction counts, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock();
+                ShardStats {
+                    entries: shard.entries.len(),
+                    capacity: self.shard_cap,
+                    evictions: shard.evictions,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A point-in-time view of one [`ReplayCache`] shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Memoized sessions currently resident in the shard.
+    pub entries: usize,
+    /// The shard's LRU bound.
+    pub capacity: usize,
+    /// Entries removed by the LRU bound since creation.
+    pub evictions: u64,
 }
 
 impl fmt::Debug for ReplayCache {
@@ -233,6 +269,13 @@ pub struct PipelineStatsSnapshot {
     /// All VM re-executions performed: the misses plus the full replays
     /// (custom comparators, evidence re-derivations).
     pub replays: u64,
+    /// Cache entries removed by the LRU bound (0 when uncached).
+    pub evictions: u64,
+    /// Memoized sessions resident when the snapshot was taken (0 when
+    /// uncached).
+    pub cache_entries: u64,
+    /// The cache's hard bound on memoized sessions (0 when uncached).
+    pub cache_capacity: u64,
 }
 
 impl PipelineStatsSnapshot {
@@ -299,12 +342,23 @@ impl VerificationPipeline {
         self.cache.is_some()
     }
 
-    /// The counters so far.
+    /// The counters so far, plus the attached cache's occupancy facts.
     pub fn snapshot(&self) -> PipelineStatsSnapshot {
+        let (evictions, cache_entries, cache_capacity) = match &self.cache {
+            Some(cache) => (
+                cache.evictions(),
+                cache.len() as u64,
+                cache.capacity() as u64,
+            ),
+            None => (0, 0, 0),
+        };
         PipelineStatsSnapshot {
             hits: self.stats.hits.load(Ordering::Relaxed),
             misses: self.stats.misses.load(Ordering::Relaxed),
             replays: self.stats.replays.load(Ordering::Relaxed),
+            evictions,
+            cache_entries,
+            cache_capacity,
         }
     }
 
@@ -323,6 +377,9 @@ impl VerificationPipeline {
         input: &InputLog,
         exec: &ExecConfig,
     ) -> ReplaySummary {
+        // The probe timer covers key hashing plus the shard lookup — the
+        // true cost of a cache hit; misses hand off to the replay timer.
+        let probe = telemetry::Timer::start();
         let compiled = CompiledProgram::cached(program);
         let key = self.cache.as_ref().map(|cache| {
             let key = CacheKey {
@@ -336,10 +393,14 @@ impl VerificationPipeline {
         if let Some((cache, key)) = &key {
             if let Some(hit) = cache.get(key) {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::count("pipeline.cache_hit", 1);
+                probe.finish("verify.cache_hit", "pipeline");
                 return hit;
             }
         }
+        drop(probe);
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::count("pipeline.cache_miss", 1);
         // Cached replays carry the VM-level session fingerprint as their
         // step-limit label (computed on misses only — it exists so a
         // poisoned or runaway cache entry is attributable in fleet logs).
@@ -405,13 +466,17 @@ impl VerificationPipeline {
         session_label: Option<String>,
     ) -> Result<(SessionOutcome, bool), VmError> {
         self.stats.replays.fetch_add(1, Ordering::Relaxed);
+        telemetry::count("pipeline.replay", 1);
+        let timer = telemetry::Timer::start();
         let mut replay = ReplayIo::new(input);
         let exec = ExecConfig {
             trace_mode: refstate_vm::TraceMode::Off,
             session_label,
             ..exec.clone()
         };
-        let outcome = run_compiled_session(compiled, initial.clone(), &mut replay, &exec)?;
+        let result = run_compiled_session(compiled, initial.clone(), &mut replay, &exec);
+        timer.finish("verify.replay", "pipeline");
+        let outcome = result?;
         Ok((outcome, replay.fully_consumed()))
     }
 
@@ -451,6 +516,7 @@ impl VerificationPipeline {
         claimed_next: Option<&Option<String>>,
         exec: &ExecConfig,
     ) -> (CheckOutcome, Option<DataState>) {
+        let _span = telemetry::span("verify.session", "pipeline");
         if self.cache.is_none() {
             // No memo to consult or feed: replay once and compare the
             // states directly — no fingerprinting, no hashing unless a
@@ -629,6 +695,17 @@ mod tests {
     }
 
     #[test]
+    fn uncached_snapshot_reports_no_cache_facts() {
+        let (program, initial, input, _resulting) = session();
+        let pipeline = VerificationPipeline::uncached();
+        pipeline.replay(&program, &initial, &input, &ExecConfig::default());
+        let stats = pipeline.snapshot();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.cache_entries, 0);
+        assert_eq!(stats.cache_capacity, 0);
+    }
+
+    #[test]
     fn uncached_pipeline_replays_every_time() {
         let (program, initial, input, _resulting) = session();
         let pipeline = VerificationPipeline::uncached();
@@ -700,6 +777,21 @@ mod tests {
             cache.capacity()
         );
         assert_eq!(pipeline.snapshot().misses, 64);
+
+        // 64 distinct sessions through a 16-entry cache must evict, and
+        // the shard views must agree with the aggregates.
+        let stats = pipeline.snapshot();
+        assert_eq!(stats.evictions, cache.evictions());
+        assert!(stats.evictions >= 48, "evictions = {}", stats.evictions);
+        assert_eq!(stats.cache_entries as usize, cache.len());
+        assert_eq!(stats.cache_capacity as usize, cache.capacity());
+        let shards = cache.shard_stats();
+        assert_eq!(shards.iter().map(|s| s.entries).sum::<usize>(), cache.len());
+        assert_eq!(
+            shards.iter().map(|s| s.evictions).sum::<u64>(),
+            cache.evictions()
+        );
+        assert!(shards.iter().all(|s| s.entries <= s.capacity));
 
         // The most recent session is never the LRU victim: still a hit.
         let before = pipeline.snapshot().hits;

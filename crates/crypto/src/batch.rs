@@ -15,6 +15,7 @@
 //! instead of at the next hop (the deferred variant's documented
 //! trade-off).
 
+use refstate_telemetry as telemetry;
 use refstate_wire::{to_wire, Encode};
 
 use crate::dsa::{verify_batch, BatchEntry, Signature};
@@ -99,6 +100,8 @@ impl VerificationQueue {
     /// order. A signer missing from the directory fails its check, exactly
     /// as [`Signed::verify`] would report [`crate::VerifyError::UnknownSigner`].
     pub fn flush(&mut self, directory: &KeyDirectory) -> Vec<(DeferredSignature, bool)> {
+        let _span = telemetry::span("crypto.flush", "crypto");
+        telemetry::observe("crypto.flush_size", self.deferred.len() as u64);
         let items = std::mem::take(&mut self.deferred);
         // Unknown signers cannot enter the batch; pre-mark them failed.
         let keys: Vec<Option<&crate::DsaPublicKey>> = items

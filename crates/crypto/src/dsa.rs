@@ -31,6 +31,8 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 
 use rand::RngCore;
+use refstate_telemetry as telemetry;
+
 use refstate_bigint::{
     gen_prime, is_probable_prime, random_exact_bits, random_in_unit_range, FixedBase, Montgomery,
     Uint,
@@ -415,6 +417,7 @@ impl DsaPublicKey {
     /// engine's pooled keys — call this once up front so first-use table
     /// builds never land inside a measured journey.
     pub fn precompute(&self) {
+        let _span = telemetry::span("crypto.precompute", "crypto");
         let _ = self.y_accel();
     }
 
@@ -475,6 +478,13 @@ impl DsaPublicKey {
     /// fall back to one Shamir double exponentiation (`g^u1 · y^u2` in a
     /// shared square-and-multiply ladder).
     pub fn verify_fused(&self, message: &[u8], signature: &Signature) -> bool {
+        let timer = telemetry::Timer::start();
+        let accepted = self.verify_fused_inner(message, signature);
+        timer.finish("crypto.verify", "crypto");
+        accepted
+    }
+
+    fn verify_fused_inner(&self, message: &[u8], signature: &Signature) -> bool {
         let q = &self.params.q;
         let p = &self.params.p;
         let r = &signature.r;
@@ -562,10 +572,14 @@ pub struct BatchEntry<'a> {
 /// assert_eq!(verdicts, vec![true]);
 /// ```
 pub fn verify_batch(entries: &[BatchEntry<'_>]) -> Vec<bool> {
-    entries
+    telemetry::observe("crypto.batch_size", entries.len() as u64);
+    let timer = telemetry::Timer::start();
+    let verdicts = entries
         .iter()
         .map(|e| e.key.verify_fused(e.message, e.signature))
-        .collect()
+        .collect();
+    timer.finish("crypto.verify_batch", "crypto");
+    verdicts
 }
 
 impl Encode for DsaPublicKey {
@@ -621,6 +635,13 @@ impl DsaKeyPair {
     /// multiplication per non-zero 4-bit digit of `k` instead of a full
     /// square-and-multiply ladder.
     pub fn sign(&self, message: &[u8], rng: &mut dyn RngCore) -> Signature {
+        let timer = telemetry::Timer::start();
+        let signature = self.sign_inner(message, rng);
+        timer.finish("crypto.sign", "crypto");
+        signature
+    }
+
+    fn sign_inner(&self, message: &[u8], rng: &mut dyn RngCore) -> Signature {
         let params = &self.public.params;
         let q = &params.q;
         let z = params.hash_to_z(message);

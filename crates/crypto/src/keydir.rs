@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use refstate_telemetry as telemetry;
+
 use crate::dsa::DsaPublicKey;
 
 /// A registry mapping principal names (host identifiers, owner names) to
@@ -64,6 +66,7 @@ impl KeyDirectory {
     /// or via a clone elsewhere — pooled fleet keys share caches) are
     /// skipped by the underlying `OnceLock`.
     pub fn warm(&self) {
+        let _span = telemetry::span("crypto.keydir_warm", "crypto");
         for (_, key) in self.iter() {
             key.precompute();
         }

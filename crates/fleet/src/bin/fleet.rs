@@ -27,10 +27,19 @@
 //! * `--check-workers N` — worker threads for owner-side bulk
 //!   `check_sessions` passes inside each journey (default 1; `0` = one
 //!   per core)
+//! * `--telemetry off|counters|full` — observability level (default
+//!   `off`; the deterministic report is byte-identical at every level,
+//!   pinned by the telemetry determinism guard)
+//! * `--trace-out PATH` — write the run's Chrome `trace_event` JSON
+//!   (loadable in Perfetto / `chrome://tracing`; requires
+//!   `--telemetry full`)
+//! * `--metrics-out PATH` — write the run's metrics snapshot as JSONL
+//!   (requires `--telemetry counters` or `full`)
 //! * `--json-only` — suppress the human tables, emit only JSON
 //! * `--no-json` — suppress the JSON blob
 
 use refstate_fleet::{run_fleet, FleetConfig, MechanismRegistry, Preset, ProtectionMechanism};
+use refstate_telemetry as telemetry;
 use std::sync::Arc;
 
 fn usage(registry: &MechanismRegistry, exit: i32) -> ! {
@@ -38,7 +47,8 @@ fn usage(registry: &MechanismRegistry, exit: i32) -> ! {
         "usage: fleet [--scenarios N] [--workers N] [--seed S] [--preset P] \
          [--mechanisms LIST] [--mechanism M]... \
          [--replay-cache|--no-replay-cache] [--check-workers N] \
-         [--json-only|--no-json]\n\
+         [--telemetry off|counters|full] [--trace-out PATH] \
+         [--metrics-out PATH] [--json-only|--no-json]\n\
          presets: {}\n\
          mechanisms (registry):",
         Preset::ALL.map(|p| p.name()).join(" | "),
@@ -49,11 +59,23 @@ fn usage(registry: &MechanismRegistry, exit: i32) -> ! {
     std::process::exit(exit);
 }
 
-fn parse_args(registry: &MechanismRegistry) -> (FleetConfig, bool, bool) {
+/// Output-side options that don't live on [`FleetConfig`].
+struct OutputOptions {
+    json_only: bool,
+    no_json: bool,
+    telemetry: telemetry::TelemetryLevel,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn parse_args(registry: &MechanismRegistry) -> (FleetConfig, OutputOptions) {
     let mut config = FleetConfig::default();
     let mut mechanisms: Vec<Arc<dyn ProtectionMechanism>> = Vec::new();
     let mut json_only = false;
     let mut no_json = false;
+    let mut level = telemetry::TelemetryLevel::Off;
+    let mut trace_out = None;
+    let mut metrics_out = None;
 
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -110,6 +132,15 @@ fn parse_args(registry: &MechanismRegistry) -> (FleetConfig, bool, bool) {
                 config.adapter.check_workers =
                     value(&mut i).parse().unwrap_or_else(|_| usage(registry, 2))
             }
+            "--telemetry" => {
+                let name = value(&mut i);
+                level = telemetry::TelemetryLevel::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown telemetry level {name:?} (off | counters | full)");
+                    usage(registry, 2)
+                });
+            }
+            "--trace-out" => trace_out = Some(value(&mut i)),
+            "--metrics-out" => metrics_out = Some(value(&mut i)),
             "--json-only" => json_only = true,
             "--no-json" => no_json = true,
             "--help" | "-h" => usage(registry, 0),
@@ -127,27 +158,72 @@ fn parse_args(registry: &MechanismRegistry) -> (FleetConfig, bool, bool) {
         eprintln!("--json-only and --no-json are mutually exclusive");
         usage(registry, 2);
     }
-    (config, json_only, no_json)
+    if trace_out.is_some() && level != telemetry::TelemetryLevel::Full {
+        eprintln!("--trace-out requires --telemetry full (the trace timeline only records there)");
+        usage(registry, 2);
+    }
+    if metrics_out.is_some() && level == telemetry::TelemetryLevel::Off {
+        eprintln!("--metrics-out requires --telemetry counters or full");
+        usage(registry, 2);
+    }
+    (
+        config,
+        OutputOptions {
+            json_only,
+            no_json,
+            telemetry: level,
+            trace_out,
+            metrics_out,
+        },
+    )
+}
+
+fn write_artifact(path: &str, what: &str, contents: String) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("wrote {what} to {path}"),
+        Err(e) => {
+            eprintln!("could not write {what} to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let registry = MechanismRegistry::builtin();
-    let (config, json_only, no_json) = parse_args(&registry);
+    let (config, opts) = parse_args(&registry);
+    telemetry::set_level(opts.telemetry);
     let run = run_fleet(&config);
 
-    if !json_only {
+    if !opts.json_only {
         print!("{}", run.report.render_table());
         println!();
         print!("{}", run.timing.render());
     }
-    if !no_json {
-        if !json_only {
+    if !opts.no_json {
+        if !opts.json_only {
             println!();
         }
         println!(
             "{{\"report\":{},\"timing\":{}}}",
             run.report.to_json(),
             run.timing.to_json()
+        );
+    }
+
+    if let Some(path) = &opts.trace_out {
+        let events = telemetry::drain_trace();
+        write_artifact(
+            path,
+            "Chrome trace",
+            telemetry::export::chrome_trace_json(&events),
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        let metrics = run.metrics.clone().unwrap_or_default();
+        write_artifact(
+            path,
+            "metrics JSONL",
+            telemetry::export::metrics_jsonl(&metrics),
         );
     }
 }

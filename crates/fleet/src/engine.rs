@@ -38,11 +38,13 @@ use refstate_core::protocol::host_directory;
 use refstate_core::{ReplayCache, VerificationPipeline};
 use refstate_crypto::{DsaKeyPair, DsaParams};
 use refstate_mechanisms::api::{
-    JourneyCtx, JourneyVerdict, MechanismConfig, MechanismRegistry, ProtectionMechanism,
+    run_instrumented, JourneyCtx, JourneyVerdict, MechanismConfig, MechanismRegistry,
+    ProtectionMechanism,
 };
 use refstate_platform::{EventLog, Host};
+use refstate_telemetry as telemetry;
 
-use crate::report::{FleetReport, FleetTiming, LatencyPercentiles};
+use crate::report::{FleetReport, FleetTiming, LatencyPercentiles, StageBreakdown};
 use crate::scenario::{self, GeneratedScenario, Preset};
 
 /// Configuration of one fleet run.
@@ -173,6 +175,10 @@ pub struct FleetRun {
     pub timing: FleetTiming,
     /// Raw per-scenario results, ordered by scenario id.
     pub results: Vec<ScenarioResult>,
+    /// Telemetry metrics accumulated by this run (a delta over the
+    /// process-wide collector, so concurrent runs don't bleed into each
+    /// other's exports). `None` when telemetry is off.
+    pub metrics: Option<telemetry::MetricsSnapshot>,
 }
 
 /// Scores a verdict against the scenario's actual attacker.
@@ -250,7 +256,7 @@ fn run_scenario(
         if let Some(stages) = &scenario.stages {
             ctx = ctx.with_stages(stages.clone());
         }
-        let verdict = mechanism.run(&mut ctx);
+        let verdict = run_instrumented(mechanism.as_ref(), &mut ctx);
         let latency = start.elapsed();
         runs.push(score(mechanism.name(), verdict, &scenario, latency));
     }
@@ -277,6 +283,12 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
     let started = Instant::now();
     let workers = config.effective_workers();
 
+    // Telemetry is observational only: everything below feeds FleetTiming
+    // and the exported artifacts, never the deterministic FleetReport. The
+    // delta keeps this run's metrics separable even when other fleets ran
+    // earlier in the same process (the collector is process-global).
+    let metrics_before = telemetry::enabled().then(telemetry::snapshot);
+
     // One verification pipeline for the whole run: every journey's
     // re-execution funnels through it, and with the cache on, duplicate
     // sessions across hops, replicas, and mechanisms replay once.
@@ -288,6 +300,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
 
     // One shared DSA group and key pool (generation is the expensive
     // part; hosts index into the pool deterministically).
+    let keygen = telemetry::span("fleet.keygen", "fleet");
     let params = DsaParams::test_group_256();
     let mut key_rng = StdRng::seed_from_u64(config.seed ^ 0x5ee3_d00d_cafe_f00d);
     let keys: Vec<DsaKeyPair> = (0..config.key_pool)
@@ -299,6 +312,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
     for key in &keys {
         key.public().precompute();
     }
+    drop(keygen);
 
     // The ThreadedNetwork idiom: a pre-filled job queue, cloned receivers,
     // one results channel back to the collector.
@@ -310,15 +324,25 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
     drop(job_tx); // workers drain until empty
 
     let mut handles = Vec::with_capacity(workers);
-    for _ in 0..workers {
+    for worker in 0..workers as u32 {
         let job_rx = job_rx.clone();
         let result_tx = result_tx.clone();
         let config = config.clone();
         let keys = keys.clone();
         let pipeline = pipeline.clone();
         handles.push(thread::spawn(move || {
-            while let Ok(id) = job_rx.recv() {
+            loop {
+                // Queue wait vs run time: the wait timer only records when
+                // a job actually arrives (the final empty-queue recv is
+                // shutdown, not contention).
+                let wait = telemetry::Timer::start();
+                let Ok(id) = job_rx.recv() else { break };
+                wait.finish("fleet.queue_wait", "fleet");
+                let busy = telemetry::Timer::start();
                 let result = run_scenario(id, &config, &keys, &pipeline);
+                let spent = busy.finish("fleet.scenario", "fleet");
+                telemetry::count_indexed("fleet.worker.scenarios", worker, 1);
+                telemetry::count_indexed("fleet.worker.busy_us", worker, spent.as_micros() as u64);
                 if result_tx.send(result).is_err() {
                     return; // collector gone; shut down quietly
                 }
@@ -353,6 +377,17 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
             LatencyPercentiles::from_latencies(&mut lats).map(|p| (mechanism, p))
         })
         .collect();
+    // This run's metric delta: stage breakdowns key on the mechanism name
+    // each worker set as its telemetry scope while the journey ran.
+    let metrics = metrics_before.map(|before| telemetry::snapshot().delta_since(&before));
+    let stages = match &metrics {
+        Some(delta) => names
+            .iter()
+            .map(|&name| (name, StageBreakdown::from_metrics(delta, name)))
+            .filter(|(_, breakdown)| !breakdown.is_empty())
+            .collect(),
+        None => Vec::new(),
+    };
     let timing = FleetTiming {
         workers,
         wall,
@@ -362,12 +397,15 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
         check_workers: config.adapter.check_workers,
         replay_cache: config.replay_cache,
         replay: pipeline.snapshot(),
+        telemetry: telemetry::level(),
+        stages,
     };
 
     FleetRun {
         report,
         timing,
         results,
+        metrics,
     }
 }
 

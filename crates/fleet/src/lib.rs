@@ -74,5 +74,8 @@ pub use refstate_mechanisms::api::{
     JourneyCtx, JourneyVerdict, MechanismConfig, MechanismProfile, MechanismRegistry,
     ProtectionMechanism, RouteTopology, UnknownMechanism,
 };
-pub use report::{CellStats, FleetReport, FleetTiming, LatencyPercentiles, MechanismReport};
+pub use report::{
+    CellStats, FleetReport, FleetTiming, LatencyPercentiles, MechanismReport, StageBreakdown,
+    StageStats,
+};
 pub use scenario::{generate, GeneratedScenario, Preset};

@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use refstate_core::PipelineStatsSnapshot;
+use refstate_telemetry::{HistogramSnapshot, MetricsSnapshot, TelemetryLevel};
 
 use crate::engine::{MechanismRun, ScenarioResult};
 use crate::json::JsonWriter;
@@ -304,6 +305,68 @@ impl LatencyPercentiles {
     }
 }
 
+/// Count/duration summary of one verification stage, distilled from a
+/// telemetry duration histogram (nanosecond samples, reported in µs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageStats {
+    /// Samples observed (e.g. cache probes that hit).
+    pub count: u64,
+    /// Total wall time spent in this stage, microseconds.
+    pub total_us: f64,
+    /// Median stage duration, microseconds (log-linear bucket upper bound,
+    /// worst-case 12.5% relative error).
+    pub p50_us: f64,
+    /// 99th-percentile stage duration, microseconds.
+    pub p99_us: f64,
+}
+
+impl StageStats {
+    /// Distils a duration histogram (or its absence) into stage stats.
+    pub fn from_histogram(histogram: Option<&HistogramSnapshot>) -> StageStats {
+        match histogram {
+            Some(h) if h.count > 0 => StageStats {
+                count: h.count,
+                total_us: h.sum as f64 / 1e3,
+                p50_us: h.quantile(0.50) as f64 / 1e3,
+                p99_us: h.quantile(0.99) as f64 / 1e3,
+            },
+            _ => StageStats::default(),
+        }
+    }
+}
+
+/// Where one mechanism's verification time went: cache hits vs full VM
+/// replays vs signature verification. Built from the telemetry metric
+/// delta of the run; part of [`FleetTiming`] (never [`FleetReport`] — the
+/// deterministic surface carries no wall-clock facts).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Replay-cache probes that hit (`verify.cache_hit`).
+    pub cache_hit: StageStats,
+    /// Full compiled-VM re-executions (`verify.replay`).
+    pub replay: StageStats,
+    /// Single DSA signature verifications (`crypto.verify`).
+    pub sig_verify: StageStats,
+}
+
+impl StageBreakdown {
+    /// Pulls the three stage histograms recorded under `mechanism`'s
+    /// telemetry scope out of a metrics (delta) snapshot.
+    pub fn from_metrics(metrics: &MetricsSnapshot, mechanism: &'static str) -> StageBreakdown {
+        StageBreakdown {
+            cache_hit: StageStats::from_histogram(metrics.histogram(mechanism, "verify.cache_hit")),
+            replay: StageStats::from_histogram(metrics.histogram(mechanism, "verify.replay")),
+            sig_verify: StageStats::from_histogram(metrics.histogram(mechanism, "crypto.verify")),
+        }
+    }
+
+    /// `true` when no stage recorded a single sample (mechanism never
+    /// touched the pipeline or crypto — e.g. `unprotected`).
+    pub fn is_empty(&self) -> bool {
+        self.cache_hit.count == 0 && self.replay.count == 0 && self.sig_verify.count == 0
+    }
+}
+
 /// Wall-clock facts of one fleet run. Not deterministic; kept apart from
 /// [`FleetReport`] on purpose.
 #[derive(Debug, Clone)]
@@ -324,9 +387,15 @@ pub struct FleetTiming {
     pub check_workers: usize,
     /// Whether the run shared a replay cache across journeys.
     pub replay_cache: bool,
-    /// The verification pipeline's counters: cache hits/misses and actual
-    /// VM replays performed across the whole run.
+    /// The verification pipeline's counters: cache hits/misses, actual VM
+    /// replays, evictions, and end-of-run cache occupancy.
     pub replay: PipelineStatsSnapshot,
+    /// The telemetry level the run executed under.
+    pub telemetry: TelemetryLevel,
+    /// Per-mechanism verification-stage breakdown, in run order. Empty
+    /// when telemetry was off (mechanisms whose stages recorded nothing,
+    /// e.g. `unprotected`, have no entry).
+    pub stages: Vec<(&'static str, StageBreakdown)>,
 }
 
 impl FleetTiming {
@@ -335,19 +404,45 @@ impl FleetTiming {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "timing: {:.2?} wall on {} workers — {:.0} scenarios/s, {:.0} journeys/s",
-            self.wall, self.workers, self.scenarios_per_sec, self.journeys_per_sec
+            "timing: {:.2?} wall on {} workers — {:.0} scenarios/s, {:.0} journeys/s (telemetry {})",
+            self.wall,
+            self.workers,
+            self.scenarios_per_sec,
+            self.journeys_per_sec,
+            self.telemetry.name(),
         );
         let _ = writeln!(
             out,
-            "replay cache: {} — {} hits / {} misses ({:.1}% hit rate), {} replays; check workers: {}",
+            "replay cache: {} — {} hits / {} misses ({:.1}% hit rate), {} replays, \
+             {} evictions, occupancy {}/{}; check workers: {}",
             if self.replay_cache { "on" } else { "off" },
             self.replay.hits,
             self.replay.misses,
             self.replay.hit_rate() * 100.0,
             self.replay.replays,
+            self.replay.evictions,
+            self.replay.cache_entries,
+            self.replay.cache_capacity,
             self.check_workers,
         );
+        if !self.stages.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>16} {:>16} {:>16}",
+                "stage (count/total)", "cache_hit", "replay", "sig_verify"
+            );
+            let cell = |s: &StageStats| format!("{}/{:.0}µs", s.count, s.total_us);
+            for (mechanism, b) in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>16} {:>16} {:>16}",
+                    mechanism,
+                    cell(&b.cache_hit),
+                    cell(&b.replay),
+                    cell(&b.sig_verify),
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "{:<20} {:>10} {:>10} {:>10} {:>10}",
@@ -372,6 +467,7 @@ impl FleetTiming {
         w.field_f64("scenarios_per_sec", self.scenarios_per_sec);
         w.field_f64("journeys_per_sec", self.journeys_per_sec);
         w.field_u64("check_workers", self.check_workers as u64);
+        w.field_str("telemetry", self.telemetry.name());
         w.key("replay");
         w.begin_object();
         w.field_bool("cache_enabled", self.replay_cache);
@@ -379,6 +475,30 @@ impl FleetTiming {
         w.field_u64("misses", self.replay.misses);
         w.field_u64("replays", self.replay.replays);
         w.field_f64("hit_rate", self.replay.hit_rate());
+        w.field_u64("evictions", self.replay.evictions);
+        w.field_u64("occupancy", self.replay.cache_entries);
+        w.field_u64("capacity", self.replay.cache_capacity);
+        w.end_object();
+        w.key("stage_breakdown");
+        w.begin_object();
+        for (mechanism, b) in &self.stages {
+            w.key(mechanism);
+            w.begin_object();
+            for (label, stage) in [
+                ("cache_hit", &b.cache_hit),
+                ("replay", &b.replay),
+                ("sig_verify", &b.sig_verify),
+            ] {
+                w.key(label);
+                w.begin_object();
+                w.field_u64("count", stage.count);
+                w.field_f64("total_us", stage.total_us);
+                w.field_f64("p50_us", stage.p50_us);
+                w.field_f64("p99_us", stage.p99_us);
+                w.end_object();
+            }
+            w.end_object();
+        }
         w.end_object();
         w.key("latency_percentiles");
         w.begin_object();

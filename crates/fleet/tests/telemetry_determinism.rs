@@ -1,0 +1,125 @@
+//! The telemetry determinism contract, enforced: recording is strictly
+//! observational, so the deterministic `FleetReport` must be
+//! **byte-for-byte identical** at every telemetry level (`off`,
+//! `counters`, `full`) and at every worker count.
+//!
+//! Two layers of guarantee:
+//!
+//! * a property test runs small random fleets at all three levels in the
+//!   same process and compares the rendered report JSON bytes, and
+//! * the seed-42 golden fixtures (see `golden_report.rs`) are re-checked
+//!   at `counters` and `full`, extending the cross-PR byte-identity
+//!   guarantee from "telemetry off" to "telemetry at any level".
+//!
+//! The telemetry level is process-global, so these tests may race each
+//! other's `set_level` calls when the harness runs them on parallel
+//! threads — which is exactly the point: the report bytes must not
+//! depend on the level, not even on a level that flips mid-run.
+
+use proptest::prelude::*;
+use refstate_fleet::{run_fleet, FleetConfig, Preset};
+use refstate_telemetry as telemetry;
+
+fn small_config(scenarios: u64, preset: Preset, workers: usize) -> FleetConfig {
+    FleetConfig {
+        scenarios,
+        workers,
+        seed: 42,
+        preset,
+        key_pool: 4,
+        ..FleetConfig::default()
+    }
+}
+
+fn report_json_at(config: &FleetConfig, level: telemetry::TelemetryLevel) -> String {
+    telemetry::set_level(level);
+    let json = run_fleet(config).report.to_json();
+    telemetry::set_level(telemetry::TelemetryLevel::Off);
+    // Keep the process-wide trace sink from accumulating across cases.
+    let _ = telemetry::drain_trace();
+    json
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn report_bytes_identical_across_telemetry_levels(
+        scenarios in 4u64..=12,
+        preset_chained in proptest::arbitrary::any::<bool>(),
+        workers in 0usize..=4,
+    ) {
+        let preset = if preset_chained { Preset::Chained } else { Preset::Mixed };
+        let config = small_config(scenarios, preset, workers);
+        let off = report_json_at(&config, telemetry::TelemetryLevel::Off);
+        let counters = report_json_at(&config, telemetry::TelemetryLevel::Counters);
+        let full = report_json_at(&config, telemetry::TelemetryLevel::Full);
+        prop_assert_eq!(&off, &counters);
+        prop_assert_eq!(&off, &full);
+    }
+}
+
+/// The golden-fixture configuration from `golden_report.rs`, re-run at a
+/// non-default telemetry level and worker count.
+fn check_golden_at(
+    preset: Preset,
+    fixture: &str,
+    level: telemetry::TelemetryLevel,
+    workers: usize,
+) {
+    let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path}: {e} (run golden_report first)"));
+    let config = FleetConfig {
+        scenarios: 120,
+        workers,
+        seed: 42,
+        preset,
+        key_pool: 16,
+        ..FleetConfig::default()
+    };
+    let json = report_json_at(&config, level);
+    assert_eq!(
+        json,
+        committed.trim_end(),
+        "the seed-42 {} report changed under --telemetry {} with {workers} \
+         workers; telemetry must be strictly observational",
+        preset.name(),
+        level.name()
+    );
+}
+
+#[test]
+fn seed42_mixed_golden_report_is_level_invariant() {
+    check_golden_at(
+        Preset::Mixed,
+        "seed42_mixed_report.json",
+        telemetry::TelemetryLevel::Counters,
+        4,
+    );
+    check_golden_at(
+        Preset::Mixed,
+        "seed42_mixed_report.json",
+        telemetry::TelemetryLevel::Full,
+        4,
+    );
+}
+
+#[test]
+fn seed42_mixed_golden_report_is_worker_invariant_at_full() {
+    check_golden_at(
+        Preset::Mixed,
+        "seed42_mixed_report.json",
+        telemetry::TelemetryLevel::Full,
+        1,
+    );
+}
+
+#[test]
+fn seed42_chained_golden_report_is_level_invariant() {
+    check_golden_at(
+        Preset::Chained,
+        "seed42_chained_report.json",
+        telemetry::TelemetryLevel::Full,
+        4,
+    );
+}

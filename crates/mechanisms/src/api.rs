@@ -38,6 +38,7 @@ use refstate_core::rules::{CmpOp, Expr, Pred, RuleSet};
 use refstate_core::{CheckMoment, ReferenceDataRequest, VerificationPipeline};
 use refstate_crypto::{KeyDirectory, VerificationQueue};
 use refstate_platform::{AgentImage, EventLog, Host, HostId};
+use refstate_telemetry as telemetry;
 use refstate_vm::ExecConfig;
 
 use crate::replication::StageSpec;
@@ -233,6 +234,32 @@ impl<'a> JourneyCtx<'a> {
     pub fn start(&self) -> &HostId {
         &self.route[0]
     }
+
+    /// Opens a telemetry span for one stage of the mechanism's journey
+    /// (e.g. the forward run vs. the audit). The span records a duration
+    /// histogram under the active scope — the mechanism name, when driven
+    /// through [`run_instrumented`] — and a trace event at the `Full`
+    /// level; it costs one atomic load when telemetry is off.
+    pub fn stage(&self, name: &'static str) -> telemetry::Span {
+        telemetry::span(name, "stage")
+    }
+}
+
+/// Runs one mechanism over one journey with telemetry attribution: the
+/// thread's telemetry scope is set to the mechanism's name for the
+/// duration (so every pipeline/crypto/VM measurement triggered by the
+/// journey lands under that mechanism), and the journey itself is
+/// recorded as a `journey` span.
+///
+/// Verdicts are identical to calling [`ProtectionMechanism::run`]
+/// directly — telemetry is strictly observational.
+pub fn run_instrumented(
+    mechanism: &dyn ProtectionMechanism,
+    ctx: &mut JourneyCtx<'_>,
+) -> JourneyVerdict {
+    let _scope = telemetry::scoped(mechanism.name());
+    let _span = telemetry::span("journey", "mechanism");
+    mechanism.run(ctx)
 }
 
 impl fmt::Debug for JourneyCtx<'_> {

@@ -922,7 +922,8 @@ impl ProtectionMechanism for ChainedMac {
         let secret = ChainSecret::from_rng(&mut ctx.rng);
         let agent_id = ctx.agent.id.clone();
         let start = ctx.start().clone();
-        match run_mac_chained_journey(
+        let forward = ctx.stage("chained.journey");
+        let journey = run_mac_chained_journey(
             ctx.hosts,
             start.clone(),
             ctx.agent.clone(),
@@ -930,12 +931,15 @@ impl ProtectionMechanism for ChainedMac {
             &ctx.config.exec,
             ctx.log,
             ctx.config.max_hops,
-        ) {
+        );
+        drop(forward);
+        match journey {
             Ok(journey) => {
                 if journey.failure.is_some() {
                     // The agent died en route; the chain never came home.
                     return JourneyVerdict::clean(false);
                 }
+                let _verify = ctx.stage("chained.verify");
                 let final_digest = sha256(&to_wire(&journey.final_state));
                 let verdict =
                     verify_mac_chain(&journey.links, &secret, &agent_id, &start, &final_digest);
@@ -990,7 +994,8 @@ impl ProtectionMechanism for EncapsulatedResults {
         ctx.rng.fill_bytes(&mut nonce);
         let agent_id = ctx.agent.id.clone();
         let start = ctx.start().clone();
-        let journey = match run_encapsulated_journey(
+        let forward = ctx.stage("encapsulated.journey");
+        let journey = run_encapsulated_journey(
             ctx.hosts,
             start.clone(),
             ctx.agent.clone(),
@@ -1000,7 +1005,9 @@ impl ProtectionMechanism for EncapsulatedResults {
             ctx.config.max_hops,
             ctx.directory,
             ctx.config.defer_signatures,
-        ) {
+        );
+        drop(forward);
+        let journey = match journey {
             Ok(journey) => journey,
             Err(_) => return JourneyVerdict::clean(false),
         };
@@ -1016,6 +1023,7 @@ impl ProtectionMechanism for EncapsulatedResults {
         };
         let anchor = encapsulation_anchor(&agent_id, &nonce);
         let final_digest = sha256(&to_wire(final_state));
+        let _verify = ctx.stage("encapsulated.verify");
         match owner_verify_encapsulations(
             &journey.chain,
             &anchor,

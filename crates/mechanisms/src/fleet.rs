@@ -207,6 +207,7 @@ impl ProtectionMechanism for SessionCheckingProtocol {
             pipeline: ctx.pipeline.clone(),
             ..ctx.config.protocol.clone()
         };
+        let stage = ctx.stage("protocol.journey");
         let result = if ctx.config.defer_signatures {
             run_protected_journey_batched(
                 ctx.hosts,
@@ -227,6 +228,7 @@ impl ProtectionMechanism for SessionCheckingProtocol {
                 ctx.directory,
             )
         };
+        drop(stage);
         match result {
             Ok(outcome) => match outcome.fraud {
                 Some(fraud) => {
@@ -269,15 +271,19 @@ impl ProtectionMechanism for ExecutionTraces {
 
     fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict {
         let program = ctx.agent.program.clone();
-        match run_traced_journey(
+        let forward = ctx.stage("traces.forward");
+        let journey = run_traced_journey(
             ctx.hosts,
             ctx.start().clone(),
             ctx.agent.clone(),
             &ctx.config.exec,
             ctx.log,
             ctx.config.max_hops,
-        ) {
+        );
+        drop(forward);
+        match journey {
             Ok(journey) => {
+                let _audit = ctx.stage("traces.audit");
                 let report = audit_journey_with_pipeline(
                     &journey,
                     &program,

@@ -92,8 +92,8 @@ pub mod replication;
 pub mod traces;
 
 pub use api::{
-    JourneyCtx, JourneyVerdict, MechanismConfig, MechanismProfile, MechanismRegistry,
-    ProtectionMechanism, RouteTopology, UnknownMechanism,
+    run_instrumented, JourneyCtx, JourneyVerdict, MechanismConfig, MechanismProfile,
+    MechanismRegistry, ProtectionMechanism, RouteTopology, UnknownMechanism,
 };
 pub use appraisal::{run_appraised_journey, AppraisalOutcome};
 pub use chained::{

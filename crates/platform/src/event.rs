@@ -1,9 +1,11 @@
 //! The platform event log: a timeline of everything observable.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
-use std::sync::Arc;
+use refstate_telemetry as telemetry;
 
 use crate::agent::AgentId;
 use crate::host::HostId;
@@ -136,7 +138,60 @@ impl fmt::Display for Event {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
-    events: Arc<Mutex<Vec<Event>>>,
+    inner: Arc<LogInner>,
+}
+
+/// Number of [`Event`] kinds, for the per-kind telemetry tallies.
+const EVENT_KINDS: usize = 8;
+
+/// Telemetry counter names, indexed by [`kind_index`].
+const KIND_NAMES: [&str; EVENT_KINDS] = [
+    "platform.agent_created",
+    "platform.session_started",
+    "platform.session_ended",
+    "platform.migrated",
+    "platform.attack_applied",
+    "platform.check_performed",
+    "platform.fraud_detected",
+    "platform.note",
+];
+
+fn kind_index(event: &Event) -> usize {
+    match event {
+        Event::AgentCreated { .. } => 0,
+        Event::SessionStarted { .. } => 1,
+        Event::SessionEnded { .. } => 2,
+        Event::Migrated { .. } => 3,
+        Event::AttackApplied { .. } => 4,
+        Event::CheckPerformed { .. } => 5,
+        Event::FraudDetected { .. } => 6,
+        Event::Note { .. } => 7,
+    }
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    events: Mutex<Vec<Event>>,
+    /// Per-kind telemetry tallies, batched here so the record hot path
+    /// costs one relaxed atomic add per event instead of a full counter
+    /// record; flushed into the collector when the log is dropped.
+    tallies: [AtomicU64; EVENT_KINDS],
+    /// Telemetry scope captured on the first bridged record, so the
+    /// batched counters attribute to the mechanism whose journey produced
+    /// the events even though the flush happens at drop time.
+    telemetry_scope: OnceLock<&'static str>,
+}
+
+impl Drop for LogInner {
+    fn drop(&mut self) {
+        let scope = self.telemetry_scope.get().copied().unwrap_or("");
+        for (i, tally) in self.tallies.iter_mut().enumerate() {
+            let n = *tally.get_mut();
+            if n > 0 {
+                telemetry::count_in_scope(scope, KIND_NAMES[i], n);
+            }
+        }
+    }
 }
 
 impl EventLog {
@@ -146,28 +201,41 @@ impl EventLog {
     }
 
     /// Appends an event.
+    ///
+    /// The event is also bridged into telemetry: every kind is tallied
+    /// into a per-kind counter (batched in the log, flushed when the log
+    /// drops), and the low-frequency kinds additionally become instant
+    /// events on the trace timeline at the `Full` level, so platform
+    /// history and span traces share one exported timeline.
     pub fn record(&self, event: Event) {
-        self.events.lock().push(event);
+        if telemetry::enabled() {
+            self.inner
+                .telemetry_scope
+                .get_or_init(telemetry::current_scope);
+            self.inner.tallies[kind_index(&event)].fetch_add(1, Ordering::Relaxed);
+            bridge_instant(&event);
+        }
+        self.inner.events.lock().push(event);
     }
 
     /// The number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.inner.events.lock().len()
     }
 
     /// Returns `true` if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.inner.events.lock().is_empty()
     }
 
     /// A snapshot of the events recorded so far.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.events.lock().clone()
+        self.inner.events.lock().clone()
     }
 
     /// Renders the timeline, one event per line.
     pub fn render(&self) -> String {
-        let events = self.events.lock();
+        let events = self.inner.events.lock();
         let mut out = String::new();
         for (i, e) in events.iter().enumerate() {
             out.push_str(&format!("{i:4}  {e}\n"));
@@ -177,8 +245,53 @@ impl EventLog {
 
     /// Counts events matching a predicate.
     pub fn count_matching(&self, predicate: impl Fn(&Event) -> bool) -> usize {
-        self.events.lock().iter().filter(|e| predicate(e)).count()
+        self.inner
+            .events
+            .lock()
+            .iter()
+            .filter(|e| predicate(e))
+            .count()
     }
+}
+
+/// Mirrors a low-frequency platform event onto the trace timeline as an
+/// instant (with the event's principals as args) at the `Full` level.
+///
+/// The per-hop lifecycle kinds (session start/end, migration, checking)
+/// fire tens of times per journey, and the timeline already shows each
+/// hop as a `vm.session` span and each check as a `verify.session` span;
+/// bridging them as instants too would double the trace volume without
+/// adding information, so they are tallied (see [`EventLog::record`]) but
+/// not traced. Strictly observational — the event log's own contents are
+/// untouched.
+fn bridge_instant(event: &Event) {
+    if !telemetry::tracing_enabled() {
+        return;
+    }
+    let name = KIND_NAMES[kind_index(event)];
+    let args = match event {
+        Event::SessionStarted { .. }
+        | Event::SessionEnded { .. }
+        | Event::Migrated { .. }
+        | Event::CheckPerformed { .. } => return,
+        Event::AgentCreated { agent, home } => {
+            vec![("agent", agent.to_string()), ("home", home.to_string())]
+        }
+        Event::AttackApplied { host, attack } => {
+            vec![("host", host.to_string()), ("attack", attack.clone())]
+        }
+        Event::FraudDetected {
+            culprit,
+            detector,
+            reason,
+        } => vec![
+            ("culprit", culprit.to_string()),
+            ("detector", detector.to_string()),
+            ("reason", reason.clone()),
+        ],
+        Event::Note { text } => vec![("text", text.clone())],
+    };
+    telemetry::instant(name, "platform", args);
 }
 
 #[cfg(test)]

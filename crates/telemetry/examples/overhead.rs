@@ -1,0 +1,57 @@
+use refstate_telemetry as telemetry;
+use std::time::Instant;
+
+fn main() {
+    telemetry::set_level(telemetry::TelemetryLevel::Full);
+    let n = 1_000_000u64;
+    // span cost
+    let t = Instant::now();
+    for _ in 0..n {
+        let _s = telemetry::span("bench.span", "bench");
+    }
+    telemetry::flush_thread();
+    println!(
+        "span: {:.0} ns/event",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+    let _ = telemetry::drain_trace();
+    // instant with 3 string args
+    let t = Instant::now();
+    for i in 0..n {
+        telemetry::instant(
+            "bench.instant",
+            "bench",
+            vec![
+                ("a", format!("host-{i}")),
+                ("b", "agent".to_string()),
+                ("c", i.to_string()),
+            ],
+        );
+    }
+    telemetry::flush_thread();
+    println!(
+        "instant+args: {:.0} ns/event",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+    let _ = telemetry::drain_trace();
+    // counters-only comparison
+    telemetry::set_level(telemetry::TelemetryLevel::Counters);
+    let t = Instant::now();
+    for _ in 0..n {
+        let _s = telemetry::span("bench.span2", "bench");
+    }
+    println!(
+        "span@counters: {:.0} ns/event",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+    // off
+    telemetry::set_level(telemetry::TelemetryLevel::Off);
+    let t = Instant::now();
+    for _ in 0..n {
+        let _s = telemetry::span("bench.span3", "bench");
+    }
+    println!(
+        "span@off: {:.2} ns/event",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+}

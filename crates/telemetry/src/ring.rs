@@ -1,0 +1,143 @@
+//! A fixed-capacity overwrite-oldest ring buffer.
+//!
+//! Each tracing thread owns one of these privately (no locking on the push
+//! path); when the buffer fills it is flushed wholesale into the process-wide
+//! [`Collector`](crate::Collector). The overwrite semantics only matter if a
+//! flush sink is unavailable, but they are part of the data structure's
+//! contract and are tested independently.
+
+/// A bounded FIFO that overwrites its oldest element when full.
+#[derive(Debug)]
+pub struct RingBuffer<T> {
+    slots: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring buffer holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be non-zero");
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        Self {
+            slots,
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an element. If the buffer is full, the oldest element is
+    /// overwritten and returned, and the dropped counter is bumped.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let capacity = self.slots.len();
+        if self.len < capacity {
+            let idx = (self.head + self.len) % capacity;
+            self.slots[idx] = Some(item);
+            self.len += 1;
+            None
+        } else {
+            let old = self.slots[self.head].replace(item);
+            self.head = (self.head + 1) % capacity;
+            self.dropped += 1;
+            old
+        }
+    }
+
+    /// Removes and returns all buffered elements in insertion order.
+    pub fn drain(&mut self) -> Vec<T> {
+        let capacity = self.slots.len();
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            let idx = (self.head + i) % capacity;
+            if let Some(item) = self.slots[idx].take() {
+                out.push(item);
+            }
+        }
+        self.head = 0;
+        self.len = 0;
+        out
+    }
+
+    /// The number of buffered elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` when the next push would overwrite the oldest element.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// How many elements have been overwritten since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_overwriting_oldest() {
+        let mut ring = RingBuffer::with_capacity(3);
+        assert!(ring.is_empty());
+        assert_eq!(ring.push(1), None);
+        assert_eq!(ring.push(2), None);
+        assert_eq!(ring.push(3), None);
+        assert!(ring.is_full());
+        // Fourth push evicts the oldest (1).
+        assert_eq!(ring.push(4), Some(1));
+        assert_eq!(ring.push(5), Some(2));
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.drain(), vec![3, 4, 5]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn drain_preserves_insertion_order_across_wrap() {
+        let mut ring = RingBuffer::with_capacity(4);
+        for i in 0..11 {
+            ring.push(i);
+        }
+        // Capacity 4, pushed 0..=10: the last four survive, in order.
+        assert_eq!(ring.drain(), vec![7, 8, 9, 10]);
+        assert_eq!(ring.dropped(), 7);
+        // Reusable after a drain.
+        ring.push(42);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.drain(), vec![42]);
+    }
+
+    #[test]
+    fn capacity_one_always_keeps_latest() {
+        let mut ring = RingBuffer::with_capacity(1);
+        assert_eq!(ring.push("a"), None);
+        assert_eq!(ring.push("b"), Some("a"));
+        assert_eq!(ring.push("c"), Some("b"));
+        assert_eq!(ring.drain(), vec!["c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = RingBuffer::<u8>::with_capacity(0);
+    }
+}

@@ -24,6 +24,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use refstate_telemetry as telemetry;
 use refstate_wire::to_wire;
 
 use crate::error::VmError;
@@ -260,6 +261,23 @@ pub(crate) fn cached_by_content(program: &Program) -> Arc<CompiledProgram> {
 ///
 /// Propagates any [`VmError`] the program raises.
 pub fn run_compiled_session(
+    program: &CompiledProgram,
+    initial_state: DataState,
+    io: &mut dyn SessionIo,
+    config: &ExecConfig,
+) -> Result<SessionOutcome, VmError> {
+    let timer = telemetry::Timer::start();
+    let result = run_compiled_session_inner(program, initial_state, io, config);
+    if timer.is_active() {
+        if let Ok(outcome) = &result {
+            telemetry::observe("vm.session_steps", outcome.steps);
+        }
+        timer.finish("vm.session", "vm");
+    }
+    result
+}
+
+fn run_compiled_session_inner(
     program: &CompiledProgram,
     initial_state: DataState,
     io: &mut dyn SessionIo,

@@ -113,5 +113,6 @@ pub use refstate_crypto as crypto;
 pub use refstate_fleet as fleet;
 pub use refstate_mechanisms as mechanisms;
 pub use refstate_platform as platform;
+pub use refstate_telemetry as telemetry;
 pub use refstate_vm as vm;
 pub use refstate_wire as wire;
