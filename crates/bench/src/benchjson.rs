@@ -586,6 +586,131 @@ pub fn check_metrics_jsonl(text: &str) -> Result<(), JsonError> {
     Ok(())
 }
 
+/// Validates the `refstate-soak-slo-v1` artifact as emitted by the serve
+/// CLI's `--slo-out` (and printed after every soak run): the soak shape
+/// (`seed`, positive `owners`/`journeys`/`tick_every`, `preset` and
+/// `mechanism` labels, service knobs), a `counts` block whose admission
+/// arithmetic closes (`submitted == accepted + rejected`,
+/// `accepted == verified + dropped`), a monotone `latency_us` ladder
+/// (p50 ≤ p95 ≤ p99 ≤ max), a `cache` block with `hit_rate` in `[0, 1]`,
+/// one `owners_detail` row per owner, and a 16-hex-digit `stream_digest`
+/// pinning the verdict stream. A non-zero `dropped` is a schema
+/// violation, not a warning: the drain invariant (no accepted journey
+/// goes unverified) is the artifact's reason to exist.
+pub fn check_slo_schema(doc: &Json) -> Result<(), JsonError> {
+    if doc.get("schema").and_then(Json::as_str) != Some("refstate-soak-slo-v1") {
+        return Err(JsonError(
+            "schema: expected \"refstate-soak-slo-v1\"".into(),
+        ));
+    }
+    require_num(doc, "$", "seed")?;
+    let owner_count = require_positive(doc, "$", "owners")?;
+    require_positive(doc, "$", "journeys")?;
+    for key in ["preset", "mechanism"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            return Err(JsonError(format!("{key}: missing or not a string")));
+        }
+    }
+    require_positive(doc, "$", "tick_every")?;
+    // `0` is a legal check-worker setting (one per core).
+    require_non_negative(doc, "$", "check_workers")?;
+    require_positive(doc, "$", "queue_capacity")?;
+
+    let counts = doc
+        .get("counts")
+        .ok_or_else(|| JsonError("counts: missing block".into()))?;
+    let submitted = require_non_negative(counts, "counts", "submitted")?;
+    let accepted = require_non_negative(counts, "counts", "accepted")?;
+    let rejected = require_non_negative(counts, "counts", "rejected")?;
+    let verified = require_non_negative(counts, "counts", "verified")?;
+    require_non_negative(counts, "counts", "detected")?;
+    let dropped = require_non_negative(counts, "counts", "dropped")?;
+    if submitted != accepted + rejected {
+        return Err(JsonError(format!(
+            "counts: submitted ({submitted}) must equal accepted ({accepted}) \
+             + rejected ({rejected})"
+        )));
+    }
+    if accepted != verified + dropped {
+        return Err(JsonError(format!(
+            "counts: accepted ({accepted}) must equal verified ({verified}) \
+             + dropped ({dropped})"
+        )));
+    }
+    if dropped != 0.0 {
+        return Err(JsonError(format!(
+            "counts.dropped: {dropped} accepted journeys never produced a \
+             verdict — the drain invariant requires zero"
+        )));
+    }
+
+    let latency = doc
+        .get("latency_us")
+        .ok_or_else(|| JsonError("latency_us: missing block".into()))?;
+    let mut previous = 0.0;
+    for key in ["p50", "p95", "p99", "max"] {
+        let value = require_non_negative(latency, "latency_us", key)?;
+        if value < previous {
+            return Err(JsonError(format!(
+                "latency_us.{key}: {value} breaks the percentile ladder \
+                 (previous rung was {previous})"
+            )));
+        }
+        previous = value;
+    }
+
+    let cache = doc
+        .get("cache")
+        .ok_or_else(|| JsonError("cache: missing block".into()))?;
+    require_non_negative(cache, "cache", "hits")?;
+    require_non_negative(cache, "cache", "misses")?;
+    let hit_rate = require_num(cache, "cache", "hit_rate")?;
+    if !(0.0..=1.0).contains(&hit_rate) {
+        return Err(JsonError(format!(
+            "cache.hit_rate: must be within [0, 1], got {hit_rate}"
+        )));
+    }
+
+    let owners = doc
+        .get("owners_detail")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError("owners_detail: missing or not an array".into()))?;
+    if owners.len() as f64 != owner_count {
+        return Err(JsonError(format!(
+            "owners_detail: expected one row per owner ({owner_count}), got {}",
+            owners.len()
+        )));
+    }
+    for (i, owner) in owners.iter().enumerate() {
+        let path = format!("owners_detail[{i}]");
+        if owner.get("owner").and_then(Json::as_str).is_none() {
+            return Err(JsonError(format!("{path}.owner: missing or not a string")));
+        }
+        for key in [
+            "accepted",
+            "rejected",
+            "verified",
+            "detected",
+            "final_checks",
+            "flush_verifications",
+            "flush_failures",
+        ] {
+            require_non_negative(owner, &path, key)?;
+        }
+    }
+
+    let digest = doc
+        .get("stream_digest")
+        .and_then(Json::as_str)
+        .ok_or_else(|| JsonError("stream_digest: missing or not a string".into()))?;
+    if digest.len() != 16 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(JsonError(format!(
+            "stream_digest: expected 16 hex digits, got {digest:?}"
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -865,5 +990,62 @@ mod tests {
         ] {
             assert!(check_metrics_jsonl(bad).is_err(), "{bad}");
         }
+    }
+
+    /// A valid SLO document matching what `serve --soak` emits; the
+    /// counts, dropped total, latency ladder, and digest are injectable
+    /// so tests can break each invariant independently.
+    fn slo_doc(verified: &str, dropped: &str, p99: &str, digest: &str) -> String {
+        format!(
+            r#"{{"schema":"refstate-soak-slo-v1","seed":42,"owners":2,
+                "journeys":48,"preset":"mixed","mechanism":"protocol",
+                "tick_every":12,"check_workers":1,"queue_capacity":64,
+                "counts":{{"submitted":50,"accepted":48,"rejected":2,
+                    "verified":{verified},"detected":20,"dropped":{dropped}}},
+                "latency_us":{{"p50":120,"p95":300,"p99":{p99},"max":900}},
+                "cache":{{"hits":40,"misses":8,"hit_rate":0.833333}},
+                "owners_detail":[
+                    {{"owner":"owner-0","accepted":24,"rejected":1,
+                      "verified":24,"detected":10,"final_checks":24,
+                      "flush_verifications":24,"flush_failures":0}},
+                    {{"owner":"owner-1","accepted":24,"rejected":1,
+                      "verified":24,"detected":10,"final_checks":24,
+                      "flush_verifications":24,"flush_failures":0}}],
+                "stream_digest":"{digest}"}}"#
+        )
+    }
+
+    #[test]
+    fn slo_schema_accepts_the_emitted_shape() {
+        let good = slo_doc("48", "0", "450", "a1b2c3d4e5f60718");
+        assert!(check_slo_schema(&parse(&good).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn slo_schema_rejects_each_broken_invariant() {
+        // A dropped journey is a drain-invariant violation.
+        let dropped = slo_doc("47", "1", "450", "a1b2c3d4e5f60718");
+        assert!(check_slo_schema(&parse(&dropped).unwrap()).is_err());
+        // Counts that don't close (accepted != verified + dropped).
+        let leaky = slo_doc("40", "0", "450", "a1b2c3d4e5f60718");
+        assert!(check_slo_schema(&parse(&leaky).unwrap()).is_err());
+        // A p99 below p95 breaks the percentile ladder.
+        let unsorted = slo_doc("48", "0", "200", "a1b2c3d4e5f60718");
+        assert!(check_slo_schema(&parse(&unsorted).unwrap()).is_err());
+        // A digest that isn't 16 hex digits.
+        let bad_digest = slo_doc("48", "0", "450", "not-a-digest!!!!");
+        assert!(check_slo_schema(&parse(&bad_digest).unwrap()).is_err());
+        // The wrong schema tag is refused outright.
+        let wrong = slo_doc("48", "0", "450", "a1b2c3d4e5f60718")
+            .replace("refstate-soak-slo-v1", "refstate-soak-slo-v0");
+        assert!(check_slo_schema(&parse(&wrong).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slo_schema_requires_one_detail_row_per_owner() {
+        let good = slo_doc("48", "0", "450", "a1b2c3d4e5f60718");
+        // Claim three owners while carrying two detail rows.
+        let short = good.replace("\"owners\":2", "\"owners\":3");
+        assert!(check_slo_schema(&parse(&short).unwrap()).is_err());
     }
 }

@@ -8,23 +8,25 @@
 //! hand-edited into an unparseable state, fails the build instead of
 //! rotting silently.
 //!
-//! `--trace PATH` and `--metrics PATH` instead validate a Chrome
-//! `trace_event` JSON file (as written by `fleet --trace-out`) and a
-//! metrics JSONL stream (`fleet --metrics-out`); when either flag is
-//! given, only the named artifacts are checked.
+//! `--trace PATH`, `--metrics PATH`, and `--slo PATH` instead validate a
+//! Chrome `trace_event` JSON file (as written by `fleet --trace-out`), a
+//! metrics JSONL stream (`fleet --metrics-out`), and a
+//! `refstate-soak-slo-v1` soak artifact (`serve --soak --slo-out`); when
+//! any of these flags is given, only the named artifacts are checked.
 //!
 //! ```text
 //! cargo run -p refstate-bench --bin check_bench_json
 //! cargo run -p refstate-bench --bin check_bench_json -- fleet.json bigint.json
 //! cargo run -p refstate-bench --bin check_bench_json -- \
 //!     --trace trace.json --metrics metrics.jsonl
+//! cargo run -p refstate-bench --bin check_bench_json -- --slo slo.json
 //! ```
 
 use std::process::ExitCode;
 
 use refstate_bench::benchjson::{
-    check_bigint_schema, check_chrome_trace, check_fleet_schema, check_metrics_jsonl, parse, Json,
-    JsonError,
+    check_bigint_schema, check_chrome_trace, check_fleet_schema, check_metrics_jsonl,
+    check_slo_schema, parse, Json, JsonError,
 };
 
 fn workspace_file(name: &str) -> String {
@@ -46,7 +48,7 @@ fn check_one(path: &str, schema: impl Fn(&Json) -> Result<(), JsonError>) -> Res
 fn usage() -> ! {
     eprintln!(
         "usage: check_bench_json [FLEET_JSON [BIGINT_JSON]] \
-         [--trace TRACE_JSON] [--metrics METRICS_JSONL]"
+         [--trace TRACE_JSON] [--metrics METRICS_JSONL] [--slo SLO_JSON]"
     );
     std::process::exit(2);
 }
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
     let mut positional: Vec<String> = Vec::new();
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut slo: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -66,6 +69,10 @@ fn main() -> ExitCode {
             "--metrics" => {
                 i += 1;
                 metrics = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--slo" => {
+                i += 1;
+                slo = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => usage(),
@@ -85,7 +92,10 @@ fn main() -> ExitCode {
             Ok(())
         }));
     }
-    if trace.is_none() && metrics.is_none() {
+    if let Some(path) = &slo {
+        checks.push(check_one(path, check_slo_schema));
+    }
+    if trace.is_none() && metrics.is_none() && slo.is_none() {
         let fleet = positional
             .first()
             .cloned()

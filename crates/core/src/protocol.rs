@@ -32,11 +32,11 @@ use std::time::{Duration, Instant};
 
 use refstate_crypto::{sha256, Digest, KeyDirectory, Signed, VerificationQueue};
 use refstate_platform::{AgentId, AgentImage, Event, EventLog, Host, HostId};
-use refstate_vm::{DataState, ExecConfig, InputLog, SessionEnd, VmError};
+use refstate_vm::{DataState, ExecConfig, InputLog, Program, SessionEnd, VmError};
 use refstate_wire::{from_wire, to_wire, Decode, Encode, Reader, WireError, Writer};
 
 use crate::checker::{
-    check_sessions, CheckContext, CheckOutcome, FailureReason, ReExecutionChecker,
+    check_sessions_with, CheckContext, CheckOutcome, FailureReason, ReExecutionChecker,
 };
 use crate::pipeline::VerificationPipeline;
 use crate::refdata::ReferenceData;
@@ -352,7 +352,335 @@ pub fn run_protected_journey_with_directory(
     log: &EventLog,
     directory: &KeyDirectory,
 ) -> Result<ProtocolOutcome, ProtocolError> {
-    run_journey_inner(hosts, start.into(), agent, config, log, directory, None)
+    let agent_id = agent.id.clone();
+    let (outcome, pending) =
+        run_journey_inner(hosts, start.into(), agent, config, log, directory, None)?;
+    let mut journeys = vec![DeferredJourney {
+        outcome,
+        pending,
+        agent: agent_id,
+        deferred: 0,
+    }];
+    // Nothing was deferred to a queue in eager mode; settling runs only
+    // the owner's final check (if any).
+    let mut empty = VerificationQueue::new();
+    settle_deferred(&mut journeys, config, log, directory, &mut empty, 1);
+    Ok(journeys.pop().expect("one journey in, one out").outcome)
+}
+
+/// One journey whose owner-side settlement is still outstanding.
+///
+/// Produced by [`run_protected_journey_deferred`]; resolved by
+/// [`settle_deferred`]. Until settlement, `outcome` is missing the owner's
+/// verdicts: the final-session re-execution check (carried in `pending`)
+/// and any fraud surfaced by the deferred signature flush.
+#[derive(Debug)]
+pub struct DeferredJourney {
+    /// The journey outcome so far (per-hop verdicts only).
+    pub outcome: ProtocolOutcome,
+    /// The owner's final re-execution check, if the halting host was not
+    /// skipped as trusted.
+    pub pending: Option<PendingFinalCheck>,
+    /// The agent that ran the journey — the key used to attribute failed
+    /// deferred signatures back to their journey at flush.
+    pub agent: AgentId,
+    /// How many signature checks this journey pushed onto the shared
+    /// queue.
+    pub deferred: usize,
+}
+
+/// The owner-side re-execution of a journey's final session, postponed so
+/// a service can run many journeys' final checks in one
+/// [`check_sessions_with`] pass.
+#[derive(Debug)]
+pub struct PendingFinalCheck {
+    /// The agent's code, re-executed by the check.
+    pub program: Program,
+    /// The agent.
+    pub agent: AgentId,
+    /// The halting host whose session is being checked.
+    pub executor: HostId,
+    /// The final session's sequence number.
+    pub seq: u64,
+    /// The halting host's signed certificate — the claim under check, and
+    /// the evidence's signed claim should it fail.
+    pub signed_cert: Signed<SessionCertificate>,
+}
+
+/// Aggregate counters from one [`settle_deferred`] pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SettleStats {
+    /// Owner-side final re-execution checks performed.
+    pub final_checks: u32,
+    /// Deferred signatures settled by the batch flush.
+    pub flush_verifications: u32,
+    /// Deferred signatures that failed the flush.
+    pub flush_failures: u32,
+    /// Failed deferred signatures whose certificate could not be mapped
+    /// back to a journey (malformed bytes under multi-journey settlement).
+    pub unattributed_failures: u32,
+}
+
+/// Runs a journey with *both* owner-side obligations deferred: per-hop
+/// signature checks accumulate on `queue` (not flushed), and the final
+/// owner re-execution check is returned as
+/// [`pending`](DeferredJourney::pending) instead of running inline.
+///
+/// This is the resident-service seam: a service collects the
+/// [`DeferredJourney`]s of a whole tick, then calls [`settle_deferred`]
+/// once — one [`check_sessions_with`] pass over every pending final check
+/// and one [`VerificationQueue::flush`] over every deferred signature,
+/// instead of one of each per journey.
+///
+/// # Errors
+///
+/// See [`ProtocolError`]. Detected fraud is reported in the outcome, not
+/// as an error.
+pub fn run_protected_journey_deferred(
+    hosts: &mut [Host],
+    start: impl Into<HostId>,
+    agent: AgentImage,
+    config: &ProtocolConfig,
+    log: &EventLog,
+    directory: &KeyDirectory,
+    queue: &mut VerificationQueue,
+) -> Result<DeferredJourney, ProtocolError> {
+    let agent_id = agent.id.clone();
+    let before = queue.len();
+    let (outcome, pending) = run_journey_inner(
+        hosts,
+        start.into(),
+        agent,
+        config,
+        log,
+        directory,
+        Some(queue),
+    )?;
+    let deferred = queue.len() - before;
+    Ok(DeferredJourney {
+        outcome,
+        pending,
+        agent: agent_id,
+        deferred,
+    })
+}
+
+/// Settles a batch of [`DeferredJourney`]s: one bulk re-execution pass
+/// over every pending final check (distributed over `workers` workers —
+/// outcomes are applied in input order regardless of worker count, so the
+/// verdict streams are worker-invariant), then one batch flush of `queue`
+/// with per-journey fraud attribution.
+///
+/// Verdicts, fraud evidence, log events, and stats land on each journey's
+/// [`outcome`](DeferredJourney::outcome), in the same order the
+/// journey-at-a-time entry points produce them: the owner's final-check
+/// verdict first, then (at most one) flush-failure verdict. A failed
+/// deferred signature is attributed to its journey by the certificate's
+/// agent id; fraud is recorded only if the journey has none yet (earlier
+/// detections take precedence).
+pub fn settle_deferred(
+    journeys: &mut [DeferredJourney],
+    config: &ProtocolConfig,
+    log: &EventLog,
+    directory: &KeyDirectory,
+    queue: &mut VerificationQueue,
+    workers: usize,
+) -> SettleStats {
+    let mut stats = SettleStats::default();
+
+    // --- one bulk pass over every pending final check ---
+    let work: Vec<(usize, ReferenceData)> = journeys
+        .iter()
+        .enumerate()
+        .filter_map(|(i, j)| {
+            let cert = j.pending.as_ref()?.signed_cert.payload();
+            let data = ReferenceData {
+                initial_state: Some(cert.initial_state.clone()),
+                resulting_state: Some(cert.resulting_state.clone()),
+                input: Some(cert.input.clone()),
+                execution_log: None,
+                resources: None,
+                // State-only final check: the halt itself was the observed
+                // session end, so there is no migration claim to
+                // cross-check.
+                claimed_next: None,
+            };
+            Some((i, data))
+        })
+        .collect();
+    let checked = work.len() as u32;
+    let t = Instant::now();
+    let outcomes = {
+        let contexts: Vec<CheckContext<'_>> = work
+            .iter()
+            .map(|(i, data)| CheckContext {
+                program: &journeys[*i]
+                    .pending
+                    .as_ref()
+                    .expect("work built from pending")
+                    .program,
+                data,
+                exec: config.exec.clone(),
+            })
+            .collect();
+        let checker = ReExecutionChecker::new().with_pipeline(config.pipeline.clone());
+        check_sessions_with(&checker, &contexts, workers)
+    };
+    let check_share = if checked > 0 {
+        t.elapsed() / checked
+    } else {
+        Duration::ZERO
+    };
+    stats.final_checks = checked;
+
+    for ((i, _), outcome) in work.into_iter().zip(outcomes) {
+        let journey = &mut journeys[i];
+        let pending = journey.pending.take().expect("work built from pending");
+        let failure = match outcome {
+            CheckOutcome::Passed => None,
+            CheckOutcome::Failed(reason) => Some(reason),
+        };
+        let passed = failure.is_none();
+        log.record(Event::CheckPerformed {
+            checker: pending.executor.clone(),
+            checked: pending.executor.clone(),
+            passed,
+        });
+        journey.outcome.verdicts.push(CheckVerdict {
+            checked: pending.executor.clone(),
+            checker: HostId::new("owner"),
+            seq: pending.seq,
+            failure: failure.clone(),
+        });
+        journey.outcome.stats.checking += check_share;
+        journey.outcome.stats.total += check_share;
+        journey.outcome.stats.reexecutions += 1;
+        if let Some(reason) = failure {
+            log.record(Event::FraudDetected {
+                culprit: pending.executor.clone(),
+                detector: HostId::new("owner"),
+                reason: reason.to_string(),
+            });
+            // Fraud evidence carries the *complete* reference state; the
+            // checker reports digests only, so the (rare) failure path
+            // re-derives it with one extra, counted replay.
+            let cert = pending.signed_cert.payload().clone();
+            let reference_state = config.pipeline.reference_state(
+                &pending.program,
+                &cert.initial_state,
+                &cert.input,
+                &config.exec,
+            );
+            journey.outcome.stats.reexecutions += 1;
+            if journey.outcome.fraud.is_none() {
+                journey.outcome.fraud = Some(FraudEvidence {
+                    culprit: pending.executor.clone(),
+                    detector: HostId::new("owner"),
+                    agent: pending.agent.clone(),
+                    seq: pending.seq,
+                    reason,
+                    initial_state: cert.initial_state,
+                    claimed_state: cert.resulting_state,
+                    reference_state,
+                    input: cert.input,
+                    signed_claim: Some(pending.signed_cert),
+                });
+            }
+        }
+    }
+
+    // --- one batch flush over every deferred signature ---
+    if !queue.is_empty() {
+        let t = Instant::now();
+        let flushed = queue.flush(directory);
+        let flush_elapsed = t.elapsed();
+        stats.flush_verifications = flushed.len() as u32;
+        let contributors = journeys.iter().filter(|j| j.deferred > 0).count() as u32;
+        let flush_share = if contributors > 0 {
+            flush_elapsed / contributors
+        } else {
+            Duration::ZERO
+        };
+        for journey in journeys.iter_mut() {
+            if journey.deferred > 0 {
+                journey.outcome.stats.verifications += journey.deferred as u32;
+                journey.outcome.stats.sign_verify += flush_share;
+                journey.outcome.stats.total += flush_share;
+                journey.deferred = 0;
+            }
+        }
+        let mut flagged = vec![false; journeys.len()];
+        for (bad, _) in flushed.iter().filter(|(_, ok)| !ok) {
+            stats.flush_failures += 1;
+            // The deferred message bytes are the certificate's canonical
+            // encoding; recover it to attribute the failure and carry the
+            // full claimed states in the evidence.
+            let cert = from_wire::<SessionCertificate>(&bad.message).ok();
+            let target = match cert.as_ref() {
+                Some(c) => journeys.iter().position(|j| j.agent == c.agent),
+                // Undecodable bytes cannot name their journey; with a
+                // single journey there is no ambiguity to resolve.
+                None if journeys.len() == 1 => Some(0),
+                None => None,
+            };
+            let owner = HostId::new("owner");
+            let culprit = HostId::new(bad.signer.clone());
+            let reason = FailureReason::ProgramRejected {
+                detail: "session certificate signature invalid (deferred batch verification)"
+                    .into(),
+            };
+            let Some(i) = target else {
+                stats.unattributed_failures += 1;
+                log.record(Event::FraudDetected {
+                    culprit,
+                    detector: owner,
+                    reason: reason.to_string(),
+                });
+                continue;
+            };
+            if flagged[i] {
+                continue;
+            }
+            flagged[i] = true;
+            let journey = &mut journeys[i];
+            log.record(Event::FraudDetected {
+                culprit: culprit.clone(),
+                detector: owner.clone(),
+                reason: reason.to_string(),
+            });
+            let seq = cert.as_ref().map(|c| c.seq).unwrap_or(0);
+            journey.outcome.verdicts.push(CheckVerdict {
+                checked: culprit.clone(),
+                checker: owner.clone(),
+                seq,
+                failure: Some(reason.clone()),
+            });
+            if journey.outcome.fraud.is_none() {
+                journey.outcome.fraud = Some(FraudEvidence {
+                    culprit,
+                    detector: owner,
+                    agent: cert
+                        .as_ref()
+                        .map(|c| c.agent.clone())
+                        .unwrap_or_else(|| AgentId::new("unknown")),
+                    seq,
+                    reason,
+                    initial_state: cert
+                        .as_ref()
+                        .map(|c| c.initial_state.clone())
+                        .unwrap_or_default(),
+                    claimed_state: cert
+                        .as_ref()
+                        .map(|c| c.resulting_state.clone())
+                        .unwrap_or_default(),
+                    reference_state: None,
+                    input: cert.map(|c| c.input).unwrap_or_default(),
+                    signed_claim: None,
+                });
+            }
+        }
+    }
+    stats
 }
 
 /// [`run_protected_journey_with_directory`] with *deferred* signature
@@ -386,71 +714,18 @@ pub fn run_protected_journey_batched(
     directory: &KeyDirectory,
     queue: &mut VerificationQueue,
 ) -> Result<ProtocolOutcome, ProtocolError> {
-    let mut outcome = run_journey_inner(
-        hosts,
-        start.into(),
-        agent,
-        config,
-        log,
-        directory,
-        Some(queue),
-    )?;
-
-    let t = Instant::now();
-    let verdicts = queue.flush(directory);
-    let flush = t.elapsed();
-    outcome.stats.sign_verify += flush;
-    outcome.stats.total += flush;
-    outcome.stats.verifications += verdicts.len() as u32;
-
-    if let Some((bad, _)) = verdicts.iter().find(|(_, ok)| !ok) {
-        let owner = HostId::new("owner");
-        let culprit = HostId::new(bad.signer.clone());
-        let reason = FailureReason::ProgramRejected {
-            detail: "session certificate signature invalid (deferred batch verification)".into(),
-        };
-        log.record(Event::FraudDetected {
-            culprit: culprit.clone(),
-            detector: owner.clone(),
-            reason: reason.to_string(),
-        });
-        // The deferred message bytes are the certificate's canonical
-        // encoding; recover it so the evidence carries the full states.
-        let cert = from_wire::<SessionCertificate>(&bad.message).ok();
-        let seq = cert.as_ref().map(|c| c.seq).unwrap_or(0);
-        outcome.verdicts.push(CheckVerdict {
-            checked: culprit.clone(),
-            checker: owner.clone(),
-            seq,
-            failure: Some(reason.clone()),
-        });
-        if outcome.fraud.is_none() {
-            outcome.fraud = Some(FraudEvidence {
-                culprit,
-                detector: owner,
-                agent: cert
-                    .as_ref()
-                    .map(|c| c.agent.clone())
-                    .unwrap_or_else(|| AgentId::new("unknown")),
-                seq,
-                reason,
-                initial_state: cert
-                    .as_ref()
-                    .map(|c| c.initial_state.clone())
-                    .unwrap_or_default(),
-                claimed_state: cert
-                    .as_ref()
-                    .map(|c| c.resulting_state.clone())
-                    .unwrap_or_default(),
-                reference_state: None,
-                input: cert.map(|c| c.input).unwrap_or_default(),
-                signed_claim: None,
-            });
-        }
-    }
-    Ok(outcome)
+    // A batch of one: the journey-at-a-time entry point is the deferred
+    // seam settled immediately, so both paths share one implementation.
+    let journey =
+        run_protected_journey_deferred(hosts, start, agent, config, log, directory, queue)?;
+    let mut journeys = vec![journey];
+    settle_deferred(&mut journeys, config, log, directory, queue, 1);
+    Ok(journeys.pop().expect("one journey in, one out").outcome)
 }
 
+/// The journey loop. The owner's final re-execution check is never run
+/// here — it is returned as a [`PendingFinalCheck`] (when due) and settled
+/// by [`settle_deferred`], alone or amortized across a batch.
 fn run_journey_inner(
     hosts: &mut [Host],
     start: HostId,
@@ -459,7 +734,7 @@ fn run_journey_inner(
     log: &EventLog,
     directory: &KeyDirectory,
     mut queue: Option<&mut VerificationQueue>,
-) -> Result<ProtocolOutcome, ProtocolError> {
+) -> Result<(ProtocolOutcome, Option<PendingFinalCheck>), ProtocolError> {
     let journey_start = Instant::now();
     let mut stats = ProtocolStats::default();
 
@@ -601,14 +876,17 @@ fn run_journey_inner(
                         input: cert.input.clone(),
                         signed_claim: Some(signed_cert),
                     };
-                    return Ok(ProtocolOutcome {
-                        final_state: cert.resulting_state,
-                        path,
-                        verdicts,
-                        fraud: Some(fraud),
-                        commitments,
-                        stats,
-                    });
+                    return Ok((
+                        ProtocolOutcome {
+                            final_state: cert.resulting_state,
+                            path,
+                            verdicts,
+                            fraud: Some(fraud),
+                            commitments,
+                            stats,
+                        },
+                        None,
+                    ));
                 }
             }
         }
@@ -660,108 +938,36 @@ fn run_journey_inner(
             None => {
                 // Task complete. The final session is checked by the owner
                 // (modelled as an owner-side verification pass when the
-                // halting host is untrusted), routed through the
-                // [`check_sessions`] bulk seam — the single entry point
-                // every owner-side `checkAfterTask` verification funnels
-                // into, so batching/parallelism work lands in one place.
+                // halting host is untrusted). The check itself is handed
+                // back as a [`PendingFinalCheck`] and performed by
+                // [`settle_deferred`]'s [`check_sessions_with`] bulk pass
+                // — the single seam every owner-side `checkAfterTask`
+                // verification funnels into, so batching and parallelism
+                // work land in one place.
                 let host_trusted = hosts[host_index].is_trusted();
-                let mut fraud = None;
-                if !(config.skip_trusted && host_trusted) {
-                    // One certificate copy is unavoidable: the evidence
-                    // must keep `signed_cert` intact as the signed claim.
-                    // That copy's states and input then *move* into the
-                    // reference data (no further copies); the rare
-                    // failure path takes them back out below for the
-                    // evidence.
-                    let cert = signed_cert.payload().clone();
-                    let t = Instant::now();
-                    let mut data = ReferenceData {
-                        initial_state: Some(cert.initial_state),
-                        resulting_state: Some(cert.resulting_state),
-                        input: Some(cert.input),
-                        execution_log: None,
-                        resources: None,
-                        // State-only final check: the halt itself was the
-                        // observed session end, so there is no separate
-                        // migration claim to cross-check.
-                        claimed_next: None,
-                    };
-                    let contexts = [CheckContext {
-                        program: &image.program,
-                        data: &data,
-                        exec: config.exec.clone(),
-                    }];
-                    let checker = ReExecutionChecker::new().with_pipeline(config.pipeline.clone());
-                    let outcome = check_sessions(&checker, &contexts)
-                        .pop()
-                        .expect("one context in, one outcome out");
-                    let failure = match outcome {
-                        CheckOutcome::Passed => None,
-                        CheckOutcome::Failed(reason) => Some(reason),
-                    };
-                    // Fraud evidence carries the *complete* reference
-                    // state; the checker reports digests only, so the
-                    // (rare) failure path re-derives it with one extra,
-                    // counted replay.
-                    let mut evidence = None;
-                    if failure.is_some() {
-                        let initial_state = data.initial_state.take().expect("moved in above");
-                        let claimed_state = data.resulting_state.take().expect("moved in above");
-                        let input = data.input.take().expect("moved in above");
-                        let reference_state = config.pipeline.reference_state(
-                            &image.program,
-                            &initial_state,
-                            &input,
-                            &config.exec,
-                        );
-                        stats.reexecutions += 1;
-                        evidence = Some((initial_state, claimed_state, input, reference_state));
-                    }
-                    stats.checking += t.elapsed();
-                    stats.reexecutions += 1;
-                    let passed = failure.is_none();
-                    log.record(Event::CheckPerformed {
-                        checker: current.clone(),
-                        checked: current.clone(),
-                        passed,
-                    });
-                    verdicts.push(CheckVerdict {
-                        checked: current.clone(),
-                        checker: HostId::new("owner"),
+                let pending = if config.skip_trusted && host_trusted {
+                    None
+                } else {
+                    Some(PendingFinalCheck {
+                        program: image.program.clone(),
+                        agent: image.id.clone(),
+                        executor: current.clone(),
                         seq,
-                        failure: failure.clone(),
-                    });
-                    if let Some(reason) = failure {
-                        log.record(Event::FraudDetected {
-                            culprit: current.clone(),
-                            detector: HostId::new("owner"),
-                            reason: reason.to_string(),
-                        });
-                        let (initial_state, claimed_state, input, reference_state) =
-                            evidence.expect("built whenever the check failed");
-                        fraud = Some(FraudEvidence {
-                            culprit: current.clone(),
-                            detector: HostId::new("owner"),
-                            agent: image.id.clone(),
-                            seq,
-                            reason,
-                            initial_state,
-                            claimed_state,
-                            reference_state,
-                            input,
-                            signed_claim: Some(signed_cert),
-                        });
-                    }
-                }
+                        signed_cert,
+                    })
+                };
                 stats.total = journey_start.elapsed();
-                return Ok(ProtocolOutcome {
-                    final_state: image.state,
-                    path,
-                    verdicts,
-                    fraud,
-                    commitments,
-                    stats,
-                });
+                return Ok((
+                    ProtocolOutcome {
+                        final_state: image.state,
+                        path,
+                        verdicts,
+                        fraud: None,
+                        commitments,
+                        stats,
+                    },
+                    pending,
+                ));
             }
         }
     }
@@ -1123,6 +1329,130 @@ mod tests {
         // The evidence recovered the full claimed states from the
         // deferred certificate bytes.
         assert_eq!(fraud.claimed_state.get_int("total"), Some(30));
+    }
+
+    /// Renders verdicts compactly for cross-run comparison.
+    fn verdict_lines(outcome: &ProtocolOutcome) -> Vec<String> {
+        outcome
+            .verdicts
+            .iter()
+            .map(|v| {
+                format!(
+                    "{}<-{} seq={} {}",
+                    v.checked,
+                    v.checker,
+                    v.seq,
+                    match &v.failure {
+                        None => "ok".to_owned(),
+                        Some(r) => r.to_string(),
+                    }
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn amortized_settlement_matches_per_journey_settlement() {
+        // Three journeys with distinct agents: honest, mid-route tamperer,
+        // and an untrusted final host the owner must check. Settling all
+        // three in one pass must yield the same per-journey verdict
+        // streams as settling each alone — across worker counts.
+        let scenarios: Vec<(&str, Option<Attack>, Option<HostSpec>)> = vec![
+            ("fleet-0", None, None),
+            (
+                "fleet-1",
+                Some(Attack::TamperVariable {
+                    name: "total".into(),
+                    value: Value::Int(7),
+                }),
+                None,
+            ),
+            (
+                "fleet-2",
+                None,
+                Some(
+                    HostSpec::new("h3")
+                        .with_input("n", Value::Int(30))
+                        .malicious(Attack::TamperVariable {
+                            name: "total".into(),
+                            value: Value::Int(0),
+                        }),
+                ),
+            ),
+        ];
+        let agent_named = |name: &str| {
+            let mut a = sum_agent();
+            a.id = AgentId::new(name);
+            a
+        };
+        let config = ProtocolConfig::default();
+
+        // Reference: one batched (deferred + immediately settled) run each.
+        let mut reference = Vec::new();
+        for (name, attack, h3) in &scenarios {
+            let mut hosts = build_hosts(attack.clone(), h3.clone());
+            let log = EventLog::new();
+            let directory = host_directory(&hosts);
+            let mut queue = VerificationQueue::new();
+            let outcome = run_protected_journey_batched(
+                &mut hosts,
+                "h1",
+                agent_named(name),
+                &config,
+                &log,
+                &directory,
+                &mut queue,
+            )
+            .unwrap();
+            reference.push(verdict_lines(&outcome));
+        }
+
+        for workers in [1, 2, 8] {
+            let log = EventLog::new();
+            let mut queue = VerificationQueue::new();
+            let mut journeys = Vec::new();
+            let mut host_sets: Vec<Vec<Host>> = scenarios
+                .iter()
+                .map(|(_, attack, h3)| build_hosts(attack.clone(), h3.clone()))
+                .collect();
+            // `build_hosts` reseeds identically, so every set carries the
+            // same key material — one directory covers them all.
+            let directory = host_directory(&host_sets[0]);
+            for ((name, _, _), hosts) in scenarios.iter().zip(host_sets.iter_mut()) {
+                let journey = run_protected_journey_deferred(
+                    hosts,
+                    "h1",
+                    agent_named(name),
+                    &config,
+                    &log,
+                    &directory,
+                    &mut queue,
+                )
+                .unwrap();
+                journeys.push(journey);
+            }
+            let stats = settle_deferred(
+                &mut journeys,
+                &config,
+                &log,
+                &directory,
+                &mut queue,
+                workers,
+            );
+            assert!(queue.is_empty(), "settle flushes the shared queue");
+            assert_eq!(
+                stats.final_checks, 1,
+                "only fleet-2 halts on an untrusted host"
+            );
+            assert_eq!(stats.unattributed_failures, 0);
+            for (journey, expected) in journeys.iter().zip(&reference) {
+                assert_eq!(
+                    &verdict_lines(&journey.outcome),
+                    expected,
+                    "workers={workers}"
+                );
+            }
+        }
     }
 
     #[test]

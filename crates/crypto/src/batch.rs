@@ -83,6 +83,14 @@ impl VerificationQueue {
         );
     }
 
+    /// Moves every deferred check out of `other` onto the end of this
+    /// queue, preserving deferral order. Lets a service merge per-journey
+    /// queues into one per-tick queue and settle them in a single
+    /// [`flush`](Self::flush) batch.
+    pub fn append(&mut self, other: &mut VerificationQueue) {
+        self.deferred.append(&mut other.deferred);
+    }
+
     /// Number of deferred checks.
     pub fn len(&self) -> usize {
         self.deferred.len()

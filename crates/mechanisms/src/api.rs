@@ -33,7 +33,9 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use refstate_core::protocol::ProtocolConfig;
+use refstate_core::protocol::{
+    settle_deferred, DeferredJourney, ProtocolConfig, ProtocolOutcome, SettleStats,
+};
 use refstate_core::rules::{CmpOp, Expr, Pred, RuleSet};
 use refstate_core::{CheckMoment, ReferenceDataRequest, VerificationPipeline};
 use refstate_crypto::{KeyDirectory, VerificationQueue};
@@ -339,6 +341,88 @@ impl JourneyVerdict {
     }
 }
 
+/// The result of [`ProtectionMechanism::run_split`]: either the journey's
+/// verdict is already final, or the owner-side part is still outstanding
+/// and a service will settle it amortized across a batch.
+#[derive(Debug)]
+pub enum SplitVerdict {
+    /// The verdict is final — nothing owner-side remains.
+    Settled(JourneyVerdict),
+    /// The host-side journey ran; the owner-side settlement (final
+    /// re-execution check, deferred signature flush) is pending. Collect
+    /// these and resolve them with [`settle_owner_batch`].
+    Pending(Box<PendingOwnerJourney>),
+}
+
+/// A journey whose owner-side settlement is outstanding, lifted out of
+/// its (by now dropped) [`JourneyCtx`].
+#[derive(Debug)]
+pub struct PendingOwnerJourney {
+    /// The core deferred journey: outcome so far + pending final check.
+    pub journey: DeferredJourney,
+    /// The signature checks the journey deferred (the context's queue,
+    /// taken when the split verdict was produced).
+    pub queue: VerificationQueue,
+}
+
+/// Maps a settled [`ProtocolOutcome`] to the uniform verdict, exactly as
+/// the session-checking protocol mechanism reports it: a fraud detected by
+/// the owner's post-halt settlement means the journey itself completed.
+pub fn protocol_verdict(outcome: &ProtocolOutcome) -> JourneyVerdict {
+    match &outcome.fraud {
+        Some(fraud) => {
+            let completed = fraud.detector.as_str() == "owner";
+            JourneyVerdict::accusing(vec![fraud.culprit.clone()], completed)
+        }
+        None => JourneyVerdict::clean(true),
+    }
+}
+
+/// Settles a batch of [`PendingOwnerJourney`]s in two amortized passes —
+/// one bulk `check_sessions_with` over every pending final check
+/// (distributed over `workers`; verdict order is worker-invariant) and one
+/// batch flush over every deferred signature — and returns the final
+/// [`JourneyVerdict`]s in input order, plus the settle counters.
+///
+/// All journeys in the batch must share `directory` (one owner's PKI view)
+/// and `pipeline`. Verdicts are identical to settling each journey alone —
+/// amortization changes cost, never outcomes.
+pub fn settle_owner_batch(
+    pendings: Vec<PendingOwnerJourney>,
+    config: &MechanismConfig,
+    pipeline: &Arc<VerificationPipeline>,
+    log: &EventLog,
+    directory: &KeyDirectory,
+    workers: usize,
+) -> (Vec<JourneyVerdict>, SettleStats) {
+    let _span = telemetry::span("mechanism.settle_batch", "mechanism");
+    let protocol = ProtocolConfig {
+        exec: config.exec.clone(),
+        max_hops: config.max_hops,
+        pipeline: pipeline.clone(),
+        ..config.protocol.clone()
+    };
+    let mut queue = VerificationQueue::new();
+    let mut journeys = Vec::with_capacity(pendings.len());
+    for mut pending in pendings {
+        queue.append(&mut pending.queue);
+        journeys.push(pending.journey);
+    }
+    let stats = settle_deferred(
+        &mut journeys,
+        &protocol,
+        log,
+        directory,
+        &mut queue,
+        workers,
+    );
+    let verdicts = journeys
+        .iter()
+        .map(|j| protocol_verdict(&j.outcome))
+        .collect();
+    (verdicts, stats)
+}
+
 /// One pluggable protection mechanism: the paper's
 /// moment × reference-data × algorithm abstraction as a trait.
 ///
@@ -364,6 +448,19 @@ pub trait ProtectionMechanism: Send + Sync {
     /// replicated-stage mechanism given a stage-less context reports an
     /// infrastructure error rather than panicking.
     fn run(&self, ctx: &mut JourneyCtx<'_>) -> JourneyVerdict;
+
+    /// Runs the host-side part of one journey and, when the mechanism
+    /// supports owner-side batching, hands the rest back as a
+    /// [`SplitVerdict::Pending`] for a service to settle amortized across
+    /// a tick (see [`settle_owner_batch`]).
+    ///
+    /// The default settles everything inline — equivalent to
+    /// [`run`](Self::run) — so only mechanisms with a meaningful
+    /// owner-side phase (the session-checking protocol) override it.
+    /// Registry dispatch stays mechanism-generic either way.
+    fn run_split(&self, ctx: &mut JourneyCtx<'_>) -> SplitVerdict {
+        SplitVerdict::Settled(self.run(ctx))
+    }
 }
 
 /// The error [`MechanismRegistry::parse_list`] returns for an unknown

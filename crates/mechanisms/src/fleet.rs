@@ -20,13 +20,15 @@ use std::sync::Arc;
 
 use refstate_core::framework::{run_framework_journey, ProtectedAgent, ProtectionConfig};
 use refstate_core::protocol::{
-    run_protected_journey_batched, run_protected_journey_with_directory, ProtocolConfig,
+    run_protected_journey_batched, run_protected_journey_deferred,
+    run_protected_journey_with_directory, ProtocolConfig,
 };
 use refstate_core::{CheckMoment, ReExecutionChecker, ReferenceDataKind, ReferenceDataRequest};
 use refstate_platform::run_plain_journey;
 
 use crate::api::{
-    JourneyCtx, JourneyVerdict, MechanismProfile, ProtectionMechanism, RouteTopology,
+    protocol_verdict, JourneyCtx, JourneyVerdict, MechanismProfile, PendingOwnerJourney,
+    ProtectionMechanism, RouteTopology, SplitVerdict,
 };
 use crate::replication::run_replicated_pipeline_checked;
 use crate::traces::{audit_journey_with_pipeline, run_traced_journey};
@@ -230,16 +232,42 @@ impl ProtectionMechanism for SessionCheckingProtocol {
         };
         drop(stage);
         match result {
-            Ok(outcome) => match outcome.fraud {
-                Some(fraud) => {
-                    // A fraud detected by the owner's post-halt check
-                    // means the journey itself ran to completion.
-                    let completed = fraud.detector.as_str() == "owner";
-                    JourneyVerdict::accusing(vec![fraud.culprit], completed)
-                }
-                None => JourneyVerdict::clean(true),
-            },
+            Ok(outcome) => protocol_verdict(&outcome),
             Err(_) => JourneyVerdict::clean(false),
+        }
+    }
+
+    /// The host-side journey only: signature checks accumulate on the
+    /// context's queue and the owner's final check is left pending, so a
+    /// resident service can settle a whole tick of journeys in two
+    /// amortized passes ([`crate::api::settle_owner_batch`]). Always
+    /// defers, regardless of
+    /// [`defer_signatures`](crate::api::MechanismConfig::defer_signatures)
+    /// — deferral is this entry point's contract.
+    fn run_split(&self, ctx: &mut JourneyCtx<'_>) -> SplitVerdict {
+        let protocol = ProtocolConfig {
+            exec: ctx.config.exec.clone(),
+            max_hops: ctx.config.max_hops,
+            pipeline: ctx.pipeline.clone(),
+            ..ctx.config.protocol.clone()
+        };
+        let stage = ctx.stage("protocol.journey");
+        let result = run_protected_journey_deferred(
+            ctx.hosts,
+            ctx.start().clone(),
+            ctx.agent.clone(),
+            &protocol,
+            ctx.log,
+            ctx.directory,
+            &mut ctx.queue,
+        );
+        drop(stage);
+        match result {
+            Ok(journey) => SplitVerdict::Pending(Box::new(PendingOwnerJourney {
+                journey,
+                queue: std::mem::take(&mut ctx.queue),
+            })),
+            Err(_) => SplitVerdict::Settled(JourneyVerdict::clean(false)),
         }
     }
 }
@@ -527,6 +555,95 @@ mod tests {
             assert!(verdict.detected, "defer={defer}");
             assert_eq!(verdict.accused, vec![HostId::new("b")]);
             assert!(ctx.queue.is_empty(), "the batched run drains its queue");
+        }
+    }
+
+    #[test]
+    fn split_and_batch_settle_match_inline_run() {
+        use crate::api::settle_owner_batch;
+        use std::sync::Arc;
+
+        // Three journeys per round: honest, mid-route tamperer, and a
+        // rule-preserving tamperer. Splitting the owner side out and
+        // settling all three in one batch must reproduce the inline
+        // verdicts, across worker counts.
+        let attacks: Vec<Option<Attack>> = vec![
+            None,
+            Some(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(-5),
+            }),
+            Some(Attack::TamperVariable {
+                name: "total".into(),
+                value: Value::Int(1),
+            }),
+        ];
+        let config = MechanismConfig::default();
+        let route = || vec![HostId::new("a"), HostId::new("b"), HostId::new("c")];
+
+        let inline: Vec<JourneyVerdict> = attacks
+            .iter()
+            .map(|attack| {
+                let mut hs = hosts(attack.clone());
+                let directory = host_directory(&hs);
+                let log = EventLog::new();
+                let mut ctx = JourneyCtx::new(
+                    &mut hs,
+                    route(),
+                    three_host_agent(),
+                    &directory,
+                    &config,
+                    &log,
+                    9,
+                );
+                SessionCheckingProtocol.run(&mut ctx)
+            })
+            .collect();
+
+        for workers in [1, 2, 8] {
+            let log = EventLog::new();
+            let pipeline = Arc::new(refstate_core::VerificationPipeline::uncached());
+            let mut host_sets: Vec<Vec<Host>> = attacks.iter().map(|a| hosts(a.clone())).collect();
+            // Identical reseeding: one directory covers every set.
+            let directory = host_directory(&host_sets[0]);
+            let mut pendings = Vec::new();
+            for (i, hs) in host_sets.iter_mut().enumerate() {
+                let mut agent = three_host_agent();
+                agent.id = refstate_platform::AgentId::new(format!("fleet-{i}"));
+                let mut ctx = JourneyCtx::new(hs, route(), agent, &directory, &config, &log, 9)
+                    .with_pipeline(pipeline.clone());
+                match SessionCheckingProtocol.run_split(&mut ctx) {
+                    SplitVerdict::Pending(p) => {
+                        assert!(ctx.queue.is_empty(), "queue lifted into the pending");
+                        pendings.push(*p);
+                    }
+                    SplitVerdict::Settled(v) => panic!("journey ran, expected pending: {v:?}"),
+                }
+            }
+            let (verdicts, stats) =
+                settle_owner_batch(pendings, &config, &pipeline, &log, &directory, workers);
+            assert_eq!(verdicts, inline, "workers={workers}");
+            assert!(stats.flush_verifications > 0, "signatures were deferred");
+            assert_eq!(stats.unattributed_failures, 0);
+        }
+
+        // The default split settles immediately for mechanisms without an
+        // owner-side phase.
+        let mut hs = hosts(None);
+        let directory = host_directory(&hs);
+        let log = EventLog::new();
+        let mut ctx = JourneyCtx::new(
+            &mut hs,
+            route(),
+            three_host_agent(),
+            &directory,
+            &config,
+            &log,
+            9,
+        );
+        match StateAppraisal.run_split(&mut ctx) {
+            SplitVerdict::Settled(v) => assert!(!v.detected),
+            SplitVerdict::Pending(_) => panic!("appraisal has no owner-side phase"),
         }
     }
 

@@ -1,0 +1,197 @@
+//! The service CLI: run a resident TCP server, or drive a soak load and
+//! report SLOs.
+//!
+//! ```text
+//! # resident server on a fixed port
+//! cargo run --release -p refstate-serve --bin serve -- --listen 127.0.0.1:7440
+//!
+//! # in-process soak: 4 owners, 10k journeys, SLO JSON to a file
+//! cargo run --release -p refstate-serve --bin serve -- --soak \
+//!     --owners 4 --journeys 10000 --seed 42 --preset mixed \
+//!     --mechanism protocol --slo-out slo.json --stream-out verdicts.stream
+//!
+//! # soak against a running server
+//! cargo run --release -p refstate-serve --bin serve -- --soak \
+//!     --connect 127.0.0.1:7440 --owners 2 --journeys 500
+//! ```
+//!
+//! Flags:
+//!
+//! * `--listen ADDR` — serve the framed TCP protocol on `ADDR` until a
+//!   client sends `Shutdown`
+//! * `--soak` — drive a soak run (in-process unless `--connect`)
+//! * `--connect ADDR` — soak against a remote server instead of an
+//!   in-process service
+//! * `--owners N`, `--journeys N`, `--seed S`, `--preset P`,
+//!   `--mechanism M`, `--tick-every N` — soak shape
+//! * `--key-pool N`, `--queue-capacity N`, `--check-workers N`,
+//!   `--no-replay-cache` — service knobs (in-process / `--listen`)
+//! * `--slo-out PATH` — write the `refstate-soak-slo-v1` JSON artifact
+//! * `--stream-out PATH` — write the verdict stream (golden-fixture
+//!   format)
+//! * `--telemetry off|counters|full` — observability level (default off;
+//!   verdict streams are byte-identical at every level)
+
+use refstate_serve::{run_soak, Client, ServeConfig, Server, Service, SoakConfig};
+use refstate_telemetry as telemetry;
+
+fn usage(exit: i32) -> ! {
+    eprintln!(
+        "usage: serve --listen ADDR [service knobs]\n\
+         \x20      serve --soak [--connect ADDR] [--owners N] [--journeys N] \
+         [--seed S] [--preset P] [--mechanism M] [--tick-every N] \
+         [--slo-out PATH] [--stream-out PATH] [service knobs]\n\
+         service knobs: --key-pool N --queue-capacity N --check-workers N \
+         --no-replay-cache --telemetry off|counters|full"
+    );
+    std::process::exit(exit);
+}
+
+struct Options {
+    listen: Option<String>,
+    soak: bool,
+    connect: Option<String>,
+    soak_config: SoakConfig,
+    serve_config: ServeConfig,
+    slo_out: Option<String>,
+    stream_out: Option<String>,
+    telemetry: telemetry::TelemetryLevel,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().collect();
+    let mut options = Options {
+        listen: None,
+        soak: false,
+        connect: None,
+        soak_config: SoakConfig::default(),
+        serve_config: ServeConfig::default(),
+        slo_out: None,
+        stream_out: None,
+        telemetry: telemetry::TelemetryLevel::Off,
+    };
+    let mut i = 1;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage(2))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => options.listen = Some(value(&mut i)),
+            "--soak" => options.soak = true,
+            "--connect" => options.connect = Some(value(&mut i)),
+            "--owners" => {
+                options.soak_config.owners = value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
+            "--journeys" => {
+                options.soak_config.journeys = value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
+            "--seed" => {
+                let seed = value(&mut i).parse().unwrap_or_else(|_| usage(2));
+                options.soak_config.seed = seed;
+                options.serve_config.seed = seed;
+            }
+            "--preset" => options.soak_config.preset = value(&mut i),
+            "--mechanism" => options.soak_config.mechanism = value(&mut i),
+            "--tick-every" => {
+                options.soak_config.tick_every = value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
+            "--key-pool" => {
+                options.serve_config.key_pool = value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
+            "--queue-capacity" => {
+                options.serve_config.queue_capacity =
+                    value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
+            "--check-workers" => {
+                options.serve_config.check_workers =
+                    value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
+            "--no-replay-cache" => options.serve_config.replay_cache = false,
+            "--slo-out" => options.slo_out = Some(value(&mut i)),
+            "--stream-out" => options.stream_out = Some(value(&mut i)),
+            "--telemetry" => {
+                let name = value(&mut i);
+                options.telemetry = telemetry::TelemetryLevel::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown telemetry level {name:?} (off | counters | full)");
+                    usage(2)
+                });
+            }
+            "--help" | "-h" => usage(0),
+            _ => usage(2),
+        }
+        i += 1;
+    }
+    if options.listen.is_none() && !options.soak {
+        usage(2);
+    }
+    if options.listen.is_some() && options.soak {
+        eprintln!("--listen and --soak are exclusive; soak a server via --connect");
+        usage(2);
+    }
+    options
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(error) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {error}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let options = parse_args();
+    telemetry::set_level(options.telemetry);
+
+    if let Some(addr) = &options.listen {
+        let service = Service::new(options.serve_config.clone());
+        let server = match Server::bind(service, addr.as_str()) {
+            Ok(server) => server,
+            Err(error) => {
+                eprintln!("cannot bind {addr}: {error}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("serving on {}", server.addr());
+        server.join();
+        eprintln!("shut down");
+        return;
+    }
+
+    let outcome = match &options.connect {
+        Some(addr) => {
+            let mut client = match Client::connect(addr.as_str()) {
+                Ok(client) => client,
+                Err(error) => {
+                    eprintln!("cannot connect to {addr}: {error}");
+                    std::process::exit(1);
+                }
+            };
+            run_soak(&mut client, &options.soak_config)
+        }
+        None => {
+            let mut service = Service::new(options.serve_config.clone());
+            run_soak(&mut service, &options.soak_config)
+        }
+    };
+
+    let json = outcome.to_json(
+        options.serve_config.check_workers,
+        options.serve_config.queue_capacity,
+    );
+    print!("{json}");
+    if let Some(path) = &options.slo_out {
+        write_file(path, &json);
+    }
+    if let Some(path) = &options.stream_out {
+        write_file(path, &outcome.stream);
+    }
+    if outcome.dropped > 0 {
+        eprintln!(
+            "SLO violation: {} accepted journeys never produced a verdict",
+            outcome.dropped
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,45 @@
+//! `refstate-serve`: the batch verification stack as a resident,
+//! multi-tenant owner service.
+//!
+//! The paper's owner is the trusted endpoint every protected journey
+//! reports back to: it re-executes the final session against reference
+//! states and verifies the signatures the route collected. The fleet
+//! engine exercises that role in batch — generate N scenarios, run them,
+//! aggregate. This crate keeps the owner *resident*: tenants register a
+//! scenario universe once, stream journey ids in over a framed wire
+//! protocol, and read verdicts back out, while the service amortizes the
+//! owner-side work across everything that arrived in a tick.
+//!
+//! Layers, bottom up:
+//!
+//! * [`proto`] — the request/response messages on the workspace's
+//!   canonical codec, framed by `refstate_wire::frame`,
+//! * [`service`] — per-owner sharded state (namespaced key-directory
+//!   views, per-owner pipelines over one shared replay cache, bounded
+//!   ingress queues) and the deterministic tick loop: every admitted
+//!   journey runs host-side, then each owner settles in one amortized
+//!   `settle_owner_batch`,
+//! * [`net`] — a TCP shell (framed requests in, framed responses out)
+//!   around the synchronous service,
+//! * [`soak`] — the load driver: sustained multi-owner streams with
+//!   client-observed p50/p95/p99 verdict latency, emitted as the
+//!   schema-checked `refstate-soak-slo-v1` JSON artifact.
+//!
+//! The contract under all of it: for a fixed registration and request
+//! order, each owner's verdict stream is **byte-identical** across runs,
+//! `check_workers` settings, and telemetry levels — parallelism and
+//! observability change cost, never outcomes. Golden fixtures in
+//! `tests/` pin this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod proto;
+pub mod service;
+pub mod soak;
+
+pub use net::{Client, Server};
+pub use proto::{OwnerStats, RegisterOwner, RejectReason, Request, Response, VerdictReply};
+pub use service::{ServeConfig, Service};
+pub use soak::{run_soak, Endpoint, SloPercentiles, SoakConfig, SoakOutcome};

@@ -1,0 +1,186 @@
+//! The TCP transport: framed requests in, framed responses out.
+//!
+//! The transport is a thin shell around [`Service::handle`]: each
+//! connection reads length-prefixed [`Request`] frames
+//! ([`refstate_wire::FrameReader`]), serializes them into the shared
+//! service behind a mutex, and writes the [`Response`] frame back. All
+//! protocol semantics — admission, ticks, draining — live in the service;
+//! the transport adds only framing and connection lifecycle.
+//!
+//! Determinism note: the service itself is deterministic in its *request
+//! order*. A single client (or clients that externally coordinate their
+//! submissions and ticks, as the soak driver does) therefore gets
+//! byte-identical verdict streams; uncoordinated concurrent clients race
+//! for the mutex and define their own interleaving.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use refstate_telemetry as telemetry;
+use refstate_wire::{write_message, FrameError, FrameReader};
+
+use crate::proto::{Request, Response};
+use crate::service::Service;
+
+/// A running TCP server: the bound address plus the accept-loop handle.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_loop: JoinHandle<()>,
+    service: Arc<Mutex<Service>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections; each connection is served on its own
+    /// thread against the shared service.
+    pub fn bind(service: Service, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept so the loop can observe the shutdown flag
+        // without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let service = Arc::new(Mutex::new(service));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_loop = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        telemetry::count("serve.net.connections", 1);
+                        let service = Arc::clone(&service);
+                        let shutdown = Arc::clone(&shutdown);
+                        thread::spawn(move || serve_connection(stream, service, shutdown));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_loop,
+            service,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a `Shutdown` request has been processed.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the accept loop to exit (it exits after a client sends
+    /// [`Request::Shutdown`], or after [`Server::stop`]). Returns the
+    /// service for post-mortem inspection.
+    pub fn join(self) -> Service {
+        let _ = self.accept_loop.join();
+        match Arc::try_unwrap(self.service) {
+            Ok(mutex) => mutex.into_inner().unwrap_or_else(|e| e.into_inner()),
+            Err(shared) => {
+                // A connection thread still holds a reference (client
+                // vanished mid-request); hand back a drained clone of
+                // nothing — the caller only loses post-mortem stats.
+                drop(shared);
+                Service::new(crate::service::ServeConfig::default())
+            }
+        }
+    }
+
+    /// Requests the accept loop to stop without a client shutdown.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn serve_connection(stream: TcpStream, service: Arc<Mutex<Service>>, shutdown: Arc<AtomicBool>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = io::BufWriter::new(write_half);
+    let mut reader = FrameReader::new(stream, refstate_wire::DEFAULT_MAX_FRAME);
+    loop {
+        let request = match reader.read_message::<Request>() {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean EOF at a frame boundary
+            Err(error) => {
+                // Malformed frame: reply with a typed error, then close
+                // (framing is lost once a frame is bad).
+                let reply = Response::Error {
+                    message: frame_error_message(&error),
+                };
+                let _ = write_message(&mut writer, &reply, refstate_wire::DEFAULT_MAX_FRAME);
+                let _ = writer.flush();
+                return;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = {
+            let mut service = service.lock().unwrap_or_else(|e| e.into_inner());
+            service.handle(request)
+        };
+        if write_message(&mut writer, &response, refstate_wire::DEFAULT_MAX_FRAME).is_err() {
+            return;
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+        if is_shutdown {
+            // The service has drained; stop accepting new connections.
+            // This connection stays open so the client can still drain
+            // outboxes and read stats.
+            shutdown.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn frame_error_message(error: &FrameError) -> String {
+    format!("bad request frame: {error}")
+}
+
+/// A blocking client for the framed protocol: one request, one response.
+pub struct Client {
+    writer: io::BufWriter<TcpStream>,
+    reader: FrameReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = io::BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            writer,
+            reader: FrameReader::new(stream, refstate_wire::DEFAULT_MAX_FRAME),
+        })
+    }
+
+    /// Sends one request and reads the matching response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
+        write_message(&mut self.writer, request, refstate_wire::DEFAULT_MAX_FRAME)?;
+        self.writer.flush().map_err(FrameError::Io)?;
+        match self.reader.read_message::<Response>()? {
+            Some(response) => Ok(response),
+            None => Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            ))),
+        }
+    }
+}

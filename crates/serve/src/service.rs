@@ -1,0 +1,846 @@
+//! The resident owner service: multi-tenant state, admission control,
+//! and the amortized verification tick.
+//!
+//! A [`Service`] is the paper's *agent owner* turned into a long-lived
+//! endpoint. Tenants register a scenario universe (seed + preset +
+//! mechanism), stream journey ids in, and read verdicts back out. The
+//! service re-derives every journey from the registration — generation is
+//! a pure function of `(seed, id, preset)`, exactly as in the fleet
+//! engine — so no agent state crosses the wire and a service run is
+//! reproducible from its request sequence alone.
+//!
+//! Three design rules keep the service deterministic and cheap:
+//!
+//! * **client-paced ticks** — verification happens only inside
+//!   [`Service::handle`]'s `Tick`, never on a background thread, so the
+//!   per-owner verdict stream is a pure function of the request order.
+//!   Worker parallelism lives *inside* the tick
+//!   (`check_workers`-distributed bulk session checking, which is
+//!   verdict-order invariant), never across it.
+//! * **cross-journey amortization** — every admitted journey runs its
+//!   host-side part, and each owner's outstanding owner-side work (final
+//!   re-execution checks, deferred signature verifications) settles in
+//!   *one* `settle_owner_batch` per owner per tick: one bulk
+//!   `check_sessions_with` pass and one batch signature flush, instead of
+//!   one of each per journey.
+//! * **bounded admission** — each owner has a bounded ingress queue;
+//!   submissions past the bound are refused with
+//!   [`RejectReason::QueueFull`] instead of queuing unboundedly, and a
+//!   draining service refuses everything new while still settling every
+//!   journey it already accepted.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refstate_core::{ReplayCache, VerificationPipeline};
+use refstate_crypto::{DsaKeyPair, DsaParams, KeyDirectory};
+use refstate_fleet::scenario::{self, Preset};
+use refstate_mechanisms::api::{
+    settle_owner_batch, JourneyVerdict, MechanismConfig, MechanismRegistry, PendingOwnerJourney,
+    ProtectionMechanism, SplitVerdict,
+};
+use refstate_mechanisms::JourneyCtx;
+use refstate_platform::{EventLog, Host};
+use refstate_telemetry as telemetry;
+
+use crate::proto::{OwnerStats, RegisterOwner, RejectReason, Request, Response, VerdictReply};
+
+/// Service-wide configuration (tenant-independent).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Seed of the service's DSA key pool (tenant host keys are drawn
+    /// from the pool deterministically by owner seed and host name).
+    pub seed: u64,
+    /// Size of the pre-generated key pool.
+    pub key_pool: usize,
+    /// Per-owner ingress bound; submissions past it are rejected.
+    pub queue_capacity: usize,
+    /// Worker threads for the owner-side bulk session-check pass inside
+    /// a tick (`0` = one per core). Verdict streams are invariant in this.
+    pub check_workers: usize,
+    /// Share one sharded [`ReplayCache`] across every tenant's pipeline.
+    pub replay_cache: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 42,
+            key_pool: 32,
+            queue_capacity: 64,
+            check_workers: 1,
+            replay_cache: true,
+        }
+    }
+}
+
+/// Every host name a generated scenario can mention: linear routes up to
+/// 25 hops (`h0..h24`) plus the replicated middle stages' replicas
+/// (`h1r1..h5r2`). Registered per owner at registration time so the
+/// owner's namespaced directory view covers any journey it can submit.
+fn host_universe() -> Vec<String> {
+    let mut names: Vec<String> = (0..25).map(|i| format!("h{i}")).collect();
+    for stage in 1..=5 {
+        for replica in 1..=2 {
+            names.push(format!("h{stage}r{replica}"));
+        }
+    }
+    names
+}
+
+/// Deterministic pool index for `name` under `owner_seed` (FNV-1a over
+/// the name, finalized through the scenario seed mixer).
+fn key_index(owner_seed: u64, name: &str, pool: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (scenario::scenario_seed(owner_seed, hash) % pool as u64) as usize
+}
+
+/// One tenant's resident state.
+struct OwnerState {
+    name: String,
+    seed: u64,
+    preset: Preset,
+    mechanism: Arc<dyn ProtectionMechanism>,
+    /// The owner's namespaced view of the service key directory, warmed
+    /// at registration; every journey of this owner shares it (no
+    /// per-journey directory builds or clones).
+    directory: KeyDirectory,
+    /// The owner's verification pipeline (replay cache shared
+    /// service-wide when enabled; hit/miss counters are per owner).
+    pipeline: Arc<VerificationPipeline>,
+    log: EventLog,
+    config: MechanismConfig,
+    /// Admitted journeys awaiting the next tick, in admission order.
+    ingress: VecDeque<(u64, Instant)>,
+    /// Settled verdicts awaiting a drain, in admission order.
+    outbox: Vec<VerdictReply>,
+    accepted: u64,
+    rejected: u64,
+    verified: u64,
+    detected: u64,
+    final_checks: u64,
+    flush_verifications: u64,
+    flush_failures: u64,
+}
+
+/// The resident multi-tenant verification service.
+///
+/// Synchronous by construction: [`Service::handle`] is the only entry
+/// point, transports serialize requests into it (the TCP layer holds the
+/// service behind a mutex), and all verification work happens inside the
+/// explicit `Tick` request.
+///
+/// # Examples
+///
+/// ```
+/// use refstate_serve::{Request, Response, RegisterOwner, Service, ServeConfig};
+///
+/// let mut service = Service::new(ServeConfig::default());
+/// let reply = service.handle(Request::Register(RegisterOwner {
+///     owner: "alice".into(),
+///     seed: 7,
+///     preset: "single-tamperer".into(),
+///     mechanism: "protocol".into(),
+/// }));
+/// assert_eq!(reply, Response::Registered { owner: "alice".into() });
+/// service.handle(Request::Submit { owner: "alice".into(), journey: 0 });
+/// service.handle(Request::Tick);
+/// let Response::Verdicts(verdicts) = service.handle(Request::Drain { owner: "alice".into() })
+/// else { panic!("drain returns verdicts") };
+/// assert_eq!(verdicts.len(), 1);
+/// ```
+pub struct Service {
+    config: ServeConfig,
+    params_pool: Vec<DsaKeyPair>,
+    master: KeyDirectory,
+    cache: Option<Arc<ReplayCache>>,
+    registry: MechanismRegistry,
+    owners: Vec<OwnerState>,
+    shutting_down: bool,
+}
+
+impl Service {
+    /// Builds a service: generates and pre-warms the key pool.
+    pub fn new(config: ServeConfig) -> Self {
+        assert!(config.key_pool > 0, "key pool must be non-empty");
+        let _span = telemetry::span("serve.start", "serve");
+        let params = DsaParams::test_group_256();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5e12_ce00_0a11_ce5e);
+        let params_pool: Vec<DsaKeyPair> = (0..config.key_pool)
+            .map(|_| DsaKeyPair::generate(&params, &mut rng))
+            .collect();
+        for key in &params_pool {
+            key.public().precompute();
+        }
+        let cache = config.replay_cache.then(|| Arc::new(ReplayCache::new()));
+        Service {
+            config,
+            params_pool,
+            master: KeyDirectory::new(),
+            cache,
+            registry: MechanismRegistry::builtin(),
+            owners: Vec::new(),
+            shutting_down: false,
+        }
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down
+    }
+
+    /// Registered owner names, in registration order.
+    pub fn owner_names(&self) -> Vec<&str> {
+        self.owners.iter().map(|o| o.name.as_str()).collect()
+    }
+
+    fn owner_index(&self, name: &str) -> Option<usize> {
+        self.owners.iter().position(|o| o.name == name)
+    }
+
+    /// Handles one request; every transport funnels through here.
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Register(registration) => self.register(registration),
+            Request::Submit { owner, journey } => self.submit(owner, journey),
+            Request::Tick => Response::Ticked {
+                settled: self.tick(),
+            },
+            Request::Drain { owner } => self.drain(owner),
+            Request::Stats { owner } => self.stats(owner),
+            Request::Shutdown => self.shutdown(),
+        }
+    }
+
+    fn register(&mut self, registration: RegisterOwner) -> Response {
+        let RegisterOwner {
+            owner,
+            seed,
+            preset,
+            mechanism,
+        } = registration;
+        let reject = |reason| Response::Rejected {
+            owner: owner.clone(),
+            journey: 0,
+            reason,
+        };
+        if self.shutting_down {
+            return reject(RejectReason::ShuttingDown);
+        }
+        if owner.is_empty() || owner.contains('/') {
+            return Response::Error {
+                message: format!("invalid owner name {owner:?} (non-empty, no '/')"),
+            };
+        }
+        if self.owner_index(&owner).is_some() {
+            return reject(RejectReason::DuplicateOwner);
+        }
+        let Some(preset) = Preset::parse(&preset) else {
+            return reject(RejectReason::UnknownPreset);
+        };
+        let Some(mechanism) = self.registry.get(&mechanism) else {
+            return reject(RejectReason::UnknownMechanism);
+        };
+
+        // The owner's PKI: every host name its generator can produce,
+        // keyed deterministically from the pool, registered under the
+        // owner's namespace and handed back as a view. The view is built
+        // once and shared by every journey — no per-journey clones — and
+        // warmed here so no first verification pays a table build.
+        for name in host_universe() {
+            let key = &self.params_pool[key_index(seed, &name, self.params_pool.len())];
+            self.master
+                .register(format!("{owner}/{name}"), key.public().clone());
+        }
+        let directory = self.master.namespaced(&owner);
+        directory.warm();
+
+        let pipeline = Arc::new(match &self.cache {
+            Some(cache) => VerificationPipeline::with_cache(Arc::clone(cache)),
+            None => VerificationPipeline::uncached(),
+        });
+        let config = MechanismConfig {
+            check_workers: self.config.check_workers,
+            ..MechanismConfig::default()
+        };
+        telemetry::count("serve.owner.registered", 1);
+        self.owners.push(OwnerState {
+            name: owner.clone(),
+            seed,
+            preset,
+            mechanism,
+            directory,
+            pipeline,
+            log: EventLog::new(),
+            config,
+            ingress: VecDeque::new(),
+            outbox: Vec::new(),
+            accepted: 0,
+            rejected: 0,
+            verified: 0,
+            detected: 0,
+            final_checks: 0,
+            flush_verifications: 0,
+            flush_failures: 0,
+        });
+        Response::Registered { owner }
+    }
+
+    fn submit(&mut self, owner: String, journey: u64) -> Response {
+        let Some(index) = self.owner_index(&owner) else {
+            return Response::Rejected {
+                owner,
+                journey,
+                reason: RejectReason::UnknownOwner,
+            };
+        };
+        let capacity = self.config.queue_capacity;
+        let shutting_down = self.shutting_down;
+        let state = &mut self.owners[index];
+        let reason = if shutting_down {
+            Some(RejectReason::ShuttingDown)
+        } else if state.ingress.len() >= capacity {
+            Some(RejectReason::QueueFull)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            state.rejected += 1;
+            telemetry::count_indexed("serve.owner.rejected", index as u32, 1);
+            return Response::Rejected {
+                owner,
+                journey,
+                reason,
+            };
+        }
+        state.ingress.push_back((journey, Instant::now()));
+        state.accepted += 1;
+        telemetry::count_indexed("serve.owner.accepted", index as u32, 1);
+        Response::Accepted { owner, journey }
+    }
+
+    /// Runs one service tick: every admitted journey executes its
+    /// host-side part, then each owner's outstanding owner-side work
+    /// settles in one amortized batch. Returns the number of verdicts
+    /// produced.
+    pub fn tick(&mut self) -> u64 {
+        let _span = telemetry::span("serve.tick", "serve");
+        let mut settled_total = 0u64;
+        for index in 0..self.owners.len() {
+            settled_total += self.tick_owner(index);
+        }
+        telemetry::count("serve.tick.verdicts", settled_total);
+        settled_total
+    }
+
+    fn tick_owner(&mut self, index: usize) -> u64 {
+        let check_workers = self.config.check_workers;
+        let owner = &mut self.owners[index];
+        if owner.ingress.is_empty() {
+            return 0;
+        }
+        let jobs: Vec<(u64, Instant)> = owner.ingress.drain(..).collect();
+        let owner = &self.owners[index];
+
+        // Verdict slots in admission order: settled-inline journeys fill
+        // theirs immediately, deferred ones after the amortized batch, so
+        // the outbox order never depends on which path a journey took.
+        let mut slots: Vec<Option<VerdictReply>> = Vec::with_capacity(jobs.len());
+        slots.resize_with(jobs.len(), || None);
+        let mut pendings: Vec<PendingOwnerJourney> = Vec::new();
+        let mut pending_slots: Vec<usize> = Vec::new();
+
+        for (slot, (journey, queued_at)) in jobs.iter().enumerate() {
+            let (journey, queued_at) = (*journey, *queued_at);
+            telemetry::observe(
+                "serve.queue_wait_us",
+                queued_at.elapsed().as_micros() as u64,
+            );
+            let generated = scenario::generate(owner.seed, journey, owner.preset);
+            let compatible = owner
+                .mechanism
+                .profile()
+                .compatible_with_stages(generated.stages.is_some());
+            if !compatible {
+                // A topology mismatch (e.g. `replication` on a linear
+                // preset) is the owner's registration error, surfaced as
+                // an infrastructure verdict rather than a dropped journey.
+                slots[slot] = Some(verdict_reply(
+                    owner.name.clone(),
+                    journey,
+                    owner.mechanism.name(),
+                    &JourneyVerdict::clean(false),
+                ));
+                continue;
+            }
+            let mut hosts: Vec<Host> = generated
+                .specs
+                .iter()
+                .enumerate()
+                .map(|(pos, spec)| {
+                    let key = self.params_pool
+                        [key_index(owner.seed, spec.id.as_str(), self.params_pool.len())]
+                    .clone();
+                    let session_seed =
+                        scenario::scenario_seed(owner.seed, journey ^ ((pos as u64 + 1) << 48));
+                    Host::with_keys(spec.clone(), key, session_seed)
+                })
+                .collect();
+            let ctx_seed = scenario::scenario_seed(owner.seed, journey ^ (1u64 << 63));
+            let _scope = telemetry::scoped(owner.mechanism.name());
+            let mut ctx = JourneyCtx::new(
+                &mut hosts,
+                generated.route.clone(),
+                generated.agent.clone(),
+                &owner.directory,
+                &owner.config,
+                &owner.log,
+                ctx_seed,
+            )
+            .with_pipeline(owner.pipeline.clone());
+            if let Some(stages) = &generated.stages {
+                ctx = ctx.with_stages(stages.clone());
+            }
+            match owner.mechanism.run_split(&mut ctx) {
+                SplitVerdict::Settled(verdict) => {
+                    slots[slot] = Some(verdict_reply(
+                        owner.name.clone(),
+                        journey,
+                        owner.mechanism.name(),
+                        &verdict,
+                    ));
+                }
+                SplitVerdict::Pending(pending) => {
+                    pendings.push(*pending);
+                    pending_slots.push(slot);
+                }
+            }
+        }
+
+        // The amortized owner-side pass: one bulk session-check plus one
+        // signature flush for everything this owner deferred this tick.
+        let mut stats_delta = None;
+        if !pendings.is_empty() {
+            let journeys: Vec<u64> = pending_slots.iter().map(|&s| jobs[s].0).collect();
+            let _scope = telemetry::scoped(owner.mechanism.name());
+            let (verdicts, stats) = settle_owner_batch(
+                pendings,
+                &owner.config,
+                &owner.pipeline,
+                &owner.log,
+                &owner.directory,
+                check_workers,
+            );
+            for ((slot, journey), verdict) in pending_slots.into_iter().zip(journeys).zip(verdicts)
+            {
+                slots[slot] = Some(verdict_reply(
+                    owner.name.clone(),
+                    journey,
+                    owner.mechanism.name(),
+                    &verdict,
+                ));
+            }
+            stats_delta = Some(stats);
+        }
+
+        let owner = &mut self.owners[index];
+        if let Some(stats) = stats_delta {
+            owner.final_checks += stats.final_checks as u64;
+            owner.flush_verifications += stats.flush_verifications as u64;
+            owner.flush_failures += (stats.flush_failures + stats.unattributed_failures) as u64;
+        }
+        let mut settled = 0u64;
+        for slot in slots {
+            let reply = slot.expect("every admitted journey settles in its tick");
+            owner.verified += 1;
+            if reply.detected {
+                owner.detected += 1;
+            }
+            settled += 1;
+            owner.outbox.push(reply);
+        }
+        telemetry::count_indexed("serve.owner.verified", index as u32, settled);
+        settled
+    }
+
+    fn drain(&mut self, owner: String) -> Response {
+        let Some(index) = self.owner_index(&owner) else {
+            return Response::Rejected {
+                owner,
+                journey: 0,
+                reason: RejectReason::UnknownOwner,
+            };
+        };
+        Response::Verdicts(std::mem::take(&mut self.owners[index].outbox))
+    }
+
+    fn stats(&self, owner: String) -> Response {
+        let Some(index) = self.owner_index(&owner) else {
+            return Response::Rejected {
+                owner,
+                journey: 0,
+                reason: RejectReason::UnknownOwner,
+            };
+        };
+        let state = &self.owners[index];
+        let replay = state.pipeline.snapshot();
+        Response::Stats(OwnerStats {
+            owner,
+            accepted: state.accepted,
+            rejected: state.rejected,
+            verified: state.verified,
+            detected: state.detected,
+            pending: state.ingress.len() as u64,
+            undrained: state.outbox.len() as u64,
+            queue_capacity: self.config.queue_capacity as u64,
+            final_checks: state.final_checks,
+            flush_verifications: state.flush_verifications,
+            flush_failures: state.flush_failures,
+            cache_hits: replay.hits,
+            cache_misses: replay.misses,
+        })
+    }
+
+    /// Stops admitting work and settles every accepted journey. The
+    /// outboxes stay drainable afterwards, so no accepted journey's
+    /// verdict is ever dropped.
+    fn shutdown(&mut self) -> Response {
+        self.shutting_down = true;
+        let mut settled = 0u64;
+        while self.owners.iter().any(|o| !o.ingress.is_empty()) {
+            settled += self.tick();
+        }
+        Response::ShuttingDown { settled }
+    }
+}
+
+fn verdict_reply(
+    owner: String,
+    journey: u64,
+    mechanism: &str,
+    verdict: &JourneyVerdict,
+) -> VerdictReply {
+    VerdictReply {
+        owner,
+        journey,
+        mechanism: mechanism.to_owned(),
+        detected: verdict.detected,
+        accused: verdict
+            .accused
+            .iter()
+            .map(|h| h.as_str().to_owned())
+            .collect(),
+        completed: verdict.completed,
+        infra_error: verdict.infra_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn register(service: &mut Service, owner: &str, seed: u64, preset: &str, mechanism: &str) {
+        let reply = service.handle(Request::Register(RegisterOwner {
+            owner: owner.into(),
+            seed,
+            preset: preset.into(),
+            mechanism: mechanism.into(),
+        }));
+        assert_eq!(
+            reply,
+            Response::Registered {
+                owner: owner.into()
+            }
+        );
+    }
+
+    #[test]
+    fn register_validates_preset_mechanism_and_duplicates() {
+        let mut service = Service::new(ServeConfig::default());
+        register(&mut service, "alice", 1, "mixed", "protocol");
+        let duplicate = service.handle(Request::Register(RegisterOwner {
+            owner: "alice".into(),
+            seed: 2,
+            preset: "mixed".into(),
+            mechanism: "protocol".into(),
+        }));
+        assert!(matches!(
+            duplicate,
+            Response::Rejected {
+                reason: RejectReason::DuplicateOwner,
+                ..
+            }
+        ));
+        let bad_preset = service.handle(Request::Register(RegisterOwner {
+            owner: "bob".into(),
+            seed: 2,
+            preset: "wat".into(),
+            mechanism: "protocol".into(),
+        }));
+        assert!(matches!(
+            bad_preset,
+            Response::Rejected {
+                reason: RejectReason::UnknownPreset,
+                ..
+            }
+        ));
+        let bad_mechanism = service.handle(Request::Register(RegisterOwner {
+            owner: "bob".into(),
+            seed: 2,
+            preset: "mixed".into(),
+            mechanism: "wat".into(),
+        }));
+        assert!(matches!(
+            bad_mechanism,
+            Response::Rejected {
+                reason: RejectReason::UnknownMechanism,
+                ..
+            }
+        ));
+        let bad_name = service.handle(Request::Register(RegisterOwner {
+            owner: "a/b".into(),
+            seed: 2,
+            preset: "mixed".into(),
+            mechanism: "protocol".into(),
+        }));
+        assert!(matches!(bad_name, Response::Error { .. }));
+    }
+
+    #[test]
+    fn submit_to_unknown_owner_is_rejected() {
+        let mut service = Service::new(ServeConfig::default());
+        let reply = service.handle(Request::Submit {
+            owner: "ghost".into(),
+            journey: 0,
+        });
+        assert!(matches!(
+            reply,
+            Response::Rejected {
+                reason: RejectReason::UnknownOwner,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tick_settles_submitted_journeys_in_admission_order() {
+        let mut service = Service::new(ServeConfig::default());
+        register(&mut service, "alice", 7, "single-tamperer", "protocol");
+        for journey in [3u64, 0, 5] {
+            let reply = service.handle(Request::Submit {
+                owner: "alice".into(),
+                journey,
+            });
+            assert!(matches!(reply, Response::Accepted { .. }));
+        }
+        assert_eq!(
+            service.handle(Request::Tick),
+            Response::Ticked { settled: 3 }
+        );
+        let Response::Verdicts(verdicts) = service.handle(Request::Drain {
+            owner: "alice".into(),
+        }) else {
+            panic!("drain returns verdicts");
+        };
+        assert_eq!(
+            verdicts.iter().map(|v| v.journey).collect::<Vec<_>>(),
+            vec![3, 0, 5],
+            "outbox preserves admission order"
+        );
+        // Single-tamperer scenarios under the protocol mechanism detect.
+        assert!(verdicts.iter().all(|v| v.mechanism == "protocol"));
+        assert!(verdicts.iter().any(|v| v.detected));
+        // A second drain is empty (the outbox moved out).
+        let Response::Verdicts(rest) = service.handle(Request::Drain {
+            owner: "alice".into(),
+        }) else {
+            panic!("drain returns verdicts");
+        };
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn service_verdicts_match_fleet_engine_verdicts() {
+        // The resident service and the batch fleet engine must agree on
+        // what a journey's verdict is — the service is a re-packaging of
+        // the same mechanism API, not a different checker. Fleet host
+        // keys come from a different pool assignment, but verdicts do
+        // not depend on which (registered) key a host signs with.
+        let seed = 11u64;
+        let mut service = Service::new(ServeConfig::default());
+        register(&mut service, "alice", seed, "single-tamperer", "protocol");
+        for journey in 0..8u64 {
+            service.handle(Request::Submit {
+                owner: "alice".into(),
+                journey,
+            });
+        }
+        service.handle(Request::Tick);
+        let Response::Verdicts(verdicts) = service.handle(Request::Drain {
+            owner: "alice".into(),
+        }) else {
+            panic!("drain returns verdicts");
+        };
+
+        let fleet = refstate_fleet::run_fleet(&refstate_fleet::FleetConfig {
+            scenarios: 8,
+            workers: 2,
+            seed,
+            preset: Preset::SingleTamperer,
+            mechanisms: vec![MechanismRegistry::builtin().get("protocol").unwrap()],
+            key_pool: 8,
+            ..refstate_fleet::FleetConfig::default()
+        });
+        for (verdict, result) in verdicts.iter().zip(&fleet.results) {
+            assert_eq!(verdict.journey, result.id);
+            let run = &result.runs[0];
+            assert_eq!(
+                verdict.detected, run.detected,
+                "journey {}",
+                verdict.journey
+            );
+            assert_eq!(
+                verdict.completed, run.completed,
+                "journey {}",
+                verdict.journey
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_admission_and_settlement() {
+        let mut service = Service::new(ServeConfig {
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        });
+        register(&mut service, "alice", 3, "all-honest", "protocol");
+        for journey in 0..4u64 {
+            service.handle(Request::Submit {
+                owner: "alice".into(),
+                journey,
+            });
+        }
+        let overflow = service.handle(Request::Submit {
+            owner: "alice".into(),
+            journey: 4,
+        });
+        assert!(matches!(
+            overflow,
+            Response::Rejected {
+                reason: RejectReason::QueueFull,
+                ..
+            }
+        ));
+        let Response::Stats(before) = service.handle(Request::Stats {
+            owner: "alice".into(),
+        }) else {
+            panic!("stats");
+        };
+        assert_eq!(before.accepted, 4);
+        assert_eq!(before.rejected, 1);
+        assert_eq!(before.pending, 4);
+        assert_eq!(before.verified, 0);
+        assert_eq!(before.queue_capacity, 4);
+
+        service.handle(Request::Tick);
+        let Response::Stats(after) = service.handle(Request::Stats {
+            owner: "alice".into(),
+        }) else {
+            panic!("stats");
+        };
+        assert_eq!(after.verified, 4);
+        assert_eq!(after.pending, 0);
+        assert_eq!(after.undrained, 4);
+        assert!(
+            after.flush_verifications > 0,
+            "protocol journeys defer signatures into the amortized flush"
+        );
+    }
+
+    #[test]
+    fn owners_are_isolated() {
+        // Two owners with the same seed and preset produce identical
+        // verdict streams — and neither sees the other's journeys.
+        let mut service = Service::new(ServeConfig::default());
+        register(&mut service, "alice", 5, "mixed", "protocol");
+        register(&mut service, "bob", 5, "mixed", "protocol");
+        for journey in 0..6u64 {
+            service.handle(Request::Submit {
+                owner: "alice".into(),
+                journey,
+            });
+            service.handle(Request::Submit {
+                owner: "bob".into(),
+                journey,
+            });
+        }
+        service.handle(Request::Tick);
+        let Response::Verdicts(alice) = service.handle(Request::Drain {
+            owner: "alice".into(),
+        }) else {
+            panic!("drain");
+        };
+        let Response::Verdicts(bob) = service.handle(Request::Drain {
+            owner: "bob".into(),
+        }) else {
+            panic!("drain");
+        };
+        assert_eq!(alice.len(), 6);
+        assert_eq!(bob.len(), 6);
+        for (a, b) in alice.iter().zip(&bob) {
+            assert_eq!(a.owner, "alice");
+            assert_eq!(b.owner, "bob");
+            assert_eq!(a.journey, b.journey);
+            assert_eq!(a.detected, b.detected);
+            assert_eq!(a.accused, b.accused);
+        }
+    }
+
+    #[test]
+    fn incompatible_topology_is_an_infra_verdict_not_a_drop() {
+        let mut service = Service::new(ServeConfig::default());
+        // `replication` needs staged scenarios; `mixed` never stages.
+        register(&mut service, "alice", 5, "mixed", "replication");
+        service.handle(Request::Submit {
+            owner: "alice".into(),
+            journey: 0,
+        });
+        service.handle(Request::Tick);
+        let Response::Verdicts(verdicts) = service.handle(Request::Drain {
+            owner: "alice".into(),
+        }) else {
+            panic!("drain");
+        };
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].infra_error);
+        assert!(!verdicts[0].detected);
+    }
+
+    #[test]
+    fn replicated_preset_runs_replication_end_to_end() {
+        let mut service = Service::new(ServeConfig::default());
+        register(&mut service, "alice", 17, "replicated", "replication");
+        for journey in 0..6u64 {
+            service.handle(Request::Submit {
+                owner: "alice".into(),
+                journey,
+            });
+        }
+        service.handle(Request::Tick);
+        let Response::Verdicts(verdicts) = service.handle(Request::Drain {
+            owner: "alice".into(),
+        }) else {
+            panic!("drain");
+        };
+        assert_eq!(verdicts.len(), 6);
+        assert!(verdicts.iter().all(|v| !v.infra_error));
+        assert!(verdicts.iter().any(|v| v.detected));
+    }
+}

@@ -1,0 +1,492 @@
+//! The soak driver: sustained multi-owner load with client-observed SLO
+//! percentiles.
+//!
+//! A soak run registers `owners` tenants, streams `journeys` submissions
+//! round-robin across them, ticks the service every `tick_every`
+//! accepted submissions, and drains verdicts after every tick. Latency
+//! is measured *client-side* — submit instant to drain instant — so the
+//! percentiles are end-to-end service numbers, while the verdict stream
+//! itself stays timing-free and therefore byte-identical for a fixed
+//! seed across runs, worker counts, and telemetry levels.
+//!
+//! The outcome serializes as schema-checked JSON
+//! (`refstate-soak-slo-v1`, validated by the bench crate's
+//! `check_bench_json --slo`), and the concatenated per-owner verdict
+//! stream is returned for golden-fixture comparison.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use refstate_fleet::scenario::scenario_seed;
+
+use crate::proto::{OwnerStats, RegisterOwner, RejectReason, Request, Response, VerdictReply};
+use crate::service::Service;
+
+/// Anything that can answer protocol requests: the in-process service or
+/// a TCP [`crate::net::Client`].
+pub trait Endpoint {
+    /// Sends one request, returns its response.
+    fn call(&mut self, request: Request) -> Response;
+}
+
+impl Endpoint for Service {
+    fn call(&mut self, request: Request) -> Response {
+        self.handle(request)
+    }
+}
+
+impl Endpoint for crate::net::Client {
+    fn call(&mut self, request: Request) -> Response {
+        match crate::net::Client::call(self, &request) {
+            Ok(response) => response,
+            Err(error) => Response::Error {
+                message: format!("transport failure: {error}"),
+            },
+        }
+    }
+}
+
+/// Soak-load shape (the service's own knobs live in
+/// [`crate::service::ServeConfig`]).
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Number of tenants to register.
+    pub owners: usize,
+    /// Total journey submissions across all tenants.
+    pub journeys: u64,
+    /// The soak seed; owner seeds derive from it.
+    pub seed: u64,
+    /// Scenario preset name, passed through to each registration.
+    pub preset: String,
+    /// Mechanism name, passed through to each registration.
+    pub mechanism: String,
+    /// Tick (and drain) after this many accepted submissions.
+    pub tick_every: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            owners: 4,
+            journeys: 200,
+            seed: 42,
+            preset: "mixed".into(),
+            mechanism: "protocol".into(),
+            tick_every: 32,
+        }
+    }
+}
+
+impl SoakConfig {
+    /// The deterministic name of tenant `index`.
+    pub fn owner_name(index: usize) -> String {
+        format!("owner-{index}")
+    }
+
+    /// The deterministic scenario seed of tenant `index`.
+    pub fn owner_seed(&self, index: usize) -> u64 {
+        scenario_seed(self.seed, 0x0a11_ce00 + index as u64)
+    }
+}
+
+/// Client-observed latency percentiles, in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloPercentiles {
+    /// Median verdict latency.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl SloPercentiles {
+    fn from_latencies(latencies: &mut [Duration]) -> SloPercentiles {
+        if latencies.is_empty() {
+            return SloPercentiles::default();
+        }
+        latencies.sort_unstable();
+        let at = |q: f64| -> u64 {
+            let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+            latencies[idx].as_micros() as u64
+        };
+        SloPercentiles {
+            p50_us: at(0.50),
+            p95_us: at(0.95),
+            p99_us: at(0.99),
+            max_us: latencies[latencies.len() - 1].as_micros() as u64,
+        }
+    }
+}
+
+/// Everything one soak run produced.
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// The load shape that ran.
+    pub config: SoakConfig,
+    /// Submissions attempted (accepted + rejected attempts).
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub accepted: u64,
+    /// Submissions refused (each refused attempt counts once; a refused
+    /// journey is retried after a tick and may be admitted then).
+    pub rejected: u64,
+    /// Verdicts drained.
+    pub verified: u64,
+    /// Verdicts that flagged their journey.
+    pub detected: u64,
+    /// Accepted journeys that never produced a verdict — the drain
+    /// invariant; must be zero after shutdown.
+    pub dropped: u64,
+    /// Client-observed verdict latency.
+    pub latency: SloPercentiles,
+    /// Per-owner closing stats, in registration order.
+    pub owners: Vec<OwnerStats>,
+    /// The concatenated verdict stream (one [`VerdictReply::stream_line`]
+    /// per verdict, in drain order) — the golden-fixture payload.
+    pub stream: String,
+}
+
+impl SoakOutcome {
+    /// Replay-cache hits summed over owners.
+    pub fn cache_hits(&self) -> u64 {
+        self.owners.iter().map(|o| o.cache_hits).sum()
+    }
+
+    /// Replay-cache misses summed over owners.
+    pub fn cache_misses(&self) -> u64 {
+        self.owners.iter().map(|o| o.cache_misses).sum()
+    }
+
+    /// Replay-cache hit rate over all owners (0 when no cache traffic).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits() + self.cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits() as f64 / total as f64
+        }
+    }
+
+    /// FNV-1a digest of the verdict stream, as printed in the SLO JSON.
+    pub fn stream_digest(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.stream.as_bytes() {
+            hash ^= *byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+
+    /// The schema-checked SLO JSON artifact (`refstate-soak-slo-v1`).
+    pub fn to_json(&self, check_workers: usize, queue_capacity: usize) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"refstate-soak-slo-v1\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
+        out.push_str(&format!("  \"owners\": {},\n", self.config.owners));
+        out.push_str(&format!("  \"journeys\": {},\n", self.config.journeys));
+        out.push_str(&format!(
+            "  \"preset\": {},\n",
+            json_str(&self.config.preset)
+        ));
+        out.push_str(&format!(
+            "  \"mechanism\": {},\n",
+            json_str(&self.config.mechanism)
+        ));
+        out.push_str(&format!("  \"tick_every\": {},\n", self.config.tick_every));
+        out.push_str(&format!("  \"check_workers\": {check_workers},\n"));
+        out.push_str(&format!("  \"queue_capacity\": {queue_capacity},\n"));
+        out.push_str("  \"counts\": {\n");
+        out.push_str(&format!("    \"submitted\": {},\n", self.submitted));
+        out.push_str(&format!("    \"accepted\": {},\n", self.accepted));
+        out.push_str(&format!("    \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!("    \"verified\": {},\n", self.verified));
+        out.push_str(&format!("    \"detected\": {},\n", self.detected));
+        out.push_str(&format!("    \"dropped\": {}\n", self.dropped));
+        out.push_str("  },\n");
+        out.push_str("  \"latency_us\": {\n");
+        out.push_str(&format!("    \"p50\": {},\n", self.latency.p50_us));
+        out.push_str(&format!("    \"p95\": {},\n", self.latency.p95_us));
+        out.push_str(&format!("    \"p99\": {},\n", self.latency.p99_us));
+        out.push_str(&format!("    \"max\": {}\n", self.latency.max_us));
+        out.push_str("  },\n");
+        out.push_str("  \"cache\": {\n");
+        out.push_str(&format!("    \"hits\": {},\n", self.cache_hits()));
+        out.push_str(&format!("    \"misses\": {},\n", self.cache_misses()));
+        out.push_str(&format!("    \"hit_rate\": {:.6}\n", self.cache_hit_rate()));
+        out.push_str("  },\n");
+        out.push_str("  \"owners_detail\": [\n");
+        for (i, owner) in self.owners.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"owner\": {}, ", json_str(&owner.owner)));
+            out.push_str(&format!("\"accepted\": {}, ", owner.accepted));
+            out.push_str(&format!("\"rejected\": {}, ", owner.rejected));
+            out.push_str(&format!("\"verified\": {}, ", owner.verified));
+            out.push_str(&format!("\"detected\": {}, ", owner.detected));
+            out.push_str(&format!("\"final_checks\": {}, ", owner.final_checks));
+            out.push_str(&format!(
+                "\"flush_verifications\": {}, ",
+                owner.flush_verifications
+            ));
+            out.push_str(&format!("\"flush_failures\": {}", owner.flush_failures));
+            out.push('}');
+            if i + 1 < self.owners.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"stream_digest\": {}\n",
+            json_str(&self.stream_digest())
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Drives one soak run against `endpoint`.
+///
+/// Submissions go round-robin across owners (submission `k` targets
+/// owner `k % owners` with journey id `k / owners`); a
+/// [`RejectReason::QueueFull`] refusal triggers one tick-and-retry, so
+/// sustained overload degrades to tick-paced admission instead of loss.
+/// After the last submission the driver sends [`Request::Shutdown`]
+/// (settling everything admitted) and drains every owner a final time.
+///
+/// # Panics
+///
+/// Panics if the endpoint rejects a registration or replies out of
+/// protocol — a soak against a misconfigured service is a setup error,
+/// not a measurement.
+pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome {
+    assert!(config.owners > 0, "soak needs at least one owner");
+    assert!(config.tick_every > 0, "tick_every must be positive");
+    let owner_names: Vec<String> = (0..config.owners).map(SoakConfig::owner_name).collect();
+    for (index, name) in owner_names.iter().enumerate() {
+        let reply = endpoint.call(Request::Register(RegisterOwner {
+            owner: name.clone(),
+            seed: config.owner_seed(index),
+            preset: config.preset.clone(),
+            mechanism: config.mechanism.clone(),
+        }));
+        assert!(
+            matches!(reply, Response::Registered { .. }),
+            "registration of {name} failed: {reply:?}"
+        );
+    }
+
+    let mut submitted = 0u64;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut detected = 0u64;
+    let mut in_flight: HashMap<(String, u64), Instant> = HashMap::new();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(config.journeys as usize);
+    let mut stream = String::new();
+    let mut verified = 0u64;
+    let mut since_tick = 0usize;
+
+    let drain_all = |endpoint: &mut dyn Endpoint,
+                     in_flight: &mut HashMap<(String, u64), Instant>,
+                     latencies: &mut Vec<Duration>,
+                     stream: &mut String,
+                     verified: &mut u64,
+                     detected: &mut u64| {
+        for name in &owner_names {
+            let reply = endpoint.call(Request::Drain {
+                owner: name.clone(),
+            });
+            let Response::Verdicts(verdicts) = reply else {
+                panic!("drain of {name} failed: {reply:?}");
+            };
+            for verdict in verdicts {
+                record_verdict(verdict, in_flight, latencies, stream, verified, detected);
+            }
+        }
+    };
+
+    for k in 0..config.journeys {
+        let index = (k % config.owners as u64) as usize;
+        let owner = &owner_names[index];
+        let journey = k / config.owners as u64;
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            submitted += 1;
+            let queued = Instant::now();
+            let reply = endpoint.call(Request::Submit {
+                owner: owner.clone(),
+                journey,
+            });
+            match reply {
+                Response::Accepted { .. } => {
+                    in_flight.insert((owner.clone(), journey), queued);
+                    accepted += 1;
+                    since_tick += 1;
+                    break;
+                }
+                Response::Rejected {
+                    reason: RejectReason::QueueFull,
+                    ..
+                } => {
+                    rejected += 1;
+                    // Relieve pressure, then retry; two refusals in a row
+                    // would mean the tick itself cannot drain the queue,
+                    // which the bounded-queue design makes impossible.
+                    assert!(attempts < 3, "submission refused after a tick drained");
+                    endpoint.call(Request::Tick);
+                    since_tick = 0;
+                    drain_all(
+                        endpoint,
+                        &mut in_flight,
+                        &mut latencies,
+                        &mut stream,
+                        &mut verified,
+                        &mut detected,
+                    );
+                }
+                other => panic!("submission of {owner}/{journey} failed: {other:?}"),
+            }
+        }
+        if since_tick >= config.tick_every {
+            endpoint.call(Request::Tick);
+            since_tick = 0;
+            drain_all(
+                endpoint,
+                &mut in_flight,
+                &mut latencies,
+                &mut stream,
+                &mut verified,
+                &mut detected,
+            );
+        }
+    }
+
+    // Shutdown settles every admitted journey; the final drain empties
+    // the outboxes. Anything left in `in_flight` afterwards was dropped.
+    let reply = endpoint.call(Request::Shutdown);
+    assert!(
+        matches!(reply, Response::ShuttingDown { .. }),
+        "shutdown failed: {reply:?}"
+    );
+    drain_all(
+        endpoint,
+        &mut in_flight,
+        &mut latencies,
+        &mut stream,
+        &mut verified,
+        &mut detected,
+    );
+
+    let owners = owner_names
+        .iter()
+        .map(|name| {
+            let reply = endpoint.call(Request::Stats {
+                owner: name.clone(),
+            });
+            let Response::Stats(stats) = reply else {
+                panic!("stats of {name} failed: {reply:?}");
+            };
+            stats
+        })
+        .collect();
+
+    SoakOutcome {
+        config: config.clone(),
+        submitted,
+        accepted,
+        rejected,
+        verified,
+        detected,
+        dropped: in_flight.len() as u64,
+        latency: SloPercentiles::from_latencies(&mut latencies),
+        owners,
+        stream,
+    }
+}
+
+fn record_verdict(
+    verdict: VerdictReply,
+    in_flight: &mut HashMap<(String, u64), Instant>,
+    latencies: &mut Vec<Duration>,
+    stream: &mut String,
+    verified: &mut u64,
+    detected: &mut u64,
+) {
+    if let Some(queued) = in_flight.remove(&(verdict.owner.clone(), verdict.journey)) {
+        latencies.push(queued.elapsed());
+    }
+    *verified += 1;
+    if verdict.detected {
+        *detected += 1;
+    }
+    stream.push_str(&verdict.stream_line());
+    stream.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    #[test]
+    fn soak_drains_everything_it_accepts() {
+        let mut service = Service::new(ServeConfig {
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        });
+        let config = SoakConfig {
+            owners: 2,
+            journeys: 30,
+            seed: 9,
+            tick_every: 5,
+            ..SoakConfig::default()
+        };
+        let outcome = run_soak(&mut service, &config);
+        assert_eq!(outcome.accepted, 30);
+        assert_eq!(outcome.verified, 30);
+        assert_eq!(outcome.dropped, 0, "no accepted journey goes unverified");
+        assert_eq!(outcome.stream.lines().count(), 30);
+        assert!(outcome.latency.p50_us <= outcome.latency.max_us);
+    }
+
+    #[test]
+    fn slo_json_has_schema_and_digest() {
+        let mut service = Service::new(ServeConfig::default());
+        let config = SoakConfig {
+            owners: 1,
+            journeys: 6,
+            seed: 3,
+            tick_every: 3,
+            preset: "all-honest".into(),
+            ..SoakConfig::default()
+        };
+        let outcome = run_soak(&mut service, &config);
+        let json = outcome.to_json(1, 64);
+        assert!(json.contains("\"schema\": \"refstate-soak-slo-v1\""));
+        assert!(json.contains(&format!(
+            "\"stream_digest\": \"{}\"",
+            outcome.stream_digest()
+        )));
+        assert!(json.contains("\"dropped\": 0"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Service-level guarantees: admission control, the drain invariant,
+//! worker- and telemetry-invariant golden verdict streams, and the TCP
+//! transport.
+
+use std::path::PathBuf;
+
+use refstate_serve::{
+    run_soak, Client, RegisterOwner, RejectReason, Request, Response, ServeConfig, Server, Service,
+    SoakConfig,
+};
+use refstate_telemetry as telemetry;
+
+fn register(endpoint: &mut Service, owner: &str, seed: u64, preset: &str, mechanism: &str) {
+    let reply = endpoint.handle(Request::Register(RegisterOwner {
+        owner: owner.into(),
+        seed,
+        preset: preset.into(),
+        mechanism: mechanism.into(),
+    }));
+    assert!(matches!(reply, Response::Registered { .. }), "{reply:?}");
+}
+
+#[test]
+fn backpressure_rejects_past_the_bound_and_recovers_after_a_tick() {
+    let mut service = Service::new(ServeConfig {
+        queue_capacity: 3,
+        ..ServeConfig::default()
+    });
+    register(&mut service, "alice", 5, "all-honest", "protocol");
+
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for journey in 0..5u64 {
+        match service.handle(Request::Submit {
+            owner: "alice".into(),
+            journey,
+        }) {
+            Response::Accepted { .. } => accepted += 1,
+            Response::Rejected {
+                reason: RejectReason::QueueFull,
+                journey: j,
+                ..
+            } => {
+                rejected += 1;
+                assert!(j >= 3, "the first `capacity` submissions are admitted");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(accepted, 3);
+    assert_eq!(rejected, 2);
+
+    // A tick drains the queue; the refused journeys are admissible again.
+    service.handle(Request::Tick);
+    for journey in 3..5u64 {
+        let reply = service.handle(Request::Submit {
+            owner: "alice".into(),
+            journey,
+        });
+        assert!(matches!(reply, Response::Accepted { .. }), "{reply:?}");
+    }
+}
+
+#[test]
+fn graceful_shutdown_settles_every_accepted_journey() {
+    let mut service = Service::new(ServeConfig {
+        queue_capacity: 16,
+        ..ServeConfig::default()
+    });
+    register(&mut service, "alice", 11, "single-tamperer", "protocol");
+    register(&mut service, "bob", 12, "mixed", "appraisal");
+    for journey in 0..5u64 {
+        for owner in ["alice", "bob"] {
+            let reply = service.handle(Request::Submit {
+                owner: owner.into(),
+                journey,
+            });
+            assert!(matches!(reply, Response::Accepted { .. }));
+        }
+    }
+
+    // Shutdown with a full ingress queue: everything accepted settles.
+    let reply = service.handle(Request::Shutdown);
+    assert_eq!(reply, Response::ShuttingDown { settled: 10 });
+
+    // New work is refused after shutdown...
+    let late = service.handle(Request::Submit {
+        owner: "alice".into(),
+        journey: 99,
+    });
+    assert!(matches!(
+        late,
+        Response::Rejected {
+            reason: RejectReason::ShuttingDown,
+            ..
+        }
+    ));
+    let late_owner = service.handle(Request::Register(RegisterOwner {
+        owner: "carol".into(),
+        seed: 1,
+        preset: "mixed".into(),
+        mechanism: "protocol".into(),
+    }));
+    assert!(matches!(
+        late_owner,
+        Response::Rejected {
+            reason: RejectReason::ShuttingDown,
+            ..
+        }
+    ));
+
+    // ...but outboxes stay drainable, and nothing accepted was dropped.
+    for owner in ["alice", "bob"] {
+        let Response::Verdicts(verdicts) = service.handle(Request::Drain {
+            owner: owner.into(),
+        }) else {
+            panic!("drain after shutdown");
+        };
+        assert_eq!(verdicts.len(), 5, "{owner}'s verdicts all delivered");
+        let Response::Stats(stats) = service.handle(Request::Stats {
+            owner: owner.into(),
+        }) else {
+            panic!("stats after shutdown");
+        };
+        assert_eq!(stats.accepted, stats.verified, "{owner}: drain invariant");
+        assert_eq!(stats.pending, 0);
+    }
+}
+
+fn soak_stream(check_workers: usize, seed: u64) -> String {
+    let mut service = Service::new(ServeConfig {
+        check_workers,
+        queue_capacity: 16,
+        key_pool: 16,
+        ..ServeConfig::default()
+    });
+    let config = SoakConfig {
+        owners: 4,
+        journeys: 48,
+        seed,
+        preset: "mixed".into(),
+        mechanism: "protocol".into(),
+        tick_every: 12,
+    };
+    let outcome = run_soak(&mut service, &config);
+    assert_eq!(outcome.dropped, 0);
+    assert_eq!(outcome.verified, 48);
+    outcome.stream
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// The tentpole determinism contract: for a fixed seed and request order,
+/// the per-owner verdict stream is byte-identical across runs, worker
+/// counts, and telemetry levels — pinned against a committed fixture.
+/// Regenerate with `REGEN_GOLDEN=1 cargo test -p refstate-serve`.
+#[test]
+fn verdict_stream_is_golden_across_workers_and_telemetry() {
+    let seed = 42;
+    let baseline = soak_stream(1, seed);
+
+    let path = golden_path("soak_mixed_seed42.stream");
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &baseline).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {path:?} ({e}); run with REGEN_GOLDEN=1")
+    });
+    assert_eq!(baseline, golden, "verdict stream drifted from the fixture");
+
+    for check_workers in [2, 8] {
+        assert_eq!(
+            soak_stream(check_workers, seed),
+            baseline,
+            "stream must be invariant under check_workers={check_workers}"
+        );
+    }
+
+    let before = telemetry::level();
+    for level in [
+        telemetry::TelemetryLevel::Counters,
+        telemetry::TelemetryLevel::Full,
+    ] {
+        telemetry::set_level(level);
+        let stream = soak_stream(4, seed);
+        telemetry::set_level(before);
+        assert_eq!(
+            stream, baseline,
+            "stream must be invariant under telemetry={level:?}"
+        );
+    }
+}
+
+#[test]
+fn tcp_roundtrip_matches_in_process_service() {
+    // The same request sequence, once in process and once over TCP,
+    // must produce identical verdict streams: the transport adds framing
+    // only, never semantics.
+    let config = SoakConfig {
+        owners: 2,
+        journeys: 12,
+        seed: 7,
+        preset: "single-tamperer".into(),
+        mechanism: "protocol".into(),
+        tick_every: 4,
+    };
+    let serve_config = ServeConfig {
+        key_pool: 8,
+        ..ServeConfig::default()
+    };
+
+    let mut local = Service::new(serve_config.clone());
+    let local_outcome = run_soak(&mut local, &config);
+
+    let server = Server::bind(Service::new(serve_config), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let remote_outcome = run_soak(&mut client, &config);
+    assert_eq!(remote_outcome.stream, local_outcome.stream);
+    assert_eq!(remote_outcome.dropped, 0);
+
+    // The soak sent Shutdown; the accept loop notices and exits.
+    server.join();
+}
+
+#[test]
+fn tcp_malformed_frame_gets_a_typed_error_reply() {
+    use std::io::{Read, Write};
+
+    let server = Server::bind(Service::new(ServeConfig::default()), "127.0.0.1:0").expect("bind");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    // A frame whose payload is a bogus request tag.
+    stream.write_all(&1u32.to_le_bytes()).unwrap();
+    stream.write_all(&[250u8]).unwrap();
+    stream.flush().unwrap();
+    let mut reader = refstate_wire::FrameReader::new(&mut stream, refstate_wire::DEFAULT_MAX_FRAME);
+    let reply: Response = reader
+        .read_message()
+        .expect("server replies before closing")
+        .expect("one error frame");
+    match reply {
+        Response::Error { message } => assert!(message.contains("bad request frame")),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    // The server closed the connection after the error.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn oversized_tcp_frame_is_refused_not_buffered() {
+    use std::io::Write;
+
+    let server = Server::bind(Service::new(ServeConfig::default()), "127.0.0.1:0").expect("bind");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    // Declare a frame far past the cap; the server must refuse without
+    // allocating or waiting for the (never-sent) payload.
+    let declared = (refstate_wire::DEFAULT_MAX_FRAME as u32) + 1;
+    stream.write_all(&declared.to_le_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = refstate_wire::FrameReader::new(&mut stream, refstate_wire::DEFAULT_MAX_FRAME);
+    let reply: Response = reader
+        .read_message()
+        .expect("server replies before closing")
+        .expect("one error frame");
+    assert!(matches!(reply, Response::Error { .. }));
+    server.stop();
+    server.join();
+}

@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod frame;
 mod reader;
 mod traits;
 mod writer;
 
 pub use error::WireError;
+pub use frame::{write_frame, write_message, FrameError, FrameReader, DEFAULT_MAX_FRAME};
 pub use reader::Reader;
 pub use traits::{Decode, Encode};
 pub use writer::Writer;

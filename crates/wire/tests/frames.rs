@@ -1,0 +1,158 @@
+//! Frame-layer property tests and a malformed-frame corpus.
+//!
+//! The service reads frames from untrusted peers; every way a stream can
+//! lie — oversized declarations, truncation at any byte, garbage payloads
+//! — must surface as a typed error, never a panic or a silent EOF.
+
+use proptest::prelude::*;
+use refstate_wire::frame::{
+    write_frame, write_message, FrameError, FrameReader, DEFAULT_MAX_FRAME,
+};
+
+proptest! {
+    #[test]
+    fn frames_round_trip(payloads in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..200), 0..20)) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p, DEFAULT_MAX_FRAME).unwrap();
+        }
+        let mut reader = FrameReader::new(&stream[..], DEFAULT_MAX_FRAME);
+        for p in &payloads {
+            let got = reader.read_frame().unwrap();
+            prop_assert_eq!(got.as_deref(), Some(&p[..]));
+        }
+        prop_assert!(reader.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn messages_round_trip(values in proptest::collection::vec(
+        proptest::collection::vec(".{0,12}", 0..8), 0..10)) {
+        let mut stream = Vec::new();
+        for v in &values {
+            write_message(&mut stream, v, DEFAULT_MAX_FRAME).unwrap();
+        }
+        let mut reader = FrameReader::new(&stream[..], DEFAULT_MAX_FRAME);
+        for v in &values {
+            let got: Vec<String> = reader.read_message().unwrap().unwrap();
+            prop_assert_eq!(&got, v);
+        }
+        prop_assert!(reader.read_message::<Vec<String>>().unwrap().is_none());
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected(payload in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload, DEFAULT_MAX_FRAME).unwrap();
+        // Cut 1..len-1 leaves a partial frame; cut 0 is a clean EOF.
+        for cut in 1..stream.len() {
+            let mut reader = FrameReader::new(&stream[..cut], DEFAULT_MAX_FRAME);
+            let r = reader.read_frame();
+            prop_assert!(
+                matches!(r, Err(FrameError::Truncated { .. })),
+                "cut at {cut} was not Truncated: {r:?}"
+            );
+        }
+        let mut reader = FrameReader::new(&stream[..0], DEFAULT_MAX_FRAME);
+        prop_assert!(reader.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut reader = FrameReader::new(&bytes[..], 128);
+        // Drain until EOF or the first error; no input may panic.
+        while let Ok(Some(_)) = reader.read_frame() {}
+    }
+
+    #[test]
+    fn declarations_above_cap_are_rejected(excess in 1usize..4096, cap in 0usize..1024) {
+        let declared = (cap + excess).min(u32::MAX as usize) as u32;
+        let mut stream = declared.to_le_bytes().to_vec();
+        // Supply plenty of payload bytes — the cap must trip regardless.
+        stream.extend(std::iter::repeat_n(0u8, 64));
+        let mut reader = FrameReader::new(&stream[..], cap);
+        let r = reader.read_frame();
+        prop_assert!(matches!(r, Err(FrameError::Oversized { .. })), "got {r:?}");
+    }
+}
+
+/// Hand-built malformed streams: each entry is (name, bytes, cap) and must
+/// produce the named error class on the first read.
+#[test]
+fn malformed_frame_corpus() {
+    let corpus: Vec<(&str, Vec<u8>, usize)> = vec![
+        ("one header byte", vec![5], 64),
+        ("two header bytes", vec![5, 0], 64),
+        ("three header bytes", vec![5, 0, 0], 64),
+        ("header only, payload missing", vec![5, 0, 0, 0], 64),
+        ("payload one byte short", vec![3, 0, 0, 0, b'a', b'b'], 64),
+        ("max u32 declaration", vec![0xff, 0xff, 0xff, 0xff], 64),
+        ("declaration just over cap", vec![65, 0, 0, 0], 64),
+    ];
+    for (name, bytes, cap) in corpus {
+        let mut reader = FrameReader::new(&bytes[..], cap);
+        let r = reader.read_frame();
+        match name {
+            "max u32 declaration" | "declaration just over cap" => {
+                assert!(
+                    matches!(r, Err(FrameError::Oversized { .. })),
+                    "{name}: got {r:?}"
+                );
+            }
+            _ => {
+                assert!(
+                    matches!(r, Err(FrameError::Truncated { .. })),
+                    "{name}: got {r:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_length_frames_are_valid() {
+    let mut stream = Vec::new();
+    for _ in 0..3 {
+        write_frame(&mut stream, b"", DEFAULT_MAX_FRAME).unwrap();
+    }
+    assert_eq!(stream.len(), 12, "three bare headers");
+    let mut reader = FrameReader::new(&stream[..], DEFAULT_MAX_FRAME);
+    for _ in 0..3 {
+        assert_eq!(reader.read_frame().unwrap().unwrap(), Vec::<u8>::new());
+    }
+    assert!(reader.read_frame().unwrap().is_none());
+}
+
+#[test]
+fn cap_is_exact() {
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &[7u8; 16], 16).unwrap();
+    let mut reader = FrameReader::new(&stream[..], 16);
+    assert_eq!(reader.read_frame().unwrap().unwrap().len(), 16);
+    // One byte over the cap must fail on write and on read.
+    assert!(matches!(
+        write_frame(&mut Vec::new(), &[7u8; 17], 16),
+        Err(FrameError::Oversized {
+            declared: 17,
+            max: 16
+        })
+    ));
+    let hostile = 17u32.to_le_bytes().to_vec();
+    let mut reader = FrameReader::new(&hostile[..], 16);
+    assert!(matches!(
+        reader.read_frame(),
+        Err(FrameError::Oversized {
+            declared: 17,
+            max: 16
+        })
+    ));
+}
+
+#[test]
+fn frame_payload_decode_failure_is_typed() {
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &[0xba, 0xad], DEFAULT_MAX_FRAME).unwrap();
+    let mut reader = FrameReader::new(&stream[..], DEFAULT_MAX_FRAME);
+    let r = reader.read_message::<Vec<String>>();
+    assert!(matches!(r, Err(FrameError::Wire(_))), "got {r:?}");
+}
