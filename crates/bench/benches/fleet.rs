@@ -7,9 +7,11 @@
 //! Besides the criterion groups, the bench emits a machine-readable
 //! `BENCH_fleet.json` (journeys/sec plus p50/p99 latency and the
 //! telemetry per-stage breakdown per mechanism, for the mixed,
-//! replicated, chained, and encapsulated presets, plus the measured
-//! off-vs-full telemetry overhead) so future PRs have a perf trajectory
-//! to diff against. Set `BENCH_FLEET_OUT` to change the output path.
+//! replicated, chained, encapsulated, cooperating, and adaptive presets
+//! — the adaptive block also carries the campaign `adaptation` grades —
+//! plus the measured off-vs-full telemetry overhead) so future PRs have
+//! a perf trajectory to diff against. Set `BENCH_FLEET_OUT` to change
+//! the output path.
 
 use std::sync::Arc;
 
@@ -43,11 +45,11 @@ fn bench_per_mechanism(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(SCENARIOS));
     for mechanism in registry.iter() {
-        // Every mechanism benches on a preset its topology can run.
-        let preset = if mechanism.profile().compatible_with_stages(false) {
-            Preset::Mixed
-        } else {
-            Preset::Replicated
+        // Every mechanism benches on the preset its topology is made for.
+        let preset = match mechanism.profile().topology {
+            refstate_fleet::RouteTopology::Linear => Preset::Mixed,
+            refstate_fleet::RouteTopology::ReplicatedStages => Preset::Replicated,
+            refstate_fleet::RouteTopology::DisjointSets => Preset::Cooperating,
         };
         let config = bench_config(vec![mechanism.clone()], preset, 4);
         group.bench_with_input(
@@ -136,9 +138,24 @@ fn emit_bench_json() {
     let (replicated, _) = run_block(Preset::Replicated);
     let (chained, _) = run_block(Preset::Chained);
     let (encapsulated, _) = run_block(Preset::Encapsulated);
+    let (cooperating, _) = run_block(Preset::Cooperating);
+    let (adaptive_timing, adaptive_run) = run_block(Preset::Adaptive);
     telemetry::set_level(telemetry::TelemetryLevel::Off);
+    // The adaptive block carries the campaign grades next to its timing:
+    // detection latency and detection-under-adaptation become part of
+    // the perf trajectory.
+    let adaptation = adaptive_run
+        .report
+        .adaptation
+        .as_ref()
+        .expect("adaptive fleets always grade campaigns")
+        .to_json();
+    let adaptive = format!(
+        "{},\"adaptation\":{adaptation}}}",
+        &adaptive_timing[..adaptive_timing.len() - 1]
+    );
     let json = format!(
-        "{{\"bench\":\"fleet\",\"scenarios\":256,\"seed\":42,{overhead},{mixed},{replicated},{chained},{encapsulated}}}"
+        "{{\"bench\":\"fleet\",\"scenarios\":256,\"seed\":42,{overhead},{mixed},{replicated},{chained},{encapsulated},{cooperating},{adaptive}}}"
     );
 
     // Default next to the workspace root (cargo bench runs with the

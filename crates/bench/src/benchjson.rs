@@ -370,7 +370,8 @@ fn check_stage_breakdown(block: &Json, block_name: &str, telemetry: &str) -> Res
 
 /// Validates the `BENCH_fleet.json` schema: `bench == "fleet"`, positive
 /// `scenarios`/`seed`, and for each of the `mixed`, `replicated`,
-/// `chained`, and `encapsulated` blocks a positive `journeys_per_sec`,
+/// `chained`, `encapsulated`, `cooperating`, and `adaptive` blocks a
+/// positive `journeys_per_sec`,
 /// the verification-pipeline fields (`check_workers`, a `replay` block
 /// with hit/miss/replay/eviction/occupancy counts and a `hit_rate` in
 /// `[0, 1]`), a `telemetry` level, a `stage_breakdown` block (whose
@@ -379,7 +380,11 @@ fn check_stage_breakdown(block: &Json, block_name: &str, telemetry: &str) -> Res
 /// whose entries carry `p50_us`/`p90_us`/`p99_us`/`max_us`. The
 /// chained-family blocks must additionally carry latency rows for the
 /// `chained` and `encapsulated` mechanisms — the rows this artifact
-/// exists to track. Finally the `telemetry_overhead` block must show
+/// exists to track. The `adaptive` block must additionally carry an
+/// `adaptation` object (campaign grades: `journeys_per_campaign`,
+/// `campaigns`, and a non-empty per-mechanism list whose cells hold the
+/// campaign counters and a `detection_under_adaptation` rate in `[0, 1]`
+/// or `null`). Finally the `telemetry_overhead` block must show
 /// `--telemetry full` costing at most 5% journeys/s versus `off`.
 pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
     if doc.get("bench").and_then(Json::as_str) != Some("fleet") {
@@ -399,7 +404,14 @@ pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
              5% journeys/s, got {overhead_pct}"
         )));
     }
-    for block_name in ["mixed", "replicated", "chained", "encapsulated"] {
+    for block_name in [
+        "mixed",
+        "replicated",
+        "chained",
+        "encapsulated",
+        "cooperating",
+        "adaptive",
+    ] {
         let block = doc
             .get(block_name)
             .ok_or_else(|| JsonError(format!("{block_name}: missing block")))?;
@@ -470,6 +482,74 @@ pub fn check_fleet_schema(doc: &Json) -> Result<(), JsonError> {
                         "{block_name}.latency_percentiles: missing the {mechanism} row"
                     )));
                 }
+            }
+        }
+        if block_name == "adaptive" {
+            check_adaptation(block)?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates the `adaptive` block's campaign grades — the
+/// detection-under-adaptation trajectory this PR's battery exists to
+/// track.
+fn check_adaptation(block: &Json) -> Result<(), JsonError> {
+    let adaptation = block
+        .get("adaptation")
+        .ok_or_else(|| JsonError("adaptive.adaptation: missing block".into()))?;
+    require_positive(adaptation, "adaptive.adaptation", "journeys_per_campaign")?;
+    require_positive(adaptation, "adaptive.adaptation", "campaigns")?;
+    let mechanisms = adaptation
+        .get("mechanisms")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| {
+            JsonError("adaptive.adaptation.mechanisms: missing or not an array".into())
+        })?;
+    if mechanisms.is_empty() {
+        return Err(JsonError(
+            "adaptive.adaptation.mechanisms: must not be empty".into(),
+        ));
+    }
+    for entry in mechanisms {
+        let name = entry
+            .get("mechanism")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                JsonError("adaptive.adaptation.mechanisms[]: missing mechanism name".into())
+            })?;
+        let total = entry
+            .get("total")
+            .ok_or_else(|| JsonError(format!("adaptive.adaptation.{name}: missing total cell")))?;
+        let path = format!("adaptive.adaptation.{name}.total");
+        for key in [
+            "campaigns",
+            "journeys",
+            "attacked",
+            "detected",
+            "early_detections",
+            "false_accusations",
+            "latency_sum",
+        ] {
+            require_non_negative(total, &path, key)?;
+        }
+        // The rates are `null` for undefined measurements (nothing
+        // attacked / nothing detected), otherwise bounded.
+        if let Some(rate) = total
+            .get("detection_under_adaptation")
+            .and_then(Json::as_num)
+        {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(JsonError(format!(
+                    "{path}.detection_under_adaptation: must be within [0, 1], got {rate}"
+                )));
+            }
+        }
+        if let Some(rate) = total.get("false_accusation_rate").and_then(Json::as_num) {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(JsonError(format!(
+                    "{path}.false_accusation_rate: must be within [0, 1], got {rate}"
+                )));
             }
         }
     }
@@ -816,14 +896,40 @@ mod tests {
         fleet_block_with(hit_rate, PROTOCOL_ROW)
     }
 
+    /// A valid `adaptation` object, as the adaptive block carries it.
+    const ADAPTATION: &str = r#"{"journeys_per_campaign":8,"campaigns":15,
+        "mechanisms":[{"mechanism":"framework","total":{"campaigns":15,
+            "journeys":120,"attacked":15,"detected":15,"early_detections":0,
+            "false_accusations":0,"latency_sum":2,
+            "detection_under_adaptation":1.000000,
+            "mean_detection_latency_journeys":0.133333,
+            "false_accusation_rate":0.000000},"per_policy":{}}]}"#;
+
+    /// Splices campaign grades into a fleet block, the way the bench
+    /// harness builds the adaptive block.
+    fn adaptive_block(base: &str, adaptation: &str) -> String {
+        let trimmed = base.trim_end().strip_suffix('}').expect("block object");
+        format!("{trimmed},\"adaptation\":{adaptation}}}")
+    }
+
     fn fleet_doc(classic: &str, chained_family: &str) -> String {
+        fleet_doc_with_adaptive(
+            classic,
+            chained_family,
+            &adaptive_block(classic, ADAPTATION),
+        )
+    }
+
+    fn fleet_doc_with_adaptive(classic: &str, chained_family: &str, adaptive: &str) -> String {
         format!(
             r#"{{"bench":"fleet","scenarios":256,"seed":42,
                 "telemetry_overhead":{{"off_journeys_per_sec":100.0,
                     "full_journeys_per_sec":98.0,"overhead_pct":2.0}},
                 "mixed":{classic},
                 "replicated":{classic},"chained":{chained_family},
-                "encapsulated":{chained_family}}}"#
+                "encapsulated":{chained_family},
+                "cooperating":{classic},
+                "adaptive":{adaptive}}}"#
         )
     }
 
@@ -854,6 +960,34 @@ mod tests {
         let doc = fleet_doc(&fleet_block("0.667"), &fleet_block("0.5"));
         let err = check_fleet_schema(&parse(&doc).unwrap()).unwrap_err();
         assert!(err.to_string().contains("missing the chained row"), "{err}");
+    }
+
+    #[test]
+    fn fleet_schema_requires_the_adaptation_grades() {
+        let classic = fleet_block("0.667");
+        let chained = fleet_block_with("0.5", CHAINED_ROWS);
+
+        // An adaptive block without campaign grades is a violation: the
+        // detection-under-adaptation trajectory is the block's point.
+        let doc = fleet_doc_with_adaptive(&classic, &chained, &classic);
+        let err = check_fleet_schema(&parse(&doc).unwrap()).unwrap_err();
+        assert!(
+            err.to_string().contains("adaptation: missing block"),
+            "{err}"
+        );
+
+        // So is an out-of-range detection-under-adaptation rate...
+        let bogus = ADAPTATION.replace(
+            r#""detection_under_adaptation":1.000000"#,
+            r#""detection_under_adaptation":1.5"#,
+        );
+        let doc = fleet_doc_with_adaptive(&classic, &chained, &adaptive_block(&classic, &bogus));
+        assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
+
+        // ...and an empty mechanism list (nothing graded).
+        let empty = r#"{"journeys_per_campaign":8,"campaigns":15,"mechanisms":[]}"#;
+        let doc = fleet_doc_with_adaptive(&classic, &chained, &adaptive_block(&classic, empty));
+        assert!(check_fleet_schema(&parse(&doc).unwrap()).is_err());
     }
 
     #[test]

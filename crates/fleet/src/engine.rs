@@ -41,9 +41,10 @@ use refstate_mechanisms::api::{
     run_instrumented, JourneyCtx, JourneyVerdict, MechanismConfig, MechanismRegistry,
     ProtectionMechanism,
 };
-use refstate_platform::{EventLog, Host};
+use refstate_platform::{Event, EventLog, Host};
 use refstate_telemetry as telemetry;
 
+use crate::campaign::CampaignMeta;
 use crate::report::{FleetReport, FleetTiming, LatencyPercentiles, StageBreakdown};
 use crate::scenario::{self, GeneratedScenario, Preset};
 
@@ -164,6 +165,10 @@ pub struct ScenarioResult {
     /// order (topology-incompatible mechanisms are absent — they surface
     /// as `n/a` in the report).
     pub runs: Vec<MechanismRun>,
+    /// Campaign membership when the scenario was drawn from an adaptive
+    /// campaign (see [`crate::campaign`]); feeds the report's
+    /// [`AdaptationReport`](crate::report::AdaptationReport).
+    pub campaign: Option<CampaignMeta>,
 }
 
 /// A completed fleet run.
@@ -219,9 +224,21 @@ fn run_scenario(
 ) -> ScenarioResult {
     let scenario = scenario::generate(config.seed, id, config.preset);
     let has_stages = scenario.stages.is_some();
+    // Off-route hosts (replicas or witness spares) make the disjoint-set
+    // topology drivable.
+    let has_spares = scenario
+        .specs
+        .iter()
+        .any(|spec| !scenario.route.contains(&spec.id));
+    // Campaign steps run under one span so traces group each journey by
+    // its engagement.
+    let _campaign_span = scenario
+        .campaign
+        .as_ref()
+        .map(|_| telemetry::span("fleet.campaign.step", "fleet"));
     let mut runs = Vec::with_capacity(config.mechanisms.len());
     for mechanism in &config.mechanisms {
-        if !mechanism.profile().compatible_with_stages(has_stages) {
+        if !mechanism.profile().compatible_with(has_stages, has_spares) {
             continue;
         }
         let mut hosts: Vec<Host> = scenario
@@ -240,6 +257,9 @@ fn run_scenario(
             .collect();
         let directory = host_directory(&hosts);
         let log = EventLog::new();
+        if let Some(gone) = &scenario.churned {
+            log.record(Event::HostChurned { host: gone.clone() });
+        }
         let start = Instant::now();
         // The ctx's own RNG stream: scenario-derived, scheduling-free.
         let ctx_seed = scenario::scenario_seed(config.seed, id ^ (1u64 << 63));
@@ -266,6 +286,7 @@ fn run_scenario(
         attack_label: scenario.attack_label,
         route_len: scenario.route_len(),
         runs,
+        campaign: scenario.campaign,
     }
 }
 

@@ -11,7 +11,14 @@
 //!   [`Preset`]s (`all-honest`, `single-tamperer`, `colluding-pair`,
 //!   `input-forgery`, `long-route`, `replicated`, `mixed`) — the
 //!   `replicated` family generates staged replica topologies so the
-//!   topology-changing `replication` mechanism is fleet-drivable,
+//!   topology-changing `replication` mechanism is fleet-drivable, and
+//!   the `cooperating` family adds off-route witness hosts for the
+//!   disjoint-set mechanism,
+//! * [`campaign`] — adaptive adversary campaigns: stateful attackers
+//!   (probe-then-cheat, coordinated collusion, environmental stress)
+//!   persisting across the journeys of the `adaptive` preset, graded by
+//!   the report's [`AdaptationReport`] (detection latency in journeys,
+//!   detection-under-adaptation rate, false-accusation rate),
 //! * [`engine`] — a crossbeam-channel worker pool (the
 //!   `ThreadedNetwork` idiom) driving thousands of protected journeys
 //!   concurrently, with per-scenario RNG streams, a pooled DSA key
@@ -64,18 +71,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod engine;
 pub mod json;
 pub mod report;
 pub mod scenario;
 
+pub use campaign::{generate_adaptive, CampaignMeta, JOURNEYS_PER_CAMPAIGN};
 pub use engine::{run_fleet, FleetConfig, FleetRun, MechanismRun, ScenarioResult};
 pub use refstate_mechanisms::api::{
     JourneyCtx, JourneyVerdict, MechanismConfig, MechanismProfile, MechanismRegistry,
     ProtectionMechanism, RouteTopology, UnknownMechanism,
 };
 pub use report::{
-    CellStats, FleetReport, FleetTiming, LatencyPercentiles, MechanismReport, StageBreakdown,
-    StageStats,
+    AdaptationCell, AdaptationReport, CellStats, FleetReport, FleetTiming, LatencyPercentiles,
+    MechanismAdaptation, MechanismReport, StageBreakdown, StageStats,
 };
 pub use scenario::{generate, GeneratedScenario, Preset};

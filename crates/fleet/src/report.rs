@@ -123,6 +123,204 @@ impl MechanismReport {
     }
 }
 
+/// Per-campaign counters for one (mechanism, policy) cell of an adaptive
+/// fleet. All integer counts — the rates derive, so the cell is part of
+/// the byte-deterministic surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptationCell {
+    /// Campaigns this mechanism ran at least one journey of.
+    pub campaigns: u64,
+    /// Journeys aggregated across those campaigns.
+    pub journeys: u64,
+    /// Campaigns that mounted at least one real attack within the
+    /// observed steps (probes, lie-low journeys, and churn don't count).
+    pub attacked: u64,
+    /// Attacked campaigns the mechanism flagged at or after the first
+    /// real attack.
+    pub detected: u64,
+    /// Detections *before* the campaign's first real attack — a flag
+    /// raised while the adversary was still probing or lying low.
+    pub early_detections: u64,
+    /// Journeys where somebody other than the actual attacker was
+    /// accused.
+    pub false_accusations: u64,
+    /// Sum over detected campaigns of `first detected step − first
+    /// attack step` (detection latency in journeys).
+    pub latency_sum: u64,
+}
+
+impl AdaptationCell {
+    /// Among attacked campaigns, the fraction the mechanism caught.
+    pub fn detection_under_adaptation(&self) -> f64 {
+        ratio(self.detected, self.attacked)
+    }
+
+    /// Mean detection latency in journeys (first detection step minus
+    /// first attack step), over detected campaigns.
+    pub fn mean_detection_latency(&self) -> f64 {
+        ratio(self.latency_sum, self.detected)
+    }
+
+    /// False-accusation fraction of this cell's journeys.
+    pub fn false_accusation_rate(&self) -> f64 {
+        ratio(self.false_accusations, self.journeys)
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.field_u64("campaigns", self.campaigns);
+        w.field_u64("journeys", self.journeys);
+        w.field_u64("attacked", self.attacked);
+        w.field_u64("detected", self.detected);
+        w.field_u64("early_detections", self.early_detections);
+        w.field_u64("false_accusations", self.false_accusations);
+        w.field_u64("latency_sum", self.latency_sum);
+        // Zero-denominator rates are undefined measurements, not zeros.
+        w.field_rate_or_null("detection_under_adaptation", self.detected, self.attacked);
+        w.field_rate_or_null(
+            "mean_detection_latency_journeys",
+            self.latency_sum,
+            self.detected,
+        );
+        w.field_rate_or_null(
+            "false_accusation_rate",
+            self.false_accusations,
+            self.journeys,
+        );
+    }
+}
+
+/// One mechanism's adaptation grades, total and per attacker policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MechanismAdaptation {
+    /// The mechanism's registry name.
+    pub name: &'static str,
+    /// Totals over every campaign the mechanism ran.
+    pub total: AdaptationCell,
+    /// Per-policy breakdown, keyed by the campaign policy label.
+    pub per_policy: BTreeMap<&'static str, AdaptationCell>,
+}
+
+/// The per-campaign grading of an adaptive fleet: detection latency (in
+/// journeys), detection-under-adaptation rate, and false-accusation rate
+/// per mechanism × attacker policy. Present on [`FleetReport`] only when
+/// the fleet contained campaign scenarios ([`Preset::Adaptive`]
+/// populations — see [`crate::campaign`]).
+///
+/// [`Preset::Adaptive`]: crate::scenario::Preset::Adaptive
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptationReport {
+    /// Steps per campaign (see [`crate::campaign::JOURNEYS_PER_CAMPAIGN`]).
+    pub journeys_per_campaign: u64,
+    /// Distinct campaigns observed in the fleet.
+    pub campaigns: u64,
+    /// Per-mechanism grades, in configuration order; mechanisms that ran
+    /// no campaign journeys (topology-incompatible) have no entry.
+    pub mechanisms: Vec<MechanismAdaptation>,
+}
+
+/// Per-(mechanism, campaign) fold state while walking the id-ordered
+/// scenario results.
+struct CampaignTrack {
+    policy: &'static str,
+    first_attack: Option<u64>,
+    max_step: u64,
+    journeys: u64,
+    first_detection: Option<u64>,
+    early_detections: u64,
+    false_accusations: u64,
+}
+
+impl CampaignTrack {
+    fn absorb_into(&self, cell: &mut AdaptationCell) {
+        cell.campaigns += 1;
+        cell.journeys += self.journeys;
+        cell.early_detections += self.early_detections;
+        cell.false_accusations += self.false_accusations;
+        if let Some(first) = self.first_attack {
+            // A campaign truncated before its first attack step never
+            // attacked anyone.
+            if first <= self.max_step {
+                cell.attacked += 1;
+                if let Some(detected_at) = self.first_detection {
+                    cell.detected += 1;
+                    cell.latency_sum += detected_at - first;
+                }
+            }
+        }
+    }
+}
+
+/// Folds campaign-tagged results into the adaptation grades. `None` when
+/// the fleet contained no campaign scenarios.
+fn adaptation_from_results(
+    mechanisms: &[&'static str],
+    results: &[ScenarioResult],
+) -> Option<AdaptationReport> {
+    let mut tracks: BTreeMap<(&'static str, u64), CampaignTrack> = BTreeMap::new();
+    let mut campaigns: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for result in results {
+        let Some(meta) = &result.campaign else {
+            continue;
+        };
+        campaigns.insert(meta.campaign);
+        for run in &result.runs {
+            let track = tracks
+                .entry((run.mechanism, meta.campaign))
+                .or_insert(CampaignTrack {
+                    policy: meta.policy,
+                    first_attack: meta.first_attack_step,
+                    max_step: 0,
+                    journeys: 0,
+                    first_detection: None,
+                    early_detections: 0,
+                    false_accusations: 0,
+                });
+            track.max_step = track.max_step.max(meta.step);
+            track.journeys += 1;
+            track.false_accusations += run.false_accusation as u64;
+            if run.detected {
+                match meta.first_attack_step {
+                    Some(first) if meta.step >= first => {
+                        track.first_detection = Some(
+                            track
+                                .first_detection
+                                .map_or(meta.step, |d| d.min(meta.step)),
+                        );
+                    }
+                    _ => track.early_detections += 1,
+                }
+            }
+        }
+    }
+    if tracks.is_empty() {
+        return None;
+    }
+    let mechanisms = mechanisms
+        .iter()
+        .filter_map(|&name| {
+            let mut total = AdaptationCell::default();
+            let mut per_policy: BTreeMap<&'static str, AdaptationCell> = BTreeMap::new();
+            for ((mechanism, _), track) in &tracks {
+                if *mechanism != name {
+                    continue;
+                }
+                track.absorb_into(&mut total);
+                track.absorb_into(per_policy.entry(track.policy).or_default());
+            }
+            (total.campaigns > 0).then_some(MechanismAdaptation {
+                name,
+                total,
+                per_policy,
+            })
+        })
+        .collect();
+    Some(AdaptationReport {
+        journeys_per_campaign: crate::campaign::JOURNEYS_PER_CAMPAIGN,
+        campaigns: campaigns.len() as u64,
+        mechanisms,
+    })
+}
+
 /// The deterministic fleet result: counts and rates only.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetReport {
@@ -134,6 +332,9 @@ pub struct FleetReport {
     pub scenarios: u64,
     /// Aggregates per mechanism, in configuration order.
     pub mechanisms: Vec<MechanismReport>,
+    /// Per-campaign adaptation grades; `Some` only when the fleet ran
+    /// adaptive campaigns.
+    pub adaptation: Option<AdaptationReport>,
 }
 
 impl FleetReport {
@@ -181,6 +382,7 @@ impl FleetReport {
                 .iter()
                 .map(|&name| per_mechanism.remove(name).expect("built above"))
                 .collect(),
+            adaptation: adaptation_from_results(mechanisms, results),
         }
     }
 
@@ -234,6 +436,48 @@ impl FleetReport {
                 );
             }
         }
+        if let Some(adaptation) = &self.adaptation {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "adaptation: {} campaigns × {} journeys",
+                adaptation.campaigns, adaptation.journeys_per_campaign
+            );
+            let _ = writeln!(
+                out,
+                "{:<32} {:>9} {:>8} {:>8} {:>9} {:>8} {:>5} {:>9}",
+                "mechanism / policy",
+                "campaigns",
+                "attacked",
+                "detected",
+                "det.adapt",
+                "latency",
+                "early",
+                "false-acc"
+            );
+            for m in &adaptation.mechanisms {
+                let mut rows: Vec<(String, &AdaptationCell)> = m
+                    .per_policy
+                    .iter()
+                    .map(|(policy, cell)| (format!("  {policy}"), cell))
+                    .collect();
+                rows.insert(0, (m.name.to_owned(), &m.total));
+                for (label, cell) in rows {
+                    let _ = writeln!(
+                        out,
+                        "{:<32} {:>9} {:>8} {:>8} {:>9} {:>8} {:>5} {:>9}",
+                        label,
+                        cell.campaigns,
+                        cell.attacked,
+                        cell.detected,
+                        fmt_rate(cell.detected, cell.attacked),
+                        fmt_rate(cell.latency_sum, cell.detected),
+                        cell.early_detections,
+                        cell.false_accusations,
+                    );
+                }
+            }
+        }
         out
     }
 
@@ -267,7 +511,53 @@ impl FleetReport {
             w.end_object();
         }
         w.end_array();
+        // The key exists only when the fleet ran campaigns, so
+        // non-adaptive reports keep their historical bytes.
+        if let Some(adaptation) = &self.adaptation {
+            w.key("adaptation");
+            adaptation.write_json(&mut w);
+        }
         w.end_object();
+        w.finish()
+    }
+}
+
+impl AdaptationReport {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("journeys_per_campaign", self.journeys_per_campaign);
+        w.field_u64("campaigns", self.campaigns);
+        w.key("mechanisms");
+        w.begin_array();
+        for m in &self.mechanisms {
+            w.begin_object();
+            w.field_str("mechanism", m.name);
+            w.key("total");
+            w.begin_object();
+            m.total.write_json(w);
+            w.end_object();
+            w.key("per_policy");
+            w.begin_object();
+            for (policy, cell) in &m.per_policy {
+                w.key(policy);
+                w.begin_object();
+                cell.write_json(w);
+                w.end_object();
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// Canonical JSON for the adaptation grades as a standalone object —
+    /// the same bytes the `"adaptation"` key carries inside
+    /// [`FleetReport::to_json`]. The bench harness embeds this in
+    /// `BENCH_fleet.json`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
         w.finish()
     }
 }
@@ -543,6 +833,90 @@ mod tests {
         assert_eq!(cell.attribution_accuracy(), 0.0);
         assert_eq!(fmt_rate(0, 0), "n/a");
         assert_eq!(fmt_rate(1, 2), "0.500");
+    }
+
+    #[test]
+    fn adaptation_grades_latency_and_early_detection() {
+        use crate::campaign::CampaignMeta;
+        let meta = |campaign: u64, step: u64, first: Option<u64>| CampaignMeta {
+            campaign,
+            step,
+            policy: "probe-then-cheat",
+            first_attack_step: first,
+            real_attack: first.is_some_and(|f| step >= f),
+        };
+        let run = |detected: bool, false_acc: bool| MechanismRun {
+            mechanism: "protocol",
+            detected,
+            false_accusation: false_acc,
+            correct_culprit: None,
+            completed: true,
+            infra_error: false,
+            latency: Duration::ZERO,
+        };
+        let scenario = |id, runs, campaign| ScenarioResult {
+            id,
+            kind: "adaptive",
+            attack_label: "tamper-variable",
+            route_len: 4,
+            runs,
+            campaign: Some(campaign),
+        };
+        let mut results = Vec::new();
+        // Campaign 0: first attack at step 2, detected at step 4 →
+        // latency 2 journeys.
+        for step in 0..6u64 {
+            results.push(scenario(
+                step,
+                vec![run(step == 4, false)],
+                meta(0, step, Some(2)),
+            ));
+        }
+        // Campaign 1: never attacks; its step-0 detection is an early
+        // flag and a false accusation, never a latency sample.
+        for step in 0..6u64 {
+            results.push(scenario(
+                8 + step,
+                vec![run(step == 0, step == 0)],
+                meta(1, step, None),
+            ));
+        }
+        // Campaign 2: truncated before its first attack step — not an
+        // attacked campaign.
+        for step in 0..3u64 {
+            results.push(scenario(
+                16 + step,
+                vec![run(false, false)],
+                meta(2, step, Some(5)),
+            ));
+        }
+        let report = FleetReport::from_results(1, "adaptive", &["protocol"], &results);
+        let adaptation = report.adaptation.as_ref().expect("campaigns present");
+        assert_eq!(adaptation.campaigns, 3);
+        let m = &adaptation.mechanisms[0];
+        assert_eq!(m.total.campaigns, 3);
+        assert_eq!(m.total.attacked, 1);
+        assert_eq!(m.total.detected, 1);
+        assert_eq!(m.total.latency_sum, 2);
+        assert_eq!(m.total.early_detections, 1);
+        assert_eq!(m.total.false_accusations, 1);
+        assert_eq!(m.total.detection_under_adaptation(), 1.0);
+        assert_eq!(m.total.mean_detection_latency(), 2.0);
+        assert_eq!(m.per_policy["probe-then-cheat"], m.total);
+        let json = report.to_json();
+        assert!(json.contains("\"adaptation\":{\"journeys_per_campaign\":8"));
+        assert!(json.contains("\"mean_detection_latency_journeys\":2.000000"));
+        let table = report.render_table();
+        assert!(table.contains("adaptation: 3 campaigns"));
+        assert!(table.contains("probe-then-cheat"));
+    }
+
+    #[test]
+    fn non_adaptive_fleets_emit_no_adaptation_key() {
+        let report = FleetReport::from_results(1, "mixed", &["protocol"], &[]);
+        assert!(report.adaptation.is_none());
+        assert!(!report.to_json().contains("adaptation"));
+        assert!(!report.render_table().contains("adaptation"));
     }
 
     #[test]

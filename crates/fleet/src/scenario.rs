@@ -51,6 +51,20 @@ pub enum Preset {
     /// chain checks, owner-side signature batches, and late attacker
     /// placements (the final host can only be caught by the owner).
     Encapsulated,
+    /// Disjoint-set topologies for the cooperating-agents mechanism:
+    /// linear routes plus 2–3 off-route witness hosts (`v0 …`). The
+    /// attack mix includes cross-set collusion — the attacker recruits
+    /// exactly the witness assigned to its hop — so `cooperating`'s
+    /// pinned blind spot shows up as a rate next to the route-collusion
+    /// blind spot of the session protocol.
+    Cooperating,
+    /// Adaptive adversary campaigns (see [`crate::campaign`]): every
+    /// [`crate::campaign::JOURNEYS_PER_CAMPAIGN`] consecutive scenarios
+    /// form one engagement against a fixed topology and a stateful
+    /// attacker (probe-then-cheat, coordinated collusion, or
+    /// environmental stress). Carries witness hosts, so the disjoint-set
+    /// mechanism runs too; graded by the report's `AdaptationReport`.
+    Adaptive,
     /// Uniform draw over the seven *linear* families above — the five
     /// classics plus the two chained families, so one mixed report
     /// scores every linear mechanism on and off its home turf
@@ -62,7 +76,7 @@ pub enum Preset {
 
 impl Preset {
     /// Every preset, including [`Preset::Mixed`].
-    pub const ALL: [Preset; 9] = [
+    pub const ALL: [Preset; 11] = [
         Preset::AllHonest,
         Preset::SingleTamperer,
         Preset::ColludingPair,
@@ -71,6 +85,8 @@ impl Preset {
         Preset::Replicated,
         Preset::Chained,
         Preset::Encapsulated,
+        Preset::Cooperating,
+        Preset::Adaptive,
         Preset::Mixed,
     ];
 
@@ -85,6 +101,8 @@ impl Preset {
             Preset::Replicated => "replicated",
             Preset::Chained => "chained",
             Preset::Encapsulated => "encapsulated",
+            Preset::Cooperating => "cooperating",
+            Preset::Adaptive => "adaptive",
             Preset::Mixed => "mixed",
         }
     }
@@ -124,6 +142,13 @@ pub struct GeneratedScenario {
     pub attacker: Option<(HostId, Attack)>,
     /// The attack-class label for aggregation (`"honest"` when none).
     pub attack_label: &'static str,
+    /// A route host that churned out of the network before the journey
+    /// (its spec is omitted; the itinerary still names it). Only
+    /// [`Preset::Adaptive`] campaigns produce churn.
+    pub churned: Option<HostId>,
+    /// Campaign membership, present only for [`Preset::Adaptive`]
+    /// scenarios (see [`crate::campaign`]).
+    pub campaign: Option<crate::campaign::CampaignMeta>,
 }
 
 impl GeneratedScenario {
@@ -174,7 +199,7 @@ pub fn build_route_agent(id: u64, n: usize) -> AgentImage {
 }
 
 /// Draws one detectable state/control-flow attack.
-fn detectable_attack(rng: &mut StdRng) -> Attack {
+pub(crate) fn detectable_attack(rng: &mut StdRng) -> Attack {
     match rng.gen_range(0u8..5) {
         0 => Attack::TamperVariable {
             name: "total".into(),
@@ -212,7 +237,7 @@ fn chain_attack(rng: &mut StdRng, pos: usize) -> Attack {
 }
 
 /// Draws one attack outside the reference-state bandwidth (§4.2).
-fn undetectable_attack(rng: &mut StdRng) -> Attack {
+pub(crate) fn undetectable_attack(rng: &mut StdRng) -> Attack {
     match rng.gen_range(0u8..4) {
         0 | 1 => Attack::ForgeInput {
             tag: "n".into(),
@@ -230,6 +255,11 @@ fn undetectable_attack(rng: &mut StdRng) -> Attack {
 
 /// Generates scenario `id` of the fleet.
 pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
+    if preset == Preset::Adaptive {
+        // Campaigns seed from the campaign index, not the scenario id —
+        // every step of a campaign shares one plan.
+        return crate::campaign::generate_adaptive(fleet_seed, id);
+    }
     let mut rng = StdRng::seed_from_u64(scenario_seed(fleet_seed, id));
 
     let kind = match preset {
@@ -250,6 +280,9 @@ pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
     }
     if kind == Preset::Chained || kind == Preset::Encapsulated {
         return generate_chained(id, &mut rng, kind);
+    }
+    if kind == Preset::Cooperating {
+        return generate_cooperating(id, &mut rng);
     }
 
     let route_len = match kind {
@@ -293,8 +326,13 @@ pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
                 (Some(pos), Some(attack))
             }
         }
-        Preset::Replicated | Preset::Chained | Preset::Encapsulated | Preset::Mixed => {
-            unreachable!("replicated, chained, and mixed are handled above")
+        Preset::Replicated
+        | Preset::Chained
+        | Preset::Encapsulated
+        | Preset::Cooperating
+        | Preset::Adaptive
+        | Preset::Mixed => {
+            unreachable!("replicated, chained, cooperating, adaptive, and mixed are handled above")
         }
     };
 
@@ -345,6 +383,8 @@ pub fn generate(fleet_seed: u64, id: u64, preset: Preset) -> GeneratedScenario {
         specs,
         attacker,
         attack_label,
+        churned: None,
+        campaign: None,
     }
 }
 
@@ -429,6 +469,87 @@ fn generate_replicated(id: u64, rng: &mut StdRng) -> GeneratedScenario {
         specs,
         attacker,
         attack_label,
+        churned: None,
+        campaign: None,
+    }
+}
+
+/// Generates one [`Preset::Cooperating`] scenario: a linear route of
+/// 4–10 hops plus 2–3 off-route witness hosts (`v0 …`), so mechanisms
+/// whose profile demands disjoint sets are fleet-drivable. The mix is
+/// ≈20% honest, 40% detectable tampering, 20% cross-set collusion (the
+/// attacker recruits exactly the witness its hop is assigned —
+/// `cooperating`'s pinned blind spot; the session protocol still catches
+/// it because the accomplice is not the route successor), and 20%
+/// attacks outside the reference-state bandwidth.
+fn generate_cooperating(id: u64, rng: &mut StdRng) -> GeneratedScenario {
+    let route_len = rng.gen_range(4usize..11);
+    let witnesses = rng.gen_range(2usize..4);
+    let roll = rng.gen_range(0u8..10);
+    let pos = rng.gen_range(1usize..route_len);
+    let (attacker_pos, attack) = match roll {
+        0..=1 => (None, None),
+        2..=5 => (Some(pos), Some(detectable_attack(rng))),
+        6..=7 => (
+            Some(pos),
+            Some(Attack::CollaborateTamper {
+                name: "total".into(),
+                value: Value::Int(-(rng.gen_range(1i64..1_000_000))),
+                // The witness assignment is deterministic (hop index
+                // modulo witness-set size), so the recruiting attacker
+                // knows exactly whom to buy.
+                accomplice: HostId::new(format!("v{}", pos % witnesses)),
+            }),
+        ),
+        _ => (Some(pos), Some(undetectable_attack(rng))),
+    };
+
+    let mut specs = Vec::with_capacity(route_len + witnesses);
+    for pos in 0..route_len {
+        let mut spec = HostSpec::new(format!("h{pos}"));
+        let is_attacker = attacker_pos == Some(pos);
+        if pos == 0 || (!is_attacker && rng.gen_bool(0.3)) {
+            spec = spec.trusted();
+        }
+        let offer = rng.gen_range(1i64..1000);
+        for _ in 0..3 {
+            spec = spec.with_input("n", Value::Int(offer));
+        }
+        spec = spec.with_input("unused", Value::Int(0));
+        if is_attacker {
+            spec = spec.malicious(attack.clone().expect("attacker position implies attack"));
+        }
+        specs.push(spec);
+    }
+    for w in 0..witnesses {
+        specs.push(HostSpec::new(format!("v{w}")));
+    }
+
+    let attacker = attacker_pos.map(|pos| {
+        (
+            HostId::new(format!("h{pos}")),
+            attack.expect("attacker position implies attack"),
+        )
+    });
+    let attack_label = attacker
+        .as_ref()
+        .map(|(_, a)| a.label())
+        .unwrap_or("honest");
+
+    GeneratedScenario {
+        id,
+        kind: Preset::Cooperating,
+        start: HostId::new("h0"),
+        route: (0..route_len)
+            .map(|p| HostId::new(format!("h{p}")))
+            .collect(),
+        stages: None,
+        agent: build_route_agent(id, route_len),
+        specs,
+        attacker,
+        attack_label,
+        churned: None,
+        campaign: None,
     }
 }
 
@@ -523,6 +644,8 @@ fn generate_chained(id: u64, rng: &mut StdRng, kind: Preset) -> GeneratedScenari
         specs,
         attacker,
         attack_label,
+        churned: None,
+        campaign: None,
     }
 }
 
@@ -720,6 +843,35 @@ mod tests {
             assert!(generate(42, id, Preset::Mixed).stages.is_none());
             assert!(generate(42, id, Preset::SingleTamperer).stages.is_none());
         }
+    }
+
+    #[test]
+    fn cooperating_scenarios_carry_witnesses() {
+        let mut cross_set = 0;
+        for id in 0..80 {
+            let s = generate(31, id, Preset::Cooperating);
+            assert_eq!(s.kind, Preset::Cooperating);
+            assert!(s.stages.is_none());
+            let spares: Vec<_> = s
+                .specs
+                .iter()
+                .filter(|sp| !s.route.contains(&sp.id))
+                .collect();
+            assert!((2..=3).contains(&spares.len()), "2–3 witnesses");
+            assert!(spares.iter().all(|sp| sp.id.as_str().starts_with('v')));
+            if let Some((host, Attack::CollaborateTamper { accomplice, .. })) = &s.attacker {
+                if accomplice.as_str().starts_with('v') {
+                    let pos: usize = host.as_str()[1..].parse().unwrap();
+                    assert_eq!(
+                        accomplice.as_str(),
+                        format!("v{}", pos % spares.len()),
+                        "cross-set collusion recruits the assigned witness"
+                    );
+                    cross_set += 1;
+                }
+            }
+        }
+        assert!(cross_set > 5, "cross-set collusion is sampled");
     }
 
     #[test]

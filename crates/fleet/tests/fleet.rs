@@ -141,11 +141,14 @@ fn different_seed_produces_different_fleet() {
 
 #[test]
 fn all_honest_preset_has_zero_accusations() {
+    let registry = MechanismRegistry::builtin();
     let run = run_fleet(&config(Preset::AllHonest, all_builtin(), 4));
     for mechanism in &run.report.mechanisms {
-        if mechanism.name == "replication" {
-            // Topology-incompatible with a linear preset: reported as
-            // n/a, not as 120 clean journeys.
+        let profile = registry.get(mechanism.name).expect("configured").profile();
+        if !profile.compatible_with(false, false) {
+            // Topology-incompatible with a spare-less linear preset
+            // (replicated stages, disjoint sets): reported as n/a, not
+            // as 120 clean journeys.
             assert!(mechanism.not_run());
             continue;
         }

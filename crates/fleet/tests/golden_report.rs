@@ -50,3 +50,18 @@ fn seed42_chained_fleet_report_matches_committed_fixture() {
     // detection/attribution scores are pinned across PRs too.
     check_golden(Preset::Chained, "seed42_chained_report.json");
 }
+
+#[test]
+fn seed42_cooperating_fleet_report_matches_committed_fixture() {
+    // The disjoint-set preset: witness hosts make `cooperating` runnable,
+    // and its cross-set collusion blind spot is pinned as a rate.
+    check_golden(Preset::Cooperating, "seed42_cooperating_report.json");
+}
+
+#[test]
+fn seed42_adaptive_fleet_report_matches_committed_fixture() {
+    // The adaptive campaigns: pins the whole AdaptationReport (detection
+    // latency, detection-under-adaptation, false accusations) byte for
+    // byte across PRs.
+    check_golden(Preset::Adaptive, "seed42_adaptive_report.json");
+}

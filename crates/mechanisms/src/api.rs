@@ -54,6 +54,12 @@ pub enum RouteTopology {
     /// (§3.2's server replication); requires the scenario to provide
     /// [`StageSpec`]s.
     ReplicatedStages,
+    /// One worker agent walks the linear route while a cooperating
+    /// witness agent runs over the *disjoint* set of off-route hosts,
+    /// cross-checking each interim reference state (Roth's cooperating
+    /// agents); requires the scenario to provide at least one host that
+    /// is not on the primary route.
+    DisjointSets,
 }
 
 impl fmt::Display for RouteTopology {
@@ -61,6 +67,7 @@ impl fmt::Display for RouteTopology {
         match self {
             RouteTopology::Linear => f.write_str("linear route"),
             RouteTopology::ReplicatedStages => f.write_str("replicated stages"),
+            RouteTopology::DisjointSets => f.write_str("disjoint cooperating sets"),
         }
     }
 }
@@ -84,14 +91,23 @@ pub struct MechanismProfile {
 }
 
 impl MechanismProfile {
-    /// Whether this mechanism can run a scenario: topology-changing
-    /// mechanisms need replica stages; linear mechanisms always have a
-    /// (primary) route to walk.
-    pub fn compatible_with_stages(&self, scenario_has_stages: bool) -> bool {
+    /// Whether this mechanism can run a scenario shape: topology-changing
+    /// mechanisms need replica stages, disjoint-set mechanisms need at
+    /// least one off-route host for the witness set, and linear
+    /// mechanisms always have a (primary) route to walk.
+    pub fn compatible_with(&self, scenario_has_stages: bool, scenario_has_spares: bool) -> bool {
         match self.topology {
             RouteTopology::Linear => true,
             RouteTopology::ReplicatedStages => scenario_has_stages,
+            RouteTopology::DisjointSets => scenario_has_spares,
         }
+    }
+
+    /// [`MechanismProfile::compatible_with`] for callers that only know
+    /// whether stages exist: staged scenarios always carry off-route
+    /// replicas, so the spare-host answer follows the stage answer.
+    pub fn compatible_with_stages(&self, scenario_has_stages: bool) -> bool {
+        self.compatible_with(scenario_has_stages, scenario_has_stages)
     }
 }
 
@@ -511,8 +527,9 @@ impl MechanismRegistry {
         MechanismRegistry::default()
     }
 
-    /// The registry of the eight built-in mechanisms (the paper's six
-    /// plus the chained-integrity family), in canonical report order.
+    /// The registry of the nine built-in mechanisms (the paper's six,
+    /// the chained-integrity family, and Roth's cooperating agents), in
+    /// canonical report order.
     pub fn builtin() -> Self {
         let mut registry = MechanismRegistry::empty();
         registry.register(Arc::new(crate::fleet::Unprotected));
@@ -523,6 +540,7 @@ impl MechanismRegistry {
         registry.register(Arc::new(crate::fleet::ReplicatedStages));
         registry.register(Arc::new(crate::chained::ChainedMac));
         registry.register(Arc::new(crate::chained::EncapsulatedResults));
+        registry.register(Arc::new(crate::cooperating::CooperatingAgents));
         registry
     }
 
@@ -609,7 +627,7 @@ mod tests {
     #[test]
     fn every_builtin_mechanism_round_trips_by_name() {
         let registry = MechanismRegistry::builtin();
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 9);
         for mechanism in registry.iter() {
             let resolved = registry
                 .get(mechanism.name())
@@ -657,5 +675,12 @@ mod tests {
         let protocol = registry.get("protocol").unwrap();
         assert!(protocol.profile().compatible_with_stages(false));
         assert!(protocol.profile().compatible_with_stages(true));
+        // The disjoint-set mechanism needs spare hosts, not stages; the
+        // stage-only shorthand maps stages to spares (replicas exist).
+        let cooperating = registry.get("cooperating").unwrap();
+        assert!(!cooperating.profile().compatible_with(false, false));
+        assert!(cooperating.profile().compatible_with(false, true));
+        assert!(cooperating.profile().compatible_with_stages(true));
+        assert!(!cooperating.profile().compatible_with_stages(false));
     }
 }

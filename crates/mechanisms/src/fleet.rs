@@ -497,7 +497,13 @@ mod tests {
     #[test]
     fn checking_mechanisms_catch_and_attribute_tampering() {
         let registry = MechanismRegistry::builtin();
-        for name in ["framework", "protocol", "traces", "replication"] {
+        for name in [
+            "framework",
+            "protocol",
+            "traces",
+            "replication",
+            "cooperating",
+        ] {
             let mechanism = registry.get(name).expect("built in");
             let verdict = run(
                 mechanism.as_ref(),

@@ -14,7 +14,10 @@
 //! * [`chained`] — the chained-integrity family from the related work
 //!   (Karjoth-style chained MACs, signed partial result encapsulation),
 //!   which protects the *recorded* partial results against truncation,
-//!   reordering, and substitution without any re-execution.
+//!   reordering, and substitution without any re-execution;
+//! * [`cooperating`] — Roth's cooperating agents: a witness agent on a
+//!   disjoint host set re-checks every interim reference state, immune to
+//!   route collusion but blind to a recruited witness.
 //!
 //! | Registry name | Mechanism | Moment | Reference data | Topology | Signatures |
 //! |---------------|-----------|--------|----------------|----------|------------|
@@ -26,6 +29,7 @@
 //! | `replication` | Server replication (Minsky et al.) | after session (parallel) | resulting state + replicated resources | replicated stages | no |
 //! | `chained` | Chained MACs (Karjoth et al.) | after task | resulting state (recorded chain) | linear | no (HMAC) |
 //! | `encapsulated` | Signed result encapsulation (Rodríguez–Sobrado) | after session (on arrival) + owner batch | resulting state (recorded chain) | linear | yes (deferrable) |
+//! | `cooperating` | Cooperating agents (Roth) | after session (on the witness set) | initial + resulting state + input | disjoint sets | no |
 //!
 //! The per-mechanism modules ([`appraisal`], [`replication`], [`traces`],
 //! [`proofs`]) keep the full-fidelity drivers and their evidence types;
@@ -84,6 +88,7 @@
 pub mod api;
 pub mod appraisal;
 pub mod chained;
+pub mod cooperating;
 pub mod fleet;
 pub mod matrix;
 pub mod merkle;
@@ -100,6 +105,7 @@ pub use chained::{
     run_encapsulated_journey, run_mac_chained_journey, verify_mac_chain, ChainFraud, ChainLink,
     ChainSecret, ChainVerdict, ChainedMac, EncapsulatedResults, Encapsulation,
 };
+pub use cooperating::{witness_set, CooperatingAgents};
 pub use matrix::{detection_matrix, DetectionCell, ScenarioSpec};
 pub use merkle::{MerklePath, MerkleTree};
 pub use proofs::{ExecutionProof, ProofError, Prover, StepOpening, Verifier};

@@ -328,9 +328,33 @@ mod tests {
         }
     }
 
+    /// Classifies every registered mechanism by whether it is expected to
+    /// catch all five state-visible attacks. Enumerates the registry and
+    /// panics on an unclassified name, so adding a mechanism forces an
+    /// explicit bandwidth claim here instead of silently skipping the
+    /// cross-family contrast coverage.
+    fn full_bandwidth_mechanisms() -> (Vec<&'static str>, Vec<&'static str>) {
+        let mut strong = Vec::new();
+        let mut weak = Vec::new();
+        for m in MechanismRegistry::builtin().names() {
+            match m {
+                "framework" | "protocol" | "traces" | "replication" | "cooperating" => {
+                    strong.push(m)
+                }
+                "unprotected" | "appraisal" | "chained" | "encapsulated" => weak.push(m),
+                other => {
+                    panic!("unclassified mechanism {other}: declare its state-attack bandwidth")
+                }
+            }
+        }
+        (strong, weak)
+    }
+
     #[test]
     fn strong_mechanisms_catch_state_attacks() {
-        for m in ["framework", "protocol", "traces", "replication"] {
+        let (strong, _) = full_bandwidth_mechanisms();
+        assert!(strong.len() >= 4, "registry lost its strong mechanisms");
+        for m in strong {
             for label in [
                 "tamper-variable",
                 "delete-variable",
@@ -420,6 +444,10 @@ mod tests {
         // check runs regardless, so the tampering is caught.
         let c = cell("framework", "collude-next");
         assert!(c.detected);
+        // Cooperating agents check from the disjoint witness set, so an
+        // on-route accomplice buys nothing either.
+        let c = cell("cooperating", "collude-next");
+        assert!(c.detected, "route collusion cannot reach the witness set");
     }
 
     #[test]

@@ -117,6 +117,19 @@ pub enum Attack {
         /// borrows.
         accomplice: HostId,
     },
+    /// Cross-journey replay (Fig. 2 area 5, staged over time): the host
+    /// remembered a result variable from a *previous* journey of the same
+    /// owner and presents that stale value instead of executing honestly
+    /// for the current one. **Detectable** — the replayed state differs
+    /// from the reference state computed for the current journey's inputs,
+    /// even when the verifier's replay cache is shared across journeys
+    /// (the stale session keys to a different cache entry).
+    ReplayStaleState {
+        /// Variable to overwrite with the remembered value.
+        name: String,
+        /// The stale value, captured from an earlier journey.
+        value: Value,
+    },
 }
 
 impl Attack {
@@ -128,7 +141,8 @@ impl Attack {
             | Attack::DeleteVariable { .. }
             | Attack::SkipExecution
             | Attack::ScaleIntVariable { .. }
-            | Attack::RedirectMigration { .. } => true,
+            | Attack::RedirectMigration { .. }
+            | Attack::ReplayStaleState { .. } => true,
             Attack::DropInput { .. }
             | Attack::ForgeInput { .. }
             | Attack::ReadState
@@ -185,6 +199,7 @@ impl Attack {
             Attack::SwapChainEntries => "swap-two-hops",
             Attack::ReplacePartialResult => "replace-partial-result",
             Attack::ForgeChainEntry { .. } => "collude-predecessor",
+            Attack::ReplayStaleState { .. } => "replay-stale-state",
         }
     }
 }
@@ -217,6 +232,9 @@ impl fmt::Display for Attack {
                     f,
                     "forge chain entry with colluding predecessor {accomplice}"
                 )
+            }
+            Attack::ReplayStaleState { name, value } => {
+                write!(f, "replay stale {name}={value} from a previous journey")
             }
         }
     }
@@ -292,6 +310,10 @@ mod tests {
             Attack::ForgeChainEntry {
                 accomplice: HostId::new("h2"),
             },
+            Attack::ReplayStaleState {
+                name: "x".into(),
+                value: Value::Int(0),
+            },
         ]
     }
 
@@ -309,7 +331,8 @@ mod tests {
                 "delete-variable",
                 "skip-execution",
                 "scale-int",
-                "redirect-migration"
+                "redirect-migration",
+                "replay-stale-state"
             ]
         );
     }

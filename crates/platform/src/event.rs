@@ -73,6 +73,12 @@ pub enum Event {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A host left the network mid-journey (environmental churn): agents
+    /// that try to migrate to it find nobody listening.
+    HostChurned {
+        /// The departed host.
+        host: HostId,
+    },
     /// Free-form annotation from a driver.
     Note {
         /// The annotation.
@@ -115,6 +121,7 @@ impl fmt::Display for Event {
             } => {
                 write!(f, "{detector}: fraud by {culprit}: {reason}")
             }
+            Event::HostChurned { host } => write!(f, "{host}: left the network"),
             Event::Note { text } => write!(f, "note: {text}"),
         }
     }
@@ -142,7 +149,7 @@ pub struct EventLog {
 }
 
 /// Number of [`Event`] kinds, for the per-kind telemetry tallies.
-const EVENT_KINDS: usize = 8;
+const EVENT_KINDS: usize = 9;
 
 /// Telemetry counter names, indexed by [`kind_index`].
 const KIND_NAMES: [&str; EVENT_KINDS] = [
@@ -154,6 +161,7 @@ const KIND_NAMES: [&str; EVENT_KINDS] = [
     "platform.check_performed",
     "platform.fraud_detected",
     "platform.note",
+    "platform.host_churned",
 ];
 
 fn kind_index(event: &Event) -> usize {
@@ -166,6 +174,7 @@ fn kind_index(event: &Event) -> usize {
         Event::CheckPerformed { .. } => 5,
         Event::FraudDetected { .. } => 6,
         Event::Note { .. } => 7,
+        Event::HostChurned { .. } => 8,
     }
 }
 
@@ -289,6 +298,7 @@ fn bridge_instant(event: &Event) {
             ("detector", detector.to_string()),
             ("reason", reason.clone()),
         ],
+        Event::HostChurned { host } => vec![("host", host.to_string())],
         Event::Note { text } => vec![("text", text.clone())],
     };
     telemetry::instant(name, "platform", args);

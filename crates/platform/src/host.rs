@@ -316,6 +316,10 @@ impl Host {
                 outcome.state.set(name.clone(), value.clone());
                 self.note_attack(log);
             }
+            Some(Attack::ReplayStaleState { name, value }) => {
+                outcome.state.set(name.clone(), value.clone());
+                self.note_attack(log);
+            }
             Some(Attack::ReadState) => {
                 // Honest execution; the theft is invisible in the outcome.
                 self.note_attack(log);

@@ -78,15 +78,19 @@ impl Default for ServeConfig {
 }
 
 /// Every host name a generated scenario can mention: linear routes up to
-/// 25 hops (`h0..h24`) plus the replicated middle stages' replicas
-/// (`h1r1..h5r2`). Registered per owner at registration time so the
-/// owner's namespaced directory view covers any journey it can submit.
+/// 25 hops (`h0..h24`), the replicated middle stages' replicas
+/// (`h1r1..h5r2`), and the cooperating presets' off-route witnesses
+/// (`v0..v3`). Registered per owner at registration time so the owner's
+/// namespaced directory view covers any journey it can submit.
 fn host_universe() -> Vec<String> {
     let mut names: Vec<String> = (0..25).map(|i| format!("h{i}")).collect();
     for stage in 1..=5 {
         for replica in 1..=2 {
             names.push(format!("h{stage}r{replica}"));
         }
+    }
+    for witness in 0..4 {
+        names.push(format!("v{witness}"));
     }
     names
 }
@@ -364,10 +368,14 @@ impl Service {
                 queued_at.elapsed().as_micros() as u64,
             );
             let generated = scenario::generate(owner.seed, journey, owner.preset);
+            let has_spares = generated
+                .specs
+                .iter()
+                .any(|spec| !generated.route.contains(&spec.id));
             let compatible = owner
                 .mechanism
                 .profile()
-                .compatible_with_stages(generated.stages.is_some());
+                .compatible_with(generated.stages.is_some(), has_spares);
             if !compatible {
                 // A topology mismatch (e.g. `replication` on a linear
                 // preset) is the owner's registration error, surfaced as

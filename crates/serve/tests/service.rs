@@ -127,7 +127,7 @@ fn graceful_shutdown_settles_every_accepted_journey() {
     }
 }
 
-fn soak_stream(check_workers: usize, seed: u64) -> String {
+fn soak_stream(check_workers: usize, seed: u64, preset: &str, mechanism: &str) -> String {
     let mut service = Service::new(ServeConfig {
         check_workers,
         queue_capacity: 16,
@@ -138,8 +138,8 @@ fn soak_stream(check_workers: usize, seed: u64) -> String {
         owners: 4,
         journeys: 48,
         seed,
-        preset: "mixed".into(),
-        mechanism: "protocol".into(),
+        preset: preset.into(),
+        mechanism: mechanism.into(),
         tick_every: 12,
     };
     let outcome = run_soak(&mut service, &config);
@@ -158,12 +158,11 @@ fn golden_path(name: &str) -> PathBuf {
 /// the per-owner verdict stream is byte-identical across runs, worker
 /// counts, and telemetry levels — pinned against a committed fixture.
 /// Regenerate with `REGEN_GOLDEN=1 cargo test -p refstate-serve`.
-#[test]
-fn verdict_stream_is_golden_across_workers_and_telemetry() {
+fn check_golden_stream(fixture: &str, preset: &str, mechanism: &str) {
     let seed = 42;
-    let baseline = soak_stream(1, seed);
+    let baseline = soak_stream(1, seed, preset, mechanism);
 
-    let path = golden_path("soak_mixed_seed42.stream");
+    let path = golden_path(fixture);
     if std::env::var("REGEN_GOLDEN").is_ok() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &baseline).unwrap();
@@ -175,7 +174,7 @@ fn verdict_stream_is_golden_across_workers_and_telemetry() {
 
     for check_workers in [2, 8] {
         assert_eq!(
-            soak_stream(check_workers, seed),
+            soak_stream(check_workers, seed, preset, mechanism),
             baseline,
             "stream must be invariant under check_workers={check_workers}"
         );
@@ -187,13 +186,30 @@ fn verdict_stream_is_golden_across_workers_and_telemetry() {
         telemetry::TelemetryLevel::Full,
     ] {
         telemetry::set_level(level);
-        let stream = soak_stream(4, seed);
+        let stream = soak_stream(4, seed, preset, mechanism);
         telemetry::set_level(before);
         assert_eq!(
             stream, baseline,
             "stream must be invariant under telemetry={level:?}"
         );
     }
+}
+
+#[test]
+fn verdict_stream_is_golden_across_workers_and_telemetry() {
+    check_golden_stream("soak_mixed_seed42.stream", "mixed", "protocol");
+}
+
+#[test]
+fn cooperating_verdict_stream_is_golden_across_workers_and_telemetry() {
+    // The disjoint-set soak: witness hosts (`v0..`) resolve through the
+    // per-owner directory, and the cooperating mechanism's verdict
+    // stream is pinned byte for byte like the linear one.
+    check_golden_stream(
+        "soak_cooperating_seed42.stream",
+        "cooperating",
+        "cooperating",
+    );
 }
 
 #[test]
