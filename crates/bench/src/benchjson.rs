@@ -669,14 +669,23 @@ pub fn check_metrics_jsonl(text: &str) -> Result<(), JsonError> {
 /// Validates the `refstate-soak-slo-v1` artifact as emitted by the serve
 /// CLI's `--slo-out` (and printed after every soak run): the soak shape
 /// (`seed`, positive `owners`/`journeys`/`tick_every`, `preset` and
-/// `mechanism` labels, service knobs), a `counts` block whose admission
-/// arithmetic closes (`submitted == accepted + rejected`,
+/// `mechanism` labels, service knobs), the connection fan-out
+/// (`connections` ≥ 1, an `aggregate` block with positive `elapsed_us`
+/// and `parallelism` and a non-negative `journeys_per_sec`, one
+/// `per_connection` row per connection whose `verified` counts sum to
+/// the aggregate), a `counts` block whose admission arithmetic closes
+/// (`submitted == accepted + rejected`,
 /// `accepted == verified + dropped`), a monotone `latency_us` ladder
-/// (p50 ≤ p95 ≤ p99 ≤ max), a `cache` block with `hit_rate` in `[0, 1]`,
-/// one `owners_detail` row per owner, and a 16-hex-digit `stream_digest`
-/// pinning the verdict stream. A non-zero `dropped` is a schema
-/// violation, not a warning: the drain invariant (no accepted journey
-/// goes unverified) is the artifact's reason to exist.
+/// (p50 ≤ p95 ≤ p99 ≤ max) aggregate and per connection, a `cache`
+/// block with `hit_rate` in `[0, 1]`, one `owners_detail` row per
+/// owner, and a 16-hex-digit `stream_digest` pinning the verdict
+/// stream. Optional blocks are validated when present: `tick_driver`
+/// (positive `interval_us`/`batch_min`/`max_age_us`) and
+/// `single_connection_baseline` (positive baseline `journeys_per_sec`,
+/// plus a positive `throughput_ratio_vs_single` consistent with the
+/// aggregate throughput). A non-zero `dropped` is a schema violation,
+/// not a warning: the drain invariant (no accepted journey goes
+/// unverified) is the artifact's reason to exist.
 pub fn check_slo_schema(doc: &Json) -> Result<(), JsonError> {
     if doc.get("schema").and_then(Json::as_str) != Some("refstate-soak-slo-v1") {
         return Err(JsonError(
@@ -695,6 +704,20 @@ pub fn check_slo_schema(doc: &Json) -> Result<(), JsonError> {
     // `0` is a legal check-worker setting (one per core).
     require_non_negative(doc, "$", "check_workers")?;
     require_positive(doc, "$", "queue_capacity")?;
+    let connection_count = require_positive(doc, "$", "connections")?;
+
+    let aggregate = doc
+        .get("aggregate")
+        .ok_or_else(|| JsonError("aggregate: missing block".into()))?;
+    require_positive(aggregate, "aggregate", "elapsed_us")?;
+    require_non_negative(aggregate, "aggregate", "journeys_per_sec")?;
+    require_positive(aggregate, "aggregate", "parallelism")?;
+
+    if let Some(driver) = doc.get("tick_driver") {
+        require_positive(driver, "tick_driver", "interval_us")?;
+        require_positive(driver, "tick_driver", "batch_min")?;
+        require_positive(driver, "tick_driver", "max_age_us")?;
+    }
 
     let counts = doc
         .get("counts")
@@ -739,6 +762,46 @@ pub fn check_slo_schema(doc: &Json) -> Result<(), JsonError> {
         previous = value;
     }
 
+    let per_connection = doc
+        .get("per_connection")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError("per_connection: missing or not an array".into()))?;
+    if per_connection.len() as f64 != connection_count {
+        return Err(JsonError(format!(
+            "per_connection: expected one row per connection ({connection_count}), got {}",
+            per_connection.len()
+        )));
+    }
+    let mut connection_verified = 0.0;
+    for (i, conn) in per_connection.iter().enumerate() {
+        let path = format!("per_connection[{i}]");
+        require_non_negative(conn, &path, "connection")?;
+        for key in ["owners", "submitted", "accepted", "rejected"] {
+            require_non_negative(conn, &path, key)?;
+        }
+        connection_verified += require_non_negative(conn, &path, "verified")?;
+        let ladder = conn
+            .get("latency_us")
+            .ok_or_else(|| JsonError(format!("{path}.latency_us: missing block")))?;
+        let mut previous = 0.0;
+        for key in ["p50", "p95", "p99", "max"] {
+            let value = require_non_negative(ladder, &format!("{path}.latency_us"), key)?;
+            if value < previous {
+                return Err(JsonError(format!(
+                    "{path}.latency_us.{key}: {value} breaks the percentile \
+                     ladder (previous rung was {previous})"
+                )));
+            }
+            previous = value;
+        }
+    }
+    if connection_verified != verified {
+        return Err(JsonError(format!(
+            "per_connection: verified counts sum to {connection_verified}, \
+             counts.verified is {verified}"
+        )));
+    }
+
     let cache = doc
         .get("cache")
         .ok_or_else(|| JsonError("cache: missing block".into()))?;
@@ -777,6 +840,28 @@ pub fn check_slo_schema(doc: &Json) -> Result<(), JsonError> {
         ] {
             require_non_negative(owner, &path, key)?;
         }
+    }
+
+    if let Some(baseline) = doc.get("single_connection_baseline") {
+        let baseline_jps =
+            require_positive(baseline, "single_connection_baseline", "journeys_per_sec")?;
+        let ratio = require_positive(doc, "$", "throughput_ratio_vs_single")?;
+        let aggregate_jps = require_num(aggregate, "aggregate", "journeys_per_sec")?;
+        // The ratio is the artifact's headline claim; hold it to the
+        // two numbers it divides (loosely — both are rounded to 3dp).
+        let expected = aggregate_jps / baseline_jps;
+        if (ratio - expected).abs() > 0.01 {
+            return Err(JsonError(format!(
+                "throughput_ratio_vs_single: {ratio} inconsistent with \
+                 aggregate/baseline ({expected:.3})"
+            )));
+        }
+    } else if doc.get("throughput_ratio_vs_single").is_some() {
+        return Err(JsonError(
+            "throughput_ratio_vs_single: present without its \
+             single_connection_baseline block"
+                .into(),
+        ));
     }
 
     let digest = doc
@@ -1134,9 +1219,19 @@ mod tests {
             r#"{{"schema":"refstate-soak-slo-v1","seed":42,"owners":2,
                 "journeys":48,"preset":"mixed","mechanism":"protocol",
                 "tick_every":12,"check_workers":1,"queue_capacity":64,
+                "connections":2,
+                "aggregate":{{"elapsed_us":16000,"journeys_per_sec":3000.0,
+                    "parallelism":8}},
                 "counts":{{"submitted":50,"accepted":48,"rejected":2,
                     "verified":{verified},"detected":20,"dropped":{dropped}}},
                 "latency_us":{{"p50":120,"p95":300,"p99":{p99},"max":900}},
+                "per_connection":[
+                    {{"connection":0,"owners":1,"submitted":25,"accepted":24,
+                      "rejected":1,"verified":24,
+                      "latency_us":{{"p50":110,"p95":280,"p99":400,"max":850}}}},
+                    {{"connection":1,"owners":1,"submitted":25,"accepted":24,
+                      "rejected":1,"verified":24,
+                      "latency_us":{{"p50":130,"p95":310,"p99":460,"max":900}}}}],
                 "cache":{{"hits":40,"misses":8,"hit_rate":0.833333}},
                 "owners_detail":[
                     {{"owner":"owner-0","accepted":24,"rejected":1,
@@ -1181,5 +1276,87 @@ mod tests {
         // Claim three owners while carrying two detail rows.
         let short = good.replace("\"owners\":2", "\"owners\":3");
         assert!(check_slo_schema(&parse(&short).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slo_schema_requires_the_connection_fanout_blocks() {
+        let good = slo_doc("48", "0", "450", "a1b2c3d4e5f60718");
+        // `connections` must be present and positive.
+        let missing = good.replace(r#""connections":2,"#, "");
+        assert!(check_slo_schema(&parse(&missing).unwrap()).is_err());
+        let zero = good.replace("\"connections\":2", "\"connections\":0");
+        assert!(check_slo_schema(&parse(&zero).unwrap()).is_err());
+        // The aggregate block needs a positive elapsed and parallelism.
+        let stopped = good.replace("\"elapsed_us\":16000", "\"elapsed_us\":0");
+        assert!(check_slo_schema(&parse(&stopped).unwrap()).is_err());
+        let no_cores = good.replace("\"parallelism\":8", "\"parallelism\":0");
+        assert!(check_slo_schema(&parse(&no_cores).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slo_schema_requires_one_row_per_connection() {
+        let good = slo_doc("48", "0", "450", "a1b2c3d4e5f60718");
+        // Claim three connections while carrying two rows.
+        let short = good.replace("\"connections\":2", "\"connections\":3");
+        assert!(check_slo_schema(&parse(&short).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slo_schema_closes_verified_over_connections() {
+        let good = slo_doc("48", "0", "450", "a1b2c3d4e5f60718");
+        // Rows that no longer sum to counts.verified.
+        let leaky = good.replace(
+            r#""rejected":1,"verified":24,
+                      "latency_us":{"p50":130"#,
+            r#""rejected":1,"verified":23,
+                      "latency_us":{"p50":130"#,
+        );
+        assert!(check_slo_schema(&parse(&leaky).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slo_schema_checks_each_connections_latency_ladder() {
+        let good = slo_doc("48", "0", "450", "a1b2c3d4e5f60718");
+        // Connection 1's p99 sinks below its p95.
+        let unsorted = good.replace("\"p99\":460", "\"p99\":200");
+        assert!(check_slo_schema(&parse(&unsorted).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slo_schema_validates_the_tick_driver_block_when_present() {
+        let good = slo_doc("48", "0", "450", "a1b2c3d4e5f60718");
+        let with_driver = good.replace(
+            r#""connections":2,"#,
+            r#""connections":2,
+               "tick_driver":{"interval_us":1000,"batch_min":16,"max_age_us":5000},"#,
+        );
+        assert!(check_slo_schema(&parse(&with_driver).unwrap()).is_ok());
+        let stalled = with_driver.replace("\"interval_us\":1000", "\"interval_us\":0");
+        assert!(check_slo_schema(&parse(&stalled).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slo_schema_validates_the_baseline_ratio_when_present() {
+        let good = slo_doc("48", "0", "450", "a1b2c3d4e5f60718");
+        // aggregate journeys/s is 3000; a 1000/s baseline is a 3.0 ratio.
+        let with_baseline = good.replace(
+            r#""stream_digest""#,
+            r#""single_connection_baseline":{"journeys_per_sec":1000.0},
+               "throughput_ratio_vs_single":3.0,
+               "stream_digest""#,
+        );
+        assert!(check_slo_schema(&parse(&with_baseline).unwrap()).is_ok());
+        // A ratio that doesn't divide out of its own numbers is refused.
+        let cooked = with_baseline.replace(
+            "\"throughput_ratio_vs_single\":3.0",
+            "\"throughput_ratio_vs_single\":4.0",
+        );
+        assert!(check_slo_schema(&parse(&cooked).unwrap()).is_err());
+        // A ratio with no baseline to divide by is refused too.
+        let orphan = good.replace(
+            r#""stream_digest""#,
+            r#""throughput_ratio_vs_single":3.0,"stream_digest""#,
+        );
+        assert!(check_slo_schema(&parse(&orphan).unwrap()).is_err());
     }
 }

@@ -218,6 +218,47 @@ impl Montgomery {
         MontInt { limbs: acc }
     }
 
+    /// Inverts a Montgomery residue **in-domain**: given `â = a·R mod n`,
+    /// returns `a⁻¹·R mod n`, or `None` when `gcd(a, n) ≠ 1` (including
+    /// `a = 0`).
+    ///
+    /// The residue is inverted with the division-free binary extended GCD
+    /// ([`Uint::inv_mod`] — always on the odd-modulus path, since a
+    /// Montgomery modulus is odd by construction), then mapped back into
+    /// the domain with two REDC multiplications by `R²`:
+    /// `(a·R)⁻¹ = a⁻¹·R⁻¹ ──·R²·R⁻¹──▶ a⁻¹ ──·R²·R⁻¹──▶ a⁻¹·R`.
+    /// No trial division anywhere, and callers chaining an inverse into
+    /// further products (DSA's `w = s⁻¹` feeding `u1 = z·w`, `u2 = r·w`)
+    /// never leave the domain.
+    ///
+    /// ```
+    /// use refstate_bigint::{Montgomery, Uint};
+    /// let n = Uint::from(497u64);
+    /// let ctx = Montgomery::new(&n).unwrap();
+    /// let a = Uint::from(123u64);
+    /// let inv = ctx.inv(&ctx.to_mont(&a)).unwrap();
+    /// assert_eq!(
+    ///     ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &inv)),
+    ///     Uint::one()
+    /// );
+    /// ```
+    pub fn inv(&self, a: &MontInt) -> Option<MontInt> {
+        self.check_width(a);
+        let plain = Uint::from_limbs(a.limbs.clone()).inv_mod(&self.n)?;
+        let k = self.n_limbs.len();
+        let unmapped = self.cios(&to_fixed_limbs(&plain, k), &self.r2);
+        Some(MontInt {
+            limbs: self.cios(&unmapped, &self.r2),
+        })
+    }
+
+    /// Computes `a⁻¹ mod n` through the domain (reduce in, [`Montgomery::inv`],
+    /// convert out); `None` when `a` is not invertible. Agrees with
+    /// [`Uint::inv_mod`] for every input (property-tested).
+    pub fn inv_mod(&self, a: &Uint) -> Option<Uint> {
+        Some(self.from_mont(&self.inv(&self.to_mont(a))?))
+    }
+
     /// Computes `(a * b) mod n` through the domain: two conversions in,
     /// one CIOS multiply, one conversion out.
     ///
@@ -442,6 +483,54 @@ mod tests {
         let fused = ctx.from_mont(&ctx.mont_mul(&gm, &hm));
         let split = g.pow_mod(&x, &n).mul_mod(&h.pow_mod(&y, &n), &n);
         assert_eq!(fused, split);
+    }
+
+    #[test]
+    fn inv_is_in_domain_and_matches_uint_inv_mod() {
+        let n = u(497); // 7 · 71: plenty of non-invertible residues
+        let ctx = Montgomery::new(&n).unwrap();
+        for a in 0u64..497 {
+            let au = u(a);
+            let expect = au.inv_mod(&n);
+            let got = ctx.inv(&ctx.to_mont(&au));
+            match (expect, got) {
+                (None, None) => {}
+                (Some(plain), Some(residue)) => {
+                    // In-domain: the residue IS inv·R, so from_mont agrees
+                    // with the plain inverse and a·â⁻¹ is the identity.
+                    assert_eq!(ctx.from_mont(&residue), plain, "a={a}");
+                    assert_eq!(
+                        ctx.mont_mul(&ctx.to_mont(&au), &residue),
+                        ctx.one_mont(),
+                        "a={a}"
+                    );
+                }
+                (e, g) => panic!("a={a}: inv_mod says {e:?}, Montgomery::inv says {g:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inv_mod_multi_limb_matches_uint() {
+        let p = &Uint::from(1u128 << 127) - &Uint::one();
+        let ctx = Montgomery::new(&p).unwrap();
+        let a = Uint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        assert_eq!(ctx.inv_mod(&a), a.inv_mod(&p));
+        assert_eq!(ctx.inv_mod(&Uint::zero()), None);
+    }
+
+    #[test]
+    fn inv_chains_without_leaving_the_domain() {
+        // The DSA shape: w = s⁻¹, then u1 = z·w and u2 = r·w, all in-domain.
+        let q = u(99991);
+        let ctx = Montgomery::new(&q).unwrap();
+        let (s, z, r) = (u(1234), u(4321), u(77777));
+        let w = ctx.inv(&ctx.to_mont(&s)).unwrap();
+        let u1 = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&z), &w));
+        let u2 = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&r), &w));
+        let w_plain = s.inv_mod(&q).unwrap();
+        assert_eq!(u1, z.mul_mod(&w_plain, &q));
+        assert_eq!(u2, r.mul_mod(&w_plain, &q));
     }
 
     #[test]

@@ -297,6 +297,51 @@ proptest! {
         let fused = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
         prop_assert_eq!(fused, a.mul_mod(&b, &m));
     }
+
+    /// The in-domain inverse agrees with `Uint::inv_mod` on random
+    /// 1024-bit operands and odd moduli: same invertibility verdict,
+    /// and `Montgomery::inv` returns the *residue* of the inverse, so
+    /// in-domain products with it land on the identity.
+    #[test]
+    fn montgomery_inv_matches_uint_inv_mod(a in uint_1024(), m in odd_modulus_1024()) {
+        let ctx = Montgomery::new(&m).expect("modulus is odd and >= 3");
+        let plain = a.inv_mod(&m);
+        let residue = ctx.inv(&ctx.to_mont(&a));
+        prop_assert_eq!(ctx.inv_mod(&a), plain.clone());
+        match (plain, residue) {
+            (None, None) => {}
+            (Some(plain), Some(residue)) => {
+                prop_assert_eq!(ctx.from_mont(&residue), plain);
+                prop_assert_eq!(
+                    ctx.mont_mul(&ctx.to_mont(&a), &residue),
+                    ctx.one_mont()
+                );
+            }
+            (plain, residue) => prop_assert!(
+                false,
+                "invertibility disagreement: inv_mod {:?} vs Montgomery::inv {:?}",
+                plain.is_some(),
+                residue.is_some()
+            ),
+        }
+    }
+
+    /// The DSA verify shape in-domain — w = s⁻¹ mod q feeding u1 = z·w
+    /// and u2 = r·w without leaving the domain — agrees with the
+    /// out-of-domain schoolbook route.
+    #[test]
+    fn montgomery_inv_product_chain_matches_schoolbook(
+        s in uint_1024(), z in uint_1024(), r in uint_1024(), q in odd_modulus_1024()
+    ) {
+        let ctx = Montgomery::new(&q).expect("modulus is odd and >= 3");
+        if let Some(w) = ctx.inv(&ctx.to_mont(&s)) {
+            let w_plain = s.inv_mod(&q).expect("same invertibility verdict");
+            let u1 = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&z), &w));
+            let u2 = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&r), &w));
+            prop_assert_eq!(u1, z.mul_mod(&w_plain, &q));
+            prop_assert_eq!(u2, r.mul_mod(&w_plain, &q));
+        }
+    }
 }
 
 /// Strategy: a Uint of exactly `bytes` random bytes (top byte forced

@@ -45,12 +45,19 @@ use crate::sha256::sha256;
 const MR_ROUNDS: u32 = 40;
 
 /// The lazily-built per-group acceleration state: a Montgomery context
-/// for `p` and a fixed-base table for the generator `g` (sized for
-/// exponents up to `|q|` bits — every DSA exponent is reduced mod `q`).
+/// for `p`, a fixed-base table for the generator `g` (sized for
+/// exponents up to `|q|` bits — every DSA exponent is reduced mod `q`),
+/// and a second Montgomery context for the subgroup order `q` so the
+/// verify-side scalar arithmetic (`w = s⁻¹`, `u1 = z·w`, `u2 = r·w`)
+/// runs in-domain without the division-based round trip. `q_mont` is
+/// `None` only for wire-decoded parameters with an even `q` — such a
+/// `q` is not a valid subgroup order, but decode is structural-only, so
+/// the scalar path degrades to schoolbook instead of panicking.
 #[derive(Debug)]
 pub(crate) struct GroupAccel {
     pub(crate) mont: Arc<Montgomery>,
     pub(crate) g_table: FixedBase,
+    pub(crate) q_mont: Option<Montgomery>,
 }
 
 /// Errors arising from invalid DSA domain parameters, keys, or signatures.
@@ -153,7 +160,12 @@ impl DsaParams {
             .get_or_init(|| {
                 let mont = Arc::new(Montgomery::new(&self.p)?);
                 let g_table = FixedBase::new(Arc::clone(&mont), &self.g, self.table_exp_bits());
-                Some(GroupAccel { mont, g_table })
+                let q_mont = Montgomery::new(&self.q);
+                Some(GroupAccel {
+                    mont,
+                    g_table,
+                    q_mont,
+                })
             })
             .as_ref()
     }
@@ -492,14 +504,31 @@ impl DsaPublicKey {
         if r.is_zero() || r >= q || s.is_zero() || s >= q {
             return false;
         }
-        let w = match s.inv_mod(q) {
-            Some(w) => w,
-            None => return false,
-        };
         let z = self.params.hash_to_z(message);
-        let u1 = z.mul_mod(&w, q);
-        let u2 = r.mul_mod(&w, q);
-        let v = match self.y_accel() {
+        // The scalar leg (w = s⁻¹ mod q, u1 = z·w, u2 = r·w) runs inside
+        // the q-domain when the group hosts one: the inverse chains into
+        // both products without converting out between operations.
+        let accel = self.y_accel();
+        let (u1, u2) = match accel.and_then(|(a, _)| a.q_mont.as_ref()) {
+            Some(qm) => {
+                let w = match qm.inv(&qm.to_mont(s)) {
+                    Some(w) => w,
+                    None => return false,
+                };
+                (
+                    qm.from_mont(&qm.mont_mul(&qm.to_mont(&z), &w)),
+                    qm.from_mont(&qm.mont_mul(&qm.to_mont(r), &w)),
+                )
+            }
+            None => {
+                let w = match s.inv_mod(q) {
+                    Some(w) => w,
+                    None => return false,
+                };
+                (z.mul_mod(&w, q), r.mul_mod(&w, q))
+            }
+        };
+        let v = match accel {
             Some((accel, y_table)) => {
                 let gm = accel.g_table.pow(&u1);
                 let ym = y_table.pow(&u2);

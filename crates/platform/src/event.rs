@@ -252,6 +252,17 @@ impl EventLog {
         out
     }
 
+    /// Discards every recorded event, keeping the handle (and its
+    /// telemetry tallies) alive.
+    ///
+    /// Long-lived holders — a resident service reusing one log per tenant
+    /// across verification ticks — call this between batches so the
+    /// timeline doesn't grow without bound. Verdicts never read prior
+    /// ticks' events, so clearing is observationally safe there.
+    pub fn clear(&self) {
+        self.inner.events.lock().clear();
+    }
+
     /// Counts events matching a predicate.
     pub fn count_matching(&self, predicate: impl Fn(&Event) -> bool) -> usize {
         self.inner

@@ -1,48 +1,74 @@
-//! The service CLI: run a resident TCP server, or drive a soak load and
-//! report SLOs.
+//! The service CLI: run a resident TCP server (with a background tick
+//! driver), or drive a soak load — lockstep or over N pipelined
+//! connections — and report SLOs.
 //!
 //! ```text
-//! # resident server on a fixed port
+//! # resident server on a fixed port, server-paced ticks every 1ms
 //! cargo run --release -p refstate-serve --bin serve -- --listen 127.0.0.1:7440
 //!
-//! # in-process soak: 4 owners, 10k journeys, SLO JSON to a file
+//! # in-process soak: 8 pipelined connections, 8 owners, 10k journeys,
+//! # throughput ratio vs a single lockstep connection, SLO JSON to a file
 //! cargo run --release -p refstate-serve --bin serve -- --soak \
-//!     --owners 4 --journeys 10000 --seed 42 --preset mixed \
-//!     --mechanism protocol --slo-out slo.json --stream-out verdicts.stream
+//!     --connections 8 --compare-single --owners 8 --journeys 10000 \
+//!     --seed 42 --preset mixed --mechanism protocol --slo-out slo.json
 //!
-//! # soak against a running server
+//! # soak against a running server over 4 pipelined connections
 //! cargo run --release -p refstate-serve --bin serve -- --soak \
-//!     --connect 127.0.0.1:7440 --owners 2 --journeys 500
+//!     --connect 127.0.0.1:7440 --connections 4 --owners 4 --journeys 2000
 //! ```
 //!
 //! Flags:
 //!
 //! * `--listen ADDR` — serve the framed TCP protocol on `ADDR` until a
-//!   client sends `Shutdown`
+//!   client sends `Shutdown`; a background tick driver paces settlement
+//!   (disable with `--tick-interval 0`)
 //! * `--soak` — drive a soak run (in-process unless `--connect`)
 //! * `--connect ADDR` — soak against a remote server instead of an
 //!   in-process service
+//! * `--connections N` — drive the soak over `N` pipelined connections
+//!   (owners partition across them; default 1 = lockstep)
+//! * `--compare-single` — also run a single-connection lockstep baseline
+//!   (settle-workers 1, no driver), record the throughput ratio in the
+//!   SLO artifact, and fail unless the verdict streams are byte-identical
+//! * `--require-ratio X` — with `--compare-single`, fail unless the
+//!   throughput ratio reaches `X`; pick `X` from the host's parallelism
+//!   (the artifact records it) — ≥3 is the expectation on ≥8 cores,
+//!   while a single core caps any CPU-bound ratio near 1
 //! * `--owners N`, `--journeys N`, `--seed S`, `--preset P`,
 //!   `--mechanism M`, `--tick-every N` — soak shape
 //! * `--key-pool N`, `--queue-capacity N`, `--check-workers N`,
-//!   `--no-replay-cache` — service knobs (in-process / `--listen`)
+//!   `--settle-workers N` (0 = one per core), `--no-replay-cache` —
+//!   service knobs (in-process / `--listen`)
+//! * `--tick-interval MS` (0 = off), `--tick-batch-min N`,
+//!   `--tick-max-age MS` — tick-driver pacing (`--listen` defaults to a
+//!   1ms driver; in-process soaks run driverless unless given an
+//!   interval)
 //! * `--slo-out PATH` — write the `refstate-soak-slo-v1` JSON artifact
 //! * `--stream-out PATH` — write the verdict stream (golden-fixture
-//!   format)
+//!   format, grouped by owner)
 //! * `--telemetry off|counters|full` — observability level (default off;
 //!   verdict streams are byte-identical at every level)
 
-use refstate_serve::{run_soak, Client, ServeConfig, Server, Service, SoakConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+use refstate_serve::{
+    run_soak, run_soak_concurrent, Client, LocalPipelined, PipelinedClient, ServeConfig, Server,
+    Service, SoakConfig, SoakOutcome, TickDriver, TickDriverConfig, TickDriverMeta, TickPolicy,
+};
 use refstate_telemetry as telemetry;
 
 fn usage(exit: i32) -> ! {
     eprintln!(
-        "usage: serve --listen ADDR [service knobs]\n\
-         \x20      serve --soak [--connect ADDR] [--owners N] [--journeys N] \
-         [--seed S] [--preset P] [--mechanism M] [--tick-every N] \
-         [--slo-out PATH] [--stream-out PATH] [service knobs]\n\
+        "usage: serve --listen ADDR [service knobs] [tick-driver knobs]\n\
+         \x20      serve --soak [--connect ADDR] [--connections N] \
+         [--compare-single] [--owners N] [--journeys N] [--seed S] \
+         [--preset P] [--mechanism M] [--tick-every N] [--slo-out PATH] \
+         [--stream-out PATH] [service knobs] [tick-driver knobs]\n\
          service knobs: --key-pool N --queue-capacity N --check-workers N \
-         --no-replay-cache --telemetry off|counters|full"
+         --settle-workers N --no-replay-cache --telemetry off|counters|full\n\
+         tick-driver knobs: --tick-interval MS --tick-batch-min N \
+         --tick-max-age MS"
     );
     std::process::exit(exit);
 }
@@ -51,8 +77,15 @@ struct Options {
     listen: Option<String>,
     soak: bool,
     connect: Option<String>,
+    connections: usize,
+    compare_single: bool,
+    require_ratio: Option<f64>,
     soak_config: SoakConfig,
     serve_config: ServeConfig,
+    /// `None` = mode default (1ms for `--listen`, off for soaks);
+    /// `Some(ZERO)` = explicitly off.
+    tick_interval: Option<Duration>,
+    tick_policy: TickPolicy,
     slo_out: Option<String>,
     stream_out: Option<String>,
     telemetry: telemetry::TelemetryLevel,
@@ -64,8 +97,13 @@ fn parse_args() -> Options {
         listen: None,
         soak: false,
         connect: None,
+        connections: 1,
+        compare_single: false,
+        require_ratio: None,
         soak_config: SoakConfig::default(),
         serve_config: ServeConfig::default(),
+        tick_interval: None,
+        tick_policy: TickPolicy::default(),
         slo_out: None,
         stream_out: None,
         telemetry: telemetry::TelemetryLevel::Off,
@@ -80,6 +118,13 @@ fn parse_args() -> Options {
             "--listen" => options.listen = Some(value(&mut i)),
             "--soak" => options.soak = true,
             "--connect" => options.connect = Some(value(&mut i)),
+            "--connections" => {
+                options.connections = value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
+            "--compare-single" => options.compare_single = true,
+            "--require-ratio" => {
+                options.require_ratio = Some(value(&mut i).parse().unwrap_or_else(|_| usage(2)))
+            }
             "--owners" => {
                 options.soak_config.owners = value(&mut i).parse().unwrap_or_else(|_| usage(2))
             }
@@ -107,7 +152,22 @@ fn parse_args() -> Options {
                 options.serve_config.check_workers =
                     value(&mut i).parse().unwrap_or_else(|_| usage(2))
             }
+            "--settle-workers" => {
+                options.serve_config.settle_workers =
+                    value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
             "--no-replay-cache" => options.serve_config.replay_cache = false,
+            "--tick-interval" => {
+                let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| usage(2));
+                options.tick_interval = Some(Duration::from_millis(ms));
+            }
+            "--tick-batch-min" => {
+                options.tick_policy.batch_min = value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
+            "--tick-max-age" => {
+                let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| usage(2));
+                options.tick_policy.max_age = Duration::from_millis(ms);
+            }
             "--slo-out" => options.slo_out = Some(value(&mut i)),
             "--stream-out" => options.stream_out = Some(value(&mut i)),
             "--telemetry" => {
@@ -129,6 +189,14 @@ fn parse_args() -> Options {
         eprintln!("--listen and --soak are exclusive; soak a server via --connect");
         usage(2);
     }
+    if options.connections == 0 {
+        eprintln!("--connections must be at least 1");
+        usage(2);
+    }
+    if options.require_ratio.is_some() && !options.compare_single {
+        eprintln!("--require-ratio needs the baseline from --compare-single");
+        usage(2);
+    }
     options
 }
 
@@ -140,26 +208,45 @@ fn write_file(path: &str, contents: &str) {
     eprintln!("wrote {path}");
 }
 
-fn main() {
-    let options = parse_args();
-    telemetry::set_level(options.telemetry);
-
-    if let Some(addr) = &options.listen {
-        let service = Service::new(options.serve_config.clone());
-        let server = match Server::bind(service, addr.as_str()) {
-            Ok(server) => server,
-            Err(error) => {
-                eprintln!("cannot bind {addr}: {error}");
-                std::process::exit(1);
-            }
-        };
-        eprintln!("serving on {}", server.addr());
-        server.join();
-        eprintln!("shut down");
-        return;
+/// The tick-driver configuration a mode resolved to, if any.
+fn driver_config(
+    options: &Options,
+    default_interval: Option<Duration>,
+) -> Option<TickDriverConfig> {
+    let interval = options.tick_interval.or(default_interval)?;
+    if interval.is_zero() {
+        return None;
     }
+    Some(TickDriverConfig {
+        interval,
+        policy: options.tick_policy.clone(),
+    })
+}
 
-    let outcome = match &options.connect {
+fn driver_meta(config: &TickDriverConfig) -> TickDriverMeta {
+    TickDriverMeta {
+        interval: config.interval,
+        batch_min: config.policy.batch_min,
+        max_age: config.policy.max_age,
+    }
+}
+
+/// Runs the soak shape in whichever deployment the flags selected.
+fn run_load(options: &Options) -> SoakOutcome {
+    let config = &options.soak_config;
+    let queue_capacity = options.serve_config.queue_capacity;
+    match &options.connect {
+        Some(addr) if options.connections > 1 => run_soak_concurrent(
+            |connection| {
+                PipelinedClient::connect(addr.as_str()).unwrap_or_else(|error| {
+                    eprintln!("connection {connection}: cannot connect to {addr}: {error}");
+                    std::process::exit(1);
+                })
+            },
+            config,
+            options.connections,
+            queue_capacity,
+        ),
         Some(addr) => {
             let mut client = match Client::connect(addr.as_str()) {
                 Ok(client) => client,
@@ -168,13 +255,106 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            run_soak(&mut client, &options.soak_config)
+            run_soak(&mut client, config)
         }
         None => {
-            let mut service = Service::new(options.serve_config.clone());
-            run_soak(&mut service, &options.soak_config)
+            let service = Arc::new(Service::new(options.serve_config.clone()));
+            let driver = driver_config(options, None);
+            let running = driver
+                .as_ref()
+                .map(|config| TickDriver::start(Arc::clone(&service), config.clone()));
+            let mut outcome = if options.connections > 1 {
+                run_soak_concurrent(
+                    |_| LocalPipelined::new(Arc::clone(&service)),
+                    config,
+                    options.connections,
+                    queue_capacity,
+                )
+            } else {
+                let mut endpoint = Arc::clone(&service);
+                run_soak(&mut endpoint, config)
+            };
+            if let Some(running) = running {
+                running.stop();
+            }
+            outcome.tick_driver = driver.as_ref().map(driver_meta);
+            outcome
         }
-    };
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    telemetry::set_level(options.telemetry);
+
+    if let Some(addr) = &options.listen {
+        let service = Service::new(options.serve_config.clone());
+        let mut server = match Server::bind(service, addr.as_str()) {
+            Ok(server) => server,
+            Err(error) => {
+                eprintln!("cannot bind {addr}: {error}");
+                std::process::exit(1);
+            }
+        };
+        // The resident server paces itself by default: clients need not
+        // send a single Tick.
+        if let Some(config) = driver_config(&options, Some(TickDriverConfig::default().interval)) {
+            eprintln!(
+                "tick driver: every {:?}, batch-min {}, max-age {:?}",
+                config.interval, config.policy.batch_min, config.policy.max_age
+            );
+            server.start_tick_driver(config);
+        }
+        eprintln!("serving on {}", server.addr());
+        server.join();
+        eprintln!("shut down");
+        return;
+    }
+
+    let mut outcome = run_load(&options);
+
+    if options.compare_single {
+        // The pre-sharding deployment: one lockstep connection, one
+        // settle worker, no driver. The ratio this records is the
+        // scaling claim; the byte-compare is the determinism claim.
+        let mut baseline_service = Service::new(ServeConfig {
+            settle_workers: 1,
+            ..options.serve_config.clone()
+        });
+        let baseline = run_soak(&mut baseline_service, &options.soak_config);
+        if baseline.stream != outcome.stream {
+            eprintln!(
+                "determinism violation: {}-connection stream diverged from the \
+                 single-connection baseline",
+                outcome.connections
+            );
+            std::process::exit(1);
+        }
+        outcome.baseline_journeys_per_sec = Some(baseline.journeys_per_sec());
+        if let Some(ratio) = outcome.throughput_ratio_vs_single() {
+            eprintln!(
+                "throughput: {:.0} journeys/s over {} connections vs {:.0} single \
+                 ({ratio:.2}x, {} cores)",
+                outcome.journeys_per_sec(),
+                outcome.connections,
+                baseline.journeys_per_sec(),
+                outcome.parallelism,
+            );
+            // The scaling gate is hardware-relative: a CPU-bound soak
+            // cannot beat its serial baseline on a single core, so the
+            // caller (CI) picks the floor the host can support.
+            if let Some(required) = options.require_ratio {
+                if ratio < required {
+                    eprintln!(
+                        "SLO violation: throughput ratio {ratio:.2} below required \
+                         {required:.2} (parallelism {})",
+                        outcome.parallelism
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 
     let json = outcome.to_json(
         options.serve_config.check_workers,

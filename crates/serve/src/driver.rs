@@ -1,0 +1,273 @@
+//! The server-side tick driver: a background thread that paces
+//! verification so clients don't have to.
+//!
+//! Historically ticks ran only when a client sent [`Request::Tick`] —
+//! verification was *client-paced*, and a stalled client stalled its
+//! owners' settlements. The driver inverts that: it periodically scans
+//! the owner shards and ticks the ones whose queues are worth settling,
+//! making client `Tick` / `TickOwners` requests optional pacing hints.
+//!
+//! The scan is **batching-aware** ([`TickPolicy`]): an owner is ticked
+//! when its queue has reached `batch_min` journeys (the amortization
+//! sweet spot — one `settle_owner_batch` covers the lot) *or* when its
+//! oldest queued journey has waited `max_age` (the latency bound that
+//! keeps a trickle of submissions from waiting forever). Owners with
+//! empty or not-yet-eligible queues are skipped without taking their
+//! exec locks.
+//!
+//! Determinism: a driver tick is the same operation as a client tick —
+//! it drains whole ingress batches under each owner's exec lock — so
+//! per-owner verdict streams are byte-identical whether, when, and how
+//! often the driver fires (see the service module docs).
+//!
+//! [`Request::Tick`]: crate::Request::Tick
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use refstate_telemetry as telemetry;
+
+use crate::service::Service;
+
+/// When a scanned owner becomes eligible for a driver tick.
+#[derive(Debug, Clone)]
+pub struct TickPolicy {
+    /// Tick an owner once its queue holds at least this many journeys
+    /// (the batch-amortization threshold). `1` means "any queued work".
+    pub batch_min: usize,
+    /// Tick an owner regardless of depth once its oldest queued journey
+    /// has waited this long (the latency deadline).
+    pub max_age: Duration,
+}
+
+impl Default for TickPolicy {
+    fn default() -> Self {
+        TickPolicy {
+            batch_min: 16,
+            max_age: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Tick driver configuration: how often to scan, and when a scanned
+/// owner is worth ticking.
+#[derive(Debug, Clone)]
+pub struct TickDriverConfig {
+    /// Pause between scans.
+    pub interval: Duration,
+    /// Per-owner eligibility policy.
+    pub policy: TickPolicy,
+}
+
+impl Default for TickDriverConfig {
+    fn default() -> Self {
+        TickDriverConfig {
+            interval: Duration::from_millis(1),
+            policy: TickPolicy::default(),
+        }
+    }
+}
+
+/// A running background tick driver. Stops (and joins its thread) on
+/// [`TickDriver::stop`] or drop; also exits on its own once the service
+/// starts shutting down.
+pub struct TickDriver {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TickDriver {
+    /// Spawns the driver thread over `service`.
+    pub fn start(service: Arc<Service>, config: TickDriverConfig) -> TickDriver {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("refstate-tick-driver".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::SeqCst) && !service.is_shutting_down() {
+                    service.drive_tick(&config.policy);
+                    std::thread::sleep(config.interval);
+                }
+            })
+            .expect("spawn tick driver thread");
+        TickDriver {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the driver thread and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TickDriver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Service {
+    /// One driver pass: scan every owner's queue depth and age, tick the
+    /// eligible ones (in parallel across `settle_workers`). Returns the
+    /// number of verdicts produced.
+    ///
+    /// Instrumented under `serve.tick_driver.*`: scan latency
+    /// (`scan_us`), a queue-age histogram over non-empty queues
+    /// (`queue_age_us`), how many owners were skipped as idle or
+    /// below-threshold (`idle_skips`), and how many driver ticks actually
+    /// fired (`ticks`).
+    pub fn drive_tick(&self, policy: &TickPolicy) -> u64 {
+        let timer = telemetry::Timer::start();
+        let shards = self.shards();
+        let mut eligible = Vec::new();
+        let mut skipped = 0u64;
+        for shard in &shards {
+            let (depth, age) = shard.queue_depth_and_age();
+            if depth == 0 {
+                skipped += 1;
+                continue;
+            }
+            let age = age.unwrap_or_default();
+            telemetry::observe("serve.tick_driver.queue_age_us", age.as_micros() as u64);
+            if depth >= policy.batch_min || age >= policy.max_age {
+                eligible.push(Arc::clone(shard));
+            } else {
+                skipped += 1;
+            }
+        }
+        let scan = timer.finish("serve.tick_driver.scan", "serve");
+        telemetry::observe("serve.tick_driver.scan_us", scan.as_micros() as u64);
+        if skipped > 0 {
+            telemetry::count("serve.tick_driver.idle_skips", skipped);
+        }
+        if eligible.is_empty() {
+            return 0;
+        }
+        telemetry::count("serve.tick_driver.ticks", 1);
+        self.tick_shards(&eligible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{RegisterOwner, Request, Response};
+    use crate::service::ServeConfig;
+
+    fn register(service: &Service, owner: &str, seed: u64) {
+        let reply = service.handle(Request::Register(RegisterOwner {
+            owner: owner.into(),
+            seed,
+            preset: "single-tamperer".into(),
+            mechanism: "protocol".into(),
+        }));
+        assert!(matches!(reply, Response::Registered { .. }), "{reply:?}");
+    }
+
+    #[test]
+    fn drive_tick_respects_batch_min_until_the_deadline() {
+        let service = Service::new(ServeConfig {
+            key_pool: 8,
+            ..ServeConfig::default()
+        });
+        register(&service, "alice", 7);
+        service.handle(Request::Submit {
+            owner: "alice".into(),
+            journey: 0,
+        });
+        // Depth 1 < batch_min 8 and the deadline is far away: no tick.
+        let policy = TickPolicy {
+            batch_min: 8,
+            max_age: Duration::from_secs(3600),
+        };
+        assert_eq!(service.drive_tick(&policy), 0);
+        // The age deadline alone makes it eligible.
+        let impatient = TickPolicy {
+            batch_min: 8,
+            max_age: Duration::ZERO,
+        };
+        assert_eq!(service.drive_tick(&impatient), 1);
+    }
+
+    #[test]
+    fn drive_tick_fires_at_batch_min_depth() {
+        let service = Service::new(ServeConfig {
+            key_pool: 8,
+            ..ServeConfig::default()
+        });
+        register(&service, "alice", 7);
+        for journey in 0..4u64 {
+            service.handle(Request::Submit {
+                owner: "alice".into(),
+                journey,
+            });
+        }
+        let policy = TickPolicy {
+            batch_min: 4,
+            max_age: Duration::from_secs(3600),
+        };
+        assert_eq!(service.drive_tick(&policy), 4);
+        // Nothing queued: the next pass is a no-op.
+        assert_eq!(service.drive_tick(&policy), 0);
+    }
+
+    #[test]
+    fn background_driver_settles_without_client_ticks() {
+        let service = Arc::new(Service::new(ServeConfig {
+            key_pool: 8,
+            ..ServeConfig::default()
+        }));
+        register(&service, "alice", 7);
+        let driver = TickDriver::start(
+            Arc::clone(&service),
+            TickDriverConfig {
+                interval: Duration::from_millis(1),
+                policy: TickPolicy {
+                    batch_min: 1,
+                    max_age: Duration::ZERO,
+                },
+            },
+        );
+        for journey in 0..6u64 {
+            let reply = service.handle(Request::Submit {
+                owner: "alice".into(),
+                journey,
+            });
+            assert!(matches!(reply, Response::Accepted { .. }));
+        }
+        // No client Tick anywhere: the driver alone settles everything.
+        let mut verdicts = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while verdicts.len() < 6 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "driver failed to settle: {} of 6",
+                verdicts.len()
+            );
+            let Response::Verdicts(batch) = service.handle(Request::Drain {
+                owner: "alice".into(),
+            }) else {
+                panic!("drain");
+            };
+            verdicts.extend(batch);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        driver.stop();
+        assert_eq!(
+            verdicts.iter().map(|v| v.journey).collect::<Vec<_>>(),
+            (0..6u64).collect::<Vec<_>>(),
+            "driver ticks preserve admission order"
+        );
+    }
+}

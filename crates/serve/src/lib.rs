@@ -14,32 +14,47 @@
 //!
 //! * [`proto`] — the request/response messages on the workspace's
 //!   canonical codec, framed by `refstate_wire::frame`,
-//! * [`service`] — per-owner sharded state (namespaced key-directory
-//!   views, per-owner pipelines over one shared replay cache, bounded
-//!   ingress queues) and the deterministic tick loop: every admitted
-//!   journey runs host-side, then each owner settles in one amortized
+//! * [`service`] — a lock-free routing layer over per-owner *shards*
+//!   (namespaced key-directory views, per-owner pipelines over one
+//!   shared replay cache, bounded ingress queues, per-owner exec locks).
+//!   Submits for different owners never contend, and a tick settles
+//!   independent owners in parallel across a small worker pool
+//!   (`settle_workers`) — each owner still settles in one amortized
 //!   `settle_owner_batch`,
-//! * [`net`] — a TCP shell (framed requests in, framed responses out)
-//!   around the synchronous service,
-//! * [`soak`] — the load driver: sustained multi-owner streams with
-//!   client-observed p50/p95/p99 verdict latency, emitted as the
-//!   schema-checked `refstate-soak-slo-v1` JSON artifact.
+//! * [`driver`] — the server-side tick driver: a background thread that
+//!   scans the shards and ticks the ones whose queues are worth settling
+//!   (batch-size or age eligibility), making client `Tick` requests
+//!   optional pacing hints,
+//! * [`net`] — a TCP shell with pipelined connections: each connection
+//!   runs a reader/writer thread pair around a bounded response window,
+//!   so clients can keep many requests in flight on one socket,
+//! * [`soak`] — the load driver: sustained multi-owner streams, single
+//!   lockstep connection or N pipelined connections, with
+//!   client-observed p50/p95/p99 verdict latency and aggregate
+//!   journeys/s, emitted as the schema-checked `refstate-soak-slo-v1`
+//!   JSON artifact.
 //!
-//! The contract under all of it: for a fixed registration and request
-//! order, each owner's verdict stream is **byte-identical** across runs,
-//! `check_workers` settings, and telemetry levels — parallelism and
-//! observability change cost, never outcomes. Golden fixtures in
-//! `tests/` pin this.
+//! The contract under all of it: for a fixed registration and per-owner
+//! submission order, each owner's verdict stream is **byte-identical**
+//! across runs, `check_workers` and `settle_workers` settings,
+//! connection counts, tick pacing (client ticks, the background driver,
+//! or both), and telemetry levels — parallelism and observability change
+//! cost, never outcomes. Golden fixtures in `tests/` pin this.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod net;
 pub mod proto;
 pub mod service;
 pub mod soak;
 
-pub use net::{Client, Server};
+pub use driver::{TickDriver, TickDriverConfig, TickPolicy};
+pub use net::{Client, PipelinedClient, Server};
 pub use proto::{OwnerStats, RegisterOwner, RejectReason, Request, Response, VerdictReply};
 pub use service::{ServeConfig, Service};
-pub use soak::{run_soak, Endpoint, SloPercentiles, SoakConfig, SoakOutcome};
+pub use soak::{
+    run_soak, run_soak_concurrent, ConnectionOutcome, Endpoint, LocalPipelined, PipelinedEndpoint,
+    SloPercentiles, SoakConfig, SoakOutcome, TickDriverMeta,
+};

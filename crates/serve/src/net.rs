@@ -1,54 +1,81 @@
-//! The TCP transport: framed requests in, framed responses out.
+//! The TCP transport: framed requests in, framed responses out,
+//! pipelined per connection.
 //!
-//! The transport is a thin shell around [`Service::handle`]: each
-//! connection reads length-prefixed [`Request`] frames
-//! ([`refstate_wire::FrameReader`]), serializes them into the shared
-//! service behind a mutex, and writes the [`Response`] frame back. All
-//! protocol semantics — admission, ticks, draining — live in the service;
-//! the transport adds only framing and connection lifecycle.
+//! The transport is a thin shell around [`Service::handle`]: the service
+//! is internally locked (per-owner shards — see the service module
+//! docs), so every connection thread calls straight into it with no
+//! transport-level mutex. Each connection runs two threads:
 //!
-//! Determinism note: the service itself is deterministic in its *request
-//! order*. A single client (or clients that externally coordinate their
-//! submissions and ticks, as the soak driver does) therefore gets
-//! byte-identical verdict streams; uncoordinated concurrent clients race
-//! for the mutex and define their own interleaving.
+//! * the **reader** decodes length-prefixed [`Request`] frames
+//!   ([`refstate_wire::FrameReader`]) and handles each one as it
+//!   arrives, pushing the [`Response`] into a bounded queue — the
+//!   connection's *pipeline window*. A client may therefore stream many
+//!   requests before reading the first reply; once the window fills,
+//!   the reader blocks, which backpressures the socket.
+//! * the **writer** drains that queue into response frames, batching
+//!   opportunistically: it keeps writing while responses are ready and
+//!   flushes when the queue runs dry, so a lockstep client still sees
+//!   one flush per reply while a pipelining client gets batched writes.
+//!
+//! Responses always come back in request order (the reader handles
+//! requests serially), so the 1:1 request/response protocol contract
+//! holds under pipelining.
+//!
+//! Determinism note: per-owner verdict streams are pinned by the service
+//! regardless of how many connections submit, tick, or drain — only each
+//! owner's submission order matters. Clients that need a reproducible
+//! stream submit each owner's journeys from one connection, in order
+//! (the soak driver partitions owners across connections exactly this
+//! way); how ticks and drains interleave is then irrelevant.
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use refstate_telemetry as telemetry;
 use refstate_wire::{write_message, FrameError, FrameReader};
 
+use crate::driver::{TickDriver, TickDriverConfig};
 use crate::proto::{Request, Response};
 use crate::service::Service;
 
-/// A running TCP server: the bound address plus the accept-loop handle.
+/// How many handled-but-unwritten responses a connection may buffer
+/// before its reader stops decoding new requests (the per-connection
+/// pipeline window).
+const PIPELINE_WINDOW: usize = 128;
+
+/// A running TCP server: the bound address, the accept-loop handle, and
+/// the shared service (plus an optional background tick driver).
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_loop: JoinHandle<()>,
-    service: Arc<Mutex<Service>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    service: Arc<Service>,
+    driver: Option<TickDriver>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
     /// accepting connections; each connection is served on its own
-    /// thread against the shared service.
+    /// reader/writer thread pair against the shared service.
     pub fn bind(service: Service, addr: impl ToSocketAddrs) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept so the loop can observe the shutdown flag
         // without needing a wake-up connection.
         listener.set_nonblocking(true)?;
-        let service = Arc::new(Mutex::new(service));
+        let service = Arc::new(service);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_loop = {
             let service = Arc::clone(&service);
             let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            let next_conn = AtomicU32::new(0);
             thread::spawn(move || loop {
                 if shutdown.load(Ordering::SeqCst) {
                     return;
@@ -56,9 +83,16 @@ impl Server {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         telemetry::count("serve.net.connections", 1);
+                        let conn_id = next_conn.fetch_add(1, Ordering::Relaxed);
                         let service = Arc::clone(&service);
                         let shutdown = Arc::clone(&shutdown);
-                        thread::spawn(move || serve_connection(stream, service, shutdown));
+                        let handle = thread::spawn(move || {
+                            serve_connection(stream, service, shutdown, conn_id)
+                        });
+                        connections
+                            .lock()
+                            .expect("connection registry")
+                            .push(handle);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(5));
@@ -71,7 +105,9 @@ impl Server {
             addr,
             shutdown,
             accept_loop,
+            connections,
             service,
+            driver: None,
         })
     }
 
@@ -80,26 +116,42 @@ impl Server {
         self.addr
     }
 
+    /// The shared service, for in-process callers (a co-located tick
+    /// driver, post-mortem stats) running beside the TCP clients.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Starts the background tick driver over this server's service.
+    /// Replaces (stopping) any previous driver.
+    pub fn start_tick_driver(&mut self, config: TickDriverConfig) {
+        self.driver = Some(TickDriver::start(Arc::clone(&self.service), config));
+    }
+
     /// Whether a `Shutdown` request has been processed.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
     /// Waits for the accept loop to exit (it exits after a client sends
-    /// [`Request::Shutdown`], or after [`Server::stop`]). Returns the
+    /// [`Request::Shutdown`], or after [`Server::stop`]), then for every
+    /// connection to close. Waiting on the connections matters after a
+    /// shutdown: outboxes stay drainable, and clients on *other*
+    /// connections than the one that sent `Shutdown` may still be
+    /// draining verdicts — exiting while they do would reset their
+    /// sockets mid-read. Stops the tick driver, and returns the shared
     /// service for post-mortem inspection.
-    pub fn join(self) -> Service {
-        let _ = self.accept_loop.join();
-        match Arc::try_unwrap(self.service) {
-            Ok(mutex) => mutex.into_inner().unwrap_or_else(|e| e.into_inner()),
-            Err(shared) => {
-                // A connection thread still holds a reference (client
-                // vanished mid-request); hand back a drained clone of
-                // nothing — the caller only loses post-mortem stats.
-                drop(shared);
-                Service::new(crate::service::ServeConfig::default())
-            }
+    pub fn join(mut self) -> Arc<Service> {
+        if let Some(driver) = self.driver.take() {
+            driver.stop();
         }
+        let _ = self.accept_loop.join();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.connections.lock().expect("connection registry"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.service
     }
 
     /// Requests the accept loop to stop without a client shutdown.
@@ -108,45 +160,67 @@ impl Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, service: Arc<Mutex<Service>>, shutdown: Arc<AtomicBool>) {
+fn serve_connection(
+    stream: TcpStream,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    conn_id: u32,
+) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let mut writer = io::BufWriter::new(write_half);
+    // The pipeline window: handled responses queue here for the writer
+    // thread; a full window blocks the reader (socket backpressure).
+    let (tx, rx) = mpsc::sync_channel::<Response>(PIPELINE_WINDOW);
+    let writer_thread = thread::spawn(move || {
+        let mut writer = io::BufWriter::new(write_half);
+        while let Ok(response) = rx.recv() {
+            if write_message(&mut writer, &response, refstate_wire::DEFAULT_MAX_FRAME).is_err() {
+                return;
+            }
+            // Opportunistic batching: drain whatever else is already
+            // settled before paying the flush.
+            while let Ok(next) = rx.try_recv() {
+                if write_message(&mut writer, &next, refstate_wire::DEFAULT_MAX_FRAME).is_err() {
+                    return;
+                }
+            }
+            if writer.flush().is_err() {
+                return;
+            }
+        }
+    });
+
     let mut reader = FrameReader::new(stream, refstate_wire::DEFAULT_MAX_FRAME);
     loop {
-        let request = match reader.read_message::<Request>() {
-            Ok(Some(request)) => request,
-            Ok(None) => return, // clean EOF at a frame boundary
+        match reader.read_message::<Request>() {
+            Ok(Some(request)) => {
+                telemetry::count_indexed("serve.conn.requests", conn_id, 1);
+                let is_shutdown = matches!(request, Request::Shutdown);
+                let response = service.handle(request);
+                if tx.send(response).is_err() {
+                    break; // writer died (client stopped reading)
+                }
+                if is_shutdown {
+                    // The service has drained; stop accepting new
+                    // connections. This connection stays open so the
+                    // client can still drain outboxes and read stats.
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+            }
+            Ok(None) => break, // clean EOF at a frame boundary
             Err(error) => {
                 // Malformed frame: reply with a typed error, then close
                 // (framing is lost once a frame is bad).
-                let reply = Response::Error {
+                let _ = tx.send(Response::Error {
                     message: frame_error_message(&error),
-                };
-                let _ = write_message(&mut writer, &reply, refstate_wire::DEFAULT_MAX_FRAME);
-                let _ = writer.flush();
-                return;
+                });
+                break;
             }
-        };
-        let is_shutdown = matches!(request, Request::Shutdown);
-        let response = {
-            let mut service = service.lock().unwrap_or_else(|e| e.into_inner());
-            service.handle(request)
-        };
-        if write_message(&mut writer, &response, refstate_wire::DEFAULT_MAX_FRAME).is_err() {
-            return;
-        }
-        if writer.flush().is_err() {
-            return;
-        }
-        if is_shutdown {
-            // The service has drained; stop accepting new connections.
-            // This connection stays open so the client can still drain
-            // outboxes and read stats.
-            shutdown.store(true, Ordering::SeqCst);
         }
     }
+    drop(tx);
+    let _ = writer_thread.join();
 }
 
 fn frame_error_message(error: &FrameError) -> String {
@@ -175,6 +249,66 @@ impl Client {
     pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
         write_message(&mut self.writer, request, refstate_wire::DEFAULT_MAX_FRAME)?;
         self.writer.flush().map_err(FrameError::Io)?;
+        match self.reader.read_message::<Response>()? {
+            Some(response) => Ok(response),
+            None => Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            ))),
+        }
+    }
+}
+
+/// A pipelining client: decoupled send and receive halves over one
+/// connection, so a caller can keep a window of requests in flight and
+/// collect the (request-ordered) responses as they settle.
+///
+/// The caller is responsible for windowing — pair every [`send`] with a
+/// later [`recv`] and keep the gap bounded (the server's own window will
+/// backpressure past ~[`128`](self) in-flight requests per connection).
+///
+/// [`send`]: PipelinedClient::send
+/// [`recv`]: PipelinedClient::recv
+pub struct PipelinedClient {
+    writer: io::BufWriter<TcpStream>,
+    reader: FrameReader<TcpStream>,
+    unflushed: bool,
+}
+
+impl PipelinedClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = io::BufWriter::new(stream.try_clone()?);
+        Ok(PipelinedClient {
+            writer,
+            reader: FrameReader::new(stream, refstate_wire::DEFAULT_MAX_FRAME),
+            unflushed: false,
+        })
+    }
+
+    /// Queues one request frame without flushing; consecutive sends
+    /// batch into one socket write.
+    pub fn send(&mut self, request: &Request) -> Result<(), FrameError> {
+        write_message(&mut self.writer, request, refstate_wire::DEFAULT_MAX_FRAME)?;
+        self.unflushed = true;
+        Ok(())
+    }
+
+    /// Flushes any queued request frames to the socket.
+    pub fn flush(&mut self) -> Result<(), FrameError> {
+        if self.unflushed {
+            self.writer.flush().map_err(FrameError::Io)?;
+            self.unflushed = false;
+        }
+        Ok(())
+    }
+
+    /// Reads the next response (flushing queued requests first, so a
+    /// recv can never deadlock on its own unsent request).
+    pub fn recv(&mut self) -> Result<Response, FrameError> {
+        self.flush()?;
         match self.reader.read_message::<Response>()? {
             Some(response) => Ok(response),
             None => Err(FrameError::Io(io::Error::new(

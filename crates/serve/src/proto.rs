@@ -5,12 +5,15 @@
 //! canonical codec, so a framed byte stream
 //! ([`refstate_wire::FrameReader`] / [`refstate_wire::write_message`])
 //! carries the whole conversation — over TCP, a Unix pipe, or an
-//! in-process buffer alike. The protocol is deliberately *synchronous and
-//! client-paced*: every [`Request`] gets exactly one [`Response`], and
-//! verification work happens only inside an explicit [`Request::Tick`],
-//! which is what makes a service's per-owner verdict stream a pure
-//! function of the request sequence (and therefore byte-identical across
-//! runs, worker counts, and telemetry levels).
+//! in-process buffer alike. Every [`Request`] gets exactly one
+//! [`Response`], in request order per connection, but connections may
+//! *pipeline*: a client can have a bounded window of requests in flight
+//! before reading the first reply. Verification runs wherever a tick
+//! fires — an explicit [`Request::Tick`] / [`Request::TickOwners`], the
+//! server's background tick driver, or the shutdown drain — and the
+//! per-owner verdict stream is byte-identical regardless, because
+//! verdict order is pinned to admission order within each owner (see the
+//! service docs for the full determinism contract).
 
 use refstate_wire::{Decode, Encode, Reader, WireError, Writer};
 
@@ -86,7 +89,16 @@ pub enum Request {
     },
     /// Run one service tick: every admitted journey executes, and each
     /// owner's pending owner-side work settles in one amortized batch.
+    /// With a server-side tick driver running this is an optional pacing
+    /// hint, not the only verification engine.
     Tick,
+    /// Run a tick restricted to the named owners, so concurrent
+    /// connections driving disjoint owner partitions never contend on
+    /// each other's shards. Unknown names are rejected.
+    TickOwners(
+        /// The owners to tick.
+        Vec<String>,
+    ),
     /// Move `owner`'s completed verdicts out of the service.
     Drain {
         /// The tenant.
@@ -292,6 +304,10 @@ impl Encode for Request {
                 owner.encode(w);
             }
             Request::Shutdown => w.put_u8(5),
+            Request::TickOwners(owners) => {
+                w.put_u8(6);
+                owners.encode(w);
+            }
         }
     }
 }
@@ -312,6 +328,7 @@ impl Decode for Request {
                 owner: String::decode(r)?,
             },
             5 => Request::Shutdown,
+            6 => Request::TickOwners(Vec::decode(r)?),
             tag => {
                 return Err(WireError::InvalidTag {
                     context: "Request",
@@ -498,6 +515,8 @@ mod tests {
             owner: "bob".into(),
         });
         round_trip(Request::Shutdown);
+        round_trip(Request::TickOwners(vec!["alice".into(), "bob".into()]));
+        round_trip(Request::TickOwners(Vec::new()));
     }
 
     #[test]

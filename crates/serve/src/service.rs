@@ -1,5 +1,6 @@
 //! The resident owner service: multi-tenant state, admission control,
-//! and the amortized verification tick.
+//! and the amortized verification tick — sharded per owner so
+//! independent tenants never contend.
 //!
 //! A [`Service`] is the paper's *agent owner* turned into a long-lived
 //! endpoint. Tenants register a scenario universe (seed + preset +
@@ -7,16 +8,47 @@
 //! service re-derives every journey from the registration — generation is
 //! a pure function of `(seed, id, preset)`, exactly as in the fleet
 //! engine — so no agent state crosses the wire and a service run is
-//! reproducible from its request sequence alone.
+//! reproducible from its per-owner request sequence alone.
 //!
-//! Three design rules keep the service deterministic and cheap:
+//! # Concurrency model
 //!
-//! * **client-paced ticks** — verification happens only inside
-//!   [`Service::handle`]'s `Tick`, never on a background thread, so the
-//!   per-owner verdict stream is a pure function of the request order.
-//!   Worker parallelism lives *inside* the tick
-//!   (`check_workers`-distributed bulk session checking, which is
-//!   verdict-order invariant), never across it.
+//! [`Service::handle`] takes `&self`: the service is internally locked
+//! and every transport (or background driver) may call it concurrently.
+//! The locking is layered so that the common operations touch only the
+//! state they need:
+//!
+//! * **routing** — the owner table is an `RwLock<Vec<Arc<OwnerShard>>>`;
+//!   request dispatch takes a read lock just long enough to clone one
+//!   `Arc`. Only registration writes it.
+//! * **per-owner shards** — each owner's mutable state lives in its own
+//!   `OwnerShard` behind three fine-grained locks: `ingress` (the
+//!   bounded submit queue), `outbox` (settled verdicts awaiting drain),
+//!   and `exec` (the tick-execution lock). Submits for different owners
+//!   never share a lock, and a submit for owner A proceeds while owner
+//!   B's batch is mid-settle.
+//! * **the exec lock pins verdict order** — a tick drains an owner's
+//!   ingress, runs the batch, and appends to the outbox all under that
+//!   owner's `exec` lock, so concurrent tickers (several connections, the
+//!   background driver, the shutdown drain) serialize *per owner* and the
+//!   outbox always receives verdicts in admission order.
+//! * **control plane** — registration serializes on a separate control
+//!   lock (the master key directory); stats are lock-free atomics plus
+//!   two queue-length peeks.
+//!
+//! # Determinism contract
+//!
+//! For a fixed registration and a fixed per-owner submission order, each
+//! owner's verdict stream (the concatenation of its drained
+//! [`VerdictReply`]s) is **byte-identical** across: settle worker counts,
+//! check worker counts, how many connections submit or tick, which engine
+//! fires the tick (client `Tick`/`TickOwners`, server tick driver, or
+//! shutdown drain), tick pacing, and telemetry levels. The stream is
+//! *not* a function of how journeys interleave **across** owners — only
+//! per-owner order is pinned, which is exactly what per-owner locking
+//! preserves.
+//!
+//! Three further design rules keep the service cheap:
+//!
 //! * **cross-journey amortization** — every admitted journey runs its
 //!   host-side part, and each owner's outstanding owner-side work (final
 //!   re-execution checks, deferred signature verifications) settles in
@@ -28,9 +60,13 @@
 //!   [`RejectReason::QueueFull`] instead of queuing unboundedly, and a
 //!   draining service refuses everything new while still settling every
 //!   journey it already accepted.
+//! * **bounded history** — the per-owner event log is cleared at the
+//!   start of each tick (verdicts never read prior ticks' events), so a
+//!   resident service does not accumulate timeline state forever.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -61,6 +97,11 @@ pub struct ServeConfig {
     /// Worker threads for the owner-side bulk session-check pass inside
     /// a tick (`0` = one per core). Verdict streams are invariant in this.
     pub check_workers: usize,
+    /// Worker threads settling *independent owners* in parallel within
+    /// one tick (`1` = sequential, `0` = one per core). Per-owner verdict
+    /// streams are invariant in this: each owner's whole batch runs on
+    /// one worker under its exec lock.
+    pub settle_workers: usize,
     /// Share one sharded [`ReplayCache`] across every tenant's pipeline.
     pub replay_cache: bool,
 }
@@ -72,6 +113,7 @@ impl Default for ServeConfig {
             key_pool: 32,
             queue_capacity: 64,
             check_workers: 1,
+            settle_workers: 1,
             replay_cache: true,
         }
     }
@@ -106,9 +148,13 @@ fn key_index(owner_seed: u64, name: &str, pool: usize) -> usize {
     (scenario::scenario_seed(owner_seed, hash) % pool as u64) as usize
 }
 
-/// One tenant's resident state.
-struct OwnerState {
-    name: String,
+/// One tenant's resident state: immutable registration-derived fields
+/// plus three fine-grained locks and lock-free counters. See the module
+/// docs for the locking discipline.
+pub(crate) struct OwnerShard {
+    pub(crate) name: String,
+    /// Registration index, used for per-owner indexed telemetry.
+    index: u32,
     seed: u64,
     preset: Preset,
     mechanism: Arc<dyn ProtectionMechanism>,
@@ -122,31 +168,49 @@ struct OwnerState {
     log: EventLog,
     config: MechanismConfig,
     /// Admitted journeys awaiting the next tick, in admission order.
-    ingress: VecDeque<(u64, Instant)>,
+    /// Locked only for brief push/drain/peek sections.
+    pub(crate) ingress: Mutex<VecDeque<(u64, Instant)>>,
+    /// The tick-execution lock: held across drain → run → settle →
+    /// outbox-append, so concurrent tickers serialize per owner and the
+    /// outbox receives verdicts in admission order.
+    exec: Mutex<()>,
     /// Settled verdicts awaiting a drain, in admission order.
-    outbox: Vec<VerdictReply>,
-    accepted: u64,
-    rejected: u64,
-    verified: u64,
-    detected: u64,
-    final_checks: u64,
-    flush_verifications: u64,
-    flush_failures: u64,
+    outbox: Mutex<Vec<VerdictReply>>,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    verified: AtomicU64,
+    detected: AtomicU64,
+    final_checks: AtomicU64,
+    flush_verifications: AtomicU64,
+    flush_failures: AtomicU64,
+}
+
+impl OwnerShard {
+    /// Queue length and age of the oldest queued journey, for the tick
+    /// driver's batching policy. One brief ingress lock.
+    pub(crate) fn queue_depth_and_age(&self) -> (usize, Option<std::time::Duration>) {
+        let ingress = self.ingress.lock().expect("ingress lock");
+        (
+            ingress.len(),
+            ingress.front().map(|(_, queued_at)| queued_at.elapsed()),
+        )
+    }
 }
 
 /// The resident multi-tenant verification service.
 ///
-/// Synchronous by construction: [`Service::handle`] is the only entry
-/// point, transports serialize requests into it (the TCP layer holds the
-/// service behind a mutex), and all verification work happens inside the
-/// explicit `Tick` request.
+/// Internally locked: [`Service::handle`] takes `&self` and may be called
+/// from any number of threads — transports share the service behind a
+/// plain `Arc`. Verification runs wherever a tick fires (a client `Tick`
+/// / `TickOwners`, the background tick driver, or the shutdown drain);
+/// per-owner verdict order is pinned regardless (see the module docs).
 ///
 /// # Examples
 ///
 /// ```
 /// use refstate_serve::{Request, Response, RegisterOwner, Service, ServeConfig};
 ///
-/// let mut service = Service::new(ServeConfig::default());
+/// let service = Service::new(ServeConfig::default());
 /// let reply = service.handle(Request::Register(RegisterOwner {
 ///     owner: "alice".into(),
 ///     seed: 7,
@@ -163,11 +227,15 @@ struct OwnerState {
 pub struct Service {
     config: ServeConfig,
     params_pool: Vec<DsaKeyPair>,
-    master: KeyDirectory,
+    /// Control lock: the master key directory, held across a whole
+    /// registration (the only mutation path).
+    master: Mutex<KeyDirectory>,
     cache: Option<Arc<ReplayCache>>,
     registry: MechanismRegistry,
-    owners: Vec<OwnerState>,
-    shutting_down: bool,
+    /// The routing layer: reads clone one `Arc`, only registration
+    /// writes.
+    owners: RwLock<Vec<Arc<OwnerShard>>>,
+    shutting_down: AtomicBool,
 }
 
 impl Service {
@@ -187,43 +255,62 @@ impl Service {
         Service {
             config,
             params_pool,
-            master: KeyDirectory::new(),
+            master: Mutex::new(KeyDirectory::new()),
             cache,
             registry: MechanismRegistry::builtin(),
-            owners: Vec::new(),
-            shutting_down: false,
+            owners: RwLock::new(Vec::new()),
+            shutting_down: AtomicBool::new(false),
         }
     }
 
     /// Whether a shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
-        self.shutting_down
+        self.shutting_down.load(Ordering::SeqCst)
     }
 
     /// Registered owner names, in registration order.
-    pub fn owner_names(&self) -> Vec<&str> {
-        self.owners.iter().map(|o| o.name.as_str()).collect()
+    pub fn owner_names(&self) -> Vec<String> {
+        self.owners
+            .read()
+            .expect("owner table lock")
+            .iter()
+            .map(|o| o.name.clone())
+            .collect()
     }
 
-    fn owner_index(&self, name: &str) -> Option<usize> {
-        self.owners.iter().position(|o| o.name == name)
+    /// Snapshot of the owner shards (one `Arc` clone each), for tick
+    /// drivers and the shutdown drain.
+    pub(crate) fn shards(&self) -> Vec<Arc<OwnerShard>> {
+        self.owners.read().expect("owner table lock").clone()
+    }
+
+    fn shard(&self, name: &str) -> Option<Arc<OwnerShard>> {
+        self.owners
+            .read()
+            .expect("owner table lock")
+            .iter()
+            .find(|o| o.name == name)
+            .cloned()
     }
 
     /// Handles one request; every transport funnels through here.
-    pub fn handle(&mut self, request: Request) -> Response {
+    /// Safe to call concurrently — see the module docs for what each
+    /// request contends on.
+    pub fn handle(&self, request: Request) -> Response {
         match request {
             Request::Register(registration) => self.register(registration),
             Request::Submit { owner, journey } => self.submit(owner, journey),
             Request::Tick => Response::Ticked {
                 settled: self.tick(),
             },
+            Request::TickOwners(names) => self.tick_named(names),
             Request::Drain { owner } => self.drain(owner),
             Request::Stats { owner } => self.stats(owner),
             Request::Shutdown => self.shutdown(),
         }
     }
 
-    fn register(&mut self, registration: RegisterOwner) -> Response {
+    fn register(&self, registration: RegisterOwner) -> Response {
         let RegisterOwner {
             owner,
             seed,
@@ -235,16 +322,13 @@ impl Service {
             journey: 0,
             reason,
         };
-        if self.shutting_down {
+        if self.is_shutting_down() {
             return reject(RejectReason::ShuttingDown);
         }
         if owner.is_empty() || owner.contains('/') {
             return Response::Error {
                 message: format!("invalid owner name {owner:?} (non-empty, no '/')"),
             };
-        }
-        if self.owner_index(&owner).is_some() {
-            return reject(RejectReason::DuplicateOwner);
         }
         let Some(preset) = Preset::parse(&preset) else {
             return reject(RejectReason::UnknownPreset);
@@ -253,6 +337,14 @@ impl Service {
             return reject(RejectReason::UnknownMechanism);
         };
 
+        // The control lock serializes registrations end to end, so the
+        // duplicate check and the table push are atomic with respect to
+        // other registrations.
+        let mut master = self.master.lock().expect("control lock");
+        if self.shard(&owner).is_some() {
+            return reject(RejectReason::DuplicateOwner);
+        }
+
         // The owner's PKI: every host name its generator can produce,
         // keyed deterministically from the pool, registered under the
         // owner's namespace and handed back as a view. The view is built
@@ -260,10 +352,9 @@ impl Service {
         // warmed here so no first verification pays a table build.
         for name in host_universe() {
             let key = &self.params_pool[key_index(seed, &name, self.params_pool.len())];
-            self.master
-                .register(format!("{owner}/{name}"), key.public().clone());
+            master.register(format!("{owner}/{name}"), key.public().clone());
         }
-        let directory = self.master.namespaced(&owner);
+        let directory = master.namespaced(&owner);
         directory.warm();
 
         let pipeline = Arc::new(match &self.cache {
@@ -275,8 +366,11 @@ impl Service {
             ..MechanismConfig::default()
         };
         telemetry::count("serve.owner.registered", 1);
-        self.owners.push(OwnerState {
+        let mut owners = self.owners.write().expect("owner table lock");
+        let index = owners.len() as u32;
+        owners.push(Arc::new(OwnerShard {
             name: owner.clone(),
+            index,
             seed,
             preset,
             mechanism,
@@ -284,74 +378,133 @@ impl Service {
             pipeline,
             log: EventLog::new(),
             config,
-            ingress: VecDeque::new(),
-            outbox: Vec::new(),
-            accepted: 0,
-            rejected: 0,
-            verified: 0,
-            detected: 0,
-            final_checks: 0,
-            flush_verifications: 0,
-            flush_failures: 0,
-        });
+            ingress: Mutex::new(VecDeque::new()),
+            exec: Mutex::new(()),
+            outbox: Mutex::new(Vec::new()),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            verified: AtomicU64::new(0),
+            detected: AtomicU64::new(0),
+            final_checks: AtomicU64::new(0),
+            flush_verifications: AtomicU64::new(0),
+            flush_failures: AtomicU64::new(0),
+        }));
         Response::Registered { owner }
     }
 
-    fn submit(&mut self, owner: String, journey: u64) -> Response {
-        let Some(index) = self.owner_index(&owner) else {
+    fn submit(&self, owner: String, journey: u64) -> Response {
+        let Some(shard) = self.shard(&owner) else {
             return Response::Rejected {
                 owner,
                 journey,
                 reason: RejectReason::UnknownOwner,
             };
         };
-        let capacity = self.config.queue_capacity;
-        let shutting_down = self.shutting_down;
-        let state = &mut self.owners[index];
-        let reason = if shutting_down {
+        let reason = if self.is_shutting_down() {
             Some(RejectReason::ShuttingDown)
-        } else if state.ingress.len() >= capacity {
-            Some(RejectReason::QueueFull)
         } else {
-            None
+            // One brief ingress lock covers the bound check and the push.
+            let mut ingress = shard.ingress.lock().expect("ingress lock");
+            if ingress.len() >= self.config.queue_capacity {
+                Some(RejectReason::QueueFull)
+            } else {
+                ingress.push_back((journey, Instant::now()));
+                None
+            }
         };
         if let Some(reason) = reason {
-            state.rejected += 1;
-            telemetry::count_indexed("serve.owner.rejected", index as u32, 1);
+            shard.rejected.fetch_add(1, Ordering::Relaxed);
+            telemetry::count_indexed("serve.owner.rejected", shard.index, 1);
             return Response::Rejected {
                 owner,
                 journey,
                 reason,
             };
         }
-        state.ingress.push_back((journey, Instant::now()));
-        state.accepted += 1;
-        telemetry::count_indexed("serve.owner.accepted", index as u32, 1);
+        shard.accepted.fetch_add(1, Ordering::Relaxed);
+        telemetry::count_indexed("serve.owner.accepted", shard.index, 1);
         Response::Accepted { owner, journey }
     }
 
-    /// Runs one service tick: every admitted journey executes its
-    /// host-side part, then each owner's outstanding owner-side work
-    /// settles in one amortized batch. Returns the number of verdicts
-    /// produced.
-    pub fn tick(&mut self) -> u64 {
-        let _span = telemetry::span("serve.tick", "serve");
-        let mut settled_total = 0u64;
-        for index in 0..self.owners.len() {
-            settled_total += self.tick_owner(index);
+    /// Runs one service tick over every owner: each admitted journey
+    /// executes its host-side part, then each owner's outstanding
+    /// owner-side work settles in one amortized batch. Returns the number
+    /// of verdicts produced. Independent owners settle in parallel when
+    /// `settle_workers > 1`.
+    pub fn tick(&self) -> u64 {
+        let shards = self.shards();
+        self.tick_shards(&shards)
+    }
+
+    fn tick_named(&self, names: Vec<String>) -> Response {
+        let mut shards = Vec::with_capacity(names.len());
+        for name in names {
+            match self.shard(&name) {
+                Some(shard) => shards.push(shard),
+                None => {
+                    return Response::Rejected {
+                        owner: name,
+                        journey: 0,
+                        reason: RejectReason::UnknownOwner,
+                    }
+                }
+            }
         }
+        Response::Ticked {
+            settled: self.tick_shards(&shards),
+        }
+    }
+
+    /// Ticks the given shards, farming independent owners out to
+    /// `settle_workers` threads. Per-owner verdict order is pinned by
+    /// each shard's exec lock regardless of the worker count.
+    pub(crate) fn tick_shards(&self, shards: &[Arc<OwnerShard>]) -> u64 {
+        let _span = telemetry::span("serve.tick", "serve");
+        let workers = match self.config.settle_workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(shards.len())
+        .max(1);
+
+        let settled_total = if workers <= 1 {
+            shards.iter().map(|shard| self.tick_shard(shard)).sum()
+        } else {
+            let next = AtomicUsize::new(0);
+            let settled = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(shard) = shards.get(i) else { break };
+                        settled.fetch_add(self.tick_shard(shard), Ordering::Relaxed);
+                    });
+                }
+            });
+            settled.into_inner()
+        };
         telemetry::count("serve.tick.verdicts", settled_total);
         settled_total
     }
 
-    fn tick_owner(&mut self, index: usize) -> u64 {
-        let check_workers = self.config.check_workers;
-        let owner = &mut self.owners[index];
-        if owner.ingress.is_empty() {
+    fn tick_shard(&self, shard: &OwnerShard) -> u64 {
+        // The exec lock is held across drain → run → settle → append:
+        // concurrent tickers serialize here, per owner, which is what
+        // pins the outbox to admission order.
+        let _exec = shard.exec.lock().expect("exec lock");
+        let jobs: Vec<(u64, Instant)> = {
+            let mut ingress = shard.ingress.lock().expect("ingress lock");
+            ingress.drain(..).collect()
+        };
+        if jobs.is_empty() {
             return 0;
         }
-        let jobs: Vec<(u64, Instant)> = owner.ingress.drain(..).collect();
-        let owner = &self.owners[index];
+        // Verdicts never read prior ticks' events; clearing bounds the
+        // resident log instead of letting it grow for the process
+        // lifetime.
+        shard.log.clear();
 
         // Verdict slots in admission order: settled-inline journeys fill
         // theirs immediately, deferred ones after the amortized batch, so
@@ -367,12 +520,12 @@ impl Service {
                 "serve.queue_wait_us",
                 queued_at.elapsed().as_micros() as u64,
             );
-            let generated = scenario::generate(owner.seed, journey, owner.preset);
+            let generated = scenario::generate(shard.seed, journey, shard.preset);
             let has_spares = generated
                 .specs
                 .iter()
                 .any(|spec| !generated.route.contains(&spec.id));
-            let compatible = owner
+            let compatible = shard
                 .mechanism
                 .profile()
                 .compatible_with(generated.stages.is_some(), has_spares);
@@ -381,9 +534,9 @@ impl Service {
                 // preset) is the owner's registration error, surfaced as
                 // an infrastructure verdict rather than a dropped journey.
                 slots[slot] = Some(verdict_reply(
-                    owner.name.clone(),
+                    shard.name.clone(),
                     journey,
-                    owner.mechanism.name(),
+                    shard.mechanism.name(),
                     &JourneyVerdict::clean(false),
                 ));
                 continue;
@@ -394,34 +547,34 @@ impl Service {
                 .enumerate()
                 .map(|(pos, spec)| {
                     let key = self.params_pool
-                        [key_index(owner.seed, spec.id.as_str(), self.params_pool.len())]
+                        [key_index(shard.seed, spec.id.as_str(), self.params_pool.len())]
                     .clone();
                     let session_seed =
-                        scenario::scenario_seed(owner.seed, journey ^ ((pos as u64 + 1) << 48));
+                        scenario::scenario_seed(shard.seed, journey ^ ((pos as u64 + 1) << 48));
                     Host::with_keys(spec.clone(), key, session_seed)
                 })
                 .collect();
-            let ctx_seed = scenario::scenario_seed(owner.seed, journey ^ (1u64 << 63));
-            let _scope = telemetry::scoped(owner.mechanism.name());
+            let ctx_seed = scenario::scenario_seed(shard.seed, journey ^ (1u64 << 63));
+            let _scope = telemetry::scoped(shard.mechanism.name());
             let mut ctx = JourneyCtx::new(
                 &mut hosts,
                 generated.route.clone(),
                 generated.agent.clone(),
-                &owner.directory,
-                &owner.config,
-                &owner.log,
+                &shard.directory,
+                &shard.config,
+                &shard.log,
                 ctx_seed,
             )
-            .with_pipeline(owner.pipeline.clone());
+            .with_pipeline(shard.pipeline.clone());
             if let Some(stages) = &generated.stages {
                 ctx = ctx.with_stages(stages.clone());
             }
-            match owner.mechanism.run_split(&mut ctx) {
+            match shard.mechanism.run_split(&mut ctx) {
                 SplitVerdict::Settled(verdict) => {
                     slots[slot] = Some(verdict_reply(
-                        owner.name.clone(),
+                        shard.name.clone(),
                         journey,
-                        owner.mechanism.name(),
+                        shard.mechanism.name(),
                         &verdict,
                     ));
                 }
@@ -434,83 +587,89 @@ impl Service {
 
         // The amortized owner-side pass: one bulk session-check plus one
         // signature flush for everything this owner deferred this tick.
-        let mut stats_delta = None;
         if !pendings.is_empty() {
             let journeys: Vec<u64> = pending_slots.iter().map(|&s| jobs[s].0).collect();
-            let _scope = telemetry::scoped(owner.mechanism.name());
+            let _scope = telemetry::scoped(shard.mechanism.name());
             let (verdicts, stats) = settle_owner_batch(
                 pendings,
-                &owner.config,
-                &owner.pipeline,
-                &owner.log,
-                &owner.directory,
-                check_workers,
+                &shard.config,
+                &shard.pipeline,
+                &shard.log,
+                &shard.directory,
+                self.config.check_workers,
             );
             for ((slot, journey), verdict) in pending_slots.into_iter().zip(journeys).zip(verdicts)
             {
                 slots[slot] = Some(verdict_reply(
-                    owner.name.clone(),
+                    shard.name.clone(),
                     journey,
-                    owner.mechanism.name(),
+                    shard.mechanism.name(),
                     &verdict,
                 ));
             }
-            stats_delta = Some(stats);
+            shard
+                .final_checks
+                .fetch_add(stats.final_checks as u64, Ordering::Relaxed);
+            shard
+                .flush_verifications
+                .fetch_add(stats.flush_verifications as u64, Ordering::Relaxed);
+            shard.flush_failures.fetch_add(
+                (stats.flush_failures + stats.unattributed_failures) as u64,
+                Ordering::Relaxed,
+            );
         }
 
-        let owner = &mut self.owners[index];
-        if let Some(stats) = stats_delta {
-            owner.final_checks += stats.final_checks as u64;
-            owner.flush_verifications += stats.flush_verifications as u64;
-            owner.flush_failures += (stats.flush_failures + stats.unattributed_failures) as u64;
-        }
         let mut settled = 0u64;
+        let mut outbox = shard.outbox.lock().expect("outbox lock");
         for slot in slots {
             let reply = slot.expect("every admitted journey settles in its tick");
-            owner.verified += 1;
+            shard.verified.fetch_add(1, Ordering::Relaxed);
             if reply.detected {
-                owner.detected += 1;
+                shard.detected.fetch_add(1, Ordering::Relaxed);
             }
             settled += 1;
-            owner.outbox.push(reply);
+            outbox.push(reply);
         }
-        telemetry::count_indexed("serve.owner.verified", index as u32, settled);
+        drop(outbox);
+        telemetry::count_indexed("serve.owner.verified", shard.index, settled);
         settled
     }
 
-    fn drain(&mut self, owner: String) -> Response {
-        let Some(index) = self.owner_index(&owner) else {
+    fn drain(&self, owner: String) -> Response {
+        let Some(shard) = self.shard(&owner) else {
             return Response::Rejected {
                 owner,
                 journey: 0,
                 reason: RejectReason::UnknownOwner,
             };
         };
-        Response::Verdicts(std::mem::take(&mut self.owners[index].outbox))
+        let verdicts = std::mem::take(&mut *shard.outbox.lock().expect("outbox lock"));
+        Response::Verdicts(verdicts)
     }
 
     fn stats(&self, owner: String) -> Response {
-        let Some(index) = self.owner_index(&owner) else {
+        let Some(shard) = self.shard(&owner) else {
             return Response::Rejected {
                 owner,
                 journey: 0,
                 reason: RejectReason::UnknownOwner,
             };
         };
-        let state = &self.owners[index];
-        let replay = state.pipeline.snapshot();
+        let replay = shard.pipeline.snapshot();
+        let pending = shard.ingress.lock().expect("ingress lock").len() as u64;
+        let undrained = shard.outbox.lock().expect("outbox lock").len() as u64;
         Response::Stats(OwnerStats {
             owner,
-            accepted: state.accepted,
-            rejected: state.rejected,
-            verified: state.verified,
-            detected: state.detected,
-            pending: state.ingress.len() as u64,
-            undrained: state.outbox.len() as u64,
+            accepted: shard.accepted.load(Ordering::Relaxed),
+            rejected: shard.rejected.load(Ordering::Relaxed),
+            verified: shard.verified.load(Ordering::Relaxed),
+            detected: shard.detected.load(Ordering::Relaxed),
+            pending,
+            undrained,
             queue_capacity: self.config.queue_capacity as u64,
-            final_checks: state.final_checks,
-            flush_verifications: state.flush_verifications,
-            flush_failures: state.flush_failures,
+            final_checks: shard.final_checks.load(Ordering::Relaxed),
+            flush_verifications: shard.flush_verifications.load(Ordering::Relaxed),
+            flush_failures: shard.flush_failures.load(Ordering::Relaxed),
             cache_hits: replay.hits,
             cache_misses: replay.misses,
         })
@@ -518,12 +677,20 @@ impl Service {
 
     /// Stops admitting work and settles every accepted journey. The
     /// outboxes stay drainable afterwards, so no accepted journey's
-    /// verdict is ever dropped.
-    fn shutdown(&mut self) -> Response {
-        self.shutting_down = true;
+    /// verdict is ever dropped. Safe to race with a running tick driver:
+    /// whoever wins an owner's exec lock settles that owner's batch.
+    fn shutdown(&self) -> Response {
+        self.shutting_down.store(true, Ordering::SeqCst);
         let mut settled = 0u64;
-        while self.owners.iter().any(|o| !o.ingress.is_empty()) {
-            settled += self.tick();
+        loop {
+            let shards = self.shards();
+            if shards
+                .iter()
+                .all(|s| s.ingress.lock().expect("ingress lock").is_empty())
+            {
+                break;
+            }
+            settled += self.tick_shards(&shards);
         }
         Response::ShuttingDown { settled }
     }
@@ -554,7 +721,7 @@ fn verdict_reply(
 mod tests {
     use super::*;
 
-    fn register(service: &mut Service, owner: &str, seed: u64, preset: &str, mechanism: &str) {
+    fn register(service: &Service, owner: &str, seed: u64, preset: &str, mechanism: &str) {
         let reply = service.handle(Request::Register(RegisterOwner {
             owner: owner.into(),
             seed,
@@ -571,8 +738,8 @@ mod tests {
 
     #[test]
     fn register_validates_preset_mechanism_and_duplicates() {
-        let mut service = Service::new(ServeConfig::default());
-        register(&mut service, "alice", 1, "mixed", "protocol");
+        let service = Service::new(ServeConfig::default());
+        register(&service, "alice", 1, "mixed", "protocol");
         let duplicate = service.handle(Request::Register(RegisterOwner {
             owner: "alice".into(),
             seed: 2,
@@ -623,7 +790,7 @@ mod tests {
 
     #[test]
     fn submit_to_unknown_owner_is_rejected() {
-        let mut service = Service::new(ServeConfig::default());
+        let service = Service::new(ServeConfig::default());
         let reply = service.handle(Request::Submit {
             owner: "ghost".into(),
             journey: 0,
@@ -639,8 +806,8 @@ mod tests {
 
     #[test]
     fn tick_settles_submitted_journeys_in_admission_order() {
-        let mut service = Service::new(ServeConfig::default());
-        register(&mut service, "alice", 7, "single-tamperer", "protocol");
+        let service = Service::new(ServeConfig::default());
+        register(&service, "alice", 7, "single-tamperer", "protocol");
         for journey in [3u64, 0, 5] {
             let reply = service.handle(Request::Submit {
                 owner: "alice".into(),
@@ -675,6 +842,42 @@ mod tests {
     }
 
     #[test]
+    fn tick_owners_ticks_only_the_named_owners() {
+        let service = Service::new(ServeConfig::default());
+        register(&service, "alice", 7, "single-tamperer", "protocol");
+        register(&service, "bob", 8, "single-tamperer", "protocol");
+        for owner in ["alice", "bob"] {
+            for journey in 0..3u64 {
+                service.handle(Request::Submit {
+                    owner: owner.into(),
+                    journey,
+                });
+            }
+        }
+        // Tick alice alone: bob's queue is untouched.
+        assert_eq!(
+            service.handle(Request::TickOwners(vec!["alice".into()])),
+            Response::Ticked { settled: 3 }
+        );
+        let Response::Stats(bob) = service.handle(Request::Stats {
+            owner: "bob".into(),
+        }) else {
+            panic!("stats");
+        };
+        assert_eq!(bob.pending, 3);
+        assert_eq!(bob.verified, 0);
+        // An unknown name is rejected outright, before any tick runs.
+        let reply = service.handle(Request::TickOwners(vec!["ghost".into()]));
+        assert!(matches!(
+            reply,
+            Response::Rejected {
+                reason: RejectReason::UnknownOwner,
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn service_verdicts_match_fleet_engine_verdicts() {
         // The resident service and the batch fleet engine must agree on
         // what a journey's verdict is — the service is a re-packaging of
@@ -682,8 +885,8 @@ mod tests {
         // keys come from a different pool assignment, but verdicts do
         // not depend on which (registered) key a host signs with.
         let seed = 11u64;
-        let mut service = Service::new(ServeConfig::default());
-        register(&mut service, "alice", seed, "single-tamperer", "protocol");
+        let service = Service::new(ServeConfig::default());
+        register(&service, "alice", seed, "single-tamperer", "protocol");
         for journey in 0..8u64 {
             service.handle(Request::Submit {
                 owner: "alice".into(),
@@ -724,11 +927,11 @@ mod tests {
 
     #[test]
     fn stats_track_admission_and_settlement() {
-        let mut service = Service::new(ServeConfig {
+        let service = Service::new(ServeConfig {
             queue_capacity: 4,
             ..ServeConfig::default()
         });
-        register(&mut service, "alice", 3, "all-honest", "protocol");
+        register(&service, "alice", 3, "all-honest", "protocol");
         for journey in 0..4u64 {
             service.handle(Request::Submit {
                 owner: "alice".into(),
@@ -776,9 +979,9 @@ mod tests {
     fn owners_are_isolated() {
         // Two owners with the same seed and preset produce identical
         // verdict streams — and neither sees the other's journeys.
-        let mut service = Service::new(ServeConfig::default());
-        register(&mut service, "alice", 5, "mixed", "protocol");
-        register(&mut service, "bob", 5, "mixed", "protocol");
+        let service = Service::new(ServeConfig::default());
+        register(&service, "alice", 5, "mixed", "protocol");
+        register(&service, "bob", 5, "mixed", "protocol");
         for journey in 0..6u64 {
             service.handle(Request::Submit {
                 owner: "alice".into(),
@@ -812,10 +1015,47 @@ mod tests {
     }
 
     #[test]
+    fn parallel_settle_workers_preserve_per_owner_streams() {
+        // The same four-owner workload, settled sequentially and with a
+        // worker pool: per-owner verdict streams must be byte-identical.
+        let run = |settle_workers: usize| -> Vec<Vec<String>> {
+            let service = Service::new(ServeConfig {
+                settle_workers,
+                key_pool: 8,
+                ..ServeConfig::default()
+            });
+            for (i, owner) in ["a", "b", "c", "d"].iter().enumerate() {
+                register(&service, owner, 100 + i as u64, "mixed", "protocol");
+            }
+            for journey in 0..6u64 {
+                for owner in ["a", "b", "c", "d"] {
+                    service.handle(Request::Submit {
+                        owner: owner.into(),
+                        journey,
+                    });
+                }
+            }
+            service.handle(Request::Tick);
+            ["a", "b", "c", "d"]
+                .iter()
+                .map(|owner| {
+                    let Response::Verdicts(verdicts) = service.handle(Request::Drain {
+                        owner: (*owner).into(),
+                    }) else {
+                        panic!("drain");
+                    };
+                    verdicts.iter().map(|v| v.stream_line()).collect()
+                })
+                .collect()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
     fn incompatible_topology_is_an_infra_verdict_not_a_drop() {
-        let mut service = Service::new(ServeConfig::default());
+        let service = Service::new(ServeConfig::default());
         // `replication` needs staged scenarios; `mixed` never stages.
-        register(&mut service, "alice", 5, "mixed", "replication");
+        register(&service, "alice", 5, "mixed", "replication");
         service.handle(Request::Submit {
             owner: "alice".into(),
             journey: 0,
@@ -833,8 +1073,8 @@ mod tests {
 
     #[test]
     fn replicated_preset_runs_replication_end_to_end() {
-        let mut service = Service::new(ServeConfig::default());
-        register(&mut service, "alice", 17, "replicated", "replication");
+        let service = Service::new(ServeConfig::default());
+        register(&service, "alice", 17, "replicated", "replication");
         for journey in 0..6u64 {
             service.handle(Request::Submit {
                 owner: "alice".into(),

@@ -1,35 +1,61 @@
 //! The soak driver: sustained multi-owner load with client-observed SLO
-//! percentiles.
+//! percentiles, over one lockstep connection or N pipelined connections.
 //!
 //! A soak run registers `owners` tenants, streams `journeys` submissions
-//! round-robin across them, ticks the service every `tick_every`
-//! accepted submissions, and drains verdicts after every tick. Latency
-//! is measured *client-side* — submit instant to drain instant — so the
-//! percentiles are end-to-end service numbers, while the verdict stream
-//! itself stays timing-free and therefore byte-identical for a fixed
-//! seed across runs, worker counts, and telemetry levels.
+//! round-robin across them, paces the service with ticks (client ticks
+//! in [`run_soak`]; per-partition [`Request::TickOwners`] hints — or the
+//! server-side driver alone — in [`run_soak_concurrent`]), and drains
+//! verdicts as they settle. Latency is measured *client-side* — submit
+//! instant to drain instant — so the percentiles are end-to-end service
+//! numbers.
+//!
+//! The verdict stream is reported **grouped by owner** (each owner's
+//! verdicts in admission order, owners concatenated in registration
+//! order), not in drain order: per-owner admission order is the
+//! service's determinism contract, while drain interleaving depends on
+//! tick pacing and connection count. Grouping makes the stream — and its
+//! digest — byte-identical for a fixed seed across runs, worker counts,
+//! connection counts, tick pacing, and telemetry levels.
+//!
+//! The concurrent driver partitions owners across connections (owner
+//! `i` belongs to connection `i % connections`) so each owner's journeys
+//! are submitted from exactly one connection, in order — the one
+//! client-side obligation the determinism contract places on a
+//! pipelining deployment. Each connection keeps a bounded burst of
+//! submissions in flight and syncs (tick + drain) before any owner's
+//! queue can reach the service's admission bound, so nothing is ever
+//! refused and nothing is ever dropped.
 //!
 //! The outcome serializes as schema-checked JSON
 //! (`refstate-soak-slo-v1`, validated by the bench crate's
-//! `check_bench_json --slo`), and the concatenated per-owner verdict
-//! stream is returned for golden-fixture comparison.
+//! `check_bench_json --slo`) carrying aggregate journeys/s and
+//! per-connection breakdowns alongside the counts, percentiles, and the
+//! stream digest.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use refstate_fleet::scenario::scenario_seed;
 
+use crate::net::PipelinedClient;
 use crate::proto::{OwnerStats, RegisterOwner, RejectReason, Request, Response, VerdictReply};
 use crate::service::Service;
 
-/// Anything that can answer protocol requests: the in-process service or
-/// a TCP [`crate::net::Client`].
+/// Anything that can answer protocol requests in lockstep: the
+/// in-process service or a TCP [`crate::net::Client`].
 pub trait Endpoint {
     /// Sends one request, returns its response.
     fn call(&mut self, request: Request) -> Response;
 }
 
 impl Endpoint for Service {
+    fn call(&mut self, request: Request) -> Response {
+        self.handle(request)
+    }
+}
+
+impl Endpoint for Arc<Service> {
     fn call(&mut self, request: Request) -> Response {
         self.handle(request)
     }
@@ -43,6 +69,70 @@ impl Endpoint for crate::net::Client {
                 message: format!("transport failure: {error}"),
             },
         }
+    }
+}
+
+/// A transport that can keep many requests in flight: buffered sends, an
+/// explicit flush, and strictly request-ordered receives. The concurrent
+/// soak driver windows over this; errors are reported as strings because
+/// a soak treats any transport failure as fatal.
+pub trait PipelinedEndpoint: Send {
+    /// Queues one request (may buffer without transmitting).
+    fn send(&mut self, request: Request) -> Result<(), String>;
+    /// Transmits everything queued.
+    fn flush(&mut self) -> Result<(), String>;
+    /// Receives the response to the oldest unanswered request.
+    fn recv(&mut self) -> Result<Response, String>;
+}
+
+impl PipelinedEndpoint for PipelinedClient {
+    fn send(&mut self, request: Request) -> Result<(), String> {
+        PipelinedClient::send(self, &request).map_err(|error| format!("send failed: {error}"))
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        PipelinedClient::flush(self).map_err(|error| format!("flush failed: {error}"))
+    }
+
+    fn recv(&mut self) -> Result<Response, String> {
+        PipelinedClient::recv(self).map_err(|error| format!("recv failed: {error}"))
+    }
+}
+
+/// An in-process pipelined endpoint: requests are handled synchronously
+/// against a shared [`Service`], responses queue until received. Several
+/// of these across threads model several TCP connections into one
+/// server, without the sockets.
+pub struct LocalPipelined {
+    service: Arc<Service>,
+    replies: VecDeque<Response>,
+}
+
+impl LocalPipelined {
+    /// Wraps a shared service as one pipelined "connection".
+    pub fn new(service: Arc<Service>) -> LocalPipelined {
+        LocalPipelined {
+            service,
+            replies: VecDeque::new(),
+        }
+    }
+}
+
+impl PipelinedEndpoint for LocalPipelined {
+    fn send(&mut self, request: Request) -> Result<(), String> {
+        let response = self.service.handle(request);
+        self.replies.push_back(response);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, String> {
+        self.replies
+            .pop_front()
+            .ok_or_else(|| "recv with no request in flight".into())
     }
 }
 
@@ -87,6 +177,13 @@ impl SoakConfig {
     pub fn owner_seed(&self, index: usize) -> u64 {
         scenario_seed(self.seed, 0x0a11_ce00 + index as u64)
     }
+
+    /// How many journeys the round-robin assigns to tenant `index`
+    /// (submission `k` targets owner `k % owners`).
+    fn journeys_for(&self, index: usize) -> u64 {
+        let owners = self.owners as u64;
+        self.journeys / owners + u64::from((index as u64) < self.journeys % owners)
+    }
 }
 
 /// Client-observed latency percentiles, in microseconds.
@@ -121,6 +218,38 @@ impl SloPercentiles {
     }
 }
 
+/// What one connection contributed to a soak run.
+#[derive(Debug, Clone)]
+pub struct ConnectionOutcome {
+    /// The connection index (also its partition of the owner space).
+    pub connection: usize,
+    /// How many owners this connection drove.
+    pub owners: usize,
+    /// Submissions attempted on this connection.
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub accepted: u64,
+    /// Submissions refused (always zero on the concurrent path, whose
+    /// capacity accounting makes refusal impossible).
+    pub rejected: u64,
+    /// Verdicts this connection drained.
+    pub verified: u64,
+    /// This connection's client-observed verdict latency.
+    pub latency: SloPercentiles,
+}
+
+/// The server-side tick-driver pacing a soak ran under, echoed into the
+/// SLO JSON so the artifact records how the run was driven.
+#[derive(Debug, Clone)]
+pub struct TickDriverMeta {
+    /// Scan interval.
+    pub interval: Duration,
+    /// Batch-amortization threshold.
+    pub batch_min: usize,
+    /// Latency deadline.
+    pub max_age: Duration,
+}
+
 /// Everything one soak run produced.
 #[derive(Debug)]
 pub struct SoakOutcome {
@@ -140,13 +269,33 @@ pub struct SoakOutcome {
     /// Accepted journeys that never produced a verdict — the drain
     /// invariant; must be zero after shutdown.
     pub dropped: u64,
-    /// Client-observed verdict latency.
+    /// Client-observed verdict latency over every connection.
     pub latency: SloPercentiles,
     /// Per-owner closing stats, in registration order.
     pub owners: Vec<OwnerStats>,
-    /// The concatenated verdict stream (one [`VerdictReply::stream_line`]
-    /// per verdict, in drain order) — the golden-fixture payload.
+    /// The verdict stream, grouped by owner (each owner's verdicts in
+    /// admission order, owners in registration order; one
+    /// [`VerdictReply::stream_line`] per verdict) — the golden-fixture
+    /// payload, invariant across connection counts and tick pacing.
     pub stream: String,
+    /// How many client connections drove the load.
+    pub connections: usize,
+    /// Wall time from first submission to last drain.
+    pub elapsed: Duration,
+    /// Per-connection breakdown, in connection order.
+    pub per_connection: Vec<ConnectionOutcome>,
+    /// The server-side tick-driver pacing, when one ran (set by the
+    /// caller that started the driver).
+    pub tick_driver: Option<TickDriverMeta>,
+    /// Aggregate journeys/s of a single-connection lockstep baseline run,
+    /// when the caller measured one for comparison.
+    pub baseline_journeys_per_sec: Option<f64>,
+    /// Hardware parallelism of the host the soak ran on
+    /// (`std::thread::available_parallelism`). Recorded so throughput
+    /// ratios can be interpreted: on a single-core host a CPU-bound
+    /// soak cannot beat its own serial baseline no matter how many
+    /// connections drive it.
+    pub parallelism: usize,
 }
 
 impl SoakOutcome {
@@ -170,6 +319,26 @@ impl SoakOutcome {
         }
     }
 
+    /// Aggregate throughput: verdicts drained per wall-clock second.
+    pub fn journeys_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.verified as f64 / secs
+        }
+    }
+
+    /// Aggregate journeys/s over the single-connection baseline's, when a
+    /// baseline was measured.
+    pub fn throughput_ratio_vs_single(&self) -> Option<f64> {
+        let baseline = self.baseline_journeys_per_sec?;
+        if baseline <= 0.0 {
+            return None;
+        }
+        Some(self.journeys_per_sec() / baseline)
+    }
+
     /// FNV-1a digest of the verdict stream, as printed in the SLO JSON.
     pub fn stream_digest(&self) -> String {
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -182,7 +351,7 @@ impl SoakOutcome {
 
     /// The schema-checked SLO JSON artifact (`refstate-soak-slo-v1`).
     pub fn to_json(&self, check_workers: usize, queue_capacity: usize) -> String {
-        let mut out = String::with_capacity(1024);
+        let mut out = String::with_capacity(2048);
         out.push_str("{\n");
         out.push_str("  \"schema\": \"refstate-soak-slo-v1\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
@@ -199,6 +368,31 @@ impl SoakOutcome {
         out.push_str(&format!("  \"tick_every\": {},\n", self.config.tick_every));
         out.push_str(&format!("  \"check_workers\": {check_workers},\n"));
         out.push_str(&format!("  \"queue_capacity\": {queue_capacity},\n"));
+        out.push_str(&format!("  \"connections\": {},\n", self.connections));
+        out.push_str("  \"aggregate\": {\n");
+        out.push_str(&format!(
+            "    \"elapsed_us\": {},\n",
+            self.elapsed.as_micros().max(1)
+        ));
+        out.push_str(&format!(
+            "    \"journeys_per_sec\": {:.3},\n",
+            self.journeys_per_sec()
+        ));
+        out.push_str(&format!("    \"parallelism\": {}\n", self.parallelism));
+        out.push_str("  },\n");
+        if let Some(driver) = &self.tick_driver {
+            out.push_str("  \"tick_driver\": {\n");
+            out.push_str(&format!(
+                "    \"interval_us\": {},\n",
+                driver.interval.as_micros()
+            ));
+            out.push_str(&format!("    \"batch_min\": {},\n", driver.batch_min));
+            out.push_str(&format!(
+                "    \"max_age_us\": {}\n",
+                driver.max_age.as_micros()
+            ));
+            out.push_str("  },\n");
+        }
         out.push_str("  \"counts\": {\n");
         out.push_str(&format!("    \"submitted\": {},\n", self.submitted));
         out.push_str(&format!("    \"accepted\": {},\n", self.accepted));
@@ -213,6 +407,26 @@ impl SoakOutcome {
         out.push_str(&format!("    \"p99\": {},\n", self.latency.p99_us));
         out.push_str(&format!("    \"max\": {}\n", self.latency.max_us));
         out.push_str("  },\n");
+        out.push_str("  \"per_connection\": [\n");
+        for (i, conn) in self.per_connection.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"connection\": {}, ", conn.connection));
+            out.push_str(&format!("\"owners\": {}, ", conn.owners));
+            out.push_str(&format!("\"submitted\": {}, ", conn.submitted));
+            out.push_str(&format!("\"accepted\": {}, ", conn.accepted));
+            out.push_str(&format!("\"rejected\": {}, ", conn.rejected));
+            out.push_str(&format!("\"verified\": {}, ", conn.verified));
+            out.push_str(&format!(
+                "\"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                conn.latency.p50_us, conn.latency.p95_us, conn.latency.p99_us, conn.latency.max_us
+            ));
+            out.push('}');
+            if i + 1 < self.per_connection.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"cache\": {\n");
         out.push_str(&format!("    \"hits\": {},\n", self.cache_hits()));
         out.push_str(&format!("    \"misses\": {},\n", self.cache_misses()));
@@ -239,6 +453,15 @@ impl SoakOutcome {
             out.push('\n');
         }
         out.push_str("  ],\n");
+        if let (Some(baseline), Some(ratio)) = (
+            self.baseline_journeys_per_sec,
+            self.throughput_ratio_vs_single(),
+        ) {
+            out.push_str("  \"single_connection_baseline\": {\n");
+            out.push_str(&format!("    \"journeys_per_sec\": {baseline:.3}\n"));
+            out.push_str("  },\n");
+            out.push_str(&format!("  \"throughput_ratio_vs_single\": {ratio:.3},\n"));
+        }
         out.push_str(&format!(
             "  \"stream_digest\": {}\n",
             json_str(&self.stream_digest())
@@ -264,7 +487,9 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Drives one soak run against `endpoint`.
+/// Drives one lockstep soak run against `endpoint` (one request in
+/// flight at a time — the single-connection baseline the concurrent
+/// driver is measured against).
 ///
 /// Submissions go round-robin across owners (submission `k` targets
 /// owner `k % owners` with journey id `k / owners`); a
@@ -282,6 +507,11 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
     assert!(config.owners > 0, "soak needs at least one owner");
     assert!(config.tick_every > 0, "tick_every must be positive");
     let owner_names: Vec<String> = (0..config.owners).map(SoakConfig::owner_name).collect();
+    let name_to_index: HashMap<String, usize> = owner_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.clone(), i))
+        .collect();
     for (index, name) in owner_names.iter().enumerate() {
         let reply = endpoint.call(Request::Register(RegisterOwner {
             owner: name.clone(),
@@ -295,20 +525,21 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
         );
     }
 
+    let started = Instant::now();
     let mut submitted = 0u64;
     let mut accepted = 0u64;
     let mut rejected = 0u64;
     let mut detected = 0u64;
     let mut in_flight: HashMap<(String, u64), Instant> = HashMap::new();
     let mut latencies: Vec<Duration> = Vec::with_capacity(config.journeys as usize);
-    let mut stream = String::new();
+    let mut streams: Vec<String> = vec![String::new(); config.owners];
     let mut verified = 0u64;
     let mut since_tick = 0usize;
 
     let drain_all = |endpoint: &mut dyn Endpoint,
                      in_flight: &mut HashMap<(String, u64), Instant>,
                      latencies: &mut Vec<Duration>,
-                     stream: &mut String,
+                     streams: &mut [String],
                      verified: &mut u64,
                      detected: &mut u64| {
         for name in &owner_names {
@@ -319,7 +550,15 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
                 panic!("drain of {name} failed: {reply:?}");
             };
             for verdict in verdicts {
-                record_verdict(verdict, in_flight, latencies, stream, verified, detected);
+                record_verdict(
+                    verdict,
+                    in_flight,
+                    latencies,
+                    streams,
+                    &name_to_index,
+                    verified,
+                    detected,
+                );
             }
         }
     };
@@ -359,7 +598,7 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
                         endpoint,
                         &mut in_flight,
                         &mut latencies,
-                        &mut stream,
+                        &mut streams,
                         &mut verified,
                         &mut detected,
                     );
@@ -374,7 +613,7 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
                 endpoint,
                 &mut in_flight,
                 &mut latencies,
-                &mut stream,
+                &mut streams,
                 &mut verified,
                 &mut detected,
             );
@@ -392,10 +631,11 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
         endpoint,
         &mut in_flight,
         &mut latencies,
-        &mut stream,
+        &mut streams,
         &mut verified,
         &mut detected,
     );
+    let elapsed = started.elapsed();
 
     let owners = owner_names
         .iter()
@@ -410,6 +650,7 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
         })
         .collect();
 
+    let latency = SloPercentiles::from_latencies(&mut latencies);
     SoakOutcome {
         config: config.clone(),
         submitted,
@@ -418,17 +659,40 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
         verified,
         detected,
         dropped: in_flight.len() as u64,
-        latency: SloPercentiles::from_latencies(&mut latencies),
+        latency,
         owners,
-        stream,
+        stream: streams.concat(),
+        connections: 1,
+        elapsed,
+        per_connection: vec![ConnectionOutcome {
+            connection: 0,
+            owners: config.owners,
+            submitted,
+            accepted,
+            rejected,
+            verified,
+            latency,
+        }],
+        tick_driver: None,
+        baseline_journeys_per_sec: None,
+        parallelism: host_parallelism(),
     }
+}
+
+/// `std::thread::available_parallelism`, degraded to 1 when the host
+/// refuses to answer.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn record_verdict(
     verdict: VerdictReply,
     in_flight: &mut HashMap<(String, u64), Instant>,
     latencies: &mut Vec<Duration>,
-    stream: &mut String,
+    streams: &mut [String],
+    name_to_index: &HashMap<String, usize>,
     verified: &mut u64,
     detected: &mut u64,
 ) {
@@ -439,8 +703,405 @@ fn record_verdict(
     if verdict.detected {
         *detected += 1;
     }
-    stream.push_str(&verdict.stream_line());
-    stream.push('\n');
+    if let Some(&index) = name_to_index.get(&verdict.owner) {
+        streams[index].push_str(&verdict.stream_line());
+        streams[index].push('\n');
+    }
+}
+
+/// What the soak worker expects the next in-order response to answer.
+enum Pending {
+    Submit { owner: usize, journey: u64 },
+    Ticked,
+    Drained { owner: usize },
+}
+
+/// One connection's slice of a concurrent soak.
+struct WorkerResult {
+    submitted: u64,
+    accepted: u64,
+    verified: u64,
+    detected: u64,
+    dropped: u64,
+    latencies: Vec<Duration>,
+    /// `(global owner index, that owner's verdict stream)`.
+    streams: Vec<(usize, String)>,
+    /// `(global owner index, closing stats)`.
+    stats: Vec<(usize, OwnerStats)>,
+}
+
+/// Shared coordination for the concurrent soak workers.
+struct WorkerContext<'a> {
+    config: &'a SoakConfig,
+    owner_names: &'a [String],
+    name_to_index: &'a HashMap<String, usize>,
+    connections: usize,
+    queue_capacity: usize,
+    /// Every worker has received every submission response.
+    submit_done: &'a Barrier,
+    /// Connection 0 has completed the shutdown round trip.
+    shutdown_done: &'a Barrier,
+}
+
+/// Per-connection soak state: the pipeline window bookkeeping and the
+/// per-owner verdict accounting.
+struct ConnState<'a> {
+    my_owners: &'a [usize],
+    my_names: &'a [String],
+    name_to_index: &'a HashMap<String, usize>,
+    pending: VecDeque<Pending>,
+    in_flight: HashMap<(usize, u64), Instant>,
+    latencies: Vec<Duration>,
+    streams: HashMap<usize, String>,
+    submitted: u64,
+    accepted: u64,
+    verified: u64,
+    detected: u64,
+}
+
+impl ConnState<'_> {
+    fn submit(
+        &mut self,
+        endpoint: &mut dyn PipelinedEndpoint,
+        owner: usize,
+        name: &str,
+        journey: u64,
+    ) -> Result<(), String> {
+        endpoint.send(Request::Submit {
+            owner: name.into(),
+            journey,
+        })?;
+        self.pending.push_back(Pending::Submit { owner, journey });
+        self.in_flight.insert((owner, journey), Instant::now());
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// Queues a tick over this connection's owners plus one drain per
+    /// owner, then receives every outstanding response.
+    fn sync(&mut self, endpoint: &mut dyn PipelinedEndpoint) -> Result<(), String> {
+        if !self.my_owners.is_empty() {
+            endpoint.send(Request::TickOwners(self.my_names.to_vec()))?;
+            self.pending.push_back(Pending::Ticked);
+            self.queue_drains(endpoint)?;
+        }
+        self.settle(endpoint)
+    }
+
+    fn queue_drains(&mut self, endpoint: &mut dyn PipelinedEndpoint) -> Result<(), String> {
+        for (&owner, name) in self.my_owners.iter().zip(self.my_names) {
+            endpoint.send(Request::Drain {
+                owner: name.clone(),
+            })?;
+            self.pending.push_back(Pending::Drained { owner });
+        }
+        Ok(())
+    }
+
+    /// Flushes and receives responses until nothing is outstanding.
+    fn settle(&mut self, endpoint: &mut dyn PipelinedEndpoint) -> Result<(), String> {
+        endpoint.flush()?;
+        while let Some(expected) = self.pending.pop_front() {
+            let response = endpoint.recv()?;
+            match (expected, response) {
+                (Pending::Submit { .. }, Response::Accepted { .. }) => self.accepted += 1,
+                (Pending::Submit { owner, journey }, other) => {
+                    return Err(format!(
+                        "submission of {}/{journey} failed: {other:?}",
+                        self.my_names[self.slot_of(owner)]
+                    ));
+                }
+                (Pending::Ticked, Response::Ticked { .. }) => {}
+                (Pending::Ticked, other) => return Err(format!("tick failed: {other:?}")),
+                (Pending::Drained { .. }, Response::Verdicts(verdicts)) => {
+                    for verdict in verdicts {
+                        self.record(verdict);
+                    }
+                }
+                (Pending::Drained { owner }, other) => {
+                    return Err(format!(
+                        "drain of {} failed: {other:?}",
+                        self.my_names[self.slot_of(owner)]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn slot_of(&self, owner: usize) -> usize {
+        self.my_owners
+            .iter()
+            .position(|&o| o == owner)
+            .expect("owner belongs to this connection")
+    }
+
+    fn record(&mut self, verdict: VerdictReply) {
+        let Some(&owner) = self.name_to_index.get(&verdict.owner) else {
+            return;
+        };
+        if let Some(queued) = self.in_flight.remove(&(owner, verdict.journey)) {
+            self.latencies.push(queued.elapsed());
+        }
+        self.verified += 1;
+        if verdict.detected {
+            self.detected += 1;
+        }
+        if let Some(stream) = self.streams.get_mut(&owner) {
+            stream.push_str(&verdict.stream_line());
+            stream.push('\n');
+        }
+    }
+}
+
+/// One connection's worth of concurrent soak: submit this partition's
+/// journeys in order with a bounded burst in flight, sync before any
+/// owner's queue can reach the admission bound, and collect verdicts.
+fn soak_worker(
+    endpoint: &mut dyn PipelinedEndpoint,
+    connection: usize,
+    ctx: &WorkerContext<'_>,
+) -> Result<WorkerResult, String> {
+    let my_owners: Vec<usize> = (0..ctx.config.owners)
+        .filter(|i| i % ctx.connections == connection)
+        .collect();
+    let my_names: Vec<String> = my_owners
+        .iter()
+        .map(|&i| ctx.owner_names[i].clone())
+        .collect();
+    let rounds = my_owners
+        .iter()
+        .map(|&i| ctx.config.journeys_for(i))
+        .max()
+        .unwrap_or(0);
+    // Each owner gains at most one queued journey per round, so syncing
+    // every `burst` rounds keeps every owner's queue within the service's
+    // admission bound — no submission is ever refused.
+    let burst = ctx.config.tick_every.min(ctx.queue_capacity).max(1) as u64;
+
+    let mut state = ConnState {
+        my_owners: &my_owners,
+        my_names: &my_names,
+        name_to_index: ctx.name_to_index,
+        pending: VecDeque::new(),
+        in_flight: HashMap::new(),
+        latencies: Vec::new(),
+        streams: my_owners.iter().map(|&i| (i, String::new())).collect(),
+        submitted: 0,
+        accepted: 0,
+        verified: 0,
+        detected: 0,
+    };
+
+    for round in 0..rounds {
+        for (slot, &owner) in my_owners.iter().enumerate() {
+            if round < ctx.config.journeys_for(owner) {
+                state.submit(endpoint, owner, &my_names[slot], round)?;
+            }
+        }
+        if (round + 1) % burst == 0 {
+            state.sync(endpoint)?;
+        }
+    }
+    state.sync(endpoint)?;
+
+    // Everyone has collected every submission response before connection
+    // 0 shuts the service down; everyone waits for the shutdown (which
+    // settles any service-side stragglers) before the final sweep.
+    ctx.submit_done.wait();
+    if connection == 0 {
+        endpoint.send(Request::Shutdown)?;
+        match endpoint.recv()? {
+            Response::ShuttingDown { .. } => {}
+            other => return Err(format!("shutdown failed: {other:?}")),
+        }
+    }
+    ctx.shutdown_done.wait();
+
+    state.queue_drains(endpoint)?;
+    state.settle(endpoint)?;
+
+    let mut stats = Vec::new();
+    for name in &my_names {
+        endpoint.send(Request::Stats {
+            owner: name.clone(),
+        })?;
+    }
+    endpoint.flush()?;
+    for (&owner, name) in my_owners.iter().zip(&my_names) {
+        match endpoint.recv()? {
+            Response::Stats(owner_stats) => stats.push((owner, owner_stats)),
+            other => return Err(format!("stats of {name} failed: {other:?}")),
+        }
+    }
+
+    let mut streams: Vec<(usize, String)> = state.streams.into_iter().collect();
+    streams.sort_by_key(|(owner, _)| *owner);
+    Ok(WorkerResult {
+        submitted: state.submitted,
+        accepted: state.accepted,
+        verified: state.verified,
+        detected: state.detected,
+        dropped: state.in_flight.len() as u64,
+        latencies: state.latencies,
+        streams,
+        stats,
+    })
+}
+
+/// Drives a concurrent soak over `connections` pipelined endpoints
+/// (`connect(i)` builds connection `i`; index 0 also registers the
+/// owners before the load starts).
+///
+/// Owners are partitioned across connections (`owner i` → connection
+/// `i % connections`), each connection submits its owners' journeys in
+/// order with a bounded burst in flight, and `queue_capacity` (the
+/// service's admission bound) caps the burst so nothing is ever refused.
+/// Ticking may additionally happen server-side (a background
+/// [`crate::driver::TickDriver`]); the workers' own
+/// [`Request::TickOwners`] syncs make the run self-sufficient without
+/// one.
+///
+/// The merged outcome's verdict stream is grouped by owner and
+/// byte-identical to a [`run_soak`] of the same shape — the determinism
+/// contract this driver exists to demonstrate under concurrency.
+///
+/// # Panics
+///
+/// Panics if any connection fails mid-run (transport error, rejected
+/// registration, out-of-protocol reply) — a soak against a broken
+/// deployment is a setup error, not a measurement.
+pub fn run_soak_concurrent<E, F>(
+    connect: F,
+    config: &SoakConfig,
+    connections: usize,
+    queue_capacity: usize,
+) -> SoakOutcome
+where
+    E: PipelinedEndpoint,
+    F: Fn(usize) -> E + Sync,
+{
+    assert!(config.owners > 0, "soak needs at least one owner");
+    assert!(connections > 0, "soak needs at least one connection");
+    assert!(config.tick_every > 0, "tick_every must be positive");
+    assert!(queue_capacity > 0, "queue_capacity must be positive");
+
+    let owner_names: Vec<String> = (0..config.owners).map(SoakConfig::owner_name).collect();
+    let name_to_index: HashMap<String, usize> = owner_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.clone(), i))
+        .collect();
+
+    // Register everything on connection 0 before any load exists, so
+    // the tenant universe is identical however many connections follow.
+    let mut first = connect(0);
+    for (index, name) in owner_names.iter().enumerate() {
+        first
+            .send(Request::Register(RegisterOwner {
+                owner: name.clone(),
+                seed: config.owner_seed(index),
+                preset: config.preset.clone(),
+                mechanism: config.mechanism.clone(),
+            }))
+            .unwrap_or_else(|error| panic!("registration of {name} failed: {error}"));
+        match first.recv() {
+            Ok(Response::Registered { .. }) => {}
+            other => panic!("registration of {name} failed: {other:?}"),
+        }
+    }
+
+    let submit_done = Barrier::new(connections);
+    let shutdown_done = Barrier::new(connections);
+    let ctx = WorkerContext {
+        config,
+        owner_names: &owner_names,
+        name_to_index: &name_to_index,
+        connections,
+        queue_capacity,
+        submit_done: &submit_done,
+        shutdown_done: &shutdown_done,
+    };
+
+    let started = Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        let mut first = Some(first);
+        let ctx = &ctx;
+        let connect = &connect;
+        for connection in 0..connections {
+            let first = first.take();
+            handles.push(scope.spawn(move || {
+                let mut endpoint = match first {
+                    Some(endpoint) => endpoint,
+                    None => connect(connection),
+                };
+                soak_worker(&mut endpoint, connection, ctx)
+            }));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(connection, handle)| {
+                handle
+                    .join()
+                    .expect("soak worker panicked")
+                    .unwrap_or_else(|error| panic!("connection {connection}: {error}"))
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut streams: Vec<String> = vec![String::new(); config.owners];
+    let mut owner_stats: Vec<Option<OwnerStats>> = vec![None; config.owners];
+    let mut per_connection = Vec::with_capacity(connections);
+    let mut all_latencies: Vec<Duration> = Vec::new();
+    let (mut submitted, mut accepted, mut verified, mut detected, mut dropped) = (0, 0, 0, 0, 0);
+    for (connection, mut result) in results.into_iter().enumerate() {
+        submitted += result.submitted;
+        accepted += result.accepted;
+        verified += result.verified;
+        detected += result.detected;
+        dropped += result.dropped;
+        per_connection.push(ConnectionOutcome {
+            connection,
+            owners: result.streams.len(),
+            submitted: result.submitted,
+            accepted: result.accepted,
+            rejected: 0,
+            verified: result.verified,
+            latency: SloPercentiles::from_latencies(&mut result.latencies),
+        });
+        all_latencies.extend(result.latencies);
+        for (owner, stream) in result.streams {
+            streams[owner] = stream;
+        }
+        for (owner, stats) in result.stats {
+            owner_stats[owner] = Some(stats);
+        }
+    }
+
+    SoakOutcome {
+        config: config.clone(),
+        submitted,
+        accepted,
+        rejected: 0,
+        verified,
+        detected,
+        dropped,
+        latency: SloPercentiles::from_latencies(&mut all_latencies),
+        owners: owner_stats
+            .into_iter()
+            .map(|stats| stats.expect("every owner belongs to exactly one connection"))
+            .collect(),
+        stream: streams.concat(),
+        connections,
+        elapsed,
+        per_connection,
+        tick_driver: None,
+        baseline_journeys_per_sec: None,
+        parallelism: host_parallelism(),
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +1128,10 @@ mod tests {
         assert_eq!(outcome.dropped, 0, "no accepted journey goes unverified");
         assert_eq!(outcome.stream.lines().count(), 30);
         assert!(outcome.latency.p50_us <= outcome.latency.max_us);
+        assert_eq!(outcome.connections, 1);
+        assert_eq!(outcome.per_connection.len(), 1);
+        assert_eq!(outcome.per_connection[0].verified, 30);
+        assert!(outcome.journeys_per_sec() > 0.0);
     }
 
     #[test]
@@ -488,5 +1153,114 @@ mod tests {
             outcome.stream_digest()
         )));
         assert!(json.contains("\"dropped\": 0"));
+        assert!(json.contains("\"connections\": 1"));
+        assert!(json.contains("\"per_connection\": ["));
+        assert!(json.contains("\"aggregate\": {"));
+        // No driver and no baseline ran, so neither block is emitted.
+        assert!(!json.contains("\"tick_driver\""));
+        assert!(!json.contains("\"single_connection_baseline\""));
+    }
+
+    #[test]
+    fn slo_json_carries_driver_and_baseline_blocks_when_present() {
+        let mut service = Service::new(ServeConfig::default());
+        let config = SoakConfig {
+            owners: 1,
+            journeys: 4,
+            tick_every: 2,
+            ..SoakConfig::default()
+        };
+        let mut outcome = run_soak(&mut service, &config);
+        outcome.tick_driver = Some(TickDriverMeta {
+            interval: Duration::from_millis(1),
+            batch_min: 16,
+            max_age: Duration::from_millis(5),
+        });
+        outcome.baseline_journeys_per_sec = Some(outcome.journeys_per_sec() / 3.0);
+        let json = outcome.to_json(1, 64);
+        assert!(json.contains("\"tick_driver\": {"));
+        assert!(json.contains("\"interval_us\": 1000"));
+        assert!(json.contains("\"single_connection_baseline\": {"));
+        assert!(json.contains("\"throughput_ratio_vs_single\": 3.000"));
+    }
+
+    #[test]
+    fn concurrent_soak_matches_the_single_connection_stream() {
+        let config = SoakConfig {
+            owners: 3,
+            journeys: 24,
+            seed: 11,
+            tick_every: 4,
+            ..SoakConfig::default()
+        };
+        let serve_config = ServeConfig {
+            queue_capacity: 8,
+            key_pool: 8,
+            ..ServeConfig::default()
+        };
+
+        let mut single = Service::new(serve_config.clone());
+        let baseline = run_soak(&mut single, &config);
+
+        let shared = Arc::new(Service::new(serve_config.clone()));
+        let concurrent = run_soak_concurrent(
+            |_| LocalPipelined::new(Arc::clone(&shared)),
+            &config,
+            2,
+            serve_config.queue_capacity,
+        );
+
+        assert_eq!(
+            concurrent.stream, baseline.stream,
+            "stream must not depend on connections"
+        );
+        assert_eq!(concurrent.verified, baseline.verified);
+        assert_eq!(concurrent.dropped, 0);
+        assert_eq!(
+            concurrent.rejected, 0,
+            "capacity accounting forbids refusals"
+        );
+        assert_eq!(concurrent.connections, 2);
+        assert_eq!(concurrent.per_connection.len(), 2);
+        // owner-0 and owner-2 on connection 0, owner-1 on connection 1.
+        assert_eq!(concurrent.per_connection[0].owners, 2);
+        assert_eq!(concurrent.per_connection[1].owners, 1);
+        assert_eq!(
+            concurrent
+                .per_connection
+                .iter()
+                .map(|c| c.verified)
+                .sum::<u64>(),
+            concurrent.verified
+        );
+    }
+
+    #[test]
+    fn concurrent_soak_tolerates_more_connections_than_owners() {
+        let config = SoakConfig {
+            owners: 2,
+            journeys: 10,
+            seed: 5,
+            tick_every: 3,
+            ..SoakConfig::default()
+        };
+        let serve_config = ServeConfig {
+            queue_capacity: 4,
+            key_pool: 8,
+            ..ServeConfig::default()
+        };
+        let shared = Arc::new(Service::new(serve_config.clone()));
+        let outcome = run_soak_concurrent(
+            |_| LocalPipelined::new(Arc::clone(&shared)),
+            &config,
+            4,
+            serve_config.queue_capacity,
+        );
+        assert_eq!(outcome.verified, 10);
+        assert_eq!(outcome.dropped, 0);
+        assert_eq!(outcome.per_connection.len(), 4);
+        // Connections 2 and 3 own no owners and drive no load.
+        assert_eq!(outcome.per_connection[2].submitted, 0);
+        assert_eq!(outcome.per_connection[3].owners, 0);
     }
 }

@@ -1,12 +1,16 @@
 //! Service-level guarantees: admission control, the drain invariant,
-//! worker- and telemetry-invariant golden verdict streams, and the TCP
-//! transport.
+//! worker-, connection-, and telemetry-invariant golden verdict
+//! streams, per-owner lock independence, and the TCP transport
+//! (lockstep and pipelined).
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use refstate_serve::{
-    run_soak, Client, RegisterOwner, RejectReason, Request, Response, ServeConfig, Server, Service,
-    SoakConfig,
+    run_soak, run_soak_concurrent, Client, LocalPipelined, PipelinedClient, RegisterOwner,
+    RejectReason, Request, Response, ServeConfig, Server, Service, SoakConfig, TickDriver,
+    TickDriverConfig,
 };
 use refstate_telemetry as telemetry;
 
@@ -212,6 +216,231 @@ fn cooperating_verdict_stream_is_golden_across_workers_and_telemetry() {
     );
 }
 
+/// The sharding determinism contract, across deployment shapes: the
+/// per-owner verdict stream the lockstep single-connection soak
+/// produces is byte-identical when the same load is driven over 1, 4,
+/// or 16 pipelined connections, with and without the background tick
+/// driver racing the clients' own ticks.
+#[test]
+fn verdict_stream_is_identical_across_connection_counts_and_tick_pacing() {
+    let serve_config = ServeConfig {
+        queue_capacity: 16,
+        key_pool: 16,
+        ..ServeConfig::default()
+    };
+    let config = SoakConfig {
+        owners: 4,
+        journeys: 48,
+        seed: 42,
+        preset: "mixed".into(),
+        mechanism: "protocol".into(),
+        tick_every: 12,
+    };
+
+    let mut lockstep = Service::new(serve_config.clone());
+    let baseline = run_soak(&mut lockstep, &config);
+    assert_eq!(baseline.dropped, 0);
+
+    for connections in [1, 4, 16] {
+        for drive in [false, true] {
+            let service = Arc::new(Service::new(serve_config.clone()));
+            let driver =
+                drive.then(|| TickDriver::start(Arc::clone(&service), TickDriverConfig::default()));
+            let outcome = run_soak_concurrent(
+                |_| LocalPipelined::new(Arc::clone(&service)),
+                &config,
+                connections,
+                serve_config.queue_capacity,
+            );
+            if let Some(driver) = driver {
+                driver.stop();
+            }
+            assert_eq!(outcome.dropped, 0);
+            assert_eq!(
+                outcome.stream, baseline.stream,
+                "stream must be invariant under connections={connections} \
+                 tick_driver={drive}"
+            );
+        }
+    }
+}
+
+/// Per-owner lock independence: while one owner's tick is mid-settle
+/// (its exec lock held for a long batch), other owners' submits, ticks,
+/// and drains run to completion instead of queueing behind it — the
+/// property the old service-wide mutex could not offer.
+#[test]
+fn other_owners_progress_while_one_owner_is_mid_settle() {
+    let service = Arc::new(Service::new(ServeConfig {
+        queue_capacity: 256,
+        key_pool: 16,
+        ..ServeConfig::default()
+    }));
+    for (owner, seed) in [("carol", 42), ("alice", 7), ("bob", 8)] {
+        let reply = service.handle(Request::Register(RegisterOwner {
+            owner: owner.into(),
+            seed,
+            preset: "mixed".into(),
+            mechanism: "protocol".into(),
+        }));
+        assert!(matches!(reply, Response::Registered { .. }), "{reply:?}");
+    }
+
+    // A settle long enough to still be running while alice and bob do a
+    // full submit → tick → drain round (~two orders of magnitude less
+    // work) on this thread.
+    let carol_batch = 256u64;
+    for journey in 0..carol_batch {
+        let reply = service.handle(Request::Submit {
+            owner: "carol".into(),
+            journey,
+        });
+        assert!(matches!(reply, Response::Accepted { .. }), "{reply:?}");
+    }
+    let settled = Arc::new(AtomicBool::new(false));
+    let ticker = {
+        let service = Arc::clone(&service);
+        let settled = Arc::clone(&settled);
+        std::thread::spawn(move || {
+            let reply = service.handle(Request::TickOwners(vec!["carol".into()]));
+            settled.store(true, Ordering::SeqCst);
+            reply
+        })
+    };
+    // Carol's tick drains her ingress queue first (pending drops to 0,
+    // Stats never needs her exec lock), then settles; observing the
+    // empty queue before the settle flag means she is mid-settle now.
+    loop {
+        let Response::Stats(stats) = service.handle(Request::Stats {
+            owner: "carol".into(),
+        }) else {
+            panic!("stats while ticking");
+        };
+        if stats.pending == 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+
+    for journey in 0..4u64 {
+        for owner in ["alice", "bob"] {
+            let reply = service.handle(Request::Submit {
+                owner: owner.into(),
+                journey,
+            });
+            assert!(matches!(reply, Response::Accepted { .. }), "{reply:?}");
+        }
+    }
+    let reply = service.handle(Request::TickOwners(vec!["alice".into(), "bob".into()]));
+    assert_eq!(reply, Response::Ticked { settled: 8 });
+    for owner in ["alice", "bob"] {
+        let Response::Verdicts(verdicts) = service.handle(Request::Drain {
+            owner: owner.into(),
+        }) else {
+            panic!("drain while carol settles");
+        };
+        assert_eq!(verdicts.len(), 4, "{owner}'s round completed");
+    }
+    assert!(
+        !settled.load(Ordering::SeqCst),
+        "alice and bob finished a full round while carol was still settling"
+    );
+
+    let reply = ticker.join().expect("ticker thread");
+    assert_eq!(
+        reply,
+        Response::Ticked {
+            settled: carol_batch
+        }
+    );
+    let Response::Verdicts(verdicts) = service.handle(Request::Drain {
+        owner: "carol".into(),
+    }) else {
+        panic!("drain carol");
+    };
+    assert_eq!(verdicts.len(), carol_batch as usize);
+}
+
+/// The pipelined transport: many requests streamed before the first
+/// read, responses arriving strictly in request order.
+#[test]
+fn pipelined_tcp_responses_come_back_in_request_order() {
+    let server = Server::bind(
+        Service::new(ServeConfig {
+            queue_capacity: 64,
+            key_pool: 8,
+            ..ServeConfig::default()
+        }),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let mut client = PipelinedClient::connect(server.addr()).expect("connect");
+
+    client
+        .send(&Request::Register(RegisterOwner {
+            owner: "carol".into(),
+            seed: 9,
+            preset: "single-tamperer".into(),
+            mechanism: "protocol".into(),
+        }))
+        .expect("send register");
+    assert!(matches!(
+        client.recv().expect("registered"),
+        Response::Registered { .. }
+    ));
+
+    // A window of 32 submits with no intervening reads; the replies must
+    // come back as `Accepted` in exactly the order sent.
+    let window = 32u64;
+    for journey in 0..window {
+        client
+            .send(&Request::Submit {
+                owner: "carol".into(),
+                journey,
+            })
+            .expect("send submit");
+    }
+    for journey in 0..window {
+        match client.recv().expect("accepted") {
+            Response::Accepted { journey: j, .. } => {
+                assert_eq!(j, journey, "responses must be request-ordered")
+            }
+            other => panic!("expected Accepted, got {other:?}"),
+        }
+    }
+
+    client
+        .send(&Request::TickOwners(vec!["carol".into()]))
+        .expect("send tick");
+    assert_eq!(
+        client.recv().expect("ticked"),
+        Response::Ticked { settled: window }
+    );
+    client
+        .send(&Request::Drain {
+            owner: "carol".into(),
+        })
+        .expect("send drain");
+    let Response::Verdicts(verdicts) = client.recv().expect("verdicts") else {
+        panic!("drain reply");
+    };
+    let journeys: Vec<u64> = verdicts.iter().map(|v| v.journey).collect();
+    assert_eq!(
+        journeys,
+        (0..window).collect::<Vec<_>>(),
+        "verdicts deliver in admission order"
+    );
+
+    client.send(&Request::Shutdown).expect("send shutdown");
+    assert!(matches!(
+        client.recv().expect("shutting down"),
+        Response::ShuttingDown { .. }
+    ));
+    // join waits for every connection to close; hang up first.
+    drop(client);
+    server.join();
+}
+
 #[test]
 fn tcp_roundtrip_matches_in_process_service() {
     // The same request sequence, once in process and once over TCP,
@@ -240,7 +469,9 @@ fn tcp_roundtrip_matches_in_process_service() {
     assert_eq!(remote_outcome.stream, local_outcome.stream);
     assert_eq!(remote_outcome.dropped, 0);
 
-    // The soak sent Shutdown; the accept loop notices and exits.
+    // The soak sent Shutdown; the accept loop notices and exits. join
+    // waits for every connection to close, so hang up first.
+    drop(client);
     server.join();
 }
 
