@@ -680,7 +680,10 @@ pub fn check_metrics_jsonl(text: &str) -> Result<(), JsonError> {
 /// block with `hit_rate` in `[0, 1]`, one `owners_detail` row per
 /// owner, and a 16-hex-digit `stream_digest` pinning the verdict
 /// stream. Optional blocks are validated when present: `tick_driver`
-/// (positive `interval_us`/`batch_min`/`max_age_us`) and
+/// (positive `interval_us`/`batch_min`/`max_age_us`), `warm_start`
+/// (a resumed run's restart handshake: `generation` ≥ 2,
+/// non-negative `resume_offset`, one durable-stream checkpoint row per
+/// owner with a 16-hex-digit digest), and
 /// `single_connection_baseline` (positive baseline `journeys_per_sec`,
 /// plus a positive `throughput_ratio_vs_single` consistent with the
 /// aggregate throughput). A non-zero `dropped` is a schema violation,
@@ -839,6 +842,43 @@ pub fn check_slo_schema(doc: &Json) -> Result<(), JsonError> {
             "flush_failures",
         ] {
             require_non_negative(owner, &path, key)?;
+        }
+    }
+
+    if let Some(warm) = doc.get("warm_start") {
+        let generation = require_positive(warm, "warm_start", "generation")?;
+        if generation < 2.0 {
+            return Err(JsonError(format!(
+                "warm_start.generation: a resumed run reopens its state dir, \
+                 so the generation must be at least 2, got {generation}"
+            )));
+        }
+        require_non_negative(warm, "warm_start", "resume_offset")?;
+        let checkpoints = warm
+            .get("checkpoints")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError("warm_start.checkpoints: missing or not an array".into()))?;
+        if checkpoints.len() as f64 != owner_count {
+            return Err(JsonError(format!(
+                "warm_start.checkpoints: expected one row per owner ({owner_count}), got {}",
+                checkpoints.len()
+            )));
+        }
+        for (i, checkpoint) in checkpoints.iter().enumerate() {
+            let path = format!("warm_start.checkpoints[{i}]");
+            if checkpoint.get("owner").and_then(Json::as_str).is_none() {
+                return Err(JsonError(format!("{path}.owner: missing or not a string")));
+            }
+            require_non_negative(checkpoint, &path, "offset")?;
+            let digest = checkpoint
+                .get("digest")
+                .and_then(Json::as_str)
+                .ok_or_else(|| JsonError(format!("{path}.digest: missing or not a string")))?;
+            if digest.len() != 16 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(JsonError(format!(
+                    "{path}.digest: expected 16 hex digits, got {digest:?}"
+                )));
+            }
         }
     }
 
@@ -1333,6 +1373,32 @@ mod tests {
         assert!(check_slo_schema(&parse(&with_driver).unwrap()).is_ok());
         let stalled = with_driver.replace("\"interval_us\":1000", "\"interval_us\":0");
         assert!(check_slo_schema(&parse(&stalled).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slo_schema_validates_the_warm_start_block_when_present() {
+        let good = slo_doc("48", "0", "450", "a1b2c3d4e5f60718");
+        let with_warm = good.replace(
+            r#""connections":2,"#,
+            r#""connections":2,
+               "warm_start":{"generation":2,"resume_offset":24,"checkpoints":[
+                   {"owner":"owner-0","offset":12,"digest":"cbf29ce484222325"},
+                   {"owner":"owner-1","offset":12,"digest":"cbf29ce484222325"}]},"#,
+        );
+        assert!(check_slo_schema(&parse(&with_warm).unwrap()).is_ok());
+        // Generation 1 means the state dir was never reopened — not a resume.
+        let cold = with_warm.replace("\"generation\":2", "\"generation\":1");
+        assert!(check_slo_schema(&parse(&cold).unwrap()).is_err());
+        // One checkpoint row per owner, like owners_detail.
+        let short = with_warm.replace(
+            r#"},
+                   {"owner":"owner-1","offset":12,"digest":"cbf29ce484222325"}]}"#,
+            "}]}",
+        );
+        assert!(check_slo_schema(&parse(&short).unwrap()).is_err());
+        // A checkpoint digest that isn't 16 hex digits.
+        let bad_digest = with_warm.replace("cbf29ce484222325\"},", "nope\"},");
+        assert!(check_slo_schema(&parse(&bad_digest).unwrap()).is_err());
     }
 
     #[test]

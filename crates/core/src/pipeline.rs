@@ -45,12 +45,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use refstate_crypto::{sha256, Digest};
+use refstate_store::{StateStore, StoreError};
 use refstate_telemetry as telemetry;
 use refstate_vm::{
     run_compiled_session, CompiledProgram, DataState, ExecConfig, InputLog, Program, ReplayIo,
     SessionEnd, SessionFingerprint, SessionOutcome, VmError,
 };
-use refstate_wire::to_wire;
+use refstate_wire::{to_wire, Decode, Encode, Reader, WireError, Writer};
 
 use crate::checker::{state_diff, CheckOutcome, FailureReason};
 
@@ -74,6 +75,44 @@ pub enum ReplaySummary {
     /// The re-execution itself failed (tampered log, broken code),
     /// rendered.
     Failed(String),
+}
+
+impl Encode for ReplaySummary {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ReplaySummary::Ok {
+                state_digest,
+                end,
+                log_consumed,
+            } => {
+                w.put_u8(0);
+                state_digest.encode(w);
+                end.encode(w);
+                w.put_bool(*log_consumed);
+            }
+            ReplaySummary::Failed(error) => {
+                w.put_u8(1);
+                w.put_str(error);
+            }
+        }
+    }
+}
+
+impl Decode for ReplaySummary {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(ReplaySummary::Ok {
+                state_digest: Digest::decode(r)?,
+                end: SessionEnd::decode(r)?,
+                log_consumed: r.take_bool()?,
+            }),
+            1 => Ok(ReplaySummary::Failed(r.take_str()?.to_owned())),
+            tag => Err(WireError::InvalidTag {
+                context: "ReplaySummary",
+                tag,
+            }),
+        }
+    }
 }
 
 /// Number of lock-striped shards in a [`ReplayCache`].
@@ -103,6 +142,43 @@ struct CacheKey {
     step_limit: u64,
 }
 
+impl Encode for CacheKey {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&self.code_hash.to_le_bytes());
+        self.initial.encode(w);
+        self.input.encode(w);
+        w.put_u64(self.step_limit);
+    }
+}
+
+impl Decode for CacheKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let code_hash = u128::from_le_bytes(r.take_raw(16)?.try_into().expect("16 bytes"));
+        Ok(CacheKey {
+            code_hash,
+            initial: Digest::decode(r)?,
+            input: Digest::decode(r)?,
+            step_limit: r.take_u64()?,
+        })
+    }
+}
+
+/// One persisted cache entry: the full key followed by its summary.
+fn encode_cache_record(key: &CacheKey, value: &ReplaySummary) -> Vec<u8> {
+    let mut w = Writer::new();
+    key.encode(&mut w);
+    value.encode(&mut w);
+    w.into_inner()
+}
+
+fn decode_cache_record(record: &[u8]) -> Result<(CacheKey, ReplaySummary), WireError> {
+    let mut r = Reader::new(record);
+    let key = CacheKey::decode(&mut r)?;
+    let summary = ReplaySummary::decode(&mut r)?;
+    r.finish()?;
+    Ok((key, summary))
+}
+
 /// One lock-striped shard: the memo map plus a monotone use counter for
 /// LRU eviction.
 #[derive(Default)]
@@ -112,6 +188,9 @@ struct Shard {
     tick: u64,
     /// Entries removed by the LRU bound since creation.
     evictions: u64,
+    /// This shard's LRU bound; shards split the cache capacity exactly,
+    /// so small capacities give some shards a larger share.
+    cap: usize,
 }
 
 impl Shard {
@@ -130,7 +209,10 @@ impl Shard {
 /// periodically losing everything to a wholesale clear.
 pub struct ReplayCache {
     shards: Vec<Mutex<Shard>>,
-    shard_cap: usize,
+    capacity: usize,
+    /// Write-through target: every insert is appended to this namespace,
+    /// so a persistent cache can be rebuilt hot on the next open.
+    store: Option<(Arc<dyn StateStore>, String)>,
 }
 
 impl Default for ReplayCache {
@@ -140,25 +222,68 @@ impl Default for ReplayCache {
 }
 
 impl ReplayCache {
+    /// The entry bound [`ReplayCache::new`] builds with.
+    pub const DEFAULT_CAPACITY: usize = SHARDS * SHARD_CAP;
+
     /// An empty cache with the default shard count and capacity
     /// (`SHARDS × SHARD_CAP` entries).
     pub fn new() -> Self {
-        Self::with_capacity(SHARDS * SHARD_CAP)
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// An empty cache bounded to roughly `capacity` entries total
-    /// (rounded up to a multiple of the shard count; at least one entry
-    /// per shard).
+    /// An empty cache bounded to **exactly** `capacity` entries total
+    /// (minimum 1). Capacities below the default shard count get one
+    /// shard per entry, so `with_capacity(4)` really holds 4 sessions —
+    /// the bound is never silently inflated to a shard multiple; larger
+    /// capacities split any remainder across the leading shards.
     pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shard_count = SHARDS.min(capacity);
+        let shards = (0..shard_count)
+            .map(|i| {
+                let cap = capacity / shard_count + usize::from(i < capacity % shard_count);
+                Mutex::new(Shard {
+                    cap,
+                    ..Shard::default()
+                })
+            })
+            .collect();
         ReplayCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            shard_cap: capacity.div_ceil(SHARDS).max(1),
+            shards,
+            capacity,
+            store: None,
         }
+    }
+
+    /// A cache backed by `store`: previously persisted entries are loaded
+    /// hot (in append order, so LRU age mirrors insertion history), and
+    /// every future insert is written through to the `namespace` log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures; a persisted record that no longer
+    /// decodes is reported as [`StoreError::Corrupt`].
+    pub fn persistent(
+        capacity: usize,
+        store: Arc<dyn StateStore>,
+        namespace: &str,
+    ) -> Result<Self, StoreError> {
+        let mut cache = Self::with_capacity(capacity);
+        for (index, record) in store.appended(namespace)?.iter().enumerate() {
+            let (key, summary) = decode_cache_record(record).map_err(|e| StoreError::Corrupt {
+                segment: format!("log namespace {namespace}"),
+                offset: index as u64,
+                detail: e.to_string(),
+            })?;
+            cache.insert_resident(key, summary);
+        }
+        cache.store = Some((store, namespace.to_owned()));
+        Ok(cache)
     }
 
     /// The hard bound on memoized sessions.
     pub fn capacity(&self) -> usize {
-        self.shard_cap * self.shards.len()
+        self.capacity
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -177,9 +302,22 @@ impl ReplayCache {
     }
 
     fn insert(&self, key: CacheKey, value: ReplaySummary) {
+        if let Some((store, namespace)) = &self.store {
+            // Write-through before the in-memory insert: a crash between
+            // the two loses only a memo the next open would re-derive.
+            store
+                .append(namespace, &encode_cache_record(&key, &value))
+                .expect("replay cache write-through failed");
+        }
+        self.insert_resident(key, value);
+    }
+
+    /// The in-memory half of an insert (also the load path, which must
+    /// not write records back through to the store).
+    fn insert_resident(&self, key: CacheKey, value: ReplaySummary) {
         let mut shard = self.shard(&key).lock();
         let tick = shard.touch();
-        if shard.entries.len() >= self.shard_cap && !shard.entries.contains_key(&key) {
+        if shard.entries.len() >= shard.cap && !shard.entries.contains_key(&key) {
             // Evict the least-recently-used entry to stay within bound.
             if let Some(victim) = shard
                 .entries
@@ -218,7 +356,7 @@ impl ReplayCache {
                 let shard = s.lock();
                 ShardStats {
                     entries: shard.entries.len(),
-                    capacity: self.shard_cap,
+                    capacity: shard.cap,
                     evictions: shard.evictions,
                 }
             })
@@ -814,6 +952,106 @@ mod tests {
         assert!(stats.misses > stats_before.misses);
         let total = stats.hits + stats.misses;
         assert!((stats.hit_rate() - stats.hits as f64 / total as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_capacity_is_honest_for_small_capacities() {
+        // Regression: `div_ceil(SHARDS).max(1)` used to inflate any small
+        // request to at least one entry per shard, so `with_capacity(4)`
+        // really held 16 sessions while `capacity()` reported 16 ≠ 4.
+        for requested in [1usize, 2, 3, 4, 7, 15, 16, 17, 32, 33, 100] {
+            let cache = ReplayCache::with_capacity(requested);
+            assert_eq!(
+                cache.capacity(),
+                requested,
+                "capacity() reports the request"
+            );
+            let shards = cache.shard_stats();
+            assert_eq!(
+                shards.iter().map(|s| s.capacity).sum::<usize>(),
+                requested,
+                "shard bounds sum to the requested capacity"
+            );
+            assert!(shards.iter().all(|s| s.capacity >= 1));
+        }
+        assert_eq!(
+            ReplayCache::with_capacity(0).capacity(),
+            1,
+            "capacity floor"
+        );
+
+        // And the bound actually holds under load for a tiny cache.
+        let (program, initials, input) = distinct_sessions(64);
+        let cache = Arc::new(ReplayCache::with_capacity(4));
+        let pipeline = VerificationPipeline::with_cache(cache.clone());
+        let exec = ExecConfig::default();
+        for initial in &initials {
+            pipeline.replay(&program, initial, &input, &exec);
+        }
+        assert!(
+            cache.len() <= 4,
+            "4-entry cache holds {} sessions",
+            cache.len()
+        );
+        assert!(cache.evictions() >= 60);
+    }
+
+    #[test]
+    fn persistent_cache_reloads_hot_from_its_store() {
+        use refstate_store::MemoryStore;
+        let (program, initials, input) = distinct_sessions(8);
+        let store: Arc<dyn refstate_store::StateStore> = Arc::new(MemoryStore::new());
+        let exec = ExecConfig::default();
+
+        // First life: populate through the write-through cache.
+        {
+            let cache = ReplayCache::persistent(1024, store.clone(), "replay").unwrap();
+            let pipeline = VerificationPipeline::with_cache(Arc::new(cache));
+            for initial in &initials {
+                pipeline.replay(&program, initial, &input, &exec);
+            }
+            let stats = pipeline.snapshot();
+            assert_eq!(stats.misses, 8);
+            assert_eq!(stats.hits, 0);
+        }
+        assert_eq!(store.appended("replay").unwrap().len(), 8);
+
+        // Second life: the same store warms the new cache, so every
+        // session hits without a single replay.
+        let cache = ReplayCache::persistent(1024, store.clone(), "replay").unwrap();
+        assert_eq!(cache.len(), 8);
+        let pipeline = VerificationPipeline::with_cache(Arc::new(cache));
+        for initial in &initials {
+            let summary = pipeline.replay(&program, initial, &input, &exec);
+            assert!(matches!(summary, ReplaySummary::Ok { .. }));
+        }
+        let stats = pipeline.snapshot();
+        assert_eq!(stats.hits, 8, "warm cache answers everything");
+        assert_eq!(stats.replays, 0);
+        // Warm loads do not write records back through to the store.
+        assert_eq!(store.appended("replay").unwrap().len(), 8);
+
+        // Corrupt records are reported, not silently dropped.
+        store.append("broken", b"not a cache record").unwrap();
+        assert!(matches!(
+            ReplayCache::persistent(16, store, "broken"),
+            Err(refstate_store::StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_summary_wire_round_trip() {
+        use refstate_wire::{from_wire, to_wire};
+        let (program, initial, input, _resulting) = session();
+        let pipeline = VerificationPipeline::uncached();
+        let ok = pipeline.replay(&program, &initial, &input, &ExecConfig::default());
+        let failed = ReplaySummary::Failed("step limit exceeded".into());
+        for summary in [ok, failed] {
+            assert_eq!(
+                from_wire::<ReplaySummary>(&to_wire(&summary)).unwrap(),
+                summary
+            );
+        }
     }
 
     #[test]

@@ -36,9 +36,20 @@
 //!   while a single core caps any CPU-bound ratio near 1
 //! * `--owners N`, `--journeys N`, `--seed S`, `--preset P`,
 //!   `--mechanism M`, `--tick-every N` — soak shape
+//! * `--start N` — first global submission index (a resumed leg passes
+//!   the previous legs' total so journey ids continue)
+//! * `--resume` — resume a soak against a warm-restarted server: accept
+//!   restored registrations and verify the server's durable stream
+//!   checkpoints sit exactly at `--start`'s offsets (single lockstep
+//!   connection only)
 //! * `--key-pool N`, `--queue-capacity N`, `--check-workers N`,
 //!   `--settle-workers N` (0 = one per core), `--no-replay-cache` —
 //!   service knobs (in-process / `--listen`)
+//! * `--state-dir DIR` — durable state: persist registrations, the key
+//!   directory, the replay cache, the VM compile table, and per-owner
+//!   verdict streams to an append-only log store in `DIR`, so a
+//!   restarted server warm-starts with its caches hot and its streams
+//!   checkpointed
 //! * `--tick-interval MS` (0 = off), `--tick-batch-min N`,
 //!   `--tick-max-age MS` — tick-driver pacing (`--listen` defaults to a
 //!   1ms driver; in-process soaks run driverless unless given an
@@ -63,10 +74,12 @@ fn usage(exit: i32) -> ! {
         "usage: serve --listen ADDR [service knobs] [tick-driver knobs]\n\
          \x20      serve --soak [--connect ADDR] [--connections N] \
          [--compare-single] [--owners N] [--journeys N] [--seed S] \
-         [--preset P] [--mechanism M] [--tick-every N] [--slo-out PATH] \
+         [--preset P] [--mechanism M] [--tick-every N] [--start N] \
+         [--resume] [--slo-out PATH] \
          [--stream-out PATH] [service knobs] [tick-driver knobs]\n\
          service knobs: --key-pool N --queue-capacity N --check-workers N \
-         --settle-workers N --no-replay-cache --telemetry off|counters|full\n\
+         --settle-workers N --no-replay-cache --state-dir DIR \
+         --telemetry off|counters|full\n\
          tick-driver knobs: --tick-interval MS --tick-batch-min N \
          --tick-max-age MS"
     );
@@ -157,6 +170,13 @@ fn parse_args() -> Options {
                     value(&mut i).parse().unwrap_or_else(|_| usage(2))
             }
             "--no-replay-cache" => options.serve_config.replay_cache = false,
+            "--state-dir" => {
+                options.serve_config.state_dir = Some(std::path::PathBuf::from(value(&mut i)))
+            }
+            "--start" => {
+                options.soak_config.start = value(&mut i).parse().unwrap_or_else(|_| usage(2))
+            }
+            "--resume" => options.soak_config.resume = true,
             "--tick-interval" => {
                 let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| usage(2));
                 options.tick_interval = Some(Duration::from_millis(ms));
@@ -195,6 +215,14 @@ fn parse_args() -> Options {
     }
     if options.require_ratio.is_some() && !options.compare_single {
         eprintln!("--require-ratio needs the baseline from --compare-single");
+        usage(2);
+    }
+    if (options.soak_config.resume || options.soak_config.start > 0) && options.connections > 1 {
+        eprintln!("--resume / --start run over a single lockstep connection");
+        usage(2);
+    }
+    if options.soak_config.resume && options.compare_single {
+        eprintln!("--resume continues a durable history; --compare-single starts one cold");
         usage(2);
     }
     options

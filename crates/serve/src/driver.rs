@@ -223,6 +223,47 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_settles_a_queue_too_young_and_shallow_for_the_driver() {
+        // One queued journey, depth far below batch_min and age far below
+        // max_age: the running driver will never find it eligible, so the
+        // shutdown drain must settle it unconditionally — and must not
+        // lose it to a driver tick caught mid-settle.
+        let service = Arc::new(Service::new(ServeConfig {
+            key_pool: 8,
+            ..ServeConfig::default()
+        }));
+        register(&service, "alice", 7);
+        let driver = TickDriver::start(
+            Arc::clone(&service),
+            TickDriverConfig {
+                interval: Duration::from_micros(100),
+                policy: TickPolicy {
+                    batch_min: 64,
+                    max_age: Duration::from_secs(3600),
+                },
+            },
+        );
+        let reply = service.handle(Request::Submit {
+            owner: "alice".into(),
+            journey: 0,
+        });
+        assert!(matches!(reply, Response::Accepted { .. }));
+        let reply = service.handle(Request::Shutdown);
+        assert!(matches!(reply, Response::ShuttingDown { .. }));
+        driver.stop();
+        let Response::Verdicts(verdicts) = service.handle(Request::Drain {
+            owner: "alice".into(),
+        }) else {
+            panic!("drain");
+        };
+        assert_eq!(
+            verdicts.len(),
+            1,
+            "the queued journey settles during shutdown"
+        );
+    }
+
+    #[test]
     fn background_driver_settles_without_client_ticks() {
         let service = Arc::new(Service::new(ServeConfig {
             key_pool: 8,

@@ -39,7 +39,12 @@
 //! across runs, `check_workers` and `settle_workers` settings,
 //! connection counts, tick pacing (client ticks, the background driver,
 //! or both), and telemetry levels — parallelism and observability change
-//! cost, never outcomes. Golden fixtures in `tests/` pin this.
+//! cost, never outcomes. Golden fixtures in `tests/` pin this. With a
+//! durable state dir ([`ServeConfig::state_dir`]) the contract extends
+//! *across process lifetimes*: a warm restart restores registrations,
+//! caches, and checkpointed per-owner verdict streams, and a resumed
+//! run's stream is byte-identical to an uninterrupted one
+//! (`tests/warm_restart.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,9 +57,11 @@ pub mod soak;
 
 pub use driver::{TickDriver, TickDriverConfig, TickPolicy};
 pub use net::{Client, PipelinedClient, Server};
-pub use proto::{OwnerStats, RegisterOwner, RejectReason, Request, Response, VerdictReply};
+pub use proto::{
+    OwnerStats, RegisterOwner, RejectReason, Request, Response, StreamCheckpoint, VerdictReply,
+};
 pub use service::{ServeConfig, Service};
 pub use soak::{
     run_soak, run_soak_concurrent, ConnectionOutcome, Endpoint, LocalPipelined, PipelinedEndpoint,
-    SloPercentiles, SoakConfig, SoakOutcome, TickDriverMeta,
+    SloPercentiles, SoakConfig, SoakOutcome, TickDriverMeta, WarmStartMeta,
 };

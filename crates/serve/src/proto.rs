@@ -112,6 +112,11 @@ pub enum Request {
     /// Stop admitting work, settle everything already accepted, reply
     /// [`Response::ShuttingDown`].
     Shutdown,
+    /// Read the durable-stream position of every owner: the store
+    /// generation plus one [`StreamCheckpoint`] per owner in registration
+    /// order. A resuming soak client calls this first to verify the
+    /// server's checkpoints line up with where its previous leg stopped.
+    StreamState,
 }
 
 /// One journey's final verdict, streamed back on [`Request::Drain`].
@@ -182,6 +187,25 @@ pub struct OwnerStats {
     pub cache_hits: u64,
     /// Replay-cache misses recorded by this owner's pipeline.
     pub cache_misses: u64,
+    /// Verdicts appended to this owner's durable stream across every
+    /// generation (equals `verified` summed over the state dir's whole
+    /// history; equals this process's `verified` when no state dir is
+    /// configured).
+    pub stream_offset: u64,
+}
+
+/// One owner's durable verdict-stream position, reported by
+/// [`Response::StreamState`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamCheckpoint {
+    /// The tenant.
+    pub owner: String,
+    /// Verdicts appended to the owner's stream so far (across restarts).
+    pub offset: u64,
+    /// Running FNV-1a digest over the stream's lines (each
+    /// [`VerdictReply::stream_line`] plus `'\n'`), printed as 16 hex
+    /// digits — the same fold the soak's `stream_digest` uses.
+    pub digest: String,
 }
 
 /// A service reply, one frame each, always matching the request 1:1.
@@ -222,6 +246,15 @@ pub enum Response {
     ShuttingDown {
         /// Verdicts produced during the drain.
         settled: u64,
+    },
+    /// Every owner's durable stream position, in registration order.
+    StreamState {
+        /// The state store's open-generation stamp (1 on a fresh state
+        /// dir, incremented per restart; 0 when no state dir is
+        /// configured).
+        generation: u64,
+        /// One checkpoint per owner, registration order.
+        owners: Vec<StreamCheckpoint>,
     },
     /// A malformed or out-of-protocol request.
     Error {
@@ -308,6 +341,7 @@ impl Encode for Request {
                 w.put_u8(6);
                 owners.encode(w);
             }
+            Request::StreamState => w.put_u8(7),
         }
     }
 }
@@ -329,6 +363,7 @@ impl Decode for Request {
             },
             5 => Request::Shutdown,
             6 => Request::TickOwners(Vec::decode(r)?),
+            7 => Request::StreamState,
             tag => {
                 return Err(WireError::InvalidTag {
                     context: "Request",
@@ -380,6 +415,25 @@ impl Encode for OwnerStats {
         self.flush_failures.encode(w);
         self.cache_hits.encode(w);
         self.cache_misses.encode(w);
+        self.stream_offset.encode(w);
+    }
+}
+
+impl Encode for StreamCheckpoint {
+    fn encode(&self, w: &mut Writer) {
+        self.owner.encode(w);
+        self.offset.encode(w);
+        self.digest.encode(w);
+    }
+}
+
+impl Decode for StreamCheckpoint {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(StreamCheckpoint {
+            owner: String::decode(r)?,
+            offset: u64::decode(r)?,
+            digest: String::decode(r)?,
+        })
     }
 }
 
@@ -399,6 +453,7 @@ impl Decode for OwnerStats {
             flush_failures: u64::decode(r)?,
             cache_hits: u64::decode(r)?,
             cache_misses: u64::decode(r)?,
+            stream_offset: u64::decode(r)?,
         })
     }
 }
@@ -445,6 +500,11 @@ impl Encode for Response {
                 w.put_u8(7);
                 message.encode(w);
             }
+            Response::StreamState { generation, owners } => {
+                w.put_u8(8);
+                generation.encode(w);
+                owners.encode(w);
+            }
         }
     }
 }
@@ -474,6 +534,10 @@ impl Decode for Response {
             },
             7 => Response::Error {
                 message: String::decode(r)?,
+            },
+            8 => Response::StreamState {
+                generation: u64::decode(r)?,
+                owners: Vec::decode(r)?,
             },
             tag => {
                 return Err(WireError::InvalidTag {
@@ -517,6 +581,7 @@ mod tests {
         round_trip(Request::Shutdown);
         round_trip(Request::TickOwners(vec!["alice".into(), "bob".into()]));
         round_trip(Request::TickOwners(Vec::new()));
+        round_trip(Request::StreamState);
     }
 
     #[test]
@@ -566,10 +631,22 @@ mod tests {
             flush_failures: 0,
             cache_hits: 5,
             cache_misses: 30,
+            stream_offset: 8,
         }));
         round_trip(Response::ShuttingDown { settled: 2 });
         round_trip(Response::Error {
             message: "bad frame".into(),
+        });
+        round_trip(Response::StreamState {
+            generation: 2,
+            owners: vec![
+                StreamCheckpoint {
+                    owner: "alice".into(),
+                    offset: 120,
+                    digest: "cbf29ce484222325".into(),
+                },
+                StreamCheckpoint::default(),
+            ],
         });
     }
 

@@ -80,9 +80,12 @@ use refstate_mechanisms::api::{
 };
 use refstate_mechanisms::JourneyCtx;
 use refstate_platform::{EventLog, Host};
+use refstate_store::{LogStore, StateStore};
 use refstate_telemetry as telemetry;
 
-use crate::proto::{OwnerStats, RegisterOwner, RejectReason, Request, Response, VerdictReply};
+use crate::proto::{
+    OwnerStats, RegisterOwner, RejectReason, Request, Response, StreamCheckpoint, VerdictReply,
+};
 
 /// Service-wide configuration (tenant-independent).
 #[derive(Debug, Clone)]
@@ -104,6 +107,13 @@ pub struct ServeConfig {
     pub settle_workers: usize,
     /// Share one sharded [`ReplayCache`] across every tenant's pipeline.
     pub replay_cache: bool,
+    /// Durable-state directory. When set, the service opens (or creates)
+    /// an append-only [`LogStore`] there and persists its registrations,
+    /// key directory, replay cache, compile table, and per-owner verdict
+    /// streams — a restart on the same directory warm-starts with its
+    /// caches hot and its streams checkpointed. `None` keeps everything
+    /// in memory.
+    pub state_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -115,8 +125,74 @@ impl Default for ServeConfig {
             check_workers: 1,
             settle_workers: 1,
             replay_cache: true,
+            state_dir: None,
         }
     }
+}
+
+/// Store namespaces the service persists under (see [`StateStore`]).
+/// `meta` pins the service seed, `compile` holds VM program images,
+/// `keydir` the master key directory, `owners` the registration records
+/// (keyed by big-endian registration index, so scan order is
+/// registration order), `checkpoint` each owner's stream position, and
+/// `replay` the replay-cache write-through log. Each owner's verdict
+/// lines append under `stream/<owner>`.
+const NS_META: &str = "meta";
+const NS_COMPILE: &str = "compile";
+const NS_KEYDIR: &str = "keydir";
+const NS_OWNERS: &str = "owners";
+const NS_CHECKPOINT: &str = "checkpoint";
+const NS_REPLAY: &str = "replay";
+
+fn stream_ns(owner: &str) -> String {
+    format!("stream/{owner}")
+}
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a hash — the same fold the soak
+/// driver's `stream_digest` uses, so a server-side stream checkpoint is
+/// directly comparable to a client-side stream artifact digest.
+fn fnv_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for byte in bytes {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// One owner's durable verdict-stream position: how many verdicts have
+/// been appended and the running FNV-1a digest over their lines. Updated
+/// under the owner's exec lock; checkpointed to the store per tick.
+#[derive(Clone, Copy)]
+struct StreamState {
+    offset: u64,
+    digest: u64,
+}
+
+impl Default for StreamState {
+    fn default() -> Self {
+        StreamState {
+            offset: 0,
+            digest: FNV_BASIS,
+        }
+    }
+}
+
+fn encode_checkpoint(state: StreamState) -> Vec<u8> {
+    let mut w = refstate_wire::Writer::new();
+    w.put_u64(state.offset);
+    w.put_u64(state.digest);
+    w.into_inner()
+}
+
+fn decode_checkpoint(bytes: &[u8]) -> Result<StreamState, refstate_wire::WireError> {
+    let mut r = refstate_wire::Reader::new(bytes);
+    let offset = r.take_u64()?;
+    let digest = r.take_u64()?;
+    r.finish()?;
+    Ok(StreamState { offset, digest })
 }
 
 /// Every host name a generated scenario can mention: linear routes up to
@@ -140,11 +216,7 @@ fn host_universe() -> Vec<String> {
 /// Deterministic pool index for `name` under `owner_seed` (FNV-1a over
 /// the name, finalized through the scenario seed mixer).
 fn key_index(owner_seed: u64, name: &str, pool: usize) -> usize {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in name.bytes() {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
+    let hash = fnv_fold(FNV_BASIS, name.as_bytes());
     (scenario::scenario_seed(owner_seed, hash) % pool as u64) as usize
 }
 
@@ -176,6 +248,10 @@ pub(crate) struct OwnerShard {
     exec: Mutex<()>,
     /// Settled verdicts awaiting a drain, in admission order.
     outbox: Mutex<Vec<VerdictReply>>,
+    /// The owner's durable stream position (offset + digest), restored
+    /// from the store on a warm start. Only touched under `exec` (plus
+    /// brief read locks from stats/stream-state queries).
+    stream: Mutex<StreamState>,
     accepted: AtomicU64,
     rejected: AtomicU64,
     verified: AtomicU64,
@@ -236,6 +312,8 @@ pub struct Service {
     /// writes.
     owners: RwLock<Vec<Arc<OwnerShard>>>,
     shutting_down: AtomicBool,
+    /// The durable backend, when `state_dir` is configured.
+    store: Option<Arc<dyn StateStore>>,
 }
 
 impl Service {
@@ -251,16 +329,93 @@ impl Service {
         for key in &params_pool {
             key.public().precompute();
         }
-        let cache = config.replay_cache.then(|| Arc::new(ReplayCache::new()));
-        Service {
+        let store: Option<Arc<dyn StateStore>> = config.state_dir.as_ref().map(|dir| {
+            let store = LogStore::open(dir)
+                .unwrap_or_else(|e| panic!("cannot open state dir {}: {e}", dir.display()));
+            Arc::new(store) as Arc<dyn StateStore>
+        });
+        if let Some(store) = &store {
+            // Pin the seed: every persisted record (keys, streams, replay
+            // memos) is a function of it, so reopening under a different
+            // seed would silently mix two incompatible histories.
+            match store.get(NS_META, b"seed").expect("state dir meta read") {
+                Some(bytes) => {
+                    let persisted = bytes
+                        .try_into()
+                        .map(u64::from_le_bytes)
+                        .unwrap_or_else(|_| panic!("state dir corrupt: malformed seed record"));
+                    assert_eq!(
+                        persisted, config.seed,
+                        "state dir was created with seed {persisted}, not {}",
+                        config.seed
+                    );
+                }
+                None => store
+                    .put(NS_META, b"seed", &config.seed.to_le_bytes())
+                    .expect("state dir meta write"),
+            }
+            // Warm the VM compile table from the persisted program images.
+            for (key, image) in store.scan(NS_COMPILE).expect("state dir compile scan") {
+                let hash = refstate_vm::warm_compile_cache(&image)
+                    .unwrap_or_else(|e| panic!("state dir corrupt: compile image: {e}"));
+                assert_eq!(
+                    key,
+                    hash.to_le_bytes(),
+                    "state dir corrupt: compile image keyed under the wrong hash"
+                );
+            }
+        }
+        let cache = if config.replay_cache {
+            Some(Arc::new(match &store {
+                Some(store) => ReplayCache::persistent(
+                    ReplayCache::DEFAULT_CAPACITY,
+                    Arc::clone(store),
+                    NS_REPLAY,
+                )
+                .unwrap_or_else(|e| panic!("state dir corrupt: replay cache: {e}")),
+                None => ReplayCache::new(),
+            }))
+        } else {
+            None
+        };
+        let master = match &store {
+            Some(store) => KeyDirectory::load_from(store.as_ref(), NS_KEYDIR)
+                .unwrap_or_else(|e| panic!("state dir corrupt: key directory: {e}")),
+            None => KeyDirectory::new(),
+        };
+        let service = Service {
             config,
             params_pool,
-            master: Mutex::new(KeyDirectory::new()),
+            master: Mutex::new(master),
             cache,
             registry: MechanismRegistry::builtin(),
             owners: RwLock::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
+            store,
+        };
+        // Re-install every persisted registration, in registration order
+        // (the `owners` namespace is keyed by big-endian index).
+        let restored: Vec<RegisterOwner> = match &service.store {
+            Some(store) => store
+                .scan(NS_OWNERS)
+                .expect("state dir owners scan")
+                .into_iter()
+                .map(|(_, value)| {
+                    refstate_wire::from_wire(&value)
+                        .unwrap_or_else(|e| panic!("state dir corrupt: owner record: {e}"))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        for registration in restored {
+            let owner = registration.owner.clone();
+            let reply = service.install_owner(registration, true);
+            assert!(
+                matches!(reply, Response::Registered { .. }),
+                "state dir corrupt: restoring owner {owner}: {reply:?}"
+            );
         }
+        service
     }
 
     /// Whether a shutdown has been requested.
@@ -307,10 +462,21 @@ impl Service {
             Request::Drain { owner } => self.drain(owner),
             Request::Stats { owner } => self.stats(owner),
             Request::Shutdown => self.shutdown(),
+            Request::StreamState => self.stream_state(),
         }
     }
 
     fn register(&self, registration: RegisterOwner) -> Response {
+        self.install_owner(registration, false)
+    }
+
+    /// Installs one owner shard. `restore = false` is a client
+    /// registration: the host keys are registered into the master
+    /// directory and (with a store) the registration, key-directory
+    /// delta, and an empty stream position are persisted. `restore =
+    /// true` replays a persisted registration on open: the master
+    /// directory and stream position come from the store instead.
+    fn install_owner(&self, registration: RegisterOwner, restore: bool) -> Response {
         let RegisterOwner {
             owner,
             seed,
@@ -330,10 +496,11 @@ impl Service {
                 message: format!("invalid owner name {owner:?} (non-empty, no '/')"),
             };
         }
-        let Some(preset) = Preset::parse(&preset) else {
+        let (preset_name, mechanism_name) = (preset, mechanism);
+        let Some(preset) = Preset::parse(&preset_name) else {
             return reject(RejectReason::UnknownPreset);
         };
-        let Some(mechanism) = self.registry.get(&mechanism) else {
+        let Some(mechanism) = self.registry.get(&mechanism_name) else {
             return reject(RejectReason::UnknownMechanism);
         };
 
@@ -349,13 +516,68 @@ impl Service {
         // keyed deterministically from the pool, registered under the
         // owner's namespace and handed back as a view. The view is built
         // once and shared by every journey — no per-journey clones — and
-        // warmed here so no first verification pays a table build.
-        for name in host_universe() {
-            let key = &self.params_pool[key_index(seed, &name, self.params_pool.len())];
-            master.register(format!("{owner}/{name}"), key.public().clone());
+        // warmed here so no first verification pays a table build. On a
+        // warm restart the master directory was already loaded from the
+        // store, so a restored owner skips straight to the view.
+        if !restore {
+            for name in host_universe() {
+                let key = &self.params_pool[key_index(seed, &name, self.params_pool.len())];
+                master.register(format!("{owner}/{name}"), key.public().clone());
+            }
+            if let Some(store) = &self.store {
+                master
+                    .persist_to(store.as_ref(), NS_KEYDIR)
+                    .expect("state dir keydir write");
+            }
         }
         let directory = master.namespaced(&owner);
         directory.warm();
+
+        // The owner's durable stream position: zero on a fresh
+        // registration, replayed (and verified against the last
+        // checkpoint) on restore.
+        let stream = if restore {
+            let store = self.store.as_ref().expect("restore implies a store");
+            let lines = store
+                .appended(&stream_ns(&owner))
+                .expect("state dir stream read");
+            let checkpoint = store
+                .get(NS_CHECKPOINT, owner.as_bytes())
+                .expect("state dir checkpoint read")
+                .map(|bytes| {
+                    decode_checkpoint(&bytes)
+                        .unwrap_or_else(|e| panic!("state dir corrupt: {owner} checkpoint: {e}"))
+                });
+            let mut state = StreamState::default();
+            let mut digest_at_checkpoint =
+                matches!(checkpoint, Some(c) if c.offset == 0).then_some(state.digest);
+            for line in &lines {
+                state.digest = fnv_fold(state.digest, line);
+                state.digest = fnv_fold(state.digest, b"\n");
+                state.offset += 1;
+                if matches!(checkpoint, Some(c) if c.offset == state.offset) {
+                    digest_at_checkpoint = Some(state.digest);
+                }
+            }
+            if let Some(checkpoint) = checkpoint {
+                // The stream may run past the checkpoint (a crash between
+                // an append and its checkpoint put), never short of it.
+                let digest = digest_at_checkpoint.unwrap_or_else(|| {
+                    panic!(
+                        "state dir corrupt: {owner} checkpoint offset {} beyond the {} appended verdicts",
+                        checkpoint.offset, state.offset
+                    )
+                });
+                assert_eq!(
+                    digest, checkpoint.digest,
+                    "state dir corrupt: {owner} stream digest diverges from its checkpoint at offset {}",
+                    checkpoint.offset
+                );
+            }
+            state
+        } else {
+            StreamState::default()
+        };
 
         let pipeline = Arc::new(match &self.cache {
             Some(cache) => VerificationPipeline::with_cache(Arc::clone(cache)),
@@ -368,6 +590,23 @@ impl Service {
         telemetry::count("serve.owner.registered", 1);
         let mut owners = self.owners.write().expect("owner table lock");
         let index = owners.len() as u32;
+        if !restore {
+            if let Some(store) = &self.store {
+                let record = RegisterOwner {
+                    owner: owner.clone(),
+                    seed,
+                    preset: preset_name,
+                    mechanism: mechanism_name,
+                };
+                store
+                    .put(
+                        NS_OWNERS,
+                        &index.to_be_bytes(),
+                        &refstate_wire::to_wire(&record),
+                    )
+                    .expect("state dir owner write");
+            }
+        }
         owners.push(Arc::new(OwnerShard {
             name: owner.clone(),
             index,
@@ -381,6 +620,7 @@ impl Service {
             ingress: Mutex::new(VecDeque::new()),
             exec: Mutex::new(()),
             outbox: Mutex::new(Vec::new()),
+            stream: Mutex::new(stream),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             verified: AtomicU64::new(0),
@@ -400,12 +640,19 @@ impl Service {
                 reason: RejectReason::UnknownOwner,
             };
         };
-        let reason = if self.is_shutting_down() {
-            Some(RejectReason::ShuttingDown)
-        } else {
-            // One brief ingress lock covers the bound check and the push.
+        let reason = {
+            // One brief ingress lock covers the shutdown check, the bound
+            // check, and the push. The shutdown check must sit *inside*
+            // the lock: checked before it, a submit could read "not
+            // shutting down", lose the race with a shutdown drain, and
+            // push a journey nobody will ever settle. Inside the lock,
+            // any push that beats the drain's first ingress peek is seen
+            // and settled by it, and any push after the flag is visible
+            // is refused — either way the drain invariant holds.
             let mut ingress = shard.ingress.lock().expect("ingress lock");
-            if ingress.len() >= self.config.queue_capacity {
+            if self.is_shutting_down() {
+                Some(RejectReason::ShuttingDown)
+            } else if ingress.len() >= self.config.queue_capacity {
                 Some(RejectReason::QueueFull)
             } else {
                 ingress.push_back((journey, Instant::now()));
@@ -619,15 +866,48 @@ impl Service {
             );
         }
 
-        let mut settled = 0u64;
+        let replies: Vec<VerdictReply> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every admitted journey settles in its tick"))
+            .collect();
+
+        // Persist the batch to the owner's durable stream (still under
+        // the exec lock, so the store's append order is the verdict
+        // order) and advance the offset/digest checkpoint. Appends land
+        // before the checkpoint put: a crash in between leaves the
+        // stream ahead of its checkpoint, which replay-on-open accepts.
+        {
+            let mut stream = shard.stream.lock().expect("stream lock");
+            let ns = self.store.as_ref().map(|_| stream_ns(&shard.name));
+            for reply in &replies {
+                let line = reply.stream_line();
+                if let (Some(store), Some(ns)) = (&self.store, &ns) {
+                    store
+                        .append(ns, line.as_bytes())
+                        .expect("state dir stream append");
+                }
+                stream.digest = fnv_fold(stream.digest, line.as_bytes());
+                stream.digest = fnv_fold(stream.digest, b"\n");
+                stream.offset += 1;
+            }
+            if let Some(store) = &self.store {
+                store
+                    .put(
+                        NS_CHECKPOINT,
+                        shard.name.as_bytes(),
+                        &encode_checkpoint(*stream),
+                    )
+                    .expect("state dir checkpoint write");
+            }
+        }
+
+        let settled = replies.len() as u64;
         let mut outbox = shard.outbox.lock().expect("outbox lock");
-        for slot in slots {
-            let reply = slot.expect("every admitted journey settles in its tick");
+        for reply in replies {
             shard.verified.fetch_add(1, Ordering::Relaxed);
             if reply.detected {
                 shard.detected.fetch_add(1, Ordering::Relaxed);
             }
-            settled += 1;
             outbox.push(reply);
         }
         drop(outbox);
@@ -658,6 +938,7 @@ impl Service {
         let replay = shard.pipeline.snapshot();
         let pending = shard.ingress.lock().expect("ingress lock").len() as u64;
         let undrained = shard.outbox.lock().expect("outbox lock").len() as u64;
+        let stream_offset = shard.stream.lock().expect("stream lock").offset;
         Response::Stats(OwnerStats {
             owner,
             accepted: shard.accepted.load(Ordering::Relaxed),
@@ -672,7 +953,27 @@ impl Service {
             flush_failures: shard.flush_failures.load(Ordering::Relaxed),
             cache_hits: replay.hits,
             cache_misses: replay.misses,
+            stream_offset,
         })
+    }
+
+    /// Every owner's durable stream position, in registration order,
+    /// plus the store's open-generation stamp (0 without a state dir).
+    fn stream_state(&self) -> Response {
+        let generation = self.store.as_ref().map_or(0, |store| store.generation());
+        let owners = self
+            .shards()
+            .iter()
+            .map(|shard| {
+                let stream = shard.stream.lock().expect("stream lock");
+                StreamCheckpoint {
+                    owner: shard.name.clone(),
+                    offset: stream.offset,
+                    digest: format!("{:016x}", stream.digest),
+                }
+            })
+            .collect();
+        Response::StreamState { generation, owners }
     }
 
     /// Stops admitting work and settles every accepted journey. The
@@ -681,16 +982,38 @@ impl Service {
     /// whoever wins an owner's exec lock settles that owner's batch.
     fn shutdown(&self) -> Response {
         self.shutting_down.store(true, Ordering::SeqCst);
+        let shards = self.shards();
         let mut settled = 0u64;
         loop {
-            let shards = self.shards();
+            // Tick unconditionally — the shutdown drain ignores the tick
+            // driver's batch-min/max-age eligibility, so a shard with one
+            // young queued journey still settles instead of waiting for a
+            // policy that will never fire again.
+            settled += self.tick_shards(&shards);
+            // A concurrent ticker (the background driver, another
+            // connection) may have drained an ingress queue and still be
+            // mid-settle, its verdicts not yet in any outbox. Taking each
+            // exec lock once fences those in-flight ticks: afterwards,
+            // every journey any ticker drained has reached its outbox.
+            for shard in &shards {
+                drop(shard.exec.lock().expect("exec lock"));
+            }
             if shards
                 .iter()
                 .all(|s| s.ingress.lock().expect("ingress lock").is_empty())
             {
                 break;
             }
-            settled += self.tick_shards(&shards);
+        }
+        // Settle the durable state: persist the VM compile table (so a
+        // restart re-compiles nothing) and flush everything to disk.
+        if let Some(store) = &self.store {
+            for (hash, image) in refstate_vm::cached_program_images() {
+                store
+                    .put(NS_COMPILE, &hash.to_le_bytes(), &image)
+                    .expect("state dir compile write");
+            }
+            store.sync().expect("state dir sync");
         }
         Response::ShuttingDown { settled }
     }

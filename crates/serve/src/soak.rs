@@ -39,7 +39,9 @@ use std::time::{Duration, Instant};
 use refstate_fleet::scenario::scenario_seed;
 
 use crate::net::PipelinedClient;
-use crate::proto::{OwnerStats, RegisterOwner, RejectReason, Request, Response, VerdictReply};
+use crate::proto::{
+    OwnerStats, RegisterOwner, RejectReason, Request, Response, StreamCheckpoint, VerdictReply,
+};
 use crate::service::Service;
 
 /// Anything that can answer protocol requests in lockstep: the
@@ -152,6 +154,17 @@ pub struct SoakConfig {
     pub mechanism: String,
     /// Tick (and drain) after this many accepted submissions.
     pub tick_every: usize,
+    /// First global submission index. Submission `k` targets owner
+    /// `k % owners` with journey id `k / owners`, so a resumed soak sets
+    /// `start` to the previous legs' total and journey ids continue
+    /// exactly where the interrupted run stopped.
+    pub start: u64,
+    /// Resume against a warm-restarted server: registrations restored
+    /// from its state dir (reported as [`RejectReason::DuplicateOwner`])
+    /// are accepted, and the server's durable stream checkpoints are
+    /// verified to sit exactly at `start`'s per-owner offsets before any
+    /// journey is submitted.
+    pub resume: bool,
 }
 
 impl Default for SoakConfig {
@@ -163,6 +176,8 @@ impl Default for SoakConfig {
             preset: "mixed".into(),
             mechanism: "protocol".into(),
             tick_every: 32,
+            start: 0,
+            resume: false,
         }
     }
 }
@@ -178,11 +193,24 @@ impl SoakConfig {
         scenario_seed(self.seed, 0x0a11_ce00 + index as u64)
     }
 
-    /// How many journeys the round-robin assigns to tenant `index`
-    /// (submission `k` targets owner `k % owners`).
-    fn journeys_for(&self, index: usize) -> u64 {
+    /// How many of the first `n` global submissions the round-robin
+    /// assigns to tenant `index` (submission `k` targets owner
+    /// `k % owners`).
+    fn share(&self, n: u64, index: usize) -> u64 {
         let owners = self.owners as u64;
-        self.journeys / owners + u64::from((index as u64) < self.journeys % owners)
+        n / owners + u64::from((index as u64) < n % owners)
+    }
+
+    /// How many journeys this leg (`start..start + journeys`) assigns to
+    /// tenant `index`.
+    fn journeys_for(&self, index: usize) -> u64 {
+        self.share(self.start + self.journeys, index) - self.share(self.start, index)
+    }
+
+    /// The first journey id tenant `index` receives in this leg — also
+    /// the durable stream offset a resumed server must report for it.
+    fn first_journey_for(&self, index: usize) -> u64 {
+        self.share(self.start, index)
     }
 }
 
@@ -205,9 +233,15 @@ impl SloPercentiles {
             return SloPercentiles::default();
         }
         latencies.sort_unstable();
+        // Nearest-rank percentiles: the q-th percentile is the value at
+        // 1-based rank ⌈q·n⌉ — the smallest observation with at least a
+        // q fraction of the sample at or below it. (The previous
+        // `round((n-1)·q)` interpolation over-reported small samples:
+        // with two observations it called the *larger* one the median,
+        // and with 100 it returned the 51st value as p50.)
         let at = |q: f64| -> u64 {
-            let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
-            latencies[idx].as_micros() as u64
+            let rank = (latencies.len() as f64 * q).ceil() as usize;
+            latencies[rank.clamp(1, latencies.len()) - 1].as_micros() as u64
         };
         SloPercentiles {
             p50_us: at(0.50),
@@ -250,6 +284,21 @@ pub struct TickDriverMeta {
     pub max_age: Duration,
 }
 
+/// What a resumed soak observed about the server's warm start, echoed
+/// into the SLO JSON (`warm_start` block) so the artifact records that
+/// the run continued a durable history rather than starting cold.
+#[derive(Debug, Clone)]
+pub struct WarmStartMeta {
+    /// The state store's open-generation stamp (≥ 2 on a real restart;
+    /// 0 means the server had no state dir).
+    pub generation: u64,
+    /// The global submission index this leg resumed from.
+    pub resume_offset: u64,
+    /// The per-owner stream checkpoints the server reported at resume,
+    /// each verified against the offset the resume expected.
+    pub checkpoints: Vec<StreamCheckpoint>,
+}
+
 /// Everything one soak run produced.
 #[derive(Debug)]
 pub struct SoakOutcome {
@@ -287,6 +336,8 @@ pub struct SoakOutcome {
     /// The server-side tick-driver pacing, when one ran (set by the
     /// caller that started the driver).
     pub tick_driver: Option<TickDriverMeta>,
+    /// The warm-start handshake, when this was a resumed run.
+    pub warm_start: Option<WarmStartMeta>,
     /// Aggregate journeys/s of a single-connection lockstep baseline run,
     /// when the caller measured one for comparison.
     pub baseline_journeys_per_sec: Option<f64>,
@@ -366,6 +417,7 @@ impl SoakOutcome {
             json_str(&self.config.mechanism)
         ));
         out.push_str(&format!("  \"tick_every\": {},\n", self.config.tick_every));
+        out.push_str(&format!("  \"start\": {},\n", self.config.start));
         out.push_str(&format!("  \"check_workers\": {check_workers},\n"));
         out.push_str(&format!("  \"queue_capacity\": {queue_capacity},\n"));
         out.push_str(&format!("  \"connections\": {},\n", self.connections));
@@ -453,6 +505,26 @@ impl SoakOutcome {
             out.push('\n');
         }
         out.push_str("  ],\n");
+        if let Some(warm) = &self.warm_start {
+            out.push_str("  \"warm_start\": {\n");
+            out.push_str(&format!("    \"generation\": {},\n", warm.generation));
+            out.push_str(&format!("    \"resume_offset\": {},\n", warm.resume_offset));
+            out.push_str("    \"checkpoints\": [\n");
+            for (i, checkpoint) in warm.checkpoints.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"owner\": {}, \"offset\": {}, \"digest\": {}}}",
+                    json_str(&checkpoint.owner),
+                    checkpoint.offset,
+                    json_str(&checkpoint.digest)
+                ));
+                if i + 1 < warm.checkpoints.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str("    ]\n");
+            out.push_str("  },\n");
+        }
         if let (Some(baseline), Some(ratio)) = (
             self.baseline_journeys_per_sec,
             self.throughput_ratio_vs_single(),
@@ -519,11 +591,51 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
             preset: config.preset.clone(),
             mechanism: config.mechanism.clone(),
         }));
+        // A resumed leg finds its owners restored from the server's
+        // state dir; the duplicate rejection is the expected handshake.
+        let restored = config.resume
+            && matches!(
+                reply,
+                Response::Rejected {
+                    reason: RejectReason::DuplicateOwner,
+                    ..
+                }
+            );
         assert!(
-            matches!(reply, Response::Registered { .. }),
+            matches!(reply, Response::Registered { .. }) || restored,
             "registration of {name} failed: {reply:?}"
         );
     }
+
+    // Before a resumed leg submits anything, verify the server's durable
+    // streams stand exactly where the interrupted run left them: owner
+    // `i`'s stream offset must equal the number of journeys the first
+    // `start` submissions assigned it. A mismatch means the state dir
+    // lost (or duplicated) verdicts — the drain invariant across the
+    // restart — so the soak refuses to continue.
+    let warm_start = config.resume.then(|| {
+        let reply = endpoint.call(Request::StreamState);
+        let Response::StreamState { generation, owners } = reply else {
+            panic!("stream-state query failed: {reply:?}");
+        };
+        for (index, name) in owner_names.iter().enumerate() {
+            let expected = config.first_journey_for(index);
+            let checkpoint = owners
+                .iter()
+                .find(|c| &c.owner == name)
+                .unwrap_or_else(|| panic!("server reports no stream checkpoint for {name}"));
+            assert_eq!(
+                checkpoint.offset, expected,
+                "resume mismatch: {name}'s durable stream is at offset {}, expected {expected}",
+                checkpoint.offset
+            );
+        }
+        WarmStartMeta {
+            generation,
+            resume_offset: config.start,
+            checkpoints: owners,
+        }
+    });
 
     let started = Instant::now();
     let mut submitted = 0u64;
@@ -563,7 +675,7 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
         }
     };
 
-    for k in 0..config.journeys {
+    for k in config.start..config.start + config.journeys {
         let index = (k % config.owners as u64) as usize;
         let owner = &owner_names[index];
         let journey = k / config.owners as u64;
@@ -674,6 +786,7 @@ pub fn run_soak(endpoint: &mut dyn Endpoint, config: &SoakConfig) -> SoakOutcome
             latency,
         }],
         tick_driver: None,
+        warm_start,
         baseline_journeys_per_sec: None,
         parallelism: host_parallelism(),
     }
@@ -985,6 +1098,10 @@ where
     assert!(connections > 0, "soak needs at least one connection");
     assert!(config.tick_every > 0, "tick_every must be positive");
     assert!(queue_capacity > 0, "queue_capacity must be positive");
+    assert!(
+        config.start == 0 && !config.resume,
+        "resumed soaks run over a single lockstep connection (run_soak)"
+    );
 
     let owner_names: Vec<String> = (0..config.owners).map(SoakConfig::owner_name).collect();
     let name_to_index: HashMap<String, usize> = owner_names
@@ -1099,6 +1216,7 @@ where
         elapsed,
         per_connection,
         tick_driver: None,
+        warm_start: None,
         baseline_journeys_per_sec: None,
         parallelism: host_parallelism(),
     }
@@ -1108,6 +1226,104 @@ where
 mod tests {
     use super::*;
     use crate::service::ServeConfig;
+
+    fn percentiles_of(values_us: &[u64]) -> SloPercentiles {
+        let mut latencies: Vec<Duration> = values_us
+            .iter()
+            .map(|&v| Duration::from_micros(v))
+            .collect();
+        SloPercentiles::from_latencies(&mut latencies)
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        // n = 1: every percentile is the one observation.
+        let one = percentiles_of(&[7]);
+        assert_eq!(
+            (one.p50_us, one.p95_us, one.p99_us, one.max_us),
+            (7, 7, 7, 7)
+        );
+        // n = 2: rank ⌈0.5·2⌉ = 1, so p50 is the *lower* observation —
+        // the old round((n-1)·q) code reported the larger one.
+        let two = percentiles_of(&[1, 2]);
+        assert_eq!(two.p50_us, 1, "p50 of two samples is the lower one");
+        assert_eq!(two.p95_us, 2);
+        assert_eq!(two.p99_us, 2);
+        assert_eq!(two.max_us, 2);
+        // n = 3: p50 is the middle value, the tail percentiles the max.
+        let three = percentiles_of(&[30, 10, 20]);
+        assert_eq!(three.p50_us, 20);
+        assert_eq!(three.p95_us, 30);
+        assert_eq!(three.p99_us, 30);
+        // n = 100 over 1..=100: pN is exactly N (rank ⌈N⌉) — the old
+        // code returned 51 for p50.
+        let hundred: Vec<u64> = (1..=100).collect();
+        let p = percentiles_of(&hundred);
+        assert_eq!(p.p50_us, 50);
+        assert_eq!(p.p95_us, 95);
+        assert_eq!(p.p99_us, 99);
+        assert_eq!(p.max_us, 100);
+        // Empty input stays all-zero.
+        assert_eq!(percentiles_of(&[]).max_us, 0);
+    }
+
+    #[test]
+    fn leg_math_continues_the_round_robin() {
+        // 7 journeys over 3 owners, split 4 + 3 across two legs: the
+        // second leg's first journey ids continue where the first ended.
+        let leg1 = SoakConfig {
+            owners: 3,
+            journeys: 4,
+            ..SoakConfig::default()
+        };
+        let leg2 = SoakConfig {
+            owners: 3,
+            journeys: 3,
+            start: 4,
+            ..SoakConfig::default()
+        };
+        let whole = SoakConfig {
+            owners: 3,
+            journeys: 7,
+            ..SoakConfig::default()
+        };
+        for index in 0..3 {
+            assert_eq!(leg2.first_journey_for(index), leg1.journeys_for(index));
+            assert_eq!(
+                leg1.journeys_for(index) + leg2.journeys_for(index),
+                whole.journeys_for(index)
+            );
+        }
+    }
+
+    #[test]
+    fn slo_json_carries_warm_start_block_when_resumed() {
+        let mut service = Service::new(ServeConfig::default());
+        let config = SoakConfig {
+            owners: 1,
+            journeys: 4,
+            tick_every: 2,
+            ..SoakConfig::default()
+        };
+        let mut outcome = run_soak(&mut service, &config);
+        assert!(outcome.warm_start.is_none());
+        assert!(!outcome.to_json(1, 64).contains("\"warm_start\""));
+        outcome.warm_start = Some(WarmStartMeta {
+            generation: 2,
+            resume_offset: 4,
+            checkpoints: vec![StreamCheckpoint {
+                owner: "owner-0".into(),
+                offset: 4,
+                digest: "00000000deadbeef".into(),
+            }],
+        });
+        let json = outcome.to_json(1, 64);
+        assert!(json.contains("\"warm_start\": {"));
+        assert!(json.contains("\"generation\": 2"));
+        assert!(json.contains("\"resume_offset\": 4"));
+        assert!(json
+            .contains("{\"owner\": \"owner-0\", \"offset\": 4, \"digest\": \"00000000deadbeef\"}"));
+    }
 
     #[test]
     fn soak_drains_everything_it_accepts() {

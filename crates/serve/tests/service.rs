@@ -145,6 +145,7 @@ fn soak_stream(check_workers: usize, seed: u64, preset: &str, mechanism: &str) -
         preset: preset.into(),
         mechanism: mechanism.into(),
         tick_every: 12,
+        ..SoakConfig::default()
     };
     let outcome = run_soak(&mut service, &config);
     assert_eq!(outcome.dropped, 0);
@@ -235,6 +236,7 @@ fn verdict_stream_is_identical_across_connection_counts_and_tick_pacing() {
         preset: "mixed".into(),
         mechanism: "protocol".into(),
         tick_every: 12,
+        ..SoakConfig::default()
     };
 
     let mut lockstep = Service::new(serve_config.clone());
@@ -453,6 +455,7 @@ fn tcp_roundtrip_matches_in_process_service() {
         preset: "single-tamperer".into(),
         mechanism: "protocol".into(),
         tick_every: 4,
+        ..SoakConfig::default()
     };
     let serve_config = ServeConfig {
         key_pool: 8,

@@ -1,0 +1,193 @@
+//! Warm-restart coverage: a service stopped and reopened on the same
+//! state dir restores its registrations, streams, and caches, and a
+//! resumed soak produces byte-identical verdicts to an uninterrupted run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use refstate_serve::{
+    run_soak, RegisterOwner, Request, Response, ServeConfig, Service, SoakConfig,
+};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("refstate-serve-{tag}-{}-{seq}", std::process::id()));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn serve_config(state_dir: Option<&Path>) -> ServeConfig {
+    ServeConfig {
+        key_pool: 8,
+        state_dir: state_dir.map(Path::to_path_buf),
+        ..ServeConfig::default()
+    }
+}
+
+/// Concatenates each owner's lines from `legs` in owner order — the
+/// grouped-stream merge a restart-spanning run needs before it can be
+/// compared byte-for-byte with a single uninterrupted run.
+fn merge_by_owner(legs: &[&str], owners: usize) -> String {
+    let mut merged = String::new();
+    for index in 0..owners {
+        let owner = SoakConfig::owner_name(index);
+        for leg in legs {
+            for line in leg.lines() {
+                if line.split_whitespace().next() == Some(owner.as_str()) {
+                    merged.push_str(line);
+                    merged.push('\n');
+                }
+            }
+        }
+    }
+    merged
+}
+
+#[test]
+fn resumed_soak_stream_matches_an_uninterrupted_run() {
+    let dir = TempDir::new("resume");
+    let base = SoakConfig {
+        owners: 3,
+        journeys: 24,
+        seed: 23,
+        tick_every: 4,
+        ..SoakConfig::default()
+    };
+
+    // The uninterrupted reference: one cold service, all 24 journeys.
+    let mut cold = Service::new(serve_config(None));
+    let cold_outcome = run_soak(&mut cold, &base);
+    assert_eq!(cold_outcome.dropped, 0);
+
+    // Leg 1: half the journeys against a durable service, then the
+    // soak's Shutdown stops it and the process-side state drops.
+    let mut leg1_service = Service::new(serve_config(Some(dir.path())));
+    let leg1 = run_soak(
+        &mut leg1_service,
+        &SoakConfig {
+            journeys: 12,
+            ..base.clone()
+        },
+    );
+    assert_eq!(leg1.dropped, 0);
+    drop(leg1_service);
+
+    // Leg 2: reopen the same dir and resume where leg 1 stopped.
+    let mut leg2_service = Service::new(serve_config(Some(dir.path())));
+    let leg2 = run_soak(
+        &mut leg2_service,
+        &SoakConfig {
+            journeys: 12,
+            start: 12,
+            resume: true,
+            ..base.clone()
+        },
+    );
+    assert_eq!(leg2.dropped, 0);
+
+    // The resume handshake observed a real warm start: generation 2,
+    // every owner's durable stream checkpointed at its leg-1 share.
+    let warm = leg2.warm_start.as_ref().expect("resumed run records meta");
+    assert_eq!(warm.generation, 2, "second open of the same state dir");
+    assert_eq!(warm.resume_offset, 12);
+    assert!(warm.checkpoints.iter().all(|c| c.offset == 4));
+
+    // The restart-spanning history, merged per owner, is byte-identical
+    // to the uninterrupted run — the drain invariant survived the stop.
+    assert_eq!(
+        merge_by_owner(&[&leg1.stream, &leg2.stream], base.owners),
+        cold_outcome.stream,
+        "resumed verdict stream diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn warm_replay_cache_serves_hits_on_restart() {
+    let dir = TempDir::new("cache");
+    let submit_and_settle = |service: &Service| {
+        for journey in 0..8u64 {
+            let reply = service.handle(Request::Submit {
+                owner: "alice".into(),
+                journey,
+            });
+            assert!(matches!(reply, Response::Accepted { .. }), "{reply:?}");
+        }
+        service.handle(Request::Tick);
+        let Response::Stats(stats) = service.handle(Request::Stats {
+            owner: "alice".into(),
+        }) else {
+            panic!("stats");
+        };
+        stats
+    };
+
+    let first = Service::new(serve_config(Some(dir.path())));
+    let reply = first.handle(Request::Register(RegisterOwner {
+        owner: "alice".into(),
+        seed: 7,
+        preset: "mixed".into(),
+        mechanism: "protocol".into(),
+    }));
+    assert!(matches!(reply, Response::Registered { .. }), "{reply:?}");
+    let cold_stats = submit_and_settle(&first);
+    assert!(cold_stats.cache_misses > 0, "a cold cache misses");
+    // A clean stop persists the caches and syncs the log.
+    assert!(matches!(
+        first.handle(Request::Shutdown),
+        Response::ShuttingDown { .. }
+    ));
+    drop(first);
+
+    // The restarted service needs no registration — and re-running the
+    // same journeys hits the preloaded replay cache where the first
+    // process missed.
+    let second = Service::new(serve_config(Some(dir.path())));
+    let warm_stats = submit_and_settle(&second);
+    assert_eq!(warm_stats.verified, 8, "restored owner settles journeys");
+    assert!(
+        warm_stats.cache_hits > cold_stats.cache_hits,
+        "warm cache hits ({}) must beat cold hits ({})",
+        warm_stats.cache_hits,
+        cold_stats.cache_hits
+    );
+    assert!(
+        warm_stats.cache_misses < cold_stats.cache_misses,
+        "warm cache misses ({}) must undercut cold misses ({})",
+        warm_stats.cache_misses,
+        cold_stats.cache_misses
+    );
+    // The durable stream kept counting across the restart while the
+    // process-local verified counter started over.
+    assert_eq!(warm_stats.stream_offset, 16);
+}
+
+#[test]
+#[should_panic(expected = "state dir was created with seed")]
+fn reopening_under_a_different_seed_panics() {
+    let dir = TempDir::new("seed");
+    drop(Service::new(ServeConfig {
+        seed: 1,
+        ..serve_config(Some(dir.path()))
+    }));
+    let _ = Service::new(ServeConfig {
+        seed: 2,
+        ..serve_config(Some(dir.path()))
+    });
+}

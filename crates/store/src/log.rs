@@ -1,0 +1,372 @@
+//! Append-only on-disk log backend with CRC-framed records.
+//!
+//! Layout: a state directory holding numbered segment files
+//! (`seg-000001.log`, `seg-000002.log`, ...). Every mutation — `put`,
+//! `append`, and the per-open generation bump — is one framed record in the
+//! active segment:
+//!
+//! ```text
+//! [payload len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! The payload is a wire-encoded op (put / append / generation bump).
+//! Opening the store replays every segment in order to rebuild the live
+//! tables. A record that fails to frame or checksum in the *tail* segment is
+//! treated as a torn crash-time write: the file is truncated at the last
+//! good offset and the open succeeds. The same failure in a sealed
+//! (non-tail) segment means history is missing, so the open refuses with
+//! [`StoreError::Corrupt`].
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use refstate_wire::{Reader, Writer};
+
+use crate::crc::crc32;
+use crate::{ScanEntries, StateStore, StoreError};
+
+/// Records larger than this are rejected at write time and treated as frame
+/// corruption at replay time.
+pub const MAX_RECORD: usize = 16 * 1024 * 1024;
+
+/// Default segment rotation threshold.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+
+const FRAME_HEADER: usize = 8;
+
+const OP_PUT: u8 = 1;
+const OP_APPEND: u8 = 2;
+const OP_GEN_BUMP: u8 = 3;
+
+#[derive(Default)]
+struct Tables {
+    kv: BTreeMap<String, BTreeMap<Vec<u8>, Vec<u8>>>,
+    logs: BTreeMap<String, Vec<Vec<u8>>>,
+}
+
+struct Inner {
+    tables: Tables,
+    active: File,
+    active_len: u64,
+    next_seg: u64,
+}
+
+/// Durable [`StateStore`] over an append-only segmented log.
+pub struct LogStore {
+    dir: PathBuf,
+    segment_bytes: u64,
+    generation: u64,
+    inner: Mutex<Inner>,
+}
+
+fn segment_name(index: u64) -> String {
+    format!("seg-{index:06}.log")
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn encode_put(ns: &str, key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(OP_PUT);
+    w.put_str(ns);
+    w.put_bytes(key);
+    w.put_bytes(value);
+    w.into_inner()
+}
+
+fn encode_append(ns: &str, record: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(OP_APPEND);
+    w.put_str(ns);
+    w.put_bytes(record);
+    w.into_inner()
+}
+
+fn encode_gen_bump() -> Vec<u8> {
+    vec![OP_GEN_BUMP]
+}
+
+fn apply(tables: &mut Tables, payload: &[u8], bumps: &mut u64) -> Result<(), String> {
+    let mut r = Reader::new(payload);
+    match r.take_u8().map_err(|e| e.to_string())? {
+        OP_PUT => {
+            let ns = r.take_str().map_err(|e| e.to_string())?.to_owned();
+            let key = r.take_bytes().map_err(|e| e.to_string())?.to_vec();
+            let value = r.take_bytes().map_err(|e| e.to_string())?.to_vec();
+            r.finish().map_err(|e| e.to_string())?;
+            tables.kv.entry(ns).or_default().insert(key, value);
+            Ok(())
+        }
+        OP_APPEND => {
+            let ns = r.take_str().map_err(|e| e.to_string())?.to_owned();
+            let record = r.take_bytes().map_err(|e| e.to_string())?.to_vec();
+            r.finish().map_err(|e| e.to_string())?;
+            tables.logs.entry(ns).or_default().push(record);
+            Ok(())
+        }
+        OP_GEN_BUMP => {
+            r.finish().map_err(|e| e.to_string())?;
+            *bumps += 1;
+            Ok(())
+        }
+        op => Err(format!("unknown op tag {op}")),
+    }
+}
+
+/// Why replay of one segment stopped early.
+enum TailFault {
+    /// Frame header or payload extends past end-of-file (torn write).
+    Torn { offset: u64 },
+    /// Frame is complete but fails its CRC or advertises an absurd length.
+    Bad { offset: u64, detail: String },
+}
+
+/// Replays one segment into `tables`. Returns `Ok(None)` if every byte was a
+/// valid record, `Ok(Some(fault))` if replay stopped at a bad tail.
+fn replay_segment(
+    path: &Path,
+    tables: &mut Tables,
+    bumps: &mut u64,
+) -> Result<Option<TailFault>, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        if bytes.len() - offset < FRAME_HEADER {
+            return Ok(Some(TailFault::Torn {
+                offset: offset as u64,
+            }));
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let want = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD {
+            return Ok(Some(TailFault::Bad {
+                offset: offset as u64,
+                detail: format!("frame length {len} exceeds {MAX_RECORD}"),
+            }));
+        }
+        if bytes.len() - offset - FRAME_HEADER < len {
+            return Ok(Some(TailFault::Torn {
+                offset: offset as u64,
+            }));
+        }
+        let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+        let got = crc32(payload);
+        if got != want {
+            return Ok(Some(TailFault::Bad {
+                offset: offset as u64,
+                detail: format!("crc mismatch: stored {want:#010x}, computed {got:#010x}"),
+            }));
+        }
+        if let Err(detail) = apply(tables, payload, bumps) {
+            return Ok(Some(TailFault::Bad {
+                offset: offset as u64,
+                detail,
+            }));
+        }
+        offset += FRAME_HEADER + len;
+    }
+    Ok(None)
+}
+
+impl LogStore {
+    /// Opens (or creates) the store in `dir` with the default segment size.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        LogStore::open_with_segment_bytes(dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// Opens with an explicit rotation threshold (small values force
+    /// rotation in tests).
+    pub fn open_with_segment_bytes(
+        dir: impl AsRef<Path>,
+        segment_bytes: u64,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+            {
+                if let Ok(index) = stem.parse::<u64>() {
+                    segments.push((index, entry.path()));
+                }
+            }
+        }
+        segments.sort();
+
+        let mut tables = Tables::default();
+        let mut bumps = 0u64;
+        let last = segments.len().checked_sub(1);
+        for (pos, (_, path)) in segments.iter().enumerate() {
+            let fault = replay_segment(path, &mut tables, &mut bumps)?;
+            let segment = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            let segment = segment.unwrap_or_else(|| path.display().to_string());
+            match fault {
+                None => {}
+                Some(fault) if Some(pos) == last => {
+                    // Crash-time tail: drop the bad suffix and keep going.
+                    let offset = match fault {
+                        TailFault::Torn { offset } | TailFault::Bad { offset, .. } => offset,
+                    };
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(offset)?;
+                    file.sync_all()?;
+                }
+                Some(TailFault::Torn { offset }) => {
+                    return Err(StoreError::Corrupt {
+                        segment,
+                        offset,
+                        detail: "torn record in sealed segment".to_owned(),
+                    });
+                }
+                Some(TailFault::Bad { offset, detail }) => {
+                    return Err(StoreError::Corrupt {
+                        segment,
+                        offset,
+                        detail,
+                    });
+                }
+            }
+        }
+
+        let next_seg = segments.last().map(|(i, _)| i + 1).unwrap_or(1);
+        let active = match segments.last() {
+            Some((_, path)) => OpenOptions::new().append(true).open(path)?,
+            None => {
+                let path = dir.join(segment_name(next_seg));
+                OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(&path)?
+            }
+        };
+        let next_seg = if segments.is_empty() {
+            next_seg + 1
+        } else {
+            next_seg
+        };
+        let active_len = active.metadata()?.len();
+
+        let store = LogStore {
+            dir,
+            segment_bytes,
+            generation: bumps + 1,
+            inner: Mutex::new(Inner {
+                tables,
+                active,
+                active_len,
+                next_seg,
+            }),
+        };
+        // Stamp this open so the next one observes a higher generation.
+        store.write_record(&encode_gen_bump())?;
+        store.sync()?;
+        Ok(store)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn write_record(&self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("log store lock");
+        self.write_record_locked(&mut inner, payload)
+    }
+
+    /// Writes one framed record to the active segment, rotating first if the
+    /// segment has reached the threshold. Callers hold the inner lock, so a
+    /// record's disk position always matches its table-apply order.
+    fn write_record_locked(&self, inner: &mut Inner, payload: &[u8]) -> Result<(), StoreError> {
+        if payload.len() > MAX_RECORD {
+            return Err(StoreError::RecordTooLarge {
+                len: payload.len(),
+                max: MAX_RECORD,
+            });
+        }
+        if inner.active_len >= self.segment_bytes {
+            inner.active.sync_all()?;
+            let index = inner.next_seg;
+            let path = self.dir.join(segment_name(index));
+            let file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&path)?;
+            inner.active = file;
+            inner.active_len = 0;
+            inner.next_seg = index + 1;
+        }
+        let framed = frame(payload);
+        inner.active.write_all(&framed)?;
+        inner.active_len += framed.len() as u64;
+        Ok(())
+    }
+}
+
+impl StateStore for LogStore {
+    fn put(&self, ns: &str, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("log store lock");
+        self.write_record_locked(&mut inner, &encode_put(ns, key, value))?;
+        inner
+            .tables
+            .kv
+            .entry(ns.to_owned())
+            .or_default()
+            .insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, ns: &str, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let inner = self.inner.lock().expect("log store lock");
+        Ok(inner.tables.kv.get(ns).and_then(|m| m.get(key)).cloned())
+    }
+
+    fn scan(&self, ns: &str) -> Result<ScanEntries, StoreError> {
+        let inner = self.inner.lock().expect("log store lock");
+        Ok(inner
+            .tables
+            .kv
+            .get(ns)
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default())
+    }
+
+    fn append(&self, ns: &str, record: &[u8]) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock().expect("log store lock");
+        self.write_record_locked(&mut inner, &encode_append(ns, record))?;
+        let log = inner.tables.logs.entry(ns.to_owned()).or_default();
+        log.push(record.to_vec());
+        Ok(log.len() as u64 - 1)
+    }
+
+    fn appended(&self, ns: &str) -> Result<Vec<Vec<u8>>, StoreError> {
+        let inner = self.inner.lock().expect("log store lock");
+        Ok(inner.tables.logs.get(ns).cloned().unwrap_or_default())
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        let inner = self.inner.lock().expect("log store lock");
+        inner.active.sync_all()?;
+        Ok(())
+    }
+}

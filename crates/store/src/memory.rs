@@ -1,0 +1,107 @@
+//! The in-memory backend: the maps the service used before durability.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::{ScanEntries, StateStore, StoreError};
+
+#[derive(Default)]
+struct Tables {
+    kv: BTreeMap<String, BTreeMap<Vec<u8>, Vec<u8>>>,
+    logs: BTreeMap<String, Vec<Vec<u8>>>,
+}
+
+/// Volatile [`StateStore`] backend over `BTreeMap`s. Generation is always 1:
+/// a memory store never survives the process, so it is never "warm".
+#[derive(Default)]
+pub struct MemoryStore {
+    tables: Mutex<Tables>,
+}
+
+impl MemoryStore {
+    pub fn new() -> Self {
+        MemoryStore::default()
+    }
+}
+
+impl StateStore for MemoryStore {
+    fn put(&self, ns: &str, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let mut tables = self.tables.lock().expect("memory store lock");
+        tables
+            .kv
+            .entry(ns.to_owned())
+            .or_default()
+            .insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, ns: &str, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let tables = self.tables.lock().expect("memory store lock");
+        Ok(tables.kv.get(ns).and_then(|m| m.get(key)).cloned())
+    }
+
+    fn scan(&self, ns: &str) -> Result<ScanEntries, StoreError> {
+        let tables = self.tables.lock().expect("memory store lock");
+        Ok(tables
+            .kv
+            .get(ns)
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default())
+    }
+
+    fn append(&self, ns: &str, record: &[u8]) -> Result<u64, StoreError> {
+        let mut tables = self.tables.lock().expect("memory store lock");
+        let log = tables.logs.entry(ns.to_owned()).or_default();
+        log.push(record.to_vec());
+        Ok(log.len() as u64 - 1)
+    }
+
+    fn appended(&self, ns: &str) -> Result<Vec<Vec<u8>>, StoreError> {
+        let tables = self.tables.lock().expect("memory store lock");
+        Ok(tables.logs.get(ns).cloned().unwrap_or_default())
+    }
+
+    fn generation(&self) -> u64 {
+        1
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_round_trip_and_scan_order() {
+        let store = MemoryStore::new();
+        store.put("ns", b"b", b"2").unwrap();
+        store.put("ns", b"a", b"1").unwrap();
+        store.put("ns", b"a", b"3").unwrap(); // overwrite
+        assert_eq!(store.get("ns", b"a").unwrap(), Some(b"3".to_vec()));
+        assert_eq!(store.get("other", b"a").unwrap(), None);
+        let scan = store.scan("ns").unwrap();
+        assert_eq!(
+            scan,
+            vec![
+                (b"a".to_vec(), b"3".to_vec()),
+                (b"b".to_vec(), b"2".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn appends_preserve_order_per_namespace() {
+        let store = MemoryStore::new();
+        assert_eq!(store.append("log", b"first").unwrap(), 0);
+        assert_eq!(store.append("log", b"second").unwrap(), 1);
+        assert_eq!(store.append("other", b"x").unwrap(), 0);
+        assert_eq!(
+            store.appended("log").unwrap(),
+            vec![b"first".to_vec(), b"second".to_vec()]
+        );
+        assert_eq!(store.generation(), 1);
+    }
+}
